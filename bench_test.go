@@ -1,0 +1,450 @@
+package waveindex
+
+import (
+	"fmt"
+	"testing"
+
+	"waveindex/internal/core"
+	"waveindex/internal/experiments"
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+	"waveindex/internal/workload"
+	"waveindex/wave"
+)
+
+// --- Tables 1-7: transition traces -----------------------------------
+//
+// One benchmark per example table: the cost of rolling the example's
+// wave index forward one day on the phantom backend (pure algorithm
+// overhead, no data movement).
+
+func benchTrace(b *testing.B, kind core.Kind, w, n int) {
+	b.Helper()
+	bk := core.NewPhantomBackend(nil, nil)
+	s, err := core.NewScheme(kind, core.Config{W: w, N: n}, bk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Transition(s.LastDay() + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1DEL(b *testing.B)             { benchTrace(b, core.KindDEL, 10, 2) }
+func BenchmarkTable2REINDEX(b *testing.B)         { benchTrace(b, core.KindREINDEX, 10, 2) }
+func BenchmarkTable3WATAStar(b *testing.B)        { benchTrace(b, core.KindWATAStar, 10, 4) }
+func BenchmarkTable4WATAGreedy(b *testing.B)      { benchTrace(b, core.KindWATAStar, 10, 4) }
+func BenchmarkTable5REINDEXPlus(b *testing.B)     { benchTrace(b, core.KindREINDEXPlus, 10, 2) }
+func BenchmarkTable6REINDEXPlusPlus(b *testing.B) { benchTrace(b, core.KindREINDEXPlusPlus, 10, 2) }
+func BenchmarkTable7RATAStar(b *testing.B)        { benchTrace(b, core.KindRATAStar, 10, 4) }
+
+// --- Tables 8-11: the §5 analysis ------------------------------------
+//
+// Each benchmark regenerates the measured table once per iteration and
+// reports the headline cells as custom metrics so `go test -bench` output
+// doubles as the reproduction record.
+
+func benchTable(b *testing.B, fn func() (experiments.Table, error), metricRows map[core.Kind]string, unit string) {
+	b.Helper()
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for k, col := range metricRows {
+		if row, ok := tab.Row(k); ok {
+			b.ReportMetric(row.Values[col], fmt.Sprintf("%s_%s_%s", sanitize(k.String()), sanitize(col), unit))
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := []rune{}
+	for _, r := range s {
+		switch r {
+		case '*', '+':
+			out = append(out, 'x')
+		case ' ':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkTable8Space(b *testing.B) {
+	benchTable(b, experiments.Table8, map[core.Kind]string{
+		core.KindDEL:     "avg operation",
+		core.KindREINDEX: "avg operation",
+	}, "S")
+}
+
+func BenchmarkTable9Query(b *testing.B) {
+	benchTable(b, experiments.Table9, map[core.Kind]string{
+		core.KindDEL:     "TimedSegmentScan",
+		core.KindREINDEX: "TimedSegmentScan",
+	}, "s")
+}
+
+func BenchmarkTable10MaintenanceSimple(b *testing.B) {
+	benchTable(b, experiments.Table10, map[core.Kind]string{
+		core.KindDEL:     "transition",
+		core.KindREINDEX: "transition",
+	}, "s")
+}
+
+func BenchmarkTable11MaintenancePacked(b *testing.B) {
+	benchTable(b, experiments.Table11, map[core.Kind]string{
+		core.KindDEL:     "transition",
+		core.KindREINDEX: "transition",
+	}, "s")
+}
+
+// --- Figures 2-11 -----------------------------------------------------
+
+func benchFigure(b *testing.B, fn func() (experiments.Figure, error), series string, x float64, unit string) {
+	b.Helper()
+	var fig experiments.Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s, ok := fig.FindSeries(series); ok {
+		b.ReportMetric(s.YAt(x), fmt.Sprintf("%s_at_%g_%s", sanitize(series), x, unit))
+	}
+}
+
+func BenchmarkFigure2UsenetVolume(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.Figure2()
+	}
+	b.ReportMetric(fig.Series[0].YAt(3), "wednesday_postings")
+	b.ReportMetric(fig.Series[0].YAt(7), "sunday_postings")
+}
+
+func BenchmarkFigure3SCAMSpace(b *testing.B) {
+	benchFigure(b, experiments.Figure3, "REINDEX", 4, "MB")
+}
+
+func BenchmarkFigure4SCAMTransition(b *testing.B) {
+	benchFigure(b, experiments.Figure4, "REINDEX", 4, "s")
+}
+
+func BenchmarkFigure5SCAMTotalWork(b *testing.B) {
+	benchFigure(b, experiments.Figure5, "REINDEX", 4, "s")
+}
+
+func BenchmarkFigure6WSETotalWork(b *testing.B) {
+	benchFigure(b, experiments.Figure6, "DEL", 1, "s")
+}
+
+func BenchmarkFigure7TPCDPacked(b *testing.B) {
+	benchFigure(b, experiments.Figure7, "DEL", 1, "s")
+}
+
+func BenchmarkFigure8TPCDSimple(b *testing.B) {
+	benchFigure(b, experiments.Figure8, "WATA*", 10, "s")
+}
+
+func BenchmarkFigure9WindowScaling(b *testing.B) {
+	benchFigure(b, experiments.Figure9, "WATA*", 42, "s")
+}
+
+func BenchmarkFigure10DataScaling(b *testing.B) {
+	benchFigure(b, experiments.Figure10, "REINDEX", 5, "s")
+}
+
+func BenchmarkFigure11WATASizeRatio(b *testing.B) {
+	benchFigure(b, experiments.Figure11, "WATA* / eager", 4, "ratio")
+}
+
+// --- Ablations over DESIGN.md's called-out choices --------------------
+
+// BenchmarkAblationGrowthFactor measures real ingest cost on the data
+// backend as the CONTIGUOUS growth factor varies: small g saves space but
+// pays more bucket-copy work on skewed keys.
+func BenchmarkAblationGrowthFactor(b *testing.B) {
+	for _, g := range []float64{1.08, 1.5, 2.0, 3.0} {
+		b.Run(fmt.Sprintf("g=%.2f", g), func(b *testing.B) {
+			gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 3, ArticlesPerDay: 60, WordsPerArticle: 15})
+			store := simdisk.NewRAM(simdisk.Config{})
+			defer store.Close()
+			idx := index.NewEmpty(store, index.Options{Growth: g})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.Add(gen.Day(i + 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(idx.SizeBytes())/float64(idx.NumEntries()*index.EntrySize), "space_overhead_x")
+		})
+	}
+}
+
+// BenchmarkAblationDirectory compares hash and B+Tree directories on the
+// probe path.
+func BenchmarkAblationDirectory(b *testing.B) {
+	for _, kind := range []index.DirKind{index.HashDir, index.BTreeDir} {
+		b.Run(kind.String(), func(b *testing.B) {
+			gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 3, ArticlesPerDay: 100, WordsPerArticle: 20, VocabSize: 3000})
+			store := simdisk.NewRAM(simdisk.Config{})
+			defer store.Close()
+			idx, err := index.BuildPacked(store, index.Options{Dir: kind}, gen.Day(1), gen.Day(2), gen.Day(3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			vocab := gen.Vocab()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.Probe(vocab.Word(i%1000), 1, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUpdateTechnique measures a full data-bearing daily
+// transition per §2.1 technique (DEL, W=7, n=2).
+func BenchmarkAblationUpdateTechnique(b *testing.B) {
+	for _, tech := range []core.Technique{core.InPlace, core.SimpleShadow, core.PackedShadow} {
+		b.Run(tech.String(), func(b *testing.B) {
+			benchDataTransitions(b, core.KindDEL, tech)
+		})
+	}
+}
+
+// BenchmarkAblationScheme measures real data-bearing transitions per
+// scheme (simple shadowing, W=7, n=2-4).
+func BenchmarkAblationScheme(b *testing.B) {
+	for _, kind := range core.Kinds {
+		b.Run(sanitize(kind.String()), func(b *testing.B) {
+			benchDataTransitions(b, kind, core.SimpleShadow)
+		})
+	}
+}
+
+func benchDataTransitions(b *testing.B, kind core.Kind, tech core.Technique) {
+	b.Helper()
+	const w = 7
+	n := 2
+	if n < kind.MinN() {
+		n = kind.MinN()
+	}
+	gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 5, ArticlesPerDay: 40, WordsPerArticle: 10})
+	store := simdisk.NewRAM(simdisk.Config{})
+	defer store.Close()
+	src := core.NewMemorySource(w + 2)
+	for d := 1; d <= w; d++ {
+		src.Put(gen.Day(d))
+	}
+	bk := core.NewDataBackend(store, index.Options{}, src, nil)
+	s, err := core.NewScheme(kind, core.Config{W: w, N: n, Technique: tech}, bk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := s.LastDay() + 1
+		b.StopTimer()
+		src.Put(gen.Day(d))
+		b.StartTimer()
+		if err := s.Transition(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationParallelProbe compares the serial and concurrent probe
+// paths over n constituents (the §8 multi-disk direction).
+func BenchmarkAblationParallelProbe(b *testing.B) {
+	for _, mode := range []string{"serial", "parallel"} {
+		b.Run(mode, func(b *testing.B) {
+			idx, err := wave.New(wave.Config{Window: 12, Indexes: 6, Scheme: wave.DEL})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer idx.Close()
+			gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 9, ArticlesPerDay: 80, WordsPerArticle: 12})
+			for d := 1; d <= 12; d++ {
+				if err := idx.AddDay(d, gen.Day(d).Postings); err != nil {
+					b.Fatal(err)
+				}
+			}
+			vocab := gen.Vocab()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if mode == "serial" {
+					_, err = idx.Probe(vocab.Word(i % 500))
+				} else {
+					_, err = idx.ProbeParallel(vocab.Word(i % 500))
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWATAVariants compares the WATA design space on the
+// Figure 11 experiment: peak index size ratio vs the eager baseline over
+// 200 days of Usenet volumes (W=7, n=3). WATA* (threshold 0) is
+// length-optimal (Theorem 1); the greedy Table 4 split and size-aware
+// thresholds trade a longer soft window for different size profiles.
+func BenchmarkAblationWATAVariants(b *testing.B) {
+	const days, w, n = 200, 7, 3
+	vol := workload.UsenetVolume{Seed: 1997}
+	sizes := core.SizeFunc{Packed: vol.PackedBytes, Overhead: 1}
+	var eagerMax int64
+	for d := w; d <= days; d++ {
+		var sum int64
+		for k := d - w + 1; k <= d; k++ {
+			sum += vol.PackedBytes(k)
+		}
+		if sum > eagerMax {
+			eagerMax = sum
+		}
+	}
+	variants := map[string]func() (core.Scheme, error){
+		"WATA-star": func() (core.Scheme, error) {
+			return core.NewWATAStar(core.Config{W: w, N: n, Technique: core.InPlace}, core.NewPhantomBackend(sizes, nil))
+		},
+		"WATA-greedy": func() (core.Scheme, error) {
+			return core.NewWATAGreedy(core.Config{W: w, N: n, Technique: core.InPlace}, core.NewPhantomBackend(sizes, nil))
+		},
+		"WATA-size-aware-300MB": func() (core.Scheme, error) {
+			return core.NewWATASizeAware(core.Config{W: w, N: n, Technique: core.InPlace}, core.NewPhantomBackend(sizes, nil), 300<<20)
+		},
+	}
+	for name, mk := range variants {
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				s, err := mk()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Start(); err != nil {
+					b.Fatal(err)
+				}
+				lazyMax := s.Wave().SizeBytes()
+				for d := w + 1; d <= days; d++ {
+					if err := s.Transition(d); err != nil {
+						b.Fatal(err)
+					}
+					if sz := s.Wave().SizeBytes(); sz > lazyMax {
+						lazyMax = sz
+					}
+				}
+				s.Close()
+				ratio = float64(lazyMax) / float64(eagerMax)
+			}
+			b.ReportMetric(ratio, "size_ratio")
+		})
+	}
+}
+
+// BenchmarkAblationVacuumPeriod measures the §7 vacuum baseline's storage
+// slack and per-transition cost as the vacuuming period grows.
+func BenchmarkAblationVacuumPeriod(b *testing.B) {
+	for _, every := range []int{1, 3, 7} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
+			bk := core.NewPhantomBackend(core.UniformSizes{S: 100, SPrime: 140}, nil)
+			s, err := core.NewVacuum(core.Config{W: 7, N: 1}, bk, every)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.Start(); err != nil {
+				b.Fatal(err)
+			}
+			var peak int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Transition(s.LastDay() + 1); err != nil {
+					b.Fatal(err)
+				}
+				if l := bk.Meter().Live(); l > peak {
+					peak = l
+				}
+			}
+			b.ReportMetric(float64(peak)/700, "peak_vs_window_x")
+		})
+	}
+}
+
+// BenchmarkPublicAPIIngest measures end-to-end AddDay throughput through
+// the public wave API.
+func BenchmarkPublicAPIIngest(b *testing.B) {
+	idx, err := wave.New(wave.Config{Window: 7, Indexes: 3, Scheme: wave.REINDEXPlusPlus})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 1, ArticlesPerDay: 50, WordsPerArticle: 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := gen.Day(i + 1)
+		b.StartTimer()
+		if err := idx.AddDay(i+1, batch.Postings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBlockCache measures probe cost with and without the
+// write-through LRU block cache (wave.Config.CacheBlocks) on a skewed
+// query stream — hot buckets are served from memory.
+func BenchmarkAblationBlockCache(b *testing.B) {
+	for _, cacheBlocks := range []int{0, 1024} {
+		name := "none"
+		if cacheBlocks > 0 {
+			name = fmt.Sprintf("%dblocks", cacheBlocks)
+		}
+		b.Run(name, func(b *testing.B) {
+			idx, err := wave.New(wave.Config{Window: 7, Indexes: 3, Scheme: wave.DEL, CacheBlocks: cacheBlocks})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer idx.Close()
+			gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 8, ArticlesPerDay: 100, WordsPerArticle: 15, VocabSize: 2000})
+			for d := 1; d <= 7; d++ {
+				if err := idx.AddDay(d, gen.Day(d).Postings); err != nil {
+					b.Fatal(err)
+				}
+			}
+			vocab := gen.Vocab()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Zipf-hot query stream: mostly the top keys.
+				if _, err := idx.Probe(vocab.Word(i % 20)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := idx.Stats()
+			b.ReportMetric(float64(st.Store.Seeks)/float64(b.N), "disk_seeks_per_probe")
+		})
+	}
+}

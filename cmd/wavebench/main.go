@@ -1,0 +1,207 @@
+// Command wavebench regenerates the tables and figures of the paper's
+// evaluation. Each figure is printed as a data table (one row per x
+// value, one column per scheme); tables print the measured §5 measures
+// priced with the Table 12 parameters.
+//
+// Usage:
+//
+//	wavebench -exp all          # everything
+//	wavebench -exp fig5         # one figure
+//	wavebench -exp table10      # one table
+//	wavebench -exp run -scheme WATA* -scenario TPC-D -n 5  # one point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/experiments"
+	"waveindex/internal/scenario"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching")
+	schemeName := flag.String("scheme", "DEL", "scheme for -exp run")
+	scName := flag.String("scenario", "SCAM", "scenario for -exp run: SCAM, WSE, TPC-D")
+	n := flag.Int("n", 2, "constituent count for -exp run")
+	techName := flag.String("update", "simple-shadow", "update technique for -exp run: inplace, simple-shadow, packed-shadow")
+	flag.Parse()
+
+	if err := run(*exp, *schemeName, *scName, *techName, *n); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, schemeName, scName, techName string, n int) error {
+	figs := map[string]func() (experiments.Figure, error){
+		"fig3": experiments.Figure3, "fig4": experiments.Figure4,
+		"fig5": experiments.Figure5, "fig6": experiments.Figure6,
+		"fig7": experiments.Figure7, "fig8": experiments.Figure8,
+		"fig9": experiments.Figure9, "fig10": experiments.Figure10,
+		"fig11": experiments.Figure11, "figmd": experiments.FigureMultiDisk,
+	}
+	tables := map[string]func() (experiments.Table, error){
+		"table8": experiments.Table8, "table9": experiments.Table9,
+		"table10": experiments.Table10, "table11": experiments.Table11,
+	}
+	switch {
+	case exp == "all":
+		ids := []string{"table8", "table9", "table10", "table11"}
+		for _, id := range ids {
+			if err := printTable(tables[id]); err != nil {
+				return err
+			}
+		}
+		fmt.Println(experiments.RenderFigure(experiments.Figure2()))
+		figIDs := make([]string, 0, len(figs))
+		for id := range figs {
+			figIDs = append(figIDs, id)
+		}
+		sort.Slice(figIDs, func(i, j int) bool {
+			return figNum(figIDs[i]) < figNum(figIDs[j])
+		})
+		for _, id := range figIDs {
+			if err := printFigure(figs[id]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case exp == "fig2":
+		fmt.Println(experiments.RenderFigure(experiments.Figure2()))
+		return nil
+	case exp == "run":
+		return runPoint(schemeName, scName, techName, n)
+	case exp == "advise":
+		return advise(scName)
+	case exp == "gsweep":
+		return gsweep()
+	case exp == "batching":
+		return batching()
+	default:
+		if fn, ok := figs[exp]; ok {
+			return printFigure(fn)
+		}
+		if fn, ok := tables[exp]; ok {
+			return printTable(fn)
+		}
+		return fmt.Errorf("unknown experiment %q (fig2..fig11, table8..table11, run, all)", exp)
+	}
+}
+
+func figNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "fig%d", &n)
+	return n
+}
+
+func printFigure(fn func() (experiments.Figure, error)) error {
+	f, err := fn()
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderFigure(f))
+	return nil
+}
+
+func printTable(fn func() (experiments.Table, error)) error {
+	t, err := fn()
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderTable(t))
+	return nil
+}
+
+func gsweep() error {
+	points, err := experiments.GSweep([]float64{1.08, 1.25, 1.5, 2, 3, 4}, 1.2, 15)
+	if err != nil {
+		return err
+	}
+	fmt.Println("CONTIGUOUS growth-factor trade-off (the paper's g-selection experiment):")
+	fmt.Printf("%6s  %16s  %22s\n", "g", "space S'/S", "copy bytes/posting")
+	for _, pt := range points {
+		fmt.Printf("%6.2f  %16.3f  %22.1f\n", pt.G, pt.SpaceOverhead, pt.CopyBytesPerPosting)
+	}
+	return nil
+}
+
+func batching() error {
+	fmt.Println("daily batching vs dribbling (cache of 64 blocks, 5 days):")
+	fmt.Printf("%10s  %12s  %10s\n", "batches", "disk bytes", "seeks")
+	for _, b := range []int{1, 5, 20, 40} {
+		pt, err := experiments.MeasureBatching(b, 5, 64)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10d  %12d  %10d\n", pt.Batches, pt.DiskBytes, pt.DiskSeeks)
+	}
+	return nil
+}
+
+func advise(scName string) error {
+	sc, ok := scenario.ByName(scName)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q", scName)
+	}
+	choices, err := experiments.Advise(sc, experiments.Constraints{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ranked configurations for %s (W=%d):\n", sc.Name, sc.W)
+	for i, c := range choices {
+		if i == 10 {
+			fmt.Printf("  ... %d more\n", len(choices)-10)
+			break
+		}
+		fmt.Printf("  %2d. %s\n", i+1, c)
+		for _, note := range c.Notes {
+			fmt.Printf("      - %s\n", note)
+		}
+	}
+	return nil
+}
+
+func runPoint(schemeName, scName, techName string, n int) error {
+	kind, err := core.ParseKind(schemeName)
+	if err != nil {
+		return err
+	}
+	sc, ok := scenario.ByName(scName)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q", scName)
+	}
+	var tech core.Technique
+	switch techName {
+	case "inplace":
+		tech = core.InPlace
+	case "simple-shadow":
+		tech = core.SimpleShadow
+	case "packed-shadow":
+		tech = core.PackedShadow
+	default:
+		return fmt.Errorf("unknown update technique %q", techName)
+	}
+	res, err := experiments.Run(experiments.RunConfig{
+		Kind: kind, W: sc.W, N: n, Technique: tech, Scenario: sc,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (W=%d, n=%d, %s)\n", kind, sc.Name, sc.W, n, tech)
+	fmt.Printf("  transition time:     avg %v  max %v\n", round(res.AvgTransition()), round(res.MaxTransition()))
+	fmt.Printf("  pre-computation:     avg %v\n", round(res.AvgPre()))
+	fmt.Printf("  one probe:           %v\n", res.AvgProbe())
+	fmt.Printf("  one scan:            %v\n", round(res.AvgScan()))
+	fmt.Printf("  space (operation):   avg %.1f MB  max %.1f MB\n", mb(res.AvgSpaceEnd()), mb(res.MaxSpaceEnd()))
+	fmt.Printf("  space (with shadow): avg %.1f MB  max %.1f MB\n", mb(res.AvgSpacePeak()), mb(res.MaxSpacePeak()))
+	fmt.Printf("  total daily work:    %v\n", round(res.AvgTotalWork()))
+	return nil
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Second) }
+func mb(b int64) float64                  { return float64(b) / (1 << 20) }

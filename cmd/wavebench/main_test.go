@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	for _, exp := range []string{"fig2", "fig3", "table10", "advise"} {
+		if err := run(exp, "DEL", "SCAM", "simple-shadow", 2); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+	if err := run("run", "WATA*", "SCAM", "packed-shadow", 3); err != nil {
+		t.Errorf("run point: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		exp, scheme, sc, tech string
+		n                     int
+	}{
+		{"nope", "DEL", "SCAM", "simple-shadow", 2},
+		{"run", "BOGUS", "SCAM", "simple-shadow", 2},
+		{"run", "DEL", "BOGUS", "simple-shadow", 2},
+		{"run", "DEL", "SCAM", "bogus", 2},
+		{"run", "WATA*", "SCAM", "simple-shadow", 1},
+		{"advise", "DEL", "BOGUS", "simple-shadow", 2},
+	}
+	for _, c := range cases {
+		if err := run(c.exp, c.scheme, c.sc, c.tech, c.n); err == nil {
+			t.Errorf("run(%q, %q, %q, %q, %d) accepted", c.exp, c.scheme, c.sc, c.tech, c.n)
+		}
+	}
+}
+
+func TestFigNum(t *testing.T) {
+	if figNum("fig10") != 10 || figNum("fig2") != 2 {
+		t.Error("figNum parsing broken")
+	}
+}

@@ -1,0 +1,83 @@
+// Command waved serves a wave index over a line-oriented TCP protocol —
+// the deployment shape of the paper's motivating Web services. See
+// internal/server for the protocol.
+//
+// Usage:
+//
+//	waved [-addr :7070] [-window 7] [-indexes 4]
+//	      [-scheme REINDEX] [-update simple-shadow] [-store path]
+//
+// Try it:
+//
+//	waved &
+//	printf 'ADDDAY 1 1\nhello 1 0\nWINDOW\nQUIT\n' | nc localhost 7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"waveindex/internal/core"
+	"waveindex/internal/server"
+	"waveindex/wave"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	window := flag.Int("window", 7, "window length W in days")
+	indexes := flag.Int("indexes", 4, "constituent index count n")
+	schemeName := flag.String("scheme", "REINDEX", "maintenance scheme")
+	update := flag.String("update", "simple-shadow", "update technique: inplace, simple-shadow, packed-shadow")
+	storePath := flag.String("store", "", "file-backed store path (default: RAM)")
+	flag.Parse()
+
+	kind, err := core.ParseKind(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tech wave.UpdateTechnique
+	switch *update {
+	case "inplace":
+		tech = wave.InPlace
+	case "simple-shadow":
+		tech = wave.SimpleShadow
+	case "packed-shadow":
+		tech = wave.PackedShadow
+	default:
+		log.Fatalf("unknown update technique %q", *update)
+	}
+
+	idx, err := wave.New(wave.Config{
+		Window:    *window,
+		Indexes:   *indexes,
+		Scheme:    kind,
+		Update:    tech,
+		StorePath: *storePath,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(idx)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Fprintln(os.Stderr, "shutting down")
+		srv.Close()
+		l.Close()
+	}()
+	log.Printf("waved: serving %s wave index (W=%d, n=%d) on %s", kind, *window, *indexes, l.Addr())
+	if err := srv.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

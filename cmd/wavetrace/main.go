@@ -1,0 +1,130 @@
+// Command wavetrace prints day-by-day wave-index transition traces in the
+// style of the paper's Tables 1-7: for a chosen scheme, window W, and
+// constituent count n, it shows each constituent's time-set (and the
+// temporary indexes) after every daily transition.
+//
+// Usage:
+//
+//	wavetrace [-scheme DEL|REINDEX|REINDEX+|REINDEX++|WATA*|RATA*]
+//	          [-w W] [-n N] [-days D] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waveindex/internal/core"
+)
+
+func main() {
+	scheme := flag.String("scheme", "WATA*", "maintenance scheme name")
+	w := flag.Int("w", 10, "window length W in days")
+	n := flag.Int("n", 4, "number of constituent indexes")
+	days := flag.Int("days", 8, "transitions to trace after the initial window")
+	all := flag.Bool("all", false, "trace every scheme (ignores -scheme)")
+	flag.Parse()
+
+	if *all {
+		for _, k := range core.Kinds {
+			if err := trace(k, *w, *n, *days); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", k, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	if err := traceNamed(*scheme, *w, *n, *days); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// traceNamed resolves a scheme name, including the extension variants
+// that are not part of the paper's six (WATA-greedy, VACUUM).
+func traceNamed(name string, w, n, days int) error {
+	switch name {
+	case "WATA-greedy":
+		s, err := core.NewWATAGreedy(core.Config{W: w, N: max(n, 2)}, core.NewPhantomBackend(nil, nil))
+		if err != nil {
+			return err
+		}
+		return traceScheme(s, w, days)
+	case "VACUUM":
+		s, err := core.NewVacuum(core.Config{W: w, N: 1}, core.NewPhantomBackend(nil, nil), 3)
+		if err != nil {
+			return err
+		}
+		return traceScheme(s, w, days)
+	}
+	k, err := core.ParseKind(name)
+	if err != nil {
+		return fmt.Errorf("%w (extension schemes: WATA-greedy, VACUUM)", err)
+	}
+	return trace(k, w, n, days)
+}
+
+// traceScheme traces an already-constructed scheme.
+func traceScheme(s core.Scheme, w, days int) error {
+	defer s.Close()
+	fmt.Printf("%s (W=%d, %s window)\n", s.Name(), w, windowKind(s))
+	if err := s.Start(); err != nil {
+		return err
+	}
+	printRow(s)
+	for i := 0; i < days; i++ {
+		if err := s.Transition(s.LastDay() + 1); err != nil {
+			return err
+		}
+		printRow(s)
+	}
+	return nil
+}
+
+func trace(kind core.Kind, w, n, days int) error {
+	nn := n
+	if nn < kind.MinN() {
+		nn = kind.MinN()
+	}
+	bk := core.NewPhantomBackend(nil, nil)
+	s, err := core.NewScheme(kind, core.Config{W: w, N: nn}, bk)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	fmt.Printf("%s (W=%d, n=%d, %s window)\n", kind, w, nn, windowKind(s))
+	if err := s.Start(); err != nil {
+		return err
+	}
+	printRow(s)
+	for i := 0; i < days; i++ {
+		if err := s.Transition(s.LastDay() + 1); err != nil {
+			return err
+		}
+		printRow(s)
+	}
+	return nil
+}
+
+func windowKind(s core.Scheme) string {
+	if s.HardWindow() {
+		return "hard"
+	}
+	return "soft"
+}
+
+func printRow(s core.Scheme) {
+	fmt.Printf("  day %3d:", s.LastDay())
+	for _, c := range s.Wave().Snapshot() {
+		if c == nil {
+			fmt.Print(" []")
+			continue
+		}
+		fmt.Printf(" %v", c.Days())
+	}
+	if s.Wave().Length() > s.LastDay()-s.WindowStart()+1 {
+		fmt.Printf("   (%d days indexed, window %d)", s.Wave().Length(), s.LastDay()-s.WindowStart()+1)
+	}
+	fmt.Println()
+}

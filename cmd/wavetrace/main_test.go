@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"waveindex/internal/core"
+)
+
+func TestTraceAllSchemes(t *testing.T) {
+	for _, k := range core.Kinds {
+		if err := trace(k, 10, 4, 6); err != nil {
+			t.Errorf("trace(%v): %v", k, err)
+		}
+	}
+}
+
+func TestTraceBumpsNToMinimum(t *testing.T) {
+	// n=1 is below WATA*'s minimum; trace must bump it, not fail.
+	if err := trace(core.KindWATAStar, 7, 1, 3); err != nil {
+		t.Errorf("trace with n below minimum: %v", err)
+	}
+}
+
+func TestTraceRejectsBadGeometry(t *testing.T) {
+	if err := trace(core.KindDEL, 0, 1, 1); err == nil {
+		t.Error("W=0 accepted")
+	}
+}
+
+func TestTraceNamedVariants(t *testing.T) {
+	for _, name := range []string{"VACUUM", "WATA-greedy", "DEL"} {
+		if err := traceNamed(name, 7, 3, 4); err != nil {
+			t.Errorf("traceNamed(%q): %v", name, err)
+		}
+	}
+	if err := traceNamed("BOGUS", 7, 3, 4); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,10 @@
+// Package waveindex is a from-scratch Go reproduction of "Wave-Indices:
+// Indexing Evolving Databases" (Narayanan Shivakumar and Hector
+// Garcia-Molina, SIGMOD 1997).
+//
+// The public API lives in the wave subpackage; cmd/wavebench regenerates
+// every table and figure of the paper's evaluation and cmd/wavetrace
+// prints Tables 1-7 style transition traces. bench_test.go in this
+// directory exposes one testing.B benchmark per table and figure plus
+// ablations over the design choices called out in DESIGN.md.
+package waveindex

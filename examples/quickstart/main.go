@@ -1,0 +1,84 @@
+// Quickstart: a 7-day wave index over daily event batches.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waveindex/wave"
+)
+
+func main() {
+	// A one-week window over 3 constituent indexes, maintained by
+	// REINDEX (always-packed indexes, no deletion code).
+	idx, err := wave.New(wave.Config{
+		Window:  7,
+		Indexes: 3,
+		Scheme:  wave.REINDEX,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// Ingest two weeks of daily batches. The index becomes queryable once
+	// the first 7 days have arrived; after that each AddDay expires the
+	// oldest day automatically.
+	users := []string{"ada", "grace", "edsger", "barbara"}
+	for day := 1; day <= 14; day++ {
+		var postings []wave.Posting
+		for i, u := range users {
+			if (day+i)%2 == 0 { // every user acts every other day
+				postings = append(postings, wave.Posting{
+					Key: u,
+					Entry: wave.Entry{
+						RecordID: uint64(day*100 + i),
+						Day:      int32(day),
+					},
+				})
+			}
+		}
+		if err := idx.AddDay(day, postings); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	from, to := idx.Window()
+	fmt.Printf("window: days %d..%d\n", from, to)
+
+	// All of ada's events in the window.
+	entries, err := idx.Probe("ada")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ada: %d events in the window\n", len(entries))
+	for _, e := range entries {
+		fmt.Printf("  day %d record %d\n", e.Day, e.RecordID)
+	}
+
+	// Timed probe: just the last three days.
+	recent, err := idx.ProbeRange("grace", to-2, to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grace, last 3 days: %d events\n", len(recent))
+
+	// Aggregate via a segment scan.
+	perUser := map[string]int{}
+	if err := idx.Scan(func(key string, _ wave.Entry) bool {
+		perUser[key]++
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("events per user in window:")
+	for _, u := range users {
+		fmt.Printf("  %-8s %d\n", u, perUser[u])
+	}
+
+	st := idx.Stats()
+	fmt.Printf("stats: %d days indexed, %.1f KB of index storage\n",
+		st.DaysIndexed, float64(st.ConstituentBytes)/1024)
+}

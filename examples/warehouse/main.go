@@ -1,0 +1,160 @@
+// Warehousing (the paper's TPC-D scenario): a wave index on LINEITEM's
+// SUPPKEY over a sliding window of daily sales, answering the Q1
+// "Pricing Summary Report" with a windowed segment scan and per-supplier
+// drill-downs with timed probes.
+//
+// The rows themselves live in a slotted-page record store partitioned by
+// day (the record side of the paper's Figure 1): each index entry's
+// RecordID is a record-store reference, and days that slide out of the
+// window are bulk-dropped from the record store just like WATA* throws
+// whole indexes away.
+//
+// The paper recommends WATA* with n = 10 when packed shadowing is not
+// available (legacy storage layer): minimal daily work, no deletion code,
+// and the soft window is acceptable for trend analysis. Timed queries
+// below still clamp to the exact window using the entry timestamps.
+//
+// Run with: go run ./examples/warehouse
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"waveindex/internal/recordstore"
+	"waveindex/internal/simdisk"
+	"waveindex/internal/workload"
+	"waveindex/wave"
+)
+
+const window = 20 // scaled down from the paper's 100 days
+
+func main() {
+	idx, err := wave.New(wave.Config{
+		Window:       window,
+		Indexes:      10,            // the paper's TPC-D recommendation
+		Scheme:       wave.WATAStar, // lazy bulk deletion, soft window
+		Update:       wave.SimpleShadow,
+		GrowthFactor: 1.08, // uniform SUPPKEYs need little growth headroom
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// The record heap lives on its own (simulated) disk.
+	heapDisk := simdisk.NewRAM(simdisk.Config{})
+	defer heapDisk.Close()
+	heap := recordstore.NewDayStore(heapDisk, recordstore.Options{})
+
+	gen := workload.NewTPCDGenerator(workload.TPCDConfig{
+		Seed:       11,
+		RowsPerDay: 400,
+		SuppKeys:   25,
+	})
+
+	for day := 1; day <= window+15; day++ {
+		// Store the day's rows, then index them by SUPPKEY with the
+		// record references as entry pointers.
+		var postings []wave.Posting
+		for _, row := range gen.Rows(day) {
+			ref, err := heap.Insert(day, workload.MarshalLineItem(row))
+			if err != nil {
+				log.Fatal(err)
+			}
+			postings = append(postings, wave.Posting{
+				Key: workload.SuppKeyString(row.SuppKey),
+				Entry: wave.Entry{
+					RecordID: recordstore.EncodeRef(ref),
+					Aux:      uint32(row.Quantity),
+					Day:      int32(day),
+				},
+			})
+		}
+		if err := idx.AddDay(day, postings); err != nil {
+			log.Fatal(err)
+		}
+		// Rows older than the window can never be queried again: drop
+		// their day partitions wholesale.
+		if ws, _ := idx.Window(); idx.Ready() {
+			if err := heap.DropBefore(ws); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	from, to := idx.Window()
+	fmt.Printf("pricing summary report (Q1) over shipped days %d..%d\n", from, to)
+	fmt.Printf("record heap: %d rows retained over %d day partitions\n",
+		heap.NumRecords(), len(heap.Days()))
+
+	// Q1: a TimedSegmentScan over the window, grouped by
+	// (returnflag, linestatus); each entry is resolved to its stored row.
+	groups := map[workload.Q1Key]*workload.Q1Group{}
+	rows := 0
+	var scanErr error
+	if err := idx.Scan(func(_ string, e wave.Entry) bool {
+		data, err := heap.Get(recordstore.DecodeRef(e.RecordID))
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		row, err := workload.UnmarshalLineItem(data)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		workload.Q1Accumulate(groups, row)
+		rows++
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if scanErr != nil {
+		log.Fatal(scanErr)
+	}
+	keys := make([]workload.Q1Key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ReturnFlag != keys[j].ReturnFlag {
+			return keys[i].ReturnFlag < keys[j].ReturnFlag
+		}
+		return keys[i].LineStatus < keys[j].LineStatus
+	})
+	fmt.Printf("%-4s %-6s %10s %16s %16s %16s %8s\n",
+		"flag", "status", "sum_qty", "sum_base_price", "sum_disc_price", "sum_charge", "count")
+	for _, k := range keys {
+		g := groups[k]
+		fmt.Printf("%-4c %-6c %10d %16s %16s %16s %8d\n",
+			g.ReturnFlag, g.LineStatus, g.SumQty,
+			cents(g.SumBase), cents(g.SumDisc), cents(g.SumCharge), g.Count)
+	}
+	fmt.Printf("(%d line items scanned; exactly %d days x 400 rows)\n", rows, window)
+	if rows != window*400 {
+		log.Fatalf("scan covered %d rows, want %d", rows, window*400)
+	}
+
+	// Drill-down: quantity shipped by one supplier over the last 5 days,
+	// answered from the index alone (quantity rides in the entry's aux).
+	supp := workload.SuppKeyString(7)
+	es, err := idx.ProbeRange(supp, to-4, to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var qty int64
+	for _, e := range es {
+		qty += int64(e.Aux)
+	}
+	fmt.Printf("supplier 7, last 5 days: %d line items, %d units\n", len(es), qty)
+
+	st := idx.Stats()
+	fmt.Printf("stats: scheme=%s soft-window days=%d index storage=%.1f KB heap storage=%.1f KB\n",
+		st.Scheme, st.DaysIndexed, float64(st.ConstituentBytes)/1024,
+		float64(heapDisk.Stats().UsedBytes(heapDisk.BlockSize()))/1024)
+}
+
+func cents(c int64) string {
+	return fmt.Sprintf("%d.%02d", c/100, c%100)
+}

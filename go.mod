@@ -1,0 +1,3 @@
+module waveindex
+
+go 1.22

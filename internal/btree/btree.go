@@ -1,0 +1,383 @@
+// Package btree implements an in-memory B+Tree used as the ordered
+// directory of a constituent index (the paper's directory is "a search
+// structure (e.g., a B+Tree or a hash table)" kept in memory). Leaves are
+// linked so ascending range scans — needed by SegmentScan to visit buckets
+// in key order — cost one descent plus a linear walk.
+package btree
+
+import "cmp"
+
+// DefaultDegree is the branching factor used by New.
+const DefaultDegree = 32
+
+// Tree is a B+Tree mapping keys to values. The zero value is not usable;
+// call New or NewDegree. Tree is not safe for concurrent mutation.
+type Tree[K cmp.Ordered, V any] struct {
+	degree int // max children of an internal node; leaves hold degree-1 keys
+	root   node[K, V]
+	first  *leaf[K, V] // leftmost leaf, head of the leaf chain
+	size   int
+}
+
+type node[K cmp.Ordered, V any] interface {
+	get(key K) (V, bool)
+	firstLeaf() *leaf[K, V]
+	leafFor(key K) *leaf[K, V]
+	keyCount() int
+}
+
+type inner[K cmp.Ordered, V any] struct {
+	keys     []K
+	children []node[K, V]
+}
+
+type leaf[K cmp.Ordered, V any] struct {
+	keys []K
+	vals []V
+	next *leaf[K, V]
+}
+
+// New returns an empty tree with the default degree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] { return NewDegree[K, V](DefaultDegree) }
+
+// NewDegree returns an empty tree with the given branching factor
+// (minimum 3).
+func NewDegree[K cmp.Ordered, V any](degree int) *Tree[K, V] {
+	if degree < 3 {
+		degree = 3
+	}
+	lf := &leaf[K, V]{}
+	return &Tree[K, V]{degree: degree, root: lf, first: lf}
+}
+
+// Len returns the number of keys stored.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) { return t.root.get(key) }
+
+// Set inserts key with val, replacing any existing value. It reports
+// whether a previous value was replaced.
+func (t *Tree[K, V]) Set(key K, val V) bool {
+	var replaced bool
+	sep, right := t.insert(t.root, key, val, &replaced)
+	if right != nil {
+		t.root = &inner[K, V]{keys: []K{sep}, children: []node[K, V]{t.root, right}}
+	}
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	var deleted bool
+	t.remove(t.root, key, &deleted)
+	if deleted {
+		t.size--
+	}
+	if in, ok := t.root.(*inner[K, V]); ok && len(in.children) == 1 {
+		t.root = in.children[0]
+	}
+	return deleted
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	lf := t.first
+	for lf != nil && len(lf.keys) == 0 {
+		lf = lf.next
+	}
+	if lf == nil {
+		var k K
+		var v V
+		return k, v, false
+	}
+	return lf.keys[0], lf.vals[0], true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *inner[K, V]:
+			n = x.children[len(x.children)-1]
+		case *leaf[K, V]:
+			if len(x.keys) == 0 {
+				var k K
+				var v V
+				return k, v, false
+			}
+			return x.keys[len(x.keys)-1], x.vals[len(x.vals)-1], true
+		}
+	}
+}
+
+// Ascend calls fn for every key in ascending order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(K, V) bool) {
+	for lf := t.first; lf != nil; lf = lf.next {
+		for i, k := range lf.keys {
+			if !fn(k, lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange calls fn for every key in [lo, hi] in ascending order until
+// fn returns false.
+func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(K, V) bool) {
+	for lf := t.root.leafFor(lo); lf != nil; lf = lf.next {
+		for i, k := range lf.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k, lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// insert adds key under n. If n splits, the separator and new right
+// sibling are returned (right != nil).
+func (t *Tree[K, V]) insert(n node[K, V], key K, val V, replaced *bool) (K, node[K, V]) {
+	var zk K
+	switch x := n.(type) {
+	case *leaf[K, V]:
+		i, ok := x.search(key)
+		if ok {
+			x.vals[i] = val
+			*replaced = true
+			return zk, nil
+		}
+		x.keys = insertAt(x.keys, i, key)
+		x.vals = insertAt(x.vals, i, val)
+		if len(x.keys) <= t.degree-1 {
+			return zk, nil
+		}
+		mid := len(x.keys) / 2
+		right := &leaf[K, V]{
+			keys: append([]K(nil), x.keys[mid:]...),
+			vals: append([]V(nil), x.vals[mid:]...),
+			next: x.next,
+		}
+		x.keys = x.keys[:mid:mid]
+		x.vals = x.vals[:mid:mid]
+		x.next = right
+		return right.keys[0], right
+
+	case *inner[K, V]:
+		i := x.childIndex(key)
+		sep, right := t.insert(x.children[i], key, val, replaced)
+		if right == nil {
+			return zk, nil
+		}
+		x.keys = insertAt(x.keys, i, sep)
+		x.children = insertAt(x.children, i+1, right)
+		if len(x.children) <= t.degree {
+			return zk, nil
+		}
+		mid := len(x.keys) / 2
+		up := x.keys[mid]
+		sib := &inner[K, V]{
+			keys:     append([]K(nil), x.keys[mid+1:]...),
+			children: append([]node[K, V](nil), x.children[mid+1:]...),
+		}
+		x.keys = x.keys[:mid:mid]
+		x.children = x.children[: mid+1 : mid+1]
+		return up, sib
+	}
+	return zk, nil
+}
+
+// remove deletes key under n; the caller rebalances n if it under-flows.
+func (t *Tree[K, V]) remove(n node[K, V], key K, deleted *bool) {
+	switch x := n.(type) {
+	case *leaf[K, V]:
+		if i, ok := x.search(key); ok {
+			x.keys = append(x.keys[:i], x.keys[i+1:]...)
+			x.vals = append(x.vals[:i], x.vals[i+1:]...)
+			*deleted = true
+		}
+	case *inner[K, V]:
+		i := x.childIndex(key)
+		t.remove(x.children[i], key, deleted)
+		if *deleted {
+			t.rebalance(x, i)
+		}
+	}
+}
+
+// minKeys is the minimum number of keys in a non-root node.
+func (t *Tree[K, V]) minKeys() int { return (t.degree - 1) / 2 }
+
+// rebalance restores the fill invariant of x's child i by borrowing from
+// or merging with a sibling.
+func (t *Tree[K, V]) rebalance(x *inner[K, V], i int) {
+	child := x.children[i]
+	if child.keyCount() >= t.minKeys() {
+		return
+	}
+	switch c := child.(type) {
+	case *leaf[K, V]:
+		t.rebalanceLeaf(x, i, c)
+	case *inner[K, V]:
+		t.rebalanceInner(x, i, c)
+	}
+}
+
+func (t *Tree[K, V]) rebalanceLeaf(x *inner[K, V], i int, c *leaf[K, V]) {
+	min := t.minKeys()
+	if i > 0 {
+		left := x.children[i-1].(*leaf[K, V])
+		if len(left.keys) > min {
+			last := len(left.keys) - 1
+			c.keys = insertAt(c.keys, 0, left.keys[last])
+			c.vals = insertAt(c.vals, 0, left.vals[last])
+			left.keys = left.keys[:last]
+			left.vals = left.vals[:last]
+			x.keys[i-1] = c.keys[0]
+			return
+		}
+	}
+	if i < len(x.children)-1 {
+		right := x.children[i+1].(*leaf[K, V])
+		if len(right.keys) > min {
+			c.keys = append(c.keys, right.keys[0])
+			c.vals = append(c.vals, right.vals[0])
+			right.keys = append(right.keys[:0], right.keys[1:]...)
+			right.vals = append(right.vals[:0], right.vals[1:]...)
+			x.keys[i] = right.keys[0]
+			return
+		}
+	}
+	if i > 0 {
+		left := x.children[i-1].(*leaf[K, V])
+		left.keys = append(left.keys, c.keys...)
+		left.vals = append(left.vals, c.vals...)
+		left.next = c.next
+		removeChild(x, i)
+	} else if i < len(x.children)-1 {
+		right := x.children[i+1].(*leaf[K, V])
+		c.keys = append(c.keys, right.keys...)
+		c.vals = append(c.vals, right.vals...)
+		c.next = right.next
+		removeChild(x, i+1)
+	}
+}
+
+func (t *Tree[K, V]) rebalanceInner(x *inner[K, V], i int, c *inner[K, V]) {
+	min := t.minKeys()
+	if i > 0 {
+		left := x.children[i-1].(*inner[K, V])
+		if len(left.keys) > min {
+			c.keys = insertAt(c.keys, 0, x.keys[i-1])
+			c.children = insertAt(c.children, 0, left.children[len(left.children)-1])
+			x.keys[i-1] = left.keys[len(left.keys)-1]
+			left.keys = left.keys[:len(left.keys)-1]
+			left.children = left.children[:len(left.children)-1]
+			return
+		}
+	}
+	if i < len(x.children)-1 {
+		right := x.children[i+1].(*inner[K, V])
+		if len(right.keys) > min {
+			c.keys = append(c.keys, x.keys[i])
+			c.children = append(c.children, right.children[0])
+			x.keys[i] = right.keys[0]
+			right.keys = append(right.keys[:0], right.keys[1:]...)
+			right.children = append(right.children[:0], right.children[1:]...)
+			return
+		}
+	}
+	if i > 0 {
+		left := x.children[i-1].(*inner[K, V])
+		left.keys = append(left.keys, x.keys[i-1])
+		left.keys = append(left.keys, c.keys...)
+		left.children = append(left.children, c.children...)
+		removeChild(x, i)
+	} else if i < len(x.children)-1 {
+		right := x.children[i+1].(*inner[K, V])
+		c.keys = append(c.keys, x.keys[i])
+		c.keys = append(c.keys, right.keys...)
+		c.children = append(c.children, right.children...)
+		removeChild(x, i+1)
+	}
+}
+
+// removeChild drops child i of x together with the separator between it
+// and its left neighbour (or right neighbour for i == 0).
+func removeChild[K cmp.Ordered, V any](x *inner[K, V], i int) {
+	sep := i - 1
+	if sep < 0 {
+		sep = 0
+	}
+	x.keys = append(x.keys[:sep], x.keys[sep+1:]...)
+	x.children = append(x.children[:i], x.children[i+1:]...)
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// --- node plumbing ---
+
+func (l *leaf[K, V]) search(key K) (int, bool) {
+	lo, hi := 0, len(l.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l.keys) && l.keys[lo] == key
+}
+
+func (l *leaf[K, V]) get(key K) (V, bool) {
+	if i, ok := l.search(key); ok {
+		return l.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+func (l *leaf[K, V]) firstLeaf() *leaf[K, V] { return l }
+func (l *leaf[K, V]) leafFor(K) *leaf[K, V]  { return l }
+func (l *leaf[K, V]) keyCount() int          { return len(l.keys) }
+
+func (in *inner[K, V]) childIndex(key K) int {
+	lo, hi := 0, len(in.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if in.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (in *inner[K, V]) get(key K) (V, bool) {
+	return in.children[in.childIndex(key)].get(key)
+}
+
+func (in *inner[K, V]) firstLeaf() *leaf[K, V] { return in.children[0].firstLeaf() }
+
+func (in *inner[K, V]) leafFor(key K) *leaf[K, V] {
+	return in.children[in.childIndex(key)].leafFor(key)
+}
+
+func (in *inner[K, V]) keyCount() int { return len(in.keys) }

@@ -1,0 +1,286 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[string, int]()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Error("Get on empty tree returned ok")
+	}
+	if tr.Delete("x") {
+		t.Error("Delete on empty tree returned true")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree returned ok")
+	}
+	n := 0
+	tr.Ascend(func(string, int) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("Ascend visited %d keys", n)
+	}
+}
+
+func TestSetGetReplace(t *testing.T) {
+	tr := New[string, int]()
+	if tr.Set("a", 1) {
+		t.Error("first Set reported replaced")
+	}
+	if !tr.Set("a", 2) {
+		t.Error("second Set did not report replaced")
+	}
+	if v, ok := tr.Get("a"); !ok || v != 2 {
+		t.Errorf("Get = (%d, %v), want (2, true)", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestOrderedIterationAfterRandomInserts(t *testing.T) {
+	for _, degree := range []int{3, 4, 7, 32} {
+		t.Run(fmt.Sprintf("degree=%d", degree), func(t *testing.T) {
+			tr := NewDegree[int, int](degree)
+			rng := rand.New(rand.NewSource(1))
+			want := map[int]int{}
+			for i := 0; i < 2000; i++ {
+				k := rng.Intn(700)
+				tr.Set(k, i)
+				want[k] = i
+			}
+			if tr.Len() != len(want) {
+				t.Fatalf("Len = %d, want %d", tr.Len(), len(want))
+			}
+			var keys []int
+			prev := -1
+			tr.Ascend(func(k, v int) bool {
+				if k <= prev {
+					t.Fatalf("out of order: %d after %d", k, prev)
+				}
+				if want[k] != v {
+					t.Fatalf("key %d = %d, want %d", k, v, want[k])
+				}
+				prev = k
+				keys = append(keys, k)
+				return true
+			})
+			if len(keys) != len(want) {
+				t.Fatalf("Ascend visited %d keys, want %d", len(keys), len(want))
+			}
+		})
+	}
+}
+
+func TestDeleteAllRandomOrder(t *testing.T) {
+	for _, degree := range []int{3, 5, 32} {
+		tr := NewDegree[int, string](degree)
+		const n = 1500
+		perm := rand.New(rand.NewSource(7)).Perm(n)
+		for _, k := range perm {
+			tr.Set(k, fmt.Sprint(k))
+		}
+		perm2 := rand.New(rand.NewSource(8)).Perm(n)
+		for i, k := range perm2 {
+			if !tr.Delete(k) {
+				t.Fatalf("degree %d: Delete(%d) = false", degree, k)
+			}
+			if tr.Delete(k) {
+				t.Fatalf("degree %d: second Delete(%d) = true", degree, k)
+			}
+			if tr.Len() != n-i-1 {
+				t.Fatalf("degree %d: Len = %d, want %d", degree, tr.Len(), n-i-1)
+			}
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int, int]()
+	for _, k := range []int{42, 7, 99, 13} {
+		tr.Set(k, k*10)
+	}
+	if k, v, ok := tr.Min(); !ok || k != 7 || v != 70 {
+		t.Errorf("Min = (%d,%d,%v)", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || k != 99 || v != 990 {
+		t.Errorf("Max = (%d,%d,%v)", k, v, ok)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := NewDegree[int, int](4)
+	for i := 0; i < 100; i += 2 { // evens 0..98
+		tr.Set(i, i)
+	}
+	var got []int
+	tr.AscendRange(11, 21, func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{12, 14, 16, 18, 20}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("AscendRange(11,21) = %v, want %v", got, want)
+	}
+	// Inclusive bounds.
+	got = got[:0]
+	tr.AscendRange(10, 12, func(k, _ int) bool { got = append(got, k); return true })
+	if fmt.Sprint(got) != fmt.Sprint([]int{10, 12}) {
+		t.Errorf("AscendRange(10,12) = %v", got)
+	}
+	// Empty range.
+	got = got[:0]
+	tr.AscendRange(13, 13, func(k, _ int) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Errorf("AscendRange(13,13) = %v, want empty", got)
+	}
+	// Range beyond the keys.
+	got = got[:0]
+	tr.AscendRange(200, 300, func(k, _ int) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Errorf("AscendRange(200,300) = %v, want empty", got)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 50; i++ {
+		tr.Set(i, i)
+	}
+	n := 0
+	tr.Ascend(func(int, int) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("visited %d keys, want 5", n)
+	}
+	n = 0
+	tr.AscendRange(0, 49, func(int, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("range visited %d keys, want 3", n)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := NewDegree[string, int](3)
+	words := []string{"wave", "index", "evolving", "database", "window", "day", "bucket", "probe", "scan"}
+	for i, w := range words {
+		tr.Set(w, i)
+	}
+	sorted := append([]string(nil), words...)
+	sort.Strings(sorted)
+	var got []string
+	tr.Ascend(func(k string, _ int) bool { got = append(got, k); return true })
+	if fmt.Sprint(got) != fmt.Sprint(sorted) {
+		t.Errorf("Ascend = %v, want %v", got, sorted)
+	}
+}
+
+// TestQuickModelConformance compares the tree against a map + sorted-slice
+// model under random interleavings of Set, Delete, Get, and range scans.
+func TestQuickModelConformance(t *testing.T) {
+	f := func(seed int64, degreeRaw uint8) bool {
+		degree := 3 + int(degreeRaw%30)
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewDegree[int, int](degree)
+		model := map[int]int{}
+		for step := 0; step < 400; step++ {
+			k := rng.Intn(120)
+			switch rng.Intn(4) {
+			case 0, 1: // set
+				v := rng.Int()
+				gotReplaced := tr.Set(k, v)
+				_, wantReplaced := model[k]
+				if gotReplaced != wantReplaced {
+					t.Logf("Set(%d) replaced=%v want %v", k, gotReplaced, wantReplaced)
+					return false
+				}
+				model[k] = v
+			case 2: // delete
+				got := tr.Delete(k)
+				_, want := model[k]
+				if got != want {
+					t.Logf("Delete(%d) = %v, want %v", k, got, want)
+					return false
+				}
+				delete(model, k)
+			case 3: // get
+				gv, gok := tr.Get(k)
+				wv, wok := model[k]
+				if gok != wok || (gok && gv != wv) {
+					t.Logf("Get(%d) = (%d,%v), want (%d,%v)", k, gv, gok, wv, wok)
+					return false
+				}
+			}
+			if tr.Len() != len(model) {
+				t.Logf("Len = %d, want %d", tr.Len(), len(model))
+				return false
+			}
+		}
+		// Final full iteration must equal the sorted model.
+		keys := make([]int, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		i := 0
+		ok := true
+		tr.Ascend(func(k, v int) bool {
+			if i >= len(keys) || k != keys[i] || v != model[k] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		if !ok || i != len(keys) {
+			t.Logf("final iteration mismatch (visited %d of %d)", i, len(keys))
+			return false
+		}
+		// Random range scan equals model filter.
+		lo := rng.Intn(120)
+		hi := lo + rng.Intn(50)
+		var got []int
+		tr.AscendRange(lo, hi, func(k, _ int) bool { got = append(got, k); return true })
+		var want []int
+		for _, k := range keys {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Logf("AscendRange(%d,%d) = %v, want %v", lo, hi, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := New[int, int]()
+	for i := 0; i < b.N; i++ {
+		tr.Set(i%100000, i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int, int]()
+	for i := 0; i < 100000; i++ {
+		tr.Set(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i % 100000)
+	}
+}

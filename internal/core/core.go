@@ -1,0 +1,392 @@
+// Package core implements wave indices: collections of n conventional
+// constituent indexes that together provide access to a sliding window of
+// W consecutive days (Shivakumar & Garcia-Molina, SIGMOD'97).
+//
+// The package provides the six maintenance algorithms of the paper — DEL,
+// REINDEX, REINDEX+, REINDEX++, WATA*, and RATA* — each parameterised by
+// one of the three update techniques of §2.1 (in-place, simple shadow,
+// packed shadow). Algorithms are written against the Constituent/Backend
+// abstraction so the same scheme code drives both real data-bearing
+// indexes (see DataBackend) and the phantom cost-accounting backend used
+// by the experiment harness to regenerate the paper's figures at full
+// scale (see PhantomBackend).
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common configuration and state errors.
+var (
+	ErrNotStarted     = errors.New("core: wave index not started")
+	ErrAlreadyStarted = errors.New("core: wave index already started")
+	ErrBadConfig      = errors.New("core: invalid configuration")
+	ErrBadDay         = errors.New("core: transitions must supply consecutive days")
+)
+
+// Technique selects how batched updates are applied to constituent
+// indexes (§2.1).
+type Technique int
+
+const (
+	// InPlace modifies directory and buckets of the live index directly.
+	// It needs no extra space but requires concurrency control (the wave
+	// holds its write lock for the whole update), and the result is not
+	// packed.
+	InPlace Technique = iota
+	// SimpleShadow copies the index and updates the copy; queries keep
+	// using the original until the copy is swapped in. Costs CP per copied
+	// day of extra work and a shadow's worth of extra space.
+	SimpleShadow
+	// PackedShadow builds a temporary index for the inserted records and
+	// merge-copies the old index into a new packed contiguous layout,
+	// dropping expired entries along the way (SMCP per copied day).
+	PackedShadow
+)
+
+func (t Technique) String() string {
+	switch t {
+	case InPlace:
+		return "inplace"
+	case SimpleShadow:
+		return "simple-shadow"
+	case PackedShadow:
+		return "packed-shadow"
+	}
+	return "unknown"
+}
+
+// Constituent is one index of a wave: the maintenance-operation surface
+// the schemes are written against. Data-bearing constituents additionally
+// implement Searcher.
+type Constituent interface {
+	// Days returns the time-set in ascending order.
+	Days() []int
+	// NumDays returns the size of the time-set.
+	NumDays() int
+	// HasDay reports membership of day in the time-set.
+	HasDay(day int) bool
+	// SizeBytes returns the storage currently allocated to the index.
+	SizeBytes() int64
+	// AddDays incrementally indexes the given days' data (AddToIndex).
+	AddDays(days ...int) error
+	// DeleteDays incrementally deletes the given days' entries
+	// (DeleteFromIndex).
+	DeleteDays(days ...int) error
+	// Clone makes a shadow copy preserving the physical layout.
+	Clone() (Constituent, error)
+	// PackedMerge produces a new packed index holding this index's
+	// entries minus the del days plus the add days' data.
+	PackedMerge(del, add []int) (Constituent, error)
+	// Drop releases the index's storage (DropIndex). Cheap regardless of
+	// index size.
+	Drop() error
+}
+
+// Backend creates constituent indexes.
+type Backend interface {
+	// Build constructs a packed index over the given days (BuildIndex).
+	Build(days ...int) (Constituent, error)
+	// Empty returns an index with no entries.
+	Empty() (Constituent, error)
+}
+
+// Config parameterises a wave index.
+type Config struct {
+	// W is the window length in days (time intervals).
+	W int
+	// N is the number of constituent indexes, 1 <= N <= W. WATA-based
+	// schemes require N >= 2 (with one index the constituent would grow
+	// forever, §3.3).
+	N int
+	// Technique selects the update technique for constituent updates.
+	Technique Technique
+	// StartDay is the first day of the initial window. 0 means 1.
+	StartDay int
+	// Observer receives maintenance operations and publish events; nil
+	// means no observation.
+	Observer Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.StartDay == 0 {
+		c.StartDay = 1
+	}
+	if c.Observer == nil {
+		c.Observer = NopObserver{}
+	}
+	return c
+}
+
+func (c Config) validate(needTwo bool) error {
+	if c.W < 1 {
+		return fmt.Errorf("%w: W = %d, must be >= 1", ErrBadConfig, c.W)
+	}
+	min := 1
+	if needTwo {
+		min = 2
+	}
+	if c.N < min || c.N > c.W {
+		return fmt.Errorf("%w: n = %d, must be in [%d, W=%d]", ErrBadConfig, c.N, min, c.W)
+	}
+	if c.StartDay < 1 {
+		return fmt.Errorf("%w: StartDay = %d, must be >= 1", ErrBadConfig, c.StartDay)
+	}
+	return nil
+}
+
+// Scheme is a wave-index maintenance algorithm.
+type Scheme interface {
+	// Name returns the paper's name for the algorithm.
+	Name() string
+	// HardWindow reports whether the scheme indexes exactly the last W
+	// days (true) or may retain expired days for a while (soft window).
+	HardWindow() bool
+	// Start builds the initial wave index over days
+	// [StartDay, StartDay+W-1].
+	Start() error
+	// Transition rolls the window forward by one day: newDay must be the
+	// day after the most recently indexed day.
+	Transition(newDay int) error
+	// Wave returns the queryable wave index.
+	Wave() *Wave
+	// TempSizeBytes returns the storage held by temporary indexes that
+	// are not part of the queryable wave.
+	TempSizeBytes() int64
+	// WindowStart returns the first day of the current required window.
+	WindowStart() int
+	// LastDay returns the most recently indexed day.
+	LastDay() int
+	// Close drops every index (constituent and temporary).
+	Close() error
+}
+
+// base carries the bookkeeping shared by all schemes.
+type base struct {
+	cfg     Config
+	bk      Backend
+	wave    *Wave
+	started bool
+	lastDay int
+	closed  bool
+}
+
+func newBase(cfg Config, bk Backend, needTwo bool) (*base, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(needTwo); err != nil {
+		return nil, err
+	}
+	return &base{cfg: cfg, bk: bk, wave: NewWave(cfg.N)}, nil
+}
+
+func (b *base) Wave() *Wave      { return b.wave }
+func (b *base) LastDay() int     { return b.lastDay }
+func (b *base) WindowStart() int { return b.lastDay - b.cfg.W + 1 }
+
+func (b *base) checkStart() error {
+	if b.started {
+		return ErrAlreadyStarted
+	}
+	return nil
+}
+
+func (b *base) checkTransition(newDay int) error {
+	if !b.started {
+		return ErrNotStarted
+	}
+	if newDay != b.lastDay+1 {
+		return fmt.Errorf("%w: got day %d, want %d", ErrBadDay, newDay, b.lastDay+1)
+	}
+	return nil
+}
+
+// splitDays partitions `count` consecutive days beginning at start into n
+// clusters: the first count mod n clusters get one extra day (Fig. 12).
+func splitDays(start, count, n int) [][]int {
+	out := make([][]int, n)
+	small := count / n
+	extra := count % n
+	day := start
+	for i := 0; i < n; i++ {
+		size := small
+		if i < extra {
+			size++
+		}
+		cluster := make([]int, size)
+		for j := range cluster {
+			cluster[j] = day
+			day++
+		}
+		out[i] = cluster
+	}
+	return out
+}
+
+// startUniform builds the initial wave shared by the DEL/REINDEX family:
+// the first W mod n clusters get ceil(W/n) consecutive days, the rest get
+// floor(W/n) (Fig. 12's Start).
+func (b *base) startUniform() error {
+	if err := b.checkStart(); err != nil {
+		return err
+	}
+	b.cfg.Observer.BeginTransition(0)
+	for i, cluster := range splitDays(b.cfg.StartDay, b.cfg.W, b.cfg.N) {
+		c, err := b.bk.Build(cluster...)
+		if err != nil {
+			return err
+		}
+		b.wave.Set(i, c)
+	}
+	b.started = true
+	b.lastDay = b.cfg.StartDay + b.cfg.W - 1
+	return nil
+}
+
+// ownerOf returns the wave slot whose time-set contains day, or -1.
+func (b *base) ownerOf(day int) int {
+	for i, c := range b.wave.Snapshot() {
+		if c != nil && c.HasDay(day) {
+			return i
+		}
+	}
+	return -1
+}
+
+// transitionUpdate applies the batched update (del, add) to the wave's
+// slot using the configured technique and signals the observer once
+// newDay is queryable. The wave's write lock covers the whole mutation
+// for in-place updates and only the swap for shadow techniques; the
+// superseded version is dropped after the swap.
+func (b *base) transitionUpdate(slot int, del, add []int, newDay int) error {
+	cur := b.wave.Get(slot)
+	switch b.cfg.Technique {
+	case InPlace:
+		err := b.wave.Locked(func() error {
+			if len(del) > 0 {
+				if err := cur.DeleteDays(del...); err != nil {
+					return err
+				}
+			}
+			if len(add) > 0 {
+				if err := cur.AddDays(add...); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		b.cfg.Observer.Publish(newDay)
+		return nil
+	case PackedShadow:
+		next, err := cur.PackedMerge(del, add)
+		if err != nil {
+			return err
+		}
+		return b.publishSwap(slot, next, newDay)
+	default: // SimpleShadow
+		shadow, err := cur.Clone()
+		if err != nil {
+			return err
+		}
+		if len(del) > 0 {
+			if err := shadow.DeleteDays(del...); err != nil {
+				return err
+			}
+		}
+		if len(add) > 0 {
+			if err := shadow.AddDays(add...); err != nil {
+				return err
+			}
+		}
+		return b.publishSwap(slot, shadow, newDay)
+	}
+}
+
+// updateTemp applies adds to a temporary index. Temporaries are not
+// queryable, so in-place modification needs no shadow (§5); under packed
+// shadowing the temp is rewritten packed so later promotions stay packed.
+// It returns the temp to keep using.
+func (b *base) updateTemp(tmp Constituent, add []int) (Constituent, error) {
+	if b.cfg.Technique == PackedShadow {
+		next, err := tmp.PackedMerge(nil, add)
+		if err != nil {
+			return nil, err
+		}
+		if err := tmp.Drop(); err != nil {
+			return nil, err
+		}
+		return next, nil
+	}
+	if err := tmp.AddDays(add...); err != nil {
+		return nil, err
+	}
+	return tmp, nil
+}
+
+// deriveFrom builds a new index as "copy of src plus add days" without
+// touching src — the promotion step of REINDEX+ ("I_j <- Temp;
+// AddToIndex(DaysToAdd, I_j)").
+func (b *base) deriveFrom(src Constituent, add []int) (Constituent, error) {
+	if b.cfg.Technique == PackedShadow {
+		return src.PackedMerge(nil, add)
+	}
+	out, err := src.Clone()
+	if err != nil {
+		return nil, err
+	}
+	if len(add) > 0 {
+		if err := out.AddDays(add...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// publishSwap installs c in the wave's slot, dropping the previous
+// occupant, and signals the observer that newDay became queryable.
+func (b *base) publishSwap(slot int, c Constituent, newDay int) error {
+	old := b.wave.Get(slot)
+	b.wave.Set(slot, c)
+	b.cfg.Observer.Publish(newDay)
+	if old != nil && old != c {
+		return old.Drop()
+	}
+	return nil
+}
+
+// closeAll drops every constituent and the given temps.
+func (b *base) closeAll(temps ...Constituent) error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	var first error
+	for _, c := range b.wave.Snapshot() {
+		if c != nil {
+			if err := c.Drop(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	for _, t := range temps {
+		if t != nil {
+			if err := t.Drop(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func sumSizes(cs ...Constituent) int64 {
+	var n int64
+	for _, c := range cs {
+		if c != nil {
+			n += c.SizeBytes()
+		}
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+package core
+
+// DEL maintains a hard window by incremental deletion (§3.1, Fig. 12):
+// each day the expired day's entries are deleted from the constituent
+// that holds them and the new day's entries are inserted in their place.
+// With n = 1 this is the "obvious" single-index solution. DEL needs index
+// deletion code; unless packed shadow updating is used the constituents
+// are not packed.
+type DEL struct {
+	*base
+}
+
+// NewDEL returns a DEL scheme.
+func NewDEL(cfg Config, bk Backend) (*DEL, error) {
+	b, err := newBase(cfg, bk, false)
+	if err != nil {
+		return nil, err
+	}
+	return &DEL{base: b}, nil
+}
+
+// Name implements Scheme.
+func (s *DEL) Name() string { return "DEL" }
+
+// HardWindow implements Scheme.
+func (s *DEL) HardWindow() bool { return true }
+
+// TempSizeBytes implements Scheme.
+func (s *DEL) TempSizeBytes() int64 { return 0 }
+
+// Start implements Scheme.
+func (s *DEL) Start() error { return s.startUniform() }
+
+// Transition implements Scheme.
+func (s *DEL) Transition(newDay int) error {
+	if err := s.checkTransition(newDay); err != nil {
+		return err
+	}
+	s.cfg.Observer.BeginTransition(newDay)
+	expired := newDay - s.cfg.W
+	j := s.ownerOf(expired)
+	if err := s.transitionUpdate(j, []int{expired}, []int{newDay}, newDay); err != nil {
+		return err
+	}
+	s.lastDay = newDay
+	return nil
+}
+
+// Close implements Scheme.
+func (s *DEL) Close() error { return s.closeAll() }

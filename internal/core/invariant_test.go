@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// windowDays returns the expected hard window [last-W+1, last].
+func windowDays(last, w int) []int {
+	out := make([]int, w)
+	for i := range out {
+		out[i] = last - w + 1 + i
+	}
+	return out
+}
+
+// checkCoverage verifies the wave covers all required days exactly once,
+// and (for hard windows) nothing else.
+func checkCoverage(t *testing.T, s Scheme, hard bool) {
+	t.Helper()
+	count := map[int]int{}
+	for _, c := range s.Wave().Snapshot() {
+		if c == nil {
+			t.Fatalf("%s day %d: nil constituent", s.Name(), s.LastDay())
+		}
+		for _, d := range c.Days() {
+			count[d]++
+		}
+	}
+	for _, d := range windowDays(s.LastDay(), s.LastDay()-s.WindowStart()+1) {
+		if count[d] != 1 {
+			t.Fatalf("%s day %d: window day %d covered %d times; wave %s",
+				s.Name(), s.LastDay(), d, count[d], renderWave(s.Wave()))
+		}
+	}
+	for d, c := range count {
+		if c != 1 {
+			t.Fatalf("%s day %d: day %d covered %d times", s.Name(), s.LastDay(), d, c)
+		}
+		if hard && (d < s.WindowStart() || d > s.LastDay()) {
+			t.Fatalf("%s day %d: hard window contains extra day %d", s.Name(), s.LastDay(), d)
+		}
+		if !hard && d > s.LastDay() {
+			t.Fatalf("%s day %d: future day %d indexed", s.Name(), s.LastDay(), d)
+		}
+	}
+}
+
+// TestWindowInvariantAllSchemes runs every scheme, technique, and a grid
+// of (W, n) through 3 full cycles of transitions, checking window
+// coverage after every day.
+func TestWindowInvariantAllSchemes(t *testing.T) {
+	grid := []struct{ w, n int }{
+		{1, 1}, {2, 1}, {2, 2}, {3, 2}, {5, 2}, {5, 3}, {5, 5},
+		{7, 2}, {7, 3}, {7, 4}, {7, 7}, {10, 2}, {10, 4}, {10, 10},
+		{13, 5}, {35, 7},
+	}
+	for _, kind := range Kinds {
+		for _, tech := range []Technique{InPlace, SimpleShadow, PackedShadow} {
+			for _, g := range grid {
+				if g.n < kind.MinN() {
+					continue
+				}
+				name := fmt.Sprintf("%s/%s/W%d-n%d", kind, tech, g.w, g.n)
+				t.Run(name, func(t *testing.T) {
+					s, err := NewScheme(kind, Config{W: g.w, N: g.n, Technique: tech}, phantom())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := s.Start(); err != nil {
+						t.Fatal(err)
+					}
+					checkCoverage(t, s, s.HardWindow())
+					for d := g.w + 1; d <= 4*g.w+3; d++ {
+						if err := s.Transition(d); err != nil {
+							t.Fatalf("Transition(%d): %v", d, err)
+						}
+						checkCoverage(t, s, s.HardWindow())
+					}
+					if err := s.Close(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWATAStarLengthBound verifies Theorems 1-2: WATA*'s wave length
+// never exceeds W + ceil((W-1)/(n-1)) - 1, and the bound is reached.
+func TestWATAStarLengthBound(t *testing.T) {
+	for _, g := range []struct{ w, n int }{{10, 4}, {10, 2}, {7, 3}, {7, 4}, {35, 5}, {100, 10}, {6, 6}} {
+		s, err := NewWATAStar(Config{W: g.w, N: g.n}, phantom())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		bound := g.w + ceilDiv(g.w-1, g.n-1) - 1
+		maxLen := s.Wave().Length()
+		for d := g.w + 1; d <= 6*g.w; d++ {
+			if err := s.Transition(d); err != nil {
+				t.Fatal(err)
+			}
+			if l := s.Wave().Length(); l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen > bound {
+			t.Errorf("W=%d n=%d: max length %d exceeds Theorem 2 bound %d", g.w, g.n, maxLen, bound)
+		}
+		// The bound is tight (WATA* is optimal, Theorem 1): it must be hit
+		// unless every cluster has one day (bound = W).
+		if maxLen < bound {
+			t.Errorf("W=%d n=%d: max length %d never reached the bound %d", g.w, g.n, maxLen, bound)
+		}
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// TestWATAStarWasteSingleIndex verifies the Theorem 2 argument: at most
+// one constituent ever holds expired days.
+func TestWATAStarWasteSingleIndex(t *testing.T) {
+	s, err := NewWATAStar(Config{W: 10, N: 3}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 11; d <= 60; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+		withWaste := 0
+		for _, c := range s.Wave().Snapshot() {
+			for _, day := range c.Days() {
+				if day < s.WindowStart() {
+					withWaste++
+					break
+				}
+			}
+		}
+		if withWaste > 1 {
+			t.Fatalf("day %d: %d constituents hold expired days, want <= 1: %s", d, withWaste, renderWave(s.Wave()))
+		}
+	}
+}
+
+// TestQuickWindowInvariant drives random (kind, W, n, technique, length)
+// tuples through the full lifecycle.
+func TestQuickWindowInvariant(t *testing.T) {
+	f := func(kindRaw, wRaw, nRaw, techRaw uint8) bool {
+		kind := Kinds[int(kindRaw)%len(Kinds)]
+		w := 1 + int(wRaw%20)
+		minN := kind.MinN()
+		if w < minN {
+			w = minN
+		}
+		n := minN + int(nRaw)%(w-minN+1)
+		tech := Technique(int(techRaw) % 3)
+		s, err := NewScheme(kind, Config{W: w, N: n, Technique: tech}, phantom())
+		if err != nil {
+			t.Logf("NewScheme(%v W=%d n=%d): %v", kind, w, n, err)
+			return false
+		}
+		defer s.Close()
+		if err := s.Start(); err != nil {
+			t.Logf("Start: %v", err)
+			return false
+		}
+		for d := w + 1; d <= 3*w+5; d++ {
+			if err := s.Transition(d); err != nil {
+				t.Logf("%v W=%d n=%d %v Transition(%d): %v", kind, w, n, tech, d, err)
+				return false
+			}
+			// Window days covered exactly once.
+			count := map[int]int{}
+			for _, c := range s.Wave().Snapshot() {
+				for _, day := range c.Days() {
+					count[day]++
+				}
+			}
+			for day := s.WindowStart(); day <= d; day++ {
+				if count[day] != 1 {
+					t.Logf("%v W=%d n=%d day %d: window day %d covered %d times", kind, w, n, d, day, count[day])
+					return false
+				}
+			}
+			if s.HardWindow() && s.Wave().Length() != w {
+				t.Logf("%v W=%d n=%d day %d: hard window length %d != W", kind, w, n, d, s.Wave().Length())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPhantomSpaceAccounting checks that the meter returns to zero after
+// Close for every scheme (no leaked phantom allocations), proving the
+// schemes drop every index they create.
+func TestPhantomSpaceAccounting(t *testing.T) {
+	for _, kind := range Kinds {
+		for _, tech := range []Technique{InPlace, SimpleShadow, PackedShadow} {
+			t.Run(fmt.Sprintf("%s/%s", kind, tech), func(t *testing.T) {
+				bk := NewPhantomBackend(UniformSizes{S: 100, SPrime: 140}, nil)
+				n := 3
+				if kind.MinN() > n {
+					n = kind.MinN()
+				}
+				s, err := NewScheme(kind, Config{W: 9, N: n, Technique: tech}, bk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Start(); err != nil {
+					t.Fatal(err)
+				}
+				for d := 10; d <= 40; d++ {
+					if err := s.Transition(d); err != nil {
+						t.Fatal(err)
+					}
+					if bk.Meter().Live() <= 0 {
+						t.Fatalf("day %d: live bytes %d", d, bk.Meter().Live())
+					}
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if live := bk.Meter().Live(); live != 0 {
+					t.Errorf("leaked %d phantom bytes after Close", live)
+				}
+			})
+		}
+	}
+}
+
+// TestSplitDays checks the Fig. 12 cluster split.
+func TestSplitDays(t *testing.T) {
+	cases := []struct {
+		start, count, n int
+		want            string
+	}{
+		{1, 10, 2, "[[1 2 3 4 5] [6 7 8 9 10]]"},
+		{1, 10, 3, "[[1 2 3 4] [5 6 7] [8 9 10]]"},
+		{1, 9, 3, "[[1 2 3] [4 5 6] [7 8 9]]"},
+		{1, 7, 4, "[[1 2] [3 4] [5 6] [7]]"},
+		{5, 3, 3, "[[5] [6] [7]]"},
+		{1, 5, 1, "[[1 2 3 4 5]]"},
+	}
+	for _, c := range cases {
+		if got := fmt.Sprint(splitDays(c.start, c.count, c.n)); got != c.want {
+			t.Errorf("splitDays(%d,%d,%d) = %s, want %s", c.start, c.count, c.n, got, c.want)
+		}
+	}
+}
+
+// TestConfigValidation exercises the constructor error paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewDEL(Config{W: 0, N: 1}, phantom()); err == nil {
+		t.Error("W=0 accepted")
+	}
+	if _, err := NewDEL(Config{W: 5, N: 6}, phantom()); err == nil {
+		t.Error("n > W accepted")
+	}
+	if _, err := NewWATAStar(Config{W: 5, N: 1}, phantom()); err == nil {
+		t.Error("WATA* with n=1 accepted (must need 2)")
+	}
+	if _, err := NewRATAStar(Config{W: 5, N: 1}, phantom()); err == nil {
+		t.Error("RATA* with n=1 accepted (must need 2)")
+	}
+	if _, err := NewDEL(Config{W: 5, N: 2, StartDay: -3}, phantom()); err == nil {
+		t.Error("negative StartDay accepted")
+	}
+	s, _ := NewDEL(Config{W: 5, N: 2}, phantom())
+	if err := s.Transition(6); err == nil {
+		t.Error("Transition before Start accepted")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+	if err := s.Transition(9); err == nil {
+		t.Error("non-consecutive transition day accepted")
+	}
+}
+
+// TestParseKind round-trips every kind name.
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted unknown name")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+)
+
+// MultiDiskBackend places constituent indexes across several block
+// stores — the paper's §8 direction: "if n matches the number of disks,
+// indexing can be parallelized easily. Also building new constituent
+// indices on separate disks avoids contention." Each new index is built
+// on the least-occupied disk; shadows and packed merges stay on their
+// source's disk (the swap replaces the index in place on that device).
+type MultiDiskBackend struct {
+	stores []simdisk.BlockStore
+	opts   index.Options
+	src    DataSource
+	obs    Observer
+}
+
+// NewMultiDiskBackend returns a backend distributing indexes over the
+// given stores. At least one store is required.
+func NewMultiDiskBackend(stores []simdisk.BlockStore, opts index.Options, src DataSource, obs Observer) (*MultiDiskBackend, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("core: multi-disk backend needs at least one store")
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	return &MultiDiskBackend{stores: stores, opts: opts, src: src, obs: obs}, nil
+}
+
+// pick returns the store with the least allocated bytes.
+func (bk *MultiDiskBackend) pick() simdisk.BlockStore {
+	best := bk.stores[0]
+	bestUsed := best.Stats().UsedBlocks
+	for _, s := range bk.stores[1:] {
+		if u := s.Stats().UsedBlocks; u < bestUsed {
+			best, bestUsed = s, u
+		}
+	}
+	return best
+}
+
+// single returns a one-store DataBackend bound to st, sharing this
+// backend's source and observer. Constituents keep using the backend of
+// the store they were created on, so clones and merges stay on-device.
+func (bk *MultiDiskBackend) single(st simdisk.BlockStore) *DataBackend {
+	return NewDataBackend(st, bk.opts, bk.src, bk.obs)
+}
+
+// Build implements Backend.
+func (bk *MultiDiskBackend) Build(days ...int) (Constituent, error) {
+	return bk.single(bk.pick()).Build(days...)
+}
+
+// Empty implements Backend.
+func (bk *MultiDiskBackend) Empty() (Constituent, error) {
+	return bk.single(bk.pick()).Empty()
+}
+
+// Stores exposes the underlying stores (per-disk statistics).
+func (bk *MultiDiskBackend) Stores() []simdisk.BlockStore { return bk.stores }
+
+// DiskOf returns the index of the store a data constituent lives on, or
+// -1 for non-data constituents.
+func (bk *MultiDiskBackend) DiskOf(c Constituent) int {
+	dc, ok := c.(*dataConstituent)
+	if !ok {
+		return -1
+	}
+	for i, s := range bk.stores {
+		if dc.bk.store == s {
+			return i
+		}
+	}
+	return -1
+}

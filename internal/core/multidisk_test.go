@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+)
+
+func newRng(day int) *rand.Rand { return rand.New(rand.NewSource(int64(day))) }
+
+func newDisks(t *testing.T, n int) []simdisk.BlockStore {
+	t.Helper()
+	out := make([]simdisk.BlockStore, n)
+	for i := range out {
+		s := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+		t.Cleanup(func() { s.Close() })
+		out[i] = s
+	}
+	return out
+}
+
+func TestMultiDiskDistributesConstituents(t *testing.T) {
+	disks := newDisks(t, 4)
+	src := NewMemorySource(0)
+	for d := 1; d <= 30; d++ {
+		src.Put(genDay(d, newRng(d)))
+	}
+	bk, err := NewMultiDiskBackend(disks, index.Options{}, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDEL(Config{W: 8, N: 4, Technique: SimpleShadow}, bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Every disk got at least one constituent.
+	used := map[int]int{}
+	for _, c := range s.Wave().Snapshot() {
+		d := bk.DiskOf(c)
+		if d < 0 {
+			t.Fatal("constituent on unknown disk")
+		}
+		used[d]++
+	}
+	if len(used) != 4 {
+		t.Errorf("constituents on %d of 4 disks: %v", len(used), used)
+	}
+	// Transitions keep constituents on their original devices (shadows
+	// swap in place) and queries stay correct.
+	for d := 9; d <= 24; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range s.Wave().Snapshot() {
+		if bk.DiskOf(c) < 0 {
+			t.Error("constituent migrated off the pool")
+		}
+	}
+	got, err := s.Wave().TimedIndexProbe("alpha", s.WindowStart(), s.LastDay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := windowAnswer(t, src, "alpha", s.WindowStart(), s.LastDay())
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("multi-disk probe = %v, want %v", got, want)
+	}
+}
+
+func TestMultiDiskBalancesStorage(t *testing.T) {
+	disks := newDisks(t, 3)
+	src := NewMemorySource(0)
+	for d := 1; d <= 60; d++ {
+		src.Put(genDay(d, newRng(d)))
+	}
+	bk, err := NewMultiDiskBackend(disks, index.Options{}, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWATAStar(Config{W: 9, N: 3, Technique: InPlace}, bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 10; d <= 50; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total, max int64
+	for _, st := range disks {
+		u := st.Stats().UsedBlocks
+		total += u
+		if u > max {
+			max = u
+		}
+	}
+	if total == 0 {
+		t.Fatal("no storage used")
+	}
+	// No disk should hold everything: least-loaded placement spreads runs.
+	if max == total {
+		t.Errorf("all %d blocks landed on one disk", total)
+	}
+}
+
+func TestMultiDiskValidation(t *testing.T) {
+	if _, err := NewMultiDiskBackend(nil, index.Options{}, NewMemorySource(0), nil); err == nil {
+		t.Error("empty store pool accepted")
+	}
+}
+
+func TestMultiDiskCleanup(t *testing.T) {
+	disks := newDisks(t, 2)
+	src := NewMemorySource(0)
+	for d := 1; d <= 40; d++ {
+		src.Put(genDay(d, newRng(d)))
+	}
+	bk, _ := NewMultiDiskBackend(disks, index.Options{}, src, nil)
+	s, err := NewRATAStar(Config{W: 6, N: 3, Technique: PackedShadow}, bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 7; d <= 30; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range disks {
+		if u := st.Stats().UsedBlocks; u != 0 {
+			t.Errorf("disk %d leaked %d blocks", i, u)
+		}
+	}
+}

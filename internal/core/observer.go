@@ -1,0 +1,177 @@
+package core
+
+// OpKind classifies a maintenance operation on a constituent or temporary
+// index. The experiment harness prices each kind with the per-day costs
+// of Table 12 (Build, Add, Del, CP, SMCP).
+type OpKind int
+
+const (
+	// OpBuild is BuildIndex over the op's days (packed bulk build).
+	OpBuild OpKind = iota
+	// OpAdd is AddToIndex of the op's days (incremental CONTIGUOUS add).
+	OpAdd
+	// OpDelete is DeleteFromIndex of the op's days.
+	OpDelete
+	// OpCopy is the shadow copy of an index; Days holds the copied
+	// index's time-set (cost CP per day).
+	OpCopy
+	// OpSmartCopy is the packed merge-copy scan of an index; Days holds
+	// the scanned index's time-set (cost SMCP per day).
+	OpSmartCopy
+	// OpDropIndex is DropIndex: bulk release, cost independent of size.
+	OpDropIndex
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpBuild:
+		return "build"
+	case OpAdd:
+		return "add"
+	case OpDelete:
+		return "delete"
+	case OpCopy:
+		return "copy"
+	case OpSmartCopy:
+		return "smartcopy"
+	case OpDropIndex:
+		return "drop"
+	}
+	return "unknown"
+}
+
+// Op is one recorded maintenance operation.
+type Op struct {
+	Kind OpKind
+	Days []int // the days the operation touches (see OpKind docs)
+}
+
+// Phase attributes an operation to the paper's maintenance measures.
+type Phase int
+
+const (
+	// PhasePre is pre-computation: work that does not require the new
+	// day's data (shadow copies, deletes of expired days, temporary-index
+	// work over old days). It can run before the day's batch arrives.
+	PhasePre Phase = iota
+	// PhaseTransition is work on the critical path between the new day's
+	// data becoming available and the wave index serving it.
+	PhaseTransition
+	// PhasePost is work after the new day is queryable that prepares
+	// future transitions (temp ladders); it counts as pre-computation of
+	// the next transition in the paper's accounting.
+	PhasePost
+)
+
+// Observer receives the maintenance operations a scheme performs. The
+// phantom backend reports every index operation; schemes report publish
+// events. Implementations need not be safe for concurrent use: schemes
+// drive them from a single goroutine.
+type Observer interface {
+	// BeginTransition marks the start of Transition(newDay) (or of Start,
+	// with newDay = 0).
+	BeginTransition(newDay int)
+	// RecordOp reports one maintenance operation.
+	RecordOp(kind OpKind, days []int)
+	// Publish reports that newDay's data became queryable.
+	Publish(newDay int)
+}
+
+// NopObserver ignores all events.
+type NopObserver struct{}
+
+func (NopObserver) BeginTransition(int)    {}
+func (NopObserver) RecordOp(OpKind, []int) {}
+func (NopObserver) Publish(int)            {}
+
+// PhasedOp is an operation tagged with its phase.
+type PhasedOp struct {
+	Op
+	Phase Phase
+}
+
+// TransitionLog records the operations of one transition, split into
+// phases using the rule derived in §5: operations are pre-computation
+// until the first operation that touches the new day, transition work
+// from there until the publish event, and post-work (next-day
+// pre-computation) afterwards.
+type TransitionLog struct {
+	NewDay int
+	Ops    []PhasedOp
+}
+
+// OpsInPhase returns the operations of one phase.
+func (l *TransitionLog) OpsInPhase(p Phase) []Op {
+	var out []Op
+	for _, op := range l.Ops {
+		if op.Phase == p {
+			out = append(out, op.Op)
+		}
+	}
+	return out
+}
+
+// Recorder is an Observer that materialises TransitionLogs.
+type Recorder struct {
+	logs  []TransitionLog
+	cur   *TransitionLog
+	phase Phase
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// BeginTransition implements Observer.
+func (r *Recorder) BeginTransition(newDay int) {
+	r.logs = append(r.logs, TransitionLog{NewDay: newDay})
+	r.cur = &r.logs[len(r.logs)-1]
+	r.phase = PhasePre
+}
+
+// RecordOp implements Observer.
+func (r *Recorder) RecordOp(kind OpKind, days []int) {
+	if r.cur == nil {
+		return
+	}
+	if r.phase == PhasePre && r.cur.NewDay != 0 && containsDay(days, r.cur.NewDay) {
+		r.phase = PhaseTransition
+	}
+	r.cur.Ops = append(r.cur.Ops, PhasedOp{
+		Op:    Op{Kind: kind, Days: append([]int(nil), days...)},
+		Phase: r.phase,
+	})
+}
+
+// Publish implements Observer.
+func (r *Recorder) Publish(newDay int) {
+	if r.cur != nil && newDay == r.cur.NewDay {
+		r.phase = PhasePost
+	}
+}
+
+// Logs returns the recorded transitions. The Start call is recorded as a
+// transition with NewDay 0.
+func (r *Recorder) Logs() []TransitionLog { return r.logs }
+
+// Last returns the most recent log, or nil.
+func (r *Recorder) Last() *TransitionLog {
+	if len(r.logs) == 0 {
+		return nil
+	}
+	return &r.logs[len(r.logs)-1]
+}
+
+// Reset discards all recorded logs.
+func (r *Recorder) Reset() {
+	r.logs = nil
+	r.cur = nil
+}
+
+func containsDay(days []int, d int) bool {
+	for _, x := range days {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}

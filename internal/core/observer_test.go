@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// phaseOps summarises a log's ops of one phase as "kind(len) ...".
+func phaseOps(l *TransitionLog, p Phase) string {
+	s := ""
+	for _, op := range l.OpsInPhase(p) {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s(%d)", op.Kind, len(op.Days))
+	}
+	return s
+}
+
+// TestRecorderPhasesDEL verifies the §5 maintenance attribution for DEL
+// with simple shadowing: the shadow copy and the delete of the expired
+// day are pre-computation (they do not need the new day's data), only the
+// one-day add is transition work (Table 10).
+func TestRecorderPhasesDEL(t *testing.T) {
+	rec := NewRecorder()
+	bk := NewPhantomBackend(nil, rec)
+	s, err := NewDEL(Config{W: 10, N: 2, Technique: SimpleShadow, Observer: rec}, bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transition(11); err != nil {
+		t.Fatal(err)
+	}
+	l := rec.Last()
+	if l.NewDay != 11 {
+		t.Fatalf("last log day = %d", l.NewDay)
+	}
+	if got, want := phaseOps(l, PhasePre), "copy(5) delete(1)"; got != want {
+		t.Errorf("pre ops = %q, want %q", got, want)
+	}
+	if got, want := phaseOps(l, PhaseTransition), "add(1)"; got != want {
+		t.Errorf("transition ops = %q, want %q", got, want)
+	}
+	if got, want := phaseOps(l, PhasePost), "drop(0)"; got != want {
+		t.Errorf("post ops = %q, want %q", got, want)
+	}
+}
+
+// TestRecorderPhasesREINDEX verifies REINDEX is all transition: the
+// rebuild includes the new day, so nothing can be pre-computed (Table 10).
+func TestRecorderPhasesREINDEX(t *testing.T) {
+	rec := NewRecorder()
+	bk := NewPhantomBackend(nil, rec)
+	s, _ := NewREINDEX(Config{W: 10, N: 2, Observer: rec}, bk)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Transition(11); err != nil {
+		t.Fatal(err)
+	}
+	l := rec.Last()
+	if got := phaseOps(l, PhasePre); got != "" {
+		t.Errorf("pre ops = %q, want none", got)
+	}
+	if got, want := phaseOps(l, PhaseTransition), "build(5)"; got != want {
+		t.Errorf("transition ops = %q, want %q", got, want)
+	}
+}
+
+// TestRecorderPhasesREINDEXPlusPlus verifies the headline property of
+// REINDEX++: the transition is a single one-day add; the ladder work
+// lands after the publish (pre-computation for future days).
+func TestRecorderPhasesREINDEXPlusPlus(t *testing.T) {
+	rec := NewRecorder()
+	bk := NewPhantomBackend(nil, rec)
+	s, _ := NewREINDEXPlusPlus(Config{W: 10, N: 2, Observer: rec}, bk)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 11; d <= 20; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+		l := rec.Last()
+		trans := l.OpsInPhase(PhaseTransition)
+		totalDays := 0
+		for _, op := range trans {
+			if op.Kind == OpAdd || op.Kind == OpBuild {
+				totalDays += len(op.Days)
+			}
+		}
+		if totalDays != 1 {
+			t.Errorf("day %d: transition indexes %d days, want 1 (ops %s)", d, totalDays, phaseOps(l, PhaseTransition))
+		}
+	}
+}
+
+// TestRecorderPhasesWATAStar: Wait days cost one add at transition (plus
+// a pre-computed shadow copy); ThrowAway days cost one 1-day build.
+func TestRecorderPhasesWATAStar(t *testing.T) {
+	rec := NewRecorder()
+	bk := NewPhantomBackend(nil, rec)
+	s, _ := NewWATAStar(Config{W: 10, N: 4, Technique: SimpleShadow, Observer: rec}, bk)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 11; d <= 30; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+		l := rec.Last()
+		got := phaseOps(l, PhaseTransition)
+		if got != "add(1)" && got != "build(1)" {
+			t.Errorf("day %d: transition ops = %q, want one 1-day add or build", d, got)
+		}
+	}
+}
+
+// TestRecorderStartLog checks Start is logged under NewDay 0 with all ops
+// in the pre phase.
+func TestRecorderStartLog(t *testing.T) {
+	rec := NewRecorder()
+	bk := NewPhantomBackend(nil, rec)
+	s, _ := NewDEL(Config{W: 6, N: 3, Observer: rec}, bk)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	logs := rec.Logs()
+	if len(logs) != 1 || logs[0].NewDay != 0 {
+		t.Fatalf("logs = %+v", logs)
+	}
+	if got, want := phaseOps(&logs[0], PhasePre), "build(2) build(2) build(2)"; got != want {
+		t.Errorf("start ops = %q, want %q", got, want)
+	}
+	rec.Reset()
+	if rec.Last() != nil || len(rec.Logs()) != 0 {
+		t.Error("Reset did not clear logs")
+	}
+}
+
+// TestRecorderIgnoresOpsOutsideTransition ensures RecordOp before any
+// BeginTransition is a no-op rather than a panic.
+func TestRecorderIgnoresOpsOutsideTransition(t *testing.T) {
+	rec := NewRecorder()
+	rec.RecordOp(OpAdd, []int{1})
+	rec.Publish(1)
+	if len(rec.Logs()) != 0 {
+		t.Error("stray ops recorded")
+	}
+}
+
+// TestOpKindStrings covers the String methods.
+func TestOpKindStrings(t *testing.T) {
+	want := map[OpKind]string{
+		OpBuild: "build", OpAdd: "add", OpDelete: "delete",
+		OpCopy: "copy", OpSmartCopy: "smartcopy", OpDropIndex: "drop",
+		OpKind(99): "unknown",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("OpKind(%d) = %q, want %q", k, k.String(), w)
+		}
+	}
+	for tech, w := range map[Technique]string{InPlace: "inplace", SimpleShadow: "simple-shadow", PackedShadow: "packed-shadow", Technique(9): "unknown"} {
+		if tech.String() != w {
+			t.Errorf("Technique(%d) = %q, want %q", tech, tech.String(), w)
+		}
+	}
+}

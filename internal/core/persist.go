@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"waveindex/internal/index"
+	"waveindex/internal/wire"
+)
+
+const schemeMagic = "WSCH1"
+
+// SaveScheme serialises a scheme's complete state — constituents,
+// temporaries, and algorithm bookkeeping — so LoadScheme can resume
+// transitions where the saved scheme left off. Only schemes running on a
+// data backend can be saved (the phantom backend is for experiments).
+func SaveScheme(s Scheme, w io.Writer) error {
+	ww := wire.NewWriter(w)
+	ww.Magic(schemeMagic)
+	switch sc := s.(type) {
+	case *DEL:
+		ww.Int(int(KindDEL))
+		if err := saveBase(ww, sc.base); err != nil {
+			return err
+		}
+	case *REINDEX:
+		ww.Int(int(KindREINDEX))
+		if err := saveBase(ww, sc.base); err != nil {
+			return err
+		}
+	case *REINDEXPlus:
+		ww.Int(int(KindREINDEXPlus))
+		if err := saveBase(ww, sc.base); err != nil {
+			return err
+		}
+		if err := saveOptional(ww, sc.temp); err != nil {
+			return err
+		}
+		ww.Ints(sc.daysToAdd)
+	case *REINDEXPlusPlus:
+		ww.Int(int(KindREINDEXPlusPlus))
+		if err := saveBase(ww, sc.base); err != nil {
+			return err
+		}
+		ww.Int(len(sc.temps))
+		for _, t := range sc.temps {
+			if err := saveOptional(ww, t); err != nil {
+				return err
+			}
+		}
+		ww.Int(sc.tempUsed)
+		ww.Ints(sc.daysToAdd)
+	case *WATAStar:
+		ww.Int(int(KindWATAStar))
+		if err := saveBase(ww, sc.base); err != nil {
+			return err
+		}
+		ww.Ints(sc.zs)
+		ww.Int(sc.last)
+	case *RATAStar:
+		ww.Int(int(KindRATAStar))
+		if err := saveBase(ww, sc.base); err != nil {
+			return err
+		}
+		ww.Ints(sc.zs)
+		ww.Int(sc.last)
+		ww.Int(len(sc.temps))
+		for _, t := range sc.temps {
+			if err := saveOptional(ww, t); err != nil {
+				return err
+			}
+		}
+		ww.Int(sc.tempUsed)
+	default:
+		return fmt.Errorf("core: cannot save scheme %T", s)
+	}
+	return ww.Flush()
+}
+
+// LoadScheme reconstructs a saved scheme onto the given backend. The
+// provided Config must match the saved scheme's geometry (W, n).
+func LoadScheme(cfg Config, bk *DataBackend, r io.Reader) (Scheme, error) {
+	rr := wire.NewReader(r)
+	rr.Expect(schemeMagic)
+	kind := Kind(rr.Int())
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	s, err := NewScheme(kind, cfg, bk)
+	if err != nil {
+		return nil, err
+	}
+	switch sc := s.(type) {
+	case *DEL:
+		err = loadBase(rr, sc.base, bk)
+	case *REINDEX:
+		err = loadBase(rr, sc.base, bk)
+	case *REINDEXPlus:
+		if err = loadBase(rr, sc.base, bk); err == nil {
+			sc.temp, err = loadOptional(rr, bk)
+			sc.daysToAdd = rr.Ints()
+		}
+	case *REINDEXPlusPlus:
+		if err = loadBase(rr, sc.base, bk); err == nil {
+			n := rr.Int()
+			sc.temps = make([]Constituent, 0, max(n, 0))
+			for i := 0; i < n && err == nil; i++ {
+				var t Constituent
+				t, err = loadOptional(rr, bk)
+				sc.temps = append(sc.temps, t)
+			}
+			sc.tempUsed = rr.Int()
+			sc.daysToAdd = rr.Ints()
+		}
+	case *WATAStar:
+		if err = loadBase(rr, sc.base, bk); err == nil {
+			sc.zs = rr.Ints()
+			sc.last = rr.Int()
+		}
+	case *RATAStar:
+		if err = loadBase(rr, sc.base, bk); err == nil {
+			sc.zs = rr.Ints()
+			sc.last = rr.Int()
+			n := rr.Int()
+			sc.temps = make([]Constituent, 0, max(n, 0))
+			for i := 0; i < n && err == nil; i++ {
+				var t Constituent
+				t, err = loadOptional(rr, bk)
+				sc.temps = append(sc.temps, t)
+			}
+			sc.tempUsed = rr.Int()
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: load scheme: %w", err)
+	}
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("core: load scheme: %w", err)
+	}
+	return s, nil
+}
+
+// saveBase writes the shared scheme state: progress and the wave slots.
+func saveBase(ww *wire.Writer, b *base) error {
+	ww.Bool(b.started)
+	ww.Int(b.lastDay)
+	slots := b.wave.Snapshot()
+	ww.Int(len(slots))
+	for _, c := range slots {
+		if err := saveOptional(ww, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadBase(rr *wire.Reader, b *base, bk *DataBackend) error {
+	b.started = rr.Bool()
+	b.lastDay = rr.Int()
+	n := rr.Int()
+	if err := rr.Err(); err != nil {
+		return err
+	}
+	if n != b.cfg.N {
+		return fmt.Errorf("core: snapshot has %d slots, config wants %d", n, b.cfg.N)
+	}
+	for i := 0; i < n; i++ {
+		c, err := loadOptional(rr, bk)
+		if err != nil {
+			return err
+		}
+		b.wave.Set(i, c)
+	}
+	return nil
+}
+
+// saveOptional writes a present flag followed by the constituent's index
+// snapshot blob.
+func saveOptional(ww *wire.Writer, c Constituent) error {
+	if c == nil {
+		ww.Bool(false)
+		return nil
+	}
+	ww.Bool(true)
+	dc, ok := c.(*dataConstituent)
+	if !ok {
+		return fmt.Errorf("core: cannot save %T: persistence requires the data backend", c)
+	}
+	var buf bytes.Buffer
+	if err := dc.idx.WriteSnapshot(&buf); err != nil {
+		return err
+	}
+	ww.Bytes(buf.Bytes())
+	return nil
+}
+
+func loadOptional(rr *wire.Reader, bk *DataBackend) (Constituent, error) {
+	if !rr.Bool() {
+		return nil, rr.Err()
+	}
+	raw := rr.Bytes()
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("core: empty constituent snapshot")
+	}
+	idx, err := index.ReadSnapshot(bk.store, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	return &dataConstituent{bk: bk, idx: idx}, nil
+}
+
+// SaveSource serialises a MemorySource's retained day batches.
+func SaveSource(src *MemorySource, w io.Writer) error {
+	ww := wire.NewWriter(w)
+	ww.Magic("WSRC1")
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	ww.Int(src.retain)
+	ww.Int(src.newest)
+	ww.Int(len(src.byDay))
+	days := make([]int, 0, len(src.byDay))
+	for d := range src.byDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	for _, d := range days {
+		b := src.byDay[d]
+		ww.Int(b.Day)
+		ww.Int(len(b.Postings))
+		for _, p := range b.Postings {
+			ww.String(p.Key)
+			ww.U64(p.Entry.RecordID)
+			ww.U64(uint64(p.Entry.Aux))
+			ww.I64(int64(p.Entry.Day))
+		}
+	}
+	return ww.Flush()
+}
+
+// LoadSource rebuilds a MemorySource from SaveSource's output.
+func LoadSource(r io.Reader) (*MemorySource, error) {
+	rr := wire.NewReader(r)
+	rr.Expect("WSRC1")
+	retain := rr.Int()
+	newest := rr.Int()
+	n := rr.Int()
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	src := NewMemorySource(retain)
+	src.newest = newest
+	for i := 0; i < n; i++ {
+		day := rr.Int()
+		np := rr.Int()
+		if err := rr.Err(); err != nil {
+			return nil, err
+		}
+		b := &index.Batch{Day: day, Postings: make([]index.Posting, 0, max(np, 0))}
+		for j := 0; j < np; j++ {
+			p := index.Posting{
+				Key: rr.String(),
+				Entry: index.Entry{
+					RecordID: rr.U64(),
+					Aux:      uint32(rr.U64()),
+					Day:      int32(rr.I64()),
+				},
+			}
+			b.Postings = append(b.Postings, p)
+		}
+		if err := rr.Err(); err != nil {
+			return nil, err
+		}
+		src.byDay[day] = b
+	}
+	return src, nil
+}

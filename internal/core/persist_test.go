@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+)
+
+// TestSaveLoadSchemeDirect round-trips every scheme through the core
+// persistence layer and resumes transitions on the restored copy.
+func TestSaveLoadSchemeDirect(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			const w, n = 7, 3
+			store := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+			defer store.Close()
+			src := NewMemorySource(0)
+			for d := 1; d <= 4*w; d++ {
+				src.Put(genDay(d, newRng(d)))
+			}
+			bk := NewDataBackend(store, index.Options{}, src, nil)
+			s, err := NewScheme(kind, Config{W: w, N: n}, bk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			for d := w + 1; d <= 2*w+1; d++ {
+				if err := s.Transition(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := SaveScheme(s, &buf); err != nil {
+				t.Fatalf("SaveScheme: %v", err)
+			}
+
+			store2 := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+			defer store2.Close()
+			bk2 := NewDataBackend(store2, index.Options{}, src, nil)
+			s2, err := LoadScheme(Config{W: w, N: n}, bk2, bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("LoadScheme: %v", err)
+			}
+			if s2.Name() != s.Name() || s2.LastDay() != s.LastDay() {
+				t.Fatalf("restored %s lastDay=%d, want %s lastDay=%d", s2.Name(), s2.LastDay(), s.Name(), s.LastDay())
+			}
+			if renderWave(s2.Wave()) != renderWave(s.Wave()) {
+				t.Fatalf("restored wave %s != %s", renderWave(s2.Wave()), renderWave(s.Wave()))
+			}
+			// Both continue identically for a full cycle.
+			start, end := s.LastDay()+1, s.LastDay()+w+2
+			for d := start; d <= end; d++ {
+				if err := s.Transition(d); err != nil {
+					t.Fatal(err)
+				}
+				if err := s2.Transition(d); err != nil {
+					t.Fatalf("restored Transition(%d): %v", d, err)
+				}
+				if renderWave(s2.Wave()) != renderWave(s.Wave()) {
+					t.Fatalf("day %d: waves diverged: %s vs %s", d, renderWave(s2.Wave()), renderWave(s.Wave()))
+				}
+				got, err := s2.Wave().TimedIndexProbe("alpha", s2.WindowStart(), s2.LastDay())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := windowAnswer(t, src, "alpha", s2.WindowStart(), s2.LastDay())
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("day %d: restored probe mismatch", d)
+				}
+			}
+			s.Close()
+			s2.Close()
+		})
+	}
+}
+
+// TestSaveSchemeRejectsPhantom: the phantom backend has no bytes to save.
+func TestSaveSchemeRejectsPhantom(t *testing.T) {
+	s, err := NewDEL(Config{W: 5, N: 2}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveScheme(s, &buf); err == nil || !strings.Contains(err.Error(), "data backend") {
+		t.Errorf("SaveScheme(phantom) err = %v", err)
+	}
+}
+
+// TestLoadSchemeSlotMismatch: restoring into the wrong geometry fails
+// cleanly.
+func TestLoadSchemeSlotMismatch(t *testing.T) {
+	store := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+	defer store.Close()
+	src := NewMemorySource(0)
+	for d := 1; d <= 10; d++ {
+		src.Put(genDay(d, newRng(d)))
+	}
+	bk := NewDataBackend(store, index.Options{}, src, nil)
+	s, err := NewDEL(Config{W: 6, N: 3}, bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveScheme(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScheme(Config{W: 6, N: 2}, bk, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("slot-count mismatch accepted")
+	}
+	if _, err := LoadScheme(Config{W: 6, N: 3}, bk, strings.NewReader("garbage")); err == nil {
+		t.Error("garbage stream accepted")
+	}
+}
+
+// TestSourceSaveLoadDirect round-trips a MemorySource.
+func TestSourceSaveLoadDirect(t *testing.T) {
+	src := NewMemorySource(5)
+	for d := 1; d <= 8; d++ {
+		src.Put(genDay(d, newRng(d)))
+	}
+	var buf bytes.Buffer
+	if err := SaveSource(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSource(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != src.Len() {
+		t.Fatalf("restored %d days, want %d", got.Len(), src.Len())
+	}
+	for d := 4; d <= 8; d++ {
+		a, err1 := src.Day(d)
+		b, err2 := got.Day(d)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("day %d: %v %v", d, err1, err2)
+		}
+		if fmt.Sprint(a.Postings) != fmt.Sprint(b.Postings) {
+			t.Fatalf("day %d postings diverged", d)
+		}
+	}
+	// Retention behaviour preserved: adding a new day trims the oldest.
+	got.Put(genDay(9, newRng(9)))
+	if _, err := got.Day(4); err == nil {
+		t.Error("restored source lost its retention policy")
+	}
+	if _, err := LoadSource(strings.NewReader("junk")); err == nil {
+		t.Error("garbage source accepted")
+	}
+}
+
+// TestSchemeSurface covers the trivial per-scheme accessors uniformly.
+func TestSchemeSurface(t *testing.T) {
+	wantNames := map[Kind]string{
+		KindDEL: "DEL", KindREINDEX: "REINDEX", KindREINDEXPlus: "REINDEX+",
+		KindREINDEXPlusPlus: "REINDEX++", KindWATAStar: "WATA*", KindRATAStar: "RATA*",
+	}
+	for _, k := range Kinds {
+		n := 3
+		if k.MinN() > n {
+			n = k.MinN()
+		}
+		s, err := NewScheme(k, Config{W: 9, N: n}, phantom())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != wantNames[k] {
+			t.Errorf("Name = %q, want %q", s.Name(), wantNames[k])
+		}
+		if s.HardWindow() != k.HardWindow() {
+			t.Errorf("%v: HardWindow mismatch between scheme and kind", k)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for d := 10; d <= 20; d++ {
+			if err := s.Transition(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ts := s.TempSizeBytes(); ts < 0 {
+			t.Errorf("%v: TempSizeBytes = %d", k, ts)
+		}
+		switch k {
+		case KindREINDEXPlusPlus, KindRATAStar:
+			// Ladder schemes hold temps mid-cycle most of the time.
+		case KindDEL, KindREINDEX, KindWATAStar:
+			if s.TempSizeBytes() != 0 {
+				t.Errorf("%v: TempSizeBytes = %d, want 0", k, s.TempSizeBytes())
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Close is idempotent at the scheme level.
+		if err := s.Close(); err != nil {
+			t.Errorf("%v: second Close: %v", k, err)
+		}
+	}
+}

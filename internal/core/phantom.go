@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SizeModel gives the per-day index sizes used by the phantom backend:
+// the paper's S (packed index of one day's data) and S' (unpacked,
+// CONTIGUOUS-grown index of the same data). Non-uniform day sizes —
+// the Usenet volume experiments of §3.3 and Figure 11 — are modelled by
+// varying the result with the day.
+type SizeModel interface {
+	PackedBytes(day int) int64
+	UnpackedBytes(day int) int64
+}
+
+// UniformSizes is a SizeModel with day-independent S and S'.
+type UniformSizes struct {
+	S      int64
+	SPrime int64
+}
+
+// PackedBytes implements SizeModel.
+func (u UniformSizes) PackedBytes(int) int64 { return u.S }
+
+// UnpackedBytes implements SizeModel.
+func (u UniformSizes) UnpackedBytes(int) int64 { return u.SPrime }
+
+// SizeFunc adapts a packed-size function to a SizeModel, with unpacked
+// sizes scaled by Overhead (S'/S).
+type SizeFunc struct {
+	Packed   func(day int) int64
+	Overhead float64 // S'/S ratio; values < 1 mean 1 (no overhead)
+}
+
+// PackedBytes implements SizeModel.
+func (f SizeFunc) PackedBytes(day int) int64 { return f.Packed(day) }
+
+// UnpackedBytes implements SizeModel.
+func (f SizeFunc) UnpackedBytes(day int) int64 {
+	s := f.Packed(day)
+	if f.Overhead > 1 {
+		return int64(float64(s) * f.Overhead)
+	}
+	return s
+}
+
+// SpaceMeter tracks the live and peak storage of all phantom indexes on
+// one backend — the substrate for the paper's space-utilization measures
+// (Table 8, Figure 3).
+type SpaceMeter struct {
+	live int64
+	peak int64
+}
+
+func (m *SpaceMeter) alloc(n int64) {
+	m.live += n
+	if m.live > m.peak {
+		m.peak = m.live
+	}
+}
+
+func (m *SpaceMeter) free(n int64) { m.live -= n }
+
+// Live returns the bytes currently allocated.
+func (m *SpaceMeter) Live() int64 { return m.live }
+
+// Peak returns the high-water mark since the last ResetPeak.
+func (m *SpaceMeter) Peak() int64 { return m.peak }
+
+// ResetPeak sets the high-water mark to the current live size.
+func (m *SpaceMeter) ResetPeak() { m.peak = m.live }
+
+// PhantomBackend runs the wave-index algorithms without materialising any
+// data: constituents track only their time-sets and modelled sizes, and
+// every maintenance operation is reported to the Observer. This is how
+// the experiment harness replays the paper's scenarios (S = 56-600 MB per
+// day, W up to 100) at full scale in microseconds.
+type PhantomBackend struct {
+	sizes SizeModel
+	obs   Observer
+	meter *SpaceMeter
+}
+
+// NewPhantomBackend returns a phantom backend with the given size model
+// and observer (both may be nil: sizes default to 1-byte days).
+func NewPhantomBackend(sizes SizeModel, obs Observer) *PhantomBackend {
+	if sizes == nil {
+		sizes = UniformSizes{S: 1, SPrime: 1}
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	return &PhantomBackend{sizes: sizes, obs: obs, meter: &SpaceMeter{}}
+}
+
+// Meter returns the backend's space meter.
+func (bk *PhantomBackend) Meter() *SpaceMeter { return bk.meter }
+
+// Build implements Backend.
+func (bk *PhantomBackend) Build(days ...int) (Constituent, error) {
+	c := &phantomConstituent{bk: bk, days: map[int]bool{}}
+	for _, d := range days {
+		c.days[d] = true // packed
+		bk.meter.alloc(bk.sizes.PackedBytes(d))
+	}
+	bk.obs.RecordOp(OpBuild, days)
+	return c, nil
+}
+
+// Empty implements Backend.
+func (bk *PhantomBackend) Empty() (Constituent, error) {
+	return &phantomConstituent{bk: bk, days: map[int]bool{}}, nil
+}
+
+// phantomConstituent tracks, per day in its time-set, whether that day's
+// entries are stored packed (S) or with CONTIGUOUS growth room (S').
+type phantomConstituent struct {
+	bk      *PhantomBackend
+	days    map[int]bool // day -> packed
+	dropped bool
+}
+
+func (c *phantomConstituent) dayBytes(d int, packed bool) int64 {
+	if packed {
+		return c.bk.sizes.PackedBytes(d)
+	}
+	return c.bk.sizes.UnpackedBytes(d)
+}
+
+func (c *phantomConstituent) Days() []int {
+	out := make([]int, 0, len(c.days))
+	for d := range c.days {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (c *phantomConstituent) NumDays() int      { return len(c.days) }
+func (c *phantomConstituent) HasDay(d int) bool { _, ok := c.days[d]; return ok }
+
+func (c *phantomConstituent) SizeBytes() int64 {
+	var n int64
+	for d, packed := range c.days {
+		n += c.dayBytes(d, packed)
+	}
+	return n
+}
+
+func (c *phantomConstituent) AddDays(days ...int) error {
+	if c.dropped {
+		return fmt.Errorf("core: phantom add: index dropped")
+	}
+	for _, d := range days {
+		if _, ok := c.days[d]; ok {
+			continue
+		}
+		c.days[d] = false // incrementally added -> unpacked
+		c.bk.meter.alloc(c.dayBytes(d, false))
+	}
+	c.bk.obs.RecordOp(OpAdd, days)
+	return nil
+}
+
+func (c *phantomConstituent) DeleteDays(days ...int) error {
+	if c.dropped {
+		return fmt.Errorf("core: phantom delete: index dropped")
+	}
+	for _, d := range days {
+		packed, ok := c.days[d]
+		if !ok {
+			continue
+		}
+		delete(c.days, d)
+		c.bk.meter.free(c.dayBytes(d, packed))
+	}
+	c.bk.obs.RecordOp(OpDelete, days)
+	return nil
+}
+
+func (c *phantomConstituent) Clone() (Constituent, error) {
+	if c.dropped {
+		return nil, fmt.Errorf("core: phantom clone: index dropped")
+	}
+	cp := &phantomConstituent{bk: c.bk, days: make(map[int]bool, len(c.days))}
+	for d, packed := range c.days {
+		cp.days[d] = packed
+		c.bk.meter.alloc(c.dayBytes(d, packed))
+	}
+	c.bk.obs.RecordOp(OpCopy, c.Days())
+	return cp, nil
+}
+
+func (c *phantomConstituent) PackedMerge(del, add []int) (Constituent, error) {
+	if c.dropped {
+		return nil, fmt.Errorf("core: phantom merge: index dropped")
+	}
+	// The paper's packed shadow first builds a temporary index for the
+	// inserted records, then merge-copies the old index (§2.1); recording
+	// in that order also attributes the whole pass to the transition
+	// phase whenever the inserts include the new day.
+	if len(add) > 0 {
+		c.bk.obs.RecordOp(OpBuild, add)
+	}
+	c.bk.obs.RecordOp(OpSmartCopy, c.Days())
+	gone := map[int]struct{}{}
+	for _, d := range del {
+		gone[d] = struct{}{}
+	}
+	out := &phantomConstituent{bk: c.bk, days: map[int]bool{}}
+	for d := range c.days {
+		if _, x := gone[d]; !x {
+			out.days[d] = true
+			c.bk.meter.alloc(c.bk.sizes.PackedBytes(d))
+		}
+	}
+	for _, d := range add {
+		if _, ok := out.days[d]; ok {
+			continue
+		}
+		out.days[d] = true
+		c.bk.meter.alloc(c.bk.sizes.PackedBytes(d))
+	}
+	return out, nil
+}
+
+func (c *phantomConstituent) Drop() error {
+	if c.dropped {
+		return fmt.Errorf("core: phantom drop: index dropped")
+	}
+	for d, packed := range c.days {
+		c.bk.meter.free(c.dayBytes(d, packed))
+	}
+	c.days = map[int]bool{}
+	c.dropped = true
+	c.bk.obs.RecordOp(OpDropIndex, nil)
+	return nil
+}
+
+func (c *phantomConstituent) String() string {
+	return fmt.Sprintf("phantom%v", c.Days())
+}

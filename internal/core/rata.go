@@ -1,0 +1,148 @@
+package core
+
+// RATAStar is RATA* (§4.3, Fig. 17): WATA* augmented with a ladder of
+// temporary indexes over the currently dying cluster, so the expired
+// days can be "deleted" each day by renaming a pre-built temp over the
+// dying constituent. The window is hard, transitions take the same time
+// as WATA* (one add, or one 1-day build), and no deletion code is
+// needed; the ladder preparation is pre-computation.
+type RATAStar struct {
+	*base
+	zs       []int // underlying WATA* size bookkeeping
+	last     int
+	temps    []Constituent // ladder over the dying cluster, rung i = i newest live days
+	tempUsed int
+}
+
+// NewRATAStar returns a RATA* scheme. RATA requires n >= 2 like WATA.
+func NewRATAStar(cfg Config, bk Backend) (*RATAStar, error) {
+	b, err := newBase(cfg, bk, true)
+	if err != nil {
+		return nil, err
+	}
+	return &RATAStar{base: b}, nil
+}
+
+// Name implements Scheme.
+func (s *RATAStar) Name() string { return "RATA*" }
+
+// HardWindow implements Scheme.
+func (s *RATAStar) HardWindow() bool { return true }
+
+// TempSizeBytes implements Scheme.
+func (s *RATAStar) TempSizeBytes() int64 { return sumSizes(s.temps...) }
+
+// initLadder prepares temporaries over the dying cluster minus its oldest
+// day (Fig. 17 Initialize): rung m holds the m newest of those days, so
+// renaming rung tempUsed, tempUsed-1, ... over the dying constituent
+// simulates deleting one expired day per day.
+func (s *RATAStar) initLadder(days []int) error {
+	s.temps = []Constituent{nil} // rung 0 unused: the last rename precedes ThrowAway
+	if len(days) > 0 {
+		first, err := s.bk.Build(days[len(days)-1])
+		if err != nil {
+			return err
+		}
+		s.temps = append(s.temps, first)
+		for m := 2; m <= len(days); m++ {
+			next, err := s.deriveFrom(s.temps[m-1], []int{days[len(days)-m]})
+			if err != nil {
+				return err
+			}
+			s.temps = append(s.temps, next)
+		}
+	}
+	s.tempUsed = len(days)
+	return nil
+}
+
+func (s *RATAStar) dropLadder() error {
+	var first error
+	for _, t := range s.temps {
+		if t != nil {
+			if err := t.Drop(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	s.temps = nil
+	return first
+}
+
+// Start implements Scheme.
+func (s *RATAStar) Start() error {
+	w := WATAStar{base: s.base}
+	if err := w.startWATA(); err != nil {
+		return err
+	}
+	s.zs, s.last = w.zs, w.last
+	dying := s.wave.Get(0).Days()
+	return s.initLadder(dying[1:])
+}
+
+func (s *RATAStar) sumOther(j int) int {
+	sum := 0
+	for i, z := range s.zs {
+		if i != j {
+			sum += z
+		}
+	}
+	return sum
+}
+
+// Transition implements Scheme.
+func (s *RATAStar) Transition(newDay int) error {
+	if err := s.checkTransition(newDay); err != nil {
+		return err
+	}
+	s.cfg.Observer.BeginTransition(newDay)
+	expired := newDay - s.cfg.W
+	j := s.ownerOf(expired)
+	if j >= 0 && s.sumOther(j) == s.cfg.W-1 {
+		// ThrowAway day: like WATA*, then rebuild the ladder for the next
+		// dying cluster.
+		if err := s.wave.Get(j).Drop(); err != nil {
+			return err
+		}
+		fresh, err := s.bk.Build(newDay)
+		if err != nil {
+			return err
+		}
+		s.wave.Set(j, fresh)
+		s.cfg.Observer.Publish(newDay)
+		s.zs[j] = 1
+		s.last = j
+		if err := s.dropLadder(); err != nil {
+			return err
+		}
+		j2 := s.ownerOf(newDay - s.cfg.W + 1)
+		dying := s.wave.Get(j2).Days()
+		if err := s.initLadder(dying[1:]); err != nil {
+			return err
+		}
+	} else {
+		// Wait day: append the new day like WATA*, then simulate deleting
+		// the expired day by renaming the pre-built rung over slot j.
+		if err := s.transitionUpdate(s.last, nil, []int{newDay}, newDay); err != nil {
+			return err
+		}
+		s.zs[s.last]++
+		old := s.wave.Get(j)
+		rung := s.temps[s.tempUsed]
+		s.temps[s.tempUsed] = nil
+		s.tempUsed--
+		s.wave.Set(j, rung)
+		if err := old.Drop(); err != nil {
+			return err
+		}
+	}
+	s.lastDay = newDay
+	return nil
+}
+
+// Close implements Scheme.
+func (s *RATAStar) Close() error {
+	err := s.closeAll(s.temps...)
+	s.temps = nil
+	return err
+}

@@ -1,0 +1,77 @@
+package core
+
+import "fmt"
+
+// Kind identifies a wave-index maintenance algorithm.
+type Kind int
+
+// The six algorithms of the paper.
+const (
+	KindDEL Kind = iota
+	KindREINDEX
+	KindREINDEXPlus
+	KindREINDEXPlusPlus
+	KindWATAStar
+	KindRATAStar
+)
+
+// Kinds lists all algorithms in presentation order.
+var Kinds = []Kind{KindDEL, KindREINDEX, KindREINDEXPlus, KindREINDEXPlusPlus, KindWATAStar, KindRATAStar}
+
+func (k Kind) String() string {
+	switch k {
+	case KindDEL:
+		return "DEL"
+	case KindREINDEX:
+		return "REINDEX"
+	case KindREINDEXPlus:
+		return "REINDEX+"
+	case KindREINDEXPlusPlus:
+		return "REINDEX++"
+	case KindWATAStar:
+		return "WATA*"
+	case KindRATAStar:
+		return "RATA*"
+	}
+	return "unknown"
+}
+
+// ParseKind resolves a scheme name (as printed by Kind.String).
+func ParseKind(name string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// MinN returns the smallest legal constituent count for the scheme.
+func (k Kind) MinN() int {
+	if k == KindWATAStar || k == KindRATAStar {
+		return 2
+	}
+	return 1
+}
+
+// HardWindow reports whether the scheme maintains a hard window.
+func (k Kind) HardWindow() bool { return k != KindWATAStar }
+
+// NewScheme constructs the scheme of the given kind.
+func NewScheme(k Kind, cfg Config, bk Backend) (Scheme, error) {
+	switch k {
+	case KindDEL:
+		return NewDEL(cfg, bk)
+	case KindREINDEX:
+		return NewREINDEX(cfg, bk)
+	case KindREINDEXPlus:
+		return NewREINDEXPlus(cfg, bk)
+	case KindREINDEXPlusPlus:
+		return NewREINDEXPlusPlus(cfg, bk)
+	case KindWATAStar:
+		return NewWATAStar(cfg, bk)
+	case KindRATAStar:
+		return NewRATAStar(cfg, bk)
+	}
+	return nil, fmt.Errorf("core: unknown scheme kind %d", k)
+}

@@ -1,0 +1,60 @@
+package core
+
+// REINDEX maintains a hard window by rebuilding (§3.2, Fig. 13): each day
+// the constituent holding the expired day is rebuilt from scratch over
+// its surviving days plus the new day. The result is always packed and no
+// deletion code is needed, at the cost of reindexing about W/n days per
+// day.
+type REINDEX struct {
+	*base
+}
+
+// NewREINDEX returns a REINDEX scheme.
+func NewREINDEX(cfg Config, bk Backend) (*REINDEX, error) {
+	b, err := newBase(cfg, bk, false)
+	if err != nil {
+		return nil, err
+	}
+	return &REINDEX{base: b}, nil
+}
+
+// Name implements Scheme.
+func (s *REINDEX) Name() string { return "REINDEX" }
+
+// HardWindow implements Scheme.
+func (s *REINDEX) HardWindow() bool { return true }
+
+// TempSizeBytes implements Scheme.
+func (s *REINDEX) TempSizeBytes() int64 { return 0 }
+
+// Start implements Scheme.
+func (s *REINDEX) Start() error { return s.startUniform() }
+
+// Transition implements Scheme.
+func (s *REINDEX) Transition(newDay int) error {
+	if err := s.checkTransition(newDay); err != nil {
+		return err
+	}
+	s.cfg.Observer.BeginTransition(newDay)
+	expired := newDay - s.cfg.W
+	j := s.ownerOf(expired)
+	days := []int{}
+	for _, d := range s.wave.Get(j).Days() {
+		if d != expired {
+			days = append(days, d)
+		}
+	}
+	days = append(days, newDay)
+	rebuilt, err := s.bk.Build(days...)
+	if err != nil {
+		return err
+	}
+	if err := s.publishSwap(j, rebuilt, newDay); err != nil {
+		return err
+	}
+	s.lastDay = newDay
+	return nil
+}
+
+// Close implements Scheme.
+func (s *REINDEX) Close() error { return s.closeAll() }

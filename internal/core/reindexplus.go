@@ -1,0 +1,123 @@
+package core
+
+// REINDEXPlus is REINDEX+ (§4.1, Fig. 14): a temporary index Temp
+// accumulates the cluster being rebuilt, so each day only the surviving
+// old days — on average half of W/n instead of all of it — are
+// re-indexed. Temp's copy is promoted to the constituent each day.
+type REINDEXPlus struct {
+	*base
+	temp      Constituent // nil when Temp = phi
+	daysToAdd []int       // old days still to re-add each day
+}
+
+// NewREINDEXPlus returns a REINDEX+ scheme.
+func NewREINDEXPlus(cfg Config, bk Backend) (*REINDEXPlus, error) {
+	b, err := newBase(cfg, bk, false)
+	if err != nil {
+		return nil, err
+	}
+	return &REINDEXPlus{base: b}, nil
+}
+
+// Name implements Scheme.
+func (s *REINDEXPlus) Name() string { return "REINDEX+" }
+
+// HardWindow implements Scheme.
+func (s *REINDEXPlus) HardWindow() bool { return true }
+
+// TempSizeBytes implements Scheme.
+func (s *REINDEXPlus) TempSizeBytes() int64 { return sumSizes(s.temp) }
+
+// Start implements Scheme.
+func (s *REINDEXPlus) Start() error { return s.startUniform() }
+
+// Transition implements Scheme.
+func (s *REINDEXPlus) Transition(newDay int) error {
+	if err := s.checkTransition(newDay); err != nil {
+		return err
+	}
+	s.cfg.Observer.BeginTransition(newDay)
+	expired := newDay - s.cfg.W
+	j := s.ownerOf(expired)
+
+	switch {
+	case s.temp == nil:
+		// First day of a cluster's rebuild cycle (Fig. 14 case 2): start
+		// Temp with the new day; the constituent becomes Temp's copy plus
+		// all surviving old days. For a 1-day cluster there are no
+		// surviving days, so this first day is also the cycle's last:
+		// the fresh build is promoted directly and Temp stays empty
+		// (Fig. 14 assumes multi-day clusters; this closes the gap).
+		s.daysToAdd = nil
+		for _, d := range s.wave.Get(j).Days() {
+			if d != expired {
+				s.daysToAdd = append(s.daysToAdd, d)
+			}
+		}
+		temp, err := s.bk.Build(newDay)
+		if err != nil {
+			return err
+		}
+		if len(s.daysToAdd) == 0 {
+			if err := s.publishSwap(j, temp, newDay); err != nil {
+				return err
+			}
+			s.lastDay = newDay
+			return nil
+		}
+		s.temp = temp
+		next, err := s.deriveFrom(s.temp, s.daysToAdd)
+		if err != nil {
+			return err
+		}
+		if err := s.publishSwap(j, next, newDay); err != nil {
+			return err
+		}
+
+	case len(s.daysToAdd) == 0:
+		// Last day of the cycle (case 3): Temp holds the whole new
+		// cluster but the new day; promote it directly.
+		promoted, err := s.updateTemp(s.temp, []int{newDay})
+		if err != nil {
+			return err
+		}
+		s.temp = nil
+		if err := s.publishSwap(j, promoted, newDay); err != nil {
+			return err
+		}
+
+	default:
+		// Middle of the cycle (case 4): extend Temp with the new day and
+		// promote a copy of it plus the remaining old days.
+		temp, err := s.updateTemp(s.temp, []int{newDay})
+		if err != nil {
+			return err
+		}
+		s.temp = temp
+		next, err := s.deriveFrom(s.temp, s.daysToAdd)
+		if err != nil {
+			return err
+		}
+		if err := s.publishSwap(j, next, newDay); err != nil {
+			return err
+		}
+	}
+
+	// Fig. 14 step 6: the oldest remaining old day expires tomorrow.
+	s.daysToAdd = removeDay(s.daysToAdd, newDay-s.cfg.W+1)
+	s.lastDay = newDay
+	return nil
+}
+
+// Close implements Scheme.
+func (s *REINDEXPlus) Close() error { return s.closeAll(s.temp) }
+
+func removeDay(days []int, day int) []int {
+	out := days[:0]
+	for _, d := range days {
+		if d != day {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package core
+
+// REINDEXPlusPlus is REINDEX++ (§4.2, Fig. 15): a ladder of temporary
+// indexes T_0..T_m is pre-built so that when a new day arrives, the
+// transition is a single AddToIndex plus a rename — the new data is
+// queryable after indexing just one day. The ladder work happens after
+// the rename (pre-computation for future days), so total work matches
+// REINDEX+ while transition time drops to one add.
+type REINDEXPlusPlus struct {
+	*base
+	temps     []Constituent // ladder; temps[0] accumulates the next cluster
+	tempUsed  int           // highest ladder rung still unconsumed
+	daysToAdd []int         // new days owed to lower rungs
+}
+
+// NewREINDEXPlusPlus returns a REINDEX++ scheme.
+func NewREINDEXPlusPlus(cfg Config, bk Backend) (*REINDEXPlusPlus, error) {
+	b, err := newBase(cfg, bk, false)
+	if err != nil {
+		return nil, err
+	}
+	return &REINDEXPlusPlus{base: b}, nil
+}
+
+// Name implements Scheme.
+func (s *REINDEXPlusPlus) Name() string { return "REINDEX++" }
+
+// HardWindow implements Scheme.
+func (s *REINDEXPlusPlus) HardWindow() bool { return true }
+
+// TempSizeBytes implements Scheme.
+func (s *REINDEXPlusPlus) TempSizeBytes() int64 { return sumSizes(s.temps...) }
+
+// initLadder builds the temporary ladder for the next dying cluster:
+// given the cluster's days minus its oldest (ascending), rung i holds the
+// i newest of them, so rung tempUsed can replace the constituent
+// tomorrow, rung tempUsed-1 the day after, and so on down to rung 0,
+// which accumulates only new days.
+func (s *REINDEXPlusPlus) initLadder(days []int) error {
+	empty, err := s.bk.Empty()
+	if err != nil {
+		return err
+	}
+	s.temps = []Constituent{empty}
+	if len(days) > 0 {
+		first, err := s.bk.Build(days[len(days)-1])
+		if err != nil {
+			return err
+		}
+		s.temps = append(s.temps, first)
+		for m := 2; m <= len(days); m++ {
+			next, err := s.deriveFrom(s.temps[m-1], []int{days[len(days)-m]})
+			if err != nil {
+				return err
+			}
+			s.temps = append(s.temps, next)
+		}
+	}
+	s.tempUsed = len(days)
+	s.daysToAdd = nil
+	return nil
+}
+
+// dropLadder releases any unconsumed rungs.
+func (s *REINDEXPlusPlus) dropLadder() error {
+	var first error
+	for _, t := range s.temps {
+		if t != nil {
+			if err := t.Drop(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	s.temps = nil
+	return first
+}
+
+// Start implements Scheme.
+func (s *REINDEXPlusPlus) Start() error {
+	if err := s.startUniform(); err != nil {
+		return err
+	}
+	first := s.wave.Get(0).Days()
+	return s.initLadder(first[1:])
+}
+
+// Transition implements Scheme.
+func (s *REINDEXPlusPlus) Transition(newDay int) error {
+	if err := s.checkTransition(newDay); err != nil {
+		return err
+	}
+	s.cfg.Observer.BeginTransition(newDay)
+	expired := newDay - s.cfg.W
+	j := s.ownerOf(expired)
+
+	if s.tempUsed == 0 {
+		// Cycle boundary (Fig. 15 case 2): rung 0 holds the whole new
+		// cluster but today; finish it, promote it, and rebuild the
+		// ladder for the next dying cluster.
+		t0 := s.temps[0]
+		s.temps[0] = nil
+		t0, err := s.updateTemp(t0, []int{newDay})
+		if err != nil {
+			return err
+		}
+		if err := s.publishSwap(j, t0, newDay); err != nil {
+			return err
+		}
+		if err := s.dropLadder(); err != nil {
+			return err
+		}
+		j2 := s.ownerOf(newDay - s.cfg.W + 1)
+		dying := s.wave.Get(j2).Days()
+		if err := s.initLadder(dying[1:]); err != nil {
+			return err
+		}
+	} else {
+		// Mid-cycle (case 3): consume the top rung — one add, one rename,
+		// and the new day is queryable — then owe today's data to the
+		// next rung.
+		s.daysToAdd = append(s.daysToAdd, newDay)
+		t := s.temps[s.tempUsed]
+		s.temps[s.tempUsed] = nil
+		t, err := s.updateTemp(t, []int{newDay})
+		if err != nil {
+			return err
+		}
+		if err := s.publishSwap(j, t, newDay); err != nil {
+			return err
+		}
+		s.tempUsed--
+		lower, err := s.updateTemp(s.temps[s.tempUsed], s.daysToAdd)
+		if err != nil {
+			return err
+		}
+		s.temps[s.tempUsed] = lower
+	}
+	s.lastDay = newDay
+	return nil
+}
+
+// Close implements Scheme.
+func (s *REINDEXPlusPlus) Close() error {
+	err := s.closeAll(s.temps...)
+	s.temps = nil
+	return err
+}

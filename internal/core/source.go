@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"waveindex/internal/index"
+)
+
+// ErrNoData is returned when a day's batch is requested but unavailable.
+var ErrNoData = errors.New("core: no data retained for day")
+
+// DataSource supplies the postings of a given day. Schemes re-read old
+// days when rebuilding clusters (REINDEX) or preparing temporary indexes
+// (REINDEX+/++, RATA), so the source must retain at least the current
+// window of raw data.
+type DataSource interface {
+	Day(day int) (*index.Batch, error)
+}
+
+// MemorySource is a DataSource backed by an in-memory map with optional
+// retention trimming. It is safe for concurrent use.
+type MemorySource struct {
+	mu     sync.RWMutex
+	byDay  map[int]*index.Batch
+	retain int // keep the newest `retain` days; 0 = keep everything
+	newest int
+}
+
+// NewMemorySource returns a source retaining the newest retain days
+// (0 keeps all days).
+func NewMemorySource(retain int) *MemorySource {
+	return &MemorySource{byDay: make(map[int]*index.Batch), retain: retain}
+}
+
+// Put stores a day's batch and trims days older than the retention
+// horizon.
+func (m *MemorySource) Put(b *index.Batch) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byDay[b.Day] = b
+	if b.Day > m.newest {
+		m.newest = b.Day
+	}
+	if m.retain > 0 {
+		for d := range m.byDay {
+			if d <= m.newest-m.retain {
+				delete(m.byDay, d)
+			}
+		}
+	}
+}
+
+// Day implements DataSource.
+func (m *MemorySource) Day(day int) (*index.Batch, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.byDay[day]
+	if !ok {
+		return nil, fmt.Errorf("%w: day %d", ErrNoData, day)
+	}
+	return b, nil
+}
+
+// Len returns the number of retained days.
+func (m *MemorySource) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.byDay)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// traceScheme starts the scheme and advances it day by day, returning a
+// rendering of the constituent time-sets after each day, keyed by day.
+func traceScheme(t *testing.T, s Scheme, throughDay int) map[int]string {
+	t.Helper()
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	out := map[int]string{s.LastDay(): renderWave(s.Wave())}
+	for d := s.LastDay() + 1; d <= throughDay; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatalf("Transition(%d): %v", d, err)
+		}
+		out[d] = renderWave(s.Wave())
+	}
+	return out
+}
+
+func renderWave(w *Wave) string {
+	s := ""
+	for i, c := range w.Snapshot() {
+		if i > 0 {
+			s += " "
+		}
+		if c == nil {
+			s += "[]"
+		} else {
+			s += fmt.Sprint(c.Days())
+		}
+	}
+	return s
+}
+
+func phantom() Backend { return NewPhantomBackend(nil, nil) }
+
+// TestTable1DEL replays Table 1: DEL with W=10, n=2.
+func TestTable1DEL(t *testing.T) {
+	s, err := NewDEL(Config{W: 10, N: 2}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := traceScheme(t, s, 13)
+	want := map[int]string{
+		10: "[1 2 3 4 5] [6 7 8 9 10]",
+		11: "[2 3 4 5 11] [6 7 8 9 10]",
+		12: "[3 4 5 11 12] [6 7 8 9 10]",
+		13: "[4 5 11 12 13] [6 7 8 9 10]",
+	}
+	for d, w := range want {
+		if got[d] != w {
+			t.Errorf("day %d: wave = %s, want %s", d, got[d], w)
+		}
+	}
+}
+
+// TestTable2REINDEX replays Table 2: REINDEX with W=10, n=2 (same
+// time-sets as DEL; the difference is the rebuild).
+func TestTable2REINDEX(t *testing.T) {
+	s, err := NewREINDEX(Config{W: 10, N: 2}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := traceScheme(t, s, 16)
+	want := map[int]string{
+		10: "[1 2 3 4 5] [6 7 8 9 10]",
+		11: "[2 3 4 5 11] [6 7 8 9 10]",
+		15: "[11 12 13 14 15] [6 7 8 9 10]",
+		16: "[11 12 13 14 15] [7 8 9 10 16]",
+	}
+	for d, w := range want {
+		if got[d] != w {
+			t.Errorf("day %d: wave = %s, want %s", d, got[d], w)
+		}
+	}
+}
+
+// TestTable3WATAStar replays Table 3: WATA* with W=10, n=4.
+func TestTable3WATAStar(t *testing.T) {
+	s, err := NewWATAStar(Config{W: 10, N: 4}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := traceScheme(t, s, 16)
+	want := map[int]string{
+		10: "[1 2 3] [4 5 6] [7 8 9] [10]",
+		11: "[1 2 3] [4 5 6] [7 8 9] [10 11]",
+		12: "[1 2 3] [4 5 6] [7 8 9] [10 11 12]",
+		13: "[13] [4 5 6] [7 8 9] [10 11 12]",
+		14: "[13 14] [4 5 6] [7 8 9] [10 11 12]",
+		15: "[13 14 15] [4 5 6] [7 8 9] [10 11 12]",
+		16: "[13 14 15] [16] [7 8 9] [10 11 12]",
+	}
+	for d, w := range want {
+		if got[d] != w {
+			t.Errorf("day %d: wave = %s, want %s", d, got[d], w)
+		}
+	}
+}
+
+// TestTable5REINDEXPlus replays Table 5: REINDEX+ with W=10, n=2,
+// including the Temp index contents.
+func TestTable5REINDEXPlus(t *testing.T) {
+	s, err := NewREINDEXPlus(Config{W: 10, N: 2}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	type row struct{ wave, temp string }
+	want := map[int]row{
+		11: {"[2 3 4 5 11] [6 7 8 9 10]", "[11]"},
+		12: {"[3 4 5 11 12] [6 7 8 9 10]", "[11 12]"},
+		13: {"[4 5 11 12 13] [6 7 8 9 10]", "[11 12 13]"},
+		14: {"[5 11 12 13 14] [6 7 8 9 10]", "[11 12 13 14]"},
+		15: {"[11 12 13 14 15] [6 7 8 9 10]", "nil"},
+		16: {"[11 12 13 14 15] [7 8 9 10 16]", "[16]"},
+	}
+	for d := 11; d <= 16; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatalf("Transition(%d): %v", d, err)
+		}
+		temp := "nil"
+		if s.temp != nil {
+			temp = fmt.Sprint(s.temp.Days())
+		}
+		if w, ok := want[d]; ok {
+			if got := renderWave(s.Wave()); got != w.wave {
+				t.Errorf("day %d: wave = %s, want %s", d, got, w.wave)
+			}
+			if temp != w.temp {
+				t.Errorf("day %d: temp = %s, want %s", d, temp, w.temp)
+			}
+		}
+	}
+}
+
+// TestTable6REINDEXPlusPlus replays Table 6: REINDEX++ with W=10, n=2,
+// checking the ladder rung that will be consumed next.
+func TestTable6REINDEXPlusPlus(t *testing.T) {
+	s, err := NewREINDEXPlusPlus(Config{W: 10, N: 2}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Day 10 ladder: T1={5}, T2={4,5}, T3={3,4,5}, T4={2,3,4,5}.
+	wantLadder := []string{"[]", "[5]", "[4 5]", "[3 4 5]", "[2 3 4 5]"}
+	for i, w := range wantLadder {
+		if got := fmt.Sprint(s.temps[i].Days()); got != w {
+			t.Errorf("day 10: T%d = %s, want %s", i, got, w)
+		}
+	}
+	if s.tempUsed != 4 {
+		t.Errorf("day 10: tempUsed = %d, want 4", s.tempUsed)
+	}
+	type row struct {
+		wave     string
+		tempUsed int
+		nextRung string // contents of temps[tempUsed] after the transition
+	}
+	want := map[int]row{
+		11: {"[2 3 4 5 11] [6 7 8 9 10]", 3, "[3 4 5 11]"},
+		12: {"[3 4 5 11 12] [6 7 8 9 10]", 2, "[4 5 11 12]"},
+		13: {"[4 5 11 12 13] [6 7 8 9 10]", 1, "[5 11 12 13]"},
+		14: {"[5 11 12 13 14] [6 7 8 9 10]", 0, "[11 12 13 14]"},
+		15: {"[11 12 13 14 15] [6 7 8 9 10]", 4, "[7 8 9 10]"},
+		16: {"[11 12 13 14 15] [7 8 9 10 16]", 3, "[8 9 10 16]"},
+	}
+	for d := 11; d <= 16; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatalf("Transition(%d): %v", d, err)
+		}
+		w := want[d]
+		if got := renderWave(s.Wave()); got != w.wave {
+			t.Errorf("day %d: wave = %s, want %s", d, got, w.wave)
+		}
+		if s.tempUsed != w.tempUsed {
+			t.Errorf("day %d: tempUsed = %d, want %d", d, s.tempUsed, w.tempUsed)
+		}
+		if got := fmt.Sprint(s.temps[s.tempUsed].Days()); got != w.nextRung {
+			t.Errorf("day %d: T%d = %s, want %s", d, s.tempUsed, got, w.nextRung)
+		}
+	}
+	// Day 15 rebuilt the full ladder (Table 6's re-Initialize).
+}
+
+// TestTable7RATAStar replays Table 7: RATA* with W=10, n=4. RATA keeps a
+// hard window on every day while performing WATA-style bulk deletes.
+func TestTable7RATAStar(t *testing.T) {
+	s, err := NewRATAStar(Config{W: 10, N: 4}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := traceScheme(t, s, 16)
+	want := map[int]string{
+		10: "[1 2 3] [4 5 6] [7 8 9] [10]",
+		11: "[2 3] [4 5 6] [7 8 9] [10 11]",
+		12: "[3] [4 5 6] [7 8 9] [10 11 12]",
+		13: "[13] [4 5 6] [7 8 9] [10 11 12]",
+		14: "[13 14] [5 6] [7 8 9] [10 11 12]",
+		15: "[13 14 15] [6] [7 8 9] [10 11 12]",
+		16: "[13 14 15] [16] [7 8 9] [10 11 12]",
+	}
+	for d, w := range want {
+		if got[d] != w {
+			t.Errorf("day %d: wave = %s, want %s", d, got[d], w)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import "fmt"
+
+// Vacuum is the related-work baseline of §7: a single conventional index
+// with logical deletion. Expired entries are not removed when they
+// expire — timed queries filter them out by timestamp — and a periodic
+// "vacuuming" pass (every Every days) rewrites the index packed, dropping
+// everything outside the window. Temporal index structures (AP-Trees,
+// Time Index, Segment R-Trees, ...) handle expiry this way; the paper's
+// wave indexes replace the asynchronous vacuumer with batched bulk
+// deletes. Vacuum maintains a soft window whose slack grows to Every-1
+// days between passes.
+type Vacuum struct {
+	*base
+	// Every is the vacuuming period in days (>= 1; 1 degenerates to
+	// packed-shadow DEL with n = 1).
+	Every    int
+	sinceVac int
+}
+
+// NewVacuum returns a vacuum-baseline scheme. The configured N must be 1.
+func NewVacuum(cfg Config, bk Backend, every int) (*Vacuum, error) {
+	if cfg.N == 0 {
+		cfg.N = 1
+	}
+	if cfg.N != 1 {
+		return nil, fmt.Errorf("%w: vacuum baseline uses a single index, got n = %d", ErrBadConfig, cfg.N)
+	}
+	if every < 1 {
+		return nil, fmt.Errorf("%w: vacuum period %d, must be >= 1", ErrBadConfig, every)
+	}
+	b, err := newBase(cfg, bk, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Vacuum{base: b, Every: every}, nil
+}
+
+// Name implements Scheme.
+func (s *Vacuum) Name() string { return "VACUUM" }
+
+// HardWindow implements Scheme: between vacuum passes, expired entries
+// remain physically present (they are filtered by timestamp, like WATA*'s
+// soft-window days).
+func (s *Vacuum) HardWindow() bool { return s.Every == 1 }
+
+// TempSizeBytes implements Scheme.
+func (s *Vacuum) TempSizeBytes() int64 { return 0 }
+
+// Start implements Scheme.
+func (s *Vacuum) Start() error {
+	if err := s.checkStart(); err != nil {
+		return err
+	}
+	s.cfg.Observer.BeginTransition(0)
+	c, err := s.bk.Build(splitDays(s.cfg.StartDay, s.cfg.W, 1)[0]...)
+	if err != nil {
+		return err
+	}
+	s.wave.Set(0, c)
+	s.started = true
+	s.lastDay = s.cfg.StartDay + s.cfg.W - 1
+	return nil
+}
+
+// Transition implements Scheme.
+func (s *Vacuum) Transition(newDay int) error {
+	if err := s.checkTransition(newDay); err != nil {
+		return err
+	}
+	s.cfg.Observer.BeginTransition(newDay)
+	s.sinceVac++
+	if s.sinceVac >= s.Every {
+		// Vacuum pass: packed merge dropping every expired day at once.
+		cur := s.wave.Get(0)
+		var expired []int
+		for _, d := range cur.Days() {
+			if d <= newDay-s.cfg.W {
+				expired = append(expired, d)
+			}
+		}
+		next, err := cur.PackedMerge(expired, []int{newDay})
+		if err != nil {
+			return err
+		}
+		if err := s.publishSwap(0, next, newDay); err != nil {
+			return err
+		}
+		s.sinceVac = 0
+	} else {
+		// Logical deletion only: just append the new day.
+		if err := s.transitionUpdate(0, nil, []int{newDay}, newDay); err != nil {
+			return err
+		}
+	}
+	s.lastDay = newDay
+	return nil
+}
+
+// Close implements Scheme.
+func (s *Vacuum) Close() error { return s.closeAll() }

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestWATAGreedyTable4 replays Table 4's transitions (W=10, n=4).
+func TestWATAGreedyTable4(t *testing.T) {
+	s, err := NewWATAGreedy(Config{W: 10, N: 4}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := traceScheme(t, s, 14)
+	want := map[int]string{
+		10: "[1 2 3 4] [5 6 7] [8 9 10] []",
+		11: "[1 2 3 4] [5 6 7] [8 9 10] [11]",
+		12: "[1 2 3 4] [5 6 7] [8 9 10] [11 12]",
+		13: "[1 2 3 4] [5 6 7] [8 9 10] [11 12 13]",
+		14: "[14] [5 6 7] [8 9 10] [11 12 13]",
+	}
+	for d, w := range want {
+		if got[d] != w {
+			t.Errorf("day %d: wave = %s, want %s", d, got[d], w)
+		}
+	}
+}
+
+// TestWATAGreedyLengthWorseThanWATAStar demonstrates Theorem 1: the
+// greedy split's max length exceeds WATA*'s optimum for the Table 3/4
+// geometry (13 vs 12 for W=10, n=4).
+func TestWATAGreedyLengthWorseThanWATAStar(t *testing.T) {
+	maxLen := func(s Scheme) int {
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		m := s.Wave().Length()
+		for d := 11; d <= 70; d++ {
+			if err := s.Transition(d); err != nil {
+				t.Fatal(err)
+			}
+			if l := s.Wave().Length(); l > m {
+				m = l
+			}
+		}
+		s.Close()
+		return m
+	}
+	g, err := NewWATAGreedy(Config{W: 10, N: 4}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWATAStar(Config{W: 10, N: 4}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, wl := maxLen(g), maxLen(w)
+	if wl != 12 {
+		t.Errorf("WATA* max length = %d, want 12", wl)
+	}
+	if gl != 13 {
+		t.Errorf("WATA-greedy max length = %d, want 13", gl)
+	}
+	if got := MaxLengthWATAGreedy(10, 4); got != 13 {
+		t.Errorf("MaxLengthWATAGreedy(10,4) = %d, want 13", got)
+	}
+}
+
+// TestWATAGreedyWindowCoverage checks the greedy variant still covers the
+// window after every transition.
+func TestWATAGreedyWindowCoverage(t *testing.T) {
+	for _, g := range []struct{ w, n int }{{10, 4}, {7, 2}, {7, 3}, {12, 5}} {
+		s, err := NewWATAGreedy(Config{W: g.w, N: g.n}, phantom())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for d := g.w + 1; d <= 5*g.w; d++ {
+			if err := s.Transition(d); err != nil {
+				t.Fatal(err)
+			}
+			checkCoverage(t, s, false)
+		}
+		s.Close()
+	}
+}
+
+// TestWATASizeAwareZeroThresholdMatchesWATAStar: with Threshold 0 the
+// size-aware variant must make exactly WATA*'s decisions.
+func TestWATASizeAwareZeroThresholdMatchesWATAStar(t *testing.T) {
+	a, err := NewWATASizeAware(Config{W: 9, N: 3}, phantom(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWATAStar(Config{W: 9, N: 3}, phantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 10; d <= 50; d++ {
+		if err := a.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+		if ga, gb := renderWave(a.Wave()), renderWave(b.Wave()); ga != gb {
+			t.Fatalf("day %d: size-aware %s != WATA* %s", d, ga, gb)
+		}
+	}
+}
+
+// TestWATASizeAwareDelaysThrowaway: with a huge threshold the growing
+// index keeps growing past WATA*'s throwaway point, and the wave still
+// covers the window.
+func TestWATASizeAwareDelaysThrowaway(t *testing.T) {
+	bk := NewPhantomBackend(UniformSizes{S: 10, SPrime: 10}, nil)
+	s, err := NewWATASizeAware(Config{W: 6, N: 3, Technique: InPlace}, bk, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	maxRun := 0
+	for d := 7; d <= 40; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+		checkCoverage(t, s, false)
+		for _, c := range s.Wave().Snapshot() {
+			if c.NumDays() > maxRun {
+				maxRun = c.NumDays()
+			}
+		}
+	}
+	// Threshold 75 bytes = 7.5 days: runs must reach 8 days, beyond
+	// WATA*'s ceil((W-1)/(n-1)) = 3-day clusters.
+	if maxRun < 8 {
+		t.Errorf("max run = %d days; threshold should force runs past 8", maxRun)
+	}
+}
+
+// TestOptimalWATASize2Basics pins the DP on hand-checkable instances.
+func TestOptimalWATASize2Basics(t *testing.T) {
+	// Uniform sizes, W=3, 9 days: runs of 2 give peak 4 once steady
+	// (e.g. runs [1,2][3,4][5,6]... peak = 2+2).
+	uniform := make([]int64, 9)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	if got := OptimalWATASize2(uniform, 3); got != 4 {
+		t.Errorf("uniform W=3: optimal = %d, want 4", got)
+	}
+	// A single huge day: the peak must include it plus its window
+	// partners.
+	spiky := []int64{1, 1, 1, 100, 1, 1, 1, 1, 1}
+	got := OptimalWATASize2(spiky, 3)
+	if got < 102 { // the 100-day plus at least W-1 neighbours
+		t.Errorf("spiky optimal = %d, want >= 102", got)
+	}
+	if got > 104 {
+		t.Errorf("spiky optimal = %d, suspiciously high", got)
+	}
+	if OptimalWATASize2(nil, 3) != 0 {
+		t.Error("empty input should cost 0")
+	}
+}
+
+// TestTheorem3CompetitiveRatio verifies WATA* stays within 2x of the
+// offline optimal size (n=2) on random volume traces — Theorem 3.
+func TestTheorem3CompetitiveRatio(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		w := 3 + int(wRaw%6) // W in [3, 8]
+		rng := rand.New(rand.NewSource(seed))
+		const days = 40
+		sizes := make([]int64, days)
+		for i := range sizes {
+			sizes[i] = int64(1 + rng.Intn(100))
+		}
+		sm := SizeFunc{Packed: func(d int) int64 {
+			if d < 1 || d > days {
+				return 0
+			}
+			return sizes[d-1]
+		}, Overhead: 1}
+		bk := NewPhantomBackend(sm, nil)
+		s, err := NewWATAStar(Config{W: w, N: 2, Technique: InPlace}, bk)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer s.Close()
+		if err := s.Start(); err != nil {
+			t.Log(err)
+			return false
+		}
+		lazyMax := s.Wave().SizeBytes()
+		for d := w + 1; d <= days; d++ {
+			if err := s.Transition(d); err != nil {
+				t.Log(err)
+				return false
+			}
+			if sz := s.Wave().SizeBytes(); sz > lazyMax {
+				lazyMax = sz
+			}
+		}
+		opt := OptimalWATASize2(sizes, w)
+		if lazyMax > 2*opt {
+			t.Logf("W=%d: WATA* max %d > 2 x optimal %d", w, lazyMax, opt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVacuumBaseline checks the §7 vacuum baseline: window coverage via
+// timestamps, soft window slack bounded by the vacuum period, and packed
+// rewrites on schedule.
+func TestVacuumBaseline(t *testing.T) {
+	bk := NewPhantomBackend(UniformSizes{S: 10, SPrime: 14}, nil)
+	s, err := NewVacuum(Config{W: 7, N: 1}, bk, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if s.HardWindow() {
+		t.Error("vacuum every 5 days should report a soft window")
+	}
+	maxSlack := 0
+	for d := 8; d <= 50; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+		// Window days always present.
+		c := s.Wave().Get(0)
+		for day := s.WindowStart(); day <= d; day++ {
+			if !c.HasDay(day) {
+				t.Fatalf("day %d: window day %d missing", d, day)
+			}
+		}
+		if slack := c.NumDays() - 7; slack > maxSlack {
+			maxSlack = slack
+		}
+	}
+	if maxSlack == 0 {
+		t.Error("vacuum baseline never accumulated logical garbage")
+	}
+	if maxSlack > 4 {
+		t.Errorf("slack reached %d days, must stay below the vacuum period 5", maxSlack)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if bk.Meter().Live() != 0 {
+		t.Errorf("leaked %d bytes", bk.Meter().Live())
+	}
+}
+
+// TestVacuumEveryOneIsHard: period 1 vacuums daily = hard window.
+func TestVacuumEveryOneIsHard(t *testing.T) {
+	s, err := NewVacuum(Config{W: 5, N: 1}, phantom(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.HardWindow() {
+		t.Error("vacuum every day should be a hard window")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 6; d <= 20; d++ {
+		if err := s.Transition(d); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Wave().Length(); got != 5 {
+			t.Fatalf("day %d: length %d, want 5", d, got)
+		}
+	}
+}
+
+// TestVacuumValidation covers the constructor errors.
+func TestVacuumValidation(t *testing.T) {
+	if _, err := NewVacuum(Config{W: 5, N: 2}, phantom(), 3); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := NewVacuum(Config{W: 5, N: 1}, phantom(), 0); err == nil {
+		t.Error("period 0 accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+// WATAStar is WATA* (§3.3, Fig. 16), the "wait and throw away" scheme:
+// new days are appended to the most recently started constituent, and an
+// index is thrown away in bulk only once every day in it has expired. No
+// deletion code is needed and daily work is minimal, but the window is
+// soft: up to ceil((W-1)/(n-1)) - 1 expired days remain queryable.
+// Theorems 1-2 show WATA* is optimal on the max-length measure, and
+// Theorem 3 shows it is 2-competitive on index size.
+type WATAStar struct {
+	*base
+	zs   []int // Z: days indexed per constituent (incl. expired)
+	last int   // most recently (re)started constituent
+}
+
+// NewWATAStar returns a WATA* scheme. WATA requires n >= 2 (§3.3).
+func NewWATAStar(cfg Config, bk Backend) (*WATAStar, error) {
+	b, err := newBase(cfg, bk, true)
+	if err != nil {
+		return nil, err
+	}
+	return &WATAStar{base: b}, nil
+}
+
+// Name implements Scheme.
+func (s *WATAStar) Name() string { return "WATA*" }
+
+// HardWindow implements Scheme.
+func (s *WATAStar) HardWindow() bool { return false }
+
+// TempSizeBytes implements Scheme.
+func (s *WATAStar) TempSizeBytes() int64 { return 0 }
+
+// startWATA builds the Fig. 16 initial wave: the first W-1 days are split
+// across constituents 1..n-1 (first (W-1) mod (n-1) clusters one day
+// larger) and day W alone seeds constituent n.
+func (s *WATAStar) startWATA() error {
+	if err := s.checkStart(); err != nil {
+		return err
+	}
+	s.cfg.Observer.BeginTransition(0)
+	n := s.cfg.N
+	s.zs = make([]int, n)
+	clusters := splitDays(s.cfg.StartDay, s.cfg.W-1, n-1)
+	for i, cluster := range clusters {
+		c, err := s.bk.Build(cluster...)
+		if err != nil {
+			return err
+		}
+		s.wave.Set(i, c)
+		s.zs[i] = len(cluster)
+	}
+	lastDay := s.cfg.StartDay + s.cfg.W - 1
+	c, err := s.bk.Build(lastDay)
+	if err != nil {
+		return err
+	}
+	s.wave.Set(n-1, c)
+	s.zs[n-1] = 1
+	s.last = n - 1
+	s.started = true
+	s.lastDay = lastDay
+	return nil
+}
+
+// Start implements Scheme.
+func (s *WATAStar) Start() error { return s.startWATA() }
+
+// sumOther returns the days indexed outside slot j. When it reaches W-1,
+// every day of slot j has expired and the index can be thrown away.
+func (s *WATAStar) sumOther(j int) int {
+	sum := 0
+	for i, z := range s.zs {
+		if i != j {
+			sum += z
+		}
+	}
+	return sum
+}
+
+// Transition implements Scheme.
+func (s *WATAStar) Transition(newDay int) error {
+	if err := s.checkTransition(newDay); err != nil {
+		return err
+	}
+	s.cfg.Observer.BeginTransition(newDay)
+	expired := newDay - s.cfg.W
+	j := s.ownerOf(expired)
+	if j >= 0 && s.sumOther(j) == s.cfg.W-1 {
+		// ThrowAway: slot j holds only expired days.
+		if err := s.wave.Get(j).Drop(); err != nil {
+			return err
+		}
+		fresh, err := s.bk.Build(newDay)
+		if err != nil {
+			return err
+		}
+		s.wave.Set(j, fresh)
+		s.cfg.Observer.Publish(newDay)
+		s.zs[j] = 1
+		s.last = j
+	} else {
+		// Wait: append the new day to the growing constituent.
+		if err := s.transitionUpdate(s.last, nil, []int{newDay}, newDay); err != nil {
+			return err
+		}
+		s.zs[s.last]++
+	}
+	s.lastDay = newDay
+	return nil
+}
+
+// Close implements Scheme.
+func (s *WATAStar) Close() error { return s.closeAll() }

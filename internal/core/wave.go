@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"waveindex/internal/index"
+)
+
+// Searcher is the query surface of data-bearing constituents.
+type Searcher interface {
+	Probe(key string, t1, t2 int) ([]index.Entry, error)
+	Scan(t1, t2 int, fn func(key string, e index.Entry) bool) error
+}
+
+// Wave is the queryable wave index Theta: the current set of constituent
+// indexes. Queries take a read lock; maintenance publishes new
+// constituents under the write lock, so with shadow techniques queries
+// never observe a half-updated index (§2.1).
+type Wave struct {
+	mu   sync.RWMutex
+	cons []Constituent
+}
+
+// NewWave returns a wave with n empty slots.
+func NewWave(n int) *Wave {
+	return &Wave{cons: make([]Constituent, n)}
+}
+
+// N returns the number of constituent slots.
+func (w *Wave) N() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.cons)
+}
+
+// Get returns the constituent in slot i (may be nil before Start).
+func (w *Wave) Get(i int) Constituent {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.cons[i]
+}
+
+// Set publishes c in slot i.
+func (w *Wave) Set(i int, c Constituent) {
+	w.mu.Lock()
+	w.cons[i] = c
+	w.mu.Unlock()
+}
+
+// Snapshot returns the current constituents.
+func (w *Wave) Snapshot() []Constituent {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]Constituent(nil), w.cons...)
+}
+
+// Locked runs fn under the wave's write lock; used by in-place updating,
+// which mutates a live index and therefore must exclude queries.
+func (w *Wave) Locked(fn func() error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return fn()
+}
+
+// Days returns the union of the constituents' time-sets, ascending.
+func (w *Wave) Days() []int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	seen := map[int]struct{}{}
+	for _, c := range w.cons {
+		if c == nil {
+			continue
+		}
+		for _, d := range c.Days() {
+			seen[d] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Length returns the total number of days currently indexed — the
+// paper's length measure (Appendix B). For soft-window schemes this can
+// exceed W.
+func (w *Wave) Length() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	n := 0
+	for _, c := range w.cons {
+		if c != nil {
+			n += c.NumDays()
+		}
+	}
+	return n
+}
+
+// SizeBytes returns the total storage of the constituents.
+func (w *Wave) SizeBytes() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var n int64
+	for _, c := range w.cons {
+		if c != nil {
+			n += c.SizeBytes()
+		}
+	}
+	return n
+}
+
+// intersects reports whether the constituent's time-set meets [t1, t2].
+func intersects(c Constituent, t1, t2 int) bool {
+	for _, d := range c.Days() {
+		if d >= t1 && d <= t2 {
+			return true
+		}
+	}
+	return false
+}
+
+// TimedIndexProbe retrieves the entries for search value key inserted
+// between day t1 and t2 inclusive, probing only constituents whose
+// clusters intersect the range and filtering entries by timestamp (§2.2).
+func (w *Wave) TimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var out []index.Entry
+	for _, c := range w.cons {
+		if c == nil || !intersects(c, t1, t2) {
+			continue
+		}
+		s, ok := c.(Searcher)
+		if !ok {
+			return nil, fmt.Errorf("core: constituent %T is not searchable", c)
+		}
+		es, err := s.Probe(key, t1, t2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, es...)
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// IndexProbe retrieves all entries for key across the whole wave,
+// including any soft-window days older than the required window.
+func (w *Wave) IndexProbe(key string) ([]index.Entry, error) {
+	return w.TimedIndexProbe(key, minDay, maxDay)
+}
+
+// TimedSegmentScan visits every entry inserted between day t1 and t2,
+// scanning each qualifying constituent in key order. fn returning false
+// stops the scan.
+func (w *Wave) TimedSegmentScan(t1, t2 int, fn func(key string, e index.Entry) bool) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	stop := false
+	for _, c := range w.cons {
+		if stop {
+			break
+		}
+		if c == nil || !intersects(c, t1, t2) {
+			continue
+		}
+		s, ok := c.(Searcher)
+		if !ok {
+			return fmt.Errorf("core: constituent %T is not searchable", c)
+		}
+		err := s.Scan(t1, t2, func(k string, e index.Entry) bool {
+			if !fn(k, e) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SegmentScan visits every entry in the wave (soft-window extras
+// included).
+func (w *Wave) SegmentScan(fn func(key string, e index.Entry) bool) error {
+	return w.TimedSegmentScan(minDay, maxDay, fn)
+}
+
+// ParallelTimedIndexProbe is TimedIndexProbe with the per-constituent
+// probes issued concurrently — the multi-disk parallelism the paper's §8
+// identifies as a wave-index advantage over monolithic indexes.
+func (w *Wave) ParallelTimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	type result struct {
+		es  []index.Entry
+		err error
+	}
+	var targets []Searcher
+	for _, c := range w.cons {
+		if c == nil || !intersects(c, t1, t2) {
+			continue
+		}
+		s, ok := c.(Searcher)
+		if !ok {
+			return nil, fmt.Errorf("core: constituent %T is not searchable", c)
+		}
+		targets = append(targets, s)
+	}
+	results := make([]result, len(targets))
+	var wg sync.WaitGroup
+	for i, s := range targets {
+		wg.Add(1)
+		go func(i int, s Searcher) {
+			defer wg.Done()
+			es, err := s.Probe(key, t1, t2)
+			results[i] = result{es, err}
+		}(i, s)
+	}
+	wg.Wait()
+	var out []index.Entry
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.es...)
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+const (
+	minDay = -1 << 30
+	maxDay = 1 << 30
+)
+
+// sortEntries orders probe results by (day, record) so results are
+// deterministic regardless of how days are clustered across constituents.
+func sortEntries(es []index.Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Day != es[j].Day {
+			return es[i].Day < es[j].Day
+		}
+		if es[i].RecordID != es[j].RecordID {
+			return es[i].RecordID < es[j].RecordID
+		}
+		return es[i].Aux < es[j].Aux
+	})
+}

@@ -1,0 +1,105 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"waveindex/internal/core"
+)
+
+// TestReindexedDaysMatchClosedForms ties the recorded operation stream to
+// the §4/§5 closed forms: the average number of days indexed (by Add or
+// Build) per transition must match AvgReindexedDaysPerDay for each
+// scheme at a uniform geometry.
+func TestReindexedDaysMatchClosedForms(t *testing.T) {
+	const w, n, transitions = 10, 2, 100
+	for _, k := range core.Kinds {
+		rec := core.NewRecorder()
+		bk := core.NewPhantomBackend(nil, rec)
+		s, err := core.NewScheme(k, core.Config{W: w, N: n, Observer: rec}, bk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		rec.Reset() // drop the Start log
+		for d := w + 1; d <= w+transitions; d++ {
+			if err := s.Transition(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		totalDays := 0
+		for _, log := range rec.Logs() {
+			for _, op := range log.Ops {
+				if op.Kind == core.OpAdd || op.Kind == core.OpBuild {
+					totalDays += len(op.Days)
+				}
+			}
+		}
+		got := float64(totalDays) / transitions
+		want := AvgReindexedDaysPerDay(k, w, n)
+		// REINDEX+/++ do extra temp work beyond the constituent rebuild
+		// days (ladder copies re-add days), so they may exceed the closed
+		// form; the others must match within rounding.
+		switch k {
+		case core.KindREINDEXPlus:
+			// Constituent work only: 1 + (X-1)/2 = 3 days/transition; the
+			// scheme adds exactly the surviving old days plus the new day.
+			if math.Abs(got-want) > 0.2 {
+				t.Errorf("%v: %0.2f days indexed per transition, want ~%0.2f", k, got, want)
+			}
+		case core.KindREINDEXPlusPlus:
+			// The ladder re-adds each new day to every lower rung, about
+			// doubling the closed form's constituent-only count.
+			if got < want || got > 2.5*want {
+				t.Errorf("%v: %0.2f days indexed per transition, want in [%0.2f, %0.2f]", k, got, want, 2.5*want)
+			}
+		case core.KindRATAStar:
+			// WATA work plus the ladder rebuild each cycle.
+			if got < want {
+				t.Errorf("%v: %0.2f days indexed per transition, want >= %0.2f", k, got, want)
+			}
+		default:
+			if math.Abs(got-want) > 0.2 {
+				t.Errorf("%v: %0.2f days indexed per transition, want ~%0.2f", k, got, want)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestTransitionDayCountsExact checks the per-transition critical-path
+// day counts for the flat schemes: DEL, REINDEX++, WATA* and RATA* index
+// exactly one day on the critical path of every transition.
+func TestTransitionDayCountsExact(t *testing.T) {
+	const w, n = 12, 3
+	for _, k := range []core.Kind{core.KindDEL, core.KindREINDEXPlusPlus, core.KindWATAStar, core.KindRATAStar} {
+		rec := core.NewRecorder()
+		bk := core.NewPhantomBackend(nil, rec)
+		s, err := core.NewScheme(k, core.Config{W: w, N: n, Observer: rec, Technique: core.SimpleShadow}, bk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		rec.Reset()
+		for d := w + 1; d <= 4*w; d++ {
+			if err := s.Transition(d); err != nil {
+				t.Fatal(err)
+			}
+			log := rec.Last()
+			days := 0
+			for _, op := range log.OpsInPhase(core.PhaseTransition) {
+				if op.Kind == core.OpAdd || op.Kind == core.OpBuild {
+					days += len(op.Days)
+				}
+			}
+			if days != 1 {
+				t.Fatalf("%v day %d: %d days on the critical path, want 1", k, d, days)
+			}
+		}
+		s.Close()
+	}
+}

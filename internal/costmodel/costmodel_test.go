@@ -1,0 +1,231 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"waveindex/internal/core"
+)
+
+func testParams() Params {
+	return Params{
+		Seek:         14 * time.Millisecond,
+		TransferRate: 10 << 20,
+		S:            56 << 20,
+		SPrime:       int64(784) << 20 / 10, // 78.4 MB
+		C:            100,
+		G:            2,
+		Build:        1686 * time.Second,
+		Add:          3341 * time.Second,
+		Del:          3341 * time.Second,
+		DropTime:     3 * time.Millisecond,
+	}
+}
+
+func TestDerivedCopyCosts(t *testing.T) {
+	p := testParams()
+	// CP: read + write 78.4 MB at 10 MB/s = 15.68 s.
+	if got, want := p.CP().Seconds(), 15.68; math.Abs(got-want) > 0.01 {
+		t.Errorf("CP = %.3f s, want %.3f", got, want)
+	}
+	// SMCP: read 78.4 MB, write 56 MB = 13.44 s.
+	if got, want := p.SMCP().Seconds(), 13.44; math.Abs(got-want) > 0.01 {
+		t.Errorf("SMCP = %.3f s, want %.3f", got, want)
+	}
+	p.CPOverride = time.Second
+	p.SMCPOverride = 2 * time.Second
+	if p.CP() != time.Second || p.SMCP() != 2*time.Second {
+		t.Error("overrides not honoured")
+	}
+}
+
+func TestOpCost(t *testing.T) {
+	p := testParams()
+	cases := []struct {
+		op   core.Op
+		want time.Duration
+	}{
+		{core.Op{Kind: core.OpBuild, Days: []int{1, 2, 3}}, 3 * p.Build},
+		{core.Op{Kind: core.OpAdd, Days: []int{1}}, p.Add},
+		{core.Op{Kind: core.OpDelete, Days: []int{1, 2}}, 2 * p.Del},
+		{core.Op{Kind: core.OpCopy, Days: []int{1, 2}}, 2*p.CP() + 2*p.Seek},
+		{core.Op{Kind: core.OpSmartCopy, Days: []int{1}}, p.SMCP() + 2*p.Seek},
+		{core.Op{Kind: core.OpDropIndex}, p.DropTime},
+	}
+	for _, c := range cases {
+		if got := p.OpCost(c.op); got != c.want {
+			t.Errorf("OpCost(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestPhaseCosts(t *testing.T) {
+	p := testParams()
+	l := &core.TransitionLog{
+		NewDay: 11,
+		Ops: []core.PhasedOp{
+			{Op: core.Op{Kind: core.OpCopy, Days: []int{1, 2}}, Phase: core.PhasePre},
+			{Op: core.Op{Kind: core.OpAdd, Days: []int{11}}, Phase: core.PhaseTransition},
+			{Op: core.Op{Kind: core.OpDropIndex}, Phase: core.PhasePost},
+		},
+	}
+	pre, trans := p.PhaseCosts(l)
+	if want := 2*p.CP() + 2*p.Seek + p.DropTime; pre != want {
+		t.Errorf("pre = %v, want %v", pre, want)
+	}
+	if trans != p.Add {
+		t.Errorf("transition = %v, want %v", trans, p.Add)
+	}
+}
+
+func TestQueryCosts(t *testing.T) {
+	p := testParams()
+	// Probe over 2 indexes with 3 and 4 days: 2 seeks + 700 bytes.
+	got := p.ProbeCost([]int{3, 4})
+	bytes := float64(700)
+	want := 2*p.Seek + time.Duration(bytes/float64(10<<20)*float64(time.Second))
+	if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("ProbeCost = %v, want %v", got, want)
+	}
+	// Scan of one 56 MB index: seek + 5.6 s.
+	gs := p.ScanCost([]int64{56 << 20})
+	if math.Abs(gs.Seconds()-(5.6+0.014)) > 0.001 {
+		t.Errorf("ScanCost = %v, want ~5.614 s", gs)
+	}
+	if p.ScanCost(nil) != 0 || p.ProbeCost(nil) != 0 {
+		t.Error("empty query costs should be zero")
+	}
+}
+
+func TestScanCostNoOverflow(t *testing.T) {
+	p := testParams()
+	// 100 days of 627 MB: ~62.7 GB; must not overflow into negatives.
+	got := p.ScanCost([]int64{int64(627) << 20 * 100})
+	if got <= 0 {
+		t.Fatalf("ScanCost overflowed: %v", got)
+	}
+	if math.Abs(got.Seconds()-6270.014) > 0.1 {
+		t.Errorf("ScanCost = %.1f s, want ~6270", got.Seconds())
+	}
+}
+
+func TestScaleLinear(t *testing.T) {
+	p := testParams()
+	s := p.Scale(2)
+	if s.S != 2*p.S || s.SPrime != 2*p.SPrime || s.C != 2*p.C {
+		t.Error("space params not doubled")
+	}
+	if s.Build != 2*p.Build || s.Add != 2*p.Add || s.Del != 2*p.Del {
+		t.Error("op params not doubled")
+	}
+	if s.Seek != p.Seek || s.TransferRate != p.TransferRate {
+		t.Error("hardware params must not scale")
+	}
+}
+
+func TestScaleNonlinearAdd(t *testing.T) {
+	p := testParams()
+	s := p.ScaleNonlinearAdd(4, 1.5)
+	// Build scales linearly; Add by 4^1.5 = 8.
+	if s.Build != 4*p.Build {
+		t.Errorf("Build = %v, want %v", s.Build, 4*p.Build)
+	}
+	if got, want := float64(s.Add), 8*float64(p.Add); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("Add = %v, want %v", s.Add, time.Duration(want))
+	}
+	// Exponent 1 reduces to Scale.
+	if s := p.ScaleNonlinearAdd(3, 1); s.Add != 3*p.Add {
+		t.Errorf("exponent 1: Add = %v, want %v", s.Add, 3*p.Add)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := testParams()
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := p
+	bad.TransferRate = 0
+	if bad.Validate() == nil {
+		t.Error("zero transfer rate accepted")
+	}
+	bad = p
+	bad.SPrime = p.S - 1
+	if bad.Validate() == nil {
+		t.Error("SPrime < S accepted")
+	}
+	bad = p
+	bad.Build = 0
+	if bad.Validate() == nil {
+		t.Error("zero Build accepted")
+	}
+}
+
+func TestFormulas(t *testing.T) {
+	// MaxOperationDays for the paper's running example, W=10 n=2: X=5.
+	cases := []struct {
+		k    core.Kind
+		want int
+	}{
+		{core.KindDEL, 10},
+		{core.KindREINDEX, 10},
+		{core.KindREINDEXPlus, 14},     // W + X-1
+		{core.KindREINDEXPlusPlus, 20}, // W + X(X-1)/2
+		{core.KindWATAStar, 18},        // W + Y-1, Y=9
+		{core.KindRATAStar, 46},        // W + Y(Y-1)/2
+	}
+	for _, c := range cases {
+		if got := MaxOperationDays(c.k, 10, 2); got != c.want {
+			t.Errorf("MaxOperationDays(%v, 10, 2) = %d, want %d", c.k, got, c.want)
+		}
+	}
+	if got := WataMaxLength(10, 4); got != 12 {
+		t.Errorf("WataMaxLength(10,4) = %d, want 12", got)
+	}
+	if got := AvgTempDaysREINDEXPlus(5); got != 2 {
+		t.Errorf("AvgTempDaysREINDEXPlus(5) = %v, want 2", got)
+	}
+	if got := AvgTempDaysREINDEXPlus(1); got != 0 {
+		t.Errorf("AvgTempDaysREINDEXPlus(1) = %v, want 0", got)
+	}
+	if got := AvgReindexedDaysPerDay(core.KindREINDEX, 10, 2); got != 5 {
+		t.Errorf("REINDEX reindexed days = %v, want 5", got)
+	}
+	if got := AvgReindexedDaysPerDay(core.KindREINDEXPlus, 10, 2); got != 3 {
+		t.Errorf("REINDEX+ reindexed days = %v, want 3", got)
+	}
+	if got := AvgReindexedDaysPerDay(core.KindDEL, 10, 2); got != 1 {
+		t.Errorf("DEL reindexed days = %v, want 1", got)
+	}
+}
+
+// TestMaxOperationDaysMatchesPhantom cross-checks the closed forms
+// against a measured phantom run with unit-size days.
+func TestMaxOperationDaysMatchesPhantom(t *testing.T) {
+	for _, k := range core.Kinds {
+		w, n := 10, 2
+		bk := core.NewPhantomBackend(core.UniformSizes{S: 1, SPrime: 1}, nil)
+		s, err := core.NewScheme(k, core.Config{W: w, N: n, Technique: core.InPlace}, bk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxLive int64
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		for d := w + 1; d <= 6*w; d++ {
+			if err := s.Transition(d); err != nil {
+				t.Fatal(err)
+			}
+			if l := bk.Meter().Live(); l > maxLive {
+				maxLive = l
+			}
+		}
+		s.Close()
+		want := int64(MaxOperationDays(k, w, n))
+		if maxLive != want {
+			t.Errorf("%v: measured max %d days, closed form %d", k, maxLive, want)
+		}
+	}
+}

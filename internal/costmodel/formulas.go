@@ -1,0 +1,74 @@
+package costmodel
+
+import "waveindex/internal/core"
+
+// Closed-form expectations from §5 of the paper, used to cross-check the
+// measured (phantom-replayed) numbers. X = W/n and Y = (W-1)/(n-1) as in
+// Table 8; day counts assume uniform day sizes.
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// MaxOperationDays returns the maximum number of days stored across
+// constituent and temporary indexes while the system is in operation
+// (between transitions) — the day-count factor of Table 8's "max
+// operation space" column.
+func MaxOperationDays(k core.Kind, w, n int) int {
+	x := ceilDiv(w, n)
+	y := w // placeholder for n == 1 guards below
+	if n > 1 {
+		y = ceilDiv(w-1, n-1)
+	}
+	switch k {
+	case core.KindDEL, core.KindREINDEX:
+		return w
+	case core.KindREINDEXPlus:
+		// Temp peaks at X-1 days (the cycle's last day before promotion).
+		return w + x - 1
+	case core.KindREINDEXPlusPlus:
+		// The ladder peaks right after Initialize: rungs of 1..X-1 days.
+		return w + x*(x-1)/2
+	case core.KindWATAStar:
+		// Theorem 2: soft-window length peaks at W + ceil((W-1)/(n-1)) - 1.
+		return w + y - 1
+	case core.KindRATAStar:
+		// Hard window of W plus the ladder over the dying cluster.
+		return w + y*(y-1)/2
+	}
+	return w
+}
+
+// WataMaxLength is the Theorem 1/2 optimum: the smallest achievable
+// maximum wave length for any WATA-family algorithm.
+func WataMaxLength(w, n int) int {
+	return w + ceilDiv(w-1, n-1) - 1
+}
+
+// WataSizeCompetitiveRatio is Theorem 3's bound: WATA* never uses more
+// than twice the storage of an offline-optimal WATA algorithm.
+const WataSizeCompetitiveRatio = 2.0
+
+// AvgTempDaysREINDEXPlus is the exact cycle average of Temp's day count
+// for REINDEX+ with uniform clusters of x days: sizes 1, 2, ..., x-1, 0
+// over an x-day cycle.
+func AvgTempDaysREINDEXPlus(x int) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return float64(x*(x-1)/2) / float64(x)
+}
+
+// AvgReindexedDaysPerDay returns the average days re-indexed per
+// transition: REINDEX rebuilds X days daily; REINDEX+ re-adds half that
+// on average (§4.1).
+func AvgReindexedDaysPerDay(k core.Kind, w, n int) float64 {
+	x := float64(w) / float64(n)
+	switch k {
+	case core.KindREINDEX:
+		return x
+	case core.KindREINDEXPlus, core.KindREINDEXPlusPlus:
+		return 1 + (x-1)/2
+	case core.KindDEL, core.KindWATAStar, core.KindRATAStar:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,53 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProbeCostParallel(t *testing.T) {
+	p := testParams()
+	days := []int{5, 5, 5, 5}
+	serial := p.ProbeCost(days)
+	// One disk reduces to serial.
+	if got := p.ProbeCostParallel(days, 1); got != serial {
+		t.Errorf("1 disk = %v, want serial %v", got, serial)
+	}
+	if got := p.ProbeCostParallel(days, 0); got != serial {
+		t.Errorf("0 disks = %v, want serial %v", got, serial)
+	}
+	// Four equal constituents over four disks: exactly a 4x speed-up.
+	four := p.ProbeCostParallel(days, 4)
+	if diff := serial - 4*four; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("4 disks = %v, want serial/4 = %v", four, serial/4)
+	}
+	// Two disks: each carries two constituents.
+	two := p.ProbeCostParallel(days, 2)
+	if diff := serial - 2*two; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("2 disks = %v, want serial/2 = %v", two, serial/2)
+	}
+	// More disks than constituents: the single busiest constituent bounds
+	// the time.
+	many := p.ProbeCostParallel(days, 16)
+	one := p.ProbeCost(days[:1])
+	if many != one {
+		t.Errorf("16 disks = %v, want one constituent's cost %v", many, one)
+	}
+}
+
+func TestScanCostParallelSkewed(t *testing.T) {
+	p := testParams()
+	sizes := []int64{100 << 20, 1 << 20, 1 << 20}
+	serial := p.ScanCost(sizes)
+	par := p.ScanCostParallel(sizes, 3)
+	if par >= serial {
+		t.Errorf("parallel %v not faster than serial %v", par, serial)
+	}
+	// The 100 MB constituent dominates: parallel time is its scan time.
+	if want := p.ScanCost(sizes[:1]); par != want {
+		t.Errorf("parallel = %v, want dominated-by-largest %v", par, want)
+	}
+	if got := p.ScanCostParallel(nil, 4); got != 0 {
+		t.Errorf("empty parallel scan = %v", got)
+	}
+}

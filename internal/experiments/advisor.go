@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/scenario"
+)
+
+// Constraints restrict the configurations Advise may recommend —
+// the qualitative factors of the paper's §6 ("even if a scheme
+// outperforms the others ... it may not be advisable because (1) it
+// requires complex code, or (2) it cannot be implemented with our
+// favorite index package").
+type Constraints struct {
+	// RequireHardWindow excludes soft-window schemes (WATA*): set when
+	// application semantics demand exactly the last W days.
+	RequireHardWindow bool
+	// NoDeletionCode excludes schemes needing incremental index deletion
+	// (DEL with in-place or simple shadowing): set when building on a
+	// package without deletes (WAIS, SMART) or to keep code simple.
+	NoDeletionCode bool
+	// MaxProbeLatency caps the per-probe response time, bounding n.
+	// 0 means unlimited.
+	MaxProbeLatency time.Duration
+	// Techniques restricts the §2.1 update techniques (nil = all three).
+	// Legacy storage layers often cannot do packed shadowing.
+	Techniques []core.Technique
+	// MaxN bounds the constituent count. 0 means min(W, 10).
+	MaxN int
+}
+
+// Choice is one ranked configuration.
+type Choice struct {
+	Kind       core.Kind
+	N          int
+	Technique  core.Technique
+	TotalWork  time.Duration
+	Transition time.Duration
+	Probe      time.Duration
+	SpaceAvg   int64
+	HardWindow bool
+	Notes      []string
+}
+
+// String renders a choice for reports.
+func (c Choice) String() string {
+	return fmt.Sprintf("%s n=%d %s: work/day %v, transition %v, probe %v, space %.0f MB",
+		c.Kind, c.N, c.Technique,
+		c.TotalWork.Round(time.Second), c.Transition.Round(time.Second),
+		c.Probe.Round(time.Millisecond), float64(c.SpaceAvg)/(1<<20))
+}
+
+// Advise replays every admissible (scheme, n, technique) configuration
+// of the scenario on the phantom backend and returns them ranked by total
+// daily work — the §6 selection process as a function. The constraints
+// encode the qualitative disqualifiers the paper applies before comparing
+// performance.
+func Advise(sc scenario.Scenario, cons Constraints) ([]Choice, error) {
+	maxN := cons.MaxN
+	if maxN == 0 {
+		maxN = sc.W
+		if maxN > 10 {
+			maxN = 10
+		}
+	}
+	techniques := cons.Techniques
+	if len(techniques) == 0 {
+		techniques = []core.Technique{core.InPlace, core.SimpleShadow, core.PackedShadow}
+	}
+	var out []Choice
+	for _, kind := range core.Kinds {
+		if cons.RequireHardWindow && !kind.HardWindow() {
+			continue
+		}
+		for _, tech := range techniques {
+			// DEL needs deletion code unless packed shadowing folds the
+			// deletes into the merge-copy.
+			if cons.NoDeletionCode && kind == core.KindDEL && tech != core.PackedShadow {
+				continue
+			}
+			for n := kind.MinN(); n <= maxN && n <= sc.W; n++ {
+				res, err := Run(RunConfig{Kind: kind, W: sc.W, N: n, Technique: tech, Scenario: sc})
+				if err != nil {
+					return nil, err
+				}
+				probe := res.AvgProbe()
+				if cons.MaxProbeLatency > 0 && probe > cons.MaxProbeLatency {
+					continue
+				}
+				ch := Choice{
+					Kind:       kind,
+					N:          n,
+					Technique:  tech,
+					TotalWork:  res.AvgTotalWork(),
+					Transition: res.AvgTransition(),
+					Probe:      probe,
+					SpaceAvg:   res.AvgSpacePeak(),
+					HardWindow: kind.HardWindow(),
+				}
+				ch.Notes = annotate(kind, tech)
+				out = append(out, ch)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalWork != out[j].TotalWork {
+			return out[i].TotalWork < out[j].TotalWork
+		}
+		return out[i].Probe < out[j].Probe
+	})
+	return out, nil
+}
+
+func annotate(kind core.Kind, tech core.Technique) []string {
+	var notes []string
+	switch kind {
+	case core.KindDEL:
+		if tech != core.PackedShadow {
+			notes = append(notes, "needs incremental deletion code")
+		}
+	case core.KindREINDEX:
+		notes = append(notes, "always packed; no deletion code; rebuilds W/n days daily")
+	case core.KindREINDEXPlus:
+		notes = append(notes, "halves REINDEX's rebuild work with one temp index")
+	case core.KindREINDEXPlusPlus:
+		notes = append(notes, "fastest rebuild-family transition (one add + rename)")
+	case core.KindWATAStar:
+		notes = append(notes, "soft window (up to ceil((W-1)/(n-1))-1 extra days)")
+	case core.KindRATAStar:
+		notes = append(notes, "hard window with bulk deletes only")
+	}
+	if tech == core.InPlace {
+		notes = append(notes, "in-place updates need concurrency control")
+	}
+	return notes
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/scenario"
+)
+
+// TestAdviseWSE: the paper recommends DEL with n = 1 and packed
+// shadowing for the query-dominated WSE.
+func TestAdviseWSE(t *testing.T) {
+	choices, err := Advise(scenario.WSE(), Constraints{MaxN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) == 0 {
+		t.Fatal("no choices")
+	}
+	best := choices[0]
+	if best.Kind != core.KindDEL || best.N != 1 {
+		t.Errorf("best = %v, want DEL n=1", best)
+	}
+}
+
+// TestAdviseTPCDLegacy: with packed shadowing unavailable (legacy
+// storage) and a soft window acceptable, WATA* wins for TPC-D (§6's
+// second recommendation).
+func TestAdviseTPCDLegacy(t *testing.T) {
+	choices, err := Advise(scenario.TPCD(), Constraints{
+		Techniques: []core.Technique{core.SimpleShadow},
+		MaxN:       10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := choices[0]
+	if best.Kind != core.KindWATAStar {
+		t.Errorf("best = %v, want WATA*", best)
+	}
+	if best.N < 8 {
+		t.Errorf("best n = %d, want large n (paper recommends 10)", best.N)
+	}
+	// With a hard window required, RATA* or DEL must win instead.
+	hard, err := Advise(scenario.TPCD(), Constraints{
+		Techniques:        []core.Technique{core.SimpleShadow},
+		RequireHardWindow: true,
+		MaxN:              10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range hard {
+		if !c.HardWindow {
+			t.Fatalf("soft-window choice %v leaked through RequireHardWindow", c)
+		}
+	}
+	if k := hard[0].Kind; k != core.KindRATAStar && k != core.KindDEL {
+		t.Errorf("hard-window best = %v, want RATA* or DEL", hard[0])
+	}
+}
+
+// TestAdviseNoDeletionCode: excluding deletion code removes DEL except
+// under packed shadowing.
+func TestAdviseNoDeletionCode(t *testing.T) {
+	choices, err := Advise(scenario.SCAM(), Constraints{
+		NoDeletionCode: true,
+		Techniques:     []core.Technique{core.SimpleShadow},
+		MaxN:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range choices {
+		if c.Kind == core.KindDEL {
+			t.Fatalf("DEL offered despite NoDeletionCode: %v", c)
+		}
+	}
+}
+
+// TestAdviseProbeLatencyCap: a tight probe budget forces small n.
+func TestAdviseProbeLatencyCap(t *testing.T) {
+	choices, err := Advise(scenario.SCAM(), Constraints{
+		MaxProbeLatency: 30 * time.Millisecond, // ~2 seeks
+		MaxN:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) == 0 {
+		t.Fatal("no choices under latency cap")
+	}
+	for _, c := range choices {
+		if c.N > 2 {
+			t.Fatalf("n = %d exceeds what a 30ms probe budget allows: %v", c.N, c)
+		}
+	}
+}
+
+// TestAdviseRankingMonotone: results are sorted by total work.
+func TestAdviseRankingMonotone(t *testing.T) {
+	choices, err := Advise(scenario.SCAM(), Constraints{MaxN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(choices); i++ {
+		if choices[i].TotalWork < choices[i-1].TotalWork {
+			t.Fatalf("ranking not monotone at %d: %v then %v", i, choices[i-1], choices[i])
+		}
+	}
+	// Every choice renders.
+	if choices[0].String() == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+	"waveindex/internal/workload"
+)
+
+// BatchingPoint measures ingesting the same day's postings in one batch
+// versus many mini-batches — the paper performs all updates for a day as
+// one batch because it "usually leads to better performance, mainly due
+// to memory caching" (§2.1). With a bounded block cache, one batch
+// groups each bucket's updates together while mini-batches cycle the
+// cache through the whole key set repeatedly.
+type BatchingPoint struct {
+	Batches      int
+	DiskBytes    int64 // bytes that actually reached the store
+	DiskSeeks    int64
+	CacheHitRate float64
+}
+
+// MeasureBatching ingests `days` identical days of Zipfian postings split
+// into the given number of sub-batches per day, through a block cache of
+// cacheBlocks blocks.
+func MeasureBatching(subBatches, days, cacheBlocks int) (BatchingPoint, error) {
+	gen := workload.NewNewsGenerator(workload.NewsConfig{
+		Seed:            7,
+		ArticlesPerDay:  120,
+		WordsPerArticle: 20,
+		VocabSize:       3000,
+	})
+	inner := simdisk.NewRAM(simdisk.Config{})
+	defer inner.Close()
+	cache := simdisk.NewCache(inner, cacheBlocks)
+	idx := index.NewEmpty(cache, index.Options{Growth: 2})
+	for d := 1; d <= days; d++ {
+		full := gen.Day(d)
+		n := len(full.Postings)
+		per := (n + subBatches - 1) / subBatches
+		for i := 0; i < n; i += per {
+			end := i + per
+			if end > n {
+				end = n
+			}
+			part := &index.Batch{Day: d, Postings: full.Postings[i:end]}
+			if err := idx.Add(part); err != nil {
+				return BatchingPoint{}, err
+			}
+		}
+	}
+	st := inner.Stats()
+	cs := cache.CacheStats()
+	total := cs.Hits + cs.Misses
+	hitRate := 0.0
+	if total > 0 {
+		hitRate = float64(cs.Hits) / float64(total)
+	}
+	return BatchingPoint{
+		Batches:      subBatches,
+		DiskBytes:    st.BytesRead + st.BytesWritten,
+		DiskSeeks:    st.Seeks,
+		CacheHitRate: hitRate,
+	}, nil
+}

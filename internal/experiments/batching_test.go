@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestBatchingBeatsDribbling reproduces the §2.1 batching rationale:
+// ingesting a day as one batch groups per-bucket work, so with a bounded
+// block cache it reaches the disk less than dribbling the same postings
+// in many mini-batches.
+func TestBatchingBeatsDribbling(t *testing.T) {
+	const days, cacheBlocks = 5, 64
+	one, err := MeasureBatching(1, days, cacheBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := MeasureBatching(40, days, cacheBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.DiskBytes >= many.DiskBytes {
+		t.Errorf("one batch moved %d disk bytes, %d mini-batches moved %d — batching should win",
+			one.DiskBytes, many.Batches, many.DiskBytes)
+	}
+	if one.DiskSeeks >= many.DiskSeeks {
+		t.Errorf("one batch cost %d seeks, mini-batches %d — batching should win", one.DiskSeeks, many.DiskSeeks)
+	}
+	t.Logf("1 batch: %d B, %d seeks, hit rate %.2f; %d batches: %d B, %d seeks, hit rate %.2f",
+		one.DiskBytes, one.DiskSeeks, one.CacheHitRate,
+		many.Batches, many.DiskBytes, many.DiskSeeks, many.CacheHitRate)
+}

@@ -1,0 +1,445 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/scenario"
+)
+
+func mustFigure(t *testing.T, fn func() (Figure, error)) Figure {
+	t.Helper()
+	f, err := fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func y(t *testing.T, f Figure, label string, x float64) float64 {
+	t.Helper()
+	s, ok := f.FindSeries(label)
+	if !ok {
+		t.Fatalf("%s: no series %q", f.ID, label)
+	}
+	v := s.YAt(x)
+	if math.IsNaN(v) {
+		t.Fatalf("%s: series %q has no point at x=%v", f.ID, label, x)
+	}
+	return v
+}
+
+// TestFigure2Shape: weekly sawtooth with Wednesday peaks (~110k) and
+// Sunday troughs (~30k), as in the paper's measured September 1997 data.
+func TestFigure2Shape(t *testing.T) {
+	f := Figure2()
+	s := f.Series[0]
+	if len(s.X) != 30 {
+		t.Fatalf("series has %d points, want 30", len(s.X))
+	}
+	var lo, hi float64 = math.Inf(1), 0
+	for _, v := range s.Y {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi < 100_000 || hi > 125_000 {
+		t.Errorf("peak volume = %v, want ~110k", hi)
+	}
+	if lo < 25_000 || lo > 35_000 {
+		t.Errorf("trough volume = %v, want ~30k", lo)
+	}
+}
+
+// TestFigure3Shapes: REINDEX needs the least space at every n (packed, no
+// temps), and every scheme needs less space as n grows.
+func TestFigure3Shapes(t *testing.T) {
+	f := mustFigure(t, Figure3)
+	for n := 1.0; n <= 7; n++ {
+		re := y(t, f, "REINDEX", n)
+		for _, other := range []string{"DEL", "REINDEX+", "REINDEX++"} {
+			if v := y(t, f, other, n); v < re {
+				t.Errorf("n=%v: %s space %.1f < REINDEX %.1f", n, other, v, re)
+			}
+		}
+	}
+	for _, s := range f.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]*1.01 {
+				t.Errorf("%s: space grew from n=%v (%.1f) to n=%v (%.1f)", s.Label, s.X[i-1], s.Y[i-1], s.X[i], s.Y[i])
+			}
+		}
+	}
+}
+
+// TestFigure4Shapes: the paper's transition-time findings. DEL, WATA,
+// RATA and REINDEX++ index one day per transition, so their times do not
+// depend on n; REINDEX is worst for n <= 3 but competitive for n >= 4;
+// REINDEX+ is the worst overall at small n.
+func TestFigure4Shapes(t *testing.T) {
+	f := mustFigure(t, Figure4)
+	for _, flat := range []string{"DEL", "REINDEX++"} {
+		s, _ := f.FindSeries(flat)
+		for i := 1; i < len(s.Y); i++ {
+			if math.Abs(s.Y[i]-s.Y[0]) > 1 {
+				t.Errorf("%s transition time varies with n: %v", flat, s.Y)
+			}
+		}
+	}
+	// REINDEX: n=1 costs W*Build = 7*1686; monotone improving.
+	if v := y(t, f, "REINDEX", 1); math.Abs(v-7*1686) > 1 {
+		t.Errorf("REINDEX n=1 transition = %.0f, want %d", v, 7*1686)
+	}
+	if y(t, f, "REINDEX", 3) < y(t, f, "DEL", 3) {
+		t.Error("REINDEX should be worse than DEL at n=3")
+	}
+	if y(t, f, "REINDEX", 5) > y(t, f, "DEL", 5) {
+		t.Error("REINDEX should beat DEL at n=5")
+	}
+	// REINDEX+ worst at n=2.
+	worst := y(t, f, "REINDEX+", 2)
+	for _, other := range []string{"DEL", "REINDEX", "REINDEX++", "WATA*", "RATA*"} {
+		if y(t, f, other, 2) > worst {
+			t.Errorf("%s transition at n=2 exceeds REINDEX+ (%v)", other, worst)
+		}
+	}
+}
+
+// TestFigure5Shapes: for SCAM's low query volume, REINDEX becomes
+// efficient at larger n while DEL's work grows steadily with n (probe
+// fan-out); at n=4 (the paper's recommendation) REINDEX beats DEL,
+// REINDEX+ and REINDEX++.
+func TestFigure5Shapes(t *testing.T) {
+	f := mustFigure(t, Figure5)
+	if y(t, f, "REINDEX", 1) < y(t, f, "DEL", 1) {
+		t.Error("REINDEX should be worse than DEL at n=1")
+	}
+	re4 := y(t, f, "REINDEX", 4)
+	for _, other := range []string{"DEL", "REINDEX+", "REINDEX++"} {
+		if v := y(t, f, other, 4); v < re4 {
+			t.Errorf("n=4: %s total work %.0f beats REINDEX %.0f", other, v, re4)
+		}
+	}
+	del, _ := f.FindSeries("DEL")
+	if del.Y[len(del.Y)-1] <= del.Y[0] {
+		t.Error("DEL total work should grow with n (probe fan-out)")
+	}
+}
+
+// TestFigure6Shapes: with WSE's heavy query volume, REINDEX performs the
+// worst and DEL at n=1 is the recommended minimum.
+func TestFigure6Shapes(t *testing.T) {
+	f := mustFigure(t, Figure6)
+	for n := 2.0; n <= 10; n++ {
+		re := y(t, f, "REINDEX", n)
+		for _, other := range []string{"DEL", "WATA*", "RATA*"} {
+			if v := y(t, f, other, n); v > re {
+				t.Errorf("n=%v: %s work %.0f exceeds REINDEX %.0f", n, other, v, re)
+			}
+		}
+	}
+	del1 := y(t, f, "DEL", 1)
+	for _, s := range f.Series {
+		for i, v := range s.Y {
+			if v < del1-1 {
+				t.Errorf("%s at n=%v (%.0f) beats DEL n=1 (%.0f): DEL(1) should be the minimum", s.Label, s.X[i], v, del1)
+			}
+		}
+	}
+}
+
+// TestFigure7And8Shapes: TPC-D. Packed shadowing does much less work
+// than simple shadowing; REINDEX is the worst everywhere; with simple
+// shadowing WATA* does the minimal work for moderate n and saves on the
+// order of 10,000 s versus DEL (the paper's headline).
+func TestFigure7And8Shapes(t *testing.T) {
+	packed := mustFigure(t, Figure7)
+	simple := mustFigure(t, Figure8)
+	for n := 2.0; n <= 10; n++ {
+		if y(t, packed, "DEL", n) > y(t, simple, "DEL", n) {
+			t.Errorf("n=%v: packed shadowing DEL does more work than simple", n)
+		}
+		for _, fig := range []Figure{packed, simple} {
+			re := y(t, fig, "REINDEX", n)
+			for _, other := range []string{"DEL", "WATA*", "RATA*", "REINDEX+"} {
+				if v := y(t, fig, other, n); v > re {
+					t.Errorf("%s n=%v: %s work %.0f exceeds REINDEX %.0f", fig.ID, n, other, v, re)
+				}
+			}
+		}
+	}
+	// Simple shadowing: WATA* minimal for n >= 4 and ~10k s under DEL.
+	for n := 4.0; n <= 10; n++ {
+		w := y(t, simple, "WATA*", n)
+		d := y(t, simple, "DEL", n)
+		if w >= d {
+			t.Errorf("n=%v: WATA* (%.0f) should beat DEL (%.0f) under simple shadowing", n, w, d)
+		}
+	}
+	if gap := y(t, simple, "DEL", 10) - y(t, simple, "WATA*", 10); gap < 5_000 || gap > 20_000 {
+		t.Errorf("WATA* vs DEL gap at n=10 = %.0f s, want on the order of 10,000 s", gap)
+	}
+}
+
+// TestFigure9Shapes: reindexing schemes scale with W while DEL, WATA and
+// RATA stay nearly flat.
+func TestFigure9Shapes(t *testing.T) {
+	f := mustFigure(t, Figure9)
+	for _, flat := range []string{"DEL", "WATA*", "RATA*"} {
+		lo := y(t, f, flat, 4)
+		hi := y(t, f, flat, 42)
+		if hi > lo*2 {
+			t.Errorf("%s work grew %.0f -> %.0f over W=4..42; should scale well", flat, lo, hi)
+		}
+	}
+	for _, growing := range []string{"REINDEX", "REINDEX+", "REINDEX++"} {
+		lo := y(t, f, growing, 4)
+		hi := y(t, f, growing, 42)
+		if hi < lo*2.5 {
+			t.Errorf("%s work grew only %.0f -> %.0f over W=4..42; should scale with W/n", growing, lo, hi)
+		}
+	}
+	// The paper's conclusion: at W=14, WATA* already beats REINDEX.
+	if y(t, f, "WATA*", 14) > y(t, f, "REINDEX", 14) {
+		t.Error("WATA* should beat REINDEX at W=14")
+	}
+}
+
+// TestFigure10Shapes: REINDEX scales best with data volume; WATA* wins
+// for SF <= 3 and REINDEX overtakes it beyond (the paper's crossover).
+func TestFigure10Shapes(t *testing.T) {
+	f := mustFigure(t, Figure10)
+	if y(t, f, "WATA*", 1) > y(t, f, "REINDEX", 1) {
+		t.Error("WATA* should beat REINDEX at SF=1")
+	}
+	if y(t, f, "WATA*", 3) > y(t, f, "REINDEX", 3) {
+		t.Error("WATA* should still beat REINDEX at SF=3")
+	}
+	if y(t, f, "REINDEX", 4) > y(t, f, "WATA*", 4) {
+		t.Error("REINDEX should overtake WATA* by SF=4")
+	}
+	if y(t, f, "REINDEX", 5) > y(t, f, "DEL", 5) {
+		t.Error("REINDEX should beat DEL at SF=5")
+	}
+}
+
+// TestFigure11Shapes: the lazy-deletion size overhead decreases with n
+// and is ~1.2 at n=4 (paper: 1.24), reaching 1.0 at n=W.
+func TestFigure11Shapes(t *testing.T) {
+	f := mustFigure(t, Figure11)
+	s := f.Series[0]
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] > s.Y[i-1]+1e-9 {
+			t.Errorf("size ratio grew from n=%v (%.3f) to n=%v (%.3f)", s.X[i-1], s.Y[i-1], s.X[i], s.Y[i])
+		}
+	}
+	if v := s.YAt(4); v < 1.05 || v > 1.35 {
+		t.Errorf("ratio at n=4 = %.3f, want ~1.2 (paper: 1.24)", v)
+	}
+	if v := s.YAt(7); math.Abs(v-1) > 1e-9 {
+		t.Errorf("ratio at n=W=7 = %.3f, want 1.0 (1-day clusters expire exactly)", v)
+	}
+	if v := s.YAt(2); v > 2.0 {
+		t.Errorf("ratio at n=2 = %.3f, violates the Theorem 3 competitive bound 2.0", v)
+	}
+}
+
+// TestTable8Measured checks the legible closed forms of Table 8 against
+// the measured space: DEL uses W days of S' space, REINDEX exactly W days
+// of S, and REINDEX's transition shadow is W/n days of S.
+func TestTable8Measured(t *testing.T) {
+	tab, err := Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scenario.SCAM()
+	sPrimeUnits := float64(sc.Params.SPrime) / float64(sc.Params.S) // 1.4
+	del, _ := tab.Row(core.KindDEL)
+	if got, want := del.Values["avg operation"], 10*sPrimeUnits; math.Abs(got-want) > 0.2 {
+		t.Errorf("DEL avg operation = %.2f S, want ~%.2f (W*S')", got, want)
+	}
+	re, _ := tab.Row(core.KindREINDEX)
+	if got := re.Values["avg operation"]; math.Abs(got-10) > 0.01 {
+		t.Errorf("REINDEX avg operation = %.2f S, want 10 (W*S)", got)
+	}
+	if got := re.Values["max transition extra"]; math.Abs(got-5) > 0.01 {
+		t.Errorf("REINDEX transition extra = %.2f S, want 5 (X*S)", got)
+	}
+	// REINDEX is the space minimum.
+	for _, r := range tab.Rows {
+		if r.Values["avg operation"] < re.Values["avg operation"]-1e-9 {
+			t.Errorf("%s avg operation %.2f beats REINDEX", r.Scheme, r.Values["avg operation"])
+		}
+	}
+}
+
+// TestTable10And11Measured checks the maintenance tables: DEL and
+// REINDEX++ transitions equal one Add (simple shadowing) or X*SMCP+Build
+// (packed shadowing); REINDEX is all transition with zero pre-computation.
+func TestTable10And11Measured(t *testing.T) {
+	t10, err := Table10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scenario.SCAM()
+	addS := sc.Params.Add.Seconds()
+	for _, k := range []core.Kind{core.KindDEL, core.KindREINDEXPlusPlus} {
+		r, _ := t10.Row(k)
+		if got := r.Values["transition"]; math.Abs(got-addS) > 1 {
+			t.Errorf("table10 %s transition = %.0f s, want Add = %.0f s", k, got, addS)
+		}
+	}
+	re, _ := t10.Row(core.KindREINDEX)
+	// Only the old index's drop (milliseconds) may land off the critical
+	// path.
+	if re.Values["precomputation"] > 0.01 {
+		t.Errorf("table10 REINDEX precomputation = %v s, want ~0", re.Values["precomputation"])
+	}
+	if got, want := re.Values["transition"], 5*sc.Params.Build.Seconds(); math.Abs(got-want) > 1 {
+		t.Errorf("table10 REINDEX transition = %.0f s, want X*Build = %.0f s", got, want)
+	}
+
+	t11, err := Table11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packed shadowing: DEL transition = X*SMCP + Build (Table 11).
+	del11, _ := t11.Row(core.KindDEL)
+	want := 5*sc.Params.SMCP().Seconds() + sc.Params.Build.Seconds() + 2*sc.Params.Seek.Seconds()
+	if got := del11.Values["transition"]; math.Abs(got-want) > 2 {
+		t.Errorf("table11 DEL transition = %.0f s, want X*SMCP+Build = %.0f s", got, want)
+	}
+	// Packed shadowing transitions are cheaper than simple shadowing for
+	// DEL (deletion folded into the smart copy).
+	del10, _ := t10.Row(core.KindDEL)
+	if del11.Values["transition"] > del10.Values["transition"] {
+		t.Error("packed shadowing DEL transition should be cheaper than simple shadowing")
+	}
+}
+
+// TestTable9Measured: probe times grow with n-free probe fan-out; packed
+// REINDEX scans less data than unpacked DEL.
+func TestTable9Measured(t *testing.T) {
+	tab, err := Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, _ := tab.Row(core.KindDEL)
+	re, _ := tab.Row(core.KindREINDEX)
+	if re.Values["TimedSegmentScan"] >= del.Values["TimedSegmentScan"] {
+		t.Errorf("packed REINDEX scan (%.1f s) should beat unpacked DEL scan (%.1f s)",
+			re.Values["TimedSegmentScan"], del.Values["TimedSegmentScan"])
+	}
+	// WATA* scans more than REINDEX (soft-window extra days, unpacked).
+	wata, _ := tab.Row(core.KindWATAStar)
+	if wata.Values["TimedSegmentScan"] <= re.Values["TimedSegmentScan"] {
+		t.Error("WATA* scan should exceed packed REINDEX scan")
+	}
+}
+
+// TestFigureMultiDiskShapes: the §8 extension. With one disk, DEL's work
+// grows with n (probe fan-out); with disks scaling with n it stays flat
+// because probes parallelise across devices.
+func TestFigureMultiDiskShapes(t *testing.T) {
+	f := mustFigure(t, FigureMultiDisk)
+	one, _ := f.FindSeries("DEL 1 disk")
+	scaled, _ := f.FindSeries("DEL n disks")
+	if one.YAt(8) < 4*one.YAt(1) {
+		t.Errorf("1-disk work should grow strongly with n: %v -> %v", one.YAt(1), one.YAt(8))
+	}
+	if scaled.YAt(8) > scaled.YAt(1)*1.05 {
+		t.Errorf("n-disk work should stay flat: %v -> %v", scaled.YAt(1), scaled.YAt(8))
+	}
+	// At n=8, scaling devices wins by several-fold.
+	if one.YAt(8) < 3*scaled.YAt(8) {
+		t.Errorf("multi-disk speed-up too small: %v vs %v", one.YAt(8), scaled.YAt(8))
+	}
+}
+
+// TestRunRejectsBadConfig covers harness validation.
+func TestRunRejectsBadConfig(t *testing.T) {
+	sc := scenario.SCAM()
+	if _, err := Run(RunConfig{Kind: core.KindWATAStar, W: 7, N: 1, Technique: core.InPlace, Scenario: sc}); err == nil {
+		t.Error("WATA* n=1 accepted")
+	}
+	bad := sc
+	bad.Params.TransferRate = 0
+	if _, err := Run(RunConfig{Kind: core.KindDEL, W: 7, N: 2, Scenario: bad}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestRenderers smoke-tests the text renderers.
+func TestRenderers(t *testing.T) {
+	f := Figure2()
+	out := RenderFigure(f)
+	if !strings.Contains(out, "fig2") || !strings.Contains(out, "postings") {
+		t.Errorf("figure render missing headers:\n%s", out)
+	}
+	tab, err := Table10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RenderTable(tab)
+	for _, k := range core.Kinds {
+		if !strings.Contains(s, k.String()) {
+			t.Errorf("table render missing scheme %s:\n%s", k, s)
+		}
+	}
+}
+
+// TestAllCollections exercises the two aggregate entry points used by the
+// wavebench CLI and the benchmark harness.
+func TestAllCollections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow aggregate run")
+	}
+	figs, err := AllFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+		if _, ok := figs[id]; !ok {
+			t.Errorf("AllFigures missing %s", id)
+		}
+	}
+	tabs, err := AllTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table8", "table9", "table10", "table11"} {
+		if _, ok := tabs[id]; !ok {
+			t.Errorf("AllTables missing %s", id)
+		}
+	}
+}
+
+// TestRunResultAggregates sanity-checks the aggregate helpers on a small
+// run.
+func TestRunResultAggregates(t *testing.T) {
+	res, err := Run(RunConfig{Kind: core.KindDEL, W: 7, N: 2, Technique: core.SimpleShadow, Scenario: scenario.SCAM(), Transitions: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Days) != 14 {
+		t.Fatalf("days = %d, want 14", len(res.Days))
+	}
+	if res.AvgTransition() <= 0 || res.MaxTransition() < res.AvgTransition() {
+		t.Errorf("transition aggregates inconsistent: avg=%v max=%v", res.AvgTransition(), res.MaxTransition())
+	}
+	if res.AvgSpacePeak() < res.AvgSpaceEnd() {
+		t.Errorf("peak %d < end %d", res.AvgSpacePeak(), res.AvgSpaceEnd())
+	}
+	if res.MaxSpacePeak() < res.AvgSpacePeak() {
+		t.Errorf("max peak %d < avg peak %d", res.MaxSpacePeak(), res.AvgSpacePeak())
+	}
+	if res.AvgTotalWork() < res.AvgTransition()+res.AvgPre() {
+		t.Error("total work below maintenance work")
+	}
+	if res.AvgProbe() <= 0 || res.AvgScan() <= 0 {
+		t.Errorf("query costs: probe=%v scan=%v", res.AvgProbe(), res.AvgScan())
+	}
+	_ = time.Second
+}

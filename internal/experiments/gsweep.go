@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+	"waveindex/internal/workload"
+)
+
+// GSweepPoint is one measured growth-factor point of the paper's §6
+// parameter-selection methodology: "To choose a good value for g in
+// CONTIGUOUS, we executed AddToIndex ... for several values of g. Based
+// on the trade off between space consumption, S', and the time spent in
+// copying buckets to new locations, we chose g = 2."
+type GSweepPoint struct {
+	G float64
+	// SpaceOverhead is S'/S: allocated bytes over minimal packed bytes.
+	SpaceOverhead float64
+	// CopyBytesPerPosting is the bucket-relocation traffic amortised per
+	// posting ingested — the cost small g pays for its tight space.
+	CopyBytesPerPosting float64
+}
+
+// GSweep ingests `days` days of the given workload incrementally at each
+// growth factor and measures the space/copy trade-off.
+func GSweep(gs []float64, zipfSkew float64, days int) ([]GSweepPoint, error) {
+	out := make([]GSweepPoint, 0, len(gs))
+	for _, g := range gs {
+		gen := workload.NewNewsGenerator(workload.NewsConfig{
+			Seed:            99,
+			ArticlesPerDay:  80,
+			WordsPerArticle: 20,
+			VocabSize:       4000,
+			Skew:            zipfSkew,
+		})
+		// A small block size keeps allocation rounding from swamping the
+		// growth-headroom signal on these scaled-down buckets.
+		store := simdisk.NewRAM(simdisk.Config{BlockSize: 64})
+		idx := index.NewEmpty(store, index.Options{Growth: g})
+		postings := 0
+		for d := 1; d <= days; d++ {
+			b := gen.Day(d)
+			postings += b.NumPostings()
+			if err := idx.Add(b); err != nil {
+				store.Close()
+				return nil, err
+			}
+		}
+		st := store.Stats()
+		minBytes := float64(idx.NumEntries() * index.EntrySize)
+		// Copy traffic = everything read back during ingestion (reads only
+		// happen when CONTIGUOUS relocates a full bucket).
+		point := GSweepPoint{
+			G:                   g,
+			SpaceOverhead:       float64(st.UsedBytes(store.BlockSize())) / minBytes,
+			CopyBytesPerPosting: float64(st.BytesRead) / float64(postings),
+		}
+		store.Close()
+		out = append(out, point)
+	}
+	return out, nil
+}

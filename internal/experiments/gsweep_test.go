@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestGSweepTradeoff reproduces the paper's g-selection methodology: as
+// the CONTIGUOUS growth factor rises, bucket-copy traffic falls (fewer
+// relocations) while space overhead S'/S rises. The paper picked g = 2
+// for Zipfian text exactly because of this trade-off.
+func TestGSweepTradeoff(t *testing.T) {
+	points, err := GSweep([]float64{1.1, 1.5, 2.0, 3.0, 4.0}, 1.2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Copy traffic strictly decreases with g.
+	for i := 1; i < len(points); i++ {
+		if points[i].CopyBytesPerPosting >= points[i-1].CopyBytesPerPosting {
+			t.Errorf("copy traffic did not fall from g=%.1f (%.1f B) to g=%.1f (%.1f B)",
+				points[i-1].G, points[i-1].CopyBytesPerPosting,
+				points[i].G, points[i].CopyBytesPerPosting)
+		}
+	}
+	// Space overhead at g=4 clearly exceeds overhead at g=1.1.
+	if points[4].SpaceOverhead <= points[0].SpaceOverhead {
+		t.Errorf("space overhead at g=4 (%.2f) not above g=1.1 (%.2f)",
+			points[4].SpaceOverhead, points[0].SpaceOverhead)
+	}
+	// Every overhead is at least 1 (can't beat packed).
+	for _, p := range points {
+		if p.SpaceOverhead < 1 {
+			t.Errorf("g=%.1f: overhead %.2f < 1", p.G, p.SpaceOverhead)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5-§6). Each experiment replays a wave-index scheme on the
+// phantom backend at the paper's full scale, prices the recorded
+// maintenance operations with the Table 12 parameters, and aggregates the
+// paper's measures: space utilization, transition and pre-computation
+// time, query response time, and total daily work.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/costmodel"
+	"waveindex/internal/scenario"
+)
+
+// RunConfig selects one (scheme, W, n, technique) point of a scenario.
+type RunConfig struct {
+	Kind      core.Kind
+	W         int
+	N         int
+	Technique core.Technique
+	Scenario  scenario.Scenario
+	// Transitions is the number of measured steady-state transitions
+	// after a 2W-day warm-up. 0 means 10*W.
+	Transitions int
+	// Sizes overrides the phantom size model (defaults to the scenario's
+	// uniform S/S').
+	Sizes core.SizeModel
+	// Params overrides the scenario parameters (e.g. scaled by SF).
+	// Nil means Scenario.Params.
+	Params *costmodel.Params
+	// Disks spreads the constituents over that many concurrent devices
+	// when pricing queries (the paper's §8 multi-disk direction).
+	// 0 or 1 means a single disk.
+	Disks int
+}
+
+func (c RunConfig) params() costmodel.Params {
+	if c.Params != nil {
+		return *c.Params
+	}
+	p := c.Scenario.Params
+	return p
+}
+
+// DayStats are the per-transition measures.
+type DayStats struct {
+	Day        int
+	Pre        time.Duration // pre-computation work (off the critical path)
+	Transition time.Duration // data-available -> queryable
+	ProbeOne   time.Duration // one TimedIndexProbe over the wave
+	ScanOne    time.Duration // one scenario segment scan
+	SpaceEnd   int64         // live bytes after the transition
+	SpacePeak  int64         // peak live bytes during the transition
+}
+
+// RunResult is a completed experiment point.
+type RunResult struct {
+	Cfg  RunConfig
+	Days []DayStats
+}
+
+// Run replays the configuration and returns per-day statistics.
+func Run(cfg RunConfig) (*RunResult, error) {
+	p := cfg.params()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = core.UniformSizes{S: p.S, SPrime: p.SPrime}
+	}
+	rec := core.NewRecorder()
+	bk := core.NewPhantomBackend(sizes, rec)
+	s, err := core.NewScheme(cfg.Kind, core.Config{
+		W: cfg.W, N: cfg.N, Technique: cfg.Technique, Observer: rec,
+	}, bk)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	transitions := cfg.Transitions
+	if transitions == 0 {
+		transitions = 10 * cfg.W
+	}
+	warmup := 2 * cfg.W
+	res := &RunResult{Cfg: cfg}
+	day := s.LastDay()
+	for i := 0; i < warmup+transitions; i++ {
+		day++
+		bk.Meter().ResetPeak()
+		if err := s.Transition(day); err != nil {
+			return nil, fmt.Errorf("experiments: %s W=%d n=%d day %d: %w", cfg.Kind, cfg.W, cfg.N, day, err)
+		}
+		if i < warmup {
+			continue
+		}
+		pre, trans := p.PhaseCosts(rec.Last())
+		ds := DayStats{
+			Day:        day,
+			Pre:        pre,
+			Transition: trans,
+			SpaceEnd:   bk.Meter().Live(),
+			SpacePeak:  bk.Meter().Peak(),
+		}
+		ds.ProbeOne = probeCost(p, s, cfg.Disks)
+		ds.ScanOne = scanCost(p, s, cfg.Scenario.ScanScope, cfg.Disks)
+		res.Days = append(res.Days, ds)
+	}
+	return res, nil
+}
+
+// probeCost prices one TimedIndexProbe over the current wave: all
+// constituents are probed (Probe_idx = n in every case study).
+func probeCost(p costmodel.Params, s core.Scheme, disks int) time.Duration {
+	var days []int
+	for _, c := range s.Wave().Snapshot() {
+		if c != nil {
+			days = append(days, c.NumDays())
+		}
+	}
+	return p.ProbeCostParallel(days, disks)
+}
+
+// scanCost prices one segment scan under the scenario's scope.
+func scanCost(p costmodel.Params, s core.Scheme, scope scenario.ScanScope, disks int) time.Duration {
+	var sizes []int64
+	switch scope {
+	case scenario.ScanNone:
+		return 0
+	case scenario.ScanCurrentDay:
+		for _, c := range s.Wave().Snapshot() {
+			if c != nil && c.HasDay(s.LastDay()) {
+				sizes = append(sizes, c.SizeBytes())
+				break
+			}
+		}
+	case scenario.ScanWholeWindow:
+		for _, c := range s.Wave().Snapshot() {
+			if c != nil {
+				sizes = append(sizes, c.SizeBytes())
+			}
+		}
+	}
+	return p.ScanCostParallel(sizes, disks)
+}
+
+// --- aggregates ---
+
+func (r *RunResult) avgDuration(f func(DayStats) time.Duration) time.Duration {
+	if len(r.Days) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.Days {
+		sum += f(d)
+	}
+	return sum / time.Duration(len(r.Days))
+}
+
+func (r *RunResult) maxDuration(f func(DayStats) time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range r.Days {
+		if v := f(d); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AvgTransition is the mean transition time per day.
+func (r *RunResult) AvgTransition() time.Duration {
+	return r.avgDuration(func(d DayStats) time.Duration { return d.Transition })
+}
+
+// MaxTransition is the worst-case transition time.
+func (r *RunResult) MaxTransition() time.Duration {
+	return r.maxDuration(func(d DayStats) time.Duration { return d.Transition })
+}
+
+// AvgPre is the mean pre-computation time per day.
+func (r *RunResult) AvgPre() time.Duration {
+	return r.avgDuration(func(d DayStats) time.Duration { return d.Pre })
+}
+
+// AvgProbe is the mean cost of one TimedIndexProbe.
+func (r *RunResult) AvgProbe() time.Duration {
+	return r.avgDuration(func(d DayStats) time.Duration { return d.ProbeOne })
+}
+
+// AvgScan is the mean cost of one scenario segment scan.
+func (r *RunResult) AvgScan() time.Duration {
+	return r.avgDuration(func(d DayStats) time.Duration { return d.ScanOne })
+}
+
+// AvgTotalWork is the paper's "total work" measure: transition plus
+// pre-computation plus the day's query stream, serialised (§5).
+func (r *RunResult) AvgTotalWork() time.Duration {
+	sc := r.Cfg.Scenario
+	return r.avgDuration(func(d DayStats) time.Duration {
+		return d.Pre + d.Transition +
+			time.Duration(sc.ProbesPerDay)*d.ProbeOne +
+			time.Duration(sc.ScansPerDay)*d.ScanOne
+	})
+}
+
+// AvgSpaceEnd is the mean operational space (constituents + temps).
+func (r *RunResult) AvgSpaceEnd() int64 {
+	return r.avgBytes(func(d DayStats) int64 { return d.SpaceEnd })
+}
+
+// MaxSpaceEnd is the peak operational space.
+func (r *RunResult) MaxSpaceEnd() int64 {
+	return r.maxBytes(func(d DayStats) int64 { return d.SpaceEnd })
+}
+
+// AvgSpacePeak is the mean of per-transition peak space — operational
+// space plus the transition's shadow overhead (Figure 3's measure).
+func (r *RunResult) AvgSpacePeak() int64 {
+	return r.avgBytes(func(d DayStats) int64 { return d.SpacePeak })
+}
+
+// MaxSpacePeak is the overall peak space.
+func (r *RunResult) MaxSpacePeak() int64 {
+	return r.maxBytes(func(d DayStats) int64 { return d.SpacePeak })
+}
+
+func (r *RunResult) avgBytes(f func(DayStats) int64) int64 {
+	if len(r.Days) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, d := range r.Days {
+		sum += f(d)
+	}
+	return sum / int64(len(r.Days))
+}
+
+func (r *RunResult) maxBytes(f func(DayStats) int64) int64 {
+	var m int64
+	for _, d := range r.Days {
+		if v := f(d); v > m {
+			m = v
+		}
+	}
+	return m
+}

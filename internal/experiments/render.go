@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// fmtFloat formats a value with two decimals, trimming trailing zeros.
+func fmtFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// RenderTable renders a Table as aligned text.
+func RenderTable(t Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len("scheme")
+	for _, r := range t.Rows {
+		if l := len(r.Scheme.String()); l > widths[0] {
+			widths[0] = l
+		}
+	}
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+		for _, r := range t.Rows {
+			if l := len(r.Cells[c]); l > widths[i+1] {
+				widths[i+1] = l
+			}
+		}
+	}
+	cell := func(s string, w int) string { return s + strings.Repeat(" ", w-len(s)) }
+	b.WriteString(cell("scheme", widths[0]))
+	for i, c := range t.Columns {
+		b.WriteString("  " + cell(c, widths[i+1]))
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		b.WriteString(cell(r.Scheme.String(), widths[0]))
+		for i, c := range t.Columns {
+			b.WriteString("  " + cell(r.Cells[c], widths[i+1]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure renders a Figure as a data table: one row per x value, one
+// column per series.
+func RenderFigure(f Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	// Collect the union of x values.
+	xs := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = struct{}{}
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for _, x := range sorted {
+		row := []string{fmtFloat(x)}
+		for _, s := range f.Series {
+			y := s.YAt(x)
+			if y != y { // NaN: scheme not defined at this x (e.g. WATA n=1)
+				row = append(row, "-")
+			} else {
+				row = append(row, fmtFloat(y))
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)) + c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/scenario"
+)
+
+// TableRow is one scheme's measured row of a §5 table.
+type TableRow struct {
+	Scheme core.Kind
+	Cells  map[string]string
+	// Raw values for programmatic checks.
+	Values map[string]float64
+}
+
+// Table is one regenerated paper table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// tableConfig fixes the W/n point used for the Table 8-11 reproductions:
+// the paper's running example geometry (W=10, n=2 for the DEL/REINDEX
+// family; WATA/RATA shown at the same point).
+const (
+	tableW = 10
+	tableN = 2
+)
+
+func runAllSchemes(tech core.Technique, sc scenario.Scenario) (map[core.Kind]*RunResult, error) {
+	out := map[core.Kind]*RunResult{}
+	for _, k := range core.Kinds {
+		n := tableN
+		if n < k.MinN() {
+			n = k.MinN()
+		}
+		res, err := Run(RunConfig{Kind: k, W: tableW, N: n, Technique: tech, Scenario: sc, Transitions: 10 * tableW})
+		if err != nil {
+			return nil, err
+		}
+		out[k] = res
+	}
+	return out, nil
+}
+
+// Table8 regenerates the space-utilization table for simple shadow
+// updating: average/maximum space during operation and the additional
+// space during transitions, in units of S (one packed day).
+func Table8() (Table, error) {
+	sc := scenario.SCAM()
+	sc.W = tableW
+	runs, err := runAllSchemes(core.SimpleShadow, sc)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "table8",
+		Title: "Space utilization, simple shadowing (W=10, n=2; in units of S)",
+		Columns: []string{
+			"avg operation", "max operation", "avg transition extra", "max transition extra",
+		},
+	}
+	unit := float64(sc.Params.S)
+	for _, k := range core.Kinds {
+		r := runs[k]
+		avgOp := float64(r.AvgSpaceEnd()) / unit
+		maxOp := float64(r.MaxSpaceEnd()) / unit
+		avgTr := float64(r.AvgSpacePeak()-r.AvgSpaceEnd()) / unit
+		maxTr := 0.0
+		for _, d := range r.Days {
+			if v := float64(d.SpacePeak-d.SpaceEnd) / unit; v > maxTr {
+				maxTr = v
+			}
+		}
+		t.Rows = append(t.Rows, TableRow{
+			Scheme: k,
+			Cells: map[string]string{
+				"avg operation":        fmtF(avgOp),
+				"max operation":        fmtF(maxOp),
+				"avg transition extra": fmtF(avgTr),
+				"max transition extra": fmtF(maxTr),
+			},
+			Values: map[string]float64{
+				"avg operation": avgOp, "max operation": maxOp,
+				"avg transition extra": avgTr, "max transition extra": maxTr,
+			},
+		})
+	}
+	return t, nil
+}
+
+// Table9 regenerates the query-performance table for simple shadowing:
+// the time of one TimedIndexProbe (touching all constituents) and one
+// whole-window TimedSegmentScan.
+func Table9() (Table, error) {
+	sc := scenario.SCAM()
+	sc.W = tableW
+	sc.ScanScope = scenario.ScanWholeWindow
+	runs, err := runAllSchemes(core.SimpleShadow, sc)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "table9",
+		Title:   "Query performance, simple shadowing (W=10, n=2)",
+		Columns: []string{"TimedIndexProbe", "TimedSegmentScan"},
+	}
+	for _, k := range core.Kinds {
+		r := runs[k]
+		t.Rows = append(t.Rows, TableRow{
+			Scheme: k,
+			Cells: map[string]string{
+				"TimedIndexProbe":  r.AvgProbe().String(),
+				"TimedSegmentScan": r.AvgScan().Round(time.Millisecond).String(),
+			},
+			Values: map[string]float64{
+				"TimedIndexProbe":  r.AvgProbe().Seconds(),
+				"TimedSegmentScan": r.AvgScan().Seconds(),
+			},
+		})
+	}
+	return t, nil
+}
+
+// maintenanceTable renders pre-computation and transition times.
+func maintenanceTable(id, title string, tech core.Technique) (Table, error) {
+	sc := scenario.SCAM()
+	sc.W = tableW
+	runs, err := runAllSchemes(tech, sc)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"precomputation", "transition"},
+	}
+	for _, k := range core.Kinds {
+		r := runs[k]
+		t.Rows = append(t.Rows, TableRow{
+			Scheme: k,
+			Cells: map[string]string{
+				"precomputation": r.AvgPre().Round(time.Second).String(),
+				"transition":     r.AvgTransition().Round(time.Second).String(),
+			},
+			Values: map[string]float64{
+				"precomputation": r.AvgPre().Seconds(),
+				"transition":     r.AvgTransition().Seconds(),
+			},
+		})
+	}
+	return t, nil
+}
+
+// Table10 regenerates the maintenance-performance table for simple
+// shadow updating.
+func Table10() (Table, error) {
+	return maintenanceTable("table10", "Maintenance performance, simple shadowing (W=10, n=2, SCAM parameters)", core.SimpleShadow)
+}
+
+// Table11 regenerates the maintenance-performance table for packed
+// shadow updating.
+func Table11() (Table, error) {
+	return maintenanceTable("table11", "Maintenance performance, packed shadowing (W=10, n=2, SCAM parameters)", core.PackedShadow)
+}
+
+// Row returns the row for a scheme.
+func (t *Table) Row(k core.Kind) (TableRow, bool) {
+	for _, r := range t.Rows {
+		if r.Scheme == k {
+			return r, true
+		}
+	}
+	return TableRow{}, false
+}
+
+// AllTables regenerates Tables 8-11, keyed by ID.
+func AllTables() (map[string]Table, error) {
+	out := map[string]Table{}
+	for _, g := range []func() (Table, error){Table8, Table9, Table10, Table11} {
+		t, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out[t.ID] = t
+	}
+	return out, nil
+}
+
+func fmtF(v float64) string { return fmtFloat(v) }

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+	"waveindex/internal/workload"
+)
+
+// This file cross-validates the phantom cost model against the real
+// data path: the same algorithms run on actual indexes over the
+// simulated disk, and the disk's accounted time (seeks + transfers) is
+// measured per transition. Absolute numbers differ from the Table 12
+// model (which also covers the paper's measured CPU costs), but the
+// orderings and trends must agree — the validation tests assert that.
+
+// MeasuredRun is one data-bearing measurement point.
+type MeasuredRun struct {
+	Kind      core.Kind
+	W, N      int
+	Technique core.Technique
+	// DiskTimePerTransition is the mean simulated disk time of one
+	// transition (maintenance I/O only).
+	DiskTimePerTransition time.Duration
+	// BytesPerTransition is the mean bytes moved per transition.
+	BytesPerTransition int64
+	// ScanDiskTime is the simulated disk time of one whole-window scan
+	// after the last transition.
+	ScanDiskTime time.Duration
+}
+
+// MeasureDataRun replays a scheme on real data (a scaled-down Netnews
+// feed) and returns its measured disk costs.
+func MeasureDataRun(kind core.Kind, w, n int, tech core.Technique, transitions int) (*MeasuredRun, error) {
+	store := simdisk.NewRAM(simdisk.Config{})
+	defer store.Close()
+	gen := workload.NewNewsGenerator(workload.NewsConfig{
+		Seed:            1234,
+		ArticlesPerDay:  70, // 1/1000 of SCAM's feed
+		WordsPerArticle: 20,
+		VocabSize:       4000,
+	})
+	src := core.NewMemorySource(0)
+	for d := 1; d <= w+transitions+1; d++ {
+		src.Put(gen.Day(d))
+	}
+	bk := core.NewDataBackend(store, index.Options{Growth: 2}, src, nil)
+	s, err := core.NewScheme(kind, core.Config{W: w, N: n, Technique: tech}, bk)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	store.ResetStats()
+	for d := w + 1; d <= w+transitions; d++ {
+		if err := s.Transition(d); err != nil {
+			return nil, err
+		}
+	}
+	st := store.Stats()
+	out := &MeasuredRun{
+		Kind: kind, W: w, N: n, Technique: tech,
+		DiskTimePerTransition: st.SimTime / time.Duration(transitions),
+		BytesPerTransition:    (st.BytesRead + st.BytesWritten) / int64(transitions),
+	}
+	// One whole-window scan.
+	store.ResetStats()
+	err = s.Wave().TimedSegmentScan(s.WindowStart(), s.LastDay(), func(string, index.Entry) bool { return true })
+	if err != nil {
+		return nil, err
+	}
+	out.ScanDiskTime = store.Stats().SimTime
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"waveindex/internal/core"
+)
+
+// TestDataPathValidatesModelOrderings runs the real data path (actual
+// indexes on the simulated disk) and checks the cost model's qualitative
+// conclusions hold there too.
+func TestDataPathValidatesModelOrderings(t *testing.T) {
+	const w, transitions = 7, 21
+	measure := func(kind core.Kind, n int, tech core.Technique) *MeasuredRun {
+		t.Helper()
+		m, err := MeasureDataRun(kind, w, n, tech, transitions)
+		if err != nil {
+			t.Fatalf("%v n=%d: %v", kind, n, err)
+		}
+		return m
+	}
+
+	// (1) REINDEX's maintenance I/O shrinks as n grows (it rebuilds W/n
+	// days); DEL/WATA* stay roughly flat.
+	re2 := measure(core.KindREINDEX, 2, core.SimpleShadow)
+	re7 := measure(core.KindREINDEX, 7, core.SimpleShadow)
+	if re7.BytesPerTransition >= re2.BytesPerTransition {
+		t.Errorf("REINDEX bytes/transition grew with n: n=2 %d, n=7 %d",
+			re2.BytesPerTransition, re7.BytesPerTransition)
+	}
+
+	// (2) With in-place updating (no shadow-copy I/O), WATA* moves the
+	// least maintenance data: it only appends the new day and bulk-drops
+	// expired indexes, while DEL additionally rewrites buckets to delete
+	// and REINDEX rewrites whole clusters. (Under shadow techniques the
+	// copy I/O is real and intentionally shows up in the measurements —
+	// the paper's "minimal work" claim is about the dominant Add/Build
+	// CPU costs, which the Table 12 pricing captures instead.)
+	wataIP := measure(core.KindWATAStar, 4, core.InPlace)
+	delIP := measure(core.KindDEL, 4, core.InPlace)
+	if wataIP.BytesPerTransition >= delIP.BytesPerTransition {
+		t.Errorf("WATA* in-place I/O (%d B) not below DEL (%d B)", wataIP.BytesPerTransition, delIP.BytesPerTransition)
+	}
+
+	// (2b) Incrementally adding one day (CONTIGUOUS bucket copies on
+	// overflow) moves more bytes than bulk-building one day — the
+	// measured Add > Build relationship behind Table 12. WATA* at n=2
+	// appends one day per transition into a growing index (throwaways are
+	// rare); REINDEX at n=W bulk-builds exactly one day per transition.
+	wataAdd := measure(core.KindWATAStar, 2, core.InPlace)
+	reBuild := measure(core.KindREINDEX, 7, core.InPlace)
+	if wataAdd.BytesPerTransition <= reBuild.BytesPerTransition {
+		t.Errorf("one-day Add I/O (%d B) not above one-day Build I/O (%d B)",
+			wataAdd.BytesPerTransition, reBuild.BytesPerTransition)
+	}
+
+	del := measure(core.KindDEL, 4, core.SimpleShadow)
+	re := measure(core.KindREINDEX, 4, core.SimpleShadow)
+
+	// (3) Packed shadowing yields cheaper whole-window scans than simple
+	// shadowing for DEL (packed constituents transfer S, not S').
+	delPacked := measure(core.KindDEL, 4, core.PackedShadow)
+	if delPacked.ScanDiskTime >= del.ScanDiskTime {
+		t.Errorf("packed DEL scan %v not below simple-shadow scan %v",
+			delPacked.ScanDiskTime, del.ScanDiskTime)
+	}
+
+	// (4) REINDEX scans beat DEL's unpacked scans at the same geometry.
+	if re.ScanDiskTime >= del.ScanDiskTime {
+		t.Errorf("REINDEX scan %v not below DEL scan %v", re.ScanDiskTime, del.ScanDiskTime)
+	}
+}

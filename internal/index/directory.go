@@ -1,0 +1,117 @@
+package index
+
+import (
+	"sort"
+
+	"waveindex/internal/btree"
+	"waveindex/internal/simdisk"
+)
+
+// bucketRef locates a bucket's entries on the store. A bucket either owns
+// a private extent (owned == true, entries start at byte 0 of ext) or
+// lives inside the index's packed segment at byte offset off.
+type bucketRef struct {
+	ext   simdisk.Extent // private extent when owned
+	off   int64          // byte offset within the packed segment when !owned
+	used  int            // entries currently stored
+	cap   int            // entry capacity of the bucket's region
+	owned bool           // true when the bucket exclusively owns its extent
+}
+
+// DirKind selects the directory structure of an index. The paper allows
+// any in-memory search structure; both options it names are provided.
+type DirKind int
+
+const (
+	// HashDir uses a hash table (Go map) directory. Probes are O(1);
+	// ordered iteration sorts keys on demand and caches the order.
+	HashDir DirKind = iota
+	// BTreeDir uses an in-memory B+Tree directory with naturally ordered
+	// iteration.
+	BTreeDir
+)
+
+func (k DirKind) String() string {
+	switch k {
+	case HashDir:
+		return "hash"
+	case BTreeDir:
+		return "btree"
+	}
+	return "unknown"
+}
+
+// directory maps search values to buckets. Implementations must iterate in
+// ascending key order so packed segment layouts are deterministic.
+type directory interface {
+	get(key string) (*bucketRef, bool)
+	set(key string, b *bucketRef)
+	delete(key string)
+	ascend(fn func(key string, b *bucketRef) bool)
+	len() int
+}
+
+func newDirectory(kind DirKind) directory {
+	switch kind {
+	case BTreeDir:
+		return &btreeDir{t: btree.New[string, *bucketRef]()}
+	default:
+		return &hashDir{m: make(map[string]*bucketRef)}
+	}
+}
+
+// hashDir is a map-backed directory with a cached sorted key list.
+type hashDir struct {
+	m      map[string]*bucketRef
+	sorted []string // cache; nil when dirty
+}
+
+func (d *hashDir) get(key string) (*bucketRef, bool) {
+	b, ok := d.m[key]
+	return b, ok
+}
+
+func (d *hashDir) set(key string, b *bucketRef) {
+	if _, exists := d.m[key]; !exists {
+		d.sorted = nil
+	}
+	d.m[key] = b
+}
+
+func (d *hashDir) delete(key string) {
+	if _, exists := d.m[key]; exists {
+		delete(d.m, key)
+		d.sorted = nil
+	}
+}
+
+func (d *hashDir) ascend(fn func(string, *bucketRef) bool) {
+	if d.sorted == nil {
+		d.sorted = make([]string, 0, len(d.m))
+		for k := range d.m {
+			d.sorted = append(d.sorted, k)
+		}
+		sort.Strings(d.sorted)
+	}
+	for _, k := range d.sorted {
+		if !fn(k, d.m[k]) {
+			return
+		}
+	}
+}
+
+func (d *hashDir) len() int { return len(d.m) }
+
+// btreeDir adapts btree.Tree to the directory interface.
+type btreeDir struct {
+	t *btree.Tree[string, *bucketRef]
+}
+
+func (d *btreeDir) get(key string) (*bucketRef, bool) { return d.t.Get(key) }
+func (d *btreeDir) set(key string, b *bucketRef)      { d.t.Set(key, b) }
+func (d *btreeDir) delete(key string)                 { d.t.Delete(key) }
+func (d *btreeDir) len() int                          { return d.t.Len() }
+
+func (d *btreeDir) ascend(fn func(string, *bucketRef) bool) {
+	d.t.Ascend(func(k string, b *bucketRef) bool { return fn(k, b) })
+}

@@ -1,0 +1,403 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"waveindex/internal/simdisk"
+)
+
+// Common index errors.
+var (
+	ErrDropped  = errors.New("index: operation on dropped index")
+	ErrNoBucket = errors.New("index: no bucket for key")
+)
+
+// Options configure an index's directory and incremental growth policy.
+type Options struct {
+	// Dir selects the directory structure (hash table or B+Tree).
+	Dir DirKind
+	// Growth is the CONTIGUOUS growth factor g: when a bucket overflows,
+	// its region is reallocated to g times the current capacity. The paper
+	// uses g = 2.0 for skewed text keys and g = 1.08 for uniform TPC-D
+	// keys. Values <= 1 default to 2.0.
+	Growth float64
+	// MinBucketCap is the smallest entry capacity allocated for a new
+	// bucket created by an incremental add. 0 means 4.
+	MinBucketCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Growth <= 1 {
+		o.Growth = 2.0
+	}
+	if o.MinBucketCap <= 0 {
+		o.MinBucketCap = 4
+	}
+	return o
+}
+
+// Index is one constituent index of a wave index: an in-memory directory
+// over buckets of entries stored on a block store, covering a set of days
+// (its time-set). Index is not safe for concurrent use; the wave layer
+// serialises access.
+type Index struct {
+	store      simdisk.BlockStore
+	opts       Options
+	dir        directory
+	days       map[int]struct{}
+	seg        simdisk.Extent // packed segment; invalid when absent
+	packed     bool
+	entries    int
+	allocBytes int64
+	dropped    bool
+}
+
+// NewEmpty returns an index with no entries and an empty time-set.
+func NewEmpty(store simdisk.BlockStore, opts Options) *Index {
+	opts = opts.withDefaults()
+	return &Index{
+		store:  store,
+		opts:   opts,
+		dir:    newDirectory(opts.Dir),
+		days:   make(map[int]struct{}),
+		packed: true, // vacuously packed: no unpacked buckets exist
+	}
+}
+
+// BuildPacked builds a packed index over the given day batches: it counts
+// the entries of each search value, allocates one contiguous segment of
+// exactly the needed size, and lays the buckets out back to back in key
+// order. This is the BuildIndex primitive of §2.2.
+func BuildPacked(store simdisk.BlockStore, opts Options, batches ...*Batch) (*Index, error) {
+	days := make(map[int]struct{}, len(batches))
+	for _, b := range batches {
+		days[b.Day] = struct{}{}
+	}
+	idx, err := buildFromGroups(store, opts.withDefaults(), groupByKey(batches), days)
+	if err != nil {
+		return nil, fmt.Errorf("index: build: %w", err)
+	}
+	return idx, nil
+}
+
+// bucketTarget returns the extent and base byte offset holding b's entries.
+func (idx *Index) bucketTarget(b *bucketRef) (simdisk.Extent, int64) {
+	if b.owned {
+		return b.ext, 0
+	}
+	return idx.seg, b.off
+}
+
+// readBucket returns the live entries of b.
+func (idx *Index) readBucket(b *bucketRef) ([]Entry, error) {
+	if b.used == 0 {
+		return nil, nil
+	}
+	ext, base := idx.bucketTarget(b)
+	buf := make([]byte, b.used*EntrySize)
+	if err := idx.store.ReadAt(ext, base, buf); err != nil {
+		return nil, err
+	}
+	return decodeEntries(buf, b.used), nil
+}
+
+// Add incrementally indexes the postings of the given day batches using
+// the CONTIGUOUS scheme: entries are appended into each bucket's region,
+// and a full region is reallocated to Growth times its capacity. This is
+// the AddToIndex primitive of §2.2; the result is in general not packed.
+func (idx *Index) Add(batches ...*Batch) error {
+	if idx.dropped {
+		return ErrDropped
+	}
+	groups := groupByKey(batches)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := idx.addToBucket(k, groups[k]); err != nil {
+			return fmt.Errorf("index: add %q: %w", k, err)
+		}
+	}
+	for _, b := range batches {
+		idx.days[b.Day] = struct{}{}
+	}
+	return nil
+}
+
+func (idx *Index) addToBucket(key string, es []Entry) error {
+	b, ok := idx.dir.get(key)
+	if !ok {
+		// New search value: allocate a fresh region with growth headroom.
+		capEntries := len(es)
+		if capEntries < idx.opts.MinBucketCap {
+			capEntries = idx.opts.MinBucketCap
+		}
+		ext, realCap, err := idx.allocBucket(capEntries)
+		if err != nil {
+			return err
+		}
+		if err := idx.store.WriteAt(ext, 0, encodeEntries(es)); err != nil {
+			return err
+		}
+		idx.dir.set(key, &bucketRef{ext: ext, used: len(es), cap: realCap, owned: true})
+		idx.entries += len(es)
+		// Incrementally created buckets carry growth headroom, so the
+		// index no longer satisfies the paper's packed definition
+		// ("minimal space, without room for growth").
+		idx.packed = false
+		return nil
+	}
+	if b.used+len(es) <= b.cap {
+		ext, base := idx.bucketTarget(b)
+		if err := idx.store.WriteAt(ext, base+int64(b.used*EntrySize), encodeEntries(es)); err != nil {
+			return err
+		}
+		b.used += len(es)
+		idx.entries += len(es)
+		return nil
+	}
+	// CONTIGUOUS overflow: reallocate to g * cap (at least enough for the
+	// incoming entries), copy the old entries over, release the old region.
+	old, err := idx.readBucket(b)
+	if err != nil {
+		return err
+	}
+	need := b.used + len(es)
+	grown := int(float64(b.cap) * idx.opts.Growth)
+	if grown <= b.cap {
+		grown = b.cap + 1
+	}
+	if grown < need {
+		grown = need
+	}
+	ext, realCap, err := idx.allocBucket(grown)
+	if err != nil {
+		return err
+	}
+	merged := append(old, es...)
+	if err := idx.store.WriteAt(ext, 0, encodeEntries(merged)); err != nil {
+		return err
+	}
+	if b.owned {
+		idx.allocBytes -= b.ext.Bytes(idx.store.BlockSize())
+		if err := idx.store.Free(b.ext); err != nil {
+			return err
+		}
+	}
+	b.ext, b.off, b.owned = ext, 0, true
+	b.used, b.cap = len(merged), realCap
+	idx.entries += len(es)
+	idx.packed = false
+	return nil
+}
+
+// allocBucket allocates a private region for at least capEntries entries
+// and returns the extent and the true entry capacity of the allocation.
+func (idx *Index) allocBucket(capEntries int) (simdisk.Extent, int, error) {
+	bs := int64(idx.store.BlockSize())
+	blocks := (int64(capEntries)*EntrySize + bs - 1) / bs
+	ext, err := idx.store.Alloc(blocks)
+	if err != nil {
+		return simdisk.Extent{}, 0, err
+	}
+	idx.allocBytes += ext.Bytes(idx.store.BlockSize())
+	return ext, int(ext.Bytes(idx.store.BlockSize()) / EntrySize), nil
+}
+
+// Delete removes every entry whose timestamp falls on one of the given
+// days, compacting each affected bucket in place, and removes the days
+// from the time-set. This is the DeleteFromIndex primitive of §2.2.
+func (idx *Index) Delete(days ...int) error {
+	if idx.dropped {
+		return ErrDropped
+	}
+	drop := make(map[int32]struct{}, len(days))
+	for _, d := range days {
+		drop[int32(d)] = struct{}{}
+	}
+	type change struct {
+		key  string
+		b    *bucketRef
+		kept []Entry
+	}
+	var changes []change
+	var err error
+	idx.dir.ascend(func(key string, b *bucketRef) bool {
+		var es []Entry
+		es, err = idx.readBucket(b)
+		if err != nil {
+			return false
+		}
+		kept := es[:0]
+		for _, e := range es {
+			if _, gone := drop[e.Day]; !gone {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) != len(es) {
+			changes = append(changes, change{key, b, append([]Entry(nil), kept...)})
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("index: delete: %w", err)
+	}
+	for _, c := range changes {
+		removed := c.b.used - len(c.kept)
+		if len(c.kept) == 0 {
+			if c.b.owned {
+				idx.allocBytes -= c.b.ext.Bytes(idx.store.BlockSize())
+				if err := idx.store.Free(c.b.ext); err != nil {
+					return fmt.Errorf("index: delete: %w", err)
+				}
+			}
+			idx.dir.delete(c.key)
+		} else {
+			ext, base := idx.bucketTarget(c.b)
+			if err := idx.store.WriteAt(ext, base, encodeEntries(c.kept)); err != nil {
+				return fmt.Errorf("index: delete: %w", err)
+			}
+			c.b.used = len(c.kept)
+			idx.packed = false // the freed tail of the bucket is a hole
+		}
+		idx.entries -= removed
+	}
+	for _, d := range days {
+		delete(idx.days, d)
+	}
+	return nil
+}
+
+// Probe retrieves the entries filed under key whose timestamps fall in
+// [t1, t2] (inclusive). It costs one bucket read: a seek plus the transfer
+// of the bucket. Probing a key with no bucket returns no entries.
+func (idx *Index) Probe(key string, t1, t2 int) ([]Entry, error) {
+	if idx.dropped {
+		return nil, ErrDropped
+	}
+	b, ok := idx.dir.get(key)
+	if !ok {
+		return nil, nil
+	}
+	es, err := idx.readBucket(b)
+	if err != nil {
+		return nil, fmt.Errorf("index: probe %q: %w", key, err)
+	}
+	return filterByDay(es, t1, t2), nil
+}
+
+// Scan visits every entry with a timestamp in [t1, t2] in ascending key
+// order, stopping early if fn returns false. On a packed index the buckets
+// are laid out in key order, so the scan is one seek plus a sequential
+// transfer of the whole segment.
+func (idx *Index) Scan(t1, t2 int, fn func(key string, e Entry) bool) error {
+	if idx.dropped {
+		return ErrDropped
+	}
+	var err error
+	idx.dir.ascend(func(key string, b *bucketRef) bool {
+		var es []Entry
+		es, err = idx.readBucket(b)
+		if err != nil {
+			return false
+		}
+		for _, e := range filterByDay(es, t1, t2) {
+			if !fn(key, e) {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("index: scan: %w", err)
+	}
+	return nil
+}
+
+func filterByDay(es []Entry, t1, t2 int) []Entry {
+	out := make([]Entry, 0, len(es))
+	for _, e := range es {
+		if int(e.Day) >= t1 && int(e.Day) <= t2 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Drop frees all storage held by the index and marks it unusable. This is
+// the bulk-delete operation that makes throw-away maintenance cheap: its
+// cost is independent of the index size.
+func (idx *Index) Drop() error {
+	if idx.dropped {
+		return ErrDropped
+	}
+	var err error
+	idx.dir.ascend(func(_ string, b *bucketRef) bool {
+		if b.owned {
+			if e := idx.store.Free(b.ext); e != nil && err == nil {
+				err = e
+			}
+		}
+		return true
+	})
+	if idx.seg.Valid() {
+		if e := idx.store.Free(idx.seg); e != nil && err == nil {
+			err = e
+		}
+	}
+	idx.dropped = true
+	idx.dir = newDirectory(idx.opts.Dir)
+	idx.days = make(map[int]struct{})
+	idx.entries = 0
+	idx.allocBytes = 0
+	if err != nil {
+		return fmt.Errorf("index: drop: %w", err)
+	}
+	return nil
+}
+
+// Days returns the index's time-set in ascending order.
+func (idx *Index) Days() []int {
+	out := make([]int, 0, len(idx.days))
+	for d := range idx.days {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasDay reports whether day is in the index's time-set.
+func (idx *Index) HasDay(day int) bool {
+	_, ok := idx.days[day]
+	return ok
+}
+
+// NumDays returns the size of the time-set.
+func (idx *Index) NumDays() int { return len(idx.days) }
+
+// NumEntries returns the number of live entries.
+func (idx *Index) NumEntries() int { return idx.entries }
+
+// NumKeys returns the number of distinct search values.
+func (idx *Index) NumKeys() int { return idx.dir.len() }
+
+// SizeBytes returns the storage currently allocated to the index,
+// including growth headroom and unpacked holes — the paper's S' measure.
+func (idx *Index) SizeBytes() int64 { return idx.allocBytes }
+
+// Packed reports whether every bucket is stored with minimal space and the
+// buckets are contiguous on disk.
+func (idx *Index) Packed() bool { return idx.packed }
+
+// Dropped reports whether Drop has been called.
+func (idx *Index) Dropped() bool { return idx.dropped }
+
+// Store returns the block store the index lives on.
+func (idx *Index) Store() simdisk.BlockStore { return idx.store }
+
+// Opts returns the index options.
+func (idx *Index) Opts() Options { return idx.opts }

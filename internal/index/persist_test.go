@@ -1,0 +1,154 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func snapshotRoundTrip(t *testing.T, idx *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := idx.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	restored, err := ReadSnapshot(idx.Store(), &buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	return restored
+}
+
+func TestSnapshotPackedIndex(t *testing.T) {
+	s := newStore(t)
+	idx, err := BuildPacked(s, Options{Dir: BTreeDir}, mkBatch(1, map[string]int{"a": 4, "b": 2}), mkBatch(2, map[string]int{"a": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snapshotRoundTrip(t, idx)
+	if !got.Packed() {
+		t.Error("restored index lost packedness")
+	}
+	if got.NumEntries() != 7 || got.NumKeys() != 2 || got.NumDays() != 2 {
+		t.Errorf("restored shape: %d entries %d keys %d days", got.NumEntries(), got.NumKeys(), got.NumDays())
+	}
+	if fmt.Sprint(got.Days()) != "[1 2]" {
+		t.Errorf("restored days = %v", got.Days())
+	}
+	for _, key := range []string{"a", "b"} {
+		want, _ := idx.Probe(key, -1<<30, 1<<30)
+		have, err := got.Probe(key, -1<<30, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(have) != fmt.Sprint(want) {
+			t.Errorf("key %q: restored %v, want %v", key, have, want)
+		}
+	}
+	if got.Opts().Dir != BTreeDir {
+		t.Errorf("restored directory kind = %v", got.Opts().Dir)
+	}
+	// Restored packed scans stay single-seek.
+	s.ResetStats()
+	if err := got.Scan(-1<<30, 1<<30, func(string, Entry) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if seeks := s.Stats().Seeks; seeks != 1 {
+		t.Errorf("restored packed scan cost %d seeks", seeks)
+	}
+}
+
+func TestSnapshotUnpackedIndexKeepsHeadroom(t *testing.T) {
+	s := newStore(t)
+	idx := NewEmpty(s, Options{Growth: 2})
+	for d := 1; d <= 5; d++ {
+		if err := idx.Add(mkBatch(d, map[string]int{"k": 7, "j": 2})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := snapshotRoundTrip(t, idx)
+	if got.Packed() {
+		t.Error("restored unpacked index claims packed")
+	}
+	if got.NumEntries() != idx.NumEntries() {
+		t.Errorf("entries = %d, want %d", got.NumEntries(), idx.NumEntries())
+	}
+	// Growth headroom survives: the restored index accepts more entries
+	// without immediately relocating every bucket.
+	if got.SizeBytes() < int64(got.NumEntries()*EntrySize) {
+		t.Errorf("restored size %d below minimal", got.SizeBytes())
+	}
+	if err := got.Add(mkBatch(6, map[string]int{"k": 1})); err != nil {
+		t.Fatal(err)
+	}
+	es, err := got.Probe("k", 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 {
+		t.Errorf("post-restore add: %d entries", len(es))
+	}
+}
+
+func TestSnapshotEmptyIndex(t *testing.T) {
+	s := newStore(t)
+	idx, _ := BuildPacked(s, Options{})
+	got := snapshotRoundTrip(t, idx)
+	if got.NumEntries() != 0 || got.NumKeys() != 0 {
+		t.Errorf("restored empty index has content")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	s := newStore(t)
+	idx, _ := BuildPacked(s, Options{}, mkBatch(1, map[string]int{"a": 1}))
+	if err := idx.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.WriteSnapshot(&buf); err == nil {
+		t.Error("snapshot of dropped index accepted")
+	}
+	if _, err := ReadSnapshot(s, strings.NewReader("bogus")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	if _, err := ReadSnapshot(s, strings.NewReader("")); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := newStore(t)
+	idx, _ := BuildPacked(s, Options{}, mkBatch(3, map[string]int{"x": 2}))
+	if idx.NumDays() != 1 || idx.Store() != s {
+		t.Error("accessors wrong")
+	}
+	b := mkBatch(3, map[string]int{"x": 2})
+	if b.NumPostings() != 2 {
+		t.Errorf("NumPostings = %d", b.NumPostings())
+	}
+}
+
+func TestBTreeDirectoryDelete(t *testing.T) {
+	s := newStore(t)
+	idx, err := BuildPacked(s, Options{Dir: BTreeDir}, mkBatch(1, map[string]int{"gone": 2, "stays": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting day 1 empties "gone"... both actually; rebuild with 2 days.
+	idx2, err := BuildPacked(s, Options{Dir: BTreeDir},
+		mkBatch(1, map[string]int{"gone": 2}),
+		mkBatch(2, map[string]int{"stays": 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx2.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if idx2.NumKeys() != 1 {
+		t.Errorf("NumKeys = %d after btree-directory delete", idx2.NumKeys())
+	}
+	_ = idx
+}

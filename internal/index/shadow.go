@@ -1,0 +1,162 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"waveindex/internal/simdisk"
+)
+
+// Clone produces a byte-for-byte shadow copy of the index on the same
+// store, preserving the physical layout (a packed index clones packed, an
+// unpacked one keeps its growth headroom). This is the copy step of simple
+// shadow updating (§2.1): queries keep using the original while the clone
+// is modified, so no concurrency control is needed inside the index.
+func (idx *Index) Clone() (*Index, error) {
+	if idx.dropped {
+		return nil, ErrDropped
+	}
+	out := NewEmpty(idx.store, idx.opts)
+	out.packed = idx.packed
+	out.entries = idx.entries
+	for d := range idx.days {
+		out.days[d] = struct{}{}
+	}
+	if idx.seg.Valid() {
+		seg, err := idx.store.Alloc(idx.seg.Blocks)
+		if err != nil {
+			return nil, fmt.Errorf("index: clone: %w", err)
+		}
+		out.seg = seg
+		out.allocBytes += seg.Bytes(idx.store.BlockSize())
+		buf := make([]byte, idx.seg.Bytes(idx.store.BlockSize()))
+		if err := idx.store.ReadAt(idx.seg, 0, buf); err != nil {
+			return nil, fmt.Errorf("index: clone: %w", err)
+		}
+		if err := idx.store.WriteAt(seg, 0, buf); err != nil {
+			return nil, fmt.Errorf("index: clone: %w", err)
+		}
+	}
+	var err error
+	idx.dir.ascend(func(key string, b *bucketRef) bool {
+		nb := &bucketRef{off: b.off, used: b.used, cap: b.cap, owned: b.owned}
+		if b.owned {
+			var ext simdisk.Extent
+			ext, err = idx.store.Alloc(b.ext.Blocks)
+			if err != nil {
+				return false
+			}
+			out.allocBytes += ext.Bytes(idx.store.BlockSize())
+			buf := make([]byte, b.used*EntrySize)
+			if err = idx.store.ReadAt(b.ext, 0, buf); err != nil {
+				return false
+			}
+			if err = idx.store.WriteAt(ext, 0, buf); err != nil {
+				return false
+			}
+			nb.ext = ext
+		}
+		out.dir.set(key, nb)
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("index: clone: %w", err)
+	}
+	return out, nil
+}
+
+// PackedMerge implements packed shadow updating (§2.1): it scans the
+// index's buckets, drops entries whose day is in expire, merges in the
+// postings of adds, and writes the result as a new packed index on the
+// same store. The original index is left untouched; the caller swaps it
+// out of the wave index and drops it.
+func (idx *Index) PackedMerge(expire []int, adds ...*Batch) (*Index, error) {
+	if idx.dropped {
+		return nil, ErrDropped
+	}
+	gone := make(map[int32]struct{}, len(expire))
+	for _, d := range expire {
+		gone[int32(d)] = struct{}{}
+	}
+	groups := make(map[string][]Entry)
+	var err error
+	idx.dir.ascend(func(key string, b *bucketRef) bool {
+		var es []Entry
+		es, err = idx.readBucket(b)
+		if err != nil {
+			return false
+		}
+		kept := make([]Entry, 0, len(es))
+		for _, e := range es {
+			if _, x := gone[e.Day]; !x {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) > 0 {
+			groups[key] = kept
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("index: packed merge: %w", err)
+	}
+	for _, b := range adds {
+		for _, p := range b.Postings {
+			groups[p.Key] = append(groups[p.Key], p.Entry)
+		}
+	}
+	days := make(map[int]struct{})
+	for d := range idx.days {
+		if _, x := gone[int32(d)]; !x {
+			days[d] = struct{}{}
+		}
+	}
+	for _, b := range adds {
+		days[b.Day] = struct{}{}
+	}
+	out, err := buildFromGroups(idx.store, idx.opts, groups, days)
+	if err != nil {
+		return nil, fmt.Errorf("index: packed merge: %w", err)
+	}
+	return out, nil
+}
+
+// buildFromGroups writes a packed index for pre-collated per-key entries.
+func buildFromGroups(store simdisk.BlockStore, opts Options, groups map[string][]Entry, days map[int]struct{}) (*Index, error) {
+	idx := NewEmpty(store, opts)
+	for d := range days {
+		idx.days[d] = struct{}{}
+	}
+	if len(groups) == 0 {
+		return idx, nil
+	}
+	keys := make([]string, 0, len(groups))
+	total := 0
+	for k, es := range groups {
+		keys = append(keys, k)
+		total += len(es)
+	}
+	sort.Strings(keys)
+	bs := int64(store.BlockSize())
+	seg, err := store.Alloc((int64(total)*EntrySize + bs - 1) / bs)
+	if err != nil {
+		return nil, err
+	}
+	idx.seg = seg
+	idx.allocBytes += seg.Bytes(store.BlockSize())
+	buf := make([]byte, total*EntrySize)
+	var off int64
+	for _, k := range keys {
+		es := groups[k]
+		for i, e := range es {
+			encodeEntry(buf[off+int64(i*EntrySize):], e)
+		}
+		idx.dir.set(k, &bucketRef{off: off, used: len(es), cap: len(es)})
+		off += int64(len(es) * EntrySize)
+	}
+	if err := store.WriteAt(seg, 0, buf); err != nil {
+		return nil, err
+	}
+	idx.entries = total
+	return idx, nil
+}

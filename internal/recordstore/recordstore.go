@@ -1,0 +1,339 @@
+// Package recordstore implements the record side of the paper's Figure 1:
+// index entries are pointers to records, and this package stores the
+// records themselves. It provides a slotted-page heap file over a block
+// store plus a day-partitioned wrapper whose expiry model matches wave
+// indexes: a whole day's records are dropped in one cheap bulk operation,
+// mirroring how WATA-family schemes throw whole indexes away.
+package recordstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"waveindex/internal/simdisk"
+)
+
+// Record store errors.
+var (
+	ErrNotFound = errors.New("recordstore: record not found")
+	ErrDeleted  = errors.New("recordstore: record deleted")
+	ErrTooLarge = errors.New("recordstore: record exceeds page capacity")
+	ErrBadID    = errors.New("recordstore: malformed record id")
+)
+
+// ID identifies a record within one Store: page number in the high 32
+// bits, slot number in the low 16.
+type ID uint64
+
+func makeID(page, slot int) ID { return ID(uint64(page)<<16 | uint64(slot)) }
+
+func (id ID) page() int { return int(uint64(id) >> 16) }
+func (id ID) slot() int { return int(uint64(id) & 0xFFFF) }
+
+// String renders the id as page/slot.
+func (id ID) String() string { return fmt.Sprintf("%d/%d", id.page(), id.slot()) }
+
+const (
+	headerBytes = 6 // numSlots u16, freeStart u16, freeEnd u16
+	slotBytes   = 4 // offset u16, length u16
+)
+
+// Options configure a record store.
+type Options struct {
+	// PageBytes is the slotted-page size; it must fit a whole number of
+	// store blocks. 0 means one block.
+	PageBytes int
+}
+
+// Store is a slotted-page heap file: records are appended into pages with
+// an in-page slot directory, so records can be addressed stably while
+// pages fill from both ends (slots grow up, record bytes grow down).
+type Store struct {
+	bs        simdisk.BlockStore
+	pageBytes int
+	pages     []pageMeta
+	live      int
+}
+
+type pageMeta struct {
+	ext       simdisk.Extent
+	numSlots  int
+	freeStart int // first free byte after the slot directory
+	freeEnd   int // first used record byte (records occupy [freeEnd, pageBytes))
+	liveSlots int
+	dead      bool // page freed after every slot was deleted
+}
+
+// New returns an empty record store on the block store.
+func New(bs simdisk.BlockStore, opts Options) (*Store, error) {
+	pb := opts.PageBytes
+	if pb == 0 {
+		pb = bs.BlockSize()
+	}
+	if pb < headerBytes+slotBytes+1 {
+		return nil, fmt.Errorf("recordstore: page size %d too small", pb)
+	}
+	if pb%bs.BlockSize() != 0 {
+		return nil, fmt.Errorf("recordstore: page size %d not a multiple of block size %d", pb, bs.BlockSize())
+	}
+	return &Store{bs: bs, pageBytes: pb}, nil
+}
+
+// MaxRecordBytes is the largest record the store accepts.
+func (s *Store) MaxRecordBytes() int {
+	max := s.pageBytes - headerBytes - slotBytes
+	if max > 0xFFFE { // lengths are stored as n+1 in a uint16
+		max = 0xFFFE
+	}
+	return max
+}
+
+// NumRecords returns the number of live records.
+func (s *Store) NumRecords() int { return s.live }
+
+// NumPages returns the number of allocated pages.
+func (s *Store) NumPages() int { return len(s.pages) }
+
+// Insert stores data and returns its ID. Records never span pages.
+func (s *Store) Insert(data []byte) (ID, error) {
+	if len(data) > s.MaxRecordBytes() {
+		return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(data), s.MaxRecordBytes())
+	}
+	page := -1
+	for i := range s.pages {
+		p := &s.pages[i]
+		if !p.dead && p.numSlots < 0xFFFF && p.freeEnd-p.freeStart >= len(data)+slotBytes {
+			page = i
+			break
+		}
+	}
+	if page < 0 {
+		ext, err := s.bs.Alloc(int64(s.pageBytes) / int64(s.bs.BlockSize()))
+		if err != nil {
+			return 0, err
+		}
+		s.pages = append(s.pages, pageMeta{ext: ext, freeStart: headerBytes, freeEnd: s.pageBytes})
+		page = len(s.pages) - 1
+	}
+	p := &s.pages[page]
+	slot := p.numSlots
+	off := p.freeEnd - len(data)
+	if err := s.bs.WriteAt(p.ext, int64(off), data); err != nil {
+		return 0, err
+	}
+	var se [slotBytes]byte
+	binary.LittleEndian.PutUint16(se[0:2], uint16(off))
+	// Lengths are stored as n+1 so a zero marks a deleted slot and empty
+	// records remain representable.
+	binary.LittleEndian.PutUint16(se[2:4], uint16(len(data)+1))
+	if err := s.bs.WriteAt(p.ext, int64(headerBytes+slot*slotBytes), se[:]); err != nil {
+		return 0, err
+	}
+	p.numSlots++
+	p.liveSlots++
+	p.freeStart += slotBytes
+	p.freeEnd = off
+	if err := s.writeHeader(p); err != nil {
+		return 0, err
+	}
+	s.live++
+	return makeID(page, slot), nil
+}
+
+func (s *Store) writeHeader(p *pageMeta) error {
+	var h [headerBytes]byte
+	binary.LittleEndian.PutUint16(h[0:2], uint16(p.numSlots))
+	binary.LittleEndian.PutUint16(h[2:4], uint16(p.freeStart))
+	binary.LittleEndian.PutUint16(h[4:6], uint16(p.freeEnd))
+	return s.bs.WriteAt(p.ext, 0, h[:])
+}
+
+func (s *Store) pageOf(id ID) (*pageMeta, error) {
+	pi := id.page()
+	if pi >= len(s.pages) {
+		return nil, fmt.Errorf("%w: %v", ErrBadID, id)
+	}
+	return &s.pages[pi], nil
+}
+
+// Get returns a copy of the record's bytes.
+func (s *Store) Get(id ID) ([]byte, error) {
+	p, err := s.pageOf(id)
+	if err != nil {
+		return nil, err
+	}
+	if id.slot() >= p.numSlots {
+		return nil, fmt.Errorf("%w: %v", ErrBadID, id)
+	}
+	if p.dead {
+		return nil, fmt.Errorf("%w: %v", ErrDeleted, id)
+	}
+	var se [slotBytes]byte
+	if err := s.bs.ReadAt(p.ext, int64(headerBytes+id.slot()*slotBytes), se[:]); err != nil {
+		return nil, err
+	}
+	off := int(binary.LittleEndian.Uint16(se[0:2]))
+	n := int(binary.LittleEndian.Uint16(se[2:4]))
+	if n == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrDeleted, id)
+	}
+	buf := make([]byte, n-1)
+	if err := s.bs.ReadAt(p.ext, int64(off), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Delete marks a record deleted. Space within the page is reclaimed only
+// when the whole page empties (it is then freed) — like the paper's
+// lazy-deletion discussion, individual deletes are cheap but leave holes.
+func (s *Store) Delete(id ID) error {
+	p, err := s.pageOf(id)
+	if err != nil {
+		return err
+	}
+	if id.slot() >= p.numSlots {
+		return fmt.Errorf("%w: %v", ErrBadID, id)
+	}
+	if p.dead {
+		return fmt.Errorf("%w: %v", ErrDeleted, id)
+	}
+	var se [slotBytes]byte
+	slotOff := int64(headerBytes + id.slot()*slotBytes)
+	if err := s.bs.ReadAt(p.ext, slotOff, se[:]); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint16(se[2:4]) == 0 {
+		return fmt.Errorf("%w: %v", ErrDeleted, id)
+	}
+	binary.LittleEndian.PutUint16(se[2:4], 0)
+	if err := s.bs.WriteAt(p.ext, slotOff, se[:]); err != nil {
+		return err
+	}
+	p.liveSlots--
+	s.live--
+	if p.liveSlots == 0 && p.ext.Valid() {
+		if err := s.bs.Free(p.ext); err != nil {
+			return err
+		}
+		p.ext = simdisk.Extent{}
+		p.dead = true // slot numbering preserved so stale IDs report deleted
+	}
+	return nil
+}
+
+// Drop frees every page.
+func (s *Store) Drop() error {
+	for i := range s.pages {
+		p := &s.pages[i]
+		if p.ext.Valid() {
+			if err := s.bs.Free(p.ext); err != nil {
+				return err
+			}
+			p.ext = simdisk.Extent{}
+			p.dead = true
+		}
+	}
+	s.pages = nil
+	s.live = 0
+	return nil
+}
+
+// Ref is a record reference carrying the day partition — the value wave
+// index entries store in RecordID.
+type Ref struct {
+	Day int
+	ID  ID
+}
+
+// EncodeRef packs a Ref into a uint64 (day in the high 16 bits) for use
+// as an index entry's RecordID.
+func EncodeRef(r Ref) uint64 { return uint64(r.Day)<<48 | uint64(r.ID) }
+
+// DecodeRef unpacks EncodeRef's result.
+func DecodeRef(v uint64) Ref {
+	return Ref{Day: int(v >> 48), ID: ID(v & 0xFFFFFFFFFFFF)}
+}
+
+// DayStore partitions records by day so a day's records can be dropped
+// wholesale when the window slides past them.
+type DayStore struct {
+	bs    simdisk.BlockStore
+	opts  Options
+	byDay map[int]*Store
+}
+
+// NewDayStore returns an empty day-partitioned store.
+func NewDayStore(bs simdisk.BlockStore, opts Options) *DayStore {
+	return &DayStore{bs: bs, opts: opts, byDay: map[int]*Store{}}
+}
+
+// Insert stores data under the given day.
+func (d *DayStore) Insert(day int, data []byte) (Ref, error) {
+	s, ok := d.byDay[day]
+	if !ok {
+		var err error
+		s, err = New(d.bs, d.opts)
+		if err != nil {
+			return Ref{}, err
+		}
+		d.byDay[day] = s
+	}
+	id, err := s.Insert(data)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Day: day, ID: id}, nil
+}
+
+// Get resolves a reference.
+func (d *DayStore) Get(r Ref) ([]byte, error) {
+	s, ok := d.byDay[r.Day]
+	if !ok {
+		return nil, fmt.Errorf("%w: day %d expired", ErrNotFound, r.Day)
+	}
+	return s.Get(r.ID)
+}
+
+// DropDay bulk-frees a day's records.
+func (d *DayStore) DropDay(day int) error {
+	s, ok := d.byDay[day]
+	if !ok {
+		return nil
+	}
+	delete(d.byDay, day)
+	return s.Drop()
+}
+
+// DropBefore frees every day older than the given day.
+func (d *DayStore) DropBefore(day int) error {
+	for dd := range d.byDay {
+		if dd < day {
+			if err := d.DropDay(dd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Days returns the retained days in ascending order.
+func (d *DayStore) Days() []int {
+	out := make([]int, 0, len(d.byDay))
+	for dd := range d.byDay {
+		out = append(out, dd)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumRecords returns the live record count across all days.
+func (d *DayStore) NumRecords() int {
+	n := 0
+	for _, s := range d.byDay {
+		n += s.NumRecords()
+	}
+	return n
+}

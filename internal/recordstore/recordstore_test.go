@@ -1,0 +1,306 @@
+package recordstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"waveindex/internal/simdisk"
+)
+
+func newStore(t testing.TB, pageBytes int) *Store {
+	t.Helper()
+	bs := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+	t.Cleanup(func() { bs.Close() })
+	s, err := New(bs, Options{PageBytes: pageBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	s := newStore(t, 512)
+	records := [][]byte{
+		[]byte("first record"),
+		[]byte("a rather longer second record with more content"),
+		[]byte("x"),
+		{},
+	}
+	var ids []ID
+	for _, r := range records {
+		id, err := s.Insert(r)
+		if err != nil {
+			t.Fatalf("Insert(%q): %v", r, err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		got, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", id, err)
+		}
+		if !bytes.Equal(got, records[i]) {
+			t.Errorf("record %d = %q, want %q", i, got, records[i])
+		}
+	}
+	if s.NumRecords() != len(records) {
+		t.Errorf("NumRecords = %d, want %d", s.NumRecords(), len(records))
+	}
+}
+
+func TestRecordsSpillToNewPages(t *testing.T) {
+	s := newStore(t, 256)
+	payload := make([]byte, 100)
+	var ids []ID
+	for i := 0; i < 10; i++ {
+		payload[0] = byte(i)
+		id, err := s.Insert(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if s.NumPages() < 5 {
+		t.Errorf("NumPages = %d, want >= 5 (two 100-byte records per 256-byte page)", s.NumPages())
+	}
+	for i, id := range ids {
+		got, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Errorf("record %d corrupted after spills", i)
+		}
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	s := newStore(t, 256)
+	if _, err := s.Insert(make([]byte, s.MaxRecordBytes()+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized insert err = %v", err)
+	}
+	if _, err := s.Insert(make([]byte, s.MaxRecordBytes())); err != nil {
+		t.Errorf("max-size insert failed: %v", err)
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	s := newStore(t, 512)
+	id1, _ := s.Insert([]byte("keep"))
+	id2, _ := s.Insert([]byte("drop"))
+	if err := s.Delete(id2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id2); !errors.Is(err, ErrDeleted) {
+		t.Errorf("Get deleted err = %v", err)
+	}
+	if err := s.Delete(id2); !errors.Is(err, ErrDeleted) {
+		t.Errorf("double Delete err = %v", err)
+	}
+	if got, err := s.Get(id1); err != nil || string(got) != "keep" {
+		t.Errorf("sibling record damaged: %q, %v", got, err)
+	}
+	if s.NumRecords() != 1 {
+		t.Errorf("NumRecords = %d, want 1", s.NumRecords())
+	}
+}
+
+func TestEmptyPageFreed(t *testing.T) {
+	bs := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+	defer bs.Close()
+	s, err := New(bs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Insert([]byte("solo"))
+	if bs.Stats().UsedBlocks == 0 {
+		t.Fatal("no page allocated")
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := bs.Stats().UsedBlocks; got != 0 {
+		t.Errorf("UsedBlocks = %d after emptying the only page, want 0", got)
+	}
+}
+
+func TestBadIDs(t *testing.T) {
+	s := newStore(t, 512)
+	if _, err := s.Get(makeID(5, 0)); !errors.Is(err, ErrBadID) {
+		t.Errorf("bad page err = %v", err)
+	}
+	s.Insert([]byte("x"))
+	if _, err := s.Get(makeID(0, 9)); !errors.Is(err, ErrBadID) {
+		t.Errorf("bad slot err = %v", err)
+	}
+	if err := s.Delete(makeID(0, 9)); !errors.Is(err, ErrBadID) {
+		t.Errorf("bad slot delete err = %v", err)
+	}
+}
+
+func TestDropFreesEverything(t *testing.T) {
+	bs := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+	defer bs.Close()
+	s, _ := New(bs, Options{PageBytes: 256})
+	for i := 0; i < 50; i++ {
+		if _, err := s.Insert(make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bs.Stats().UsedBlocks; got != 0 {
+		t.Errorf("UsedBlocks = %d after Drop, want 0", got)
+	}
+	if s.NumRecords() != 0 {
+		t.Errorf("NumRecords = %d after Drop", s.NumRecords())
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bs := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+	defer bs.Close()
+	if _, err := New(bs, Options{PageBytes: 100}); err == nil {
+		t.Error("non-multiple page size accepted")
+	}
+	if _, err := New(bs, Options{PageBytes: 256}); err != nil {
+		t.Errorf("one-block page rejected: %v", err)
+	}
+}
+
+func TestRefCodec(t *testing.T) {
+	cases := []Ref{
+		{Day: 1, ID: makeID(0, 0)},
+		{Day: 30000, ID: makeID(123456, 42)},
+		{Day: 0, ID: makeID(1, 1)},
+	}
+	for _, r := range cases {
+		if got := DecodeRef(EncodeRef(r)); got != r {
+			t.Errorf("ref round-trip: %+v -> %+v", r, got)
+		}
+	}
+	if makeID(3, 7).String() != "3/7" {
+		t.Errorf("ID.String = %s", makeID(3, 7))
+	}
+}
+
+func TestDayStoreLifecycle(t *testing.T) {
+	bs := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+	defer bs.Close()
+	ds := NewDayStore(bs, Options{})
+	refs := map[int][]Ref{}
+	for day := 1; day <= 5; day++ {
+		for i := 0; i < 10; i++ {
+			r, err := ds.Insert(day, []byte(fmt.Sprintf("d%d-r%d", day, i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[day] = append(refs[day], r)
+		}
+	}
+	if ds.NumRecords() != 50 {
+		t.Errorf("NumRecords = %d, want 50", ds.NumRecords())
+	}
+	if fmt.Sprint(ds.Days()) != "[1 2 3 4 5]" {
+		t.Errorf("Days = %v", ds.Days())
+	}
+	got, err := ds.Get(refs[3][4])
+	if err != nil || string(got) != "d3-r4" {
+		t.Errorf("Get = %q, %v", got, err)
+	}
+	// Slide the window: drop days < 3.
+	if err := ds.DropBefore(3); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ds.Days()) != "[3 4 5]" {
+		t.Errorf("Days after DropBefore = %v", ds.Days())
+	}
+	if _, err := ds.Get(refs[1][0]); !errors.Is(err, ErrNotFound) {
+		t.Errorf("expired Get err = %v", err)
+	}
+	if err := ds.DropDay(99); err != nil {
+		t.Errorf("dropping absent day: %v", err)
+	}
+	for day := 3; day <= 5; day++ {
+		if err := ds.DropDay(day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bs.Stats().UsedBlocks; got != 0 {
+		t.Errorf("UsedBlocks = %d after dropping all days", got)
+	}
+}
+
+// TestQuickModelConformance compares the store against a map model under
+// random insert/get/delete interleavings with varied record sizes.
+func TestQuickModelConformance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bs := simdisk.NewRAM(simdisk.Config{BlockSize: 256})
+		defer bs.Close()
+		s, err := New(bs, Options{PageBytes: 512})
+		if err != nil {
+			return false
+		}
+		model := map[ID][]byte{}
+		var ids []ID
+		for step := 0; step < 300; step++ {
+			switch {
+			case len(ids) == 0 || rng.Intn(3) > 0: // insert
+				n := rng.Intn(s.MaxRecordBytes())
+				data := make([]byte, n)
+				rng.Read(data)
+				id, err := s.Insert(data)
+				if err != nil {
+					t.Logf("Insert: %v", err)
+					return false
+				}
+				if _, dup := model[id]; dup {
+					t.Logf("duplicate id %v", id)
+					return false
+				}
+				model[id] = data
+				ids = append(ids, id)
+			case rng.Intn(2) == 0: // get
+				id := ids[rng.Intn(len(ids))]
+				got, err := s.Get(id)
+				want, live := model[id]
+				if live {
+					if err != nil || !bytes.Equal(got, want) {
+						t.Logf("Get(%v) = %v, %v", id, got, err)
+						return false
+					}
+				} else if !errors.Is(err, ErrDeleted) {
+					t.Logf("Get deleted (%v) err = %v", id, err)
+					return false
+				}
+			default: // delete
+				id := ids[rng.Intn(len(ids))]
+				err := s.Delete(id)
+				if _, live := model[id]; live {
+					if err != nil {
+						t.Logf("Delete(%v): %v", id, err)
+						return false
+					}
+					delete(model, id)
+				} else if !errors.Is(err, ErrDeleted) {
+					t.Logf("double Delete err = %v", err)
+					return false
+				}
+			}
+			if s.NumRecords() != len(model) {
+				t.Logf("NumRecords = %d, want %d", s.NumRecords(), len(model))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

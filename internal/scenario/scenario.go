@@ -1,0 +1,133 @@
+// Package scenario encodes the three case studies of the paper's §6 —
+// SCAM copy detection, a generic Web search engine (WSE), and TPC-D
+// warehousing — with the measured and estimated parameter values of
+// Table 12.
+package scenario
+
+import (
+	"time"
+
+	"waveindex/internal/costmodel"
+)
+
+// ScanScope selects which constituents a day's segment scans touch.
+type ScanScope int
+
+const (
+	// ScanNone means the scenario runs no segment scans.
+	ScanNone ScanScope = iota
+	// ScanCurrentDay scans only the constituent holding the newest day
+	// (SCAM's registration checks: Scan_idx = 1).
+	ScanCurrentDay
+	// ScanWholeWindow scans every constituent (TPC-D's analytical
+	// queries: Scan_idx = n).
+	ScanWholeWindow
+)
+
+// Scenario is one §6 application with its Table 12 parameters.
+type Scenario struct {
+	// Name identifies the case study.
+	Name string
+	// W is the required window in days.
+	W int
+	// Params are the §5 cost-model parameters.
+	Params costmodel.Params
+	// ProbesPerDay is Probe_num; probes touch all constituents
+	// (Probe_idx = n in every case study).
+	ProbesPerDay int
+	// ScansPerDay is Scan_num.
+	ScansPerDay int
+	// ScanScope is the paper's Scan_idx choice.
+	ScanScope ScanScope
+}
+
+const mb = int64(1) << 20
+
+// SCAM is the copy-detection service: one week of Netnews articles,
+// ~70,000 articles/day, 100 queries/day each issuing 100 probes, plus 10
+// registration scans over the current day's index.
+func SCAM() Scenario {
+	return Scenario{
+		Name: "SCAM",
+		W:    7,
+		Params: costmodel.Params{
+			Seek:         14 * time.Millisecond,
+			TransferRate: 10 * mb,
+			S:            56 * mb,
+			SPrime:       784 * mb / 10, // 78.4 MB
+			C:            100,
+			G:            2.0,
+			Build:        1686 * time.Second,
+			Add:          3341 * time.Second,
+			Del:          3341 * time.Second,
+			DropTime:     3 * time.Millisecond,
+		},
+		ProbesPerDay: 100_000,
+		ScansPerDay:  10,
+		ScanScope:    ScanCurrentDay,
+	}
+}
+
+// WSE is a generic Web search engine indexing 35 days of Netnews:
+// parameters scaled from SCAM by 100,000/70,000 articles per day, with
+// 170,000 queries/day at about two probes each.
+func WSE() Scenario {
+	return Scenario{
+		Name: "WSE",
+		W:    35,
+		Params: costmodel.Params{
+			Seek:         14 * time.Millisecond,
+			TransferRate: 10 * mb,
+			S:            75 * mb,
+			SPrime:       105 * mb,
+			C:            100,
+			G:            2.0,
+			Build:        2276 * time.Second,
+			Add:          4678 * time.Second,
+			Del:          4678 * time.Second,
+			DropTime:     3 * time.Millisecond,
+		},
+		ProbesPerDay: 340_000,
+		ScansPerDay:  0,
+		ScanScope:    ScanNone,
+	}
+}
+
+// TPCD is the warehousing scenario: a SUPPKEY wave index over 100 days of
+// LINEITEM arrivals, queried by 10 daily Q1-style scans over the whole
+// window. SUPPKEY values are uniform, so the CONTIGUOUS growth factor is
+// 1.08 and S' is only 4.5% above S.
+func TPCD() Scenario {
+	return Scenario{
+		Name: "TPC-D",
+		W:    100,
+		Params: costmodel.Params{
+			Seek:         14 * time.Millisecond,
+			TransferRate: 10 * mb,
+			S:            600 * mb,
+			SPrime:       627 * mb,
+			C:            100,
+			G:            1.08,
+			Build:        8406 * time.Second,
+			Add:          11431 * time.Second,
+			Del:          11431 * time.Second,
+			DropTime:     3 * time.Millisecond,
+		},
+		ProbesPerDay: 0,
+		ScansPerDay:  10,
+		ScanScope:    ScanWholeWindow,
+	}
+}
+
+// All returns the three case studies.
+func All() []Scenario { return []Scenario{SCAM(), WSE(), TPCD()} }
+
+// ByName resolves a scenario by its name.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable12Values(t *testing.T) {
+	scam := SCAM()
+	if scam.W != 7 || scam.ProbesPerDay != 100_000 || scam.ScansPerDay != 10 {
+		t.Errorf("SCAM workload: %+v", scam)
+	}
+	if scam.Params.S != 56<<20 {
+		t.Errorf("SCAM S = %d, want 56 MB", scam.Params.S)
+	}
+	if got := float64(scam.Params.SPrime) / float64(1<<20); got < 78.39 || got > 78.41 {
+		t.Errorf("SCAM S' = %.2f MB, want 78.4", got)
+	}
+	if scam.Params.Build != 1686*time.Second || scam.Params.Add != 3341*time.Second {
+		t.Errorf("SCAM op times: build=%v add=%v", scam.Params.Build, scam.Params.Add)
+	}
+	if scam.Params.G != 2.0 || scam.ScanScope != ScanCurrentDay {
+		t.Errorf("SCAM g=%v scope=%v", scam.Params.G, scam.ScanScope)
+	}
+
+	wse := WSE()
+	if wse.W != 35 || wse.ProbesPerDay != 340_000 || wse.ScansPerDay != 0 {
+		t.Errorf("WSE workload: %+v", wse)
+	}
+	if wse.Params.S != 75<<20 || wse.Params.SPrime != 105<<20 {
+		t.Errorf("WSE sizes: S=%d S'=%d", wse.Params.S, wse.Params.SPrime)
+	}
+
+	tpcd := TPCD()
+	if tpcd.W != 100 || tpcd.ScansPerDay != 10 || tpcd.ScanScope != ScanWholeWindow {
+		t.Errorf("TPC-D workload: %+v", tpcd)
+	}
+	if tpcd.Params.G != 1.08 || tpcd.Params.Build != 8406*time.Second {
+		t.Errorf("TPC-D params: g=%v build=%v", tpcd.Params.G, tpcd.Params.Build)
+	}
+
+	for _, sc := range All() {
+		if sc.Params.Seek != 14*time.Millisecond || sc.Params.TransferRate != 10<<20 {
+			t.Errorf("%s hardware params wrong", sc.Name)
+		}
+		if err := sc.Params.Validate(); err != nil {
+			t.Errorf("%s params invalid: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SCAM", "WSE", "TPC-D"} {
+		sc, ok := ByName(name)
+		if !ok || sc.Name != name {
+			t.Errorf("ByName(%q) = %+v, %v", name, sc, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName accepted unknown scenario")
+	}
+}

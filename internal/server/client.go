@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"waveindex/wave"
+)
+
+// Client is a typed client for the waved line protocol. It is not safe
+// for concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a waved server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.w, "QUIT")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) readLine() (string, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", errors.New("server: connection closed")
+	}
+	return c.r.Text(), nil
+}
+
+func (c *Client) expectOK() (string, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return "", err
+	}
+	if strings.HasPrefix(line, "ERR ") {
+		return "", errors.New(strings.TrimPrefix(line, "ERR "))
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return "", fmt.Errorf("server: unexpected reply %q", line)
+	}
+	return strings.TrimSpace(strings.TrimPrefix(line, "OK")), nil
+}
+
+// AddDay ingests one day batch.
+func (c *Client) AddDay(day int, postings []wave.Posting) error {
+	fmt.Fprintf(c.w, "ADDDAY %d %d\n", day, len(postings))
+	for _, p := range postings {
+		fmt.Fprintf(c.w, "%s %d %d\n", p.Key, p.Entry.RecordID, p.Entry.Aux)
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expectOK()
+	return err
+}
+
+func (c *Client) probe(cmd string) ([]wave.Entry, error) {
+	fmt.Fprintln(c.w, cmd)
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var out []wave.Entry
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasPrefix(line, "ENTRY "):
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("server: bad entry line %q", line)
+			}
+			day, _ := strconv.Atoi(f[1])
+			rid, _ := strconv.ParseUint(f[2], 10, 64)
+			aux, _ := strconv.ParseUint(f[3], 10, 32)
+			out = append(out, wave.Entry{Day: int32(day), RecordID: rid, Aux: uint32(aux)})
+		case strings.HasPrefix(line, "END "):
+			want, _ := strconv.Atoi(strings.TrimPrefix(line, "END "))
+			if want != len(out) {
+				return nil, fmt.Errorf("server: stream ended with %d entries, header said %d", len(out), want)
+			}
+			return out, nil
+		case strings.HasPrefix(line, "ERR "):
+			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
+		default:
+			return nil, fmt.Errorf("server: unexpected line %q", line)
+		}
+	}
+}
+
+// Probe returns the window entries for key.
+func (c *Client) Probe(key string) ([]wave.Entry, error) {
+	return c.probe("PROBE " + key)
+}
+
+// ProbeRange returns entries for key between days from and to.
+func (c *Client) ProbeRange(key string, from, to int) ([]wave.Entry, error) {
+	return c.probe(fmt.Sprintf("PROBERANGE %s %d %d", key, from, to))
+}
+
+// Count counts window entries; from/to of (0, 0) count the whole window.
+func (c *Client) Count(from, to int) (int, error) {
+	cmd := "COUNT"
+	if from != 0 || to != 0 {
+		cmd = fmt.Sprintf("COUNT %d %d", from, to)
+	}
+	fmt.Fprintln(c.w, cmd)
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	body, err := c.expectOK()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(body)
+}
+
+// KeyCount is one TOPK result row.
+type KeyCount struct {
+	Key   string
+	Count int
+}
+
+// TopK returns the k most frequent keys in the window.
+func (c *Client) TopK(k int) ([]KeyCount, error) {
+	fmt.Fprintf(c.w, "TOPK %d\n", k)
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var out []KeyCount
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasPrefix(line, "KEY "):
+			f := strings.Fields(line)
+			if len(f) != 3 {
+				return nil, fmt.Errorf("server: bad key line %q", line)
+			}
+			n, _ := strconv.Atoi(f[2])
+			out = append(out, KeyCount{Key: f[1], Count: n})
+		case strings.HasPrefix(line, "END "):
+			return out, nil
+		case strings.HasPrefix(line, "ERR "):
+			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
+		default:
+			return nil, fmt.Errorf("server: unexpected line %q", line)
+		}
+	}
+}
+
+// Window returns the current window bounds and readiness.
+func (c *Client) Window() (from, to int, ready bool, err error) {
+	fmt.Fprintln(c.w, "WINDOW")
+	if err = c.w.Flush(); err != nil {
+		return 0, 0, false, err
+	}
+	body, err := c.expectOK()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	var readyStr string
+	if _, err := fmt.Sscanf(body, "%d %d ready=%s", &from, &to, &readyStr); err != nil {
+		return 0, 0, false, fmt.Errorf("server: bad WINDOW reply %q", body)
+	}
+	return from, to, readyStr == "true", nil
+}
+
+// Stats returns the server's raw STATS reply.
+func (c *Client) Stats() (string, error) {
+	fmt.Fprintln(c.w, "STATS")
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	return c.expectOK()
+}

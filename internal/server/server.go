@@ -1,0 +1,269 @@
+// Package server exposes a wave index over a line-oriented TCP protocol —
+// the deployment shape of the paper's motivating applications (a Web
+// service indexing the past month of Netnews). One goroutine per
+// connection; queries run concurrently while daily batch ingestion is
+// serialised, exactly the concurrency model the shadow update techniques
+// are designed for.
+//
+// Protocol (one request per line, space-separated):
+//
+//	ADDDAY <day> <n>            declare a day batch of n postings, then
+//	  <key> <recordID> <aux>    n posting lines
+//	PROBE <key>                 window probe
+//	PROBERANGE <key> <from> <to>
+//	COUNT [<from> <to>]         count window entries (optionally ranged)
+//	TOPK <k>                    k most frequent keys in the window
+//	WINDOW                      current window bounds
+//	STATS                       scheme, days indexed, storage bytes
+//	QUIT                        close the connection
+//
+// Responses: "OK ..." or "ERR <message>"; probes stream
+// "ENTRY <day> <recordID> <aux>" lines terminated by "END <count>";
+// TOPK streams "KEY <key> <count>" lines terminated by "END <k>".
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"waveindex/wave"
+)
+
+// Server serves a wave index over a listener.
+type Server struct {
+	idx *wave.Index
+
+	mu     sync.Mutex // serialises AddDay; queries need no lock
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New returns a server for the index. The server takes over maintenance:
+// callers must not invoke idx.AddDay concurrently with Serve.
+func New(idx *wave.Index) *Server {
+	return &Server{idx: idx, closed: make(chan struct{})}
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	defer s.wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close marks the server closing (the caller closes the listener).
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	out := bufio.NewWriter(conn)
+	defer out.Flush()
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd := strings.ToUpper(fields[0])
+		var err error
+		switch cmd {
+		case "QUIT":
+			fmt.Fprintln(out, "OK bye")
+			out.Flush()
+			return
+		case "ADDDAY":
+			err = s.addDay(in, out, fields[1:])
+		case "PROBE":
+			err = s.probe(out, fields[1:], false)
+		case "PROBERANGE":
+			err = s.probe(out, fields[1:], true)
+		case "COUNT":
+			err = s.count(out, fields[1:])
+		case "TOPK":
+			err = s.topk(out, fields[1:])
+		case "WINDOW":
+			from, to := s.idx.Window()
+			fmt.Fprintf(out, "OK %d %d ready=%v\n", from, to, s.idx.Ready())
+		case "STATS":
+			st := s.idx.Stats()
+			fmt.Fprintf(out, "OK scheme=%s days=%d bytes=%d window=%d..%d\n",
+				st.Scheme, st.DaysIndexed, st.ConstituentBytes, st.WindowFrom, st.WindowTo)
+		default:
+			err = fmt.Errorf("unknown command %q", cmd)
+		}
+		if err != nil {
+			fmt.Fprintf(out, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) addDay(in *bufio.Scanner, out *bufio.Writer, args []string) error {
+	if len(args) != 2 {
+		return errors.New("usage: ADDDAY <day> <n>")
+	}
+	day, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("bad day: %w", err)
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad posting count %q", args[1])
+	}
+	postings := make([]wave.Posting, 0, n)
+	for i := 0; i < n; i++ {
+		if !in.Scan() {
+			return errors.New("connection ended mid-batch")
+		}
+		f := strings.Fields(in.Text())
+		if len(f) != 3 {
+			return fmt.Errorf("posting line %d: want '<key> <recordID> <aux>'", i+1)
+		}
+		rid, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("posting line %d: bad recordID: %w", i+1, err)
+		}
+		aux, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return fmt.Errorf("posting line %d: bad aux: %w", i+1, err)
+		}
+		postings = append(postings, wave.Posting{
+			Key:   f[0],
+			Entry: wave.Entry{RecordID: rid, Aux: uint32(aux), Day: int32(day)},
+		})
+	}
+	s.mu.Lock()
+	err = s.idx.AddDay(day, postings)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "OK day %d ingested (%d postings)\n", day, n)
+	return nil
+}
+
+func (s *Server) probe(out *bufio.Writer, args []string, ranged bool) error {
+	var es []wave.Entry
+	var err error
+	switch {
+	case !ranged && len(args) == 1:
+		es, err = s.idx.Probe(args[0])
+	case ranged && len(args) == 3:
+		var from, to int
+		if from, err = strconv.Atoi(args[1]); err != nil {
+			return fmt.Errorf("bad from: %w", err)
+		}
+		if to, err = strconv.Atoi(args[2]); err != nil {
+			return fmt.Errorf("bad to: %w", err)
+		}
+		es, err = s.idx.ProbeRange(args[0], from, to)
+	default:
+		return errors.New("usage: PROBE <key> | PROBERANGE <key> <from> <to>")
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range es {
+		fmt.Fprintf(out, "ENTRY %d %d %d\n", e.Day, e.RecordID, e.Aux)
+	}
+	fmt.Fprintf(out, "END %d\n", len(es))
+	return nil
+}
+
+func (s *Server) count(out *bufio.Writer, args []string) error {
+	var err error
+	n := 0
+	visit := func(string, wave.Entry) bool { n++; return true }
+	switch len(args) {
+	case 0:
+		err = s.idx.Scan(visit)
+	case 2:
+		var from, to int
+		if from, err = strconv.Atoi(args[0]); err != nil {
+			return fmt.Errorf("bad from: %w", err)
+		}
+		if to, err = strconv.Atoi(args[1]); err != nil {
+			return fmt.Errorf("bad to: %w", err)
+		}
+		err = s.idx.ScanRange(from, to, visit)
+	default:
+		return errors.New("usage: COUNT [<from> <to>]")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "OK %d\n", n)
+	return nil
+}
+
+func (s *Server) topk(out *bufio.Writer, args []string) error {
+	if len(args) != 1 {
+		return errors.New("usage: TOPK <k>")
+	}
+	k, err := strconv.Atoi(args[0])
+	if err != nil || k < 1 {
+		return fmt.Errorf("bad k %q", args[0])
+	}
+	counts := map[string]int{}
+	if err := s.idx.Scan(func(key string, _ wave.Entry) bool {
+		counts[key]++
+		return true
+	}); err != nil {
+		return err
+	}
+	type kc struct {
+		key string
+		n   int
+	}
+	all := make([]kc, 0, len(counts))
+	for key, n := range counts {
+		all = append(all, kc{key, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].key < all[j].key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	for _, e := range all[:k] {
+		fmt.Fprintf(out, "KEY %s %d\n", e.key, e.n)
+	}
+	fmt.Fprintf(out, "END %d\n", k)
+	return nil
+}

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"waveindex/wave"
+)
+
+// startServer launches a server on a loopback listener and returns a
+// dialled client.
+func startServer(t *testing.T, cfg wave.Config) (*Client, *wave.Index) {
+	t.Helper()
+	idx, err := wave.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		l.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		idx.Close()
+	})
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, idx
+}
+
+func postingsFor(day, n int) []wave.Posting {
+	out := make([]wave.Posting, 0, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", i%3)
+		out = append(out, wave.Posting{
+			Key:   key,
+			Entry: wave.Entry{RecordID: uint64(day*100 + i), Aux: uint32(i), Day: int32(day)},
+		})
+	}
+	return out
+}
+
+func TestEndToEndLifecycle(t *testing.T) {
+	c, _ := startServer(t, wave.Config{Window: 4, Indexes: 2, Scheme: wave.REINDEXPlusPlus})
+	// Window before ready.
+	from, to, ready, err := c.Window()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready {
+		t.Errorf("ready before data; window [%d,%d]", from, to)
+	}
+	for d := 1; d <= 7; d++ {
+		if err := c.AddDay(d, postingsFor(d, 6)); err != nil {
+			t.Fatalf("AddDay(%d): %v", d, err)
+		}
+	}
+	from, to, ready, err = c.Window()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ready || from != 4 || to != 7 {
+		t.Fatalf("window = [%d,%d] ready=%v, want [4,7] true", from, to, ready)
+	}
+	es, err := c.Probe("k0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 8 { // 2 of 6 postings per day are k0
+		t.Errorf("probe k0 = %d entries, want 8", len(es))
+	}
+	es, err = c.ProbeRange("k1", 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 4 {
+		t.Errorf("ranged probe = %d entries, want 4", len(es))
+	}
+	n, err := c.Count(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 24 {
+		t.Errorf("count = %d, want 24", n)
+	}
+	n, err = c.Count(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Errorf("ranged count = %d, want 6", n)
+	}
+	top, err := c.TopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Count < top[1].Count {
+		t.Errorf("topk = %v", top)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats, "scheme=REINDEX++") {
+		t.Errorf("stats = %q", stats)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	c, _ := startServer(t, wave.Config{Window: 3, Indexes: 2})
+	// Probe before ready.
+	if _, err := c.Probe("x"); err == nil {
+		t.Error("pre-ready probe accepted")
+	}
+	// Non-consecutive day.
+	if err := c.AddDay(5, nil); err == nil {
+		t.Error("non-consecutive day accepted")
+	}
+	// The connection stays usable after errors.
+	if err := c.AddDay(1, postingsFor(1, 2)); err != nil {
+		t.Fatalf("AddDay after error: %v", err)
+	}
+}
+
+func TestRawProtocolErrors(t *testing.T) {
+	cLib, _ := startServer(t, wave.Config{Window: 3, Indexes: 2})
+	_ = cLib
+	// Talk raw to a second connection of the same server via the client's
+	// address - simplest is a fresh server.
+	idx, err := wave.New(wave.Config{Window: 3, Indexes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx)
+	go srv.Serve(l)
+	defer func() { srv.Close(); l.Close() }()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	send := func(s string) string {
+		fmt.Fprintln(conn, s)
+		if !sc.Scan() {
+			t.Fatalf("no reply to %q", s)
+		}
+		return sc.Text()
+	}
+	for _, bad := range []string{
+		"NOSUCH",
+		"ADDDAY",
+		"ADDDAY x 1",
+		"ADDDAY 1 -1",
+		"PROBE",
+		"PROBERANGE k 1",
+		"COUNT 1",
+		"TOPK",
+		"TOPK 0",
+	} {
+		if reply := send(bad); !strings.HasPrefix(reply, "ERR ") {
+			t.Errorf("%q -> %q, want ERR", bad, reply)
+		}
+	}
+	if reply := send("WINDOW"); !strings.HasPrefix(reply, "OK ") {
+		t.Errorf("WINDOW -> %q", reply)
+	}
+	if reply := send("QUIT"); reply != "OK bye" {
+		t.Errorf("QUIT -> %q", reply)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c, _ := startServer(t, wave.Config{Window: 5, Indexes: 3, Scheme: wave.WATAStar})
+	for d := 1; d <= 5; d++ {
+		if err := c.AddDay(d, postingsFor(d, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr := c.conn.RemoteAddr().String()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	// Query clients hammer while the main client keeps ingesting.
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			qc, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer qc.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := qc.Probe(fmt.Sprintf("k%d", q%3)); err != nil {
+					errs <- fmt.Errorf("client %d: %w", q, err)
+					return
+				}
+			}
+		}(q)
+	}
+	for d := 6; d <= 20; d++ {
+		if err := c.AddDay(d, postingsFor(d, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

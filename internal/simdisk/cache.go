@@ -1,0 +1,229 @@
+package simdisk
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache wraps a BlockStore with a write-through LRU block cache. Reads
+// served entirely from memory bypass the inner store and therefore cost
+// no simulated disk time — modelling the memory caching the paper credits
+// for the efficiency of batched daily updates (§2.1). Writes go to both
+// the cache and the store, so the store remains authoritative.
+type Cache struct {
+	inner BlockStore
+
+	mu     sync.Mutex
+	cap    int
+	pages  map[int64]*list.Element // absolute block number -> lru element
+	lru    *list.List              // front = most recent; value = *cachePage
+	hits   int64
+	misses int64
+}
+
+type cachePage struct {
+	block int64
+	data  []byte
+}
+
+// NewCache wraps inner with an LRU cache of capBlocks blocks
+// (minimum 1).
+func NewCache(inner BlockStore, capBlocks int) *Cache {
+	if capBlocks < 1 {
+		capBlocks = 1
+	}
+	return &Cache{
+		inner: inner,
+		cap:   capBlocks,
+		pages: make(map[int64]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits     int64
+	Misses   int64
+	Resident int
+}
+
+// CacheStats returns hit/miss counters and resident block count.
+func (c *Cache) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Resident: len(c.pages)}
+}
+
+// BlockSize implements BlockStore.
+func (c *Cache) BlockSize() int { return c.inner.BlockSize() }
+
+// Alloc implements BlockStore.
+func (c *Cache) Alloc(blocks int64) (Extent, error) { return c.inner.Alloc(blocks) }
+
+// Free implements BlockStore, invalidating cached blocks of the extent.
+func (c *Cache) Free(ext Extent) error {
+	if err := c.inner.Free(ext); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for b := ext.Start; b < ext.End(); b++ {
+		if el, ok := c.pages[b]; ok {
+			c.lru.Remove(el)
+			delete(c.pages, b)
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Stats implements BlockStore (the inner store's counters: cache hits do
+// not appear as disk activity).
+func (c *Cache) Stats() Stats { return c.inner.Stats() }
+
+// ResetStats implements BlockStore.
+func (c *Cache) ResetStats() { c.inner.ResetStats() }
+
+// Close implements BlockStore.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	c.pages = make(map[int64]*list.Element)
+	c.lru.Init()
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+// touch marks a page most-recently-used.
+func (c *Cache) touch(el *list.Element) { c.lru.MoveToFront(el) }
+
+// install caches data for block, evicting the LRU page if full.
+// Caller holds c.mu.
+func (c *Cache) install(block int64, data []byte) {
+	if el, ok := c.pages[block]; ok {
+		copy(el.Value.(*cachePage).data, data)
+		c.touch(el)
+		return
+	}
+	for len(c.pages) >= c.cap {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		c.lru.Remove(tail)
+		delete(c.pages, tail.Value.(*cachePage).block)
+	}
+	page := &cachePage{block: block, data: append([]byte(nil), data...)}
+	c.pages[block] = c.lru.PushFront(page)
+}
+
+// blockRange returns the absolute block span covering [abs, abs+n).
+func (c *Cache) blockRange(abs, n int64) (first, last int64) {
+	bs := int64(c.BlockSize())
+	return abs / bs, (abs + n - 1) / bs
+}
+
+// ReadAt implements BlockStore: a read whose blocks are all resident is
+// served from memory; otherwise the whole range is read from the inner
+// store (one sequential transfer) and cached.
+func (c *Cache) ReadAt(ext Extent, off int64, p []byte) error {
+	if len(p) == 0 {
+		return c.inner.ReadAt(ext, off, p)
+	}
+	bs := int64(c.BlockSize())
+	abs := ext.Start*bs + off
+	first, last := c.blockRange(abs, int64(len(p)))
+
+	c.mu.Lock()
+	allHit := true
+	for b := first; b <= last; b++ {
+		if _, ok := c.pages[b]; !ok {
+			allHit = false
+			break
+		}
+	}
+	if allHit {
+		for b := first; b <= last; b++ {
+			el := c.pages[b]
+			c.touch(el)
+			data := el.Value.(*cachePage).data
+			// Intersect block b with [abs, abs+len(p)).
+			bStart := b * bs
+			from := max64(abs, bStart)
+			to := min64(abs+int64(len(p)), bStart+bs)
+			copy(p[from-abs:to-abs], data[from-bStart:to-bStart])
+		}
+		c.hits++
+		c.mu.Unlock()
+		return nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Miss: read the full covering block range from the inner store so
+	// whole blocks can be cached.
+	rangeOff := first*bs - ext.Start*bs
+	rangeLen := (last - first + 1) * bs
+	// Clamp to the extent (the final block may extend past it).
+	if rangeOff+rangeLen > ext.Blocks*bs {
+		rangeLen = ext.Blocks*bs - rangeOff
+	}
+	buf := make([]byte, rangeLen)
+	if err := c.inner.ReadAt(ext, rangeOff, buf); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for b := first; b <= last; b++ {
+		bOff := (b - first) * bs
+		if bOff >= rangeLen {
+			break
+		}
+		end := min64(bOff+bs, rangeLen)
+		block := make([]byte, bs)
+		copy(block, buf[bOff:end])
+		c.install(b, block)
+	}
+	c.mu.Unlock()
+	copy(p, buf[abs-(first*bs):])
+	return nil
+}
+
+// WriteAt implements BlockStore: write-through, updating resident blocks.
+func (c *Cache) WriteAt(ext Extent, off int64, p []byte) error {
+	if err := c.inner.WriteAt(ext, off, p); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	bs := int64(c.BlockSize())
+	abs := ext.Start*bs + off
+	first, last := c.blockRange(abs, int64(len(p)))
+	c.mu.Lock()
+	for b := first; b <= last; b++ {
+		el, ok := c.pages[b]
+		if !ok {
+			continue // do not pollute the cache with partial blocks
+		}
+		data := el.Value.(*cachePage).data
+		bStart := b * bs
+		from := max64(abs, bStart)
+		to := min64(abs+int64(len(p)), bStart+bs)
+		copy(data[from-bStart:to-bStart], p[from-abs:to-abs])
+		c.touch(el)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,219 @@
+package simdisk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newCached(t *testing.T, capBlocks int) (*Cache, *Store) {
+	t.Helper()
+	inner := NewRAM(Config{BlockSize: 64})
+	t.Cleanup(func() { inner.Close() })
+	return NewCache(inner, capBlocks), inner
+}
+
+func TestCacheReadHitSkipsDisk(t *testing.T) {
+	c, inner := newCached(t, 8)
+	ext, err := c.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte("ab"), 64)
+	if err := c.WriteAt(ext, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, len(want))
+	if err := c.ReadAt(ext, 0, p); err != nil { // miss: populates
+		t.Fatal(err)
+	}
+	before := inner.Stats()
+	for i := 0; i < 5; i++ { // hits
+		if err := c.ReadAt(ext, 0, p); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, want) {
+			t.Fatal("cached read returned wrong data")
+		}
+	}
+	after := inner.Stats()
+	if after.BytesRead != before.BytesRead || after.Seeks != before.Seeks {
+		t.Errorf("cache hits touched the disk: %+v -> %+v", before, after)
+	}
+	cs := c.CacheStats()
+	if cs.Hits != 5 || cs.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 5 hits 1 miss", cs)
+	}
+}
+
+func TestCacheWriteThrough(t *testing.T) {
+	c, inner := newCached(t, 8)
+	ext, _ := c.Alloc(1)
+	if err := c.WriteAt(ext, 10, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// The inner store holds the bytes even if the cache is bypassed.
+	p := make([]byte, 7)
+	if err := inner.ReadAt(ext, 10, p); err != nil {
+		t.Fatal(err)
+	}
+	if string(p) != "durable" {
+		t.Errorf("inner store = %q", p)
+	}
+}
+
+func TestCacheWriteUpdatesResidentBlocks(t *testing.T) {
+	c, _ := newCached(t, 8)
+	ext, _ := c.Alloc(1)
+	if err := c.WriteAt(ext, 0, bytes.Repeat([]byte{1}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 64)
+	if err := c.ReadAt(ext, 0, p); err != nil { // populate cache
+		t.Fatal(err)
+	}
+	if err := c.WriteAt(ext, 5, []byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReadAt(ext, 0, p); err != nil { // must be a hit with fresh data
+		t.Fatal(err)
+	}
+	if p[5] != 9 || p[6] != 9 || p[7] != 9 || p[4] != 1 {
+		t.Errorf("resident block stale after write-through: %v", p[:8])
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c, inner := newCached(t, 2)
+	ext, _ := c.Alloc(4)
+	buf := make([]byte, 64)
+	for b := int64(0); b < 4; b++ {
+		if err := c.ReadAt(ext, b*64, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := c.CacheStats()
+	if cs.Resident > 2 {
+		t.Errorf("resident = %d, cap 2", cs.Resident)
+	}
+	// Oldest block evicted: re-reading block 0 hits the disk again.
+	before := inner.Stats().BytesRead
+	if err := c.ReadAt(ext, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Stats().BytesRead == before {
+		t.Error("evicted block served from cache")
+	}
+}
+
+func TestCacheFreeInvalidates(t *testing.T) {
+	c, _ := newCached(t, 8)
+	ext, _ := c.Alloc(1)
+	if err := c.WriteAt(ext, 0, bytes.Repeat([]byte{7}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 64)
+	if err := c.ReadAt(ext, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(ext); err != nil {
+		t.Fatal(err)
+	}
+	// After free + realloc of the same blocks, the cache must agree with
+	// the inner store byte for byte (reallocated extents have unspecified
+	// contents, like real disks, but the cache must not diverge). Write
+	// through the *inner* store so a stale cached page would be exposed.
+	ext2, _ := c.Alloc(1)
+	if ext2.Start != ext.Start {
+		t.Fatalf("allocator did not reuse the freed extent")
+	}
+	if err := innerOf(t, c).WriteAt(ext2, 0, bytes.Repeat([]byte{3}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReadAt(ext2, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p {
+		if b != 3 {
+			t.Fatalf("stale cache bytes after free: %v", p[:8])
+		}
+	}
+}
+
+// innerOf returns the cache's inner store.
+func innerOf(t *testing.T, c *Cache) BlockStore {
+	t.Helper()
+	return c.inner
+}
+
+// TestQuickCacheTransparency checks the cached store is observationally
+// identical to the raw store under random operation sequences.
+func TestQuickCacheTransparency(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capBlocks := 1 + int(capRaw%16)
+		rng := rand.New(rand.NewSource(seed))
+		raw := NewRAM(Config{BlockSize: 64})
+		defer raw.Close()
+		cachedInner := NewRAM(Config{BlockSize: 64})
+		defer cachedInner.Close()
+		cached := NewCache(cachedInner, capBlocks)
+
+		extRaw, err1 := raw.Alloc(8)
+		extCached, err2 := cached.Alloc(8)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for step := 0; step < 200; step++ {
+			off := int64(rng.Intn(8 * 64))
+			n := rng.Intn(8*64 - int(off))
+			if rng.Intn(2) == 0 {
+				p := make([]byte, n)
+				rng.Read(p)
+				e1 := raw.WriteAt(extRaw, off, p)
+				e2 := cached.WriteAt(extCached, off, p)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			} else {
+				p1 := make([]byte, n)
+				p2 := make([]byte, n)
+				e1 := raw.ReadAt(extRaw, off, p1)
+				e2 := cached.ReadAt(extCached, off, p2)
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+				if !bytes.Equal(p1, p2) {
+					t.Logf("divergence at step %d off=%d n=%d", step, off, n)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheReducesSimTime demonstrates the cost-model effect: re-probing
+// hot blocks through the cache accumulates less simulated disk time.
+func TestCacheReducesSimTime(t *testing.T) {
+	inner := NewRAM(Config{BlockSize: 64})
+	defer inner.Close()
+	c := NewCache(inner, 64)
+	ext, _ := c.Alloc(4)
+	p := make([]byte, 256)
+	if err := c.ReadAt(ext, 0, p); err != nil {
+		t.Fatal(err)
+	}
+	t1 := inner.Stats().SimTime
+	for i := 0; i < 100; i++ {
+		if err := c.ReadAt(ext, 0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if t2 := inner.Stats().SimTime; t2 != t1 {
+		t.Errorf("sim time grew from %v to %v on pure cache hits", t1, t2)
+	}
+}

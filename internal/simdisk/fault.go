@@ -1,0 +1,75 @@
+package simdisk
+
+import "sync/atomic"
+
+// Op identifies a store operation for fault injection.
+type Op int
+
+// Store operations that can be targeted by fault injection.
+const (
+	opAlloc Op = iota
+	opFree
+	opRead
+	opWrite
+	OpAlloc = opAlloc
+	OpFree  = opFree
+	OpRead  = opRead
+	OpWrite = opWrite
+)
+
+func (o Op) String() string {
+	switch o {
+	case opAlloc:
+		return "alloc"
+	case opFree:
+		return "free"
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	}
+	return "unknown"
+}
+
+// faultPlan injects an error into the nth matching operation. A nil plan
+// never fires, so the zero-value store has no injection overhead beyond a
+// nil check.
+type faultPlan struct {
+	op    Op
+	after atomic.Int64 // number of matching ops to let through
+	err   error
+	fired atomic.Bool
+}
+
+func (f *faultPlan) check(op Op) error {
+	if f == nil || f.fired.Load() || op != f.op {
+		return nil
+	}
+	if f.after.Add(-1) >= 0 {
+		return nil
+	}
+	f.fired.Store(true)
+	return f.err
+}
+
+// FailAfter arranges for the store to return err on the (n+1)th subsequent
+// operation of the given kind. It replaces any previous plan. Passing a nil
+// err clears the plan.
+func (s *Store) FailAfter(op Op, n int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.fault = nil
+		return
+	}
+	fp := &faultPlan{op: op, err: err}
+	fp.after.Store(int64(n))
+	s.fault = fp
+}
+
+// FaultFired reports whether the injected fault has triggered.
+func (s *Store) FaultFired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fault != nil && s.fault.fired.Load()
+}

@@ -1,0 +1,127 @@
+package simdisk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAllocatorInvariants drives the allocator with random
+// alloc/free sequences and checks structural invariants after every step:
+// live extents never overlap, the free list is sorted and coalesced, and
+// used-block accounting matches the live set.
+func TestQuickAllocatorInvariants(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewRAM(Config{})
+		defer s.Close()
+		var live []Extent
+		for _, b := range opsRaw {
+			if b%3 != 0 && len(live) > 0 { // free
+				i := rng.Intn(len(live))
+				if err := s.Free(live[i]); err != nil {
+					t.Logf("Free(%v): %v", live[i], err)
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			} else { // alloc
+				n := int64(b%17) + 1
+				ext, err := s.Alloc(n)
+				if err != nil {
+					t.Logf("Alloc(%d): %v", n, err)
+					return false
+				}
+				live = append(live, ext)
+			}
+			if !checkInvariants(t, s, live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkInvariants(t *testing.T, s *Store, live []Extent) bool {
+	t.Helper()
+	// Live extents must be pairwise disjoint.
+	var total int64
+	for i, a := range live {
+		total += a.Blocks
+		for _, b := range live[i+1:] {
+			if a.Start < b.End() && b.Start < a.End() {
+				t.Logf("overlap: %v and %v", a, b)
+				return false
+			}
+		}
+	}
+	st := s.Stats()
+	if st.UsedBlocks != total {
+		t.Logf("UsedBlocks = %d, want %d", st.UsedBlocks, total)
+		return false
+	}
+	if st.PeakBlocks < st.UsedBlocks {
+		t.Logf("PeakBlocks %d < UsedBlocks %d", st.PeakBlocks, st.UsedBlocks)
+		return false
+	}
+	// Free list sorted, coalesced, disjoint from live extents.
+	s.mu.Lock()
+	free := append([]Extent(nil), s.alloc.free...)
+	s.mu.Unlock()
+	for i := 1; i < len(free); i++ {
+		if free[i-1].End() >= free[i].Start {
+			t.Logf("free list not sorted/coalesced: %v then %v", free[i-1], free[i])
+			return false
+		}
+	}
+	for _, f := range free {
+		for _, l := range live {
+			if f.Start < l.End() && l.Start < f.End() {
+				t.Logf("free run %v overlaps live %v", f, l)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestQuickReadBackWrites checks that for random disjoint writes within an
+// extent, reads observe the last write to each region.
+func TestQuickReadBackWrites(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewRAM(Config{BlockSize: 128})
+		defer s.Close()
+		ext, err := s.Alloc(8)
+		if err != nil {
+			return false
+		}
+		shadow := make([]byte, 8*128)
+		for i := 0; i < 50; i++ {
+			off := int64(rng.Intn(len(shadow)))
+			n := rng.Intn(len(shadow) - int(off))
+			p := make([]byte, n)
+			rng.Read(p)
+			if err := s.WriteAt(ext, off, p); err != nil {
+				return false
+			}
+			copy(shadow[off:], p)
+		}
+		got := make([]byte, len(shadow))
+		if err := s.ReadAt(ext, 0, got); err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != shadow[i] {
+				t.Logf("byte %d = %d, want %d", i, got[i], shadow[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to every decoder; decoding must never
+// panic or allocate unboundedly, only fail with ErrCorrupt.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	w.Magic("MAGI")
+	w.U64(7)
+	w.String("hello")
+	w.Ints([]int{1, 2, 3})
+	w.Flush()
+	f.Add(seed.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		r.Expect("MAGI")
+		_ = r.U64()
+		_ = r.I64()
+		_ = r.Bool()
+		_ = r.Bytes()
+		_ = r.String()
+		_ = r.Ints()
+		_ = r.Err()
+	})
+}

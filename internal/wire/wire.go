@@ -1,0 +1,203 @@
+// Package wire provides small sticky-error binary encoding helpers used
+// by the snapshot formats (index snapshots, wave-index state). All
+// integers are varint-encoded; strings and byte slices are
+// length-prefixed.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt reports a malformed snapshot stream.
+var ErrCorrupt = errors.New("wire: corrupt stream")
+
+// MaxBytes bounds a single length-prefixed field (guards against
+// corrupt length prefixes allocating unbounded memory).
+const MaxBytes = 1 << 30
+
+// Writer encodes values with a sticky error.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush flushes buffered output and returns the sticky error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// U64 writes an unsigned varint.
+func (w *Writer) U64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+// I64 writes a signed varint.
+func (w *Writer) I64(v int64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+// Int writes an int as a signed varint.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a boolean byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.U64(uint64(b))
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.U64(uint64(len(p)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) { w.Bytes([]byte(s)) }
+
+// Ints writes a length-prefixed int slice.
+func (w *Writer) Ints(vs []int) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.Int(v)
+	}
+}
+
+// Reader decodes values with a sticky error.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// U64 reads an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+		return 0
+	}
+	return v
+}
+
+// I64 reads a signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+		return 0
+	}
+	return v
+}
+
+// Int reads an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U64() != 0 }
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBytes {
+		r.fail(fmt.Errorf("%w: field of %d bytes", ErrCorrupt, n))
+		return nil
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		r.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+		return nil
+	}
+	return p
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Ints reads a length-prefixed int slice.
+func (r *Reader) Ints() []int {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBytes/8 {
+		r.fail(fmt.Errorf("%w: int slice of %d", ErrCorrupt, n))
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+// Expect reads len(magic) bytes and checks they equal magic.
+func (r *Reader) Expect(magic string) {
+	if r.err != nil {
+		return
+	}
+	p := make([]byte, len(magic))
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		r.fail(fmt.Errorf("%w: %v", ErrCorrupt, err))
+		return
+	}
+	if string(p) != magic {
+		r.fail(fmt.Errorf("%w: magic %q, want %q", ErrCorrupt, p, magic))
+	}
+}
+
+// Magic writes a raw magic string.
+func (w *Writer) Magic(magic string) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.WriteString(magic)
+}

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic("MAGI")
+	w.U64(0)
+	w.U64(math.MaxUint64)
+	w.I64(-1)
+	w.I64(math.MaxInt64)
+	w.Int(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes([]byte{1, 2, 3})
+	w.Bytes(nil)
+	w.String("wave index")
+	w.Ints([]int{3, -1, 4, 1, 5})
+	w.Ints(nil)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	r.Expect("MAGI")
+	if got := r.U64(); got != 0 {
+		t.Errorf("u64 = %d", got)
+	}
+	if got := r.U64(); got != math.MaxUint64 {
+		t.Errorf("u64 max = %d", got)
+	}
+	if got := r.I64(); got != -1 {
+		t.Errorf("i64 = %d", got)
+	}
+	if got := r.I64(); got != math.MaxInt64 {
+		t.Errorf("i64 max = %d", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Errorf("int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bools wrong")
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("bytes = %v", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("nil bytes = %v", got)
+	}
+	if got := r.String(); got != "wave index" {
+		t.Errorf("string = %q", got)
+	}
+	if got := r.Ints(); len(got) != 5 || got[1] != -1 {
+		t.Errorf("ints = %v", got)
+	}
+	if got := r.Ints(); len(got) != 0 {
+		t.Errorf("nil ints = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderCorruption(t *testing.T) {
+	// Truncated varint.
+	r := NewReader(strings.NewReader(string([]byte{0x80})))
+	r.U64()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("truncated varint err = %v", r.Err())
+	}
+	// Bad magic.
+	r = NewReader(strings.NewReader("XXXX"))
+	r.Expect("MAGI")
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("bad magic err = %v", r.Err())
+	}
+	// Oversized length prefix.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(uint64(MaxBytes) + 1)
+	w.Flush()
+	r = NewReader(&buf)
+	r.Bytes()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("oversized bytes err = %v", r.Err())
+	}
+	// Sticky error: later reads keep failing and return zero values.
+	if r.U64() != 0 || r.String() != "" || r.Bool() {
+		t.Error("reads after sticky error returned data")
+	}
+	// Truncated payload.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.U64(100)
+	w.Flush()
+	r = NewReader(&buf)
+	r.Bytes()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("truncated payload err = %v", r.Err())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, b bool, p []byte, s string, vs []int16) bool {
+		ints := make([]int, len(vs))
+		for j, v := range vs {
+			ints[j] = int(v)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.U64(u)
+		w.I64(i)
+		w.Bool(b)
+		w.Bytes(p)
+		w.String(s)
+		w.Ints(ints)
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		if r.U64() != u || r.I64() != i || r.Bool() != b {
+			return false
+		}
+		if !bytes.Equal(r.Bytes(), p) || r.String() != s {
+			return false
+		}
+		got := r.Ints()
+		if len(got) != len(ints) {
+			return false
+		}
+		for j := range got {
+			if got[j] != ints[j] {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// lineItemBytes is the fixed encoded size of a LineItem.
+const lineItemBytes = 8 + 4 + 2 + 8 + 1 + 1 + 1 + 1 + 4
+
+// MarshalLineItem encodes a row for the record store.
+func MarshalLineItem(r LineItem) []byte {
+	buf := make([]byte, lineItemBytes)
+	binary.LittleEndian.PutUint64(buf[0:8], r.OrderKey)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(r.SuppKey))
+	binary.LittleEndian.PutUint16(buf[12:14], uint16(r.Quantity))
+	binary.LittleEndian.PutUint64(buf[14:22], uint64(r.ExtendedPrice))
+	buf[22] = byte(r.Discount)
+	buf[23] = byte(r.Tax)
+	buf[24] = r.ReturnFlag
+	buf[25] = r.LineStatus
+	binary.LittleEndian.PutUint32(buf[26:30], uint32(r.ShipDay))
+	return buf
+}
+
+// UnmarshalLineItem decodes a row encoded by MarshalLineItem.
+func UnmarshalLineItem(buf []byte) (LineItem, error) {
+	if len(buf) != lineItemBytes {
+		return LineItem{}, fmt.Errorf("workload: lineitem record is %d bytes, want %d", len(buf), lineItemBytes)
+	}
+	return LineItem{
+		OrderKey:      binary.LittleEndian.Uint64(buf[0:8]),
+		SuppKey:       int(binary.LittleEndian.Uint32(buf[8:12])),
+		Quantity:      int(binary.LittleEndian.Uint16(buf[12:14])),
+		ExtendedPrice: int64(binary.LittleEndian.Uint64(buf[14:22])),
+		Discount:      int(buf[22]),
+		Tax:           int(buf[23]),
+		ReturnFlag:    buf[24],
+		LineStatus:    buf[25],
+		ShipDay:       int(binary.LittleEndian.Uint32(buf[26:30])),
+	}, nil
+}

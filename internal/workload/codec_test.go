@@ -1,0 +1,31 @@
+package workload
+
+import "testing"
+
+func TestLineItemCodecRoundTrip(t *testing.T) {
+	rows := []LineItem{
+		{},
+		{OrderKey: ^uint64(0), SuppKey: 1 << 30, Quantity: 50, ExtendedPrice: 1 << 60,
+			Discount: 10, Tax: 8, ReturnFlag: 'R', LineStatus: 'O', ShipDay: 30000},
+	}
+	g := NewTPCDGenerator(TPCDConfig{Seed: 3, RowsPerDay: 20, SuppKeys: 5})
+	rows = append(rows, g.Rows(7)...)
+	for i, r := range rows {
+		got, err := UnmarshalLineItem(MarshalLineItem(r))
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if got != r {
+			t.Errorf("row %d round-trip = %+v, want %+v", i, got, r)
+		}
+	}
+}
+
+func TestUnmarshalLineItemBadLength(t *testing.T) {
+	if _, err := UnmarshalLineItem(make([]byte, 5)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if _, err := UnmarshalLineItem(make([]byte, 100)); err == nil {
+		t.Error("long buffer accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waveindex/internal/index"
+)
+
+// LineItem is one row of the TPC-D LINEITEM relation, restricted to the
+// columns query Q1 ("Pricing Summary Report") and the SUPPKEY wave index
+// need.
+type LineItem struct {
+	OrderKey      uint64
+	SuppKey       int
+	Quantity      int
+	ExtendedPrice int64 // cents
+	Discount      int   // percent 0..10
+	Tax           int   // percent 0..8
+	ReturnFlag    byte  // 'A', 'N', 'R'
+	LineStatus    byte  // 'O', 'F'
+	ShipDay       int
+}
+
+// TPCDConfig parameterises the LINEITEM batch generator.
+type TPCDConfig struct {
+	// RowsPerDay is the LINEITEM rows arriving per day.
+	RowsPerDay int
+	// SuppKeys is the supplier key domain size; keys are uniformly
+	// distributed (which is why the paper picks g = 1.08 for TPC-D).
+	SuppKeys int
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+func (c TPCDConfig) withDefaults() TPCDConfig {
+	if c.RowsPerDay == 0 {
+		c.RowsPerDay = 500
+	}
+	if c.SuppKeys == 0 {
+		c.SuppKeys = 100
+	}
+	return c
+}
+
+// TPCDGenerator produces LINEITEM day batches and retains rows so Q1 can
+// be evaluated against the indexed window.
+type TPCDGenerator struct {
+	cfg  TPCDConfig
+	rows map[uint64]LineItem // rowID -> row, for retained days
+}
+
+// NewTPCDGenerator returns a generator for the given configuration.
+func NewTPCDGenerator(cfg TPCDConfig) *TPCDGenerator {
+	return &TPCDGenerator{cfg: cfg.withDefaults(), rows: make(map[uint64]LineItem)}
+}
+
+// Rows generates the rows of one day deterministically.
+func (g *TPCDGenerator) Rows(day int) []LineItem {
+	rng := rand.New(rand.NewSource(g.cfg.Seed*999_983 + int64(day)))
+	rows := make([]LineItem, g.cfg.RowsPerDay)
+	flags := []byte{'A', 'N', 'R'}
+	status := []byte{'O', 'F'}
+	for i := range rows {
+		rows[i] = LineItem{
+			OrderKey:      uint64(day)*1_000_000 + uint64(i),
+			SuppKey:       1 + rng.Intn(g.cfg.SuppKeys), // uniform
+			Quantity:      1 + rng.Intn(50),
+			ExtendedPrice: int64(90_000 + rng.Intn(10_000_000)),
+			Discount:      rng.Intn(11),
+			Tax:           rng.Intn(9),
+			ReturnFlag:    flags[rng.Intn(len(flags))],
+			LineStatus:    status[rng.Intn(len(status))],
+			ShipDay:       day,
+		}
+	}
+	return rows
+}
+
+// Day generates a day's batch indexed on SUPPKEY, retaining the rows for
+// Q1 evaluation. Entry aux carries the quantity so quantity-only
+// aggregates can be answered from the index alone.
+func (g *TPCDGenerator) Day(day int) *index.Batch {
+	rows := g.Rows(day)
+	b := &index.Batch{Day: day}
+	for _, r := range rows {
+		g.rows[r.OrderKey] = r
+		b.Postings = append(b.Postings, index.Posting{
+			Key: SuppKeyString(r.SuppKey),
+			Entry: index.Entry{
+				RecordID: r.OrderKey,
+				Aux:      uint32(r.Quantity),
+				Day:      int32(day),
+			},
+		})
+	}
+	return b
+}
+
+// Row resolves a record ID captured in an index entry back to its row.
+func (g *TPCDGenerator) Row(id uint64) (LineItem, bool) {
+	r, ok := g.rows[id]
+	return r, ok
+}
+
+// Trim discards retained rows older than day.
+func (g *TPCDGenerator) Trim(day int) {
+	for id, r := range g.rows {
+		if r.ShipDay < day {
+			delete(g.rows, id)
+		}
+	}
+}
+
+// SuppKeyString encodes a supplier key as a fixed-width sortable string.
+func SuppKeyString(k int) string { return fmt.Sprintf("supp%06d", k) }
+
+// Q1Group is one output row of TPC-D Q1, grouped by (ReturnFlag,
+// LineStatus).
+type Q1Group struct {
+	ReturnFlag byte
+	LineStatus byte
+	SumQty     int64
+	SumBase    int64 // sum of extendedprice, cents
+	SumDisc    int64 // sum of extendedprice*(1-discount), cents
+	SumCharge  int64 // sum of extendedprice*(1-discount)*(1+tax), cents
+	Count      int64
+}
+
+// Q1Key identifies a Q1 group.
+type Q1Key struct {
+	ReturnFlag byte
+	LineStatus byte
+}
+
+// Q1Accumulate folds one row into the grouped aggregates — the Pricing
+// Summary Report the paper's TPC-D scenario executes as a TimedSegmentScan
+// over the whole window.
+func Q1Accumulate(groups map[Q1Key]*Q1Group, r LineItem) {
+	k := Q1Key{r.ReturnFlag, r.LineStatus}
+	g, ok := groups[k]
+	if !ok {
+		g = &Q1Group{ReturnFlag: r.ReturnFlag, LineStatus: r.LineStatus}
+		groups[k] = g
+	}
+	g.SumQty += int64(r.Quantity)
+	g.SumBase += r.ExtendedPrice
+	disc := r.ExtendedPrice * int64(100-r.Discount) / 100
+	g.SumDisc += disc
+	g.SumCharge += disc * int64(100+r.Tax) / 100
+	g.Count++
+}

@@ -1,0 +1,134 @@
+// Package workload generates the synthetic data streams the paper's case
+// studies index: Netnews-like document batches with Zipf-distributed
+// words (SCAM and the Web search engine scenarios), TPC-D LINEITEM rows
+// with uniformly distributed SUPPKEY (the warehousing scenario), and the
+// weekly-seasonal Usenet posting-volume model behind Figure 2 and the
+// non-uniform index-size experiment of Figure 11.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waveindex/internal/index"
+)
+
+// Vocabulary is a deterministic word list: wordN tokens whose rank order
+// matches their Zipf rank.
+type Vocabulary struct {
+	words []string
+}
+
+// NewVocabulary creates a vocabulary of the given size.
+func NewVocabulary(size int) *Vocabulary {
+	v := &Vocabulary{words: make([]string, size)}
+	for i := range v.words {
+		v.words[i] = fmt.Sprintf("w%05d", i)
+	}
+	return v
+}
+
+// Len returns the vocabulary size.
+func (v *Vocabulary) Len() int { return len(v.words) }
+
+// Word returns the word of the given Zipf rank (0 = most frequent).
+func (v *Vocabulary) Word(rank int) string { return v.words[rank] }
+
+// ZipfSampler draws vocabulary ranks with a Zipfian distribution — the
+// paper notes Netnews words follow Zipf's law [Zip49], which is why SCAM
+// uses growth factor g = 2 while TPC-D's uniform keys use g = 1.08.
+type ZipfSampler struct {
+	z *rand.Zipf
+}
+
+// NewZipfSampler returns a sampler over ranks [0, vocabSize) with
+// skew s > 1 (smaller s = more skew mass on low ranks).
+func NewZipfSampler(rng *rand.Rand, s float64, vocabSize int) *ZipfSampler {
+	if s <= 1 {
+		s = 1.1
+	}
+	return &ZipfSampler{z: rand.NewZipf(rng, s, 1, uint64(vocabSize-1))}
+}
+
+// Rank draws one rank.
+func (zs *ZipfSampler) Rank() int { return int(zs.z.Uint64()) }
+
+// NewsConfig parameterises the Netnews article generator.
+type NewsConfig struct {
+	// ArticlesPerDay is the article count for days with no volume model.
+	ArticlesPerDay int
+	// WordsPerArticle is the indexed words per article.
+	WordsPerArticle int
+	// VocabSize is the vocabulary size.
+	VocabSize int
+	// Skew is the Zipf parameter (must be > 1).
+	Skew float64
+	// Volume, when non-nil, overrides ArticlesPerDay per day (Figure 2's
+	// weekly pattern).
+	Volume func(day int) int
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+func (c NewsConfig) withDefaults() NewsConfig {
+	if c.ArticlesPerDay == 0 {
+		c.ArticlesPerDay = 100
+	}
+	if c.WordsPerArticle == 0 {
+		c.WordsPerArticle = 20
+	}
+	if c.VocabSize == 0 {
+		c.VocabSize = 2000
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.2
+	}
+	return c
+}
+
+// NewsGenerator produces day batches of Netnews-like articles.
+type NewsGenerator struct {
+	cfg   NewsConfig
+	vocab *Vocabulary
+}
+
+// NewNewsGenerator returns a generator for the given configuration.
+func NewNewsGenerator(cfg NewsConfig) *NewsGenerator {
+	cfg = cfg.withDefaults()
+	return &NewsGenerator{cfg: cfg, vocab: NewVocabulary(cfg.VocabSize)}
+}
+
+// Vocab exposes the generator's vocabulary.
+func (g *NewsGenerator) Vocab() *Vocabulary { return g.vocab }
+
+// Articles returns the article count for a day.
+func (g *NewsGenerator) Articles(day int) int {
+	if g.cfg.Volume != nil {
+		return g.cfg.Volume(day)
+	}
+	return g.cfg.ArticlesPerDay
+}
+
+// Day generates the batch for one day. The same (Seed, day) always
+// produces the same batch, so schemes that re-read old days (REINDEX)
+// see identical data.
+func (g *NewsGenerator) Day(day int) *index.Batch {
+	rng := rand.New(rand.NewSource(g.cfg.Seed*1_000_003 + int64(day)))
+	zipf := NewZipfSampler(rng, g.cfg.Skew, g.cfg.VocabSize)
+	b := &index.Batch{Day: day}
+	articles := g.Articles(day)
+	for a := 0; a < articles; a++ {
+		docID := uint64(day)*1_000_000 + uint64(a)
+		for wpos := 0; wpos < g.cfg.WordsPerArticle; wpos++ {
+			b.Postings = append(b.Postings, index.Posting{
+				Key: g.vocab.Word(zipf.Rank()),
+				Entry: index.Entry{
+					RecordID: docID,
+					Aux:      uint32(wpos), // byte/word offset within the article
+					Day:      int32(day),
+				},
+			})
+		}
+	}
+	return b
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewsGeneratorDeterministic(t *testing.T) {
+	g1 := NewNewsGenerator(NewsConfig{Seed: 7, ArticlesPerDay: 20})
+	g2 := NewNewsGenerator(NewsConfig{Seed: 7, ArticlesPerDay: 20})
+	b1, b2 := g1.Day(3), g2.Day(3)
+	if fmt.Sprint(b1.Postings) != fmt.Sprint(b2.Postings) {
+		t.Error("same seed and day produced different batches")
+	}
+	b3 := g1.Day(4)
+	if fmt.Sprint(b1.Postings) == fmt.Sprint(b3.Postings) {
+		t.Error("different days produced identical batches")
+	}
+	g3 := NewNewsGenerator(NewsConfig{Seed: 8, ArticlesPerDay: 20})
+	if fmt.Sprint(g3.Day(3).Postings) == fmt.Sprint(b1.Postings) {
+		t.Error("different seeds produced identical batches")
+	}
+}
+
+func TestNewsGeneratorShape(t *testing.T) {
+	g := NewNewsGenerator(NewsConfig{Seed: 1, ArticlesPerDay: 50, WordsPerArticle: 10})
+	b := g.Day(5)
+	if got := b.NumPostings(); got != 500 {
+		t.Errorf("postings = %d, want 500", got)
+	}
+	for _, p := range b.Postings {
+		if p.Entry.Day != 5 {
+			t.Fatalf("posting day = %d, want 5", p.Entry.Day)
+		}
+		if p.Entry.RecordID < 5_000_000 || p.Entry.RecordID >= 5_000_050 {
+			t.Fatalf("record id %d outside day-5 article range", p.Entry.RecordID)
+		}
+	}
+}
+
+func TestNewsZipfSkew(t *testing.T) {
+	g := NewNewsGenerator(NewsConfig{Seed: 2, ArticlesPerDay: 500, WordsPerArticle: 20, VocabSize: 5000, Skew: 1.2})
+	counts := map[string]int{}
+	for d := 1; d <= 3; d++ {
+		for _, p := range g.Day(d).Postings {
+			counts[p.Key]++
+		}
+	}
+	// Zipf skew: the most frequent word vastly outnumbers the median one,
+	// and the number of distinct words is well below total postings.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	total := 3 * 500 * 20
+	if max < total/20 {
+		t.Errorf("top word count %d of %d postings: distribution not skewed", max, total)
+	}
+	if len(counts) > total/3 {
+		t.Errorf("%d distinct words for %d postings: too uniform", len(counts), total)
+	}
+}
+
+func TestNewsVolumeOverride(t *testing.T) {
+	vol := UsenetVolume{Seed: 1}
+	g := NewNewsGenerator(NewsConfig{Seed: 1, WordsPerArticle: 2, Volume: func(d int) int { return vol.Postings(d) / 1000 }})
+	mon, sun := g.Day(1), g.Day(7)
+	if len(mon.Postings) <= len(sun.Postings) {
+		t.Errorf("Monday postings (%d) should exceed Sunday (%d)", len(mon.Postings), len(sun.Postings))
+	}
+}
+
+func TestUsenetVolumeWeeklyPattern(t *testing.T) {
+	u := UsenetVolume{Seed: 42}
+	// Figure 2's shape: midweek peak around 110k, Sunday trough near 30k.
+	for week := 0; week < 4; week++ {
+		wed := u.Postings(week*7 + 3)
+		sun := u.Postings(week*7 + 7)
+		sat := u.Postings(week*7 + 6)
+		if wed < 95_000 || wed > 125_000 {
+			t.Errorf("week %d: Wednesday = %d, want ~110k", week, wed)
+		}
+		if sun < 25_000 || sun > 35_000 {
+			t.Errorf("week %d: Sunday = %d, want ~30k", week, sun)
+		}
+		if !(sun < sat && sat < wed) {
+			t.Errorf("week %d: want Sun(%d) < Sat(%d) < Wed(%d)", week, sun, sat, wed)
+		}
+	}
+	if got := len(u.Series(30)); got != 30 {
+		t.Errorf("Series(30) length = %d", got)
+	}
+	// Determinism.
+	if u.Postings(10) != (UsenetVolume{Seed: 42}).Postings(10) {
+		t.Error("volume model not deterministic")
+	}
+	// Scale.
+	half := UsenetVolume{Seed: 42, Scale: 0.5}
+	if got, want := half.Postings(3), u.Postings(3)/2; got != want {
+		t.Errorf("scaled volume = %d, want %d", got, want)
+	}
+	if u.PackedBytes(3) != int64(u.Postings(3))*BytesPerPosting {
+		t.Error("PackedBytes mismatch")
+	}
+}
+
+func TestTPCDDeterministicAndUniform(t *testing.T) {
+	g := NewTPCDGenerator(TPCDConfig{Seed: 5, RowsPerDay: 2000, SuppKeys: 10})
+	rows1 := g.Rows(2)
+	rows2 := NewTPCDGenerator(TPCDConfig{Seed: 5, RowsPerDay: 2000, SuppKeys: 10}).Rows(2)
+	if fmt.Sprint(rows1) != fmt.Sprint(rows2) {
+		t.Error("TPC-D rows not deterministic")
+	}
+	counts := map[int]int{}
+	for _, r := range rows1 {
+		counts[r.SuppKey]++
+		if r.SuppKey < 1 || r.SuppKey > 10 {
+			t.Fatalf("suppkey %d out of domain", r.SuppKey)
+		}
+		if r.Quantity < 1 || r.Quantity > 50 {
+			t.Fatalf("quantity %d out of range", r.Quantity)
+		}
+	}
+	// Uniform keys: each of the 10 keys gets ~200 of 2000 rows.
+	for k, c := range counts {
+		if c < 120 || c > 280 {
+			t.Errorf("suppkey %d: %d rows, want ~200 (uniform)", k, c)
+		}
+	}
+}
+
+func TestTPCDBatchAndRowLookup(t *testing.T) {
+	g := NewTPCDGenerator(TPCDConfig{Seed: 1, RowsPerDay: 50, SuppKeys: 5})
+	b := g.Day(4)
+	if b.Day != 4 || b.NumPostings() != 50 {
+		t.Fatalf("batch day=%d postings=%d", b.Day, b.NumPostings())
+	}
+	for _, p := range b.Postings {
+		r, ok := g.Row(p.Entry.RecordID)
+		if !ok {
+			t.Fatalf("row %d not retained", p.Entry.RecordID)
+		}
+		if SuppKeyString(r.SuppKey) != p.Key {
+			t.Fatalf("posting key %s != row suppkey %d", p.Key, r.SuppKey)
+		}
+		if uint32(r.Quantity) != p.Entry.Aux {
+			t.Fatalf("aux %d != quantity %d", p.Entry.Aux, r.Quantity)
+		}
+	}
+	g.Day(5)
+	g.Trim(5)
+	if _, ok := g.Row(b.Postings[0].Entry.RecordID); ok {
+		t.Error("trimmed row still retained")
+	}
+}
+
+func TestQ1Accumulate(t *testing.T) {
+	groups := map[Q1Key]*Q1Group{}
+	Q1Accumulate(groups, LineItem{ReturnFlag: 'A', LineStatus: 'F', Quantity: 10, ExtendedPrice: 10_000, Discount: 10, Tax: 5})
+	Q1Accumulate(groups, LineItem{ReturnFlag: 'A', LineStatus: 'F', Quantity: 5, ExtendedPrice: 20_000, Discount: 0, Tax: 0})
+	Q1Accumulate(groups, LineItem{ReturnFlag: 'N', LineStatus: 'O', Quantity: 1, ExtendedPrice: 1_000})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	g := groups[Q1Key{'A', 'F'}]
+	if g.SumQty != 15 || g.Count != 2 {
+		t.Errorf("AF: qty=%d count=%d", g.SumQty, g.Count)
+	}
+	if g.SumBase != 30_000 {
+		t.Errorf("AF: base=%d", g.SumBase)
+	}
+	// disc: 10000*0.9 + 20000 = 29000; charge: 9000*1.05 + 20000 = 29450.
+	if g.SumDisc != 29_000 || g.SumCharge != 29_450 {
+		t.Errorf("AF: disc=%d charge=%d", g.SumDisc, g.SumCharge)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary(10)
+	if v.Len() != 10 || v.Word(0) != "w00000" || v.Word(9) != "w00009" {
+		t.Errorf("vocab: len=%d w0=%s w9=%s", v.Len(), v.Word(0), v.Word(9))
+	}
+}

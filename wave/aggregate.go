@@ -1,0 +1,99 @@
+package wave
+
+import "sort"
+
+// This file provides windowed aggregation helpers built on segment scans —
+// the paper's TimedSegmentScan use cases (sum/min/max aggregates, §2).
+
+// Count returns the number of entries in the window.
+func (x *Index) Count() (int, error) {
+	from, to := x.Window()
+	return x.CountRange(from, to)
+}
+
+// CountRange counts entries inserted between day from and to.
+func (x *Index) CountRange(from, to int) (int, error) {
+	n := 0
+	err := x.ScanRange(from, to, func(string, Entry) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// SumAux sums the Aux field of key's entries in [from, to] — answering
+// aggregates from the index alone when Aux carries the measure (e.g. the
+// TPC-D example stores quantities there).
+func (x *Index) SumAux(key string, from, to int) (int64, error) {
+	es, err := x.ProbeRange(key, from, to)
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, e := range es {
+		sum += int64(e.Aux)
+	}
+	return sum, nil
+}
+
+// KeyCount pairs a search value with its entry count.
+type KeyCount struct {
+	Key   string
+	Count int
+}
+
+// TopKeys returns the k most frequent search values in [from, to],
+// largest first (ties broken by key order).
+func (x *Index) TopKeys(k int, from, to int) ([]KeyCount, error) {
+	if k < 1 {
+		return nil, nil
+	}
+	counts := map[string]int{}
+	if err := x.ScanRange(from, to, func(key string, _ Entry) bool {
+		counts[key]++
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	all := make([]KeyCount, 0, len(counts))
+	for key, n := range counts {
+		all = append(all, KeyCount{key, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k], nil
+}
+
+// Histogram returns per-day entry counts over [from, to], indexed by
+// day - from.
+func (x *Index) Histogram(from, to int) ([]int, error) {
+	if to < from {
+		return nil, nil
+	}
+	out := make([]int, to-from+1)
+	err := x.ScanRange(from, to, func(_ string, e Entry) bool {
+		out[int(e.Day)-from]++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DistinctKeys counts the distinct search values in [from, to].
+func (x *Index) DistinctKeys(from, to int) (int, error) {
+	seen := map[string]struct{}{}
+	err := x.ScanRange(from, to, func(key string, _ Entry) bool {
+		seen[key] = struct{}{}
+		return true
+	})
+	return len(seen), err
+}

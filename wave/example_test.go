@@ -1,0 +1,100 @@
+package wave_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"waveindex/wave"
+)
+
+// ExampleNew shows the full lifecycle: fill a window, roll it forward,
+// and query it.
+func ExampleNew() {
+	idx, err := wave.New(wave.Config{Window: 3, Indexes: 2, Scheme: wave.REINDEX})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	for day := 1; day <= 5; day++ {
+		postings := []wave.Posting{{
+			Key:   "sensor-a",
+			Entry: wave.Entry{RecordID: uint64(day), Day: int32(day)},
+		}}
+		if err := idx.AddDay(day, postings); err != nil {
+			log.Fatal(err)
+		}
+	}
+	from, to := idx.Window()
+	fmt.Printf("window: %d..%d\n", from, to)
+	entries, err := idx.Probe("sensor-a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("day %d record %d\n", e.Day, e.RecordID)
+	}
+	// Output:
+	// window: 3..5
+	// day 3 record 3
+	// day 4 record 4
+	// day 5 record 5
+}
+
+// ExampleIndex_ProbeRange shows a timed probe — the paper's
+// TimedIndexProbe restricted to a sub-range of the window.
+func ExampleIndex_ProbeRange() {
+	idx, _ := wave.New(wave.Config{Window: 5, Indexes: 2, Scheme: wave.WATAStar})
+	defer idx.Close()
+	for day := 1; day <= 7; day++ {
+		idx.AddDay(day, []wave.Posting{{
+			Key:   "login",
+			Entry: wave.Entry{RecordID: uint64(day), Day: int32(day)},
+		}})
+	}
+	recent, _ := idx.ProbeRange("login", 6, 7)
+	fmt.Println("logins in the last two days:", len(recent))
+	// Output:
+	// logins in the last two days: 2
+}
+
+// ExampleIndex_TopKeys shows windowed aggregation via segment scans.
+func ExampleIndex_TopKeys() {
+	idx, _ := wave.New(wave.Config{Window: 4, Indexes: 2})
+	defer idx.Close()
+	for day := 1; day <= 4; day++ {
+		var ps []wave.Posting
+		for i := 0; i < day; i++ { // "hot" grows each day
+			ps = append(ps, wave.Posting{Key: "hot", Entry: wave.Entry{RecordID: uint64(day*10 + i), Day: int32(day)}})
+		}
+		ps = append(ps, wave.Posting{Key: "cold", Entry: wave.Entry{RecordID: uint64(day), Day: int32(day)}})
+		idx.AddDay(day, ps)
+	}
+	top, _ := idx.TopKeys(2, 1, 4)
+	for _, kc := range top {
+		fmt.Printf("%s: %d\n", kc.Key, kc.Count)
+	}
+	// Output:
+	// hot: 10
+	// cold: 4
+}
+
+// ExampleDaily maps wall-clock timestamps onto wave days.
+func ExampleDaily() {
+	epoch := mustTime("2026-07-01T00:00:00Z")
+	iv := wave.Daily(epoch)
+	fmt.Println(iv.DayOf(mustTime("2026-07-01T15:04:05Z")))
+	fmt.Println(iv.DayOf(mustTime("2026-07-04T09:00:00Z")))
+	// Output:
+	// 1
+	// 4
+}
+
+func mustTime(s string) time.Time {
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

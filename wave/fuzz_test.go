@@ -1,0 +1,40 @@
+package wave
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the snapshot loader; it must reject
+// them with an error, never panic, and never leak a store.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("WAVX1"))
+	// A valid snapshot as a mutation seed.
+	x, err := New(Config{Window: 3, Indexes: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for d := 1; d <= 4; d++ {
+		if err := x.AddDay(d, day(d, "k")); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := x.SaveSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	x.Close()
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		y, err := Load(bytes.NewReader(data))
+		if err == nil {
+			// A mutation may still decode (e.g. benign varint change);
+			// the result must be a usable index.
+			if y == nil {
+				t.Fatal("nil index without error")
+			}
+			y.Close()
+		}
+	})
+}

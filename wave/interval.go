@@ -1,0 +1,50 @@
+package wave
+
+import (
+	"fmt"
+	"time"
+)
+
+// Intervals map wall-clock time onto the integer "days" wave indexes
+// work with. The paper uses "day" for each time interval "although in
+// general time intervals need not be 24 hours" (§1) — an Interval can be
+// hourly, weekly, or anything else.
+type Interval struct {
+	// Epoch is the start of day 1.
+	Epoch time.Time
+	// Length is one interval's duration (e.g. 24h, 1h).
+	Length time.Duration
+}
+
+// Daily returns a 24-hour interval starting at epoch.
+func Daily(epoch time.Time) Interval { return Interval{Epoch: epoch, Length: 24 * time.Hour} }
+
+// DayOf returns the day number containing t. Times before the epoch map
+// to day 0 and below (not valid wave days).
+func (iv Interval) DayOf(t time.Time) int {
+	if iv.Length <= 0 {
+		return 0
+	}
+	d := t.Sub(iv.Epoch)
+	idx := d / iv.Length // truncates toward zero
+	if d < 0 && d%iv.Length != 0 {
+		idx-- // floor for pre-epoch times
+	}
+	return int(idx) + 1
+}
+
+// StartOf returns the wall-clock start of the given day.
+func (iv Interval) StartOf(day int) time.Time {
+	return iv.Epoch.Add(time.Duration(day-1) * iv.Length)
+}
+
+// EndOf returns the wall-clock end (exclusive) of the given day.
+func (iv Interval) EndOf(day int) time.Time { return iv.StartOf(day + 1) }
+
+// Validate reports an unusable interval.
+func (iv Interval) Validate() error {
+	if iv.Length <= 0 {
+		return fmt.Errorf("wave: interval length %v, must be positive", iv.Length)
+	}
+	return nil
+}

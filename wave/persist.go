@@ -1,0 +1,137 @@
+package wave
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"waveindex/internal/core"
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+	"waveindex/internal/wire"
+)
+
+const snapshotMagic = "WAVX1"
+
+// SaveSnapshot serialises the whole index — configuration, retained raw
+// day batches, and the maintenance scheme's complete state including
+// every constituent and temporary index — so Load can resume ingestion
+// and queries exactly where this index left off.
+func (x *Index) SaveSnapshot(w io.Writer) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return ErrClosed
+	}
+	ww := wire.NewWriter(w)
+	ww.Magic(snapshotMagic)
+	ww.Int(x.cfg.Window)
+	ww.Int(x.cfg.Indexes)
+	ww.Int(int(x.cfg.Scheme))
+	ww.Int(int(x.cfg.Update))
+	ww.Int(int(x.cfg.Directory))
+	ww.I64(int64(x.cfg.GrowthFactor * 1000))
+	ww.Int(x.cfg.BlockSize)
+	ww.Int(x.cfg.CacheBlocks)
+	ww.String(x.cfg.StorePath)
+	ww.Int(x.cfg.FirstDay)
+	ww.Int(x.nextDay)
+	ww.Bool(x.ready)
+
+	var src bytes.Buffer
+	if err := core.SaveSource(x.src, &src); err != nil {
+		return fmt.Errorf("wave: snapshot: %w", err)
+	}
+	ww.Bytes(src.Bytes())
+
+	if x.ready {
+		var sch bytes.Buffer
+		if err := core.SaveScheme(x.scheme, &sch); err != nil {
+			return fmt.Errorf("wave: snapshot: %w", err)
+		}
+		ww.Bytes(sch.Bytes())
+	}
+	return ww.Flush()
+}
+
+// Load rebuilds an index from SaveSnapshot's output. The restored index
+// uses the saved configuration (including StorePath: a file-backed index
+// is rebuilt into that file).
+func Load(r io.Reader) (*Index, error) {
+	rr := wire.NewReader(r)
+	rr.Expect(snapshotMagic)
+	cfg := Config{
+		Window:       rr.Int(),
+		Indexes:      rr.Int(),
+		Scheme:       Scheme(rr.Int()),
+		Update:       UpdateTechnique(rr.Int()),
+		Directory:    Directory(rr.Int()),
+		GrowthFactor: float64(rr.I64()) / 1000,
+		BlockSize:    rr.Int(),
+		CacheBlocks:  rr.Int(),
+		StorePath:    rr.String(),
+		FirstDay:     rr.Int(),
+	}
+	nextDay := rr.Int()
+	ready := rr.Bool()
+	srcBlob := rr.Bytes()
+	var schBlob []byte
+	if ready {
+		schBlob = rr.Bytes()
+	}
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("wave: load: %w", err)
+	}
+
+	var store *simdisk.Store
+	var err error
+	if cfg.StorePath != "" {
+		store, err = simdisk.NewFile(cfg.StorePath, simdisk.Config{BlockSize: cfg.BlockSize})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = simdisk.NewRAM(simdisk.Config{BlockSize: cfg.BlockSize})
+	}
+	src, err := core.LoadSource(bytes.NewReader(srcBlob))
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("wave: load: %w", err)
+	}
+	var bs simdisk.BlockStore = store
+	if cfg.CacheBlocks > 0 {
+		bs = simdisk.NewCache(store, cfg.CacheBlocks)
+	}
+	bk := core.NewDataBackend(bs, index.Options{
+		Dir:    cfg.Directory,
+		Growth: cfg.GrowthFactor,
+	}, src, nil)
+
+	x := &Index{cfg: cfg, store: store, src: src, nextDay: nextDay, ready: ready}
+	if ready {
+		scheme, err := core.LoadScheme(core.Config{
+			W:         cfg.Window,
+			N:         cfg.Indexes,
+			Technique: cfg.Update,
+			StartDay:  cfg.FirstDay,
+		}, bk, bytes.NewReader(schBlob))
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("wave: load: %w", err)
+		}
+		x.scheme = scheme
+	} else {
+		scheme, err := core.NewScheme(cfg.Scheme, core.Config{
+			W:         cfg.Window,
+			N:         cfg.Indexes,
+			Technique: cfg.Update,
+			StartDay:  cfg.FirstDay,
+		}, bk)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		x.scheme = scheme
+	}
+	return x, nil
+}

@@ -1,0 +1,181 @@
+package wave
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// saveLoad round-trips an index through a snapshot.
+func saveLoad(t *testing.T, x *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := x.SaveSnapshot(&buf); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	y, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	t.Cleanup(func() { y.Close() })
+	return y
+}
+
+// TestSnapshotRoundTripAllSchemes saves mid-stream, reloads, continues
+// ingesting on the restored index, and checks queries match a
+// never-snapshotted twin at every step.
+func TestSnapshotRoundTripAllSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{DEL, REINDEX, REINDEXPlus, REINDEXPlusPlus, WATAStar, RATAStar} {
+		for _, upd := range []UpdateTechnique{SimpleShadow, PackedShadow} {
+			t.Run(fmt.Sprintf("%s/%s", scheme, upd), func(t *testing.T) {
+				mk := func() *Index {
+					x, err := New(Config{Window: 6, Indexes: 3, Scheme: scheme, Update: upd})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return x
+				}
+				keysFor := func(d int) []string {
+					return []string{"common", fmt.Sprintf("day%d", d)}
+				}
+				orig := mk()
+				twin := mk()
+				defer twin.Close()
+				for d := 1; d <= 9; d++ {
+					if err := orig.AddDay(d, day(d, keysFor(d)...)); err != nil {
+						t.Fatal(err)
+					}
+					if err := twin.AddDay(d, day(d, keysFor(d)...)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				restored := saveLoad(t, orig)
+				orig.Close()
+				// Continue both for a full window's worth of days.
+				for d := 10; d <= 16; d++ {
+					if err := restored.AddDay(d, day(d, keysFor(d)...)); err != nil {
+						t.Fatalf("restored AddDay(%d): %v", d, err)
+					}
+					if err := twin.AddDay(d, day(d, keysFor(d)...)); err != nil {
+						t.Fatal(err)
+					}
+					for _, key := range []string{"common", "day12", "day3"} {
+						a, err := restored.Probe(key)
+						if err != nil {
+							t.Fatal(err)
+						}
+						b, err := twin.Probe(key)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if fmt.Sprint(a) != fmt.Sprint(b) {
+							t.Fatalf("day %d key %q: restored %v != twin %v", d, key, a, b)
+						}
+					}
+				}
+				rf, rt := restored.Window()
+				tf, tt := twin.Window()
+				if rf != tf || rt != tt {
+					t.Errorf("windows diverged: [%d,%d] vs [%d,%d]", rf, rt, tf, tt)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotBeforeReady round-trips an index that has not yet filled
+// its window.
+func TestSnapshotBeforeReady(t *testing.T) {
+	x, err := New(Config{Window: 5, Indexes: 2, Scheme: REINDEX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= 3; d++ {
+		if err := x.AddDay(d, day(d, "k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	y := saveLoad(t, x)
+	x.Close()
+	if y.Ready() {
+		t.Fatal("restored index claims ready")
+	}
+	for d := 4; d <= 7; d++ {
+		if err := y.AddDay(d, day(d, "k")); err != nil {
+			t.Fatalf("AddDay(%d): %v", d, err)
+		}
+	}
+	es, err := y.Probe("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 5 {
+		t.Errorf("probe = %d entries, want 5", len(es))
+	}
+}
+
+// TestSnapshotPreservesStats checks scheme identity and window survive.
+func TestSnapshotPreservesStats(t *testing.T) {
+	x, err := New(Config{Window: 6, Indexes: 3, Scheme: WATAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= 14; d++ {
+		if err := x.AddDay(d, day(d, "a", "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := x.Stats()
+	y := saveLoad(t, x)
+	x.Close()
+	after := y.Stats()
+	if after.Scheme != before.Scheme || after.WindowFrom != before.WindowFrom || after.WindowTo != before.WindowTo {
+		t.Errorf("stats diverged: %+v vs %+v", after, before)
+	}
+	if after.DaysIndexed != before.DaysIndexed {
+		t.Errorf("DaysIndexed %d != %d (soft-window state lost)", after.DaysIndexed, before.DaysIndexed)
+	}
+}
+
+// TestLoadRejectsGarbage covers corrupt-stream errors.
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated valid prefix.
+	x, err := New(Config{Window: 4, Indexes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	for d := 1; d <= 5; d++ {
+		if err := x.AddDay(d, day(d, "k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := x.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+// TestSaveAfterCloseFails covers the closed path.
+func TestSaveAfterCloseFails(t *testing.T) {
+	x, err := New(Config{Window: 3, Indexes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Close()
+	var buf bytes.Buffer
+	if err := x.SaveSnapshot(&buf); err == nil {
+		t.Error("snapshot of closed index accepted")
+	}
+}

@@ -1,0 +1,391 @@
+// Package wave provides sliding-window ("wave") indexes over daily data
+// batches, after "Wave-Indices: Indexing Evolving Databases" (Shivakumar
+// and Garcia-Molina, SIGMOD 1997).
+//
+// A wave index keeps the last W days of records queryable by partitioning
+// the days across n conventional indexes and rolling the window forward
+// one day at a time. Six maintenance algorithms are offered — DEL,
+// REINDEX, REINDEX+, REINDEX++, WATA*, and RATA* — that trade transition
+// latency, total daily work, space, and code complexity differently; see
+// DESIGN.md for the trade-off analysis and the examples directory for
+// runnable scenarios.
+//
+// Basic usage:
+//
+//	idx, _ := wave.New(wave.Config{Window: 7, Indexes: 4, Scheme: wave.REINDEX})
+//	for day := 1; day <= 7; day++ {
+//		idx.AddDay(day, postingsFor(day)) // index fills as days arrive
+//	}
+//	// From day 8 on, each AddDay expires the oldest day automatically.
+//	entries, _ := idx.Probe("needle")
+package wave
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"waveindex/internal/core"
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+)
+
+// Scheme selects the wave-index maintenance algorithm.
+type Scheme = core.Kind
+
+// The six maintenance algorithms of the paper.
+const (
+	// DEL deletes the expired day's entries and inserts the new day's in
+	// their place. Hard window; needs deletion code; n = 1 gives the
+	// classic single-index solution.
+	DEL = core.KindDEL
+	// REINDEX rebuilds the affected constituent from scratch each day.
+	// Hard window; always packed; rebuilds W/n days daily.
+	REINDEX = core.KindREINDEX
+	// REINDEXPlus (REINDEX+) halves REINDEX's average rebuild work with
+	// one temporary index.
+	REINDEXPlus = core.KindREINDEXPlus
+	// REINDEXPlusPlus (REINDEX++) pre-builds a ladder of temporaries so
+	// new data is queryable after indexing a single day.
+	REINDEXPlusPlus = core.KindREINDEXPlusPlus
+	// WATAStar (WATA*) appends new days and throws whole indexes away
+	// once all their days expire. Soft window (up to
+	// ceil((W-1)/(n-1))-1 extra days); minimal daily work; needs n >= 2.
+	WATAStar = core.KindWATAStar
+	// RATAStar (RATA*) is WATA* plus pre-built temporaries that simulate
+	// a hard window with bulk deletes only. Needs n >= 2.
+	RATAStar = core.KindRATAStar
+)
+
+// UpdateTechnique selects how constituent indexes are updated (§2.1 of
+// the paper).
+type UpdateTechnique = core.Technique
+
+// The three update techniques.
+const (
+	// InPlace updates the live index directly under the wave's write
+	// lock. No extra space; result unpacked.
+	InPlace = core.InPlace
+	// SimpleShadow copies the index and updates the copy; queries
+	// continue on the original until the swap. Default.
+	SimpleShadow = core.SimpleShadow
+	// PackedShadow merge-copies into a fresh packed layout, dropping
+	// expired entries on the way. Keeps every index packed.
+	PackedShadow = core.PackedShadow
+)
+
+// Directory selects the constituent indexes' directory structure.
+type Directory = index.DirKind
+
+// Directory structures.
+const (
+	// HashDirectory uses an in-memory hash table (O(1) probes).
+	HashDirectory = index.HashDir
+	// BTreeDirectory uses an in-memory B+Tree (ordered iteration without
+	// sorting).
+	BTreeDirectory = index.BTreeDir
+)
+
+// Posting is one (search value, entry) pair of a day's batch.
+type Posting = index.Posting
+
+// Entry is an index entry: a record pointer, associated information, and
+// the insertion-day timestamp.
+type Entry = index.Entry
+
+// Errors returned by Index methods.
+var (
+	// ErrNotReady is returned by queries before Window days have been
+	// ingested.
+	ErrNotReady = errors.New("wave: index not ready: fewer than Window days ingested")
+	// ErrBadDay is returned when AddDay receives a non-consecutive day.
+	ErrBadDay = errors.New("wave: days must be added consecutively")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("wave: index closed")
+)
+
+// Config configures a wave index.
+type Config struct {
+	// Window is W: the number of days kept queryable. Required.
+	Window int
+	// Indexes is n: the number of constituent indexes. 0 means a scheme-
+	// dependent default (4, or 2 if Window < 4; never below the scheme's
+	// minimum).
+	Indexes int
+	// Scheme is the maintenance algorithm. Default DEL.
+	Scheme Scheme
+	// Update is the §2.1 update technique. Default SimpleShadow.
+	Update UpdateTechnique
+	// Directory selects hash or B+Tree directories. Default hash.
+	Directory Directory
+	// GrowthFactor is the CONTIGUOUS growth factor g for incremental
+	// updates (2.0 suits skewed keys, 1.08 uniform ones). 0 means 2.0.
+	GrowthFactor float64
+	// BlockSize is the store's block size in bytes. 0 means 4096.
+	BlockSize int
+	// StorePath, when non-empty, backs the index with the file at that
+	// path instead of RAM.
+	StorePath string
+	// CacheBlocks, when positive, interposes a write-through LRU block
+	// cache of that many blocks between the index and the store — the
+	// memory caching the paper credits for batched updates' efficiency.
+	CacheBlocks int
+	// FirstDay is the day number of the first batch. 0 means 1.
+	FirstDay int
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.Window < 1 {
+		return c, fmt.Errorf("wave: Window = %d, must be >= 1", c.Window)
+	}
+	if c.Indexes == 0 {
+		c.Indexes = 4
+		if c.Window < 4 {
+			c.Indexes = 2
+		}
+		if c.Indexes > c.Window {
+			c.Indexes = c.Window
+		}
+	}
+	if min := c.Scheme.MinN(); c.Indexes < min {
+		return c, fmt.Errorf("wave: scheme %s requires at least %d indexes", c.Scheme, min)
+	}
+	if c.Indexes > c.Window {
+		return c, fmt.Errorf("wave: Indexes = %d exceeds Window = %d", c.Indexes, c.Window)
+	}
+	if c.FirstDay == 0 {
+		c.FirstDay = 1
+	}
+	if c.FirstDay < 1 {
+		return c, fmt.Errorf("wave: FirstDay = %d, must be >= 1", c.FirstDay)
+	}
+	return c, nil
+}
+
+// Index is a sliding-window index over daily batches. All methods are
+// safe for concurrent use: queries proceed against the published wave
+// while AddDay runs (the §2.1 shadow-update story), and the mutating
+// methods (AddDay, SaveSnapshot, Close) serialise among themselves.
+type Index struct {
+	cfg    Config
+	store  *simdisk.Store
+	src    *core.MemorySource
+	scheme core.Scheme
+
+	mu      sync.Mutex // guards the fields below and mutating methods
+	nextDay int
+	ready   bool
+	closed  bool
+}
+
+// New creates a wave index.
+func New(cfg Config) (*Index, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	var store *simdisk.Store
+	if cfg.StorePath != "" {
+		store, err = simdisk.NewFile(cfg.StorePath, simdisk.Config{BlockSize: cfg.BlockSize})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = simdisk.NewRAM(simdisk.Config{BlockSize: cfg.BlockSize})
+	}
+	// Retain a little beyond the window: REINDEX-family schemes re-read
+	// old days when rebuilding clusters.
+	src := core.NewMemorySource(cfg.Window + 2)
+	var bs simdisk.BlockStore = store
+	if cfg.CacheBlocks > 0 {
+		bs = simdisk.NewCache(store, cfg.CacheBlocks)
+	}
+	bk := core.NewDataBackend(bs, index.Options{
+		Dir:    cfg.Directory,
+		Growth: cfg.GrowthFactor,
+	}, src, nil)
+	scheme, err := core.NewScheme(cfg.Scheme, core.Config{
+		W:         cfg.Window,
+		N:         cfg.Indexes,
+		Technique: cfg.Update,
+		StartDay:  cfg.FirstDay,
+	}, bk)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &Index{cfg: cfg, store: store, src: src, scheme: scheme, nextDay: cfg.FirstDay}, nil
+}
+
+// AddDay ingests one day's postings. Days must arrive consecutively
+// starting at Config.FirstDay. The index becomes queryable once Window
+// days have been ingested; every later AddDay rolls the window forward,
+// expiring the oldest day.
+func (x *Index) AddDay(day int, postings []Posting) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return ErrClosed
+	}
+	if day != x.nextDay {
+		return fmt.Errorf("%w: got day %d, want %d", ErrBadDay, day, x.nextDay)
+	}
+	x.src.Put(&index.Batch{Day: day, Postings: postings})
+	x.nextDay++
+	if !x.ready {
+		if day-x.cfg.FirstDay+1 == x.cfg.Window {
+			if err := x.scheme.Start(); err != nil {
+				return err
+			}
+			x.ready = true
+		}
+		return nil
+	}
+	return x.scheme.Transition(day)
+}
+
+// Ready reports whether Window days have been ingested and the index
+// answers queries.
+func (x *Index) Ready() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.ready
+}
+
+// Window returns the first and last day of the current required window.
+// Before the index is ready, it returns (FirstDay, last ingested day).
+func (x *Index) Window() (from, to int) {
+	x.mu.Lock()
+	ready, next := x.ready, x.nextDay
+	x.mu.Unlock()
+	if !ready {
+		return x.cfg.FirstDay, next - 1
+	}
+	return x.scheme.WindowStart(), x.scheme.LastDay()
+}
+
+// HardWindow reports whether the configured scheme indexes exactly the
+// window (true) or may retain a few expired days (WATA*).
+func (x *Index) HardWindow() bool { return x.scheme.HardWindow() }
+
+// Probe returns the entries for key within the current required window,
+// ordered by (day, record).
+func (x *Index) Probe(key string) ([]Entry, error) {
+	from, to := x.Window()
+	return x.ProbeRange(key, from, to)
+}
+
+// ProbeRange returns the entries for key inserted between day from and to
+// (inclusive). This is the paper's TimedIndexProbe: only constituents
+// whose clusters intersect the range are read.
+func (x *Index) ProbeRange(key string, from, to int) ([]Entry, error) {
+	if err := x.queryable(); err != nil {
+		return nil, err
+	}
+	return x.scheme.Wave().TimedIndexProbe(key, from, to)
+}
+
+// queryable checks the index is open and ready.
+func (x *Index) queryable() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return ErrClosed
+	}
+	if !x.ready {
+		return ErrNotReady
+	}
+	return nil
+}
+
+// ProbeParallel is Probe with the per-constituent reads issued
+// concurrently — useful when constituents live on independent devices
+// (the paper's §8).
+func (x *Index) ProbeParallel(key string) ([]Entry, error) {
+	if err := x.queryable(); err != nil {
+		return nil, err
+	}
+	from, to := x.Window()
+	return x.scheme.Wave().ParallelTimedIndexProbe(key, from, to)
+}
+
+// Scan visits every entry in the current required window in per-
+// constituent key order; fn returning false stops the scan. This is the
+// paper's TimedSegmentScan clamped to the window.
+func (x *Index) Scan(fn func(key string, e Entry) bool) error {
+	from, to := x.Window()
+	return x.ScanRange(from, to, fn)
+}
+
+// ScanRange visits every entry inserted between day from and to.
+func (x *Index) ScanRange(from, to int, fn func(key string, e Entry) bool) error {
+	if err := x.queryable(); err != nil {
+		return err
+	}
+	return x.scheme.Wave().TimedSegmentScan(from, to, fn)
+}
+
+// Stats reports resource usage.
+type Stats struct {
+	// Scheme is the maintenance algorithm's name.
+	Scheme string
+	// HardWindow mirrors Index.HardWindow.
+	HardWindow bool
+	// WindowFrom and WindowTo delimit the required window.
+	WindowFrom, WindowTo int
+	// DaysIndexed counts all indexed days, including soft-window extras.
+	DaysIndexed int
+	// ConstituentBytes is the storage of the queryable constituents.
+	ConstituentBytes int64
+	// TempBytes is the storage of temporary indexes.
+	TempBytes int64
+	// Constituents describes each constituent index.
+	Constituents []ConstituentStats
+	// Store is the block store's counter snapshot.
+	Store simdisk.Stats
+}
+
+// ConstituentStats describes one constituent index of the wave.
+type ConstituentStats struct {
+	// Days is the constituent's time-set, ascending.
+	Days []int
+	// Bytes is its allocated storage.
+	Bytes int64
+}
+
+// Stats returns a snapshot of the index's resource usage.
+func (x *Index) Stats() Stats {
+	from, to := x.Window()
+	var cons []ConstituentStats
+	for _, c := range x.scheme.Wave().Snapshot() {
+		if c != nil {
+			cons = append(cons, ConstituentStats{Days: c.Days(), Bytes: c.SizeBytes()})
+		}
+	}
+	return Stats{
+		Constituents:     cons,
+		Scheme:           x.scheme.Name(),
+		HardWindow:       x.scheme.HardWindow(),
+		WindowFrom:       from,
+		WindowTo:         to,
+		DaysIndexed:      x.scheme.Wave().Length(),
+		ConstituentBytes: x.scheme.Wave().SizeBytes(),
+		TempBytes:        x.scheme.TempSizeBytes(),
+		Store:            x.store.Stats(),
+	}
+}
+
+// Close releases all storage held by the index.
+func (x *Index) Close() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return ErrClosed
+	}
+	x.closed = true
+	err := x.scheme.Close()
+	if cerr := x.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

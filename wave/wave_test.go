@@ -1,0 +1,361 @@
+package wave
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func day(d int, keys ...string) []Posting {
+	var ps []Posting
+	for i, k := range keys {
+		ps = append(ps, Posting{Key: k, Entry: Entry{RecordID: uint64(d*100 + i), Day: int32(d)}})
+	}
+	return ps
+}
+
+func fill(t *testing.T, x *Index, through int, keysFor func(d int) []string) {
+	t.Helper()
+	next, _ := x.Window()
+	if x.Ready() {
+		_, to := x.Window()
+		next = to + 1
+	}
+	for d := next; d <= through; d++ {
+		if err := x.AddDay(d, day(d, keysFor(d)...)); err != nil {
+			t.Fatalf("AddDay(%d): %v", d, err)
+		}
+	}
+}
+
+func TestLifecycleAllSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{DEL, REINDEX, REINDEXPlus, REINDEXPlusPlus, WATAStar, RATAStar} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			x, err := New(Config{Window: 5, Indexes: 2, Scheme: scheme})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer x.Close()
+			if x.Ready() {
+				t.Error("ready before any data")
+			}
+			if _, err := x.Probe("a"); !errors.Is(err, ErrNotReady) {
+				t.Errorf("pre-ready Probe err = %v", err)
+			}
+			keysFor := func(d int) []string { return []string{"a", fmt.Sprintf("only%d", d)} }
+			fill(t, x, 4, keysFor)
+			if x.Ready() {
+				t.Error("ready after 4 of 5 days")
+			}
+			if err := x.AddDay(5, day(5, keysFor(5)...)); err != nil {
+				t.Fatal(err)
+			}
+			if !x.Ready() {
+				t.Fatal("not ready after Window days")
+			}
+			es, err := x.Probe("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(es) != 5 {
+				t.Fatalf("a entries = %d, want 5", len(es))
+			}
+			// Roll forward 12 more days; window always the last 5.
+			fill(t, x, 17, keysFor)
+			from, to := x.Window()
+			if from != 13 || to != 17 {
+				t.Fatalf("window = [%d, %d], want [13, 17]", from, to)
+			}
+			es, err = x.Probe("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(es) != 5 {
+				t.Fatalf("a entries after rolling = %d, want 5", len(es))
+			}
+			for _, e := range es {
+				if e.Day < 13 || e.Day > 17 {
+					t.Errorf("entry day %d outside window", e.Day)
+				}
+			}
+			// Expired unique keys are gone from window queries.
+			if es, _ := x.Probe("only3"); len(es) != 0 {
+				t.Errorf("expired key returned %d entries", len(es))
+			}
+			if es, _ := x.Probe("only15"); len(es) != 1 {
+				t.Errorf("window key only15 = %d entries, want 1", len(es))
+			}
+		})
+	}
+}
+
+func TestProbeRangeAndScan(t *testing.T) {
+	x, err := New(Config{Window: 6, Indexes: 3, Scheme: REINDEXPlusPlus, Update: PackedShadow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	keysFor := func(d int) []string { return []string{"k", "k"} }
+	fill(t, x, 10, keysFor)
+	es, err := x.ProbeRange("k", 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 4 {
+		t.Fatalf("ProbeRange = %d entries, want 4", len(es))
+	}
+	n := 0
+	if err := x.Scan(func(string, Entry) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Errorf("Scan visited %d entries, want 12 (6 days x 2)", n)
+	}
+	n = 0
+	if err := x.ScanRange(9, 10, func(string, Entry) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("ScanRange visited %d, want 4", n)
+	}
+	// Early stop.
+	n = 0
+	if err := x.Scan(func(string, Entry) bool { n++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("early-stop scan visited %d, want 1", n)
+	}
+}
+
+func TestParallelProbe(t *testing.T) {
+	x, err := New(Config{Window: 8, Indexes: 4, Scheme: WATAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	fill(t, x, 20, func(d int) []string { return []string{"p", "q"} })
+	serial, err := x.Probe("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := x.ProbeParallel("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(serial) != fmt.Sprint(parallel) {
+		t.Errorf("parallel = %v, serial = %v", parallel, serial)
+	}
+}
+
+func TestAddDayValidation(t *testing.T) {
+	x, err := New(Config{Window: 3, Indexes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if err := x.AddDay(2, nil); !errors.Is(err, ErrBadDay) {
+		t.Errorf("skipping day 1: err = %v", err)
+	}
+	if err := x.AddDay(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddDay(1, nil); !errors.Is(err, ErrBadDay) {
+		t.Errorf("repeating day 1: err = %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero Window accepted")
+	}
+	if _, err := New(Config{Window: 3, Indexes: 5}); err == nil {
+		t.Error("Indexes > Window accepted")
+	}
+	if _, err := New(Config{Window: 5, Indexes: 1, Scheme: WATAStar}); err == nil {
+		t.Error("WATA* with 1 index accepted")
+	}
+	if _, err := New(Config{Window: 5, FirstDay: -1}); err == nil {
+		t.Error("negative FirstDay accepted")
+	}
+	// Defaults: Indexes derived from window and scheme minimum.
+	x, err := New(Config{Window: 2, Scheme: WATAStar})
+	if err != nil {
+		t.Fatalf("default Indexes for small window: %v", err)
+	}
+	x.Close()
+}
+
+func TestFirstDayOffset(t *testing.T) {
+	x, err := New(Config{Window: 3, Indexes: 2, FirstDay: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	for d := 100; d <= 104; d++ {
+		if err := x.AddDay(d, day(d, "z")); err != nil {
+			t.Fatalf("AddDay(%d): %v", d, err)
+		}
+	}
+	from, to := x.Window()
+	if from != 102 || to != 104 {
+		t.Errorf("window = [%d, %d], want [102, 104]", from, to)
+	}
+}
+
+func TestFileBackedStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wave.dat")
+	x, err := New(Config{Window: 4, Indexes: 2, Scheme: DEL, StorePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	fill(t, x, 8, func(d int) []string { return []string{"f"} })
+	es, err := x.Probe("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 4 {
+		t.Errorf("file-backed probe = %d entries, want 4", len(es))
+	}
+}
+
+func TestStatsAndClose(t *testing.T) {
+	x, err := New(Config{Window: 4, Indexes: 2, Scheme: WATAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, x, 9, func(d int) []string { return []string{"s"} })
+	st := x.Stats()
+	if st.Scheme != "WATA*" || st.HardWindow {
+		t.Errorf("stats scheme = %q hard=%v", st.Scheme, st.HardWindow)
+	}
+	if st.DaysIndexed < 4 {
+		t.Errorf("DaysIndexed = %d", st.DaysIndexed)
+	}
+	if st.ConstituentBytes <= 0 {
+		t.Errorf("ConstituentBytes = %d", st.ConstituentBytes)
+	}
+	if st.WindowFrom != 6 || st.WindowTo != 9 {
+		t.Errorf("window = [%d, %d]", st.WindowFrom, st.WindowTo)
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double Close err = %v", err)
+	}
+	if _, err := x.Probe("s"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Probe after Close err = %v", err)
+	}
+	if err := x.AddDay(10, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddDay after Close err = %v", err)
+	}
+}
+
+func TestSoftWindowDocumentedBehaviour(t *testing.T) {
+	x, err := New(Config{Window: 6, Indexes: 3, Scheme: WATAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	fill(t, x, 20, func(d int) []string { return []string{"w"} })
+	// Probe clamps to the window even though extra days are stored.
+	es, err := x.Probe("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 6 {
+		t.Errorf("window probe = %d entries, want 6", len(es))
+	}
+	if st := x.Stats(); st.DaysIndexed < 6 {
+		t.Errorf("DaysIndexed = %d, want >= window", st.DaysIndexed)
+	}
+}
+
+func TestCachedStoreConfig(t *testing.T) {
+	x, err := New(Config{Window: 6, Indexes: 3, Scheme: DEL, CacheBlocks: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	fill(t, x, 12, func(d int) []string { return []string{"c", "d"} })
+	// Repeated probes are served from cache; results stay correct.
+	var first []Entry
+	for i := 0; i < 5; i++ {
+		es, err := x.Probe("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = es
+		} else if fmt.Sprint(es) != fmt.Sprint(first) {
+			t.Fatalf("cached probe diverged on iteration %d", i)
+		}
+	}
+	if len(first) != 6 {
+		t.Errorf("probe = %d entries, want 6", len(first))
+	}
+	seeksAfter := x.Stats().Store.Seeks
+	for i := 0; i < 20; i++ {
+		if _, err := x.Probe("c"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := x.Stats().Store.Seeks; got != seeksAfter {
+		t.Errorf("cache-hit probes still hit the disk: %d -> %d seeks", seeksAfter, got)
+	}
+}
+
+// TestConcurrentPublicAPI hammers the public API from multiple
+// goroutines: one ingester plus query and stats readers. Run under
+// -race; the Index documents all methods as safe for concurrent use.
+func TestConcurrentPublicAPI(t *testing.T) {
+	x, err := New(Config{Window: 6, Indexes: 3, Scheme: RATAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	fill(t, x, 6, func(int) []string { return []string{"q"} })
+
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := x.Probe("q"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := x.Count(); err != nil {
+					errs <- err
+					return
+				}
+				_ = x.Stats()
+				_, _ = x.Window()
+				_ = x.Ready()
+			}
+		}()
+	}
+	for d := 7; d <= 40; d++ {
+		if err := x.AddDay(d, day(d, "q")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
