@@ -1,0 +1,23 @@
+GO ?= go
+
+# `make check` is the full pre-commit gate: static analysis, a clean
+# build, the race-enabled test suite, and a one-iteration smoke of the
+# parallel-query benchmarks.
+.PHONY: check vet build test race bench-smoke
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -bench='ParallelProbe|ParallelScan|MultiProbe' -benchtime=1x -run '^$$' .

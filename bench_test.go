@@ -3,6 +3,7 @@ package waveindex
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"waveindex/internal/core"
 	"waveindex/internal/experiments"
@@ -274,23 +275,71 @@ func benchDataTransitions(b *testing.B, kind core.Kind, tech core.Technique) {
 	}
 }
 
+// simTimer accumulates per-iteration simulated disk time across a
+// multi-store index: serial elapsed is the sum of the per-store deltas
+// (devices visited one after another), parallel elapsed is the busiest
+// store's delta (devices driven concurrently).
+type simTimer struct {
+	idx          *wave.Index
+	base         []simdisk.Stats
+	serial, span time.Duration
+}
+
+func newSimTimer(idx *wave.Index) *simTimer {
+	return &simTimer{idx: idx, base: idx.Stats().PerStore}
+}
+
+func (t *simTimer) lap() {
+	cur := t.idx.Stats().PerStore
+	var max time.Duration
+	for i := range cur {
+		d := cur[i].SimTime - t.base[i].SimTime
+		t.serial += d
+		if d > max {
+			max = d
+		}
+	}
+	t.span += max
+	t.base = cur
+}
+
+func (t *simTimer) report(b *testing.B, mode string) {
+	b.Helper()
+	elapsed := t.serial
+	if mode == "parallel" {
+		elapsed = t.span
+	}
+	b.ReportMetric(float64(elapsed)/float64(time.Millisecond)/float64(b.N), "sim_ms/op")
+}
+
+// benchParallelIndex builds a data-bearing wave spread over one store
+// per constituent for the serial-vs-parallel ablations.
+func benchParallelIndex(b *testing.B, window, n int) (*wave.Index, *workload.Vocabulary) {
+	b.Helper()
+	idx, err := wave.New(wave.Config{Window: window, Indexes: n, Scheme: wave.DEL, Update: wave.PackedShadow, Stores: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { idx.Close() })
+	gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 9, ArticlesPerDay: 80, WordsPerArticle: 12})
+	for d := 1; d <= window; d++ {
+		if err := idx.AddDay(d, gen.Day(d).Postings); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return idx, gen.Vocab()
+}
+
 // BenchmarkAblationParallelProbe compares the serial and concurrent probe
-// paths over n constituents (the §8 multi-disk direction).
+// paths over 6 constituents spread across 6 simulated disks (the §8
+// multi-disk direction). sim_ms/op is the simulated elapsed disk time:
+// sum of per-store deltas for the serial path, busiest store for the
+// parallel one.
 func BenchmarkAblationParallelProbe(b *testing.B) {
 	for _, mode := range []string{"serial", "parallel"} {
 		b.Run(mode, func(b *testing.B) {
-			idx, err := wave.New(wave.Config{Window: 12, Indexes: 6, Scheme: wave.DEL})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer idx.Close()
-			gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 9, ArticlesPerDay: 80, WordsPerArticle: 12})
-			for d := 1; d <= 12; d++ {
-				if err := idx.AddDay(d, gen.Day(d).Postings); err != nil {
-					b.Fatal(err)
-				}
-			}
-			vocab := gen.Vocab()
+			idx, vocab := benchParallelIndex(b, 12, 6)
+			tm := newSimTimer(idx)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -302,7 +351,74 @@ func BenchmarkAblationParallelProbe(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				tm.lap()
 			}
+			tm.report(b, mode)
+		})
+	}
+}
+
+// BenchmarkParallelScan compares a whole-window segment scan with the
+// engine forced to one worker (serial) against the streaming k-way
+// merged scan with one worker per store (parallel).
+func BenchmarkParallelScan(b *testing.B) {
+	for _, mode := range []string{"serial", "parallel"} {
+		b.Run(mode, func(b *testing.B) {
+			idx, _ := benchParallelIndex(b, 12, 6)
+			if mode == "serial" {
+				idx.SetParallelism(1)
+			}
+			from, to := idx.Window()
+			tm := newSimTimer(idx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if err := idx.ScanRange(from, to, func(string, wave.Entry) bool {
+					n++
+					return true
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("scan visited no entries")
+				}
+				tm.lap()
+			}
+			tm.report(b, mode)
+		})
+	}
+}
+
+// BenchmarkMultiProbe compares probing a key batch one key at a time
+// against one batched MultiProbe, which reorders the batch by disk
+// position so adjacent buckets cost no extra seek.
+func BenchmarkMultiProbe(b *testing.B) {
+	for _, mode := range []string{"perkey", "batched"} {
+		b.Run(mode, func(b *testing.B) {
+			idx, vocab := benchParallelIndex(b, 12, 4)
+			from, to := idx.Window()
+			// Popular keys in descending rank: an arbitrary client order
+			// that is backwards on disk, so the per-key loop seeks per key.
+			keys := make([]string, 0, 16)
+			for r := 15; r >= 0; r-- {
+				keys = append(keys, vocab.Word(r))
+			}
+			seekBase := idx.Stats().Store.Seeks
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "perkey" {
+					for _, k := range keys {
+						if _, err := idx.ProbeRange(k, from, to); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					if _, err := idx.MultiProbeRange(keys, from, to); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(idx.Stats().Store.Seeks-seekBase)/float64(b.N), "disk_seeks/op")
 		})
 	}
 }

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching")
+	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching, qengine")
 	schemeName := flag.String("scheme", "DEL", "scheme for -exp run")
 	scName := flag.String("scenario", "SCAM", "scenario for -exp run: SCAM, WSE, TPC-D")
 	n := flag.Int("n", 2, "constituent count for -exp run")
@@ -82,6 +82,8 @@ func run(exp, schemeName, scName, techName string, n int) error {
 		return gsweep()
 	case exp == "batching":
 		return batching()
+	case exp == "qengine":
+		return qengine()
 	default:
 		if fn, ok := figs[exp]; ok {
 			return printFigure(fn)
@@ -139,6 +141,23 @@ func batching() error {
 			return err
 		}
 		fmt.Printf("%10d  %12d  %10d\n", pt.Batches, pt.DiskBytes, pt.DiskSeeks)
+	}
+	return nil
+}
+
+func qengine() error {
+	fmt.Println("parallel query engine: one simulated disk per constituent (DEL, packed shadow):")
+	fmt.Printf("%4s  %12s %12s %8s  %12s %12s %8s  %9s %9s\n",
+		"n", "probe-seq", "probe-par", "speedup", "scan-seq", "scan-par", "speedup", "seeks/key", "seeks/mpr")
+	for _, n := range []int{2, 4, 7} {
+		r, err := experiments.MeasureQueryExec(n, 35)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d  %12v %12v %7.1fx  %12v %12v %7.1fx  %9d %9d\n",
+			r.N, r.SerialProbe, r.ParallelProbe, r.ProbeSpeedup(),
+			r.SerialScan, r.ParallelScan, r.ScanSpeedup(),
+			r.PerKeySeeks, r.BatchedSeeks)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	waved [-addr :7070] [-window 7] [-indexes 4]
 //	      [-scheme REINDEX] [-update simple-shadow] [-store path]
+//	      [-stores 1] [-parallel 0]
 //
 // Try it:
 //
@@ -33,6 +34,8 @@ func main() {
 	schemeName := flag.String("scheme", "REINDEX", "maintenance scheme")
 	update := flag.String("update", "simple-shadow", "update technique: inplace, simple-shadow, packed-shadow")
 	storePath := flag.String("store", "", "file-backed store path (default: RAM)")
+	stores := flag.Int("stores", 1, "block store count (constituents spread round-robin)")
+	parallel := flag.Int("parallel", 0, "query worker bound (0 = one per store, or per constituent)")
 	flag.Parse()
 
 	kind, err := core.ParseKind(*schemeName)
@@ -52,11 +55,13 @@ func main() {
 	}
 
 	idx, err := wave.New(wave.Config{
-		Window:    *window,
-		Indexes:   *indexes,
-		Scheme:    kind,
-		Update:    tech,
-		StorePath: *storePath,
+		Window:      *window,
+		Indexes:     *indexes,
+		Scheme:      kind,
+		Update:      tech,
+		StorePath:   *storePath,
+		Stores:      *stores,
+		Parallelism: *parallel,
 	})
 	if err != nil {
 		log.Fatal(err)

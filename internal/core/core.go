@@ -345,25 +345,28 @@ func (b *base) deriveFrom(src Constituent, add []int) (Constituent, error) {
 	return out, nil
 }
 
-// publishSwap installs c in the wave's slot, dropping the previous
-// occupant, and signals the observer that newDay became queryable.
+// publishSwap installs c in the wave's slot, retiring the previous
+// occupant, and signals the observer that newDay became queryable. The
+// superseded index is dropped immediately when no query references it,
+// otherwise once the last such query finishes.
 func (b *base) publishSwap(slot int, c Constituent, newDay int) error {
 	old := b.wave.Get(slot)
 	b.wave.Set(slot, c)
 	b.cfg.Observer.Publish(newDay)
 	if old != nil && old != c {
-		return old.Drop()
+		return b.wave.Retire(old)
 	}
 	return nil
 }
 
-// closeAll drops every constituent and the given temps.
+// closeAll drops every constituent and the given temps, including any
+// retirees whose drop was deferred behind in-flight queries.
 func (b *base) closeAll(temps ...Constituent) error {
 	if b.closed {
 		return nil
 	}
 	b.closed = true
-	var first error
+	first := b.wave.DrainRetired()
 	for _, c := range b.wave.Snapshot() {
 		if c != nil {
 			if err := c.Drop(); err != nil && first == nil {

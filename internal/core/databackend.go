@@ -129,6 +129,17 @@ func (c *dataConstituent) Scan(t1, t2 int, fn func(string, index.Entry) bool) er
 	return c.idx.Scan(t1, t2, fn)
 }
 
+// MultiProbe implements MultiSearcher: the key batch is answered in one
+// pass over the index with buckets read in disk order.
+func (c *dataConstituent) MultiProbe(keys []string, t1, t2 int) ([][]index.Entry, error) {
+	return c.idx.ProbeMulti(keys, t1, t2)
+}
+
+// DayBounds implements DayBounder with the index's cached bounds.
+func (c *dataConstituent) DayBounds() (min, max int, ok bool) {
+	return c.idx.DayBounds()
+}
+
 // Index exposes the underlying index (diagnostics and tests).
 func (c *dataConstituent) Index() *index.Index { return c.idx }
 

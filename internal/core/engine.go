@@ -1,0 +1,68 @@
+package core
+
+import "sync"
+
+// Engine is a wave's query execution pool: a counting semaphore bounding
+// how many per-constituent reads run concurrently. The paper's §8
+// observes that "if n matches the number of disks, indexing can be
+// parallelized easily"; sizing the pool to the number of block stores
+// keeps every device busy without flooding one device with interleaved
+// reads, so that is the default chosen by the wave façade. A parallelism
+// of 1 executes queries strictly sequentially on the caller's goroutine.
+type Engine struct {
+	sem chan struct{}
+}
+
+// NewEngine returns an engine running at most parallelism reads at once
+// (values below 1 are clamped to 1).
+func NewEngine(parallelism int) *Engine {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &Engine{sem: make(chan struct{}, parallelism)}
+}
+
+// Parallelism returns the pool's concurrency bound.
+func (e *Engine) Parallelism() int { return cap(e.sem) }
+
+func (e *Engine) acquire() { e.sem <- struct{}{} }
+func (e *Engine) release() { <-e.sem }
+
+// Run executes tasks 0..n-1 on the pool and returns the first error (by
+// task index). With a single task or a parallelism of 1 the tasks run
+// inline on the caller's goroutine — the deterministic sequential path —
+// otherwise one goroutine per task contends for the pool's slots.
+func (e *Engine) Run(n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 || e.Parallelism() == 1 {
+		for i := 0; i < n; i++ {
+			e.acquire()
+			err := task(i)
+			e.release()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.acquire()
+			defer e.release()
+			errs[i] = task(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"container/heap"
+
+	"waveindex/internal/index"
+)
+
+// This file implements the wave's k-way merges. Probe results and scan
+// streams arrive per-constituent already ordered — probes by (day,
+// record, aux) within one bucket, scans by key — so the wave-level result
+// is assembled by merging rather than by re-sorting the concatenation.
+
+func entryLess(a, b index.Entry) bool {
+	if a.Day != b.Day {
+		return a.Day < b.Day
+	}
+	if a.RecordID != b.RecordID {
+		return a.RecordID < b.RecordID
+	}
+	return a.Aux < b.Aux
+}
+
+// mergeEntryLists merges per-constituent probe results, each sorted by
+// (day, record, aux), into one sorted slice. The list heads are selected
+// linearly: k is the number of constituents, which is small.
+func mergeEntryLists(lists [][]index.Entry) []index.Entry {
+	live := lists[:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			live = append(live, l)
+			total += len(l)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	out := make([]index.Entry, 0, total)
+	heads := make([]int, len(live))
+	for len(out) < total {
+		best := -1
+		for i, l := range live {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || entryLess(l[heads[i]], live[best][heads[best]]) {
+				best = i
+			}
+		}
+		out = append(out, live[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// scanStreamBuf is the per-stream channel depth: deep enough to decouple
+// producers from the consumer, shallow enough to bound buffered groups.
+const scanStreamBuf = 16
+
+// keyGroup is one search value's entries from one constituent, in that
+// constituent's bucket order.
+type keyGroup struct {
+	key string
+	es  []index.Entry
+}
+
+// scanStream carries one constituent's scan output, one key group at a
+// time, to the merging consumer. err is written by the producer before
+// ch is closed, so the consumer may read it after the channel drains.
+type scanStream struct {
+	ch   chan keyGroup
+	err  error
+	cur  keyGroup
+	slot int
+}
+
+// produceScan runs one constituent's scan, batching entries into per-key
+// groups and sending them down st.ch. The engine slot is held only while
+// the underlying scan produces entries and is released across channel
+// sends, so a pool smaller than the number of streams cannot deadlock the
+// merge (every stream still delivers its head group). A close of done
+// aborts the scan at the next callback.
+func produceScan(eng *Engine, s Searcher, t1, t2 int, st *scanStream, done <-chan struct{}) {
+	var pend keyGroup
+	send := func(g keyGroup) bool {
+		eng.release()
+		defer eng.acquire()
+		select {
+		case st.ch <- g:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	eng.acquire()
+	err := s.Scan(t1, t2, func(k string, e index.Entry) bool {
+		select {
+		case <-done:
+			return false
+		default:
+		}
+		if pend.es != nil && pend.key != k {
+			g := pend
+			pend = keyGroup{}
+			if !send(g) {
+				return false
+			}
+		}
+		pend.key = k
+		pend.es = append(pend.es, e)
+		return true
+	})
+	eng.release()
+	if err == nil && pend.es != nil {
+		select {
+		case st.ch <- pend:
+		case <-done:
+		}
+	}
+	st.err = err
+	close(st.ch)
+}
+
+// streamHeap orders scan streams by their current group's key, ties
+// broken by wave slot, so the merged scan visits keys in ascending order
+// and, within a key, constituents in slot order.
+type streamHeap []*scanStream
+
+func (h streamHeap) Len() int { return len(h) }
+func (h streamHeap) Less(i, j int) bool {
+	if h[i].cur.key != h[j].cur.key {
+		return h[i].cur.key < h[j].cur.key
+	}
+	return h[i].slot < h[j].slot
+}
+func (h streamHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x any)        { *h = append(*h, x.(*scanStream)) }
+func (h *streamHeap) Pop() (x any)      { old := *h; n := len(old); x, *h = old[n-1], old[:n-1]; return }
+
+// consumeScanStreams merges the streams' key groups on the caller's
+// goroutine, invoking fn for every entry. It returns once fn asks to stop
+// or every stream is exhausted; per-stream errors are collected by the
+// caller after the producers wind down.
+func consumeScanStreams(streams []*scanStream, fn func(key string, e index.Entry) bool) {
+	h := make(streamHeap, 0, len(streams))
+	for _, st := range streams {
+		if g, ok := <-st.ch; ok {
+			st.cur = g
+			h = append(h, st)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		st := h[0]
+		for _, e := range st.cur.es {
+			if !fn(st.cur.key, e) {
+				return
+			}
+		}
+		if g, ok := <-st.ch; ok {
+			st.cur = g
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+}

@@ -101,7 +101,7 @@ func (s *RATAStar) Transition(newDay int) error {
 	if j >= 0 && s.sumOther(j) == s.cfg.W-1 {
 		// ThrowAway day: like WATA*, then rebuild the ladder for the next
 		// dying cluster.
-		if err := s.wave.Get(j).Drop(); err != nil {
+		if err := s.wave.SetRetire(j, nil); err != nil {
 			return err
 		}
 		fresh, err := s.bk.Build(newDay)
@@ -127,12 +127,10 @@ func (s *RATAStar) Transition(newDay int) error {
 			return err
 		}
 		s.zs[s.last]++
-		old := s.wave.Get(j)
 		rung := s.temps[s.tempUsed]
 		s.temps[s.tempUsed] = nil
 		s.tempUsed--
-		s.wave.Set(j, rung)
-		if err := old.Drop(); err != nil {
+		if err := s.wave.SetRetire(j, rung); err != nil {
 			return err
 		}
 	}

@@ -87,8 +87,10 @@ func (s *WATAStar) Transition(newDay int) error {
 	expired := newDay - s.cfg.W
 	j := s.ownerOf(expired)
 	if j >= 0 && s.sumOther(j) == s.cfg.W-1 {
-		// ThrowAway: slot j holds only expired days.
-		if err := s.wave.Get(j).Drop(); err != nil {
+		// ThrowAway: slot j holds only expired days, so it can leave the
+		// wave (and be retired behind any in-flight query) before the
+		// replacement is built.
+		if err := s.wave.SetRetire(j, nil); err != nil {
 			return err
 		}
 		fresh, err := s.bk.Build(newDay)

@@ -113,7 +113,7 @@ func (s *WATASizeAware) Transition(newDay int) error {
 		}
 	}
 	if victim >= 0 && s.wave.Get(s.last).SizeBytes() >= s.Threshold {
-		if err := s.wave.Get(victim).Drop(); err != nil {
+		if err := s.wave.SetRetire(victim, nil); err != nil {
 			return err
 		}
 		fresh, err := s.bk.Build(newDay)

@@ -14,18 +14,63 @@ type Searcher interface {
 	Scan(t1, t2 int, fn func(key string, e index.Entry) bool) error
 }
 
-// Wave is the queryable wave index Theta: the current set of constituent
-// indexes. Queries take a read lock; maintenance publishes new
-// constituents under the write lock, so with shadow techniques queries
-// never observe a half-updated index (§2.1).
-type Wave struct {
-	mu   sync.RWMutex
-	cons []Constituent
+// MultiSearcher is implemented by constituents that can answer a batch of
+// probes in one pass, amortising directory lookups and seeks.
+type MultiSearcher interface {
+	// MultiProbe returns per-key entry lists aligned with keys (nil for
+	// absent keys), each sorted by (day, record, aux). keys must be
+	// distinct.
+	MultiProbe(keys []string, t1, t2 int) ([][]index.Entry, error)
 }
 
-// NewWave returns a wave with n empty slots.
+// DayBounder is implemented by constituents that can report the bounds of
+// their time-set in O(1).
+type DayBounder interface {
+	DayBounds() (min, max int, ok bool)
+}
+
+// Wave is the queryable wave index Theta: the current set of constituent
+// indexes. Queries take a snapshot of the constituents and run against it
+// without holding the wave lock, so maintenance can publish new
+// constituents while long scans are in flight; a superseded constituent
+// is retired — its storage release deferred until no query still holds a
+// snapshot referencing it. In-place updates, which mutate a live index,
+// still exclude queries via a dedicated query lock (§2.1).
+type Wave struct {
+	// mu guards the constituent slots and the retirement bookkeeping; it
+	// is held only for short critical sections, never across IO.
+	mu sync.RWMutex
+	// qmu is held in read mode for the whole of every query and in write
+	// mode by in-place updates, which are the only maintenance operations
+	// that mutate an index queries may be reading. Shadow publishing does
+	// not touch qmu, so it never waits on a long scan. Lock order:
+	// qmu before mu.
+	qmu     sync.RWMutex
+	cons    []Constituent
+	eng     *Engine
+	readers int           // queries holding a snapshot
+	retired []Constituent // superseded while readers > 0; dropped later
+}
+
+// NewWave returns a wave with n empty slots and a query engine sized to
+// n — one potential reader per constituent.
 func NewWave(n int) *Wave {
-	return &Wave{cons: make([]Constituent, n)}
+	return &Wave{cons: make([]Constituent, n), eng: NewEngine(n)}
+}
+
+// SetParallelism resizes the query engine's pool. In-flight queries keep
+// the pool they started with.
+func (w *Wave) SetParallelism(p int) {
+	w.mu.Lock()
+	w.eng = NewEngine(p)
+	w.mu.Unlock()
+}
+
+// Parallelism returns the query engine's concurrency bound.
+func (w *Wave) Parallelism() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.eng.Parallelism()
 }
 
 // N returns the number of constituent slots.
@@ -56,9 +101,84 @@ func (w *Wave) Snapshot() []Constituent {
 	return append([]Constituent(nil), w.cons...)
 }
 
-// Locked runs fn under the wave's write lock; used by in-place updating,
-// which mutates a live index and therefore must exclude queries.
+// beginQuery registers a query: it pins the current constituents so
+// retirement defers their release, and returns them with the engine to
+// run on. Every beginQuery must be paired with endQuery.
+func (w *Wave) beginQuery() ([]Constituent, *Engine) {
+	w.qmu.RLock()
+	w.mu.Lock()
+	cons := append([]Constituent(nil), w.cons...)
+	eng := w.eng
+	w.readers++
+	w.mu.Unlock()
+	return cons, eng
+}
+
+func (w *Wave) endQuery() {
+	w.mu.Lock()
+	w.readers--
+	w.mu.Unlock()
+	w.qmu.RUnlock()
+}
+
+// Retire disposes of a superseded constituent. With no query in flight it
+// is dropped immediately (together with any previously deferred ones);
+// otherwise the drop is deferred to a later Retire or DrainRetired on the
+// maintenance goroutine, so observers never see drops from query
+// goroutines. A nil c just drains.
+func (w *Wave) Retire(c Constituent) error {
+	w.mu.Lock()
+	if w.readers > 0 {
+		if c != nil {
+			w.retired = append(w.retired, c)
+		}
+		w.mu.Unlock()
+		return nil
+	}
+	pending := w.retired
+	w.retired = nil
+	w.mu.Unlock()
+	var first error
+	for _, old := range pending {
+		if err := old.Drop(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c != nil {
+		if err := c.Drop(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SetRetire atomically replaces slot i's constituent and retires the
+// previous occupant.
+func (w *Wave) SetRetire(i int, c Constituent) error {
+	w.mu.Lock()
+	old := w.cons[i]
+	w.cons[i] = c
+	w.mu.Unlock()
+	if old == nil || old == c {
+		return nil
+	}
+	return w.Retire(old)
+}
+
+// DrainRetired drops every deferred-retired constituent, provided no
+// query is in flight; with active readers the retirees stay deferred
+// (they are dropped by the next Retire or DrainRetired that finds the
+// wave quiescent). Used on the shutdown path.
+func (w *Wave) DrainRetired() error {
+	return w.Retire(nil)
+}
+
+// Locked runs fn under the wave's query-exclusion and slot locks; used by
+// in-place updating, which mutates a live index and therefore must
+// exclude queries.
 func (w *Wave) Locked(fn func() error) error {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return fn()
@@ -114,7 +234,20 @@ func (w *Wave) SizeBytes() int64 {
 }
 
 // intersects reports whether the constituent's time-set meets [t1, t2].
+// Constituents exposing cached day bounds decide the common cases — range
+// disjoint from the bounds, or bounds contained in the range — in O(1);
+// only a range falling inside a gap of a non-contiguous time-set pays the
+// O(days) membership walk.
 func intersects(c Constituent, t1, t2 int) bool {
+	if b, ok := c.(DayBounder); ok {
+		min, max, nonEmpty := b.DayBounds()
+		if !nonEmpty || max < t1 || min > t2 {
+			return false
+		}
+		if min >= t1 || max <= t2 {
+			return true
+		}
+	}
 	for _, d := range c.Days() {
 		if d >= t1 && d <= t2 {
 			return true
@@ -123,14 +256,10 @@ func intersects(c Constituent, t1, t2 int) bool {
 	return false
 }
 
-// TimedIndexProbe retrieves the entries for search value key inserted
-// between day t1 and t2 inclusive, probing only constituents whose
-// clusters intersect the range and filtering entries by timestamp (§2.2).
-func (w *Wave) TimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	var out []index.Entry
-	for _, c := range w.cons {
+// searchTargets collects the qualifying constituents of a snapshot.
+func searchTargets(cons []Constituent, t1, t2 int) ([]Searcher, error) {
+	var out []Searcher
+	for _, c := range cons {
 		if c == nil || !intersects(c, t1, t2) {
 			continue
 		}
@@ -138,14 +267,34 @@ func (w *Wave) TimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
 		if !ok {
 			return nil, fmt.Errorf("core: constituent %T is not searchable", c)
 		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// TimedIndexProbe retrieves the entries for search value key inserted
+// between day t1 and t2 inclusive, probing only constituents whose
+// clusters intersect the range and filtering entries by timestamp (§2.2).
+// Per-constituent results arrive sorted, so they are merged; with at most
+// one qualifying constituent its result is returned as is.
+func (w *Wave) TimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
+	cons, _ := w.beginQuery()
+	defer w.endQuery()
+	targets, err := searchTargets(cons, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]index.Entry, 0, len(targets))
+	for _, s := range targets {
 		es, err := s.Probe(key, t1, t2)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, es...)
+		if len(es) > 0 {
+			lists = append(lists, es)
+		}
 	}
-	sortEntries(out)
-	return out, nil
+	return mergeEntryLists(lists), nil
 }
 
 // IndexProbe retrieves all entries for key across the whole wave,
@@ -154,33 +303,134 @@ func (w *Wave) IndexProbe(key string) ([]index.Entry, error) {
 	return w.TimedIndexProbe(key, minDay, maxDay)
 }
 
-// TimedSegmentScan visits every entry inserted between day t1 and t2,
-// scanning each qualifying constituent in key order. fn returning false
-// stops the scan.
-func (w *Wave) TimedSegmentScan(t1, t2 int, fn func(key string, e index.Entry) bool) error {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	stop := false
-	for _, c := range w.cons {
-		if stop {
-			break
+// ParallelTimedIndexProbe is TimedIndexProbe with the per-constituent
+// probes issued concurrently on the wave's engine — the multi-disk
+// parallelism the paper's §8 identifies as a wave-index advantage over
+// monolithic indexes. Results are byte-identical to TimedIndexProbe's.
+func (w *Wave) ParallelTimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
+	cons, eng := w.beginQuery()
+	defer w.endQuery()
+	targets, err := searchTargets(cons, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]index.Entry, len(targets))
+	err = eng.Run(len(targets), func(i int) error {
+		es, err := targets[i].Probe(key, t1, t2)
+		lists[i] = es
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeEntryLists(lists), nil
+}
+
+// MultiProbe retrieves the entries of several search values at once,
+// keyed by search value (keys without entries are absent). The key batch
+// is deduplicated and sorted, each qualifying constituent answers the
+// whole batch in one pass (amortising directory lookups and seeks; see
+// index.ProbeMulti), constituents run concurrently on the wave's engine,
+// and per-key results are merged like TimedIndexProbe's.
+func (w *Wave) MultiProbe(keys []string, t1, t2 int) (map[string][]index.Entry, error) {
+	uniq := append([]string(nil), keys...)
+	sort.Strings(uniq)
+	n := 0
+	for i, k := range uniq {
+		if i == 0 || uniq[n-1] != k {
+			uniq[n] = k
+			n++
 		}
-		if c == nil || !intersects(c, t1, t2) {
-			continue
-		}
-		s, ok := c.(Searcher)
-		if !ok {
-			return fmt.Errorf("core: constituent %T is not searchable", c)
-		}
-		err := s.Scan(t1, t2, func(k string, e index.Entry) bool {
-			if !fn(k, e) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if err != nil {
+	}
+	uniq = uniq[:n]
+
+	cons, eng := w.beginQuery()
+	defer w.endQuery()
+	targets, err := searchTargets(cons, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]index.Entry, len(uniq))
+	if len(uniq) == 0 || len(targets) == 0 {
+		return out, nil
+	}
+	per := make([][][]index.Entry, len(targets))
+	err = eng.Run(len(targets), func(i int) error {
+		if ms, ok := targets[i].(MultiSearcher); ok {
+			r, err := ms.MultiProbe(uniq, t1, t2)
+			per[i] = r
 			return err
+		}
+		r := make([][]index.Entry, len(uniq))
+		for j, k := range uniq {
+			es, err := targets[i].Probe(k, t1, t2)
+			if err != nil {
+				return err
+			}
+			r[j] = es
+		}
+		per[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]index.Entry, 0, len(targets))
+	for j, k := range uniq {
+		lists = lists[:0]
+		for i := range targets {
+			if es := per[i][j]; len(es) > 0 {
+				lists = append(lists, es)
+			}
+		}
+		if merged := mergeEntryLists(lists); len(merged) > 0 {
+			out[k] = merged
+		}
+	}
+	return out, nil
+}
+
+// TimedSegmentScan visits every entry inserted between day t1 and t2 in
+// ascending key order across the whole wave — qualifying constituents
+// scan concurrently on the wave's engine and their key-ordered streams
+// are heap-merged, with entries of one key visited in wave slot order.
+// fn runs on the caller's goroutine; returning false stops the scan.
+func (w *Wave) TimedSegmentScan(t1, t2 int, fn func(key string, e index.Entry) bool) error {
+	cons, eng := w.beginQuery()
+	defer w.endQuery()
+	targets, err := searchTargets(cons, t1, t2)
+	if err != nil {
+		return err
+	}
+	switch len(targets) {
+	case 0:
+		return nil
+	case 1:
+		// One stream: the merge would reproduce the scan verbatim.
+		return targets[0].Scan(t1, t2, fn)
+	}
+	done := make(chan struct{})
+	streams := make([]*scanStream, len(targets))
+	var wg sync.WaitGroup
+	for i, s := range targets {
+		st := &scanStream{ch: make(chan keyGroup, scanStreamBuf), slot: i}
+		streams[i] = st
+		wg.Add(1)
+		go func(s Searcher, st *scanStream) {
+			defer wg.Done()
+			produceScan(eng, s, t1, t2, st, done)
+		}(s, st)
+	}
+	consumeScanStreams(streams, fn)
+	close(done)
+	for _, st := range streams {
+		for range st.ch {
+		}
+	}
+	wg.Wait()
+	for _, st := range streams {
+		if st.err != nil {
+			return st.err
 		}
 	}
 	return nil
@@ -192,49 +442,6 @@ func (w *Wave) SegmentScan(fn func(key string, e index.Entry) bool) error {
 	return w.TimedSegmentScan(minDay, maxDay, fn)
 }
 
-// ParallelTimedIndexProbe is TimedIndexProbe with the per-constituent
-// probes issued concurrently — the multi-disk parallelism the paper's §8
-// identifies as a wave-index advantage over monolithic indexes.
-func (w *Wave) ParallelTimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	type result struct {
-		es  []index.Entry
-		err error
-	}
-	var targets []Searcher
-	for _, c := range w.cons {
-		if c == nil || !intersects(c, t1, t2) {
-			continue
-		}
-		s, ok := c.(Searcher)
-		if !ok {
-			return nil, fmt.Errorf("core: constituent %T is not searchable", c)
-		}
-		targets = append(targets, s)
-	}
-	results := make([]result, len(targets))
-	var wg sync.WaitGroup
-	for i, s := range targets {
-		wg.Add(1)
-		go func(i int, s Searcher) {
-			defer wg.Done()
-			es, err := s.Probe(key, t1, t2)
-			results[i] = result{es, err}
-		}(i, s)
-	}
-	wg.Wait()
-	var out []index.Entry
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		out = append(out, r.es...)
-	}
-	sortEntries(out)
-	return out, nil
-}
-
 const (
 	minDay = -1 << 30
 	maxDay = 1 << 30
@@ -242,14 +449,4 @@ const (
 
 // sortEntries orders probe results by (day, record) so results are
 // deterministic regardless of how days are clustered across constituents.
-func sortEntries(es []index.Entry) {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].Day != es[j].Day {
-			return es[i].Day < es[j].Day
-		}
-		if es[i].RecordID != es[j].RecordID {
-			return es[i].RecordID < es[j].RecordID
-		}
-		return es[i].Aux < es[j].Aux
-	})
-}
+func sortEntries(es []index.Entry) { index.SortEntries(es) }

@@ -215,6 +215,68 @@ func (p Params) ScanCostParallel(sizesBytes []int64, disks int) time.Duration {
 	return maxDuration(per)
 }
 
+// poolMakespan simulates the query engine's bounded worker pool running
+// one task per constituent: task i needs disk i%disks, and at most
+// `workers` tasks are in flight at once. Tasks are dispatched in slot
+// order (the engine spawns them in order and the semaphore admits them
+// FIFO); each starts at the later of a worker becoming free and its disk
+// becoming free, and the makespan is the last completion. workers <= 0
+// or >= len(costs) means one worker per task, which with disks >= len
+// reduces to max (fully parallel) and with disks = 1 to the serial sum.
+func poolMakespan(costs []time.Duration, disks, workers int) time.Duration {
+	if disks < 1 {
+		disks = 1
+	}
+	if workers <= 0 || workers > len(costs) {
+		workers = len(costs)
+	}
+	workerFree := make([]time.Duration, workers)
+	diskFree := make([]time.Duration, disks)
+	var makespan time.Duration
+	for i, c := range costs {
+		w := 0
+		for j := 1; j < workers; j++ {
+			if workerFree[j] < workerFree[w] {
+				w = j
+			}
+		}
+		d := i % disks
+		start := workerFree[w]
+		if diskFree[d] > start {
+			start = diskFree[d]
+		}
+		end := start + c
+		workerFree[w] = end
+		diskFree[d] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}
+
+// ProbeCostPool prices one ParallelTimedIndexProbe run on a worker pool
+// of the given size over `disks` devices. workers >= len(daysPerIndex)
+// matches ProbeCostParallel; disks = 1 serialises the device and matches
+// ProbeCost.
+func (p Params) ProbeCostPool(daysPerIndex []int, disks, workers int) time.Duration {
+	costs := make([]time.Duration, len(daysPerIndex))
+	for i, d := range daysPerIndex {
+		costs[i] = p.Seek + p.transfer(int64(d)*p.C)
+	}
+	return poolMakespan(costs, disks, workers)
+}
+
+// ScanCostPool prices one parallel TimedSegmentScan on a bounded worker
+// pool over `disks` devices.
+func (p Params) ScanCostPool(sizesBytes []int64, disks, workers int) time.Duration {
+	costs := make([]time.Duration, len(sizesBytes))
+	for i, s := range sizesBytes {
+		costs[i] = p.Seek + p.transfer(s)
+	}
+	return poolMakespan(costs, disks, workers)
+}
+
 func maxDuration(ds []time.Duration) time.Duration {
 	var m time.Duration
 	for _, d := range ds {

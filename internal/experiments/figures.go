@@ -335,14 +335,14 @@ func FigureMultiDisk() (Figure, error) {
 		}
 		one.X = append(one.X, float64(n))
 		one.Y = append(one.Y, secs(r1.AvgTotalWork()))
-		rn, err := Run(RunConfig{Kind: core.KindDEL, W: sc.W, N: n, Technique: core.PackedShadow, Scenario: sc, Disks: n})
+		rn, err := Run(RunConfig{Kind: core.KindDEL, W: sc.W, N: n, Technique: core.PackedShadow, Scenario: sc, Disks: n, QueryWorkers: n})
 		if err != nil {
 			return Figure{}, err
 		}
 		scaled.X = append(scaled.X, float64(n))
 		scaled.Y = append(scaled.Y, secs(rn.AvgTotalWork()))
 		if n >= 2 {
-			rw, err := Run(RunConfig{Kind: core.KindWATAStar, W: sc.W, N: n, Technique: core.PackedShadow, Scenario: sc, Disks: n})
+			rw, err := Run(RunConfig{Kind: core.KindWATAStar, W: sc.W, N: n, Technique: core.PackedShadow, Scenario: sc, Disks: n, QueryWorkers: n})
 			if err != nil {
 				return Figure{}, err
 			}

@@ -35,6 +35,10 @@ type RunConfig struct {
 	// when pricing queries (the paper's §8 multi-disk direction).
 	// 0 or 1 means a single disk.
 	Disks int
+	// QueryWorkers bounds the query engine's worker pool when pricing
+	// parallel queries. 0 means one worker per constituent (the engine's
+	// default), which with enough disks is fully parallel.
+	QueryWorkers int
 }
 
 func (c RunConfig) params() costmodel.Params {
@@ -108,27 +112,28 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			SpaceEnd:   bk.Meter().Live(),
 			SpacePeak:  bk.Meter().Peak(),
 		}
-		ds.ProbeOne = probeCost(p, s, cfg.Disks)
-		ds.ScanOne = scanCost(p, s, cfg.Scenario.ScanScope, cfg.Disks)
+		ds.ProbeOne = probeCost(p, s, cfg.Disks, cfg.QueryWorkers)
+		ds.ScanOne = scanCost(p, s, cfg.Scenario.ScanScope, cfg.Disks, cfg.QueryWorkers)
 		res.Days = append(res.Days, ds)
 	}
 	return res, nil
 }
 
 // probeCost prices one TimedIndexProbe over the current wave: all
-// constituents are probed (Probe_idx = n in every case study).
-func probeCost(p costmodel.Params, s core.Scheme, disks int) time.Duration {
+// constituents are probed (Probe_idx = n in every case study) by the
+// query engine's worker pool across the configured devices.
+func probeCost(p costmodel.Params, s core.Scheme, disks, workers int) time.Duration {
 	var days []int
 	for _, c := range s.Wave().Snapshot() {
 		if c != nil {
 			days = append(days, c.NumDays())
 		}
 	}
-	return p.ProbeCostParallel(days, disks)
+	return p.ProbeCostPool(days, disks, workers)
 }
 
 // scanCost prices one segment scan under the scenario's scope.
-func scanCost(p costmodel.Params, s core.Scheme, scope scenario.ScanScope, disks int) time.Duration {
+func scanCost(p costmodel.Params, s core.Scheme, scope scenario.ScanScope, disks, workers int) time.Duration {
 	var sizes []int64
 	switch scope {
 	case scenario.ScanNone:
@@ -147,7 +152,7 @@ func scanCost(p costmodel.Params, s core.Scheme, scope scenario.ScanScope, disks
 			}
 		}
 	}
-	return p.ScanCostParallel(sizes, disks)
+	return p.ScanCostPool(sizes, disks, workers)
 }
 
 // --- aggregates ---

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+	"waveindex/internal/workload"
+)
+
+// QueryExecResult measures the parallel query execution engine on a real
+// data-bearing wave spread over one simulated disk per constituent — the
+// paper's §8 setting made concrete. Elapsed times are simulated disk
+// time: the sequential path visits the devices one after another, so its
+// elapsed time is the sum of the per-device deltas; the parallel engine
+// drives all devices concurrently, so its elapsed time is the busiest
+// device's delta.
+type QueryExecResult struct {
+	N, W, Disks int
+
+	SerialProbe   time.Duration // TimedIndexProbe, devices visited serially
+	ParallelProbe time.Duration // ParallelTimedIndexProbe, devices concurrent
+	SerialScan    time.Duration // window segment scan, devices serial
+	ParallelScan  time.Duration // streaming k-way merged scan, devices concurrent
+
+	// PerKeySeeks and BatchedSeeks compare probing a key batch one key at
+	// a time against one MultiProbe (buckets read in disk order).
+	PerKeySeeks  int64
+	BatchedSeeks int64
+
+	ScannedEntries int // sanity: entries visited by the scan
+}
+
+// ProbeSpeedup is the sequential/parallel elapsed ratio for probes.
+func (r QueryExecResult) ProbeSpeedup() float64 {
+	if r.ParallelProbe == 0 {
+		return 0
+	}
+	return float64(r.SerialProbe) / float64(r.ParallelProbe)
+}
+
+// ScanSpeedup is the sequential/parallel elapsed ratio for scans.
+func (r QueryExecResult) ScanSpeedup() float64 {
+	if r.ParallelScan == 0 {
+		return 0
+	}
+	return float64(r.SerialScan) / float64(r.ScanSpan())
+}
+
+// ScanSpan returns the parallel scan's elapsed time (the busiest disk).
+func (r QueryExecResult) ScanSpan() time.Duration { return r.ParallelScan }
+
+// MeasureQueryExec builds a DEL wave (W-day window, n constituents, one
+// store per constituent) over a WSE-like news workload, rolls it to a
+// steady state, and measures one probe and one whole-window scan on the
+// sequential and parallel query paths, plus the seek cost of a key batch
+// probed per key versus batched. Both paths are checked to return the
+// same answer.
+func MeasureQueryExec(n, w int) (QueryExecResult, error) {
+	if n < 1 || w < n {
+		return QueryExecResult{}, fmt.Errorf("experiments: queryexec needs 1 <= n <= w, got n=%d w=%d", n, w)
+	}
+	stores := make([]simdisk.BlockStore, n)
+	for i := range stores {
+		stores[i] = simdisk.NewRAM(simdisk.Config{BlockSize: 512})
+	}
+	defer func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+	gen := workload.NewNewsGenerator(workload.NewsConfig{
+		Seed:            11,
+		ArticlesPerDay:  60,
+		WordsPerArticle: 12,
+		VocabSize:       800,
+	})
+	src := core.NewMemorySource(0)
+	lastDay := w + w/2
+	for d := 1; d <= lastDay; d++ {
+		src.Put(gen.Day(d))
+	}
+	bk, err := core.NewMultiDiskBackend(stores, index.Options{}, src, nil)
+	if err != nil {
+		return QueryExecResult{}, err
+	}
+	s, err := core.NewDEL(core.Config{W: w, N: n, Technique: core.PackedShadow}, bk)
+	if err != nil {
+		return QueryExecResult{}, err
+	}
+	defer s.Close()
+	if err := s.Start(); err != nil {
+		return QueryExecResult{}, err
+	}
+	for d := w + 1; d <= lastDay; d++ {
+		if err := s.Transition(d); err != nil {
+			return QueryExecResult{}, err
+		}
+	}
+	wave := s.Wave()
+	t1, t2 := s.WindowStart(), s.LastDay()
+	res := QueryExecResult{N: n, W: w, Disks: n}
+
+	// The heaviest key stresses every constituent.
+	key := gen.Vocab().Word(0)
+
+	sum, _ := deltaRunner(stores)
+	seq, err := wave.TimedIndexProbe(key, t1, t2)
+	if err != nil {
+		return QueryExecResult{}, err
+	}
+	res.SerialProbe = sum()
+
+	_, max := deltaRunner(stores)
+	par, err := wave.ParallelTimedIndexProbe(key, t1, t2)
+	if err != nil {
+		return QueryExecResult{}, err
+	}
+	res.ParallelProbe = max()
+	if fmt.Sprint(seq) != fmt.Sprint(par) {
+		return QueryExecResult{}, fmt.Errorf("experiments: parallel probe diverged from sequential")
+	}
+
+	sum, _ = deltaRunner(stores)
+	count := 0
+	if err := wave.TimedSegmentScan(t1, t2, func(string, index.Entry) bool {
+		count++
+		return true
+	}); err != nil {
+		return QueryExecResult{}, err
+	}
+	res.SerialScan = sum()
+	res.ScannedEntries = count
+
+	_, max = deltaRunner(stores)
+	count2 := 0
+	if err := wave.TimedSegmentScan(t1, t2, func(string, index.Entry) bool {
+		count2++
+		return true
+	}); err != nil {
+		return QueryExecResult{}, err
+	}
+	res.ParallelScan = max()
+	if count2 != count {
+		return QueryExecResult{}, fmt.Errorf("experiments: scan visit counts diverged: %d vs %d", count, count2)
+	}
+
+	// Key batch: the 8 most popular words in an arbitrary client order
+	// (descending rank, which is descending disk position in the packed
+	// key-sorted layout). The per-key loop pays a seek per bucket;
+	// MultiProbe reorders the batch by disk position before reading.
+	keys := make([]string, 0, 8)
+	for r := 7; r >= 0; r-- {
+		keys = append(keys, gen.Vocab().Word(r))
+	}
+	seeks := seekCounter(stores)
+	for _, k := range keys {
+		if _, err := wave.TimedIndexProbe(k, t1, t2); err != nil {
+			return QueryExecResult{}, err
+		}
+	}
+	res.PerKeySeeks = seeks()
+	seeks = seekCounter(stores)
+	if _, err := wave.MultiProbe(keys, t1, t2); err != nil {
+		return QueryExecResult{}, err
+	}
+	res.BatchedSeeks = seeks()
+	return res, nil
+}
+
+// deltaRunner snapshots the stores' simulated time and returns two
+// closures reporting, for the activity since the snapshot, the sum of
+// the per-store deltas (serial elapsed) and the largest delta (parallel
+// elapsed).
+func deltaRunner(stores []simdisk.BlockStore) (sum, max func() time.Duration) {
+	base := make([]time.Duration, len(stores))
+	for i, st := range stores {
+		base[i] = st.Stats().SimTime
+	}
+	deltas := func() []time.Duration {
+		out := make([]time.Duration, len(stores))
+		for i, st := range stores {
+			out[i] = st.Stats().SimTime - base[i]
+		}
+		return out
+	}
+	sum = func() time.Duration {
+		var t time.Duration
+		for _, d := range deltas() {
+			t += d
+		}
+		return t
+	}
+	max = func() time.Duration {
+		var m time.Duration
+		for _, d := range deltas() {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	return sum, max
+}
+
+// seekCounter snapshots the stores' seek counters and returns a closure
+// reporting the seeks charged since.
+func seekCounter(stores []simdisk.BlockStore) func() int64 {
+	base := make([]int64, len(stores))
+	for i, st := range stores {
+		base[i] = st.Stats().Seeks
+	}
+	return func() int64 {
+		var n int64
+		for i, st := range stores {
+			n += st.Stats().Seeks - base[i]
+		}
+		return n
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"waveindex/internal/scenario"
+)
+
+func TestQueryExecParallelSpeedup(t *testing.T) {
+	// Acceptance: with n >= 4 constituents over as many stores, the
+	// parallel engine's simulated elapsed time must be at least 2x lower
+	// than the sequential path's, for probes and scans.
+	r, err := MeasureQueryExec(4, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ScannedEntries == 0 {
+		t.Fatal("scan visited no entries")
+	}
+	if s := r.ProbeSpeedup(); s < 2 {
+		t.Errorf("probe speedup = %.2fx (serial %v, parallel %v), want >= 2x",
+			s, r.SerialProbe, r.ParallelProbe)
+	}
+	if s := r.ScanSpeedup(); s < 2 {
+		t.Errorf("scan speedup = %.2fx (serial %v, parallel %v), want >= 2x",
+			s, r.SerialScan, r.ParallelScan)
+	}
+	if r.BatchedSeeks >= r.PerKeySeeks {
+		t.Errorf("batched probe used %d seeks, per-key loop %d; batching should amortise seeks",
+			r.BatchedSeeks, r.PerKeySeeks)
+	}
+}
+
+func TestQueryExecValidation(t *testing.T) {
+	if _, err := MeasureQueryExec(0, 10); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	if _, err := MeasureQueryExec(8, 4); err == nil {
+		t.Error("n > w accepted")
+	}
+}
+
+func TestPoolCostsMatchHarnessDefaults(t *testing.T) {
+	// QueryWorkers = 0 must price identically to the pre-pool harness:
+	// ProbeCostPool(days, disks, 0) == ProbeCostParallel(days, disks).
+	sc := scenario.WSE().Params
+	days := []int{5, 5, 5, 5, 5, 5, 5}
+	for disks := 1; disks <= 8; disks++ {
+		if got, want := sc.ProbeCostPool(days, disks, 0), sc.ProbeCostParallel(days, disks); got != want {
+			t.Errorf("disks=%d: ProbeCostPool = %v, ProbeCostParallel = %v", disks, got, want)
+		}
+	}
+	sizes := []int64{1 << 20, 2 << 20, 1 << 20, 3 << 20}
+	for disks := 1; disks <= 6; disks++ {
+		if got, want := sc.ScanCostPool(sizes, disks, 0), sc.ScanCostParallel(sizes, disks); got != want {
+			t.Errorf("disks=%d: ScanCostPool = %v, ScanCostParallel = %v", disks, got, want)
+		}
+	}
+	// A one-worker pool serialises regardless of disks.
+	if got, want := sc.ProbeCostPool(days, 4, 1), sc.ProbeCost(days); got != want {
+		t.Errorf("one-worker pool = %v, serial = %v", got, want)
+	}
+}

@@ -52,6 +52,11 @@ type Index struct {
 	entries    int
 	allocBytes int64
 	dropped    bool
+	// dayMin/dayMax cache the bounds of the time-set so intersection
+	// tests are O(1). They are meaningful only when days is non-empty and
+	// are maintained by every mutation, never by readers, so concurrent
+	// queries can call DayBounds without synchronisation.
+	dayMin, dayMax int
 }
 
 // NewEmpty returns an index with no entries and an empty time-set.
@@ -123,7 +128,7 @@ func (idx *Index) Add(batches ...*Batch) error {
 		}
 	}
 	for _, b := range batches {
-		idx.days[b.Day] = struct{}{}
+		idx.noteDay(b.Day)
 	}
 	return nil
 }
@@ -269,12 +274,14 @@ func (idx *Index) Delete(days ...int) error {
 	for _, d := range days {
 		delete(idx.days, d)
 	}
+	idx.recomputeDayBounds()
 	return nil
 }
 
 // Probe retrieves the entries filed under key whose timestamps fall in
-// [t1, t2] (inclusive). It costs one bucket read: a seek plus the transfer
-// of the bucket. Probing a key with no bucket returns no entries.
+// [t1, t2] (inclusive), sorted by (day, record, aux). It costs one bucket
+// read: a seek plus the transfer of the bucket. Probing a key with no
+// bucket returns no entries.
 func (idx *Index) Probe(key string, t1, t2 int) ([]Entry, error) {
 	if idx.dropped {
 		return nil, ErrDropped
@@ -287,7 +294,50 @@ func (idx *Index) Probe(key string, t1, t2 int) ([]Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("index: probe %q: %w", key, err)
 	}
-	return filterByDay(es, t1, t2), nil
+	es = filterByDay(es, t1, t2)
+	SortEntries(es)
+	return es, nil
+}
+
+// ProbeMulti probes several keys in one pass, returning per-key entry
+// lists aligned with keys (nil for keys with no bucket), each sorted like
+// Probe's result. The directory is consulted once per key and the
+// qualifying buckets are read in ascending disk order, so on a packed
+// index adjacent buckets transfer sequentially without a seek — the
+// batched counterpart of len(keys) independent Probes.
+func (idx *Index) ProbeMulti(keys []string, t1, t2 int) ([][]Entry, error) {
+	if idx.dropped {
+		return nil, ErrDropped
+	}
+	type req struct {
+		i   int
+		b   *bucketRef
+		pos int64 // absolute byte position of the bucket on the store
+	}
+	bs := int64(idx.store.BlockSize())
+	reqs := make([]req, 0, len(keys))
+	for i, k := range keys {
+		b, ok := idx.dir.get(k)
+		if !ok || b.used == 0 {
+			continue
+		}
+		ext, base := idx.bucketTarget(b)
+		reqs = append(reqs, req{i: i, b: b, pos: ext.Start*bs + base})
+	}
+	sort.Slice(reqs, func(a, b int) bool { return reqs[a].pos < reqs[b].pos })
+	out := make([][]Entry, len(keys))
+	for _, r := range reqs {
+		es, err := idx.readBucket(r.b)
+		if err != nil {
+			return nil, fmt.Errorf("index: multiprobe %q: %w", keys[r.i], err)
+		}
+		es = filterByDay(es, t1, t2)
+		SortEntries(es)
+		if len(es) > 0 {
+			out[r.i] = es
+		}
+	}
+	return out, nil
 }
 
 // Scan visits every entry with a timestamp in [t1, t2] in ascending key
@@ -328,6 +378,20 @@ func filterByDay(es []Entry, t1, t2 int) []Entry {
 	return out
 }
 
+// SortEntries orders entries by (day, record, aux) — the canonical probe
+// result order, which makes per-constituent results mergeable streams.
+func SortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Day != es[j].Day {
+			return es[i].Day < es[j].Day
+		}
+		if es[i].RecordID != es[j].RecordID {
+			return es[i].RecordID < es[j].RecordID
+		}
+		return es[i].Aux < es[j].Aux
+	})
+}
+
 // Drop frees all storage held by the index and marks it unusable. This is
 // the bulk-delete operation that makes throw-away maintenance cheap: its
 // cost is independent of the index size.
@@ -358,6 +422,40 @@ func (idx *Index) Drop() error {
 		return fmt.Errorf("index: drop: %w", err)
 	}
 	return nil
+}
+
+// noteDay adds d to the time-set, keeping the cached day bounds current.
+func (idx *Index) noteDay(d int) {
+	if len(idx.days) == 0 || d < idx.dayMin {
+		idx.dayMin = d
+	}
+	if len(idx.days) == 0 || d > idx.dayMax {
+		idx.dayMax = d
+	}
+	idx.days[d] = struct{}{}
+}
+
+// recomputeDayBounds rebuilds the cached bounds after day removals.
+func (idx *Index) recomputeDayBounds() {
+	first := true
+	for d := range idx.days {
+		if first || d < idx.dayMin {
+			idx.dayMin = d
+		}
+		if first || d > idx.dayMax {
+			idx.dayMax = d
+		}
+		first = false
+	}
+}
+
+// DayBounds returns the smallest and largest day of the time-set in O(1);
+// ok is false when the time-set is empty.
+func (idx *Index) DayBounds() (min, max int, ok bool) {
+	if len(idx.days) == 0 {
+		return 0, 0, false
+	}
+	return idx.dayMin, idx.dayMax, true
 }
 
 // Days returns the index's time-set in ascending order.

@@ -88,6 +88,7 @@ func ReadSnapshot(store simdisk.BlockStore, r io.Reader) (*Index, error) {
 	for _, d := range days {
 		idx.days[d] = struct{}{}
 	}
+	idx.recomputeDayBounds()
 	idx.packed = packed
 	bs := int64(store.BlockSize())
 	if packed {

@@ -22,6 +22,7 @@ func (idx *Index) Clone() (*Index, error) {
 	for d := range idx.days {
 		out.days[d] = struct{}{}
 	}
+	out.recomputeDayBounds()
 	if idx.seg.Valid() {
 		seg, err := idx.store.Alloc(idx.seg.Blocks)
 		if err != nil {
@@ -127,6 +128,7 @@ func buildFromGroups(store simdisk.BlockStore, opts Options, groups map[string][
 	for d := range days {
 		idx.days[d] = struct{}{}
 	}
+	idx.recomputeDayBounds()
 	if len(groups) == 0 {
 		return idx, nil
 	}

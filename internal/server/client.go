@@ -124,6 +124,55 @@ func (c *Client) ProbeRange(key string, from, to int) ([]wave.Entry, error) {
 	return c.probe(fmt.Sprintf("PROBERANGE %s %d %d", key, from, to))
 }
 
+// MultiProbe returns the entries of each key with matches in [from, to],
+// probed server-side as one batch.
+func (c *Client) MultiProbe(keys []string, from, to int) (map[string][]wave.Entry, error) {
+	fmt.Fprintf(c.w, "MPROBE %d %d %s\n", from, to, strings.Join(keys, " "))
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := map[string][]wave.Entry{}
+	var cur string
+	seen := 0
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasPrefix(line, "KEY "):
+			f := strings.Fields(line)
+			if len(f) != 3 {
+				return nil, fmt.Errorf("server: bad key line %q", line)
+			}
+			cur = f[1]
+			seen++
+		case strings.HasPrefix(line, "ENTRY "):
+			if cur == "" {
+				return nil, fmt.Errorf("server: entry line before any key: %q", line)
+			}
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("server: bad entry line %q", line)
+			}
+			day, _ := strconv.Atoi(f[1])
+			rid, _ := strconv.ParseUint(f[2], 10, 64)
+			aux, _ := strconv.ParseUint(f[3], 10, 32)
+			out[cur] = append(out[cur], wave.Entry{Day: int32(day), RecordID: rid, Aux: uint32(aux)})
+		case strings.HasPrefix(line, "END "):
+			want, _ := strconv.Atoi(strings.TrimPrefix(line, "END "))
+			if want != seen {
+				return nil, fmt.Errorf("server: stream ended with %d keys, header said %d", seen, want)
+			}
+			return out, nil
+		case strings.HasPrefix(line, "ERR "):
+			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
+		default:
+			return nil, fmt.Errorf("server: unexpected line %q", line)
+		}
+	}
+}
+
 // Count counts window entries; from/to of (0, 0) count the whole window.
 func (c *Client) Count(from, to int) (int, error) {
 	cmd := "COUNT"

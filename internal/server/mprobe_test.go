@@ -1,0 +1,46 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"waveindex/wave"
+)
+
+func TestMultiProbeEndToEnd(t *testing.T) {
+	c, _ := startServer(t, wave.Config{Window: 4, Indexes: 2, Scheme: wave.DEL, Stores: 2})
+	for d := 1; d <= 6; d++ {
+		if err := c.AddDay(d, postingsFor(d, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	from, to, _, err := c.Window()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"k2", "k0", "k0", "absent"} // unordered, with a dupe and a miss
+	got, err := c.MultiProbe(keys, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["absent"]; ok {
+		t.Error("absent key present in MPROBE result")
+	}
+	for _, key := range []string{"k0", "k2"} {
+		want, err := c.ProbeRange(key, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[key], want) {
+			t.Errorf("key %q: MPROBE %v, PROBERANGE %v", key, got[key], want)
+		}
+	}
+}
+
+func TestMultiProbeUsage(t *testing.T) {
+	c, _ := startServer(t, wave.Config{Window: 3, Indexes: 2, Scheme: wave.DEL})
+	if _, err := c.MultiProbe([]string{"k0"}, 0, 0); err == nil {
+		// MPROBE before ready must fail like other queries.
+		t.Error("MPROBE before ready succeeded")
+	}
+}

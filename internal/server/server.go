@@ -11,6 +11,7 @@
 //	  <key> <recordID> <aux>    n posting lines
 //	PROBE <key>                 window probe
 //	PROBERANGE <key> <from> <to>
+//	MPROBE <from> <to> <key>... batched multi-key probe over [from, to]
 //	COUNT [<from> <to>]         count window entries (optionally ranged)
 //	TOPK <k>                    k most frequent keys in the window
 //	WINDOW                      current window bounds
@@ -20,6 +21,9 @@
 // Responses: "OK ..." or "ERR <message>"; probes stream
 // "ENTRY <day> <recordID> <aux>" lines terminated by "END <count>";
 // TOPK streams "KEY <key> <count>" lines terminated by "END <k>".
+// MPROBE streams, per distinct key in ascending order, one
+// "KEY <key> <count>" line followed by that key's ENTRY lines, all
+// terminated by "END <nkeys>".
 package server
 
 import (
@@ -108,6 +112,8 @@ func (s *Server) handle(conn net.Conn) {
 			err = s.probe(out, fields[1:], false)
 		case "PROBERANGE":
 			err = s.probe(out, fields[1:], true)
+		case "MPROBE":
+			err = s.mprobe(out, fields[1:])
 		case "COUNT":
 			err = s.count(out, fields[1:])
 		case "TOPK":
@@ -203,6 +209,38 @@ func (s *Server) probe(out *bufio.Writer, args []string, ranged bool) error {
 	return nil
 }
 
+func (s *Server) mprobe(out *bufio.Writer, args []string) error {
+	if len(args) < 3 {
+		return errors.New("usage: MPROBE <from> <to> <key>...")
+	}
+	from, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("bad from: %w", err)
+	}
+	to, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("bad to: %w", err)
+	}
+	res, err := s.idx.MultiProbeRange(args[2:], from, to)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(res))
+	for k := range res {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		es := res[k]
+		fmt.Fprintf(out, "KEY %s %d\n", k, len(es))
+		for _, e := range es {
+			fmt.Fprintf(out, "ENTRY %d %d %d\n", e.Day, e.RecordID, e.Aux)
+		}
+	}
+	fmt.Fprintf(out, "END %d\n", len(keys))
+	return nil
+}
+
 func (s *Server) count(out *bufio.Writer, args []string) error {
 	var err error
 	n := 0
@@ -237,33 +275,14 @@ func (s *Server) topk(out *bufio.Writer, args []string) error {
 	if err != nil || k < 1 {
 		return fmt.Errorf("bad k %q", args[0])
 	}
-	counts := map[string]int{}
-	if err := s.idx.Scan(func(key string, _ wave.Entry) bool {
-		counts[key]++
-		return true
-	}); err != nil {
+	from, to := s.idx.Window()
+	top, err := s.idx.TopKeys(k, from, to)
+	if err != nil {
 		return err
 	}
-	type kc struct {
-		key string
-		n   int
+	for _, e := range top {
+		fmt.Fprintf(out, "KEY %s %d\n", e.Key, e.Count)
 	}
-	all := make([]kc, 0, len(counts))
-	for key, n := range counts {
-		all = append(all, kc{key, n})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].n != all[j].n {
-			return all[i].n > all[j].n
-		}
-		return all[i].key < all[j].key
-	})
-	if k > len(all) {
-		k = len(all)
-	}
-	for _, e := range all[:k] {
-		fmt.Fprintf(out, "KEY %s %d\n", e.key, e.n)
-	}
-	fmt.Fprintf(out, "END %d\n", k)
+	fmt.Fprintf(out, "END %d\n", len(top))
 	return nil
 }

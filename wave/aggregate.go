@@ -1,6 +1,9 @@
 package wave
 
-import "sort"
+import (
+	"container/heap"
+	"sort"
+)
 
 // This file provides windowed aggregation helpers built on segment scans —
 // the paper's TimedSegmentScan use cases (sum/min/max aggregates, §2).
@@ -42,8 +45,34 @@ type KeyCount struct {
 	Count int
 }
 
+// kcBetter reports whether a ranks before b in TopKeys order: higher
+// count first, ties broken by smaller key.
+func kcBetter(a, b KeyCount) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Key < b.Key
+}
+
+// kcHeap is a min-heap on TopKeys order — the worst retained key sits at
+// the root, ready to be displaced.
+type kcHeap []KeyCount
+
+func (h kcHeap) Len() int            { return len(h) }
+func (h kcHeap) Less(i, j int) bool  { return kcBetter(h[j], h[i]) }
+func (h kcHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *kcHeap) Push(v interface{}) { *h = append(*h, v.(KeyCount)) }
+func (h *kcHeap) Pop() interface{} {
+	old := *h
+	v := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return v
+}
+
 // TopKeys returns the k most frequent search values in [from, to],
-// largest first (ties broken by key order).
+// largest first (ties broken by key order). Selection keeps only the k
+// best candidates in a bounded min-heap instead of sorting every
+// distinct key.
 func (x *Index) TopKeys(k int, from, to int) ([]KeyCount, error) {
 	if k < 1 {
 		return nil, nil
@@ -55,20 +84,51 @@ func (x *Index) TopKeys(k int, from, to int) ([]KeyCount, error) {
 	}); err != nil {
 		return nil, err
 	}
-	all := make([]KeyCount, 0, len(counts))
+	h := make(kcHeap, 0, k+1)
 	for key, n := range counts {
-		all = append(all, KeyCount{key, n})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Count != all[j].Count {
-			return all[i].Count > all[j].Count
+		kc := KeyCount{key, n}
+		if len(h) < k {
+			heap.Push(&h, kc)
+		} else if kcBetter(kc, h[0]) {
+			h[0] = kc
+			heap.Fix(&h, 0)
 		}
-		return all[i].Key < all[j].Key
-	})
-	if k > len(all) {
-		k = len(all)
 	}
-	return all[:k], nil
+	out := []KeyCount(h)
+	sort.Slice(out, func(i, j int) bool { return kcBetter(out[i], out[j]) })
+	return out, nil
+}
+
+// CountKeys returns the entry count of each key in [from, to], probing
+// the batch in one MultiProbeRange pass. Keys without entries map to 0.
+func (x *Index) CountKeys(keys []string, from, to int) (map[string]int, error) {
+	res, err := x.MultiProbeRange(keys, from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(keys))
+	for _, k := range keys {
+		out[k] = len(res[k])
+	}
+	return out, nil
+}
+
+// SumAuxKeys sums the Aux field per key over [from, to] in one batched
+// probe — the multi-key form of SumAux.
+func (x *Index) SumAuxKeys(keys []string, from, to int) (map[string]int64, error) {
+	res, err := x.MultiProbeRange(keys, from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(keys))
+	for _, k := range keys {
+		var sum int64
+		for _, e := range res[k] {
+			sum += int64(e.Aux)
+		}
+		out[k] = sum
+	}
+	return out, nil
 }
 
 // Histogram returns per-day entry counts over [from, to], indexed by

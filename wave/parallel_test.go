@@ -1,0 +1,207 @@
+package wave
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func multiStoreIndex(t *testing.T, stores int) *Index {
+	t.Helper()
+	x, err := New(Config{Window: 12, Indexes: 4, Scheme: DEL, Update: PackedShadow, Stores: stores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { x.Close() })
+	keysFor := func(d int) []string {
+		return []string{"a", "b", fmt.Sprintf("day%d", d), fmt.Sprintf("mod%d", d%3)}
+	}
+	fill(t, x, 20, keysFor)
+	return x
+}
+
+func TestMultiStoreQueriesMatchSingleStore(t *testing.T) {
+	multi := multiStoreIndex(t, 4)
+	single := multiStoreIndex(t, 1)
+	if p := multi.Parallelism(); p != 4 {
+		t.Errorf("multi-store Parallelism() = %d, want 4 (one per store)", p)
+	}
+	for _, key := range []string{"a", "b", "day15", "mod0", "nope"} {
+		em, err := multi.Probe(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := single.Probe(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(em, es) {
+			t.Errorf("key %q: multi-store %v, single-store %v", key, em, es)
+		}
+		ep, err := multi.ProbeParallel(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ep, es) {
+			t.Errorf("key %q: parallel %v, sequential %v", key, ep, es)
+		}
+	}
+	nm, err := multi.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := single.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm != ns {
+		t.Errorf("multi-store Count = %d, single-store %d", nm, ns)
+	}
+}
+
+func TestMultiProbeMatchesPerKeyProbes(t *testing.T) {
+	x := multiStoreIndex(t, 3)
+	from, to := x.Window()
+	keys := []string{"mod1", "a", "nope", "day16", "a", "b"} // dupes and misses
+	got, err := x.MultiProbeRange(keys, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		want, err := x.ProbeRange(key, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			if _, ok := got[key]; ok {
+				t.Errorf("key %q: present in MultiProbe result with no entries", key)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got[key], want) {
+			t.Errorf("key %q: MultiProbe %v, ProbeRange %v", key, got[key], want)
+		}
+	}
+	if _, err := x.MultiProbe(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+func TestTopKeysHeapMatchesFullSort(t *testing.T) {
+	x := multiStoreIndex(t, 2)
+	from, to := x.Window()
+	// Reference: full count + sort, the pre-heap implementation.
+	counts := map[string]int{}
+	if err := x.ScanRange(from, to, func(key string, _ Entry) bool {
+		counts[key]++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	all := make([]KeyCount, 0, len(counts))
+	for key, n := range counts {
+		all = append(all, KeyCount{key, n})
+	}
+	sort.Slice(all, func(i, j int) bool { return kcBetter(all[i], all[j]) })
+	for _, k := range []int{1, 2, 3, len(all), len(all) + 5} {
+		got, err := x.TopKeys(k, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := all
+		if k < len(all) {
+			want = all[:k]
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("TopKeys(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCountKeysAndSumAuxKeys(t *testing.T) {
+	x := multiStoreIndex(t, 2)
+	from, to := x.Window()
+	keys := []string{"a", "mod2", "nope"}
+	cs, err := x.CountKeys(keys, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := x.SumAuxKeys(keys, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		es, err := x.ProbeRange(key, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs[key] != len(es) {
+			t.Errorf("CountKeys[%q] = %d, want %d", key, cs[key], len(es))
+		}
+		var want int64
+		for _, e := range es {
+			want += int64(e.Aux)
+		}
+		if sums[key] != want {
+			t.Errorf("SumAuxKeys[%q] = %d, want %d", key, sums[key], want)
+		}
+	}
+}
+
+func TestMultiStoreSnapshotRejected(t *testing.T) {
+	x := multiStoreIndex(t, 3)
+	var buf bytes.Buffer
+	err := x.SaveSnapshot(&buf)
+	if err == nil || !strings.Contains(err.Error(), "multi-store") {
+		t.Errorf("SaveSnapshot on a 3-store index: err = %v, want multi-store rejection", err)
+	}
+}
+
+func TestMultiStoreStatsAndFiles(t *testing.T) {
+	x := multiStoreIndex(t, 3)
+	st := x.Stats()
+	if len(st.PerStore) != 3 {
+		t.Fatalf("PerStore has %d entries, want 3", len(st.PerStore))
+	}
+	var used int64
+	spread := 0
+	for _, s := range st.PerStore {
+		used += s.UsedBlocks
+		if s.UsedBlocks > 0 {
+			spread++
+		}
+	}
+	if used != st.Store.UsedBlocks {
+		t.Errorf("summed Store.UsedBlocks = %d, per-store total %d", st.Store.UsedBlocks, used)
+	}
+	if spread < 2 {
+		t.Errorf("constituents landed on %d of 3 stores", spread)
+	}
+
+	// File-backed multi-store indexes suffix the extra store paths.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.store")
+	fx, err := New(Config{Window: 4, Indexes: 2, Scheme: DEL, Stores: 2, StorePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fx.Close()
+	fill(t, fx, 6, func(d int) []string { return []string{"k"} })
+	for _, p := range []string{path, path + ".1"} {
+		matches, err := filepath.Glob(p)
+		if err != nil || len(matches) != 1 {
+			t.Errorf("store file %s missing (err %v)", p, err)
+		}
+	}
+	es, err := fx.Probe("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 4 {
+		t.Errorf("file-backed multi-store probe returned %d entries, want 4", len(es))
+	}
+}

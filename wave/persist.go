@@ -2,6 +2,7 @@ package wave
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 
@@ -22,6 +23,9 @@ func (x *Index) SaveSnapshot(w io.Writer) error {
 	defer x.mu.Unlock()
 	if x.closed {
 		return ErrClosed
+	}
+	if len(x.stores) > 1 {
+		return errors.New("wave: snapshot of a multi-store index is not supported")
 	}
 	ww := wire.NewWriter(w)
 	ww.Magic(snapshotMagic)
@@ -107,7 +111,7 @@ func Load(r io.Reader) (*Index, error) {
 		Growth: cfg.GrowthFactor,
 	}, src, nil)
 
-	x := &Index{cfg: cfg, store: store, src: src, nextDay: nextDay, ready: ready}
+	x := &Index{cfg: cfg, stores: []*simdisk.Store{store}, src: src, nextDay: nextDay, ready: ready}
 	if ready {
 		scheme, err := core.LoadScheme(core.Config{
 			W:         cfg.Window,

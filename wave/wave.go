@@ -124,8 +124,16 @@ type Config struct {
 	// BlockSize is the store's block size in bytes. 0 means 4096.
 	BlockSize int
 	// StorePath, when non-empty, backs the index with the file at that
-	// path instead of RAM.
+	// path instead of RAM. With Stores > 1, store i > 0 is backed by
+	// "<StorePath>.<i>".
 	StorePath string
+	// Stores is the number of independent block stores the constituents
+	// are spread over — the paper's §8 multi-disk setting, where queries
+	// parallelise across devices. 0 or 1 means a single store.
+	Stores int
+	// Parallelism bounds the query engine's worker pool. 0 means one
+	// worker per store when Stores > 1, otherwise one per constituent.
+	Parallelism int
 	// CacheBlocks, when positive, interposes a write-through LRU block
 	// cache of that many blocks between the index and the store — the
 	// memory caching the paper credits for batched updates' efficiency.
@@ -159,6 +167,15 @@ func (c Config) normalized() (Config, error) {
 	if c.FirstDay < 1 {
 		return c, fmt.Errorf("wave: FirstDay = %d, must be >= 1", c.FirstDay)
 	}
+	if c.Stores < 0 {
+		return c, fmt.Errorf("wave: Stores = %d, must be >= 0", c.Stores)
+	}
+	if c.Stores == 0 {
+		c.Stores = 1
+	}
+	if c.Parallelism < 0 {
+		return c, fmt.Errorf("wave: Parallelism = %d, must be >= 0", c.Parallelism)
+	}
 	return c, nil
 }
 
@@ -168,7 +185,7 @@ func (c Config) normalized() (Config, error) {
 // methods (AddDay, SaveSnapshot, Close) serialise among themselves.
 type Index struct {
 	cfg    Config
-	store  *simdisk.Store
+	stores []*simdisk.Store
 	src    *core.MemorySource
 	scheme core.Scheme
 
@@ -178,32 +195,74 @@ type Index struct {
 	closed  bool
 }
 
+// newStores opens the configured number of block stores. Store 0 uses
+// StorePath verbatim; later stores append ".<i>".
+func newStores(cfg Config) ([]*simdisk.Store, error) {
+	out := make([]*simdisk.Store, 0, cfg.Stores)
+	for i := 0; i < cfg.Stores; i++ {
+		var st *simdisk.Store
+		var err error
+		if cfg.StorePath != "" {
+			path := cfg.StorePath
+			if i > 0 {
+				path = fmt.Sprintf("%s.%d", cfg.StorePath, i)
+			}
+			st, err = simdisk.NewFile(path, simdisk.Config{BlockSize: cfg.BlockSize})
+		} else {
+			st = simdisk.NewRAM(simdisk.Config{BlockSize: cfg.BlockSize})
+		}
+		if err != nil {
+			for _, s := range out {
+				s.Close()
+			}
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
 // New creates a wave index.
 func New(cfg Config) (*Index, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
 	}
-	var store *simdisk.Store
-	if cfg.StorePath != "" {
-		store, err = simdisk.NewFile(cfg.StorePath, simdisk.Config{BlockSize: cfg.BlockSize})
-		if err != nil {
-			return nil, err
+	stores, err := newStores(cfg)
+	if err != nil {
+		return nil, err
+	}
+	closeStores := func() {
+		for _, s := range stores {
+			s.Close()
 		}
-	} else {
-		store = simdisk.NewRAM(simdisk.Config{BlockSize: cfg.BlockSize})
 	}
 	// Retain a little beyond the window: REINDEX-family schemes re-read
 	// old days when rebuilding clusters.
 	src := core.NewMemorySource(cfg.Window + 2)
-	var bs simdisk.BlockStore = store
-	if cfg.CacheBlocks > 0 {
-		bs = simdisk.NewCache(store, cfg.CacheBlocks)
+	opts := index.Options{Dir: cfg.Directory, Growth: cfg.GrowthFactor}
+	var bk core.Backend
+	if len(stores) == 1 {
+		var bs simdisk.BlockStore = stores[0]
+		if cfg.CacheBlocks > 0 {
+			bs = simdisk.NewCache(stores[0], cfg.CacheBlocks)
+		}
+		bk = core.NewDataBackend(bs, opts, src, nil)
+	} else {
+		pool := make([]simdisk.BlockStore, len(stores))
+		for i, st := range stores {
+			if cfg.CacheBlocks > 0 {
+				pool[i] = simdisk.NewCache(st, cfg.CacheBlocks)
+			} else {
+				pool[i] = st
+			}
+		}
+		bk, err = core.NewMultiDiskBackend(pool, opts, src, nil)
+		if err != nil {
+			closeStores()
+			return nil, err
+		}
 	}
-	bk := core.NewDataBackend(bs, index.Options{
-		Dir:    cfg.Directory,
-		Growth: cfg.GrowthFactor,
-	}, src, nil)
 	scheme, err := core.NewScheme(cfg.Scheme, core.Config{
 		W:         cfg.Window,
 		N:         cfg.Indexes,
@@ -211,10 +270,16 @@ func New(cfg Config) (*Index, error) {
 		StartDay:  cfg.FirstDay,
 	}, bk)
 	if err != nil {
-		store.Close()
+		closeStores()
 		return nil, err
 	}
-	return &Index{cfg: cfg, store: store, src: src, scheme: scheme, nextDay: cfg.FirstDay}, nil
+	if cfg.Parallelism > 0 {
+		scheme.Wave().SetParallelism(cfg.Parallelism)
+	} else if len(stores) > 1 {
+		// One query worker per device: more adds no disk parallelism.
+		scheme.Wave().SetParallelism(len(stores))
+	}
+	return &Index{cfg: cfg, stores: stores, src: src, scheme: scheme, nextDay: cfg.FirstDay}, nil
 }
 
 // AddDay ingests one day's postings. Days must arrive consecutively
@@ -309,6 +374,31 @@ func (x *Index) ProbeParallel(key string) ([]Entry, error) {
 	return x.scheme.Wave().ParallelTimedIndexProbe(key, from, to)
 }
 
+// MultiProbe probes a batch of keys within the current window in one
+// pass: each qualifying constituent answers the whole (deduplicated)
+// batch with its buckets read in disk order, and constituents run
+// concurrently on the query engine. The result maps each key with
+// entries to its (day, record)-ordered entry list.
+func (x *Index) MultiProbe(keys []string) (map[string][]Entry, error) {
+	from, to := x.Window()
+	return x.MultiProbeRange(keys, from, to)
+}
+
+// MultiProbeRange is MultiProbe over days [from, to].
+func (x *Index) MultiProbeRange(keys []string, from, to int) (map[string][]Entry, error) {
+	if err := x.queryable(); err != nil {
+		return nil, err
+	}
+	return x.scheme.Wave().MultiProbe(keys, from, to)
+}
+
+// SetParallelism resizes the query engine's worker pool; in-flight
+// queries keep the pool they started with.
+func (x *Index) SetParallelism(p int) { x.scheme.Wave().SetParallelism(p) }
+
+// Parallelism returns the query engine's concurrency bound.
+func (x *Index) Parallelism() int { return x.scheme.Wave().Parallelism() }
+
 // Scan visits every entry in the current required window in per-
 // constituent key order; fn returning false stops the scan. This is the
 // paper's TimedSegmentScan clamped to the window.
@@ -341,8 +431,12 @@ type Stats struct {
 	TempBytes int64
 	// Constituents describes each constituent index.
 	Constituents []ConstituentStats
-	// Store is the block store's counter snapshot.
+	// Store aggregates the block stores' counters (for a single-store
+	// index, exactly that store's snapshot). Summing PeakBlocks across
+	// stores upper-bounds the true simultaneous peak.
 	Store simdisk.Stats
+	// PerStore holds each store's own snapshot, in store order.
+	PerStore []simdisk.Stats
 }
 
 // ConstituentStats describes one constituent index of the wave.
@@ -362,7 +456,7 @@ func (x *Index) Stats() Stats {
 			cons = append(cons, ConstituentStats{Days: c.Days(), Bytes: c.SizeBytes()})
 		}
 	}
-	return Stats{
+	st := Stats{
 		Constituents:     cons,
 		Scheme:           x.scheme.Name(),
 		HardWindow:       x.scheme.HardWindow(),
@@ -371,8 +465,23 @@ func (x *Index) Stats() Stats {
 		DaysIndexed:      x.scheme.Wave().Length(),
 		ConstituentBytes: x.scheme.Wave().SizeBytes(),
 		TempBytes:        x.scheme.TempSizeBytes(),
-		Store:            x.store.Stats(),
 	}
+	st.PerStore = make([]simdisk.Stats, len(x.stores))
+	for i, s := range x.stores {
+		ss := s.Stats()
+		st.PerStore[i] = ss
+		st.Store.Seeks += ss.Seeks
+		st.Store.BlocksRead += ss.BlocksRead
+		st.Store.BlocksWritten += ss.BlocksWritten
+		st.Store.BytesRead += ss.BytesRead
+		st.Store.BytesWritten += ss.BytesWritten
+		st.Store.Allocs += ss.Allocs
+		st.Store.Frees += ss.Frees
+		st.Store.UsedBlocks += ss.UsedBlocks
+		st.Store.PeakBlocks += ss.PeakBlocks
+		st.Store.SimTime += ss.SimTime
+	}
+	return st
 }
 
 // Close releases all storage held by the index.
@@ -384,8 +493,10 @@ func (x *Index) Close() error {
 	}
 	x.closed = true
 	err := x.scheme.Close()
-	if cerr := x.store.Close(); err == nil {
-		err = cerr
+	for _, s := range x.stores {
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
