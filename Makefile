@@ -1,11 +1,13 @@
 GO ?= go
 
 # `make check` is the full pre-commit gate: static analysis, a clean
-# build, the race-enabled test suite, and a one-iteration smoke of the
-# parallel-query benchmarks.
-.PHONY: check vet build test race bench-smoke
+# build, the race-enabled test suite, a one-iteration smoke of the
+# parallel-query benchmarks, and a metrics-overhead smoke (the
+# instrumented scan workload must complete alongside its
+# DisableMetrics twin).
+.PHONY: check vet build test race bench-smoke metrics-smoke
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +23,6 @@ race:
 
 bench-smoke:
 	$(GO) test -bench='ParallelProbe|ParallelScan|MultiProbe' -benchtime=1x -run '^$$' .
+
+metrics-smoke:
+	$(GO) test -bench='MetricsOverhead' -benchtime=1x -run '^$$' .

@@ -339,16 +339,13 @@ func BenchmarkAblationParallelProbe(b *testing.B) {
 	for _, mode := range []string{"serial", "parallel"} {
 		b.Run(mode, func(b *testing.B) {
 			idx, vocab := benchParallelIndex(b, 12, 6)
+			if mode == "serial" {
+				idx.SetParallelism(1)
+			}
 			tm := newSimTimer(idx)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				var err error
-				if mode == "serial" {
-					_, err = idx.Probe(vocab.Word(i % 500))
-				} else {
-					_, err = idx.ProbeParallel(vocab.Word(i % 500))
-				}
-				if err != nil {
+				if _, err := idx.Probe(vocab.Word(i % 500)); err != nil {
 					b.Fatal(err)
 				}
 				tm.lap()
@@ -385,6 +382,48 @@ func BenchmarkParallelScan(b *testing.B) {
 				tm.lap()
 			}
 			tm.report(b, mode)
+		})
+	}
+}
+
+// BenchmarkMetricsOverhead measures the instrumentation tax: the
+// BenchmarkParallelScan workload with the default metrics registry
+// against the same workload with DisableMetrics (no registry, no
+// tracer, no slow-query log — queries skip instrumentation entirely).
+// The two sim_ms/op figures should be within noise; wall-clock ns/op
+// overhead should stay under a few percent.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for _, mode := range []string{"metrics", "disabled"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := wave.Config{Window: 12, Indexes: 6, Scheme: wave.DEL, Update: wave.PackedShadow, Stores: 6}
+			if mode == "disabled" {
+				cfg.DisableMetrics = true
+			}
+			idx, err := wave.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { idx.Close() })
+			gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 9, ArticlesPerDay: 80, WordsPerArticle: 12})
+			for d := 1; d <= 12; d++ {
+				if err := idx.AddDay(d, gen.Day(d).Postings); err != nil {
+					b.Fatal(err)
+				}
+			}
+			from, to := idx.Window()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if err := idx.ScanRange(from, to, func(string, wave.Entry) bool {
+					n++
+					return true
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("scan visited no entries")
+				}
+			}
 		})
 	}
 }

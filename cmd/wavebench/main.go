@@ -158,6 +158,12 @@ func qengine() error {
 			r.N, r.SerialProbe, r.ParallelProbe, r.ProbeSpeedup(),
 			r.SerialScan, r.ParallelScan, r.ScanSpeedup(),
 			r.PerKeySeeks, r.BatchedSeeks)
+		m := r.Metrics
+		workers := m.Histogram("query_workers")
+		depth := m.Histogram("scan_merge_depth")
+		fmt.Printf("      engine: constituents=%d workers(max)=%d merge-depth(max)=%d early-stops=%d\n",
+			m.Counter("query_constituents_total"), workers.Max, depth.Max,
+			m.Counter("scan_early_stop_total"))
 	}
 	return nil
 }

@@ -6,7 +6,7 @@
 //
 //	waved [-addr :7070] [-window 7] [-indexes 4]
 //	      [-scheme REINDEX] [-update simple-shadow] [-store path]
-//	      [-stores 1] [-parallel 0]
+//	      [-stores 1] [-parallel 0] [-slowlog-ms 0] [-trace]
 //
 // Try it:
 //
@@ -21,11 +21,28 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"waveindex/internal/core"
 	"waveindex/internal/server"
 	"waveindex/wave"
 )
+
+// logTracer prints every span to the process log; enabled by -trace.
+type logTracer struct{ l *log.Logger }
+
+func (t logTracer) TraceEvent(ev wave.TraceEvent) {
+	switch {
+	case ev.Err != nil:
+		t.l.Printf("%s %v err=%v", ev.Kind, ev.Duration, ev.Err)
+	case ev.Key != "" || ev.Keys > 0:
+		t.l.Printf("%s %v key=%q keys=%d days=[%d,%d] entries=%d", ev.Kind, ev.Duration, ev.Key, ev.Keys, ev.From, ev.To, ev.Entries)
+	case ev.Day != 0:
+		t.l.Printf("%s %v day=%d ops=%d", ev.Kind, ev.Duration, ev.Day, ev.Ops)
+	default:
+		t.l.Printf("%s %v days=[%d,%d] entries=%d", ev.Kind, ev.Duration, ev.From, ev.To, ev.Entries)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
@@ -36,6 +53,8 @@ func main() {
 	storePath := flag.String("store", "", "file-backed store path (default: RAM)")
 	stores := flag.Int("stores", 1, "block store count (constituents spread round-robin)")
 	parallel := flag.Int("parallel", 0, "query worker bound (0 = one per store, or per constituent)")
+	slowlogMS := flag.Int("slowlog-ms", 0, "slow-query log threshold in ms (0 = disabled; see SLOWLOG)")
+	trace := flag.Bool("trace", false, "log every trace span (queries, transitions, snapshots) to stderr")
 	flag.Parse()
 
 	kind, err := core.ParseKind(*schemeName)
@@ -54,15 +73,20 @@ func main() {
 		log.Fatalf("unknown update technique %q", *update)
 	}
 
-	idx, err := wave.New(wave.Config{
-		Window:      *window,
-		Indexes:     *indexes,
-		Scheme:      kind,
-		Update:      tech,
-		StorePath:   *storePath,
-		Stores:      *stores,
-		Parallelism: *parallel,
-	})
+	cfg := wave.Config{
+		Window:             *window,
+		Indexes:            *indexes,
+		Scheme:             kind,
+		Update:             tech,
+		StorePath:          *storePath,
+		Stores:             *stores,
+		Parallelism:        *parallel,
+		SlowQueryThreshold: time.Duration(*slowlogMS) * time.Millisecond,
+	}
+	if *trace {
+		cfg.Trace = logTracer{log.New(os.Stderr, "trace: ", log.Lmicroseconds)}
+	}
+	idx, err := wave.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

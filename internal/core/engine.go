@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Engine is a wave's query execution pool: a counting semaphore bounding
 // how many per-constituent reads run concurrently. The paper's §8
@@ -28,17 +31,43 @@ func (e *Engine) Parallelism() int { return cap(e.sem) }
 func (e *Engine) acquire() { e.sem <- struct{}{} }
 func (e *Engine) release() { <-e.sem }
 
+// acquireCtx waits for a pool slot or for ctx cancellation; it reports
+// whether the slot was acquired.
+func (e *Engine) acquireCtx(ctx context.Context) bool {
+	select {
+	case e.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // Run executes tasks 0..n-1 on the pool and returns the first error (by
 // task index). With a single task or a parallelism of 1 the tasks run
 // inline on the caller's goroutine — the deterministic sequential path —
 // otherwise one goroutine per task contends for the pool's slots.
 func (e *Engine) Run(n int, task func(i int) error) error {
+	return e.RunCtx(context.Background(), n, task)
+}
+
+// RunCtx is Run with cancellation: once ctx is done no further task
+// starts (tasks waiting for a pool slot stop waiting), and the ctx error
+// is reported for every task that did not run. Tasks already executing
+// are not interrupted — per-constituent reads are short — so RunCtx
+// returns only after every started task has finished; no pool slot is
+// leaked.
+func (e *Engine) RunCtx(ctx context.Context, n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if n == 1 || e.Parallelism() == 1 {
 		for i := 0; i < n; i++ {
-			e.acquire()
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !e.acquireCtx(ctx) {
+				return ctx.Err()
+			}
 			err := task(i)
 			e.release()
 			if err != nil {
@@ -53,7 +82,14 @@ func (e *Engine) Run(n int, task func(i int) error) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e.acquire()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			if !e.acquireCtx(ctx) {
+				errs[i] = ctx.Err()
+				return
+			}
 			defer e.release()
 			errs[i] = task(i)
 		}(i)

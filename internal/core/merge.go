@@ -2,6 +2,8 @@ package core
 
 import (
 	"container/heap"
+	"context"
+	"time"
 
 	"waveindex/internal/index"
 )
@@ -82,10 +84,11 @@ type scanStream struct {
 // groups and sending them down st.ch. The engine slot is held only while
 // the underlying scan produces entries and is released across channel
 // sends, so a pool smaller than the number of streams cannot deadlock the
-// merge (every stream still delivers its head group). A close of done
-// aborts the scan at the next callback.
-func produceScan(eng *Engine, s Searcher, t1, t2 int, st *scanStream, done <-chan struct{}) {
+// merge (every stream still delivers its head group). A close of done —
+// or cancellation of ctx — aborts the scan at the next callback.
+func produceScan(ctx context.Context, eng *Engine, s Searcher, t1, t2 int, st *scanStream, done <-chan struct{}, tr Tracer) {
 	var pend keyGroup
+	entries := 0
 	send := func(g keyGroup) bool {
 		eng.release()
 		defer eng.acquire()
@@ -94,15 +97,25 @@ func produceScan(eng *Engine, s Searcher, t1, t2 int, st *scanStream, done <-cha
 			return true
 		case <-done:
 			return false
+		case <-ctx.Done():
+			return false
 		}
 	}
-	eng.acquire()
+	start := time.Now()
+	if !eng.acquireCtx(ctx) {
+		st.err = ctx.Err()
+		close(st.ch)
+		return
+	}
 	err := s.Scan(t1, t2, func(k string, e index.Entry) bool {
 		select {
 		case <-done:
 			return false
+		case <-ctx.Done():
+			return false
 		default:
 		}
+		entries++
 		if pend.es != nil && pend.key != k {
 			g := pend
 			pend = keyGroup{}
@@ -119,8 +132,16 @@ func produceScan(eng *Engine, s Searcher, t1, t2 int, st *scanStream, done <-cha
 		select {
 		case st.ch <- pend:
 		case <-done:
+		case <-ctx.Done():
 		}
 	}
+	if err == nil {
+		err = ctx.Err()
+	}
+	emit(tr, TraceEvent{
+		Kind: "scan.constituent", Start: start, Duration: time.Since(start),
+		From: t1, To: t2, Constituent: st.slot, Entries: entries, Err: err,
+	})
 	st.err = err
 	close(st.ch)
 }
@@ -142,10 +163,11 @@ func (h *streamHeap) Push(x any)        { *h = append(*h, x.(*scanStream)) }
 func (h *streamHeap) Pop() (x any)      { old := *h; n := len(old); x, *h = old[n-1], old[:n-1]; return }
 
 // consumeScanStreams merges the streams' key groups on the caller's
-// goroutine, invoking fn for every entry. It returns once fn asks to stop
-// or every stream is exhausted; per-stream errors are collected by the
-// caller after the producers wind down.
-func consumeScanStreams(streams []*scanStream, fn func(key string, e index.Entry) bool) {
+// goroutine, invoking fn for every entry. It returns once fn asks to
+// stop (reported as true), ctx is done, or every stream is exhausted;
+// per-stream errors are collected by the caller after the producers wind
+// down. Cancellation is checked once per key group, not per entry.
+func consumeScanStreams(ctx context.Context, streams []*scanStream, fn func(key string, e index.Entry) bool) (stopped bool) {
 	h := make(streamHeap, 0, len(streams))
 	for _, st := range streams {
 		if g, ok := <-st.ch; ok {
@@ -155,10 +177,13 @@ func consumeScanStreams(streams []*scanStream, fn func(key string, e index.Entry
 	}
 	heap.Init(&h)
 	for h.Len() > 0 {
+		if ctx.Err() != nil {
+			return false
+		}
 		st := h[0]
 		for _, e := range st.cur.es {
 			if !fn(st.cur.key, e) {
-				return
+				return true
 			}
 		}
 		if g, ok := <-st.ch; ok {
@@ -168,4 +193,5 @@ func consumeScanStreams(streams []*scanStream, fn func(key string, e index.Entry
 			heap.Pop(&h)
 		}
 	}
+	return false
 }

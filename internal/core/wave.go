@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"waveindex/internal/index"
 )
@@ -50,6 +52,12 @@ type Wave struct {
 	eng     *Engine
 	readers int           // queries holding a snapshot
 	retired []Constituent // superseded while readers > 0; dropped later
+
+	// qm and tracer are the engine's observability hooks, settable via
+	// SetInstrumentation. qm is held by value: the zero value's nil
+	// handles are no-ops, so uninstrumented queries record nothing.
+	qm     QueryMetrics
+	tracer Tracer
 }
 
 // NewWave returns a wave with n empty slots and a query engine sized to
@@ -256,20 +264,32 @@ func intersects(c Constituent, t1, t2 int) bool {
 	return false
 }
 
-// searchTargets collects the qualifying constituents of a snapshot.
-func searchTargets(cons []Constituent, t1, t2 int) ([]Searcher, error) {
+// searchTargets collects the qualifying constituents of a snapshot with
+// their wave slots (for per-constituent trace attribution).
+func searchTargets(cons []Constituent, t1, t2 int) ([]Searcher, []int, error) {
 	var out []Searcher
-	for _, c := range cons {
+	var slots []int
+	for i, c := range cons {
 		if c == nil || !intersects(c, t1, t2) {
 			continue
 		}
 		s, ok := c.(Searcher)
 		if !ok {
-			return nil, fmt.Errorf("core: constituent %T is not searchable", c)
+			return nil, nil, fmt.Errorf("core: constituent %T is not searchable", c)
 		}
 		out = append(out, s)
+		slots = append(slots, i)
 	}
-	return out, nil
+	return out, slots, nil
+}
+
+// workersFor reports how many pool workers a query over n targets can
+// actually use.
+func workersFor(eng *Engine, n int) int64 {
+	if p := eng.Parallelism(); p < n {
+		return int64(p)
+	}
+	return int64(n)
 }
 
 // TimedIndexProbe retrieves the entries for search value key inserted
@@ -278,15 +298,32 @@ func searchTargets(cons []Constituent, t1, t2 int) ([]Searcher, error) {
 // Per-constituent results arrive sorted, so they are merged; with at most
 // one qualifying constituent its result is returned as is.
 func (w *Wave) TimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
+	return w.TimedIndexProbeCtx(context.Background(), key, t1, t2)
+}
+
+// TimedIndexProbeCtx is TimedIndexProbe with cancellation: the probe
+// stops between constituents once ctx is done and returns ctx's error.
+func (w *Wave) TimedIndexProbeCtx(ctx context.Context, key string, t1, t2 int) ([]index.Entry, error) {
 	cons, _ := w.beginQuery()
 	defer w.endQuery()
-	targets, err := searchTargets(cons, t1, t2)
+	qm, tr := w.instrumentation()
+	targets, slots, err := searchTargets(cons, t1, t2)
 	if err != nil {
 		return nil, err
 	}
+	qm.Constituents.Add(int64(len(targets)))
+	qm.Workers.Observe(1)
 	lists := make([][]index.Entry, 0, len(targets))
-	for _, s := range targets {
+	for i, s := range targets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
 		es, err := s.Probe(key, t1, t2)
+		emit(tr, TraceEvent{
+			Kind: "probe.constituent", Start: start, Duration: time.Since(start),
+			Key: key, From: t1, To: t2, Constituent: slots[i], Entries: len(es), Err: err,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -308,15 +345,30 @@ func (w *Wave) IndexProbe(key string) ([]index.Entry, error) {
 // parallelism the paper's §8 identifies as a wave-index advantage over
 // monolithic indexes. Results are byte-identical to TimedIndexProbe's.
 func (w *Wave) ParallelTimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
+	return w.ParallelTimedIndexProbeCtx(context.Background(), key, t1, t2)
+}
+
+// ParallelTimedIndexProbeCtx is ParallelTimedIndexProbe with
+// cancellation: once ctx is done no further constituent probe starts,
+// workers blocked on the pool stop waiting, and ctx's error is returned.
+func (w *Wave) ParallelTimedIndexProbeCtx(ctx context.Context, key string, t1, t2 int) ([]index.Entry, error) {
 	cons, eng := w.beginQuery()
 	defer w.endQuery()
-	targets, err := searchTargets(cons, t1, t2)
+	qm, tr := w.instrumentation()
+	targets, slots, err := searchTargets(cons, t1, t2)
 	if err != nil {
 		return nil, err
 	}
+	qm.Constituents.Add(int64(len(targets)))
+	qm.Workers.Observe(workersFor(eng, len(targets)))
 	lists := make([][]index.Entry, len(targets))
-	err = eng.Run(len(targets), func(i int) error {
+	err = eng.RunCtx(ctx, len(targets), func(i int) error {
+		start := time.Now()
 		es, err := targets[i].Probe(key, t1, t2)
+		emit(tr, TraceEvent{
+			Kind: "probe.constituent", Start: start, Duration: time.Since(start),
+			Key: key, From: t1, To: t2, Constituent: slots[i], Entries: len(es), Err: err,
+		})
 		lists[i] = es
 		return err
 	})
@@ -333,6 +385,12 @@ func (w *Wave) ParallelTimedIndexProbe(key string, t1, t2 int) ([]index.Entry, e
 // index.ProbeMulti), constituents run concurrently on the wave's engine,
 // and per-key results are merged like TimedIndexProbe's.
 func (w *Wave) MultiProbe(keys []string, t1, t2 int) (map[string][]index.Entry, error) {
+	return w.MultiProbeCtx(context.Background(), keys, t1, t2)
+}
+
+// MultiProbeCtx is MultiProbe with cancellation: once ctx is done no
+// further constituent batch starts and ctx's error is returned.
+func (w *Wave) MultiProbeCtx(ctx context.Context, keys []string, t1, t2 int) (map[string][]index.Entry, error) {
 	uniq := append([]string(nil), keys...)
 	sort.Strings(uniq)
 	n := 0
@@ -346,7 +404,8 @@ func (w *Wave) MultiProbe(keys []string, t1, t2 int) (map[string][]index.Entry, 
 
 	cons, eng := w.beginQuery()
 	defer w.endQuery()
-	targets, err := searchTargets(cons, t1, t2)
+	qm, tr := w.instrumentation()
+	targets, slots, err := searchTargets(cons, t1, t2)
 	if err != nil {
 		return nil, err
 	}
@@ -354,23 +413,33 @@ func (w *Wave) MultiProbe(keys []string, t1, t2 int) (map[string][]index.Entry, 
 	if len(uniq) == 0 || len(targets) == 0 {
 		return out, nil
 	}
+	qm.Constituents.Add(int64(len(targets)))
+	qm.Workers.Observe(workersFor(eng, len(targets)))
 	per := make([][][]index.Entry, len(targets))
-	err = eng.Run(len(targets), func(i int) error {
-		if ms, ok := targets[i].(MultiSearcher); ok {
-			r, err := ms.MultiProbe(uniq, t1, t2)
-			per[i] = r
-			return err
-		}
-		r := make([][]index.Entry, len(uniq))
-		for j, k := range uniq {
-			es, err := targets[i].Probe(k, t1, t2)
-			if err != nil {
+	err = eng.RunCtx(ctx, len(targets), func(i int) error {
+		start := time.Now()
+		err := func() error {
+			if ms, ok := targets[i].(MultiSearcher); ok {
+				r, err := ms.MultiProbe(uniq, t1, t2)
+				per[i] = r
 				return err
 			}
-			r[j] = es
-		}
-		per[i] = r
-		return nil
+			r := make([][]index.Entry, len(uniq))
+			for j, k := range uniq {
+				es, err := targets[i].Probe(k, t1, t2)
+				if err != nil {
+					return err
+				}
+				r[j] = es
+			}
+			per[i] = r
+			return nil
+		}()
+		emit(tr, TraceEvent{
+			Kind: "mprobe.constituent", Start: start, Duration: time.Since(start),
+			Keys: len(uniq), From: t1, To: t2, Constituent: slots[i], Err: err,
+		})
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -396,38 +465,87 @@ func (w *Wave) MultiProbe(keys []string, t1, t2 int) (map[string][]index.Entry, 
 // are heap-merged, with entries of one key visited in wave slot order.
 // fn runs on the caller's goroutine; returning false stops the scan.
 func (w *Wave) TimedSegmentScan(t1, t2 int, fn func(key string, e index.Entry) bool) error {
+	return w.TimedSegmentScanCtx(context.Background(), t1, t2, fn)
+}
+
+// TimedSegmentScanCtx is TimedSegmentScan with cancellation: once ctx is
+// done the producers abort at their next callback, the merge stops, and
+// ctx's error is returned. All producer goroutines are joined before
+// returning, so no pool worker leaks.
+func (w *Wave) TimedSegmentScanCtx(ctx context.Context, t1, t2 int, fn func(key string, e index.Entry) bool) error {
 	cons, eng := w.beginQuery()
 	defer w.endQuery()
-	targets, err := searchTargets(cons, t1, t2)
+	qm, tr := w.instrumentation()
+	targets, slots, err := searchTargets(cons, t1, t2)
 	if err != nil {
 		return err
 	}
+	qm.Constituents.Add(int64(len(targets)))
 	switch len(targets) {
 	case 0:
-		return nil
+		return ctx.Err()
 	case 1:
 		// One stream: the merge would reproduce the scan verbatim.
-		return targets[0].Scan(t1, t2, fn)
+		qm.Workers.Observe(1)
+		qm.MergeDepth.Observe(1)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		start := time.Now()
+		stopped := false
+		entries := 0
+		err = targets[0].Scan(t1, t2, func(k string, e index.Entry) bool {
+			entries++
+			// Cancellation is polled every 1024 entries so an idle ctx
+			// costs nothing on the per-entry hot path.
+			if entries&1023 == 0 && ctx.Err() != nil {
+				return false
+			}
+			if !fn(k, e) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		emit(tr, TraceEvent{
+			Kind: "scan.constituent", Start: start, Duration: time.Since(start),
+			From: t1, To: t2, Constituent: slots[0], Entries: entries, Err: err,
+		})
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if stopped {
+			qm.EarlyStops.Inc()
+		}
+		return err
 	}
+	qm.Workers.Observe(workersFor(eng, len(targets)))
+	qm.MergeDepth.Observe(int64(len(targets)))
 	done := make(chan struct{})
 	streams := make([]*scanStream, len(targets))
 	var wg sync.WaitGroup
 	for i, s := range targets {
-		st := &scanStream{ch: make(chan keyGroup, scanStreamBuf), slot: i}
+		st := &scanStream{ch: make(chan keyGroup, scanStreamBuf), slot: slots[i]}
 		streams[i] = st
 		wg.Add(1)
 		go func(s Searcher, st *scanStream) {
 			defer wg.Done()
-			produceScan(eng, s, t1, t2, st, done)
+			produceScan(ctx, eng, s, t1, t2, st, done, tr)
 		}(s, st)
 	}
-	consumeScanStreams(streams, fn)
+	stopped := consumeScanStreams(ctx, streams, fn)
 	close(done)
 	for _, st := range streams {
 		for range st.ch {
 		}
 	}
 	wg.Wait()
+	if stopped {
+		qm.EarlyStops.Inc()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, st := range streams {
 		if st.err != nil {
 			return st.err

@@ -6,6 +6,7 @@ import (
 
 	"waveindex/internal/core"
 	"waveindex/internal/index"
+	"waveindex/internal/metrics"
 	"waveindex/internal/simdisk"
 	"waveindex/internal/workload"
 )
@@ -31,6 +32,11 @@ type QueryExecResult struct {
 	BatchedSeeks int64
 
 	ScannedEntries int // sanity: entries visited by the scan
+
+	// Metrics is the engine's instrumentation snapshot over the whole
+	// measurement: constituents touched, workers per query, merge depth,
+	// early stops.
+	Metrics metrics.Snapshot
 }
 
 // ProbeSpeedup is the sequential/parallel elapsed ratio for probes.
@@ -103,6 +109,16 @@ func MeasureQueryExec(n, w int) (QueryExecResult, error) {
 	t1, t2 := s.WindowStart(), s.LastDay()
 	res := QueryExecResult{N: n, W: w, Disks: n}
 
+	// Instrument the engine for the whole measurement.
+	reg := metrics.New()
+	qm := core.QueryMetrics{
+		Constituents: reg.Counter("query_constituents_total"),
+		Workers:      reg.Histogram("query_workers"),
+		MergeDepth:   reg.Histogram("scan_merge_depth"),
+		EarlyStops:   reg.Counter("scan_early_stop_total"),
+	}
+	wave.SetInstrumentation(&qm, nil)
+
 	// The heaviest key stresses every constituent.
 	key := gen.Vocab().Word(0)
 
@@ -167,6 +183,7 @@ func MeasureQueryExec(n, w int) (QueryExecResult, error) {
 		return QueryExecResult{}, err
 	}
 	res.BatchedSeeks = seeks()
+	res.Metrics = reg.Snapshot()
 	return res, nil
 }
 

@@ -1,0 +1,353 @@
+// Package metrics is a dependency-free instrumentation registry for the
+// wave-index runtime: atomic counters, gauges, and bounded latency
+// histograms, collected into named registries and exported as immutable
+// snapshots. It exists because the paper's evaluation (Tables 5-12) is
+// entirely about *measuring* query response, transition time, and daily
+// work — the live engine must report the same measures at runtime that
+// the offline cost model predicts.
+//
+// All metric handles are safe for concurrent use and nil-safe: methods on
+// a nil *Counter, *Gauge, or *Histogram are no-ops, and a nil *Registry
+// hands out nil handles. Instrumented code therefore carries no
+// conditionals — it records unconditionally, and disabling observability
+// is just wiring a nil registry.
+package metrics
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the gauge's value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of every histogram: bucket i
+// holds observations v with bitlen(v) == i+1, i.e. v in [2^i, 2^(i+1)),
+// bucket 0 additionally holds v <= 0. 48 doubling buckets cover
+// microsecond latencies past three days, so histograms never reallocate
+// and recording is one atomic add.
+const histBuckets = 48
+
+// Histogram is a bounded log-scale histogram of non-negative integer
+// observations (typically microseconds or small cardinalities).
+type Histogram struct {
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only when count > 0
+	max    atomic.Int64
+	bucket [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket i
+// (2^(i+1) - 1); the last bucket is unbounded and reports its lower
+// bound instead.
+func BucketBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return 1 << (histBuckets - 1)
+	}
+	return 1<<(i+1) - 1
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.sum.Add(v)
+	h.bucket[bucketOf(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if h.count.Load() > 0 && cur <= v {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= v && h.count.Load() > 0 {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is an immutable view of a histogram.
+type HistogramSnapshot struct {
+	Count, Sum, Min, Max int64
+	// Buckets holds the non-empty buckets in ascending bound order.
+	Buckets []Bucket
+}
+
+// Bucket is one non-empty histogram bucket: Count observations with
+// value <= Le (the last bucket's Le is its lower bound; see BucketBound).
+type Bucket struct {
+	Le    int64
+	Count int64
+}
+
+// Mean returns the snapshot's average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1),
+// resolved to bucket granularity. Empty histograms report 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count-1)) + 1
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			if b.Le > s.Max {
+				return s.Max
+			}
+			return b.Le
+		}
+	}
+	return s.Max
+}
+
+// snapshot captures the histogram's current state. The counters are read
+// without a global lock, so a snapshot taken during concurrent Observe
+// calls may be off by the in-flight observations — fine for monitoring.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count > 0 {
+		s.Min, s.Max = h.min.Load(), h.max.Load()
+	}
+	for i := range h.bucket {
+		if n := h.bucket[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: BucketBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Registry is a named collection of metrics. The zero value is ready to
+// use; a nil *Registry hands out nil (no-op) handles.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gauge map[string]*Gauge
+	hist  map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ctrs == nil {
+		r.ctrs = map[string]*Counter{}
+	}
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauge == nil {
+		r.gauge = map[string]*Gauge{}
+	}
+	g, ok := r.gauge[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hist == nil {
+		r.hist = map[string]*Histogram{}
+	}
+	h, ok := r.hist[name]
+	if !ok {
+		h = &Histogram{}
+		r.hist[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of a registry, with deterministic
+// (sorted) name order inside each section.
+type Snapshot struct {
+	Counters   []Sample
+	Gauges     []Sample
+	Histograms []HistogramSample
+}
+
+// Sample is one named scalar value.
+type Sample struct {
+	Name  string
+	Value int64
+}
+
+// HistogramSample is one named histogram snapshot.
+type HistogramSample struct {
+	Name string
+	HistogramSnapshot
+}
+
+// Counter returns the named counter's value from the snapshot (0 if
+// absent).
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value from the snapshot (0 if absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the named histogram's snapshot (zero if absent).
+func (s Snapshot) Histogram(name string) HistogramSnapshot {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h.HistogramSnapshot
+		}
+	}
+	return HistogramSnapshot{}
+}
+
+// Snapshot captures every metric currently registered. A nil registry
+// yields a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for k, v := range r.ctrs {
+		ctrs[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauge))
+	for k, v := range r.gauge {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hist))
+	for k, v := range r.hist {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for name, c := range ctrs {
+		s.Counters = append(s.Counters, Sample{Name: name, Value: c.Value()})
+	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, Sample{Name: name, Value: g.Value()})
+	}
+	for name, h := range hists {
+		s.Histograms = append(s.Histograms, HistogramSample{Name: name, HistogramSnapshot: h.snapshot()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("queries")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("queries") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil handles must read 0")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for _, v := range []int64{1, 2, 3, 100, 1000, 0} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histogram("lat")
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1106 {
+		t.Fatalf("sum = %d, want 1106", s.Sum)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d, want 0/1000", s.Min, s.Max)
+	}
+	if m := s.Mean(); m < 184 || m > 185 {
+		t.Fatalf("mean = %v", m)
+	}
+	if q := s.Quantile(0); q != 1 { // bucket 0 upper bound
+		t.Fatalf("p0 = %d, want 1", q)
+	}
+	if q := s.Quantile(1); q != 1000 { // clamped to observed max
+		t.Fatalf("p100 = %d, want 1000", q)
+	}
+	if q := s.Quantile(0.5); q < 3 || q > 127 {
+		t.Fatalf("p50 = %d, out of plausible bucket range", q)
+	}
+}
+
+func TestHistogramEmptyAndHuge(t *testing.T) {
+	var h Histogram
+	s := h.snapshot()
+	if s.Count != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", s)
+	}
+	h.Observe(1 << 62) // beyond the last bucket bound
+	s = h.snapshot()
+	if s.Count != 1 || s.Max != 1<<62 {
+		t.Fatalf("huge observation snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotSortedAndLookup(t *testing.T) {
+	r := New()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	r.Gauge("z").Set(9)
+	r.Histogram("h").Observe(5)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a" || s.Counters[1].Name != "b" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if s.Counter("a") != 2 || s.Counter("missing") != 0 {
+		t.Fatal("snapshot counter lookup broken")
+	}
+	if s.Gauge("z") != 9 {
+		t.Fatal("snapshot gauge lookup broken")
+	}
+	if s.Histogram("h").Count != 1 {
+		t.Fatal("snapshot histogram lookup broken")
+	}
+}
+
+// TestConcurrent exercises every handle type from many goroutines; run
+// under -race this is the registry's thread-safety proof.
+func TestConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(j))
+				r.Histogram("h").Observe(int64(i*1000 + j))
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("c"); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	h := s.Histogram("h")
+	if h.Count != 8000 || h.Min != 0 || h.Max != 7999 {
+		t.Fatalf("histogram = count %d min %d max %d", h.Count, h.Min, h.Max)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := map[int64]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if BucketBound(0) != 1 || BucketBound(1) != 3 || BucketBound(2) != 7 {
+		t.Fatal("bucket bounds moved")
+	}
+}

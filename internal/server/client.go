@@ -251,3 +251,141 @@ func (c *Client) Stats() (string, error) {
 	}
 	return c.expectOK()
 }
+
+// HistogramRow is one METRICS histogram line: observation count, sum,
+// extremes, and bucket-granularity quantiles, all in the histogram's
+// native unit (microseconds for latency histograms).
+type HistogramRow struct {
+	Name          string
+	Count, Sum    int64
+	Min, Max      int64
+	P50, P90, P99 int64
+}
+
+// Metrics is a parsed METRICS reply.
+type Metrics struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms []HistogramRow
+}
+
+// Histogram returns the named histogram row (zero row if absent).
+func (m Metrics) Histogram(name string) HistogramRow {
+	for _, h := range m.Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	return HistogramRow{}
+}
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics() (Metrics, error) {
+	m := Metrics{Counters: map[string]int64{}, Gauges: map[string]int64{}}
+	fmt.Fprintln(c.w, "METRICS")
+	if err := c.w.Flush(); err != nil {
+		return m, err
+	}
+	seen := 0
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return m, err
+		}
+		f := strings.Fields(line)
+		switch {
+		case len(f) == 3 && f[0] == "COUNTER":
+			v, _ := strconv.ParseInt(f[2], 10, 64)
+			m.Counters[f[1]] = v
+			seen++
+		case len(f) == 3 && f[0] == "GAUGE":
+			v, _ := strconv.ParseInt(f[2], 10, 64)
+			m.Gauges[f[1]] = v
+			seen++
+		case len(f) == 9 && f[0] == "HIST":
+			var vs [7]int64
+			for i := range vs {
+				vs[i], _ = strconv.ParseInt(f[i+2], 10, 64)
+			}
+			m.Histograms = append(m.Histograms, HistogramRow{
+				Name: f[1], Count: vs[0], Sum: vs[1], Min: vs[2], Max: vs[3],
+				P50: vs[4], P90: vs[5], P99: vs[6],
+			})
+			seen++
+		case len(f) == 2 && f[0] == "END":
+			want, _ := strconv.Atoi(f[1])
+			if want != seen {
+				return m, fmt.Errorf("server: metrics ended with %d rows, header said %d", seen, want)
+			}
+			return m, nil
+		case strings.HasPrefix(line, "ERR "):
+			return m, errors.New(strings.TrimPrefix(line, "ERR "))
+		default:
+			return m, fmt.Errorf("server: unexpected line %q", line)
+		}
+	}
+}
+
+// SlowLogEntry is one parsed SLOWLOG row.
+type SlowLogEntry struct {
+	Kind       string
+	From, To   int
+	Keys       int
+	Entries    int
+	DurationUS int64
+	Key        string
+	Err        string
+}
+
+// SlowLog fetches the server's slow-query log, most recent first.
+func (c *Client) SlowLog() ([]SlowLogEntry, error) {
+	fmt.Fprintln(c.w, "SLOWLOG")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var out []SlowLogEntry
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Fields(line)
+		switch {
+		case len(f) >= 8 && f[0] == "SLOW":
+			e := SlowLogEntry{Kind: f[1]}
+			e.From, _ = strconv.Atoi(f[2])
+			e.To, _ = strconv.Atoi(f[3])
+			e.Keys, _ = strconv.Atoi(f[4])
+			e.Entries, _ = strconv.Atoi(f[5])
+			e.DurationUS, _ = strconv.ParseInt(f[6], 10, 64)
+			if f[7] != "-" {
+				e.Key = f[7]
+			}
+			if len(f) > 8 {
+				e.Err = strings.Join(f[8:], " ")
+			}
+			out = append(out, e)
+		case len(f) == 2 && f[0] == "END":
+			want, _ := strconv.Atoi(f[1])
+			if want != len(out) {
+				return nil, fmt.Errorf("server: slowlog ended with %d rows, header said %d", len(out), want)
+			}
+			return out, nil
+		case strings.HasPrefix(line, "ERR "):
+			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
+		default:
+			return nil, fmt.Errorf("server: unexpected line %q", line)
+		}
+	}
+}
+
+// SetSlowLogThreshold sets the server's slow-query threshold in
+// milliseconds; 0 disables the log.
+func (c *Client) SetSlowLogThreshold(ms int) error {
+	fmt.Fprintf(c.w, "SLOWLOG %d\n", ms)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expectOK()
+	return err
+}

@@ -16,6 +16,9 @@
 //	TOPK <k>                    k most frequent keys in the window
 //	WINDOW                      current window bounds
 //	STATS                       scheme, days indexed, storage bytes
+//	METRICS                     metrics snapshot
+//	SLOWLOG                     slow-query log, most recent first
+//	SLOWLOG <ms>                set the slow-query threshold (0 disables)
 //	QUIT                        close the connection
 //
 // Responses: "OK ..." or "ERR <message>"; probes stream
@@ -23,7 +26,12 @@
 // TOPK streams "KEY <key> <count>" lines terminated by "END <k>".
 // MPROBE streams, per distinct key in ascending order, one
 // "KEY <key> <count>" line followed by that key's ENTRY lines, all
-// terminated by "END <nkeys>".
+// terminated by "END <nkeys>". METRICS streams "COUNTER <name> <v>",
+// "GAUGE <name> <v>", and
+// "HIST <name> <count> <sum> <min> <max> <p50> <p90> <p99>" lines
+// (histograms in microseconds), terminated by "END <n>". SLOWLOG streams
+// "SLOW <kind> <from> <to> <keys> <entries> <us> <key|-> [err]" lines
+// terminated by "END <n>".
 package server
 
 import (
@@ -35,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"waveindex/wave"
 )
@@ -125,6 +134,10 @@ func (s *Server) handle(conn net.Conn) {
 			st := s.idx.Stats()
 			fmt.Fprintf(out, "OK scheme=%s days=%d bytes=%d window=%d..%d\n",
 				st.Scheme, st.DaysIndexed, st.ConstituentBytes, st.WindowFrom, st.WindowTo)
+		case "METRICS":
+			s.metrics(out)
+		case "SLOWLOG":
+			err = s.slowlog(out, fields[1:])
 		default:
 			err = fmt.Errorf("unknown command %q", cmd)
 		}
@@ -265,6 +278,57 @@ func (s *Server) count(out *bufio.Writer, args []string) error {
 	}
 	fmt.Fprintf(out, "OK %d\n", n)
 	return nil
+}
+
+func (s *Server) metrics(out *bufio.Writer) {
+	m := s.idx.Metrics()
+	n := 0
+	for _, c := range m.Counters {
+		fmt.Fprintf(out, "COUNTER %s %d\n", c.Name, c.Value)
+		n++
+	}
+	for _, g := range m.Gauges {
+		fmt.Fprintf(out, "GAUGE %s %d\n", g.Name, g.Value)
+		n++
+	}
+	for _, h := range m.Histograms {
+		fmt.Fprintf(out, "HIST %s %d %d %d %d %d %d %d\n",
+			h.Name, h.Count, h.Sum, h.Min, h.Max,
+			h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+		n++
+	}
+	fmt.Fprintf(out, "END %d\n", n)
+}
+
+func (s *Server) slowlog(out *bufio.Writer, args []string) error {
+	switch len(args) {
+	case 0:
+		log := s.idx.SlowQueries()
+		for _, q := range log {
+			key := q.Key
+			if key == "" {
+				key = "-"
+			}
+			fmt.Fprintf(out, "SLOW %s %d %d %d %d %d %s", q.Kind, q.From, q.To,
+				q.Keys, q.Entries, q.Duration.Microseconds(), key)
+			if q.Err != "" {
+				fmt.Fprintf(out, " %s", strings.ReplaceAll(q.Err, "\n", " "))
+			}
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "END %d\n", len(log))
+		return nil
+	case 1:
+		ms, err := strconv.Atoi(args[0])
+		if err != nil || ms < 0 {
+			return fmt.Errorf("bad threshold %q (milliseconds)", args[0])
+		}
+		s.idx.SetSlowQueryThreshold(time.Duration(ms) * time.Millisecond)
+		fmt.Fprintf(out, "OK threshold %dms\n", ms)
+		return nil
+	default:
+		return errors.New("usage: SLOWLOG [<thresholdms>]")
+	}
 }
 
 func (s *Server) topk(out *bufio.Writer, args []string) error {

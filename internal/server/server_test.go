@@ -172,13 +172,31 @@ func TestRawProtocolErrors(t *testing.T) {
 		"ADDDAY x 1",
 		"ADDDAY 1 -1",
 		"PROBE",
+		"PROBE a b",
 		"PROBERANGE k 1",
+		"PROBERANGE k x 2",
+		"PROBERANGE k 1 x",
+		"MPROBE",
+		"MPROBE 1 2",
+		"MPROBE x 2 k",
+		"MPROBE 1 y k",
 		"COUNT 1",
+		"COUNT x y",
 		"TOPK",
 		"TOPK 0",
+		"SLOWLOG x",
+		"SLOWLOG -1",
+		"SLOWLOG 1 2",
 	} {
 		if reply := send(bad); !strings.HasPrefix(reply, "ERR ") {
 			t.Errorf("%q -> %q, want ERR", bad, reply)
+		}
+	}
+	// Queries against a not-ready index report the typed sentinel's text.
+	for _, q := range []string{"PROBE k", "PROBERANGE k 1 2", "MPROBE 1 2 k", "COUNT"} {
+		reply := send(q)
+		if !strings.HasPrefix(reply, "ERR ") || !strings.Contains(reply, "not ready") {
+			t.Errorf("not-ready %q -> %q, want ERR ... not ready", q, reply)
 		}
 	}
 	if reply := send("WINDOW"); !strings.HasPrefix(reply, "OK ") {
@@ -186,6 +204,93 @@ func TestRawProtocolErrors(t *testing.T) {
 	}
 	if reply := send("QUIT"); reply != "OK bye" {
 		t.Errorf("QUIT -> %q", reply)
+	}
+}
+
+func TestMetricsCommand(t *testing.T) {
+	c, _ := startServer(t, wave.Config{Window: 3, Indexes: 2})
+	for d := 1; d <= 5; d++ {
+		if err := c.AddDay(d, postingsFor(d, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Probe("k0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MultiProbe([]string{"k0", "k1"}, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Count(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["query_probe_total"] != 1 || m.Counters["query_mprobe_total"] != 1 || m.Counters["query_scan_total"] != 1 {
+		t.Errorf("query counters = %v", m.Counters)
+	}
+	if m.Counters["ingest_days_total"] != 5 {
+		t.Errorf("ingest_days_total = %d, want 5", m.Counters["ingest_days_total"])
+	}
+	if h := m.Histogram("query_probe_us"); h.Count != 1 {
+		t.Errorf("query_probe_us row = %+v, want count 1", h)
+	}
+	if h := m.Histogram("transition_work_us"); h.Count == 0 {
+		t.Error("no transition work timings over the wire")
+	}
+	if m.Gauges["disk_used_blocks"] == 0 {
+		t.Error("disk_used_blocks gauge empty")
+	}
+}
+
+func TestSlowlogCommand(t *testing.T) {
+	c, idx := startServer(t, wave.Config{Window: 3, Indexes: 2, SlowQueryThreshold: 1})
+	for d := 1; d <= 4; d++ {
+		if err := c.AddDay(d, postingsFor(d, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Probe("k0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ProbeRange("k1", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	log, err := c.SlowLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 {
+		t.Fatalf("slow log = %d rows, want 2: %+v", len(log), log)
+	}
+	// Most recent first: the ranged probe.
+	if log[0].Kind != "probe" || log[0].Key != "k1" || log[0].From != 2 || log[0].To != 4 {
+		t.Errorf("latest slow row = %+v", log[0])
+	}
+	if log[1].Key != "k0" || log[1].Entries == 0 {
+		t.Errorf("older slow row = %+v", log[1])
+	}
+	// Disable via the protocol, confirm the index saw it and nothing new
+	// is recorded.
+	if err := c.SetSlowLogThreshold(0); err != nil {
+		t.Fatal(err)
+	}
+	if th := idx.SlowQueryThreshold(); th != 0 {
+		t.Errorf("threshold after SLOWLOG 0 = %v", th)
+	}
+	if _, err := c.Probe("k2"); err != nil {
+		t.Fatal(err)
+	}
+	if log, _ := c.SlowLog(); len(log) != 2 {
+		t.Errorf("slow log grew while disabled: %d rows", len(log))
+	}
+	// Re-enable with a 1ms threshold: fast probes stay unlogged.
+	if err := c.SetSlowLogThreshold(1000); err != nil {
+		t.Fatal(err)
+	}
+	if th := idx.SlowQueryThreshold(); th.Milliseconds() != 1000 {
+		t.Errorf("threshold = %v, want 1s", th)
 	}
 }
 

@@ -135,6 +135,45 @@ func (s Stats) UsedBytes(blockSize int) int64 { return s.UsedBlocks * int64(bloc
 // PeakBytes returns the peak allocated bytes for the given block size.
 func (s Stats) PeakBytes(blockSize int) int64 { return s.PeakBlocks * int64(blockSize) }
 
+// Sub returns the activity delta s - prev: cumulative fields are
+// subtracted, while the occupancy fields (UsedBlocks, PeakBlocks) keep
+// s's current values since they are levels, not totals. Two snapshots
+// taken around a query attribute that query's disk work.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Seeks:         s.Seeks - prev.Seeks,
+		BlocksRead:    s.BlocksRead - prev.BlocksRead,
+		BlocksWritten: s.BlocksWritten - prev.BlocksWritten,
+		BytesRead:     s.BytesRead - prev.BytesRead,
+		BytesWritten:  s.BytesWritten - prev.BytesWritten,
+		Allocs:        s.Allocs - prev.Allocs,
+		Frees:         s.Frees - prev.Frees,
+		UsedBlocks:    s.UsedBlocks,
+		PeakBlocks:    s.PeakBlocks,
+		SimTime:       s.SimTime - prev.SimTime,
+	}
+}
+
+// SumStats aggregates the stats of several stores (e.g. one per wave
+// disk): cumulative fields and occupancy levels add, and the peak is the
+// sum of per-store peaks (an upper bound on the true combined peak).
+func SumStats(stats ...Stats) Stats {
+	var out Stats
+	for _, s := range stats {
+		out.Seeks += s.Seeks
+		out.BlocksRead += s.BlocksRead
+		out.BlocksWritten += s.BlocksWritten
+		out.BytesRead += s.BytesRead
+		out.BytesWritten += s.BytesWritten
+		out.Allocs += s.Allocs
+		out.Frees += s.Frees
+		out.UsedBlocks += s.UsedBlocks
+		out.PeakBlocks += s.PeakBlocks
+		out.SimTime += s.SimTime
+	}
+	return out
+}
+
 // allocator hands out contiguous extents using a first-fit free list.
 // The free list is kept sorted by start block and adjacent runs are
 // coalesced on free, so a store that frees everything returns to a single

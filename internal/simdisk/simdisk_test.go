@@ -379,3 +379,60 @@ func TestExtentHelpers(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsSubAndSum(t *testing.T) {
+	a := Stats{Seeks: 10, BlocksRead: 100, BytesRead: 4096, BytesWritten: 512,
+		Allocs: 3, Frees: 1, UsedBlocks: 40, PeakBlocks: 50, SimTime: 200 * time.Millisecond}
+	b := Stats{Seeks: 4, BlocksRead: 30, BytesRead: 1024, BytesWritten: 512,
+		Allocs: 2, Frees: 1, UsedBlocks: 35, PeakBlocks: 50, SimTime: 80 * time.Millisecond}
+	d := a.Sub(b)
+	if d.Seeks != 6 || d.BlocksRead != 70 || d.BytesRead != 3072 || d.BytesWritten != 0 {
+		t.Fatalf("Sub cumulative fields wrong: %+v", d)
+	}
+	if d.SimTime != 120*time.Millisecond {
+		t.Fatalf("Sub SimTime = %v, want 120ms", d.SimTime)
+	}
+	// Occupancy is a level: the delta keeps the newer snapshot's values.
+	if d.UsedBlocks != 40 || d.PeakBlocks != 50 {
+		t.Fatalf("Sub occupancy fields = %d/%d, want 40/50", d.UsedBlocks, d.PeakBlocks)
+	}
+	sum := SumStats(a, b)
+	if sum.Seeks != 14 || sum.BlocksRead != 130 || sum.UsedBlocks != 75 || sum.PeakBlocks != 100 {
+		t.Fatalf("SumStats wrong: %+v", sum)
+	}
+	if sum.SimTime != 280*time.Millisecond {
+		t.Fatalf("SumStats SimTime = %v, want 280ms", sum.SimTime)
+	}
+	if z := SumStats(); z != (Stats{}) {
+		t.Fatalf("SumStats() = %+v, want zero", z)
+	}
+}
+
+// TestStatsSubAttributesWork checks the snapshot-delta idiom against a
+// live store: the delta of two snapshots around a read covers exactly
+// that read's charges.
+func TestStatsSubAttributesWork(t *testing.T) {
+	s := NewRAM(Config{BlockSize: 64})
+	defer s.Close()
+	ext, err := s.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(ext, 0, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if err := s.ReadAt(ext, 0, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Stats().Sub(before)
+	if d.BlocksRead != 4 || d.BytesRead != 256 {
+		t.Fatalf("delta = %+v, want 4 blocks / 256 bytes read", d)
+	}
+	if d.Seeks == 0 || d.SimTime <= 0 {
+		t.Fatalf("delta charged no disk time: %+v", d)
+	}
+	if d.BytesWritten != 0 || d.Allocs != 0 {
+		t.Fatalf("delta leaked pre-snapshot work: %+v", d)
+	}
+}

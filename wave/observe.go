@@ -1,0 +1,289 @@
+package wave
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/metrics"
+	"waveindex/internal/simdisk"
+)
+
+// This file is the index's observability surface: a per-index metrics
+// registry (queries, transitions, simulated disk work), a structured
+// trace hook, and a ring-buffer slow-query log. Everything is optional —
+// with Config.DisableMetrics, no Trace, and no slow-query threshold a
+// query pays a few nil checks.
+
+// Tracer receives structured span events from the index: whole-query
+// spans ("probe", "mprobe", "scan"), per-constituent engine spans
+// ("probe.constituent", "mprobe.constituent", "scan.constituent"),
+// transition phases ("transition.pre", "transition.work",
+// "transition.post"), and snapshot persistence ("snapshot.save",
+// "snapshot.load"). Implementations must be safe for concurrent use.
+type Tracer = core.Tracer
+
+// TraceEvent is one span delivered to a Tracer.
+type TraceEvent = core.TraceEvent
+
+// MetricsSnapshot is a point-in-time copy of the index's metrics,
+// returned by Index.Metrics.
+type MetricsSnapshot = metrics.Snapshot
+
+// SlowQuery is one slow-query log entry.
+type SlowQuery struct {
+	// Kind is "probe", "mprobe", or "scan".
+	Kind string
+	// Key is the probed search value ("" for scans); Keys the batch size
+	// of a multi-probe.
+	Key  string
+	Keys int
+	// From and To delimit the queried day range.
+	From, To int
+	// Start is when the query began; Duration its wall-clock length.
+	Start    time.Time
+	Duration time.Duration
+	// Entries counts the entries returned or visited.
+	Entries int
+	// Err is the query's error text, "" on success.
+	Err string
+}
+
+// slowLog is a fixed-size ring of the most recent slow queries.
+type slowLog struct {
+	threshold atomic.Int64 // nanoseconds; <= 0 disables the log
+
+	mu   sync.Mutex
+	buf  []SlowQuery
+	next int
+	full bool
+}
+
+func (l *slowLog) record(q SlowQuery) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) == 0 {
+		return
+	}
+	l.buf[l.next] = q
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+}
+
+// entries returns the logged queries, most recent first.
+func (l *slowLog) entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, l.buf[(l.next-1-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}
+
+// defaultSlowLogSize is the slow-query ring's capacity when
+// Config.SlowLogSize is 0.
+const defaultSlowLogSize = 128
+
+// observability bundles an index's instrumentation: the registry and its
+// bound handles, the tracer, the slow-query log, and the transition
+// observer. Handles are nil-safe, so a disabled registry records
+// nothing.
+type observability struct {
+	reg    *metrics.Registry
+	tracer Tracer
+	stores []*simdisk.Store
+
+	probes, mprobes, scans    *metrics.Counter
+	probeUS, mprobeUS, scanUS *metrics.Histogram
+	queryErrs, queryCanceled  *metrics.Counter
+	diskSeeks, diskBlocks     *metrics.Counter
+	diskSimUS                 *metrics.Histogram
+	ingestDays                *metrics.Counter
+	ingestUS                  *metrics.Histogram
+	saveUS, loadUS            *metrics.Histogram
+	slowTotal                 *metrics.Counter
+
+	slow slowLog
+	mobs *core.MetricsObserver
+}
+
+// newObservability wires instrumentation for one index. With
+// DisableMetrics the registry is nil and every handle is a no-op; the
+// tracer and slow log still work if configured.
+func newObservability(cfg Config, stores []*simdisk.Store) *observability {
+	var reg *metrics.Registry
+	if !cfg.DisableMetrics {
+		reg = metrics.New()
+	}
+	ob := &observability{
+		reg:           reg,
+		tracer:        cfg.Trace,
+		stores:        stores,
+		probes:        reg.Counter("query_probe_total"),
+		mprobes:       reg.Counter("query_mprobe_total"),
+		scans:         reg.Counter("query_scan_total"),
+		probeUS:       reg.Histogram("query_probe_us"),
+		mprobeUS:      reg.Histogram("query_mprobe_us"),
+		scanUS:        reg.Histogram("query_scan_us"),
+		queryErrs:     reg.Counter("query_error_total"),
+		queryCanceled: reg.Counter("query_canceled_total"),
+		diskSeeks:     reg.Counter("query_disk_seeks_total"),
+		diskBlocks:    reg.Counter("query_disk_blocks_read_total"),
+		diskSimUS:     reg.Histogram("query_disk_sim_us"),
+		ingestDays:    reg.Counter("ingest_days_total"),
+		ingestUS:      reg.Histogram("ingest_us"),
+		saveUS:        reg.Histogram("snapshot_save_us"),
+		loadUS:        reg.Histogram("snapshot_load_us"),
+		slowTotal:     reg.Counter("slow_query_total"),
+	}
+	size := cfg.SlowLogSize
+	if size == 0 {
+		size = defaultSlowLogSize
+	}
+	if size > 0 {
+		ob.slow.buf = make([]SlowQuery, size)
+	}
+	ob.slow.threshold.Store(int64(cfg.SlowQueryThreshold))
+	if reg != nil || cfg.Trace != nil {
+		ob.mobs = core.NewMetricsObserver(core.NewTransitionMetrics(reg), cfg.Trace)
+	}
+	return ob
+}
+
+// coreObserver returns the observer to wire into the scheme and backend,
+// or nil when transitions are uninstrumented.
+func (ob *observability) coreObserver() core.Observer {
+	if ob.mobs == nil {
+		return nil
+	}
+	return ob.mobs
+}
+
+// queryMetrics returns the engine-level handles to install on the wave.
+func (ob *observability) queryMetrics() core.QueryMetrics {
+	return core.QueryMetrics{
+		Constituents: ob.reg.Counter("query_constituents_total"),
+		Workers:      ob.reg.Histogram("query_workers"),
+		MergeDepth:   ob.reg.Histogram("scan_merge_depth"),
+		EarlyStops:   ob.reg.Counter("scan_early_stop_total"),
+	}
+}
+
+// active reports whether per-query bookkeeping is needed at all.
+func (ob *observability) active() bool {
+	return ob.reg != nil || ob.tracer != nil || ob.slow.threshold.Load() > 0
+}
+
+// diskStats sums the block stores' counters.
+func (ob *observability) diskStats() simdisk.Stats {
+	var out simdisk.Stats
+	for _, s := range ob.stores {
+		out = simdisk.SumStats(out, s.Stats())
+	}
+	return out
+}
+
+// begin opens a query observation; pass its results to end.
+func (ob *observability) begin() (time.Time, simdisk.Stats, bool) {
+	if !ob.active() {
+		return time.Time{}, simdisk.Stats{}, false
+	}
+	return time.Now(), ob.diskStats(), true
+}
+
+// end closes a query observation: it records latency and per-query disk
+// deltas, feeds the slow-query log, and emits the whole-query span.
+// The disk delta is the stores' counter movement during the query —
+// exact when queries run alone, approximate under concurrency.
+func (ob *observability) end(kind, key string, keys, from, to, entries int, start time.Time, before simdisk.Stats, err error) {
+	d := time.Since(start)
+	var count *metrics.Counter
+	var lat *metrics.Histogram
+	switch kind {
+	case "probe":
+		count, lat = ob.probes, ob.probeUS
+	case "mprobe":
+		count, lat = ob.mprobes, ob.mprobeUS
+	default:
+		count, lat = ob.scans, ob.scanUS
+	}
+	count.Inc()
+	lat.Observe(d.Microseconds())
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		ob.queryCanceled.Inc()
+	case err != nil:
+		ob.queryErrs.Inc()
+	}
+	delta := ob.diskStats().Sub(before)
+	ob.diskSeeks.Add(delta.Seeks)
+	ob.diskBlocks.Add(delta.BlocksRead)
+	ob.diskSimUS.Observe(delta.SimTime.Microseconds())
+	if th := ob.slow.threshold.Load(); th > 0 && int64(d) >= th {
+		ob.slowTotal.Inc()
+		q := SlowQuery{
+			Kind: kind, Key: key, Keys: keys, From: from, To: to,
+			Start: start, Duration: d, Entries: entries,
+		}
+		if err != nil {
+			q.Err = err.Error()
+		}
+		ob.slow.record(q)
+	}
+	if ob.tracer != nil {
+		ob.tracer.TraceEvent(TraceEvent{
+			Kind: kind, Start: start, Duration: d,
+			Key: key, Keys: keys, From: from, To: to,
+			Constituent: -1, Entries: entries, Err: err,
+		})
+	}
+}
+
+// Metrics returns a snapshot of the index's metrics: query latency
+// histograms (microseconds), transition phase timings, per-query and
+// cumulative simulated-disk counters, and engine statistics. With
+// Config.DisableMetrics the snapshot is empty.
+func (x *Index) Metrics() MetricsSnapshot {
+	ob := x.obs
+	if ob.reg != nil {
+		// Export the stores' cumulative counters as gauges so one snapshot
+		// carries both per-query attribution and device totals.
+		d := ob.diskStats()
+		ob.reg.Gauge("disk_seeks").Set(d.Seeks)
+		ob.reg.Gauge("disk_blocks_read").Set(d.BlocksRead)
+		ob.reg.Gauge("disk_blocks_written").Set(d.BlocksWritten)
+		ob.reg.Gauge("disk_sim_ms").Set(d.SimTime.Milliseconds())
+		ob.reg.Gauge("disk_used_blocks").Set(d.UsedBlocks)
+		ob.reg.Gauge("disk_peak_blocks").Set(d.PeakBlocks)
+	}
+	return ob.reg.Snapshot()
+}
+
+// SlowQueries returns the slow-query log, most recent first. The log is
+// populated when a query's wall time reaches the configured threshold
+// (Config.SlowQueryThreshold or SetSlowQueryThreshold).
+func (x *Index) SlowQueries() []SlowQuery {
+	return x.obs.slow.entries()
+}
+
+// SetSlowQueryThreshold sets the slow-query log's latency threshold at
+// runtime; d <= 0 disables the log.
+func (x *Index) SetSlowQueryThreshold(d time.Duration) {
+	x.obs.slow.threshold.Store(int64(d))
+}
+
+// SlowQueryThreshold returns the current slow-query threshold (0 when
+// the log is disabled).
+func (x *Index) SlowQueryThreshold() time.Duration {
+	return time.Duration(x.obs.slow.threshold.Load())
+}

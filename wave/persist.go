@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"waveindex/internal/core"
 	"waveindex/internal/index"
@@ -27,6 +28,16 @@ func (x *Index) SaveSnapshot(w io.Writer) error {
 	if len(x.stores) > 1 {
 		return errors.New("wave: snapshot of a multi-store index is not supported")
 	}
+	start := time.Now()
+	defer func() {
+		x.obs.saveUS.Observe(time.Since(start).Microseconds())
+		if x.obs.tracer != nil {
+			x.obs.tracer.TraceEvent(TraceEvent{
+				Kind: "snapshot.save", Start: start, Duration: time.Since(start),
+				Day: x.nextDay - 1, Constituent: -1,
+			})
+		}
+	}()
 	ww := wire.NewWriter(w)
 	ww.Magic(snapshotMagic)
 	ww.Int(x.cfg.Window)
@@ -60,8 +71,31 @@ func (x *Index) SaveSnapshot(w io.Writer) error {
 
 // Load rebuilds an index from SaveSnapshot's output. The restored index
 // uses the saved configuration (including StorePath: a file-backed index
-// is rebuilt into that file).
+// is rebuilt into that file). Trace hooks are not serialised; use
+// LoadWithTrace to re-attach one.
 func Load(r io.Reader) (*Index, error) {
+	return LoadWithTrace(r, nil)
+}
+
+// LoadWithTrace is Load with a tracer attached to the restored index; it
+// also emits a "snapshot.load" span covering the rebuild.
+func LoadWithTrace(r io.Reader, tr Tracer) (*Index, error) {
+	start := time.Now()
+	x, err := load(r, tr)
+	if err != nil {
+		return nil, err
+	}
+	x.obs.loadUS.Observe(time.Since(start).Microseconds())
+	if tr != nil {
+		tr.TraceEvent(TraceEvent{
+			Kind: "snapshot.load", Start: start, Duration: time.Since(start),
+			Day: x.nextDay - 1, Constituent: -1,
+		})
+	}
+	return x, nil
+}
+
+func load(r io.Reader, tr Tracer) (*Index, error) {
 	rr := wire.NewReader(r)
 	rr.Expect(snapshotMagic)
 	cfg := Config{
@@ -102,6 +136,8 @@ func Load(r io.Reader) (*Index, error) {
 		store.Close()
 		return nil, fmt.Errorf("wave: load: %w", err)
 	}
+	cfg.Trace = tr
+	ob := newObservability(cfg, []*simdisk.Store{store})
 	var bs simdisk.BlockStore = store
 	if cfg.CacheBlocks > 0 {
 		bs = simdisk.NewCache(store, cfg.CacheBlocks)
@@ -109,33 +145,32 @@ func Load(r io.Reader) (*Index, error) {
 	bk := core.NewDataBackend(bs, index.Options{
 		Dir:    cfg.Directory,
 		Growth: cfg.GrowthFactor,
-	}, src, nil)
+	}, src, ob.coreObserver())
 
-	x := &Index{cfg: cfg, stores: []*simdisk.Store{store}, src: src, nextDay: nextDay, ready: ready}
+	ccfg := core.Config{
+		W:         cfg.Window,
+		N:         cfg.Indexes,
+		Technique: cfg.Update,
+		StartDay:  cfg.FirstDay,
+		Observer:  ob.coreObserver(),
+	}
+	x := &Index{cfg: cfg, stores: []*simdisk.Store{store}, src: src, obs: ob, nextDay: nextDay, ready: ready}
 	if ready {
-		scheme, err := core.LoadScheme(core.Config{
-			W:         cfg.Window,
-			N:         cfg.Indexes,
-			Technique: cfg.Update,
-			StartDay:  cfg.FirstDay,
-		}, bk, bytes.NewReader(schBlob))
+		scheme, err := core.LoadScheme(ccfg, bk, bytes.NewReader(schBlob))
 		if err != nil {
 			store.Close()
 			return nil, fmt.Errorf("wave: load: %w", err)
 		}
 		x.scheme = scheme
 	} else {
-		scheme, err := core.NewScheme(cfg.Scheme, core.Config{
-			W:         cfg.Window,
-			N:         cfg.Indexes,
-			Technique: cfg.Update,
-			StartDay:  cfg.FirstDay,
-		}, bk)
+		scheme, err := core.NewScheme(cfg.Scheme, ccfg, bk)
 		if err != nil {
 			store.Close()
 			return nil, err
 		}
 		x.scheme = scheme
 	}
+	qm := ob.queryMetrics()
+	x.scheme.Wave().SetInstrumentation(&qm, tr)
 	return x, nil
 }

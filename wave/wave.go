@@ -21,9 +21,11 @@
 package wave
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"waveindex/internal/core"
 	"waveindex/internal/index"
@@ -102,6 +104,9 @@ var (
 	ErrBadDay = errors.New("wave: days must be added consecutively")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("wave: index closed")
+	// ErrBadConfig wraps every configuration validation error returned by
+	// New and Load; test with errors.Is.
+	ErrBadConfig = errors.New("wave: bad config")
 )
 
 // Config configures a wave index.
@@ -140,11 +145,26 @@ type Config struct {
 	CacheBlocks int
 	// FirstDay is the day number of the first batch. 0 means 1.
 	FirstDay int
+	// Trace, when non-nil, receives structured span events for queries
+	// (whole-query and per-constituent), transition phases, and snapshot
+	// persistence. Implementations must be safe for concurrent use.
+	Trace Tracer
+	// SlowQueryThreshold enables the slow-query log: queries at or above
+	// this wall time are recorded in a ring buffer readable via
+	// SlowQueries. 0 disables the log (it can be enabled later with
+	// SetSlowQueryThreshold).
+	SlowQueryThreshold time.Duration
+	// SlowLogSize is the slow-query ring's capacity. 0 means 128; a
+	// negative value disables the ring entirely.
+	SlowLogSize int
+	// DisableMetrics turns the per-index metrics registry off: Metrics
+	// returns an empty snapshot and queries skip all counter updates.
+	DisableMetrics bool
 }
 
 func (c Config) normalized() (Config, error) {
 	if c.Window < 1 {
-		return c, fmt.Errorf("wave: Window = %d, must be >= 1", c.Window)
+		return c, fmt.Errorf("%w: Window = %d, must be >= 1", ErrBadConfig, c.Window)
 	}
 	if c.Indexes == 0 {
 		c.Indexes = 4
@@ -156,25 +176,28 @@ func (c Config) normalized() (Config, error) {
 		}
 	}
 	if min := c.Scheme.MinN(); c.Indexes < min {
-		return c, fmt.Errorf("wave: scheme %s requires at least %d indexes", c.Scheme, min)
+		return c, fmt.Errorf("%w: scheme %s requires at least %d indexes", ErrBadConfig, c.Scheme, min)
 	}
 	if c.Indexes > c.Window {
-		return c, fmt.Errorf("wave: Indexes = %d exceeds Window = %d", c.Indexes, c.Window)
+		return c, fmt.Errorf("%w: Indexes = %d exceeds Window = %d", ErrBadConfig, c.Indexes, c.Window)
 	}
 	if c.FirstDay == 0 {
 		c.FirstDay = 1
 	}
 	if c.FirstDay < 1 {
-		return c, fmt.Errorf("wave: FirstDay = %d, must be >= 1", c.FirstDay)
+		return c, fmt.Errorf("%w: FirstDay = %d, must be >= 1", ErrBadConfig, c.FirstDay)
 	}
 	if c.Stores < 0 {
-		return c, fmt.Errorf("wave: Stores = %d, must be >= 0", c.Stores)
+		return c, fmt.Errorf("%w: Stores = %d, must be >= 0", ErrBadConfig, c.Stores)
 	}
 	if c.Stores == 0 {
 		c.Stores = 1
 	}
 	if c.Parallelism < 0 {
-		return c, fmt.Errorf("wave: Parallelism = %d, must be >= 0", c.Parallelism)
+		return c, fmt.Errorf("%w: Parallelism = %d, must be >= 0", ErrBadConfig, c.Parallelism)
+	}
+	if c.SlowQueryThreshold < 0 {
+		return c, fmt.Errorf("%w: SlowQueryThreshold = %v, must be >= 0", ErrBadConfig, c.SlowQueryThreshold)
 	}
 	return c, nil
 }
@@ -188,6 +211,7 @@ type Index struct {
 	stores []*simdisk.Store
 	src    *core.MemorySource
 	scheme core.Scheme
+	obs    *observability
 
 	mu      sync.Mutex // guards the fields below and mutating methods
 	nextDay int
@@ -241,13 +265,14 @@ func New(cfg Config) (*Index, error) {
 	// old days when rebuilding clusters.
 	src := core.NewMemorySource(cfg.Window + 2)
 	opts := index.Options{Dir: cfg.Directory, Growth: cfg.GrowthFactor}
+	ob := newObservability(cfg, stores)
 	var bk core.Backend
 	if len(stores) == 1 {
 		var bs simdisk.BlockStore = stores[0]
 		if cfg.CacheBlocks > 0 {
 			bs = simdisk.NewCache(stores[0], cfg.CacheBlocks)
 		}
-		bk = core.NewDataBackend(bs, opts, src, nil)
+		bk = core.NewDataBackend(bs, opts, src, ob.coreObserver())
 	} else {
 		pool := make([]simdisk.BlockStore, len(stores))
 		for i, st := range stores {
@@ -257,7 +282,7 @@ func New(cfg Config) (*Index, error) {
 				pool[i] = st
 			}
 		}
-		bk, err = core.NewMultiDiskBackend(pool, opts, src, nil)
+		bk, err = core.NewMultiDiskBackend(pool, opts, src, ob.coreObserver())
 		if err != nil {
 			closeStores()
 			return nil, err
@@ -268,6 +293,7 @@ func New(cfg Config) (*Index, error) {
 		N:         cfg.Indexes,
 		Technique: cfg.Update,
 		StartDay:  cfg.FirstDay,
+		Observer:  ob.coreObserver(),
 	}, bk)
 	if err != nil {
 		closeStores()
@@ -279,7 +305,9 @@ func New(cfg Config) (*Index, error) {
 		// One query worker per device: more adds no disk parallelism.
 		scheme.Wave().SetParallelism(len(stores))
 	}
-	return &Index{cfg: cfg, stores: stores, src: src, scheme: scheme, nextDay: cfg.FirstDay}, nil
+	qm := ob.queryMetrics()
+	scheme.Wave().SetInstrumentation(&qm, cfg.Trace)
+	return &Index{cfg: cfg, stores: stores, src: src, scheme: scheme, obs: ob, nextDay: cfg.FirstDay}, nil
 }
 
 // AddDay ingests one day's postings. Days must arrive consecutively
@@ -295,18 +323,26 @@ func (x *Index) AddDay(day int, postings []Posting) error {
 	if day != x.nextDay {
 		return fmt.Errorf("%w: got day %d, want %d", ErrBadDay, day, x.nextDay)
 	}
+	start := time.Now()
 	x.src.Put(&index.Batch{Day: day, Postings: postings})
 	x.nextDay++
-	if !x.ready {
-		if day-x.cfg.FirstDay+1 == x.cfg.Window {
-			if err := x.scheme.Start(); err != nil {
-				return err
+	err := func() error {
+		if !x.ready {
+			if day-x.cfg.FirstDay+1 == x.cfg.Window {
+				if err := x.scheme.Start(); err != nil {
+					return err
+				}
+				x.ready = true
 			}
-			x.ready = true
+			return nil
 		}
-		return nil
+		return x.scheme.Transition(day)
+	}()
+	if err == nil {
+		x.obs.ingestDays.Inc()
+		x.obs.ingestUS.Observe(time.Since(start).Microseconds())
 	}
-	return x.scheme.Transition(day)
+	return err
 }
 
 // Ready reports whether Window days have been ingested and the index
@@ -334,20 +370,38 @@ func (x *Index) Window() (from, to int) {
 func (x *Index) HardWindow() bool { return x.scheme.HardWindow() }
 
 // Probe returns the entries for key within the current required window,
-// ordered by (day, record).
+// ordered by (day, record). The query engine issues the per-constituent
+// reads concurrently when its pool allows it; with Parallelism 1 the
+// reads run sequentially on the caller's goroutine.
 func (x *Index) Probe(key string) ([]Entry, error) {
+	return x.ProbeCtx(context.Background(), key)
+}
+
+// ProbeCtx is Probe with cancellation: once ctx is done the query stops
+// issuing constituent reads and returns ctx's error.
+func (x *Index) ProbeCtx(ctx context.Context, key string) ([]Entry, error) {
 	from, to := x.Window()
-	return x.ProbeRange(key, from, to)
+	return x.ProbeRangeCtx(ctx, key, from, to)
 }
 
 // ProbeRange returns the entries for key inserted between day from and to
 // (inclusive). This is the paper's TimedIndexProbe: only constituents
 // whose clusters intersect the range are read.
 func (x *Index) ProbeRange(key string, from, to int) ([]Entry, error) {
+	return x.ProbeRangeCtx(context.Background(), key, from, to)
+}
+
+// ProbeRangeCtx is ProbeRange with cancellation.
+func (x *Index) ProbeRangeCtx(ctx context.Context, key string, from, to int) ([]Entry, error) {
 	if err := x.queryable(); err != nil {
 		return nil, err
 	}
-	return x.scheme.Wave().TimedIndexProbe(key, from, to)
+	start, before, track := x.obs.begin()
+	es, err := x.scheme.Wave().ParallelTimedIndexProbeCtx(ctx, key, from, to)
+	if track {
+		x.obs.end("probe", key, 0, from, to, len(es), start, before, err)
+	}
+	return es, err
 }
 
 // queryable checks the index is open and ready.
@@ -363,15 +417,12 @@ func (x *Index) queryable() error {
 	return nil
 }
 
-// ProbeParallel is Probe with the per-constituent reads issued
-// concurrently — useful when constituents live on independent devices
-// (the paper's §8).
+// ProbeParallel is Probe: the engine now picks the parallelism for every
+// probe (the paper's §8 multi-device reads).
+//
+// Deprecated: use Probe (or ProbeCtx).
 func (x *Index) ProbeParallel(key string) ([]Entry, error) {
-	if err := x.queryable(); err != nil {
-		return nil, err
-	}
-	from, to := x.Window()
-	return x.scheme.Wave().ParallelTimedIndexProbe(key, from, to)
+	return x.Probe(key)
 }
 
 // MultiProbe probes a batch of keys within the current window in one
@@ -380,16 +431,35 @@ func (x *Index) ProbeParallel(key string) ([]Entry, error) {
 // concurrently on the query engine. The result maps each key with
 // entries to its (day, record)-ordered entry list.
 func (x *Index) MultiProbe(keys []string) (map[string][]Entry, error) {
+	return x.MultiProbeCtx(context.Background(), keys)
+}
+
+// MultiProbeCtx is MultiProbe with cancellation.
+func (x *Index) MultiProbeCtx(ctx context.Context, keys []string) (map[string][]Entry, error) {
 	from, to := x.Window()
-	return x.MultiProbeRange(keys, from, to)
+	return x.MultiProbeRangeCtx(ctx, keys, from, to)
 }
 
 // MultiProbeRange is MultiProbe over days [from, to].
 func (x *Index) MultiProbeRange(keys []string, from, to int) (map[string][]Entry, error) {
+	return x.MultiProbeRangeCtx(context.Background(), keys, from, to)
+}
+
+// MultiProbeRangeCtx is MultiProbeRange with cancellation.
+func (x *Index) MultiProbeRangeCtx(ctx context.Context, keys []string, from, to int) (map[string][]Entry, error) {
 	if err := x.queryable(); err != nil {
 		return nil, err
 	}
-	return x.scheme.Wave().MultiProbe(keys, from, to)
+	start, before, track := x.obs.begin()
+	m, err := x.scheme.Wave().MultiProbeCtx(ctx, keys, from, to)
+	if track {
+		entries := 0
+		for _, es := range m {
+			entries += len(es)
+		}
+		x.obs.end("mprobe", "", len(keys), from, to, entries, start, before, err)
+	}
+	return m, err
 }
 
 // SetParallelism resizes the query engine's worker pool; in-flight
@@ -403,16 +473,37 @@ func (x *Index) Parallelism() int { return x.scheme.Wave().Parallelism() }
 // constituent key order; fn returning false stops the scan. This is the
 // paper's TimedSegmentScan clamped to the window.
 func (x *Index) Scan(fn func(key string, e Entry) bool) error {
+	return x.ScanCtx(context.Background(), fn)
+}
+
+// ScanCtx is Scan with cancellation: the merge stops between key groups
+// once ctx is done and the scan returns ctx's error.
+func (x *Index) ScanCtx(ctx context.Context, fn func(key string, e Entry) bool) error {
 	from, to := x.Window()
-	return x.ScanRange(from, to, fn)
+	return x.ScanRangeCtx(ctx, from, to, fn)
 }
 
 // ScanRange visits every entry inserted between day from and to.
 func (x *Index) ScanRange(from, to int, fn func(key string, e Entry) bool) error {
+	return x.ScanRangeCtx(context.Background(), from, to, fn)
+}
+
+// ScanRangeCtx is ScanRange with cancellation.
+func (x *Index) ScanRangeCtx(ctx context.Context, from, to int, fn func(key string, e Entry) bool) error {
 	if err := x.queryable(); err != nil {
 		return err
 	}
-	return x.scheme.Wave().TimedSegmentScan(from, to, fn)
+	start, before, track := x.obs.begin()
+	if !track {
+		return x.scheme.Wave().TimedSegmentScanCtx(ctx, from, to, fn)
+	}
+	entries := 0
+	err := x.scheme.Wave().TimedSegmentScanCtx(ctx, from, to, func(key string, e Entry) bool {
+		entries++
+		return fn(key, e)
+	})
+	x.obs.end("scan", "", 0, from, to, entries, start, before, err)
+	return err
 }
 
 // Stats reports resource usage.
@@ -468,19 +559,9 @@ func (x *Index) Stats() Stats {
 	}
 	st.PerStore = make([]simdisk.Stats, len(x.stores))
 	for i, s := range x.stores {
-		ss := s.Stats()
-		st.PerStore[i] = ss
-		st.Store.Seeks += ss.Seeks
-		st.Store.BlocksRead += ss.BlocksRead
-		st.Store.BlocksWritten += ss.BlocksWritten
-		st.Store.BytesRead += ss.BytesRead
-		st.Store.BytesWritten += ss.BytesWritten
-		st.Store.Allocs += ss.Allocs
-		st.Store.Frees += ss.Frees
-		st.Store.UsedBlocks += ss.UsedBlocks
-		st.Store.PeakBlocks += ss.PeakBlocks
-		st.Store.SimTime += ss.SimTime
+		st.PerStore[i] = s.Stats()
 	}
+	st.Store = simdisk.SumStats(st.PerStore...)
 	return st
 }
 
@@ -492,6 +573,9 @@ func (x *Index) Close() error {
 		return ErrClosed
 	}
 	x.closed = true
+	if x.obs.mobs != nil {
+		x.obs.mobs.Flush() // close the last transition's post-work timing
+	}
 	err := x.scheme.Close()
 	for _, s := range x.stores {
 		if cerr := s.Close(); err == nil {
