@@ -2,12 +2,13 @@ GO ?= go
 
 # `make check` is the full pre-commit gate: static analysis, a clean
 # build, the race-enabled test suite, a one-iteration smoke of the
-# parallel-query benchmarks, and a metrics-overhead smoke (the
+# parallel-query benchmarks, a metrics-overhead smoke (the
 # instrumented scan workload must complete alongside its
-# DisableMetrics twin).
-.PHONY: check vet build test race bench-smoke metrics-smoke
+# DisableMetrics twin), and the chaos smoke (every registered crash
+# point fires, recovers, and matches the reference, under -race).
+.PHONY: check vet build test race bench-smoke metrics-smoke chaos-smoke
 
-check: vet build race bench-smoke metrics-smoke
+check: vet build race bench-smoke metrics-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,3 +27,6 @@ bench-smoke:
 
 metrics-smoke:
 	$(GO) test -bench='MetricsOverhead' -benchtime=1x -run '^$$' .
+
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaos' ./wave/

@@ -7,6 +7,8 @@
 //	waved [-addr :7070] [-window 7] [-indexes 4]
 //	      [-scheme REINDEX] [-update simple-shadow] [-store path]
 //	      [-stores 1] [-parallel 0] [-slowlog-ms 0] [-trace]
+//	      [-journal dir] [-checkpoint-every 0]
+//	      [-read-timeout 0] [-shutdown-grace 5s]
 //
 // Try it:
 //
@@ -55,6 +57,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "query worker bound (0 = one per store, or per constituent)")
 	slowlogMS := flag.Int("slowlog-ms", 0, "slow-query log threshold in ms (0 = disabled; see SLOWLOG)")
 	trace := flag.Bool("trace", false, "log every trace span (queries, transitions, snapshots) to stderr")
+	journalDir := flag.String("journal", "", "transition journal directory (enables crash-safe ingestion + RECOVER)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the journal every N days (0 = default cadence)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-line read deadline (0 = none); guards stalled clients")
+	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "grace period draining in-flight queries on SIGINT")
 	flag.Parse()
 
 	kind, err := core.ParseKind(*schemeName)
@@ -86,24 +92,44 @@ func main() {
 	if *trace {
 		cfg.Trace = logTracer{log.New(os.Stderr, "trace: ", log.Lmicroseconds)}
 	}
-	idx, err := wave.New(cfg)
-	if err != nil {
-		log.Fatal(err)
+	opts := server.Options{ReadTimeout: *readTimeout}
+
+	var srv *server.Server
+	if *journalDir != "" {
+		st, err := wave.OpenJournalDir(*journalDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hadCkpt := st.HasCheckpoint()
+		jr, err := wave.OpenJournaled(cfg, st, wave.JournalOptions{CheckpointEvery: *ckptEvery})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jr.Close()
+		if hadCkpt {
+			log.Printf("waved: recovered journaled index from %s", *journalDir)
+		}
+		srv = server.NewJournaled(jr, opts)
+	} else {
+		idx, err := wave.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer idx.Close()
+		srv = server.NewWithOptions(idx, opts)
 	}
-	defer idx.Close()
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := server.New(idx)
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
 		fmt.Fprintln(os.Stderr, "shutting down")
-		srv.Close()
 		l.Close()
+		srv.Shutdown(*shutdownGrace)
 	}()
 	log.Printf("waved: serving %s wave index (W=%d, n=%d) on %s", kind, *window, *indexes, l.Addr())
 	if err := srv.Serve(l); err != nil {

@@ -107,6 +107,10 @@ type Config struct {
 	// Observer receives maintenance operations and publish events; nil
 	// means no observation.
 	Observer Observer
+	// Crash, when non-nil, arms named crash points inside the maintenance
+	// algorithms; transitions abort with ErrInjectedCrash when an armed
+	// point is reached. Used by the chaos/recovery tests.
+	Crash *CrashSet
 }
 
 func (c Config) withDefaults() Config {
@@ -267,15 +271,23 @@ func (b *base) transitionUpdate(slot int, del, add []int, newDay int) error {
 				if err := cur.DeleteDays(del...); err != nil {
 					return err
 				}
+				if err := b.crash(CPUpdateDeleted); err != nil {
+					return err
+				}
 			}
 			if len(add) > 0 {
 				if err := cur.AddDays(add...); err != nil {
 					return err
 				}
 			}
-			return nil
+			return b.crash(CPUpdateApplied)
 		})
 		if err != nil {
+			// The live constituent may be torn mid-mutation (a crash at a
+			// point boundary leaves it consistent, a raw IO fault may not);
+			// either way the slot no longer answers for its full time-set,
+			// so queries must skip it and report degradation.
+			b.wave.MarkBroken(slot)
 			return err
 		}
 		b.cfg.Observer.Publish(newDay)
@@ -283,6 +295,10 @@ func (b *base) transitionUpdate(slot int, del, add []int, newDay int) error {
 	case PackedShadow:
 		next, err := cur.PackedMerge(del, add)
 		if err != nil {
+			return err
+		}
+		if err := b.crash(CPUpdateMerged); err != nil {
+			next.Drop()
 			return err
 		}
 		return b.publishSwap(slot, next, newDay)
@@ -293,13 +309,19 @@ func (b *base) transitionUpdate(slot int, del, add []int, newDay int) error {
 		}
 		if len(del) > 0 {
 			if err := shadow.DeleteDays(del...); err != nil {
+				shadow.Drop()
 				return err
 			}
 		}
 		if len(add) > 0 {
 			if err := shadow.AddDays(add...); err != nil {
+				shadow.Drop()
 				return err
 			}
+		}
+		if err := b.crash(CPUpdateCloned); err != nil {
+			shadow.Drop()
+			return err
 		}
 		return b.publishSwap(slot, shadow, newDay)
 	}
@@ -350,13 +372,19 @@ func (b *base) deriveFrom(src Constituent, add []int) (Constituent, error) {
 // superseded index is dropped immediately when no query references it,
 // otherwise once the last such query finishes.
 func (b *base) publishSwap(slot int, c Constituent, newDay int) error {
+	if err := b.crash(CPPublishBefore); err != nil {
+		c.Drop()
+		return err
+	}
 	old := b.wave.Get(slot)
 	b.wave.Set(slot, c)
 	b.cfg.Observer.Publish(newDay)
 	if old != nil && old != c {
-		return b.wave.Retire(old)
+		if err := b.wave.Retire(old); err != nil {
+			return err
+		}
 	}
-	return nil
+	return b.crash(CPPublishAfter)
 }
 
 // closeAll drops every constituent and the given temps, including any

@@ -1,0 +1,204 @@
+// Crash points: named abort sites inside the six maintenance algorithms.
+// A chaos test arms a point via a CrashSet in the scheme's Config; when
+// the transition reaches the armed point it aborts with an error wrapping
+// ErrInjectedCrash, leaving the in-memory scheme in whatever torn state
+// the algorithm was in. Recovery then has to prove it can restore a clean
+// pre- or post-transition wave from the journal, no matter which point
+// fired. The CrashPoints registry enumerates which points a given
+// (algorithm, update technique) pair can actually reach, so tests can
+// cover every site without guessing.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjectedCrash is the root of every crash-point abort; test with
+// errors.Is.
+var ErrInjectedCrash = errors.New("core: injected crash")
+
+// Crash point names. Shared points live in the helpers every scheme uses;
+// scheme-specific points mark the steps between which a real crash would
+// leave distinct torn states.
+const (
+	// CPBegin fires at the top of every Transition, after validation but
+	// before any index work.
+	CPBegin = "transition.begin"
+	// CPUpdateDeleted fires between the in-place delete and the in-place
+	// add: the live constituent is missing the expired day and does not
+	// yet have the new one.
+	CPUpdateDeleted = "update.deleted"
+	// CPUpdateApplied fires after an in-place update mutated the live
+	// constituent but before the day is published.
+	CPUpdateApplied = "update.applied"
+	// CPUpdateCloned fires after a simple-shadow clone was built and
+	// updated, before it is swapped in.
+	CPUpdateCloned = "update.cloned"
+	// CPUpdateMerged fires after a packed-shadow merge was built, before
+	// the swap.
+	CPUpdateMerged = "update.merged"
+	// CPPublishBefore fires inside publishSwap just before the new
+	// constituent is installed.
+	CPPublishBefore = "publish.before"
+	// CPPublishAfter fires after the swap and retirement completed but
+	// before the transition's remaining bookkeeping runs.
+	CPPublishAfter = "publish.after"
+
+	// CPReindexBuilt fires after REINDEX built the replacement cluster.
+	CPReindexBuilt = "reindex.built"
+
+	// CPRxPlusTempBuilt fires after REINDEX+ built a fresh Temp on the
+	// first day of a rebuild cycle.
+	CPRxPlusTempBuilt = "reindex+.temp-built"
+	// CPRxPlusDerived fires after REINDEX+ derived the constituent
+	// replacement from Temp.
+	CPRxPlusDerived = "reindex+.derived"
+	// CPRxPlusPromoted fires on the last day of a REINDEX+ cycle, before
+	// Temp absorbs the new day and is promoted.
+	CPRxPlusPromoted = "reindex+.promoted"
+
+	// CPRxPPPromoted fires after REINDEX++ promoted a ladder rung, before
+	// the ladder bookkeeping that follows.
+	CPRxPPPromoted = "reindex++.promoted"
+	// CPRxPPLadder fires at a cycle boundary after the old ladder was
+	// dropped and before the new one is built: no ladder exists.
+	CPRxPPLadder = "reindex++.ladder-rebuild"
+	// CPRxPPRung fires mid-cycle after the consumed rung was published,
+	// before the lower rung absorbs the day's data.
+	CPRxPPRung = "reindex++.rung-consumed"
+
+	// CPWataThrown fires after WATA* threw a fully-expired constituent
+	// away and before its replacement is built: the slot is empty.
+	CPWataThrown = "wata.thrown"
+	// CPWataBuilt fires after WATA* built the replacement, before it is
+	// installed.
+	CPWataBuilt = "wata.built"
+
+	// CPRataThrown / CPRataBuilt mirror the WATA* points on RATA*'s
+	// throw-away days.
+	CPRataThrown = "rata.thrown"
+	CPRataBuilt  = "rata.built"
+	// CPRataRename fires on a RATA* wait day after the new day was
+	// appended but before the pre-built rung is renamed over the dying
+	// constituent.
+	CPRataRename = "rata.rename"
+	// CPRataLadder fires at a RATA* cycle boundary between dropping the
+	// consumed ladder and building the next one.
+	CPRataLadder = "rata.ladder-rebuild"
+)
+
+// CrashPlan is one armed crash point. It fires once, on the nth visit it
+// was armed for, and stays inert afterwards so recovery and continued
+// operation run past the point unharmed.
+type CrashPlan struct {
+	point string
+	after int64
+	seen  atomic.Int64
+	fired atomic.Int64
+}
+
+// Fired reports whether the plan aborted a transition.
+func (p *CrashPlan) Fired() bool { return p.fired.Load() > 0 }
+
+// Seen returns how many times execution reached the plan's point.
+func (p *CrashPlan) Seen() int64 { return p.seen.Load() }
+
+// CrashSet arms crash points for a scheme. The zero value of a nil
+// pointer is inert: schemes consult it on every step, and an unarmed set
+// costs one nil check.
+type CrashSet struct {
+	mu    sync.Mutex
+	armed map[string]*CrashPlan
+}
+
+// NewCrashSet returns an empty crash set.
+func NewCrashSet() *CrashSet { return &CrashSet{armed: map[string]*CrashPlan{}} }
+
+// Arm schedules a one-shot abort at the first visit of the named point,
+// replacing any previous plan for it.
+func (cs *CrashSet) Arm(point string) *CrashPlan { return cs.ArmAt(point, 0) }
+
+// ArmAt schedules a one-shot abort at the (n+1)th visit of the named
+// point.
+func (cs *CrashSet) ArmAt(point string, n int) *CrashPlan {
+	p := &CrashPlan{point: point, after: int64(n)}
+	cs.mu.Lock()
+	cs.armed[point] = p
+	cs.mu.Unlock()
+	return p
+}
+
+// Disarm removes the plan for the named point.
+func (cs *CrashSet) Disarm(point string) {
+	cs.mu.Lock()
+	delete(cs.armed, point)
+	cs.mu.Unlock()
+}
+
+// at reports whether the named point should abort the current transition.
+func (cs *CrashSet) at(point string) error {
+	if cs == nil {
+		return nil
+	}
+	cs.mu.Lock()
+	p := cs.armed[point]
+	cs.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	if p.seen.Add(1)-1 == p.after {
+		p.fired.Add(1)
+		return fmt.Errorf("crash point %q: %w", point, ErrInjectedCrash)
+	}
+	return nil
+}
+
+// crash consults the scheme's crash set at the named point.
+func (b *base) crash(point string) error { return b.cfg.Crash.at(point) }
+
+// CrashPoints returns the crash points reachable by the given algorithm
+// under the given update technique, assuming multi-day clusters (the
+// chaos tests use geometries where every listed point is hit within a few
+// window lengths of transitions).
+func CrashPoints(k Kind, t Technique) []string {
+	pts := []string{CPBegin}
+	// Points inside transitionUpdate, used by DEL always and by
+	// WATA*/RATA* on wait days.
+	usesUpdate := k == KindDEL || k == KindWATAStar || k == KindRATAStar
+	if usesUpdate {
+		switch t {
+		case InPlace:
+			if k == KindDEL {
+				pts = append(pts, CPUpdateDeleted)
+			}
+			pts = append(pts, CPUpdateApplied)
+		case SimpleShadow:
+			pts = append(pts, CPUpdateCloned)
+		case PackedShadow:
+			pts = append(pts, CPUpdateMerged)
+		}
+	}
+	// publishSwap runs for every REINDEX-family transition regardless of
+	// technique, and for DEL/WATA*/RATA* only via transitionUpdate's
+	// shadow paths.
+	if k == KindREINDEX || k == KindREINDEXPlus || k == KindREINDEXPlusPlus ||
+		(usesUpdate && t != InPlace) {
+		pts = append(pts, CPPublishBefore, CPPublishAfter)
+	}
+	switch k {
+	case KindREINDEX:
+		pts = append(pts, CPReindexBuilt)
+	case KindREINDEXPlus:
+		pts = append(pts, CPRxPlusTempBuilt, CPRxPlusDerived, CPRxPlusPromoted)
+	case KindREINDEXPlusPlus:
+		pts = append(pts, CPRxPPPromoted, CPRxPPLadder, CPRxPPRung)
+	case KindWATAStar:
+		pts = append(pts, CPWataThrown, CPWataBuilt)
+	case KindRATAStar:
+		pts = append(pts, CPRataThrown, CPRataBuilt, CPRataRename, CPRataLadder)
+	}
+	return pts
+}

@@ -37,6 +37,9 @@ func (s *DEL) Transition(newDay int) error {
 		return err
 	}
 	s.cfg.Observer.BeginTransition(newDay)
+	if err := s.crash(CPBegin); err != nil {
+		return err
+	}
 	expired := newDay - s.cfg.W
 	j := s.ownerOf(expired)
 	if err := s.transitionUpdate(j, []int{expired}, []int{newDay}, newDay); err != nil {

@@ -1,0 +1,275 @@
+// Transition journal: a typed record layer over simdisk.Log that makes
+// wave transitions crash-safe. The protocol is redo-only:
+//
+//  1. Before a day's transition runs, the day's batch is appended as a
+//     JBatch (intent) record and the log is synced — the fsync orders the
+//     intent before any index mutation.
+//  2. The transition runs. Publish events inside it may be appended as
+//     JStep records (step completion; advisory, never synced eagerly).
+//  3. After the transition completes, a JCommit record is appended; it
+//     rides to disk with the next day's sync.
+//
+// Recovery loads the last checkpoint snapshot and replays every durable
+// JBatch past the checkpoint in day order, re-running the (deterministic)
+// transitions: a crash anywhere inside a transition rolls forward to the
+// post-transition wave, and a crash before the intent record was durable
+// rolls back to the pre-transition wave — never a mix. A torn final
+// record (crash mid-sync) is detected by the log's checksums and treated
+// as absent. Checkpoints truncate the journal via Reset after the full
+// snapshot is durable.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+)
+
+// ErrCorruptJournal reports a journal record whose framing survived the
+// log's checksum but whose payload does not decode — a bug or deliberate
+// tampering, not a torn write.
+var ErrCorruptJournal = errors.New("core: corrupt journal record")
+
+// Journal record kinds.
+const (
+	// JBatch is an intent record: a day's full posting batch, made
+	// durable before the day's transition runs.
+	JBatch = 1
+	// JCommit marks a day's transition as completed.
+	JCommit = 2
+	// JStep marks a named step inside a day's transition (advisory).
+	JStep = 3
+)
+
+// JournalRecord is one decoded journal record.
+type JournalRecord struct {
+	Kind  int
+	Day   int
+	Batch *index.Batch // set for JBatch
+	Step  string       // set for JStep
+}
+
+// Journal is a transition journal over an append-only log.
+type Journal struct {
+	log *simdisk.Log
+}
+
+// NewJournal wraps a log in the journal record layer.
+func NewJournal(log *simdisk.Log) *Journal { return &Journal{log: log} }
+
+// Log exposes the underlying log (for fault injection and stats).
+func (j *Journal) Log() *simdisk.Log { return j.log }
+
+// AppendBatch appends a day's intent record. Not durable until Sync.
+func (j *Journal) AppendBatch(b *index.Batch) error {
+	var buf bytes.Buffer
+	buf.WriteByte(JBatch)
+	writeUvarint(&buf, uint64(b.Day))
+	writeUvarint(&buf, uint64(len(b.Postings)))
+	for _, p := range b.Postings {
+		writeUvarint(&buf, uint64(len(p.Key)))
+		buf.WriteString(p.Key)
+		writeUvarint(&buf, p.Entry.RecordID)
+		writeUvarint(&buf, uint64(p.Entry.Aux))
+		writeUvarint(&buf, uint64(uint32(p.Entry.Day)))
+	}
+	return j.log.Append(buf.Bytes())
+}
+
+// AppendCommit appends a day's completion record.
+func (j *Journal) AppendCommit(day int) error {
+	var buf bytes.Buffer
+	buf.WriteByte(JCommit)
+	writeUvarint(&buf, uint64(day))
+	return j.log.Append(buf.Bytes())
+}
+
+// AppendStep appends a named step-completion record for a day.
+func (j *Journal) AppendStep(day int, name string) error {
+	var buf bytes.Buffer
+	buf.WriteByte(JStep)
+	writeUvarint(&buf, uint64(day))
+	writeUvarint(&buf, uint64(len(name)))
+	buf.WriteString(name)
+	return j.log.Append(buf.Bytes())
+}
+
+// Sync makes all appended records durable.
+func (j *Journal) Sync() error { return j.log.Sync() }
+
+// Reset durably truncates the journal (after a checkpoint).
+func (j *Journal) Reset() error { return j.log.Reset() }
+
+// Close closes the underlying log.
+func (j *Journal) Close() error { return j.log.Close() }
+
+// Records decodes the durable journal. torn reports a partially-written
+// suffix (crash during a sync), which recovery treats as never written.
+func (j *Journal) Records() (recs []JournalRecord, torn bool, err error) {
+	raw, torn, err := j.log.Records()
+	if err != nil {
+		return nil, torn, err
+	}
+	for _, r := range raw {
+		rec, err := decodeRecord(r)
+		if err != nil {
+			return nil, torn, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, torn, nil
+}
+
+func decodeRecord(p []byte) (JournalRecord, error) {
+	d := recDecoder{p: p}
+	kind := d.byte()
+	switch kind {
+	case JBatch:
+		day := int(d.uvarint())
+		n := d.uvarint()
+		if d.err != nil {
+			return JournalRecord{}, d.fail()
+		}
+		// Cap the preallocation: n is read from disk and each posting
+		// needs at least 4 varint bytes, so a valid record cannot hold
+		// more postings than bytes.
+		b := &index.Batch{Day: day, Postings: make([]index.Posting, 0, min(int(n), len(p)/4))}
+		for i := uint64(0); i < n; i++ {
+			key := d.bytes()
+			rid := d.uvarint()
+			aux := d.uvarint()
+			eday := d.uvarint()
+			if d.err != nil {
+				return JournalRecord{}, d.fail()
+			}
+			b.Postings = append(b.Postings, index.Posting{
+				Key: string(key),
+				Entry: index.Entry{
+					RecordID: rid,
+					Aux:      uint32(aux),
+					Day:      int32(uint32(eday)),
+				},
+			})
+		}
+		return JournalRecord{Kind: JBatch, Day: day, Batch: b}, d.err
+	case JCommit:
+		day := int(d.uvarint())
+		if d.err != nil {
+			return JournalRecord{}, d.fail()
+		}
+		return JournalRecord{Kind: JCommit, Day: day}, nil
+	case JStep:
+		day := int(d.uvarint())
+		step := d.bytes()
+		if d.err != nil {
+			return JournalRecord{}, d.fail()
+		}
+		return JournalRecord{Kind: JStep, Day: day, Step: string(step)}, nil
+	}
+	return JournalRecord{}, fmt.Errorf("%w: unknown kind %d", ErrCorruptJournal, kind)
+}
+
+// recDecoder reads the journal's varint encoding with a sticky error.
+type recDecoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *recDecoder) fail() error {
+	if d.err == nil {
+		d.err = ErrCorruptJournal
+	}
+	return d.err
+}
+
+func (d *recDecoder) byte() int {
+	if d.err != nil || d.off >= len(d.p) {
+		d.fail()
+		return -1
+	}
+	b := d.p[d.off]
+	d.off++
+	return int(b)
+}
+
+func (d *recDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var v uint64
+	var shift uint
+	for {
+		if d.off >= len(d.p) || shift > 63 {
+			d.fail()
+			return 0
+		}
+		b := d.p[d.off]
+		d.off++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+	}
+}
+
+func (d *recDecoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.p)-d.off) {
+		d.fail()
+		return nil
+	}
+	out := d.p[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	for v >= 0x80 {
+		buf.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	buf.WriteByte(byte(v))
+}
+
+// StepRecorder is an Observer that appends advisory step-completion
+// records to the journal as transitions publish days. Append errors are
+// dropped: steps are diagnostics, not correctness state.
+type StepRecorder struct {
+	j *Journal
+
+	mu  sync.Mutex
+	day int
+}
+
+// NewStepRecorder returns a recorder writing to j.
+func NewStepRecorder(j *Journal) *StepRecorder { return &StepRecorder{j: j} }
+
+// BeginTransition implements Observer.
+func (r *StepRecorder) BeginTransition(newDay int) {
+	r.mu.Lock()
+	r.day = newDay
+	r.mu.Unlock()
+	_ = r.j.AppendStep(newDay, "begin")
+}
+
+// RecordOp implements Observer.
+func (r *StepRecorder) RecordOp(kind OpKind, days []int) {
+	r.mu.Lock()
+	day := r.day
+	r.mu.Unlock()
+	_ = r.j.AppendStep(day, kind.String())
+}
+
+// Publish implements Observer.
+func (r *StepRecorder) Publish(newDay int) {
+	_ = r.j.AppendStep(newDay, "publish")
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"waveindex/internal/index"
+	"waveindex/internal/simdisk"
+)
+
+func TestJournalRecordRoundTrip(t *testing.T) {
+	j := NewJournal(simdisk.NewRAMLog(simdisk.Config{}))
+	defer j.Close()
+	batch := &index.Batch{Day: 42, Postings: []index.Posting{
+		{Key: "alpha", Entry: index.Entry{RecordID: 7, Aux: 3, Day: 42}},
+		{Key: "", Entry: index.Entry{RecordID: 1 << 60, Aux: ^uint32(0), Day: 42}},
+	}}
+	if err := j.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendStep(42, "publish"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendCommit(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err := j.Records()
+	if err != nil || torn {
+		t.Fatalf("Records: torn=%v err=%v", torn, err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Kind != JBatch || recs[0].Day != 42 || !reflect.DeepEqual(recs[0].Batch, batch) {
+		t.Fatalf("batch record mismatch: %+v", recs[0])
+	}
+	if recs[1].Kind != JStep || recs[1].Step != "publish" || recs[1].Day != 42 {
+		t.Fatalf("step record mismatch: %+v", recs[1])
+	}
+	if recs[2].Kind != JCommit || recs[2].Day != 42 {
+		t.Fatalf("commit record mismatch: %+v", recs[2])
+	}
+}
+
+func TestJournalRejectsCorruptRecords(t *testing.T) {
+	// Records that pass the log's CRC framing but hold garbage payloads
+	// must decode to ErrCorruptJournal, never panic.
+	for _, raw := range [][]byte{
+		{},                    // empty
+		{99},                  // unknown kind
+		{JBatch, 0x80},        // truncated varint
+		{JBatch, 5, 200, 200}, // posting count with no postings
+		{JStep, 1, 0xff},      // step length exceeding payload
+	} {
+		log := simdisk.NewRAMLog(simdisk.Config{})
+		if err := log.Append(raw); err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		j := NewJournal(log)
+		if _, _, err := j.Records(); !errors.Is(err, ErrCorruptJournal) {
+			t.Errorf("payload %v: got %v, want ErrCorruptJournal", raw, err)
+		}
+		j.Close()
+	}
+}

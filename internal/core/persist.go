@@ -105,7 +105,10 @@ func LoadScheme(cfg Config, bk *DataBackend, r io.Reader) (Scheme, error) {
 	case *REINDEXPlusPlus:
 		if err = loadBase(rr, sc.base, bk); err == nil {
 			n := rr.Int()
-			sc.temps = make([]Constituent, 0, max(n, 0))
+			if n < 0 || n > cfg.W+1 {
+				return nil, fmt.Errorf("core: snapshot has %d temps, window is %d", n, cfg.W)
+			}
+			sc.temps = make([]Constituent, 0, n)
 			for i := 0; i < n && err == nil; i++ {
 				var t Constituent
 				t, err = loadOptional(rr, bk)
@@ -124,7 +127,10 @@ func LoadScheme(cfg Config, bk *DataBackend, r io.Reader) (Scheme, error) {
 			sc.zs = rr.Ints()
 			sc.last = rr.Int()
 			n := rr.Int()
-			sc.temps = make([]Constituent, 0, max(n, 0))
+			if n < 0 || n > cfg.W+1 {
+				return nil, fmt.Errorf("core: snapshot has %d temps, window is %d", n, cfg.W)
+			}
+			sc.temps = make([]Constituent, 0, n)
 			for i := 0; i < n && err == nil; i++ {
 				var t Constituent
 				t, err = loadOptional(rr, bk)
@@ -260,7 +266,11 @@ func LoadSource(r io.Reader) (*MemorySource, error) {
 		if err := rr.Err(); err != nil {
 			return nil, err
 		}
-		b := &index.Batch{Day: day, Postings: make([]index.Posting, 0, max(np, 0))}
+		// np is read from untrusted input: cap the preallocation so a
+		// corrupt count cannot demand unbounded memory up front. Every
+		// posting costs at least a dozen encoded bytes, so the slice grows
+		// organically to the true size if the record really is that large.
+		b := &index.Batch{Day: day, Postings: make([]index.Posting, 0, min(max(np, 0), 1<<16))}
 		for j := 0; j < np; j++ {
 			p := index.Posting{
 				Key: rr.String(),

@@ -96,6 +96,9 @@ func (s *RATAStar) Transition(newDay int) error {
 		return err
 	}
 	s.cfg.Observer.BeginTransition(newDay)
+	if err := s.crash(CPBegin); err != nil {
+		return err
+	}
 	expired := newDay - s.cfg.W
 	j := s.ownerOf(expired)
 	if j >= 0 && s.sumOther(j) == s.cfg.W-1 {
@@ -104,8 +107,18 @@ func (s *RATAStar) Transition(newDay int) error {
 		if err := s.wave.SetRetire(j, nil); err != nil {
 			return err
 		}
+		if err := s.crash(CPRataThrown); err != nil {
+			s.wave.MarkBroken(j)
+			return err
+		}
 		fresh, err := s.bk.Build(newDay)
 		if err != nil {
+			s.wave.MarkBroken(j)
+			return err
+		}
+		if err := s.crash(CPRataBuilt); err != nil {
+			fresh.Drop()
+			s.wave.MarkBroken(j)
 			return err
 		}
 		s.wave.Set(j, fresh)
@@ -113,6 +126,9 @@ func (s *RATAStar) Transition(newDay int) error {
 		s.zs[j] = 1
 		s.last = j
 		if err := s.dropLadder(); err != nil {
+			return err
+		}
+		if err := s.crash(CPRataLadder); err != nil {
 			return err
 		}
 		j2 := s.ownerOf(newDay - s.cfg.W + 1)
@@ -127,6 +143,9 @@ func (s *RATAStar) Transition(newDay int) error {
 			return err
 		}
 		s.zs[s.last]++
+		if err := s.crash(CPRataRename); err != nil {
+			return err
+		}
 		rung := s.temps[s.tempUsed]
 		s.temps[s.tempUsed] = nil
 		s.tempUsed--

@@ -36,6 +36,9 @@ func (s *REINDEX) Transition(newDay int) error {
 		return err
 	}
 	s.cfg.Observer.BeginTransition(newDay)
+	if err := s.crash(CPBegin); err != nil {
+		return err
+	}
 	expired := newDay - s.cfg.W
 	j := s.ownerOf(expired)
 	days := []int{}
@@ -47,6 +50,10 @@ func (s *REINDEX) Transition(newDay int) error {
 	days = append(days, newDay)
 	rebuilt, err := s.bk.Build(days...)
 	if err != nil {
+		return err
+	}
+	if err := s.crash(CPReindexBuilt); err != nil {
+		rebuilt.Drop()
 		return err
 	}
 	if err := s.publishSwap(j, rebuilt, newDay); err != nil {

@@ -37,6 +37,9 @@ func (s *REINDEXPlus) Transition(newDay int) error {
 		return err
 	}
 	s.cfg.Observer.BeginTransition(newDay)
+	if err := s.crash(CPBegin); err != nil {
+		return err
+	}
 	expired := newDay - s.cfg.W
 	j := s.ownerOf(expired)
 
@@ -58,6 +61,10 @@ func (s *REINDEXPlus) Transition(newDay int) error {
 		if err != nil {
 			return err
 		}
+		if err := s.crash(CPRxPlusTempBuilt); err != nil {
+			temp.Drop()
+			return err
+		}
 		if len(s.daysToAdd) == 0 {
 			if err := s.publishSwap(j, temp, newDay); err != nil {
 				return err
@@ -70,6 +77,10 @@ func (s *REINDEXPlus) Transition(newDay int) error {
 		if err != nil {
 			return err
 		}
+		if err := s.crash(CPRxPlusDerived); err != nil {
+			next.Drop()
+			return err
+		}
 		if err := s.publishSwap(j, next, newDay); err != nil {
 			return err
 		}
@@ -77,6 +88,9 @@ func (s *REINDEXPlus) Transition(newDay int) error {
 	case len(s.daysToAdd) == 0:
 		// Last day of the cycle (case 3): Temp holds the whole new
 		// cluster but the new day; promote it directly.
+		if err := s.crash(CPRxPlusPromoted); err != nil {
+			return err
+		}
 		promoted, err := s.updateTemp(s.temp, []int{newDay})
 		if err != nil {
 			return err
@@ -96,6 +110,10 @@ func (s *REINDEXPlus) Transition(newDay int) error {
 		s.temp = temp
 		next, err := s.deriveFrom(s.temp, s.daysToAdd)
 		if err != nil {
+			return err
+		}
+		if err := s.crash(CPRxPlusDerived); err != nil {
+			next.Drop()
 			return err
 		}
 		if err := s.publishSwap(j, next, newDay); err != nil {

@@ -90,6 +90,9 @@ func (s *REINDEXPlusPlus) Transition(newDay int) error {
 		return err
 	}
 	s.cfg.Observer.BeginTransition(newDay)
+	if err := s.crash(CPBegin); err != nil {
+		return err
+	}
 	expired := newDay - s.cfg.W
 	j := s.ownerOf(expired)
 
@@ -106,7 +109,13 @@ func (s *REINDEXPlusPlus) Transition(newDay int) error {
 		if err := s.publishSwap(j, t0, newDay); err != nil {
 			return err
 		}
+		if err := s.crash(CPRxPPPromoted); err != nil {
+			return err
+		}
 		if err := s.dropLadder(); err != nil {
+			return err
+		}
+		if err := s.crash(CPRxPPLadder); err != nil {
 			return err
 		}
 		j2 := s.ownerOf(newDay - s.cfg.W + 1)
@@ -126,6 +135,9 @@ func (s *REINDEXPlusPlus) Transition(newDay int) error {
 			return err
 		}
 		if err := s.publishSwap(j, t, newDay); err != nil {
+			return err
+		}
+		if err := s.crash(CPRxPPRung); err != nil {
 			return err
 		}
 		s.tempUsed--

@@ -84,6 +84,9 @@ func (s *WATAStar) Transition(newDay int) error {
 		return err
 	}
 	s.cfg.Observer.BeginTransition(newDay)
+	if err := s.crash(CPBegin); err != nil {
+		return err
+	}
 	expired := newDay - s.cfg.W
 	j := s.ownerOf(expired)
 	if j >= 0 && s.sumOther(j) == s.cfg.W-1 {
@@ -93,8 +96,18 @@ func (s *WATAStar) Transition(newDay int) error {
 		if err := s.wave.SetRetire(j, nil); err != nil {
 			return err
 		}
+		if err := s.crash(CPWataThrown); err != nil {
+			s.wave.MarkBroken(j)
+			return err
+		}
 		fresh, err := s.bk.Build(newDay)
 		if err != nil {
+			s.wave.MarkBroken(j)
+			return err
+		}
+		if err := s.crash(CPWataBuilt); err != nil {
+			fresh.Drop()
+			s.wave.MarkBroken(j)
 			return err
 		}
 		s.wave.Set(j, fresh)

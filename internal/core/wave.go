@@ -49,6 +49,7 @@ type Wave struct {
 	// qmu before mu.
 	qmu     sync.RWMutex
 	cons    []Constituent
+	broken  []bool // slots whose constituent is torn or missing; queries skip them
 	eng     *Engine
 	readers int           // queries holding a snapshot
 	retired []Constituent // superseded while readers > 0; dropped later
@@ -63,7 +64,7 @@ type Wave struct {
 // NewWave returns a wave with n empty slots and a query engine sized to
 // n — one potential reader per constituent.
 func NewWave(n int) *Wave {
-	return &Wave{cons: make([]Constituent, n), eng: NewEngine(n)}
+	return &Wave{cons: make([]Constituent, n), broken: make([]bool, n), eng: NewEngine(n)}
 }
 
 // SetParallelism resizes the query engine's pool. In-flight queries keep
@@ -95,11 +96,49 @@ func (w *Wave) Get(i int) Constituent {
 	return w.cons[i]
 }
 
-// Set publishes c in slot i.
+// Set publishes c in slot i, clearing any broken mark: a freshly
+// published constituent is whole.
 func (w *Wave) Set(i int, c Constituent) {
 	w.mu.Lock()
 	w.cons[i] = c
+	w.broken[i] = false
 	w.mu.Unlock()
+}
+
+// MarkBroken flags slot i as broken after a failed mutation: queries skip
+// the slot (degrading to the surviving constituents instead of erroring
+// or panicking on torn state) and Degraded reports true until a new
+// constituent is published into the slot.
+func (w *Wave) MarkBroken(i int) {
+	w.mu.Lock()
+	w.broken[i] = true
+	w.mu.Unlock()
+}
+
+// Degraded reports whether any slot is broken, i.e. queries are being
+// served from a subset of the wave.
+func (w *Wave) Degraded() bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	for _, b := range w.broken {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// BrokenSlots returns the indices of broken slots.
+func (w *Wave) BrokenSlots() []int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var out []int
+	for i, b := range w.broken {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Snapshot returns the current constituents.
@@ -115,7 +154,12 @@ func (w *Wave) Snapshot() []Constituent {
 func (w *Wave) beginQuery() ([]Constituent, *Engine) {
 	w.qmu.RLock()
 	w.mu.Lock()
-	cons := append([]Constituent(nil), w.cons...)
+	cons := make([]Constituent, len(w.cons))
+	for i, c := range w.cons {
+		if !w.broken[i] {
+			cons[i] = c
+		}
+	}
 	eng := w.eng
 	w.readers++
 	w.mu.Unlock()
@@ -166,6 +210,7 @@ func (w *Wave) SetRetire(i int, c Constituent) error {
 	w.mu.Lock()
 	old := w.cons[i]
 	w.cons[i] = c
+	w.broken[i] = false
 	w.mu.Unlock()
 	if old == nil || old == c {
 		return nil

@@ -10,6 +10,11 @@ import (
 
 const snapshotMagic = "WIDX1"
 
+// maxSnapshotBucketCap bounds the per-bucket capacity a snapshot may
+// declare (16M entries ≈ 256 MB): far above any real bucket, far below
+// what a corrupt length field could otherwise demand.
+const maxSnapshotBucketCap = 1 << 24
+
 // WriteSnapshot serialises the index's logical content and physical shape
 // (time-set, options, per-bucket entries, packedness and growth headroom)
 // so ReadSnapshot can rebuild an equivalent index on any block store.
@@ -59,12 +64,21 @@ func ReadSnapshot(store simdisk.BlockStore, r io.Reader) (*Index, error) {
 	if err := rr.Err(); err != nil {
 		return nil, fmt.Errorf("index: restore: %w", err)
 	}
+	// All counts and capacities come from untrusted bytes: a corrupt
+	// snapshot must fail with an error, not a makeslice panic or an
+	// unbounded allocation driven by a flipped bit in a length field.
+	if numKeys < 0 {
+		return nil, fmt.Errorf("index: restore: negative key count %d", numKeys)
+	}
+	if minCap < 0 || minCap > maxSnapshotBucketCap {
+		return nil, fmt.Errorf("index: restore: implausible min bucket cap %d", minCap)
+	}
 	type bucket struct {
 		key     string
 		cap     int
 		entries []Entry
 	}
-	buckets := make([]bucket, 0, numKeys)
+	buckets := make([]bucket, 0, min(numKeys, 1<<16))
 	total := 0
 	for i := 0; i < numKeys; i++ {
 		key := rr.String()
@@ -79,6 +93,9 @@ func ReadSnapshot(store simdisk.BlockStore, r io.Reader) (*Index, error) {
 		es := decodeEntries(raw, len(raw)/EntrySize)
 		if capEntries < len(es) {
 			return nil, fmt.Errorf("index: restore: bucket %q cap %d < %d entries", key, capEntries, len(es))
+		}
+		if capEntries > maxSnapshotBucketCap {
+			return nil, fmt.Errorf("index: restore: bucket %q cap %d exceeds limit", key, capEntries)
 		}
 		buckets = append(buckets, bucket{key, capEntries, es})
 		total += len(es)

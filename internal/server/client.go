@@ -243,6 +243,66 @@ func (c *Client) Window() (from, to int, ready bool, err error) {
 	return from, to, readyStr == "true", nil
 }
 
+// Health is a parsed HEALTH reply.
+type Health struct {
+	Status        string // "ok", "degraded", or "needs-recovery"
+	Ready         bool
+	Degraded      bool
+	NeedsRecovery bool
+	Journaled     bool
+}
+
+// Health fetches the server's health state.
+func (c *Client) Health() (Health, error) {
+	fmt.Fprintln(c.w, "HEALTH")
+	if err := c.w.Flush(); err != nil {
+		return Health{}, err
+	}
+	body, err := c.expectOK()
+	if err != nil {
+		return Health{}, err
+	}
+	var h Health
+	var ready, degraded, needs, journaled string
+	if _, err := fmt.Sscanf(body, "%s ready=%s degraded=%s needsRecovery=%s journaled=%s",
+		&h.Status, &ready, &degraded, &needs, &journaled); err != nil {
+		return Health{}, fmt.Errorf("server: bad HEALTH reply %q", body)
+	}
+	h.Ready = ready == "true"
+	h.Degraded = degraded == "true"
+	h.NeedsRecovery = needs == "true"
+	h.Journaled = journaled == "true"
+	return h, nil
+}
+
+// RecoverResult is a parsed RECOVER reply.
+type RecoverResult struct {
+	CheckpointDay int
+	Replayed      int
+	Uncommitted   int
+	Torn          bool
+}
+
+// Recover asks a journaled server to run its recovery protocol.
+func (c *Client) Recover() (RecoverResult, error) {
+	fmt.Fprintln(c.w, "RECOVER")
+	if err := c.w.Flush(); err != nil {
+		return RecoverResult{}, err
+	}
+	body, err := c.expectOK()
+	if err != nil {
+		return RecoverResult{}, err
+	}
+	var r RecoverResult
+	var torn string
+	if _, err := fmt.Sscanf(body, "recovered checkpointDay=%d replayed=%d uncommitted=%d torn=%s",
+		&r.CheckpointDay, &r.Replayed, &r.Uncommitted, &torn); err != nil {
+		return RecoverResult{}, fmt.Errorf("server: bad RECOVER reply %q", body)
+	}
+	r.Torn = torn == "true"
+	return r, nil
+}
+
 // Stats returns the server's raw STATS reply.
 func (c *Client) Stats() (string, error) {
 	fmt.Fprintln(c.w, "STATS")

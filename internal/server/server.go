@@ -19,6 +19,8 @@
 //	METRICS                     metrics snapshot
 //	SLOWLOG                     slow-query log, most recent first
 //	SLOWLOG <ms>                set the slow-query threshold (0 disables)
+//	HEALTH                      readiness, degradation, recovery state
+//	RECOVER                     run the journal recovery protocol
 //	QUIT                        close the connection
 //
 // Responses: "OK ..." or "ERR <message>"; probes stream
@@ -48,19 +50,82 @@ import (
 	"waveindex/wave"
 )
 
+// Options tunes connection handling. The zero value keeps the historical
+// behaviour (no deadlines) apart from the defaulted line and batch caps.
+type Options struct {
+	// ReadTimeout bounds the wait for each protocol line — the next
+	// command, or each posting line of an ADDDAY batch. A stalled or
+	// half-written command times out and the connection is closed instead
+	// of wedging its goroutine forever. Zero means no deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response flush. Zero means no deadline.
+	WriteTimeout time.Duration
+	// MaxLineBytes caps a single protocol line; a longer line gets an ERR
+	// and the connection is closed. Zero defaults to 1 MiB.
+	MaxLineBytes int
+	// MaxBatchPostings caps the posting count one ADDDAY may declare, so
+	// a malicious header cannot demand an unbounded allocation. Zero
+	// defaults to 1<<20.
+	MaxBatchPostings int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLineBytes <= 0 {
+		o.MaxLineBytes = 1 << 20
+	}
+	if o.MaxBatchPostings <= 0 {
+		o.MaxBatchPostings = 1 << 20
+	}
+	return o
+}
+
 // Server serves a wave index over a listener.
 type Server struct {
-	idx *wave.Index
+	idx  *wave.Index
+	jr   *wave.Journaled // non-nil when serving a journaled index
+	opts Options
 
-	mu     sync.Mutex // serialises AddDay; queries need no lock
+	mu     sync.Mutex // serialises AddDay and Recover; queries need no lock
 	closed chan struct{}
 	wg     sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // New returns a server for the index. The server takes over maintenance:
 // callers must not invoke idx.AddDay concurrently with Serve.
 func New(idx *wave.Index) *Server {
-	return &Server{idx: idx, closed: make(chan struct{})}
+	return NewWithOptions(idx, Options{})
+}
+
+// NewWithOptions is New with explicit connection-handling options.
+func NewWithOptions(idx *wave.Index, opts Options) *Server {
+	return &Server{
+		idx:    idx,
+		opts:   opts.withDefaults(),
+		closed: make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
+	}
+}
+
+// NewJournaled serves a journaled index: ADDDAY runs through the
+// transition journal, HEALTH reports recovery state, and RECOVER runs
+// the recovery protocol. Queries always go to the journal's current
+// index, which recovery may replace.
+func NewJournaled(j *wave.Journaled, opts Options) *Server {
+	s := NewWithOptions(j.Index(), opts)
+	s.jr = j
+	return s
+}
+
+// index returns the index queries should use right now. Under a journal
+// this is re-fetched per command because RECOVER swaps the index.
+func (s *Server) index() *wave.Index {
+	if s.jr != nil {
+		return s.jr.Index()
+	}
+	return s.idx
 }
 
 // Serve accepts connections until the listener is closed.
@@ -96,13 +161,89 @@ func (s *Server) Close() {
 	}
 }
 
+// Shutdown closes the server gracefully: no new commands are accepted,
+// in-flight commands finish and their responses are written, and any
+// connection still open after the grace period is force-closed. The
+// caller closes the listener, as with Close.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.Close()
+	// Wake handlers blocked reading the next command; their current
+	// command (if any) still completes before the loop re-checks closed.
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+	}
+}
+
+func (s *Server) track(c net.Conn) {
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// scanLine reads one protocol line under the configured read deadline.
+func (s *Server) scanLine(conn net.Conn, in *bufio.Scanner) bool {
+	if s.opts.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+	}
+	return in.Scan()
+}
+
+// flush writes the buffered response under the configured write deadline.
+func (s *Server) flush(conn net.Conn, out *bufio.Writer) error {
+	if s.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+	return out.Flush()
+}
+
 func (s *Server) handle(conn net.Conn) {
+	s.track(conn)
+	defer s.untrack(conn)
 	defer conn.Close()
 	in := bufio.NewScanner(conn)
-	in.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	// Scanner takes the larger of the initial capacity and the max, so
+	// the initial buffer must not exceed the configured line cap.
+	in.Buffer(make([]byte, 0, min(1<<16, s.opts.MaxLineBytes)), s.opts.MaxLineBytes)
 	out := bufio.NewWriter(conn)
 	defer out.Flush()
-	for in.Scan() {
+	for {
+		select {
+		case <-s.closed:
+			fmt.Fprintln(out, "ERR server shutting down")
+			s.flush(conn, out)
+			return
+		default:
+		}
+		if !s.scanLine(conn, in) {
+			if err := in.Err(); errors.Is(err, bufio.ErrTooLong) {
+				fmt.Fprintf(out, "ERR line exceeds %d bytes\n", s.opts.MaxLineBytes)
+				s.flush(conn, out)
+			}
+			return
+		}
 		line := strings.TrimSpace(in.Text())
 		if line == "" {
 			continue
@@ -113,10 +254,10 @@ func (s *Server) handle(conn net.Conn) {
 		switch cmd {
 		case "QUIT":
 			fmt.Fprintln(out, "OK bye")
-			out.Flush()
+			s.flush(conn, out)
 			return
 		case "ADDDAY":
-			err = s.addDay(in, out, fields[1:])
+			err = s.addDay(conn, in, out, fields[1:])
 		case "PROBE":
 			err = s.probe(out, fields[1:], false)
 		case "PROBERANGE":
@@ -128,29 +269,34 @@ func (s *Server) handle(conn net.Conn) {
 		case "TOPK":
 			err = s.topk(out, fields[1:])
 		case "WINDOW":
-			from, to := s.idx.Window()
-			fmt.Fprintf(out, "OK %d %d ready=%v\n", from, to, s.idx.Ready())
+			idx := s.index()
+			from, to := idx.Window()
+			fmt.Fprintf(out, "OK %d %d ready=%v\n", from, to, idx.Ready())
 		case "STATS":
-			st := s.idx.Stats()
+			st := s.index().Stats()
 			fmt.Fprintf(out, "OK scheme=%s days=%d bytes=%d window=%d..%d\n",
 				st.Scheme, st.DaysIndexed, st.ConstituentBytes, st.WindowFrom, st.WindowTo)
 		case "METRICS":
 			s.metrics(out)
 		case "SLOWLOG":
 			err = s.slowlog(out, fields[1:])
+		case "HEALTH":
+			s.health(out)
+		case "RECOVER":
+			err = s.recover(out)
 		default:
 			err = fmt.Errorf("unknown command %q", cmd)
 		}
 		if err != nil {
 			fmt.Fprintf(out, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		}
-		if err := out.Flush(); err != nil {
+		if err := s.flush(conn, out); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) addDay(in *bufio.Scanner, out *bufio.Writer, args []string) error {
+func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, args []string) error {
 	if len(args) != 2 {
 		return errors.New("usage: ADDDAY <day> <n>")
 	}
@@ -162,9 +308,12 @@ func (s *Server) addDay(in *bufio.Scanner, out *bufio.Writer, args []string) err
 	if err != nil || n < 0 {
 		return fmt.Errorf("bad posting count %q", args[1])
 	}
+	if n > s.opts.MaxBatchPostings {
+		return fmt.Errorf("batch of %d postings exceeds limit %d", n, s.opts.MaxBatchPostings)
+	}
 	postings := make([]wave.Posting, 0, n)
 	for i := 0; i < n; i++ {
-		if !in.Scan() {
+		if !s.scanLine(conn, in) {
 			return errors.New("connection ended mid-batch")
 		}
 		f := strings.Fields(in.Text())
@@ -185,7 +334,11 @@ func (s *Server) addDay(in *bufio.Scanner, out *bufio.Writer, args []string) err
 		})
 	}
 	s.mu.Lock()
-	err = s.idx.AddDay(day, postings)
+	if s.jr != nil {
+		err = s.jr.AddDay(day, postings)
+	} else {
+		err = s.idx.AddDay(day, postings)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -194,12 +347,47 @@ func (s *Server) addDay(in *bufio.Scanner, out *bufio.Writer, args []string) err
 	return nil
 }
 
+// health reports liveness in one line: overall status, readiness, and
+// the two degradation signals queries should care about.
+func (s *Server) health(out *bufio.Writer) {
+	idx := s.index()
+	needs, degraded := idx.NeedsRecovery(), idx.Degraded()
+	if s.jr != nil {
+		needs, degraded = s.jr.NeedsRecovery(), s.jr.Degraded()
+	}
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	if needs {
+		status = "needs-recovery"
+	}
+	fmt.Fprintf(out, "OK %s ready=%v degraded=%v needsRecovery=%v journaled=%v\n",
+		status, idx.Ready(), degraded, needs, s.jr != nil)
+}
+
+func (s *Server) recover(out *bufio.Writer) error {
+	if s.jr == nil {
+		return errors.New("RECOVER requires a journaled index (start waved with -journal)")
+	}
+	s.mu.Lock()
+	rep, err := s.jr.Recover()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "OK recovered checkpointDay=%d replayed=%d uncommitted=%d torn=%v\n",
+		rep.CheckpointDay, len(rep.ReplayedDays), len(rep.Uncommitted), rep.TornTail)
+	return nil
+}
+
 func (s *Server) probe(out *bufio.Writer, args []string, ranged bool) error {
+	idx := s.index()
 	var es []wave.Entry
 	var err error
 	switch {
 	case !ranged && len(args) == 1:
-		es, err = s.idx.Probe(args[0])
+		es, err = idx.Probe(args[0])
 	case ranged && len(args) == 3:
 		var from, to int
 		if from, err = strconv.Atoi(args[1]); err != nil {
@@ -208,7 +396,7 @@ func (s *Server) probe(out *bufio.Writer, args []string, ranged bool) error {
 		if to, err = strconv.Atoi(args[2]); err != nil {
 			return fmt.Errorf("bad to: %w", err)
 		}
-		es, err = s.idx.ProbeRange(args[0], from, to)
+		es, err = idx.ProbeRange(args[0], from, to)
 	default:
 		return errors.New("usage: PROBE <key> | PROBERANGE <key> <from> <to>")
 	}
@@ -234,7 +422,7 @@ func (s *Server) mprobe(out *bufio.Writer, args []string) error {
 	if err != nil {
 		return fmt.Errorf("bad to: %w", err)
 	}
-	res, err := s.idx.MultiProbeRange(args[2:], from, to)
+	res, err := s.index().MultiProbeRange(args[2:], from, to)
 	if err != nil {
 		return err
 	}
@@ -255,12 +443,13 @@ func (s *Server) mprobe(out *bufio.Writer, args []string) error {
 }
 
 func (s *Server) count(out *bufio.Writer, args []string) error {
+	idx := s.index()
 	var err error
 	n := 0
 	visit := func(string, wave.Entry) bool { n++; return true }
 	switch len(args) {
 	case 0:
-		err = s.idx.Scan(visit)
+		err = idx.Scan(visit)
 	case 2:
 		var from, to int
 		if from, err = strconv.Atoi(args[0]); err != nil {
@@ -269,7 +458,7 @@ func (s *Server) count(out *bufio.Writer, args []string) error {
 		if to, err = strconv.Atoi(args[1]); err != nil {
 			return fmt.Errorf("bad to: %w", err)
 		}
-		err = s.idx.ScanRange(from, to, visit)
+		err = idx.ScanRange(from, to, visit)
 	default:
 		return errors.New("usage: COUNT [<from> <to>]")
 	}
@@ -281,7 +470,7 @@ func (s *Server) count(out *bufio.Writer, args []string) error {
 }
 
 func (s *Server) metrics(out *bufio.Writer) {
-	m := s.idx.Metrics()
+	m := s.index().Metrics()
 	n := 0
 	for _, c := range m.Counters {
 		fmt.Fprintf(out, "COUNTER %s %d\n", c.Name, c.Value)
@@ -301,9 +490,10 @@ func (s *Server) metrics(out *bufio.Writer) {
 }
 
 func (s *Server) slowlog(out *bufio.Writer, args []string) error {
+	idx := s.index()
 	switch len(args) {
 	case 0:
-		log := s.idx.SlowQueries()
+		log := idx.SlowQueries()
 		for _, q := range log {
 			key := q.Key
 			if key == "" {
@@ -323,7 +513,7 @@ func (s *Server) slowlog(out *bufio.Writer, args []string) error {
 		if err != nil || ms < 0 {
 			return fmt.Errorf("bad threshold %q (milliseconds)", args[0])
 		}
-		s.idx.SetSlowQueryThreshold(time.Duration(ms) * time.Millisecond)
+		idx.SetSlowQueryThreshold(time.Duration(ms) * time.Millisecond)
 		fmt.Fprintf(out, "OK threshold %dms\n", ms)
 		return nil
 	default:
@@ -339,8 +529,9 @@ func (s *Server) topk(out *bufio.Writer, args []string) error {
 	if err != nil || k < 1 {
 		return fmt.Errorf("bad k %q", args[0])
 	}
-	from, to := s.idx.Window()
-	top, err := s.idx.TopKeys(k, from, to)
+	idx := s.index()
+	from, to := idx.Window()
+	top, err := idx.TopKeys(k, from, to)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,10 @@
 package simdisk
 
-import "sync/atomic"
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
 
 // Op identifies a store operation for fault injection.
 type Op int
@@ -11,10 +15,13 @@ const (
 	opFree
 	opRead
 	opWrite
+	opSync
 	OpAlloc = opAlloc
 	OpFree  = opFree
 	OpRead  = opRead
 	OpWrite = opWrite
+	// OpSync targets durability barriers: Log.Sync on a journal.
+	OpSync = opSync
 )
 
 func (o Op) String() string {
@@ -27,49 +34,172 @@ func (o Op) String() string {
 		return "read"
 	case opWrite:
 		return "write"
+	case opSync:
+		return "sync"
 	}
 	return "unknown"
 }
 
-// faultPlan injects an error into the nth matching operation. A nil plan
-// never fires, so the zero-value store has no injection overhead beyond a
-// nil check.
-type faultPlan struct {
+// Fault is one armed fault plan. The arming call returns the handle so a
+// test can arm several independent plans (e.g. a read fault and a write
+// fault) and ask each one separately whether and how often it fired.
+type Fault struct {
 	op    Op
-	after atomic.Int64 // number of matching ops to let through
 	err   error
-	fired atomic.Bool
+	seen  atomic.Int64 // matching ops observed so far
+	fired atomic.Int64 // times the plan injected its error
+
+	// mode discriminators; exactly one is active per plan.
+	after    int64      // fire on the (after+1)th matching op, once
+	schedule []int64    // fire at these 0-based matching-op indices
+	prob     float64    // fire each matching op with this probability
+	rng      *rand.Rand // seeded source for probabilistic plans
+	rngMu    sync.Mutex
 }
 
-func (f *faultPlan) check(op Op) error {
-	if f == nil || f.fired.Load() || op != f.op {
+// Fired reports whether the plan injected its error at least once.
+func (f *Fault) Fired() bool { return f.fired.Load() > 0 }
+
+// Fires returns how many times the plan injected its error.
+func (f *Fault) Fires() int64 { return f.fired.Load() }
+
+// Seen returns how many matching operations the plan has observed.
+func (f *Fault) Seen() int64 { return f.seen.Load() }
+
+// check decides whether this operation trips the plan.
+func (f *Fault) check(op Op) error {
+	if op != f.op {
 		return nil
 	}
-	if f.after.Add(-1) >= 0 {
-		return nil
+	i := f.seen.Add(1) - 1 // 0-based index of this matching op
+	switch {
+	case f.prob > 0:
+		f.rngMu.Lock()
+		hit := f.rng.Float64() < f.prob
+		f.rngMu.Unlock()
+		if hit {
+			f.fired.Add(1)
+			return f.err
+		}
+	case f.schedule != nil:
+		for _, n := range f.schedule {
+			if n == i {
+				f.fired.Add(1)
+				return f.err
+			}
+		}
+	default:
+		// Single-shot: fire exactly on the (after+1)th matching op.
+		if i == f.after {
+			f.fired.Add(1)
+			return f.err
+		}
 	}
-	f.fired.Store(true)
-	return f.err
+	return nil
 }
 
-// FailAfter arranges for the store to return err on the (n+1)th subsequent
-// operation of the given kind. It replaces any previous plan. Passing a nil
-// err clears the plan.
-func (s *Store) FailAfter(op Op, n int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// faultSet is a list of armed plans shared by Store and Log. The zero
+// value is ready to use and a nil *faultSet never fires, so an unarmed
+// store pays one nil check per operation.
+type faultSet struct {
+	mu    sync.Mutex
+	plans []*Fault
+}
+
+func (fs *faultSet) add(f *Fault) *Fault {
+	fs.mu.Lock()
+	fs.plans = append(fs.plans, f)
+	fs.mu.Unlock()
+	return f
+}
+
+// snapshot returns the current plans without holding the lock across
+// plan checks (plans use atomics internally).
+func (fs *faultSet) snapshot() []*Fault {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.plans
+}
+
+// check runs the operation past every armed plan; the first plan that
+// fires wins.
+func (fs *faultSet) check(op Op) error {
+	if fs == nil {
+		return nil
+	}
+	for _, f := range fs.snapshot() {
+		if err := f.check(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clearOp removes every plan for the given op.
+func (fs *faultSet) clearOp(op Op) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	keep := fs.plans[:0]
+	for _, f := range fs.plans {
+		if f.op != op {
+			keep = append(keep, f)
+		}
+	}
+	fs.plans = keep
+}
+
+func (fs *faultSet) clearAll() {
+	fs.mu.Lock()
+	fs.plans = nil
+	fs.mu.Unlock()
+}
+
+func (fs *faultSet) anyFired() bool {
+	for _, f := range fs.snapshot() {
+		if f.Fired() {
+			return true
+		}
+	}
+	return false
+}
+
+// FailAfter arranges for the store to return err on the (n+1)th
+// subsequent operation of the given kind, once. Plans accumulate:
+// independent read and write faults can be armed concurrently. Passing a
+// nil err clears every plan for the op. The returned handle reports
+// whether this particular plan fired (nil when clearing).
+func (s *Store) FailAfter(op Op, n int, err error) *Fault {
 	if err == nil {
-		s.fault = nil
-		return
+		s.faults.clearOp(op)
+		return nil
 	}
-	fp := &faultPlan{op: op, err: err}
-	fp.after.Store(int64(n))
-	s.fault = fp
+	return s.faults.add(&Fault{op: op, err: err, after: int64(n)})
 }
 
-// FaultFired reports whether the injected fault has triggered.
-func (s *Store) FaultFired() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fault != nil && s.fault.fired.Load()
+// FailSchedule arranges for err to be injected at each of the given
+// 0-based occurrence indices of op — a per-op error schedule ("fail the
+// 2nd and 5th write").
+func (s *Store) FailSchedule(op Op, err error, occurrences ...int64) *Fault {
+	sched := append([]int64(nil), occurrences...)
+	if sched == nil {
+		sched = []int64{}
+	}
+	return s.faults.add(&Fault{op: op, err: err, schedule: sched})
 }
+
+// FailProb arranges for each operation of the given kind to fail with
+// probability p, drawn from a deterministic seeded source so chaos runs
+// are reproducible.
+func (s *Store) FailProb(op Op, p float64, seed int64, err error) *Fault {
+	return s.faults.add(&Fault{op: op, err: err, prob: p, rng: newSeededRand(seed)})
+}
+
+func newSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// ClearFaults removes every armed plan.
+func (s *Store) ClearFaults() { s.faults.clearAll() }
+
+// FaultFired reports whether any injected fault has triggered.
+func (s *Store) FaultFired() bool { return s.faults.anyFired() }

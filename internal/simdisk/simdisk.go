@@ -286,7 +286,7 @@ type Store struct {
 	alloc  *allocator
 	meter  *costMeter
 	stats  Stats
-	fault  *faultPlan
+	faults faultSet
 	closed bool
 	data   backend
 }
@@ -319,7 +319,7 @@ func (s *Store) Alloc(blocks int64) (Extent, error) {
 	if s.closed {
 		return Extent{}, ErrClosed
 	}
-	if err := s.fault.check(opAlloc); err != nil {
+	if err := s.faults.check(opAlloc); err != nil {
 		return Extent{}, err
 	}
 	ext, err := s.alloc.alloc(blocks)
@@ -341,7 +341,7 @@ func (s *Store) Free(ext Extent) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.fault.check(opFree); err != nil {
+	if err := s.faults.check(opFree); err != nil {
 		return err
 	}
 	if err := s.alloc.freeExtent(ext); err != nil {
@@ -359,7 +359,7 @@ func (s *Store) WriteAt(ext Extent, off int64, p []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.fault.check(opWrite); err != nil {
+	if err := s.faults.check(opWrite); err != nil {
 		return err
 	}
 	if !s.alloc.allocated(ext) {
@@ -386,7 +386,7 @@ func (s *Store) ReadAt(ext Extent, off int64, p []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.fault.check(opRead); err != nil {
+	if err := s.faults.check(opRead); err != nil {
 		return err
 	}
 	if !s.alloc.allocated(ext) {

@@ -1,0 +1,307 @@
+// Write-ahead log support: an append-only record log with an explicit
+// durability boundary. Appends land in a volatile tail; Sync moves the
+// tail past the durability barrier, charging the cost model one seek plus
+// the transfer (the fsync the paper-era systems would issue per
+// transition). Crash discards the volatile tail, which is exactly what a
+// machine crash does to an OS page cache — so tests can simulate a crash
+// at any point and recovery sees only what was synced.
+package simdisk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrCorruptLog reports a framing or checksum violation in the durable
+// part of a log (not a torn tail, which is silently truncated).
+var ErrCorruptLog = errors.New("simdisk: corrupt log record")
+
+// MaxLogRecord bounds one record's payload, guarding recovery against
+// corrupt length prefixes.
+const MaxLogRecord = 1 << 26 // 64 MiB
+
+const logHeaderSize = 8 // u32 length + u32 CRC32C
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// LogStats counts log activity.
+type LogStats struct {
+	Appends      int64         // records appended
+	Syncs        int64         // Sync calls served
+	SyncedBytes  int64         // durable bytes
+	PendingBytes int64         // appended but not yet durable
+	SimTime      time.Duration // simulated disk time spent on the log
+}
+
+// Log is an append-only record log with simulated fsync ordering. All
+// methods are safe for concurrent use.
+type Log struct {
+	cfg Config
+
+	mu     sync.Mutex
+	meter  *costMeter
+	faults faultSet
+	synced []byte   // durable prefix
+	tail   []byte   // appended, volatile until Sync
+	file   *os.File // nil for a RAM log
+	stats  LogStats
+	closed bool
+}
+
+// NewRAMLog returns a volatile log: durability is simulated (Sync moves
+// the barrier, Crash drops the tail) but nothing touches the filesystem.
+func NewRAMLog(cfg Config) *Log {
+	cfg = cfg.withDefaults()
+	return &Log{cfg: cfg, meter: newCostMeter(cfg.SeekTime, cfg.TransferRate)}
+}
+
+// OpenFileLog opens (or creates) a file-backed log. Existing content is
+// loaded as the durable prefix; a torn or corrupt tail from an earlier
+// crash is truncated away on open.
+func OpenFileLog(path string, cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{cfg: cfg, meter: newCostMeter(cfg.SeekTime, cfg.TransferRate), file: f}
+	// Keep only the well-formed prefix: everything after the first torn
+	// record is unreachable anyway (it was never acknowledged as synced).
+	good := wellFormedPrefix(raw)
+	l.synced = append(l.synced, raw[:good]...)
+	l.stats.SyncedBytes = int64(good)
+	if good != len(raw) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// wellFormedPrefix returns the length of the longest prefix of raw that
+// is a sequence of intact records.
+func wellFormedPrefix(raw []byte) int {
+	off := 0
+	for off+logHeaderSize <= len(raw) {
+		n := binary.LittleEndian.Uint32(raw[off:])
+		sum := binary.LittleEndian.Uint32(raw[off+4:])
+		end := off + logHeaderSize + int(n)
+		if n > MaxLogRecord || end > len(raw) {
+			break
+		}
+		if crc32.Checksum(raw[off+logHeaderSize:end], crcTable) != sum {
+			break
+		}
+		off = end
+	}
+	return off
+}
+
+// Append frames rec and adds it to the volatile tail. The record is not
+// durable until the next Sync.
+func (l *Log) Append(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(rec) > MaxLogRecord {
+		return fmt.Errorf("%w: record of %d bytes", ErrCorruptLog, len(rec))
+	}
+	if err := l.faults.check(opWrite); err != nil {
+		return err
+	}
+	var hdr [logHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(rec, crcTable))
+	l.tail = append(l.tail, hdr[:]...)
+	l.tail = append(l.tail, rec...)
+	l.stats.Appends++
+	l.stats.PendingBytes = int64(len(l.tail))
+	return nil
+}
+
+// Sync makes every appended record durable, charging one seek plus the
+// tail's transfer time — the cost of the fsync that orders the journal
+// write before the transition work it protects.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.faults.check(opSync); err != nil {
+		return err
+	}
+	if len(l.tail) == 0 {
+		l.stats.Syncs++
+		return nil
+	}
+	if l.file != nil {
+		if _, err := l.file.WriteAt(l.tail, int64(len(l.synced))); err != nil {
+			return err
+		}
+		if err := l.file.Sync(); err != nil {
+			return err
+		}
+	}
+	// The log lives at the end of the device: every sync repositions
+	// there and streams the tail.
+	l.meter.lastPos = -1
+	l.meter.charge(int64(len(l.synced)), int64(len(l.tail)))
+	l.synced = append(l.synced, l.tail...)
+	l.tail = l.tail[:0]
+	l.stats.Syncs++
+	l.stats.SyncedBytes = int64(len(l.synced))
+	l.stats.PendingBytes = 0
+	return nil
+}
+
+// Crash simulates a machine crash: every record appended after the last
+// Sync is lost. The log remains usable (it models the state recovery
+// finds on restart).
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tail = l.tail[:0]
+	l.stats.PendingBytes = 0
+}
+
+// TearFinalRecord simulates a crash in the middle of the device flushing
+// the last synced record: the durable image keeps only the first half of
+// that record's bytes. Recovery must detect the torn record and truncate
+// it. Returns false if there is no record to tear.
+func (l *Log) TearFinalRecord() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tail = l.tail[:0]
+	l.stats.PendingBytes = 0
+	if len(l.synced) == 0 {
+		return false
+	}
+	// Find the start of the last record.
+	off, last := 0, 0
+	for off+logHeaderSize <= len(l.synced) {
+		last = off
+		n := binary.LittleEndian.Uint32(l.synced[off:])
+		off += logHeaderSize + int(n)
+	}
+	cut := last + (len(l.synced)-last)/2
+	l.synced = l.synced[:cut]
+	l.stats.SyncedBytes = int64(cut)
+	if l.file != nil {
+		l.file.Truncate(int64(cut))
+	}
+	return true
+}
+
+// Reset durably truncates the log to empty — the post-checkpoint
+// compaction step. It is an error to reset with unsynced records pending
+// (they would be silently dropped).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.tail) > 0 {
+		return fmt.Errorf("simdisk: log reset with %d unsynced bytes pending", len(l.tail))
+	}
+	if err := l.faults.check(opSync); err != nil {
+		return err
+	}
+	if l.file != nil {
+		if err := l.file.Truncate(0); err != nil {
+			return err
+		}
+		if err := l.file.Sync(); err != nil {
+			return err
+		}
+	}
+	l.meter.lastPos = -1
+	l.meter.charge(0, 0)
+	l.synced = l.synced[:0]
+	l.stats.SyncedBytes = 0
+	return nil
+}
+
+// Records decodes the durable records in order. torn reports whether a
+// partially-written final record was detected (and excluded) — the
+// signature of a crash during a sync.
+func (l *Log) Records() (recs [][]byte, torn bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	raw := l.synced
+	off := 0
+	for off < len(raw) {
+		if off+logHeaderSize > len(raw) {
+			return recs, true, nil
+		}
+		n := binary.LittleEndian.Uint32(raw[off:])
+		sum := binary.LittleEndian.Uint32(raw[off+4:])
+		end := off + logHeaderSize + int(n)
+		if n > MaxLogRecord || end > len(raw) {
+			return recs, true, nil
+		}
+		payload := raw[off+logHeaderSize : end]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, true, nil
+		}
+		recs = append(recs, append([]byte(nil), payload...))
+		off = end
+	}
+	return recs, false, nil
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.SimTime = time.Duration(l.meter.simNanos)
+	return st
+}
+
+// FailAfter arms a one-shot fault on the log (OpWrite targets Append,
+// OpSync targets Sync/Reset); nil err clears the op's plans.
+func (l *Log) FailAfter(op Op, n int, err error) *Fault {
+	if err == nil {
+		l.faults.clearOp(op)
+		return nil
+	}
+	return l.faults.add(&Fault{op: op, err: err, after: int64(n)})
+}
+
+// FailProb arms a seeded probabilistic fault on the log.
+func (l *Log) FailProb(op Op, p float64, seed int64, err error) *Fault {
+	return l.faults.add(&Fault{op: op, err: err, prob: p, rng: newSeededRand(seed)})
+}
+
+// ClearFaults removes every armed plan on the log.
+func (l *Log) ClearFaults() { l.faults.clearAll() }
+
+// Close releases the log's resources. A file-backed log keeps its
+// durable content on disk.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	if l.file != nil {
+		return l.file.Close()
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package simdisk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestLogAppendSyncRecords(t *testing.T) {
+	l := NewRAMLog(Config{})
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing durable before sync.
+	recs, torn, err := l.Records()
+	if err != nil || torn || len(recs) != 0 {
+		t.Fatalf("pre-sync Records = %d recs torn=%v err=%v", len(recs), torn, err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, err = l.Records()
+	if err != nil || torn {
+		t.Fatalf("Records err=%v torn=%v", err, torn)
+	}
+	if len(recs) != 3 || !bytes.Equal(recs[1], []byte("rec-1")) {
+		t.Fatalf("Records = %q", recs)
+	}
+	st := l.Stats()
+	if st.Appends != 3 || st.Syncs != 1 || st.SyncedBytes == 0 || st.PendingBytes != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SimTime <= 0 {
+		t.Errorf("sync charged no simulated time")
+	}
+}
+
+func TestLogCrashDropsUnsyncedTail(t *testing.T) {
+	l := NewRAMLog(Config{})
+	defer l.Close()
+	l.Append([]byte("durable"))
+	l.Sync()
+	l.Append([]byte("volatile"))
+	l.Crash()
+	recs, torn, _ := l.Records()
+	if torn || len(recs) != 1 || string(recs[0]) != "durable" {
+		t.Fatalf("after crash: recs=%q torn=%v", recs, torn)
+	}
+	// The log stays usable after the crash image is taken.
+	l.Append([]byte("again"))
+	l.Sync()
+	recs, _, _ = l.Records()
+	if len(recs) != 2 || string(recs[1]) != "again" {
+		t.Fatalf("after resume: %q", recs)
+	}
+}
+
+func TestLogTornTailDetected(t *testing.T) {
+	l := NewRAMLog(Config{})
+	defer l.Close()
+	l.Append([]byte("first"))
+	l.Append([]byte("second-record-with-some-length"))
+	l.Sync()
+	if !l.TearFinalRecord() {
+		t.Fatal("TearFinalRecord found nothing to tear")
+	}
+	recs, torn, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Error("torn tail not reported")
+	}
+	if len(recs) != 1 || string(recs[0]) != "first" {
+		t.Fatalf("surviving records = %q", recs)
+	}
+}
+
+func TestLogReset(t *testing.T) {
+	l := NewRAMLog(Config{})
+	defer l.Close()
+	l.Append([]byte("old"))
+	l.Sync()
+	l.Append([]byte("pending"))
+	if err := l.Reset(); err == nil {
+		t.Fatal("Reset with pending tail should refuse")
+	}
+	l.Crash() // drop the tail
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	recs, torn, _ := l.Records()
+	if len(recs) != 0 || torn {
+		t.Fatalf("after reset: recs=%q torn=%v", recs, torn)
+	}
+}
+
+func TestLogFaults(t *testing.T) {
+	l := NewRAMLog(Config{})
+	defer l.Close()
+	boom := errors.New("boom")
+	f := l.FailAfter(OpSync, 0, boom)
+	l.Append([]byte("x"))
+	if err := l.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync err = %v, want boom", err)
+	}
+	if !f.Fired() {
+		t.Error("sync fault not marked fired")
+	}
+	// The record stays in the volatile tail: a crash now loses it.
+	l.Crash()
+	if err := l.Sync(); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	recs, _, _ := l.Records()
+	if len(recs) != 0 {
+		t.Fatalf("record survived a failed sync + crash: %q", recs)
+	}
+
+	wf := l.FailAfter(OpWrite, 1, boom)
+	if err := l.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("b")); !errors.Is(err, boom) {
+		t.Fatalf("append err = %v, want boom", err)
+	}
+	if !wf.Fired() {
+		t.Error("write fault not marked fired")
+	}
+	// The failed append must not leave a partial frame behind.
+	l.Sync()
+	recs, torn, _ := l.Records()
+	if torn || len(recs) != 1 || string(recs[0]) != "a" {
+		t.Fatalf("after failed append: recs=%q torn=%v", recs, torn)
+	}
+}
+
+func TestFileLogReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenFileLog(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("one"))
+	l.Append([]byte("two"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("lost")) // never synced
+	l.Close()
+
+	re, err := OpenFileLog(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs, torn, err := re.Records()
+	if err != nil || torn {
+		t.Fatalf("reopen: torn=%v err=%v", torn, err)
+	}
+	if len(recs) != 2 || string(recs[0]) != "one" || string(recs[1]) != "two" {
+		t.Fatalf("reopen records = %q", recs)
+	}
+	// Appending after reopen continues the log.
+	re.Append([]byte("three"))
+	if err := re.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _ = re.Records()
+	if len(recs) != 3 {
+		t.Fatalf("after continued append: %d records", len(recs))
+	}
+}
+
+func TestFileLogTruncatesTornTailOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := OpenFileLog(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]byte("keep"))
+	l.Append([]byte("torn-away"))
+	l.Sync()
+	l.TearFinalRecord()
+	l.Close()
+
+	re, err := OpenFileLog(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs, torn, err := re.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Error("open should have truncated the torn tail")
+	}
+	if len(recs) != 1 || string(recs[0]) != "keep" {
+		t.Fatalf("records = %q", recs)
+	}
+}
+
+func TestConcurrentIndependentFaults(t *testing.T) {
+	s := NewRAM(Config{})
+	defer s.Close()
+	rboom := errors.New("read boom")
+	wboom := errors.New("write boom")
+	rf := s.FailAfter(OpRead, 0, rboom)
+	wf := s.FailAfter(OpWrite, 1, wboom)
+
+	ext, err := s.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []byte{1}
+	if err := s.WriteAt(ext, 0, p); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if err := s.ReadAt(ext, 0, p); !errors.Is(err, rboom) {
+		t.Fatalf("read err = %v, want read boom", err)
+	}
+	if err := s.WriteAt(ext, 0, p); !errors.Is(err, wboom) {
+		t.Fatalf("second write err = %v, want write boom", err)
+	}
+	if !rf.Fired() || !wf.Fired() {
+		t.Errorf("fired: read=%v write=%v, want both", rf.Fired(), wf.Fired())
+	}
+	if rf.Fires() != 1 || wf.Fires() != 1 {
+		t.Errorf("fires: read=%d write=%d", rf.Fires(), wf.Fires())
+	}
+}
+
+func TestFailSchedule(t *testing.T) {
+	s := NewRAM(Config{})
+	defer s.Close()
+	boom := errors.New("scheduled boom")
+	f := s.FailSchedule(OpWrite, boom, 1, 3)
+	ext, _ := s.Alloc(1)
+	p := []byte{1}
+	var got []int
+	for i := 0; i < 5; i++ {
+		if err := s.WriteAt(ext, 0, p); errors.Is(err, boom) {
+			got = append(got, i)
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("schedule fired at %v, want [1 3]", got)
+	}
+	if f.Fires() != 2 {
+		t.Errorf("Fires = %d, want 2", f.Fires())
+	}
+}
+
+func TestFailProbDeterministic(t *testing.T) {
+	boom := errors.New("prob boom")
+	run := func(seed int64) []int {
+		s := NewRAM(Config{})
+		defer s.Close()
+		s.FailProb(OpWrite, 0.3, seed, boom)
+		ext, _ := s.Alloc(1)
+		p := []byte{1}
+		var hits []int
+		for i := 0; i < 50; i++ {
+			if err := s.WriteAt(ext, 0, p); errors.Is(err, boom) {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("probabilistic fault never fired in 50 ops at p=0.3")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different fault sequence: %v vs %v", a, b)
+	}
+	if c := run(43); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds produced identical sequences: %v", a)
+	}
+}

@@ -5,6 +5,64 @@ import (
 	"testing"
 )
 
+// corruptibleSnapshot builds a real multi-day snapshot for the
+// truncation/bit-flip robustness tests below and the fuzz seeds.
+func corruptibleSnapshot(tb testing.TB) []byte {
+	tb.Helper()
+	x, err := New(Config{Window: 4, Indexes: 2, Scheme: REINDEXPlusPlus})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer x.Close()
+	for d := 1; d <= 7; d++ {
+		if err := x.AddDay(d, chaosPostings(d, 10, 5)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := x.SaveSnapshot(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadTruncatedSnapshots cuts a valid snapshot at every prefix
+// length: each truncation must error cleanly — no panic, no OOM, no
+// index built from half a file.
+func TestLoadTruncatedSnapshots(t *testing.T) {
+	t.Chdir(t.TempDir()) // a corrupt StorePath may create stray files
+	snap := corruptibleSnapshot(t)
+	for n := 0; n < len(snap); n++ {
+		y, err := Load(bytes.NewReader(snap[:n]))
+		if err == nil {
+			y.Close()
+			t.Fatalf("snapshot truncated to %d/%d bytes loaded without error", n, len(snap))
+		}
+	}
+}
+
+// TestLoadBitFlippedSnapshots flips each bit of every byte (stride keeps
+// the test fast) of a valid snapshot: Load must either reject the damage
+// or produce a closable index — never panic or allocate unboundedly.
+func TestLoadBitFlippedSnapshots(t *testing.T) {
+	t.Chdir(t.TempDir()) // a corrupt StorePath may create stray files
+	snap := corruptibleSnapshot(t)
+	mut := make([]byte, len(snap))
+	for off := 0; off < len(snap); off += 7 {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, snap)
+			mut[off] ^= 1 << bit
+			y, err := Load(bytes.NewReader(mut))
+			if err == nil {
+				if y == nil {
+					t.Fatalf("offset %d bit %d: nil index without error", off, bit)
+				}
+				y.Close()
+			}
+		}
+	}
+}
+
 // FuzzLoad feeds arbitrary bytes to the snapshot loader; it must reject
 // them with an error, never panic, and never leak a store.
 func FuzzLoad(f *testing.F) {
@@ -26,7 +84,17 @@ func FuzzLoad(f *testing.F) {
 	}
 	x.Close()
 	f.Add(buf.Bytes())
+	// Truncated and bit-flipped variants of a richer snapshot, so the
+	// corpus starts at the interesting decode paths.
+	rich := corruptibleSnapshot(f)
+	f.Add(rich)
+	f.Add(rich[:len(rich)/2])
+	f.Add(rich[:len(rich)-1])
+	flipped := append([]byte(nil), rich...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, data []byte) {
+		t.Chdir(t.TempDir()) // a corrupt StorePath may create stray files
 		y, err := Load(bytes.NewReader(data))
 		if err == nil {
 			// A mutation may still decode (e.g. benign varint change);

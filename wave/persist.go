@@ -96,6 +96,13 @@ func LoadWithTrace(r io.Reader, tr Tracer) (*Index, error) {
 }
 
 func load(r io.Reader, tr Tracer) (*Index, error) {
+	return loadWithExtras(r, tr, nil, nil)
+}
+
+// loadWithExtras is load with the unexported config hooks reattached:
+// crash points and the extra observer are not serialised, so recovery
+// passes them back in when rebuilding an index from a checkpoint.
+func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Observer) (*Index, error) {
 	rr := wire.NewReader(r)
 	rr.Expect(snapshotMagic)
 	cfg := Config{
@@ -120,9 +127,26 @@ func load(r io.Reader, tr Tracer) (*Index, error) {
 	if err := rr.Err(); err != nil {
 		return nil, fmt.Errorf("wave: load: %w", err)
 	}
+	// A snapshot written by SaveSnapshot always carries a valid,
+	// fully-defaulted configuration; re-validate so a truncated or
+	// bit-flipped snapshot fails cleanly here instead of feeding
+	// nonsense geometry (negative windows, absurd index counts, block
+	// sizes) into the store and scheme constructors.
+	cfg.Trace = tr
+	cfg.crash = crash
+	cfg.extraObserver = extra
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, fmt.Errorf("wave: load: %w", err)
+	}
+	if cfg.BlockSize < 0 || cfg.CacheBlocks < 0 {
+		return nil, fmt.Errorf("wave: load: %w: negative block geometry", ErrBadConfig)
+	}
+	if nextDay < cfg.FirstDay {
+		return nil, fmt.Errorf("wave: load: %w: next day %d before first day %d", ErrBadConfig, nextDay, cfg.FirstDay)
+	}
 
 	var store *simdisk.Store
-	var err error
 	if cfg.StorePath != "" {
 		store, err = simdisk.NewFile(cfg.StorePath, simdisk.Config{BlockSize: cfg.BlockSize})
 		if err != nil {
@@ -136,8 +160,8 @@ func load(r io.Reader, tr Tracer) (*Index, error) {
 		store.Close()
 		return nil, fmt.Errorf("wave: load: %w", err)
 	}
-	cfg.Trace = tr
 	ob := newObservability(cfg, []*simdisk.Store{store})
+	obsCore := combineObservers(ob.coreObserver(), cfg.extraObserver)
 	var bs simdisk.BlockStore = store
 	if cfg.CacheBlocks > 0 {
 		bs = simdisk.NewCache(store, cfg.CacheBlocks)
@@ -145,14 +169,15 @@ func load(r io.Reader, tr Tracer) (*Index, error) {
 	bk := core.NewDataBackend(bs, index.Options{
 		Dir:    cfg.Directory,
 		Growth: cfg.GrowthFactor,
-	}, src, ob.coreObserver())
+	}, src, obsCore)
 
 	ccfg := core.Config{
 		W:         cfg.Window,
 		N:         cfg.Indexes,
 		Technique: cfg.Update,
 		StartDay:  cfg.FirstDay,
-		Observer:  ob.coreObserver(),
+		Observer:  obsCore,
+		Crash:     cfg.crash,
 	}
 	x := &Index{cfg: cfg, stores: []*simdisk.Store{store}, src: src, obs: ob, nextDay: nextDay, ready: ready}
 	if ready {

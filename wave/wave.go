@@ -107,6 +107,16 @@ var (
 	// ErrBadConfig wraps every configuration validation error returned by
 	// New and Load; test with errors.Is.
 	ErrBadConfig = errors.New("wave: bad config")
+	// ErrTransitionAborted wraps the failure that interrupted an AddDay
+	// transition. The index keeps answering queries from the surviving
+	// constituents (Degraded reports true) but refuses further mutation
+	// until recovered.
+	ErrTransitionAborted = errors.New("wave: transition aborted")
+	// ErrNeedsRecovery is returned by AddDay after an aborted transition:
+	// the in-memory wave may be torn mid-maintenance, so mutations are
+	// refused until Recover (on a Journaled index) or a reload from a
+	// snapshot restores a consistent state.
+	ErrNeedsRecovery = errors.New("wave: index needs recovery")
 )
 
 // Config configures a wave index.
@@ -160,6 +170,13 @@ type Config struct {
 	// DisableMetrics turns the per-index metrics registry off: Metrics
 	// returns an empty snapshot and queries skip all counter updates.
 	DisableMetrics bool
+
+	// crash arms named crash points inside the maintenance algorithms;
+	// used by the chaos tests to abort transitions at chosen steps.
+	crash *core.CrashSet
+	// extraObserver is fanned into the scheme and backend observers; the
+	// journal layer uses it to record step completion.
+	extraObserver core.Observer
 }
 
 func (c Config) normalized() (Config, error) {
@@ -213,10 +230,11 @@ type Index struct {
 	scheme core.Scheme
 	obs    *observability
 
-	mu      sync.Mutex // guards the fields below and mutating methods
-	nextDay int
-	ready   bool
-	closed  bool
+	mu            sync.Mutex // guards the fields below and mutating methods
+	nextDay       int
+	ready         bool
+	closed        bool
+	needsRecovery bool // a transition aborted; mutations refused
 }
 
 // newStores opens the configured number of block stores. Store 0 uses
@@ -266,13 +284,14 @@ func New(cfg Config) (*Index, error) {
 	src := core.NewMemorySource(cfg.Window + 2)
 	opts := index.Options{Dir: cfg.Directory, Growth: cfg.GrowthFactor}
 	ob := newObservability(cfg, stores)
+	obsCore := combineObservers(ob.coreObserver(), cfg.extraObserver)
 	var bk core.Backend
 	if len(stores) == 1 {
 		var bs simdisk.BlockStore = stores[0]
 		if cfg.CacheBlocks > 0 {
 			bs = simdisk.NewCache(stores[0], cfg.CacheBlocks)
 		}
-		bk = core.NewDataBackend(bs, opts, src, ob.coreObserver())
+		bk = core.NewDataBackend(bs, opts, src, obsCore)
 	} else {
 		pool := make([]simdisk.BlockStore, len(stores))
 		for i, st := range stores {
@@ -282,7 +301,7 @@ func New(cfg Config) (*Index, error) {
 				pool[i] = st
 			}
 		}
-		bk, err = core.NewMultiDiskBackend(pool, opts, src, ob.coreObserver())
+		bk, err = core.NewMultiDiskBackend(pool, opts, src, obsCore)
 		if err != nil {
 			closeStores()
 			return nil, err
@@ -293,7 +312,8 @@ func New(cfg Config) (*Index, error) {
 		N:         cfg.Indexes,
 		Technique: cfg.Update,
 		StartDay:  cfg.FirstDay,
-		Observer:  ob.coreObserver(),
+		Observer:  obsCore,
+		Crash:     cfg.crash,
 	}, bk)
 	if err != nil {
 		closeStores()
@@ -320,6 +340,9 @@ func (x *Index) AddDay(day int, postings []Posting) error {
 	if x.closed {
 		return ErrClosed
 	}
+	if x.needsRecovery {
+		return ErrNeedsRecovery
+	}
 	if day != x.nextDay {
 		return fmt.Errorf("%w: got day %d, want %d", ErrBadDay, day, x.nextDay)
 	}
@@ -338,11 +361,49 @@ func (x *Index) AddDay(day int, postings []Posting) error {
 		}
 		return x.scheme.Transition(day)
 	}()
-	if err == nil {
-		x.obs.ingestDays.Inc()
-		x.obs.ingestUS.Observe(time.Since(start).Microseconds())
+	if err != nil {
+		// The maintenance state may be torn mid-algorithm: refuse further
+		// mutation (queries keep running on the published wave, degraded
+		// to the surviving constituents) until recovery rebuilds a
+		// consistent index.
+		x.needsRecovery = true
+		return fmt.Errorf("%w: day %d: %w", ErrTransitionAborted, day, err)
 	}
-	return err
+	x.obs.ingestDays.Inc()
+	x.obs.ingestUS.Observe(time.Since(start).Microseconds())
+	return nil
+}
+
+// NeedsRecovery reports whether a transition aborted, leaving the index
+// read-only until recovered (see Journaled.Recover) or reloaded from a
+// snapshot.
+func (x *Index) NeedsRecovery() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.needsRecovery
+}
+
+// Degraded reports whether queries are being served from a subset of the
+// wave: a transition aborted, or a constituent broke mid-mutation and is
+// being skipped. A degraded index answers with the days that survive —
+// typically W-1 of the W-day window — rather than erroring.
+func (x *Index) Degraded() bool {
+	x.mu.Lock()
+	nr := x.needsRecovery
+	x.mu.Unlock()
+	return nr || x.scheme.Wave().Degraded()
+}
+
+// combineObservers fans transition events out to both observers, either
+// of which may be nil.
+func combineObservers(a, b core.Observer) core.Observer {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return core.FanoutObserver{a, b}
 }
 
 // Ready reports whether Window days have been ingested and the index
