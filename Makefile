@@ -4,11 +4,14 @@ GO ?= go
 # build, the race-enabled test suite, a one-iteration smoke of the
 # parallel-query benchmarks, a metrics-overhead smoke (the
 # instrumented scan workload must complete alongside its
-# DisableMetrics twin), and the chaos smoke (every registered crash
-# point fires, recovers, and matches the reference, under -race).
-.PHONY: check vet build test race bench-smoke metrics-smoke chaos-smoke
+# DisableMetrics twin), the chaos smoke (every registered crash
+# point fires, recovers, and matches the reference, under -race),
+# and a bench-record smoke (a one-transition recording must emit a
+# schema-valid BENCH_record.json).
+.PHONY: check vet build test race bench-smoke metrics-smoke chaos-smoke \
+	bench-record bench-record-smoke
 
-check: vet build race bench-smoke metrics-smoke chaos-smoke
+check: vet build race bench-smoke metrics-smoke chaos-smoke bench-record-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +33,15 @@ metrics-smoke:
 
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaos' ./wave/
+
+# bench-record writes a full-length bench trajectory to bench/ for
+# regression tracking; compare two recordings with
+#   $(GO) run ./cmd/wavebench -compare old.json new.json
+bench-record:
+	$(GO) run ./cmd/wavebench -exp record -json bench
+
+bench-record-smoke:
+	rm -rf .bench-smoke
+	$(GO) run ./cmd/wavebench -exp record -transitions 1 -json .bench-smoke
+	$(GO) run ./cmd/wavebench -validate .bench-smoke/BENCH_record.json
+	rm -rf .bench-smoke

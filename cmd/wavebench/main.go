@@ -9,12 +9,20 @@
 //	wavebench -exp fig5         # one figure
 //	wavebench -exp table10      # one table
 //	wavebench -exp run -scheme WATA* -scenario TPC-D -n 5  # one point
+//
+// Bench trajectory (regression tracking):
+//
+//	wavebench -exp record -json out/            # write out/BENCH_record.json
+//	wavebench -validate out/BENCH_record.json   # schema-check a recording
+//	wavebench -compare old.json new.json        # exit 1 on >10% regression
+//	wavebench -compare old.json new.json -threshold 5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -24,17 +32,130 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching, qengine")
+	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching, qengine, record")
 	schemeName := flag.String("scheme", "DEL", "scheme for -exp run")
-	scName := flag.String("scenario", "SCAM", "scenario for -exp run: SCAM, WSE, TPC-D")
+	scName := flag.String("scenario", "SCAM", "scenario for -exp run and record: SCAM, WSE, TPC-D")
 	n := flag.Int("n", 2, "constituent count for -exp run")
 	techName := flag.String("update", "simple-shadow", "update technique for -exp run: inplace, simple-shadow, packed-shadow")
+	jsonDir := flag.String("json", "", "directory for -exp record output (BENCH_record.json)")
+	transitions := flag.Int("transitions", 0, "measured transitions per point for -exp record (0 = 10*W; 1 = smoke)")
+	compare := flag.String("compare", "", "old recording; with a new recording as the positional arg, flag regressions")
+	threshold := flag.Float64("threshold", 10, "regression threshold percent for -compare")
+	validate := flag.String("validate", "", "schema-check a recording and exit")
 	flag.Parse()
+
+	switch {
+	case *validate != "":
+		if err := validateBench(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case *compare != "":
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: wavebench -compare old.json new.json")
+			os.Exit(2)
+		}
+		ok, err := compareBench(*compare, flag.Arg(0), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	case *exp == "record":
+		if err := recordBench(*jsonDir, *scName, *transitions); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*exp, *schemeName, *scName, *techName, *n); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// recordBench runs the full scheme × technique grid and writes the
+// recording to dir/BENCH_record.json (stdout when dir is empty).
+func recordBench(dir, scName string, transitions int) error {
+	f, err := experiments.RecordBench(experiments.BenchOptions{Scenario: scName, Transitions: transitions})
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		return experiments.WriteBench(os.Stdout, f)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_record.json")
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBench(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s, W=%d, %d transitions, %d points)\n",
+		path, f.Scenario, f.W, f.Transitions, len(f.Points))
+	return nil
+}
+
+func readBenchFile(path string) (*experiments.BenchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := experiments.ReadBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func validateBench(path string) error {
+	b, err := readBenchFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid %s recording (%s, W=%d, %d transitions, %d points)\n",
+		path, b.Schema, b.Scenario, b.W, b.Transitions, len(b.Points))
+	return nil
+}
+
+// compareBench reports regressions of new over old; ok is false when
+// any measure regressed past the threshold.
+func compareBench(oldPath, newPath string, thresholdPct float64) (ok bool, err error) {
+	oldB, err := readBenchFile(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newB, err := readBenchFile(newPath)
+	if err != nil {
+		return false, err
+	}
+	regs, err := experiments.CompareBench(oldB, newB, thresholdPct)
+	if err != nil {
+		return false, err
+	}
+	if len(regs) == 0 {
+		fmt.Printf("no regressions over %.1f%% (%d points compared)\n", thresholdPct, len(newB.Points))
+		return true, nil
+	}
+	fmt.Printf("%d regression(s) over %.1f%%:\n", len(regs), thresholdPct)
+	for _, r := range regs {
+		fmt.Printf("  %s\n", r)
+	}
+	return false, nil
 }
 
 func run(exp, schemeName, scName, techName string, n int) error {

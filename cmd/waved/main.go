@@ -7,8 +7,15 @@
 //	waved [-addr :7070] [-window 7] [-indexes 4]
 //	      [-scheme REINDEX] [-update simple-shadow] [-store path]
 //	      [-stores 1] [-parallel 0] [-slowlog-ms 0] [-trace]
+//	      [-admin-addr :9090] [-trace-out spans.json]
 //	      [-journal dir] [-checkpoint-every 0]
 //	      [-read-timeout 0] [-shutdown-grace 5s]
+//
+// With -admin-addr an HTTP admin server runs alongside the line
+// protocol: /metrics (Prometheus text format, including the per-cause
+// work ledger), /healthz, /debug/pprof/*, and /debug/spans (recent
+// spans as Chrome trace JSON). With -trace-out the retained spans are
+// also written to the named file as Chrome trace JSON on shutdown.
 //
 // Try it:
 //
@@ -27,6 +34,7 @@ import (
 
 	"waveindex/internal/core"
 	"waveindex/internal/server"
+	"waveindex/internal/telemetry"
 	"waveindex/wave"
 )
 
@@ -46,8 +54,223 @@ func (t logTracer) TraceEvent(ev wave.TraceEvent) {
 	}
 }
 
+// multiTracer fans every span out to several tracers, e.g. the stderr
+// log and the admin server's span ring.
+type multiTracer []wave.Tracer
+
+func (m multiTracer) TraceEvent(ev wave.TraceEvent) {
+	for _, t := range m {
+		t.TraceEvent(ev)
+	}
+}
+
+// config is waved's full configuration; main fills it from flags,
+// tests construct it directly.
+type config struct {
+	addr          string
+	adminAddr     string
+	window        int
+	indexes       int
+	scheme        string
+	update        string
+	storePath     string
+	stores        int
+	parallel      int
+	slowlogMS     int
+	trace         bool
+	traceOut      string
+	journalDir    string
+	ckptEvery     int
+	readTimeout   time.Duration
+	shutdownGrace time.Duration
+	logf          func(format string, args ...any) // nil silences logs
+}
+
+// app is a built-but-not-yet-serving waved process: the index, the
+// protocol server with its bound listener, and (optionally) the admin
+// HTTP server and span ring.
+type app struct {
+	cfg   config
+	srv   *server.Server
+	ln    net.Listener
+	admin *telemetry.Server
+	sink  *telemetry.SpanSink
+	idx   *wave.Index
+	jr    *wave.Journaled
+}
+
+// newApp builds the index and binds both listeners. On success the
+// caller owns the app and must call shutdown (or serve then shutdown).
+func newApp(cfg config) (*app, error) {
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
+	}
+	kind, err := core.ParseKind(cfg.scheme)
+	if err != nil {
+		return nil, err
+	}
+	var tech wave.UpdateTechnique
+	switch cfg.update {
+	case "", "simple-shadow":
+		tech = wave.SimpleShadow
+	case "inplace":
+		tech = wave.InPlace
+	case "packed-shadow":
+		tech = wave.PackedShadow
+	default:
+		return nil, fmt.Errorf("unknown update technique %q", cfg.update)
+	}
+
+	wcfg := wave.Config{
+		Window:             cfg.window,
+		Indexes:            cfg.indexes,
+		Scheme:             kind,
+		Update:             tech,
+		StorePath:          cfg.storePath,
+		Stores:             cfg.stores,
+		Parallelism:        cfg.parallel,
+		SlowQueryThreshold: time.Duration(cfg.slowlogMS) * time.Millisecond,
+	}
+	a := &app{cfg: cfg}
+	var tracers multiTracer
+	if cfg.trace {
+		tracers = append(tracers, logTracer{log.New(os.Stderr, "trace: ", log.Lmicroseconds)})
+	}
+	if cfg.adminAddr != "" || cfg.traceOut != "" {
+		a.sink = telemetry.NewSpanSink(0)
+		tracers = append(tracers, a.sink)
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		wcfg.Trace = tracers[0]
+	default:
+		wcfg.Trace = tracers
+	}
+
+	opts := server.Options{ReadTimeout: cfg.readTimeout}
+	if cfg.journalDir != "" {
+		st, err := wave.OpenJournalDir(cfg.journalDir)
+		if err != nil {
+			return nil, err
+		}
+		hadCkpt := st.HasCheckpoint()
+		jr, err := wave.OpenJournaled(wcfg, st, wave.JournalOptions{CheckpointEvery: cfg.ckptEvery})
+		if err != nil {
+			return nil, err
+		}
+		if hadCkpt {
+			cfg.logf("waved: recovered journaled index from %s", cfg.journalDir)
+		}
+		a.jr = jr
+		a.srv = server.NewJournaled(jr, opts)
+	} else {
+		idx, err := wave.New(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		a.idx = idx
+		a.srv = server.NewWithOptions(idx, opts)
+	}
+
+	a.ln, err = net.Listen("tcp", cfg.addr)
+	if err != nil {
+		a.closeIndex()
+		return nil, err
+	}
+	if cfg.adminAddr != "" {
+		a.admin, err = telemetry.Serve(cfg.adminAddr, telemetry.Options{
+			Metrics: func() wave.MetricsSnapshot { return a.index().Metrics() },
+			Work:    func() []wave.CauseStats { return a.index().Work() },
+			Health:  a.health,
+			Spans:   a.sink,
+		})
+		if err != nil {
+			a.ln.Close()
+			a.closeIndex()
+			return nil, err
+		}
+		cfg.logf("waved: admin server on http://%s (/metrics /healthz /debug/pprof/ /debug/spans)", a.admin.Addr())
+	}
+	return a, nil
+}
+
+// index returns the index queries should use right now; under a
+// journal this is re-fetched because RECOVER swaps the index.
+func (a *app) index() *wave.Index {
+	if a.jr != nil {
+		return a.jr.Index()
+	}
+	return a.idx
+}
+
+// health mirrors the line protocol's HEALTH command for /healthz.
+func (a *app) health() telemetry.Health {
+	idx := a.index()
+	h := telemetry.Health{Ready: idx.Ready(), Degraded: idx.Degraded(), NeedsRecovery: idx.NeedsRecovery()}
+	if a.jr != nil {
+		h.Journaled = true
+		h.Degraded = a.jr.Degraded()
+		h.NeedsRecovery = a.jr.NeedsRecovery()
+	}
+	return h
+}
+
+// addr returns the protocol listener's bound address.
+func (a *app) addr() string { return a.ln.Addr().String() }
+
+// adminAddr returns the admin server's bound address ("" if disabled).
+func (a *app) adminAddr() string {
+	if a.admin == nil {
+		return ""
+	}
+	return a.admin.Addr()
+}
+
+// serve runs the protocol server until the listener closes.
+func (a *app) serve() error { return a.srv.Serve(a.ln) }
+
+// shutdown drains in-flight queries, stops the admin server, writes
+// the -trace-out file, and closes the index.
+func (a *app) shutdown(grace time.Duration) {
+	a.ln.Close()
+	a.srv.Shutdown(grace)
+	if a.admin != nil {
+		a.admin.Close()
+	}
+	if a.cfg.traceOut != "" && a.sink != nil {
+		if err := a.writeTraceOut(); err != nil {
+			a.cfg.logf("waved: writing %s: %v", a.cfg.traceOut, err)
+		} else {
+			a.cfg.logf("waved: wrote %d spans to %s", len(a.sink.Events()), a.cfg.traceOut)
+		}
+	}
+	a.closeIndex()
+}
+
+func (a *app) writeTraceOut() error {
+	f, err := os.Create(a.cfg.traceOut)
+	if err != nil {
+		return err
+	}
+	if err := a.sink.WriteChrome(f, "waved"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (a *app) closeIndex() {
+	if a.jr != nil {
+		a.jr.Close()
+	} else if a.idx != nil {
+		a.idx.Close()
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
+	adminAddr := flag.String("admin-addr", "", "HTTP admin address serving /metrics, /healthz, /debug/pprof/ (disabled when empty)")
 	window := flag.Int("window", 7, "window length W in days")
 	indexes := flag.Int("indexes", 4, "constituent index count n")
 	schemeName := flag.String("scheme", "REINDEX", "maintenance scheme")
@@ -57,82 +280,49 @@ func main() {
 	parallel := flag.Int("parallel", 0, "query worker bound (0 = one per store, or per constituent)")
 	slowlogMS := flag.Int("slowlog-ms", 0, "slow-query log threshold in ms (0 = disabled; see SLOWLOG)")
 	trace := flag.Bool("trace", false, "log every trace span (queries, transitions, snapshots) to stderr")
+	traceOut := flag.String("trace-out", "", "write retained spans as Chrome trace JSON to this file on shutdown")
 	journalDir := flag.String("journal", "", "transition journal directory (enables crash-safe ingestion + RECOVER)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the journal every N days (0 = default cadence)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-line read deadline (0 = none); guards stalled clients")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "grace period draining in-flight queries on SIGINT")
 	flag.Parse()
 
-	kind, err := core.ParseKind(*schemeName)
+	a, err := newApp(config{
+		addr:          *addr,
+		adminAddr:     *adminAddr,
+		window:        *window,
+		indexes:       *indexes,
+		scheme:        *schemeName,
+		update:        *update,
+		storePath:     *storePath,
+		stores:        *stores,
+		parallel:      *parallel,
+		slowlogMS:     *slowlogMS,
+		trace:         *trace,
+		traceOut:      *traceOut,
+		journalDir:    *journalDir,
+		ckptEvery:     *ckptEvery,
+		readTimeout:   *readTimeout,
+		shutdownGrace: *shutdownGrace,
+		logf:          log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var tech wave.UpdateTechnique
-	switch *update {
-	case "inplace":
-		tech = wave.InPlace
-	case "simple-shadow":
-		tech = wave.SimpleShadow
-	case "packed-shadow":
-		tech = wave.PackedShadow
-	default:
-		log.Fatalf("unknown update technique %q", *update)
-	}
-
-	cfg := wave.Config{
-		Window:             *window,
-		Indexes:            *indexes,
-		Scheme:             kind,
-		Update:             tech,
-		StorePath:          *storePath,
-		Stores:             *stores,
-		Parallelism:        *parallel,
-		SlowQueryThreshold: time.Duration(*slowlogMS) * time.Millisecond,
-	}
-	if *trace {
-		cfg.Trace = logTracer{log.New(os.Stderr, "trace: ", log.Lmicroseconds)}
-	}
-	opts := server.Options{ReadTimeout: *readTimeout}
-
-	var srv *server.Server
-	if *journalDir != "" {
-		st, err := wave.OpenJournalDir(*journalDir)
-		if err != nil {
-			log.Fatal(err)
-		}
-		hadCkpt := st.HasCheckpoint()
-		jr, err := wave.OpenJournaled(cfg, st, wave.JournalOptions{CheckpointEvery: *ckptEvery})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer jr.Close()
-		if hadCkpt {
-			log.Printf("waved: recovered journaled index from %s", *journalDir)
-		}
-		srv = server.NewJournaled(jr, opts)
-	} else {
-		idx, err := wave.New(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer idx.Close()
-		srv = server.NewWithOptions(idx, opts)
-	}
-
-	l, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- a.serve() }()
+	log.Printf("waved: serving %s wave index (W=%d, n=%d) on %s", *schemeName, *window, *indexes, a.addr())
+	select {
+	case <-sig:
 		fmt.Fprintln(os.Stderr, "shutting down")
-		l.Close()
-		srv.Shutdown(*shutdownGrace)
-	}()
-	log.Printf("waved: serving %s wave index (W=%d, n=%d) on %s", kind, *window, *indexes, l.Addr())
-	if err := srv.Serve(l); err != nil {
-		log.Fatal(err)
+		a.shutdown(*shutdownGrace)
+		<-serveErr
+	case err := <-serveErr:
+		a.shutdown(*shutdownGrace)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 }

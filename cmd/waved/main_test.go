@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"waveindex/internal/server"
+	"waveindex/internal/telemetry"
+	"waveindex/wave"
+)
+
+// startApp builds and serves an app on loopback ports, returning it
+// with a dialled protocol client.
+func startApp(t *testing.T, cfg config) (*app, *server.Client) {
+	t.Helper()
+	cfg.addr = "127.0.0.1:0"
+	a, err := newApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.serve() }()
+	t.Cleanup(func() {
+		a.shutdown(time.Second)
+		<-done
+	})
+	c, err := server.Dial(a.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return a, c
+}
+
+func addDays(t *testing.T, c *server.Client, days, perDay int) {
+	t.Helper()
+	for d := 1; d <= days; d++ {
+		ps := make([]wave.Posting, 0, perDay)
+		for i := 0; i < perDay; i++ {
+			ps = append(ps, wave.Posting{
+				Key:   "k" + string(rune('a'+i%3)),
+				Entry: wave.Entry{RecordID: uint64(d*100 + i), Day: int32(d)},
+			})
+		}
+		if err := c.AddDay(d, ps); err != nil {
+			t.Fatalf("AddDay(%d): %v", d, err)
+		}
+	}
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp, string(body)
+}
+
+func TestAdminAddrFlagPlumbing(t *testing.T) {
+	a, c := startApp(t, config{
+		adminAddr: "127.0.0.1:0",
+		window:    3, indexes: 2, scheme: "REINDEX",
+	})
+	if a.adminAddr() == "" {
+		t.Fatal("admin server not started despite adminAddr")
+	}
+	addDays(t, c, 4, 6)
+	if _, err := c.Probe("ka"); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + a.adminAddr()
+	resp, body := get(t, base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.MetricsContentType {
+		t.Fatalf("/metrics content type = %q, want %q", ct, telemetry.MetricsContentType)
+	}
+	for _, want := range []string{
+		"# TYPE query_probe_total counter",
+		"query_probe_total 1",
+		"ingest_days_total 4",
+		`work_seeks_total{cause="query"}`,
+		`work_bytes_written_total{cause="transition"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, body = get(t, base+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+	var h telemetry.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz body %q: %v", body, err)
+	}
+	if !h.Ready || h.Journaled || h.NeedsRecovery {
+		t.Errorf("/healthz = %+v, want ready non-journaled", h)
+	}
+
+	if resp, _ = get(t, base+"/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+}
+
+func TestNoAdminByDefault(t *testing.T) {
+	a, _ := startApp(t, config{window: 3, indexes: 2, scheme: "DEL"})
+	if a.adminAddr() != "" {
+		t.Fatalf("admin server started without adminAddr: %s", a.adminAddr())
+	}
+	if a.sink != nil {
+		t.Fatal("span sink allocated without adminAddr or traceOut")
+	}
+}
+
+func TestTraceOutWritesChromeTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "spans.json")
+	a, err := newApp(config{
+		addr: "127.0.0.1:0", traceOut: out,
+		window: 3, indexes: 2, scheme: "REINDEX",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.serve() }()
+	c, err := server.Dial(a.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addDays(t, c, 4, 3)
+	if err := c.Trace("shutdown-trace"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Probe("ka"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	a.shutdown(time.Second)
+	<-done
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace-out is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) < 2 {
+		t.Fatalf("trace-out has %d events", len(trace.TraceEvents))
+	}
+	found := false
+	for _, ev := range trace.TraceEvents {
+		if args, ok := ev["args"].(map[string]any); ok && args["trace_id"] == "shutdown-trace" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no span carries the wire trace id; raw:\n%s", raw)
+	}
+}
+
+func TestJournaledHealthz(t *testing.T) {
+	a, c := startApp(t, config{
+		adminAddr: "127.0.0.1:0",
+		window:    3, indexes: 2, scheme: "REINDEX",
+		journalDir: t.TempDir(),
+	})
+	addDays(t, c, 3, 3)
+	_, body := get(t, "http://"+a.adminAddr()+"/healthz")
+	var h telemetry.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz body %q: %v", body, err)
+	}
+	if !h.Journaled || !h.Ready {
+		t.Errorf("/healthz = %+v, want journaled ready", h)
+	}
+}

@@ -3,10 +3,15 @@
 // constituent count n, it shows each constituent's time-set (and the
 // temporary indexes) after every daily transition.
 //
+// With -o the traced transitions are also exported as Chrome trace JSON
+// (one complete event per transition phase: pre-computation, critical
+// path, post-work), loadable in chrome://tracing or Perfetto. Under
+// -all each scheme gets its own process lane.
+//
 // Usage:
 //
 //	wavetrace [-scheme DEL|REINDEX|REINDEX+|REINDEX++|WATA*|RATA*]
-//	          [-w W] [-n N] [-days D] [-all]
+//	          [-w W] [-n N] [-days D] [-all] [-o spans.json]
 package main
 
 import (
@@ -15,7 +20,50 @@ import (
 	"os"
 
 	"waveindex/internal/core"
+	"waveindex/internal/telemetry"
 )
+
+// spanExport accumulates one Chrome-trace process lane per traced
+// scheme; enabled by -o.
+type spanExport struct {
+	procs []telemetry.ChromeProcess
+}
+
+// attach returns the observer to build a scheme with and a collect
+// function to call once its transitions are done. A nil export yields
+// a nil observer and a no-op collect.
+func (e *spanExport) attach(name string) (core.Observer, func()) {
+	if e == nil {
+		return nil, func() {}
+	}
+	sink := telemetry.NewSpanSink(0)
+	mo := core.NewMetricsObserver(core.TransitionMetrics{}, sink)
+	return mo, func() {
+		mo.Flush()
+		e.procs = append(e.procs, telemetry.ChromeProcess{Name: name, Events: sink.Events()})
+	}
+}
+
+// write serialises the collected lanes to path.
+func (e *spanExport) write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, e.procs...); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	spans := 0
+	for _, p := range e.procs {
+		spans += len(p.Events)
+	}
+	fmt.Fprintf(os.Stderr, "wavetrace: wrote %d spans (%d lanes) to %s\n", spans, len(e.procs), path)
+	return nil
+}
 
 func main() {
 	scheme := flag.String("scheme", "WATA*", "maintenance scheme name")
@@ -23,46 +71,65 @@ func main() {
 	n := flag.Int("n", 4, "number of constituent indexes")
 	days := flag.Int("days", 8, "transitions to trace after the initial window")
 	all := flag.Bool("all", false, "trace every scheme (ignores -scheme)")
+	out := flag.String("o", "", "also export the transitions as Chrome trace JSON to this file")
 	flag.Parse()
 
+	var export *spanExport
+	if *out != "" {
+		export = &spanExport{}
+	}
 	if *all {
 		for _, k := range core.Kinds {
-			if err := trace(k, *w, *n, *days); err != nil {
+			if err := trace(k, *w, *n, *days, export); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", k, err)
 				os.Exit(1)
 			}
 			fmt.Println()
 		}
-		return
-	}
-	if err := traceNamed(*scheme, *w, *n, *days); err != nil {
+	} else if err := traceNamed(*scheme, *w, *n, *days, export); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if export != nil {
+		if err := export.write(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
 // traceNamed resolves a scheme name, including the extension variants
 // that are not part of the paper's six (WATA-greedy, VACUUM).
-func traceNamed(name string, w, n, days int) error {
+func traceNamed(name string, w, n, days int, export *spanExport) error {
 	switch name {
 	case "WATA-greedy":
-		s, err := core.NewWATAGreedy(core.Config{W: w, N: max(n, 2)}, core.NewPhantomBackend(nil, nil))
+		obs, collect := export.attach(name)
+		s, err := core.NewWATAGreedy(core.Config{W: w, N: max(n, 2), Observer: obs}, core.NewPhantomBackend(nil, obs))
 		if err != nil {
 			return err
 		}
-		return traceScheme(s, w, days)
+		if err := traceScheme(s, w, days); err != nil {
+			return err
+		}
+		collect()
+		return nil
 	case "VACUUM":
-		s, err := core.NewVacuum(core.Config{W: w, N: 1}, core.NewPhantomBackend(nil, nil), 3)
+		obs, collect := export.attach(name)
+		s, err := core.NewVacuum(core.Config{W: w, N: 1, Observer: obs}, core.NewPhantomBackend(nil, obs), 3)
 		if err != nil {
 			return err
 		}
-		return traceScheme(s, w, days)
+		if err := traceScheme(s, w, days); err != nil {
+			return err
+		}
+		collect()
+		return nil
 	}
 	k, err := core.ParseKind(name)
 	if err != nil {
 		return fmt.Errorf("%w (extension schemes: WATA-greedy, VACUUM)", err)
 	}
-	return trace(k, w, n, days)
+	return trace(k, w, n, days, export)
 }
 
 // traceScheme traces an already-constructed scheme.
@@ -82,13 +149,14 @@ func traceScheme(s core.Scheme, w, days int) error {
 	return nil
 }
 
-func trace(kind core.Kind, w, n, days int) error {
+func trace(kind core.Kind, w, n, days int, export *spanExport) error {
 	nn := n
 	if nn < kind.MinN() {
 		nn = kind.MinN()
 	}
-	bk := core.NewPhantomBackend(nil, nil)
-	s, err := core.NewScheme(kind, core.Config{W: w, N: nn}, bk)
+	obs, collect := export.attach(kind.String())
+	bk := core.NewPhantomBackend(nil, obs)
+	s, err := core.NewScheme(kind, core.Config{W: w, N: nn, Observer: obs}, bk)
 	if err != nil {
 		return err
 	}
@@ -104,6 +172,7 @@ func trace(kind core.Kind, w, n, days int) error {
 		}
 		printRow(s)
 	}
+	collect()
 	return nil
 }
 

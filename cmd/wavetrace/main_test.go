@@ -1,14 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"waveindex/internal/core"
+	"waveindex/internal/telemetry"
 )
 
 func TestTraceAllSchemes(t *testing.T) {
 	for _, k := range core.Kinds {
-		if err := trace(k, 10, 4, 6); err != nil {
+		if err := trace(k, 10, 4, 6, nil); err != nil {
 			t.Errorf("trace(%v): %v", k, err)
 		}
 	}
@@ -16,24 +19,64 @@ func TestTraceAllSchemes(t *testing.T) {
 
 func TestTraceBumpsNToMinimum(t *testing.T) {
 	// n=1 is below WATA*'s minimum; trace must bump it, not fail.
-	if err := trace(core.KindWATAStar, 7, 1, 3); err != nil {
+	if err := trace(core.KindWATAStar, 7, 1, 3, nil); err != nil {
 		t.Errorf("trace with n below minimum: %v", err)
 	}
 }
 
 func TestTraceRejectsBadGeometry(t *testing.T) {
-	if err := trace(core.KindDEL, 0, 1, 1); err == nil {
+	if err := trace(core.KindDEL, 0, 1, 1, nil); err == nil {
 		t.Error("W=0 accepted")
 	}
 }
 
 func TestTraceNamedVariants(t *testing.T) {
 	for _, name := range []string{"VACUUM", "WATA-greedy", "DEL"} {
-		if err := traceNamed(name, 7, 3, 4); err != nil {
+		if err := traceNamed(name, 7, 3, 4, nil); err != nil {
 			t.Errorf("traceNamed(%q): %v", name, err)
 		}
 	}
-	if err := traceNamed("BOGUS", 7, 3, 4); err == nil {
+	if err := traceNamed("BOGUS", 7, 3, 4, nil); err == nil {
 		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestTraceExportsChromeSpans(t *testing.T) {
+	export := &spanExport{}
+	for _, k := range []core.Kind{core.KindDEL, core.KindREINDEX} {
+		if err := trace(k, 7, 2, 3, export); err != nil {
+			t.Fatalf("trace(%v): %v", k, err)
+		}
+	}
+	if len(export.procs) != 2 {
+		t.Fatalf("lanes = %d, want 2", len(export.procs))
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, export.procs...); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	lanes := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		name := ev["name"].(string)
+		if name == "process_name" {
+			lanes[ev["args"].(map[string]any)["name"].(string)] = true
+			continue
+		}
+		phases[name]++
+	}
+	if !lanes["DEL"] || !lanes["REINDEX"] {
+		t.Errorf("process lanes = %v", lanes)
+	}
+	for _, want := range []string{"transition.pre", "transition.work", "transition.post"} {
+		if phases[want] == 0 {
+			t.Errorf("no %s spans in export: %v", want, phases)
+		}
 	}
 }

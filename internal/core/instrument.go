@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"waveindex/internal/metrics"
@@ -58,8 +59,36 @@ type TraceEvent struct {
 	// transition phase span.
 	Day int
 	Ops int
+	// TraceID is the caller-supplied trace ID carried by the query's
+	// context (see WithTraceID); "" when the query was not traced.
+	// Transition and snapshot spans have no trace ID.
+	TraceID string
 	// Err is the span's error, if it failed.
 	Err error
+}
+
+// traceIDKey keys the trace ID carried in a query context.
+type traceIDKey struct{}
+
+// WithTraceID returns a context whose queries are stamped with the given
+// wire-level trace ID: every span they emit and every slow-query-log
+// entry they produce carries it, so a client-chosen ID can be followed
+// from the wire through the engine into exported traces. An empty id
+// returns ctx unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom returns the trace ID carried by ctx, or "" if none.
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
 }
 
 // Tracer receives span events. Implementations must be safe for

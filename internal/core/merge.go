@@ -140,7 +140,7 @@ func produceScan(ctx context.Context, eng *Engine, s Searcher, t1, t2 int, st *s
 	}
 	emit(tr, TraceEvent{
 		Kind: "scan.constituent", Start: start, Duration: time.Since(start),
-		From: t1, To: t2, Constituent: st.slot, Entries: entries, Err: err,
+		From: t1, To: t2, Constituent: st.slot, Entries: entries, TraceID: TraceIDFrom(ctx), Err: err,
 	})
 	st.err = err
 	close(st.ch)

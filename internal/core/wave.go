@@ -352,6 +352,7 @@ func (w *Wave) TimedIndexProbeCtx(ctx context.Context, key string, t1, t2 int) (
 	cons, _ := w.beginQuery()
 	defer w.endQuery()
 	qm, tr := w.instrumentation()
+	tid := TraceIDFrom(ctx)
 	targets, slots, err := searchTargets(cons, t1, t2)
 	if err != nil {
 		return nil, err
@@ -367,7 +368,7 @@ func (w *Wave) TimedIndexProbeCtx(ctx context.Context, key string, t1, t2 int) (
 		es, err := s.Probe(key, t1, t2)
 		emit(tr, TraceEvent{
 			Kind: "probe.constituent", Start: start, Duration: time.Since(start),
-			Key: key, From: t1, To: t2, Constituent: slots[i], Entries: len(es), Err: err,
+			Key: key, From: t1, To: t2, Constituent: slots[i], Entries: len(es), TraceID: tid, Err: err,
 		})
 		if err != nil {
 			return nil, err
@@ -400,6 +401,7 @@ func (w *Wave) ParallelTimedIndexProbeCtx(ctx context.Context, key string, t1, t
 	cons, eng := w.beginQuery()
 	defer w.endQuery()
 	qm, tr := w.instrumentation()
+	tid := TraceIDFrom(ctx)
 	targets, slots, err := searchTargets(cons, t1, t2)
 	if err != nil {
 		return nil, err
@@ -412,7 +414,7 @@ func (w *Wave) ParallelTimedIndexProbeCtx(ctx context.Context, key string, t1, t
 		es, err := targets[i].Probe(key, t1, t2)
 		emit(tr, TraceEvent{
 			Kind: "probe.constituent", Start: start, Duration: time.Since(start),
-			Key: key, From: t1, To: t2, Constituent: slots[i], Entries: len(es), Err: err,
+			Key: key, From: t1, To: t2, Constituent: slots[i], Entries: len(es), TraceID: tid, Err: err,
 		})
 		lists[i] = es
 		return err
@@ -450,6 +452,7 @@ func (w *Wave) MultiProbeCtx(ctx context.Context, keys []string, t1, t2 int) (ma
 	cons, eng := w.beginQuery()
 	defer w.endQuery()
 	qm, tr := w.instrumentation()
+	tid := TraceIDFrom(ctx)
 	targets, slots, err := searchTargets(cons, t1, t2)
 	if err != nil {
 		return nil, err
@@ -482,7 +485,7 @@ func (w *Wave) MultiProbeCtx(ctx context.Context, keys []string, t1, t2 int) (ma
 		}()
 		emit(tr, TraceEvent{
 			Kind: "mprobe.constituent", Start: start, Duration: time.Since(start),
-			Keys: len(uniq), From: t1, To: t2, Constituent: slots[i], Err: err,
+			Keys: len(uniq), From: t1, To: t2, Constituent: slots[i], TraceID: tid, Err: err,
 		})
 		return err
 	})
@@ -521,6 +524,7 @@ func (w *Wave) TimedSegmentScanCtx(ctx context.Context, t1, t2 int, fn func(key 
 	cons, eng := w.beginQuery()
 	defer w.endQuery()
 	qm, tr := w.instrumentation()
+	tid := TraceIDFrom(ctx)
 	targets, slots, err := searchTargets(cons, t1, t2)
 	if err != nil {
 		return err
@@ -554,7 +558,7 @@ func (w *Wave) TimedSegmentScanCtx(ctx context.Context, t1, t2 int, fn func(key 
 		})
 		emit(tr, TraceEvent{
 			Kind: "scan.constituent", Start: start, Duration: time.Since(start),
-			From: t1, To: t2, Constituent: slots[0], Entries: entries, Err: err,
+			From: t1, To: t2, Constituent: slots[0], Entries: entries, TraceID: tid, Err: err,
 		})
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr

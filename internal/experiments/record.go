@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/scenario"
+)
+
+// BenchSchema identifies the bench-trajectory file format. Bump it
+// when BenchFile changes incompatibly so stale recordings are
+// rejected instead of silently mis-compared.
+const BenchSchema = "waveindex-bench/v1"
+
+// BenchPoint is one (scheme, technique) grid point of a recorded
+// benchmark: the paper's §5 measures priced by the cost model
+// (simulated microseconds and bytes) plus the host wall-clock time
+// the replay took. Wall clock is recorded for trend-watching only;
+// CompareBench never flags it, since it varies with the machine.
+type BenchPoint struct {
+	Scheme    string `json:"scheme"`
+	Technique string `json:"technique"`
+
+	AvgTransitionUS int64 `json:"avgTransitionUs"`
+	MaxTransitionUS int64 `json:"maxTransitionUs"`
+	AvgPreUS        int64 `json:"avgPreUs"`
+	AvgProbeUS      int64 `json:"avgProbeUs"`
+	AvgScanUS       int64 `json:"avgScanUs"`
+	AvgTotalWorkUS  int64 `json:"avgTotalWorkUs"`
+	AvgSpaceEnd     int64 `json:"avgSpaceEndBytes"`
+	MaxSpacePeak    int64 `json:"maxSpacePeakBytes"`
+
+	WallClockUS int64 `json:"wallClockUs"`
+}
+
+// measures returns the point's regression-checked measures by name —
+// everything but wall clock.
+func (p BenchPoint) measures() map[string]int64 {
+	return map[string]int64{
+		"avgTransitionUs": p.AvgTransitionUS,
+		"maxTransitionUs": p.MaxTransitionUS,
+		"avgPreUs":        p.AvgPreUS,
+		"avgProbeUs":      p.AvgProbeUS,
+		"avgScanUs":       p.AvgScanUS,
+		"avgTotalWorkUs":  p.AvgTotalWorkUS,
+		"avgSpaceEndB":    p.AvgSpaceEnd,
+		"maxSpacePeakB":   p.MaxSpacePeak,
+	}
+}
+
+// BenchFile is a recorded benchmark trajectory: the full
+// scheme × technique grid at one scenario/W point.
+type BenchFile struct {
+	Schema      string       `json:"schema"`
+	Scenario    string       `json:"scenario"`
+	W           int          `json:"w"`
+	Transitions int          `json:"transitions"`
+	Points      []BenchPoint `json:"points"`
+}
+
+// BenchOptions configures RecordBench. The zero value records the
+// SCAM scenario at its native W with the harness's default
+// measurement length.
+type BenchOptions struct {
+	// Scenario names the case study to replay ("" means SCAM).
+	Scenario string
+	// Transitions is the measured steady-state transition count per
+	// point (0 means the harness default, 10*W). 1 is the smoke
+	// setting: fast, still schema-complete.
+	Transitions int
+}
+
+// RecordBench replays every maintenance scheme under every update
+// technique and returns the priced measures as one comparable file.
+func RecordBench(opt BenchOptions) (*BenchFile, error) {
+	name := opt.Scenario
+	if name == "" {
+		name = "SCAM"
+	}
+	sc, ok := scenario.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scenario %q", name)
+	}
+	f := &BenchFile{Schema: BenchSchema, Scenario: sc.Name, W: sc.W, Transitions: opt.Transitions}
+	if f.Transitions == 0 {
+		f.Transitions = 10 * sc.W
+	}
+	for _, k := range core.Kinds {
+		n := tableN
+		if n < k.MinN() {
+			n = k.MinN()
+		}
+		for _, tech := range []core.Technique{core.InPlace, core.SimpleShadow, core.PackedShadow} {
+			start := time.Now()
+			res, err := Run(RunConfig{
+				Kind: k, W: sc.W, N: n, Technique: tech,
+				Scenario: sc, Transitions: opt.Transitions,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bench %s/%s: %w", k, tech, err)
+			}
+			f.Points = append(f.Points, BenchPoint{
+				Scheme:          k.String(),
+				Technique:       tech.String(),
+				AvgTransitionUS: res.AvgTransition().Microseconds(),
+				MaxTransitionUS: res.MaxTransition().Microseconds(),
+				AvgPreUS:        res.AvgPre().Microseconds(),
+				AvgProbeUS:      res.AvgProbe().Microseconds(),
+				AvgScanUS:       res.AvgScan().Microseconds(),
+				AvgTotalWorkUS:  res.AvgTotalWork().Microseconds(),
+				AvgSpaceEnd:     res.AvgSpaceEnd(),
+				MaxSpacePeak:    res.MaxSpacePeak(),
+				WallClockUS:     time.Since(start).Microseconds(),
+			})
+		}
+	}
+	return f, nil
+}
+
+// Validate checks a bench file is structurally sound: right schema,
+// a complete scheme × technique grid, and sane measures.
+func (f *BenchFile) Validate() error {
+	if f.Schema != BenchSchema {
+		return fmt.Errorf("experiments: schema %q, want %q", f.Schema, BenchSchema)
+	}
+	if _, ok := scenario.ByName(f.Scenario); !ok {
+		return fmt.Errorf("experiments: unknown scenario %q", f.Scenario)
+	}
+	if f.W <= 0 || f.Transitions <= 0 {
+		return fmt.Errorf("experiments: bad geometry W=%d transitions=%d", f.W, f.Transitions)
+	}
+	want := len(core.Kinds) * 3
+	if len(f.Points) != want {
+		return fmt.Errorf("experiments: %d points, want the full %d-point grid", len(f.Points), want)
+	}
+	seen := map[string]bool{}
+	for _, p := range f.Points {
+		if _, err := core.ParseKind(p.Scheme); err != nil {
+			return fmt.Errorf("experiments: point %s/%s: %w", p.Scheme, p.Technique, err)
+		}
+		switch p.Technique {
+		case "inplace", "simple-shadow", "packed-shadow":
+		default:
+			return fmt.Errorf("experiments: point %s: unknown technique %q", p.Scheme, p.Technique)
+		}
+		id := p.Scheme + "/" + p.Technique
+		if seen[id] {
+			return fmt.Errorf("experiments: duplicate point %s", id)
+		}
+		seen[id] = true
+		for name, v := range p.measures() {
+			if v < 0 {
+				return fmt.Errorf("experiments: point %s: negative %s = %d", id, name, v)
+			}
+		}
+		if p.AvgTotalWorkUS == 0 || p.MaxSpacePeak == 0 {
+			return fmt.Errorf("experiments: point %s: zero work or space", id)
+		}
+	}
+	return nil
+}
+
+// WriteBench serialises a bench file as indented JSON.
+func WriteBench(w io.Writer, f *BenchFile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadBench parses and validates a bench file.
+func ReadBench(r io.Reader) (*BenchFile, error) {
+	var f BenchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("experiments: parsing bench file: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Regression is one measure that got worse between two recordings.
+type Regression struct {
+	Scheme, Technique, Measure string
+	Old, New                   int64
+	Pct                        float64 // percent increase over Old
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s/%s %s: %d -> %d (+%.1f%%)", r.Scheme, r.Technique, r.Measure, r.Old, r.New, r.Pct)
+}
+
+// CompareBench flags every measure of new that exceeds the matching
+// measure of old by more than thresholdPct percent. Wall clock is
+// never compared. The two files must record the same scenario and
+// measurement length, or the comparison would be apples to oranges.
+func CompareBench(old, new *BenchFile, thresholdPct float64) ([]Regression, error) {
+	if err := old.Validate(); err != nil {
+		return nil, fmt.Errorf("old: %w", err)
+	}
+	if err := new.Validate(); err != nil {
+		return nil, fmt.Errorf("new: %w", err)
+	}
+	if old.Scenario != new.Scenario || old.W != new.W || old.Transitions != new.Transitions {
+		return nil, fmt.Errorf("experiments: incomparable recordings: %s/W=%d/T=%d vs %s/W=%d/T=%d",
+			old.Scenario, old.W, old.Transitions, new.Scenario, new.W, new.Transitions)
+	}
+	oldPoints := map[string]BenchPoint{}
+	for _, p := range old.Points {
+		oldPoints[p.Scheme+"/"+p.Technique] = p
+	}
+	var regs []Regression
+	for _, p := range new.Points {
+		op, ok := oldPoints[p.Scheme+"/"+p.Technique]
+		if !ok {
+			return nil, fmt.Errorf("experiments: point %s/%s missing from old recording", p.Scheme, p.Technique)
+		}
+		om, nm := op.measures(), p.measures()
+		names := make([]string, 0, len(nm))
+		for name := range nm {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			o, n := om[name], nm[name]
+			if o == 0 {
+				continue // nothing to regress against (e.g. scan-free scenarios)
+			}
+			pct := 100 * float64(n-o) / float64(o)
+			if pct > thresholdPct {
+				regs = append(regs, Regression{
+					Scheme: p.Scheme, Technique: p.Technique,
+					Measure: name, Old: o, New: n, Pct: pct,
+				})
+			}
+		}
+	}
+	return regs, nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"waveindex/internal/core"
+)
+
+func TestRecordBenchGridAndRoundTrip(t *testing.T) {
+	f, err := RecordBench(BenchOptions{Transitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Scenario != "SCAM" || f.W != 7 || f.Transitions != 1 {
+		t.Fatalf("header = %s/W=%d/T=%d", f.Scenario, f.W, f.Transitions)
+	}
+	if want := len(core.Kinds) * 3; len(f.Points) != want {
+		t.Fatalf("points = %d, want %d", len(f.Points), want)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(f.Points) || back.Points[0] != f.Points[0] {
+		t.Fatalf("round trip changed the file: %+v vs %+v", back.Points[0], f.Points[0])
+	}
+}
+
+func TestValidateRejectsBadFiles(t *testing.T) {
+	good, err := RecordBench(BenchOptions{Transitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*BenchFile){
+		"schema":     func(f *BenchFile) { f.Schema = "waveindex-bench/v0" },
+		"scenario":   func(f *BenchFile) { f.Scenario = "NOPE" },
+		"geometry":   func(f *BenchFile) { f.W = 0 },
+		"short grid": func(f *BenchFile) { f.Points = f.Points[:3] },
+		"dup point":  func(f *BenchFile) { f.Points[1] = f.Points[0] },
+		"bad scheme": func(f *BenchFile) { f.Points[0].Scheme = "NOPE" },
+		"bad tech":   func(f *BenchFile) { f.Points[0].Technique = "NOPE" },
+		"negative":   func(f *BenchFile) { f.Points[0].AvgProbeUS = -1 },
+		"zero work":  func(f *BenchFile) { f.Points[0].AvgTotalWorkUS = 0 },
+	} {
+		f := *good
+		f.Points = append([]BenchPoint(nil), good.Points...)
+		mutate(&f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: bad file validated", name)
+		}
+	}
+}
+
+func TestCompareBenchFlagsRegressions(t *testing.T) {
+	old, err := RecordBench(BenchOptions{Transitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := *old
+	same.Points = append([]BenchPoint(nil), old.Points...)
+	regs, err := CompareBench(old, &same, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical recordings regressed: %v", regs)
+	}
+	// Inject a 50% transition-time regression into one point.
+	bad := *old
+	bad.Points = append([]BenchPoint(nil), old.Points...)
+	bad.Points[4].AvgTransitionUS = old.Points[4].AvgTransitionUS * 3 / 2
+	regs, err = CompareBench(old, &bad, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the injected one", regs)
+	}
+	r := regs[0]
+	if r.Measure != "avgTransitionUs" || r.Scheme != bad.Points[4].Scheme || r.Pct < 45 {
+		t.Fatalf("regression = %+v", r)
+	}
+	if !strings.Contains(r.String(), "avgTransitionUs") {
+		t.Fatalf("regression string = %q", r.String())
+	}
+	// Wall clock is never compared.
+	wall := *old
+	wall.Points = append([]BenchPoint(nil), old.Points...)
+	wall.Points[0].WallClockUS = old.Points[0].WallClockUS*100 + 1000
+	if regs, err = CompareBench(old, &wall, 10); err != nil || len(regs) != 0 {
+		t.Fatalf("wall clock compared: %v, %v", regs, err)
+	}
+	// Mismatched geometry refuses to compare.
+	other := *old
+	other.Transitions = 2
+	if _, err := CompareBench(old, &other, 10); err == nil {
+		t.Fatal("mismatched recordings compared")
+	}
+}

@@ -109,6 +109,12 @@ func BucketBound(i int) int64 {
 	return 1<<(i+1) - 1
 }
 
+// InfBound is the bound reported by the unbounded last bucket
+// (BucketBound(histBuckets-1)). Exporters that need a true upper bound
+// (e.g. Prometheus text format) should render observations in a bucket
+// whose Le equals InfBound under +Inf rather than as a finite le.
+const InfBound = int64(1) << (histBuckets - 1)
+
 // Observe records one observation. No-op on a nil receiver.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
@@ -159,11 +165,19 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
-// Quantile returns an upper bound on the q-quantile (0 <= q <= 1),
-// resolved to bucket granularity. Empty histograms report 0.
+// Quantile returns an upper bound on the q-quantile, resolved to bucket
+// granularity. q is clamped to [0, 1]: q <= 0 reports the observed
+// minimum and q >= 1 the observed maximum exactly. Empty histograms
+// report 0 for every q.
 func (s HistogramSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
 	}
 	rank := int64(q*float64(s.Count-1)) + 1
 	var seen int64
@@ -207,14 +221,36 @@ type Registry struct {
 // New returns an empty registry.
 func New() *Registry { return &Registry{} }
 
+// checkKind panics if name is already registered as a different metric
+// kind. Reusing one name across kinds would hand out two unrelated
+// handles behind the same name and emit conflicting series from
+// exporters, so it is a programming error, not a recoverable condition.
+// Called with r.mu held.
+func (r *Registry) checkKind(name, kind string) {
+	var prior string
+	switch {
+	case kind != "counter" && r.ctrs[name] != nil:
+		prior = "counter"
+	case kind != "gauge" && r.gauge[name] != nil:
+		prior = "gauge"
+	case kind != "histogram" && r.hist[name] != nil:
+		prior = "histogram"
+	default:
+		return
+	}
+	panic("metrics: " + name + " already registered as a " + prior + ", cannot re-register as a " + kind)
+}
+
 // Counter returns the named counter, creating it on first use. Returns
-// nil (a no-op handle) on a nil registry.
+// nil (a no-op handle) on a nil registry. Panics if name is already
+// registered as a gauge or histogram.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkKind(name, "counter")
 	if r.ctrs == nil {
 		r.ctrs = map[string]*Counter{}
 	}
@@ -227,13 +263,15 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Gauge returns the named gauge, creating it on first use. Returns nil
-// (a no-op handle) on a nil registry.
+// (a no-op handle) on a nil registry. Panics if name is already
+// registered as a counter or histogram.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkKind(name, "gauge")
 	if r.gauge == nil {
 		r.gauge = map[string]*Gauge{}
 	}
@@ -246,13 +284,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it on first use.
-// Returns nil (a no-op handle) on a nil registry.
+// Returns nil (a no-op handle) on a nil registry. Panics if name is
+// already registered as a counter or gauge.
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkKind(name, "histogram")
 	if r.hist == nil {
 		r.hist = map[string]*Histogram{}
 	}

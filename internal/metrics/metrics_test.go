@@ -62,14 +62,70 @@ func TestHistogram(t *testing.T) {
 	if m := s.Mean(); m < 184 || m > 185 {
 		t.Fatalf("mean = %v", m)
 	}
-	if q := s.Quantile(0); q != 1 { // bucket 0 upper bound
-		t.Fatalf("p0 = %d, want 1", q)
+	if q := s.Quantile(0); q != 0 { // observed min, exactly
+		t.Fatalf("p0 = %d, want 0", q)
 	}
-	if q := s.Quantile(1); q != 1000 { // clamped to observed max
+	if q := s.Quantile(1); q != 1000 { // observed max, exactly
 		t.Fatalf("p100 = %d, want 1000", q)
 	}
 	if q := s.Quantile(0.5); q < 3 || q > 127 {
 		t.Fatalf("p50 = %d, out of plausible bucket range", q)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	var h Histogram
+	h.Observe(5)
+	h.Observe(900)
+	s := h.snapshot()
+	if got := s.Quantile(0); got != 5 {
+		t.Fatalf("Quantile(0) = %d, want min 5", got)
+	}
+	if got := s.Quantile(-0.5); got != 5 {
+		t.Fatalf("Quantile(-0.5) = %d, want min 5", got)
+	}
+	if got := s.Quantile(1); got != 900 {
+		t.Fatalf("Quantile(1) = %d, want max 900", got)
+	}
+	if got := s.Quantile(1.5); got != 900 {
+		t.Fatalf("Quantile(1.5) = %d, want max 900", got)
+	}
+	// Interior quantiles still resolve to bucket bounds, never below min
+	// or above max.
+	if got := s.Quantile(0.25); got < 5 || got > 900 {
+		t.Fatalf("Quantile(0.25) = %d, outside [5, 900]", got)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic on cross-kind registration", name)
+			}
+		}()
+		f()
+	}
+	r := New()
+	r.Counter("c")
+	r.Gauge("g")
+	r.Histogram("h")
+	mustPanic("counter->gauge", func() { r.Gauge("c") })
+	mustPanic("counter->histogram", func() { r.Histogram("c") })
+	mustPanic("gauge->counter", func() { r.Counter("g") })
+	mustPanic("gauge->histogram", func() { r.Histogram("g") })
+	mustPanic("histogram->counter", func() { r.Counter("h") })
+	mustPanic("histogram->gauge", func() { r.Gauge("h") })
+	// Same-kind re-registration still returns the original handle.
+	if r.Counter("c") == nil || r.Gauge("g") == nil || r.Histogram("h") == nil {
+		t.Fatal("same-kind re-registration broke")
 	}
 }
 

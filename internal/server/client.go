@@ -316,10 +316,10 @@ func (c *Client) Stats() (string, error) {
 // extremes, and bucket-granularity quantiles, all in the histogram's
 // native unit (microseconds for latency histograms).
 type HistogramRow struct {
-	Name          string
-	Count, Sum    int64
-	Min, Max      int64
-	P50, P90, P99 int64
+	Name               string
+	Count, Sum         int64
+	Min, Max           int64
+	P50, P90, P95, P99 int64
 }
 
 // Metrics is a parsed METRICS reply.
@@ -362,14 +362,14 @@ func (c *Client) Metrics() (Metrics, error) {
 			v, _ := strconv.ParseInt(f[2], 10, 64)
 			m.Gauges[f[1]] = v
 			seen++
-		case len(f) == 9 && f[0] == "HIST":
-			var vs [7]int64
+		case len(f) == 10 && f[0] == "HIST":
+			var vs [8]int64
 			for i := range vs {
 				vs[i], _ = strconv.ParseInt(f[i+2], 10, 64)
 			}
 			m.Histograms = append(m.Histograms, HistogramRow{
 				Name: f[1], Count: vs[0], Sum: vs[1], Min: vs[2], Max: vs[3],
-				P50: vs[4], P90: vs[5], P99: vs[6],
+				P50: vs[4], P90: vs[5], P95: vs[6], P99: vs[7],
 			})
 			seen++
 		case len(f) == 2 && f[0] == "END":
@@ -386,15 +386,23 @@ func (c *Client) Metrics() (Metrics, error) {
 	}
 }
 
-// SlowLogEntry is one parsed SLOWLOG row.
+// SlowLogEntry is one parsed SLOWLOG row. Seeks, BytesRead,
+// BytesWritten and DiskUS are the simulated-disk work the query itself
+// performed (DiskUS in simulated microseconds); TraceID is the wire
+// trace id active when the query ran, if any.
 type SlowLogEntry struct {
-	Kind       string
-	From, To   int
-	Keys       int
-	Entries    int
-	DurationUS int64
-	Key        string
-	Err        string
+	Kind         string
+	From, To     int
+	Keys         int
+	Entries      int
+	DurationUS   int64
+	Seeks        int64
+	BytesRead    int64
+	BytesWritten int64
+	DiskUS       int64
+	TraceID      string
+	Key          string
+	Err          string
 }
 
 // SlowLog fetches the server's slow-query log, most recent first.
@@ -411,18 +419,25 @@ func (c *Client) SlowLog() ([]SlowLogEntry, error) {
 		}
 		f := strings.Fields(line)
 		switch {
-		case len(f) >= 8 && f[0] == "SLOW":
+		case len(f) >= 13 && f[0] == "SLOW":
 			e := SlowLogEntry{Kind: f[1]}
 			e.From, _ = strconv.Atoi(f[2])
 			e.To, _ = strconv.Atoi(f[3])
 			e.Keys, _ = strconv.Atoi(f[4])
 			e.Entries, _ = strconv.Atoi(f[5])
 			e.DurationUS, _ = strconv.ParseInt(f[6], 10, 64)
-			if f[7] != "-" {
-				e.Key = f[7]
+			e.Seeks, _ = strconv.ParseInt(f[7], 10, 64)
+			e.BytesRead, _ = strconv.ParseInt(f[8], 10, 64)
+			e.BytesWritten, _ = strconv.ParseInt(f[9], 10, 64)
+			e.DiskUS, _ = strconv.ParseInt(f[10], 10, 64)
+			if f[11] != "-" {
+				e.TraceID = f[11]
 			}
-			if len(f) > 8 {
-				e.Err = strings.Join(f[8:], " ")
+			if f[12] != "-" {
+				e.Key = f[12]
+			}
+			if len(f) > 13 {
+				e.Err = strings.Join(f[13:], " ")
 			}
 			out = append(out, e)
 		case len(f) == 2 && f[0] == "END":
@@ -448,4 +463,72 @@ func (c *Client) SetSlowLogThreshold(ms int) error {
 	}
 	_, err := c.expectOK()
 	return err
+}
+
+// Trace sets the connection's trace id: subsequent queries on this
+// connection carry it through spans and the slow-query log.
+func (c *Client) Trace(id string) error {
+	fmt.Fprintf(c.w, "TRACE %s\n", id)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expectOK()
+	return err
+}
+
+// ClearTrace clears the connection's trace id.
+func (c *Client) ClearTrace() error {
+	fmt.Fprintln(c.w, "TRACE -")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expectOK()
+	return err
+}
+
+// WorkRow is one parsed WORK row: the simulated-disk work attributed
+// to one cause across the index's stores (SimUS in simulated
+// microseconds).
+type WorkRow struct {
+	Cause        string
+	Seeks        int64
+	BytesRead    int64
+	BytesWritten int64
+	SimUS        int64
+}
+
+// Work fetches the server's work ledger: per-cause simulated-disk
+// totals split across query, transition, checkpoint, and recovery.
+func (c *Client) Work() ([]WorkRow, error) {
+	fmt.Fprintln(c.w, "WORK")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var out []WorkRow
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Fields(line)
+		switch {
+		case len(f) == 6 && f[0] == "WORK":
+			r := WorkRow{Cause: f[1]}
+			r.Seeks, _ = strconv.ParseInt(f[2], 10, 64)
+			r.BytesRead, _ = strconv.ParseInt(f[3], 10, 64)
+			r.BytesWritten, _ = strconv.ParseInt(f[4], 10, 64)
+			r.SimUS, _ = strconv.ParseInt(f[5], 10, 64)
+			out = append(out, r)
+		case len(f) == 2 && f[0] == "END":
+			want, _ := strconv.Atoi(f[1])
+			if want != len(out) {
+				return nil, fmt.Errorf("server: work ended with %d rows, header said %d", len(out), want)
+			}
+			return out, nil
+		case strings.HasPrefix(line, "ERR "):
+			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
+		default:
+			return nil, fmt.Errorf("server: unexpected line %q", line)
+		}
+	}
 }

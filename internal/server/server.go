@@ -19,6 +19,9 @@
 //	METRICS                     metrics snapshot
 //	SLOWLOG                     slow-query log, most recent first
 //	SLOWLOG <ms>                set the slow-query threshold (0 disables)
+//	WORK                        per-cause disk work ledger
+//	TRACE <id>                  stamp this connection's queries with id
+//	TRACE [-]                   clear the connection's trace ID
 //	HEALTH                      readiness, degradation, recovery state
 //	RECOVER                     run the journal recovery protocol
 //	QUIT                        close the connection
@@ -30,14 +33,23 @@
 // "KEY <key> <count>" line followed by that key's ENTRY lines, all
 // terminated by "END <nkeys>". METRICS streams "COUNTER <name> <v>",
 // "GAUGE <name> <v>", and
-// "HIST <name> <count> <sum> <min> <max> <p50> <p90> <p99>" lines
+// "HIST <name> <count> <sum> <min> <max> <p50> <p90> <p95> <p99>" lines
 // (histograms in microseconds), terminated by "END <n>". SLOWLOG streams
-// "SLOW <kind> <from> <to> <keys> <entries> <us> <key|-> [err]" lines
+// "SLOW <kind> <from> <to> <keys> <entries> <us> <seeks> <bytesRead>
+// <bytesWritten> <diskus> <trace|-> <key|-> [err]" lines terminated by
+// "END <n>". WORK streams
+// "WORK <cause> <seeks> <bytesRead> <bytesWritten> <simus>" lines
 // terminated by "END <n>".
+//
+// A trace ID set by TRACE rides the connection: every subsequent probe,
+// multi-probe, and scan carries it in its query context, so the ID shows
+// up in the engine's spans (exported Chrome traces included) and in
+// slow-query-log entries — wire-level request correlation.
 package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -229,6 +241,12 @@ func (s *Server) handle(conn net.Conn) {
 	in.Buffer(make([]byte, 0, min(1<<16, s.opts.MaxLineBytes)), s.opts.MaxLineBytes)
 	out := bufio.NewWriter(conn)
 	defer out.Flush()
+	// traceID is connection state: TRACE <id> stamps every later query's
+	// context, TRACE (or TRACE -) clears it.
+	traceID := ""
+	qctx := func() context.Context {
+		return wave.WithTraceID(context.Background(), traceID)
+	}
 	for {
 		select {
 		case <-s.closed:
@@ -259,15 +277,28 @@ func (s *Server) handle(conn net.Conn) {
 		case "ADDDAY":
 			err = s.addDay(conn, in, out, fields[1:])
 		case "PROBE":
-			err = s.probe(out, fields[1:], false)
+			err = s.probe(qctx(), out, fields[1:], false)
 		case "PROBERANGE":
-			err = s.probe(out, fields[1:], true)
+			err = s.probe(qctx(), out, fields[1:], true)
 		case "MPROBE":
-			err = s.mprobe(out, fields[1:])
+			err = s.mprobe(qctx(), out, fields[1:])
 		case "COUNT":
-			err = s.count(out, fields[1:])
+			err = s.count(qctx(), out, fields[1:])
 		case "TOPK":
 			err = s.topk(out, fields[1:])
+		case "TRACE":
+			switch {
+			case len(fields) == 1 || (len(fields) == 2 && fields[1] == "-"):
+				traceID = ""
+				fmt.Fprintln(out, "OK trace cleared")
+			case len(fields) == 2:
+				traceID = fields[1]
+				fmt.Fprintf(out, "OK trace %s\n", traceID)
+			default:
+				err = errors.New("usage: TRACE [<id>|-]")
+			}
+		case "WORK":
+			s.work(out)
 		case "WINDOW":
 			idx := s.index()
 			from, to := idx.Window()
@@ -381,13 +412,13 @@ func (s *Server) recover(out *bufio.Writer) error {
 	return nil
 }
 
-func (s *Server) probe(out *bufio.Writer, args []string, ranged bool) error {
+func (s *Server) probe(ctx context.Context, out *bufio.Writer, args []string, ranged bool) error {
 	idx := s.index()
 	var es []wave.Entry
 	var err error
 	switch {
 	case !ranged && len(args) == 1:
-		es, err = idx.Probe(args[0])
+		es, err = idx.ProbeCtx(ctx, args[0])
 	case ranged && len(args) == 3:
 		var from, to int
 		if from, err = strconv.Atoi(args[1]); err != nil {
@@ -396,7 +427,7 @@ func (s *Server) probe(out *bufio.Writer, args []string, ranged bool) error {
 		if to, err = strconv.Atoi(args[2]); err != nil {
 			return fmt.Errorf("bad to: %w", err)
 		}
-		es, err = idx.ProbeRange(args[0], from, to)
+		es, err = idx.ProbeRangeCtx(ctx, args[0], from, to)
 	default:
 		return errors.New("usage: PROBE <key> | PROBERANGE <key> <from> <to>")
 	}
@@ -410,7 +441,7 @@ func (s *Server) probe(out *bufio.Writer, args []string, ranged bool) error {
 	return nil
 }
 
-func (s *Server) mprobe(out *bufio.Writer, args []string) error {
+func (s *Server) mprobe(ctx context.Context, out *bufio.Writer, args []string) error {
 	if len(args) < 3 {
 		return errors.New("usage: MPROBE <from> <to> <key>...")
 	}
@@ -422,7 +453,7 @@ func (s *Server) mprobe(out *bufio.Writer, args []string) error {
 	if err != nil {
 		return fmt.Errorf("bad to: %w", err)
 	}
-	res, err := s.index().MultiProbeRange(args[2:], from, to)
+	res, err := s.index().MultiProbeRangeCtx(ctx, args[2:], from, to)
 	if err != nil {
 		return err
 	}
@@ -442,14 +473,14 @@ func (s *Server) mprobe(out *bufio.Writer, args []string) error {
 	return nil
 }
 
-func (s *Server) count(out *bufio.Writer, args []string) error {
+func (s *Server) count(ctx context.Context, out *bufio.Writer, args []string) error {
 	idx := s.index()
 	var err error
 	n := 0
 	visit := func(string, wave.Entry) bool { n++; return true }
 	switch len(args) {
 	case 0:
-		err = idx.Scan(visit)
+		err = idx.ScanCtx(ctx, visit)
 	case 2:
 		var from, to int
 		if from, err = strconv.Atoi(args[0]); err != nil {
@@ -458,7 +489,7 @@ func (s *Server) count(out *bufio.Writer, args []string) error {
 		if to, err = strconv.Atoi(args[1]); err != nil {
 			return fmt.Errorf("bad to: %w", err)
 		}
-		err = idx.ScanRange(from, to, visit)
+		err = idx.ScanRangeCtx(ctx, from, to, visit)
 	default:
 		return errors.New("usage: COUNT [<from> <to>]")
 	}
@@ -481,12 +512,22 @@ func (s *Server) metrics(out *bufio.Writer) {
 		n++
 	}
 	for _, h := range m.Histograms {
-		fmt.Fprintf(out, "HIST %s %d %d %d %d %d %d %d\n",
+		fmt.Fprintf(out, "HIST %s %d %d %d %d %d %d %d %d\n",
 			h.Name, h.Count, h.Sum, h.Min, h.Max,
-			h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+			h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.95), h.Quantile(0.99))
 		n++
 	}
 	fmt.Fprintf(out, "END %d\n", n)
+}
+
+// work streams the index's per-cause disk work ledger.
+func (s *Server) work(out *bufio.Writer) {
+	rows := s.index().Work()
+	for _, r := range rows {
+		fmt.Fprintf(out, "WORK %s %d %d %d %d\n",
+			r.Cause, r.Seeks, r.BytesRead, r.BytesWritten, r.SimTime.Microseconds())
+	}
+	fmt.Fprintf(out, "END %d\n", len(rows))
 }
 
 func (s *Server) slowlog(out *bufio.Writer, args []string) error {
@@ -499,8 +540,13 @@ func (s *Server) slowlog(out *bufio.Writer, args []string) error {
 			if key == "" {
 				key = "-"
 			}
-			fmt.Fprintf(out, "SLOW %s %d %d %d %d %d %s", q.Kind, q.From, q.To,
-				q.Keys, q.Entries, q.Duration.Microseconds(), key)
+			trace := q.TraceID
+			if trace == "" {
+				trace = "-"
+			}
+			fmt.Fprintf(out, "SLOW %s %d %d %d %d %d %d %d %d %d %s %s", q.Kind, q.From, q.To,
+				q.Keys, q.Entries, q.Duration.Microseconds(),
+				q.Seeks, q.BytesRead, q.BytesWritten, q.DiskTime.Microseconds(), trace, key)
 			if q.Err != "" {
 				fmt.Fprintf(out, " %s", strings.ReplaceAll(q.Err, "\n", " "))
 			}

@@ -187,6 +187,7 @@ func TestRawProtocolErrors(t *testing.T) {
 		"SLOWLOG x",
 		"SLOWLOG -1",
 		"SLOWLOG 1 2",
+		"TRACE a b",
 	} {
 		if reply := send(bad); !strings.HasPrefix(reply, "ERR ") {
 			t.Errorf("%q -> %q, want ERR", bad, reply)
@@ -291,6 +292,65 @@ func TestSlowlogCommand(t *testing.T) {
 	}
 	if th := idx.SlowQueryThreshold(); th.Milliseconds() != 1000 {
 		t.Errorf("threshold = %v, want 1s", th)
+	}
+}
+
+func TestTraceAndWorkCommands(t *testing.T) {
+	c, _ := startServer(t, wave.Config{Window: 3, Indexes: 2, SlowQueryThreshold: 1})
+	for d := 1; d <= 4; d++ {
+		if err := c.AddDay(d, postingsFor(d, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Trace("req-77"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Probe("k0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ClearTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Probe("k1"); err != nil {
+		t.Fatal(err)
+	}
+	log, err := c.SlowLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 {
+		t.Fatalf("slow log = %d rows, want 2: %+v", len(log), log)
+	}
+	// Most recent first: the untraced k1 probe, then the traced k0 one.
+	if log[0].TraceID != "" || log[0].Key != "k1" {
+		t.Errorf("untraced slow row = %+v", log[0])
+	}
+	if log[1].TraceID != "req-77" || log[1].Key != "k0" {
+		t.Errorf("traced slow row = %+v", log[1])
+	}
+	if log[1].Seeks == 0 || log[1].BytesRead == 0 {
+		t.Errorf("slow row missing disk delta: %+v", log[1])
+	}
+
+	rows, err := c.Work()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("work ledger = %d rows, want 4: %+v", len(rows), rows)
+	}
+	byCause := map[string]WorkRow{}
+	for _, r := range rows {
+		byCause[r.Cause] = r
+	}
+	if r := byCause["query"]; r.Seeks == 0 || r.BytesRead == 0 {
+		t.Errorf("query work row empty: %+v", r)
+	}
+	if r := byCause["transition"]; r.BytesWritten == 0 {
+		t.Errorf("transition work row has no writes: %+v", r)
+	}
+	if r := byCause["recovery"]; r.Seeks != 0 || r.BytesRead != 0 || r.BytesWritten != 0 {
+		t.Errorf("recovery work row non-zero without recovery: %+v", r)
 	}
 }
 

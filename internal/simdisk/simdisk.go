@@ -174,6 +174,50 @@ func SumStats(stats ...Stats) Stats {
 	return out
 }
 
+// Cause labels the activity a store operation is performed on behalf
+// of, splitting the paper's "total work" measure into its components:
+// serving queries, running wave transitions, writing checkpoints, and
+// replaying recovery. The zero value is CauseQuery, so a store that
+// never hears about causes attributes everything to query work.
+type Cause int
+
+// Work-ledger causes, in ledger order.
+const (
+	CauseQuery Cause = iota
+	CauseTransition
+	CauseCheckpoint
+	CauseRecovery
+	numCauses
+)
+
+// Causes lists every ledger cause in stable order.
+var Causes = [numCauses]Cause{CauseQuery, CauseTransition, CauseCheckpoint, CauseRecovery}
+
+// String returns the cause's label as used in metrics and wire output.
+func (c Cause) String() string {
+	switch c {
+	case CauseQuery:
+		return "query"
+	case CauseTransition:
+		return "transition"
+	case CauseCheckpoint:
+		return "checkpoint"
+	case CauseRecovery:
+		return "recovery"
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// CauseStats is one row of a store's work ledger: the disk work charged
+// while the store's cause was set to Cause.
+type CauseStats struct {
+	Cause        Cause
+	Seeks        int64
+	BytesRead    int64
+	BytesWritten int64
+	SimTime      time.Duration
+}
+
 // allocator hands out contiguous extents using a first-fit free list.
 // The free list is kept sorted by start block and adjacent runs are
 // coalesced on free, so a store that frees everything returns to a single
@@ -266,16 +310,20 @@ func newCostMeter(seek time.Duration, rate int64) *costMeter {
 
 // charge records an access of n bytes starting at absolute byte position
 // pos, charging a seek unless the access is sequential with the previous
-// one.
-func (m *costMeter) charge(pos, n int64) {
+// one. It returns this access's contribution (seeks charged, simulated
+// nanoseconds) so the caller can attribute it in the work ledger.
+func (m *costMeter) charge(pos, n int64) (seeks, nanos int64) {
 	if pos != m.lastPos {
+		seeks = 1
 		m.seeks++
-		m.simNanos += int64(m.seekTime)
+		nanos += int64(m.seekTime)
 	}
 	if m.rate > 0 {
-		m.simNanos += n * int64(time.Second) / m.rate
+		nanos += n * int64(time.Second) / m.rate
 	}
+	m.simNanos += nanos
 	m.lastPos = pos + n
+	return seeks, nanos
 }
 
 // Store is a BlockStore with a pluggable byte backend.
@@ -286,6 +334,8 @@ type Store struct {
 	alloc  *allocator
 	meter  *costMeter
 	stats  Stats
+	cause  Cause
+	work   [numCauses]CauseStats
 	faults faultSet
 	closed bool
 	data   backend
@@ -373,9 +423,13 @@ func (s *Store) WriteAt(ext Extent, off int64, p []byte) error {
 		return err
 	}
 	n := int64(len(p))
-	s.meter.charge(abs, n)
+	seeks, nanos := s.meter.charge(abs, n)
 	s.stats.BytesWritten += n
 	s.stats.BlocksWritten += (n + int64(s.cfg.BlockSize) - 1) / int64(s.cfg.BlockSize)
+	w := &s.work[s.cause]
+	w.Seeks += seeks
+	w.BytesWritten += n
+	w.SimTime += time.Duration(nanos)
 	return nil
 }
 
@@ -400,9 +454,13 @@ func (s *Store) ReadAt(ext Extent, off int64, p []byte) error {
 		return err
 	}
 	n := int64(len(p))
-	s.meter.charge(abs, n)
+	seeks, nanos := s.meter.charge(abs, n)
 	s.stats.BytesRead += n
 	s.stats.BlocksRead += (n + int64(s.cfg.BlockSize) - 1) / int64(s.cfg.BlockSize)
+	w := &s.work[s.cause]
+	w.Seeks += seeks
+	w.BytesRead += n
+	w.SimTime += time.Duration(nanos)
 	return nil
 }
 
@@ -416,15 +474,74 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// ResetStats implements BlockStore.
+// ResetStats implements BlockStore. The work ledger is reset along with
+// the activity counters; the current cause is kept.
 func (s *Store) ResetStats() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	used, peak := s.stats.UsedBlocks, s.stats.UsedBlocks
 	s.stats = Stats{UsedBlocks: used, PeakBlocks: peak}
+	s.work = [numCauses]CauseStats{}
 	s.meter.seeks = 0
 	s.meter.simNanos = 0
 	s.meter.lastPos = -1
+}
+
+// SetCause labels subsequent disk work with the given cause. The label
+// is store-wide: with concurrent activity of mixed provenance (e.g.
+// queries running during a transition), work is attributed to whichever
+// cause is current when each operation lands — approximate in the same
+// way per-query Stats deltas are, and exact in the common case where
+// transitions, checkpoints, and recovery hold the index lock.
+func (s *Store) SetCause(c Cause) {
+	if c < 0 || c >= numCauses {
+		c = CauseQuery
+	}
+	s.mu.Lock()
+	s.cause = c
+	s.mu.Unlock()
+}
+
+// Cause returns the store's current work-attribution label.
+func (s *Store) Cause() Cause {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cause
+}
+
+// Work returns the store's work ledger: one row per cause in Causes
+// order, including zero rows, so callers can render a stable series set.
+func (s *Store) Work() []CauseStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CauseStats, numCauses)
+	for i := range s.work {
+		out[i] = s.work[i]
+		out[i].Cause = Cause(i)
+	}
+	return out
+}
+
+// SumWork adds work ledgers row-wise (e.g. across the stores of one
+// index); all ledgers must come from Work, which fixes the row order.
+func SumWork(ledgers ...[]CauseStats) []CauseStats {
+	out := make([]CauseStats, numCauses)
+	for i := range out {
+		out[i].Cause = Cause(i)
+	}
+	for _, rows := range ledgers {
+		for _, r := range rows {
+			if r.Cause < 0 || r.Cause >= numCauses {
+				continue
+			}
+			o := &out[r.Cause]
+			o.Seeks += r.Seeks
+			o.BytesRead += r.BytesRead
+			o.BytesWritten += r.BytesWritten
+			o.SimTime += r.SimTime
+		}
+	}
+	return out
 }
 
 // Close implements BlockStore.

@@ -436,3 +436,82 @@ func TestStatsSubAttributesWork(t *testing.T) {
 		t.Fatalf("delta leaked pre-snapshot work: %+v", d)
 	}
 }
+
+// TestWorkLedgerAttribution drives one store through all four causes and
+// checks that the ledger splits seeks, bytes, and simulated time per
+// cause while the plain Stats totals stay the ledger's sum.
+func TestWorkLedgerAttribution(t *testing.T) {
+	s := NewRAM(Config{BlockSize: 64})
+	defer s.Close()
+	ext, err := s.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cause(); got != CauseQuery {
+		t.Fatalf("default cause = %v, want query", got)
+	}
+	buf := make([]byte, 128)
+	if err := s.WriteAt(ext, 0, buf); err != nil { // query write
+		t.Fatal(err)
+	}
+	s.SetCause(CauseTransition)
+	if err := s.ReadAt(ext, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(ext, 128, buf); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCause(CauseCheckpoint)
+	if err := s.WriteAt(ext, 256, buf); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCause(CauseRecovery)
+	if err := s.ReadAt(ext, 256, buf); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCause(CauseQuery)
+
+	rows := s.Work()
+	if len(rows) != len(Causes) {
+		t.Fatalf("ledger has %d rows, want %d", len(rows), len(Causes))
+	}
+	byCause := map[Cause]CauseStats{}
+	for _, r := range rows {
+		byCause[r.Cause] = r
+	}
+	if r := byCause[CauseQuery]; r.BytesWritten != 128 || r.BytesRead != 0 {
+		t.Fatalf("query row = %+v", r)
+	}
+	if r := byCause[CauseTransition]; r.BytesRead != 128 || r.BytesWritten != 128 {
+		t.Fatalf("transition row = %+v", r)
+	}
+	if r := byCause[CauseCheckpoint]; r.BytesWritten != 128 || r.BytesRead != 0 {
+		t.Fatalf("checkpoint row = %+v", r)
+	}
+	if r := byCause[CauseRecovery]; r.BytesRead != 128 || r.Seeks == 0 {
+		t.Fatalf("recovery row = %+v", r)
+	}
+
+	st := s.Stats()
+	var seeks int64
+	var sim time.Duration
+	for _, r := range rows {
+		seeks += r.Seeks
+		sim += r.SimTime
+	}
+	if seeks != st.Seeks || sim != st.SimTime {
+		t.Fatalf("ledger sum (seeks %d, sim %v) != stats (seeks %d, sim %v)", seeks, sim, st.Seeks, st.SimTime)
+	}
+
+	sum := SumWork(rows, rows)
+	if sum[CauseTransition].BytesRead != 256 {
+		t.Fatalf("SumWork transition bytes read = %d, want 256", sum[CauseTransition].BytesRead)
+	}
+
+	s.ResetStats()
+	for _, r := range s.Work() {
+		if r.Seeks != 0 || r.BytesRead != 0 || r.BytesWritten != 0 || r.SimTime != 0 {
+			t.Fatalf("ResetStats left ledger row %+v", r)
+		}
+	}
+}

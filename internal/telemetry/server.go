@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"waveindex/internal/metrics"
+	"waveindex/internal/simdisk"
+)
+
+// Health is the admin server's view of index liveness, mirroring the
+// line protocol's HEALTH command.
+type Health struct {
+	Ready         bool `json:"ready"`
+	Degraded      bool `json:"degraded"`
+	NeedsRecovery bool `json:"needsRecovery"`
+	Journaled     bool `json:"journaled"`
+}
+
+// Options wires an admin handler to a running index. Every hook is
+// optional: a nil hook's endpoint serves an empty (metrics, work) or
+// minimal (health) response, and a nil Spans disables /debug/spans.
+type Options struct {
+	// Metrics supplies the registry snapshot rendered at /metrics.
+	Metrics func() metrics.Snapshot
+	// Work supplies the work ledger rendered as labelled series at
+	// /metrics alongside the registry.
+	Work func() []simdisk.CauseStats
+	// Health supplies the state served at /healthz.
+	Health func() Health
+	// Spans, when set, is served as Chrome trace JSON at /debug/spans.
+	Spans *SpanSink
+}
+
+// NewHandler returns the admin HTTP handler: /metrics (Prometheus text
+// format), /healthz (JSON; 503 while recovery is needed), /debug/pprof/*
+// (the standard profiles), and /debug/spans (Chrome trace JSON of the
+// retained spans) when a span sink is wired.
+func NewHandler(opts Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", MetricsContentType)
+		if opts.Metrics != nil {
+			if err := WriteMetrics(w, opts.Metrics()); err != nil {
+				return
+			}
+		}
+		if opts.Work != nil {
+			_ = WriteWork(w, opts.Work())
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var h Health
+		if opts.Health != nil {
+			h = opts.Health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if h.NeedsRecovery {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	if opts.Spans != nil {
+		mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = opts.Spans.WriteChrome(w, "waved")
+		})
+	}
+	// net/http/pprof only self-registers on the default mux; wire its
+	// handlers onto this private one.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running admin HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an admin server on addr (e.g. "127.0.0.1:9090"; a :0
+// port picks a free one, see Addr). The server runs until Close.
+func Serve(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewHandler(opts),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes its listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+
+	"waveindex/internal/core"
+)
+
+// DefaultSpanCapacity is a SpanSink's ring size when NewSpanSink is
+// given a non-positive capacity.
+const DefaultSpanCapacity = 4096
+
+// SpanSink is a Tracer that retains the most recent completed spans in a
+// fixed-size ring for later export. It is safe for concurrent use and
+// can be wired anywhere a wave.Tracer / core.Tracer is accepted; fan it
+// out alongside a logging tracer to get both.
+type SpanSink struct {
+	mu      sync.Mutex
+	buf     []core.TraceEvent
+	next    int
+	full    bool
+	dropped int64
+}
+
+// NewSpanSink returns a sink retaining up to capacity spans
+// (DefaultSpanCapacity when capacity <= 0).
+func NewSpanSink(capacity int) *SpanSink {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &SpanSink{buf: make([]core.TraceEvent, capacity)}
+}
+
+// TraceEvent implements core.Tracer.
+func (s *SpanSink) TraceEvent(ev core.TraceEvent) {
+	s.mu.Lock()
+	if s.full {
+		s.dropped++
+	}
+	s.buf[s.next] = ev
+	s.next++
+	if s.next == len(s.buf) {
+		s.next, s.full = 0, true
+	}
+	s.mu.Unlock()
+}
+
+// Events returns the retained spans, oldest first.
+func (s *SpanSink) Events() []core.TraceEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]core.TraceEvent(nil), s.buf[:s.next]...)
+	}
+	out := make([]core.TraceEvent, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	return append(out, s.buf[:s.next]...)
+}
+
+// Dropped returns how many spans were evicted from the ring.
+func (s *SpanSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// ChromeProcess is one process lane of a Chrome trace: a name and its
+// spans. WriteChromeTrace renders each process's events under its own
+// pid, so e.g. wavetrace -all can show the six schemes side by side.
+type ChromeProcess struct {
+	Name   string
+	Events []core.TraceEvent
+}
+
+// chromeEvent is one trace_event JSON record. Only the fields the
+// chrome://tracing and Perfetto loaders consume are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // microseconds
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container format.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// spanTid maps a span to a thread lane: whole-query and transition
+// spans (Constituent -1) share lane 0, per-constituent spans get their
+// wave slot's lane.
+func spanTid(ev core.TraceEvent) int {
+	if ev.Constituent >= 0 {
+		return ev.Constituent + 1
+	}
+	return 0
+}
+
+// spanArgs collects a span's non-zero detail fields for the trace
+// viewer's argument pane.
+func spanArgs(ev core.TraceEvent) map[string]any {
+	args := map[string]any{}
+	if ev.TraceID != "" {
+		args["trace_id"] = ev.TraceID
+	}
+	if ev.Key != "" {
+		args["key"] = ev.Key
+	}
+	if ev.Keys != 0 {
+		args["keys"] = ev.Keys
+	}
+	if ev.From != 0 || ev.To != 0 {
+		args["from"], args["to"] = ev.From, ev.To
+	}
+	if ev.Constituents != 0 {
+		args["constituents"] = ev.Constituents
+	}
+	if ev.Entries != 0 {
+		args["entries"] = ev.Entries
+	}
+	if ev.Day != 0 {
+		args["day"] = ev.Day
+	}
+	if ev.Ops != 0 {
+		args["ops"] = ev.Ops
+	}
+	if ev.Err != nil {
+		args["err"] = ev.Err.Error()
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// WriteChromeTrace serialises spans as Chrome trace_event JSON, one
+// complete-event ("ph":"X") per span plus process/thread name metadata,
+// loadable in chrome://tracing or Perfetto. Timestamps are absolute
+// microseconds since the Unix epoch; durations are floored at 1µs so
+// sub-microsecond spans stay visible.
+func WriteChromeTrace(w io.Writer, procs ...ChromeProcess) error {
+	trace := chromeTrace{TraceEvents: []chromeEvent{}}
+	for pid, p := range procs {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": p.Name},
+		})
+		for _, ev := range p.Events {
+			dur := ev.Duration.Microseconds()
+			if dur < 1 {
+				dur = 1
+			}
+			cat := ev.Kind
+			if i := strings.IndexByte(cat, '.'); i >= 0 {
+				cat = cat[:i]
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: ev.Kind, Cat: cat, Ph: "X",
+				Ts: ev.Start.UnixMicro(), Dur: dur,
+				Pid: pid, Tid: spanTid(ev), Args: spanArgs(ev),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// WriteChrome writes the sink's retained spans as one Chrome trace
+// process named after name.
+func (s *SpanSink) WriteChrome(w io.Writer, name string) error {
+	return WriteChromeTrace(w, ChromeProcess{Name: name, Events: s.Events()})
+}

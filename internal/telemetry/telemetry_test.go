@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/metrics"
+	"waveindex/internal/simdisk"
+)
+
+func TestWriteMetricsFormat(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("query_probe_total").Add(3)
+	reg.Gauge("disk_used_blocks").Set(17)
+	h := reg.Histogram("query_probe_us")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE query_probe_total counter\nquery_probe_total 3\n",
+		"# TYPE disk_used_blocks gauge\ndisk_used_blocks 17\n",
+		"# TYPE query_probe_us histogram\n",
+		"query_probe_us_sum 1106\n",
+		"query_probe_us_count 5\n",
+		`query_probe_us_bucket{le="+Inf"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative and non-decreasing.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "query_probe_us_bucket") {
+			continue
+		}
+		f := strings.Fields(line)
+		n, err := strconv.ParseInt(f[len(f)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev = n
+	}
+	if prev != 5 {
+		t.Fatalf("final cumulative bucket = %d, want 5", prev)
+	}
+}
+
+func TestWriteMetricsInfBucket(t *testing.T) {
+	reg := metrics.New()
+	reg.Histogram("h").Observe(1 << 62) // lands in the unbounded bucket
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, fmt.Sprintf("le=\"%d\"", metrics.InfBound)) {
+		t.Fatalf("unbounded bucket rendered with a finite le:\n%s", out)
+	}
+	if !strings.Contains(out, `h_bucket{le="+Inf"} 1`) {
+		t.Fatalf("unbounded observation missing from +Inf:\n%s", out)
+	}
+}
+
+func TestWriteWork(t *testing.T) {
+	s := simdisk.NewRAM(simdisk.Config{BlockSize: 64})
+	defer s.Close()
+	ext, err := s.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(ext, 0, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCause(simdisk.CauseTransition)
+	if err := s.ReadAt(ext, 0, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWork(&buf, s.Work()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE work_seeks_total counter",
+		`work_bytes_written_total{cause="query"} 128`,
+		`work_bytes_read_total{cause="transition"} 128`,
+		`work_sim_us_total{cause="checkpoint"} 0`,
+		`work_seeks_total{cause="recovery"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("work output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanSinkRing(t *testing.T) {
+	s := NewSpanSink(3)
+	for i := 0; i < 5; i++ {
+		s.TraceEvent(core.TraceEvent{Kind: "probe", Entries: i})
+	}
+	evs := s.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Entries != i+2 {
+			t.Fatalf("ring order wrong: %+v", evs)
+		}
+	}
+	if s.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", s.Dropped())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	start := time.Unix(1000, 500000)
+	evs := []core.TraceEvent{
+		{Kind: "probe", Start: start, Duration: 42 * time.Microsecond, Key: "a", From: 1, To: 6, Constituent: -1, Entries: 7, TraceID: "req-1"},
+		{Kind: "probe.constituent", Start: start, Duration: 0, Key: "a", Constituent: 2, TraceID: "req-1", Err: errors.New("boom")},
+		{Kind: "transition.work", Start: start, Duration: time.Millisecond, Day: 9, Ops: 3, Constituent: -1},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, ChromeProcess{Name: "waved", Events: evs}); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(trace.TraceEvents) != 4 { // 1 process_name metadata + 3 spans
+		t.Fatalf("got %d trace events, want 4", len(trace.TraceEvents))
+	}
+	meta := trace.TraceEvents[0]
+	if meta["ph"] != "M" || meta["name"] != "process_name" {
+		t.Fatalf("first event is not process metadata: %v", meta)
+	}
+	probe := trace.TraceEvents[1]
+	if probe["ph"] != "X" || probe["name"] != "probe" || probe["cat"] != "probe" {
+		t.Fatalf("probe span malformed: %v", probe)
+	}
+	if ts := int64(probe["ts"].(float64)); ts != start.UnixMicro() {
+		t.Fatalf("ts = %d, want %d", ts, start.UnixMicro())
+	}
+	if dur := int64(probe["dur"].(float64)); dur != 42 {
+		t.Fatalf("dur = %d, want 42", dur)
+	}
+	args := probe["args"].(map[string]any)
+	if args["trace_id"] != "req-1" || args["key"] != "a" {
+		t.Fatalf("probe args missing trace id/key: %v", args)
+	}
+	cons := trace.TraceEvents[2]
+	if tid := int64(cons["tid"].(float64)); tid != 3 {
+		t.Fatalf("constituent tid = %d, want slot+1 = 3", tid)
+	}
+	if dur := int64(cons["dur"].(float64)); dur != 1 {
+		t.Fatalf("zero-duration span floored to %d, want 1", dur)
+	}
+	if cargs := cons["args"].(map[string]any); cargs["err"] != "boom" {
+		t.Fatalf("constituent args missing err: %v", cargs)
+	}
+	tw := trace.TraceEvents[3]
+	if targs := tw["args"].(map[string]any); targs["day"] != float64(9) || targs["ops"] != float64(3) {
+		t.Fatalf("transition args wrong: %v", targs)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("query_probe_total").Add(9)
+	store := simdisk.NewRAM(simdisk.Config{BlockSize: 64})
+	defer store.Close()
+	sink := NewSpanSink(8)
+	sink.TraceEvent(core.TraceEvent{Kind: "probe", Constituent: -1, TraceID: "t1"})
+	health := Health{Ready: true, Journaled: true}
+	srv, err := Serve("127.0.0.1:0", Options{
+		Metrics: reg.Snapshot,
+		Work:    store.Work,
+		Health:  func() Health { return health },
+		Spans:   sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "query_probe_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, `work_seeks_total{cause="query"}`) {
+		t.Fatalf("/metrics missing work ledger:\n%s", body)
+	}
+
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("/healthz status %d type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil || !h.Ready || !h.Journaled {
+		t.Fatalf("/healthz body %q (err %v)", body, err)
+	}
+	health.NeedsRecovery = true
+	if resp, _ = get("/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with needsRecovery status = %d, want 503", resp.StatusCode)
+	}
+	health.NeedsRecovery = false
+
+	resp, body = get("/debug/spans")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"trace_id":"t1"`) {
+		t.Fatalf("/debug/spans status %d body %s", resp.StatusCode, body)
+	}
+
+	if resp, _ = get("/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+	if resp, body = get("/debug/pprof/"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index broken: status %d", resp.StatusCode)
+	}
+}

@@ -372,6 +372,9 @@ func (j *Journaled) recoverLocked() (*RecoveryReport, error) {
 		}
 	}
 	sort.Ints(days)
+	// Replayed transitions are recovery work in the work ledger, not
+	// transition work: the non-query cause set here wins over AddDay's.
+	restore := idx.setWorkCause(simdisk.CauseRecovery)
 	for _, d := range days {
 		if err := idx.AddDay(d, batches[d].Postings); err != nil {
 			idx.Close()
@@ -382,6 +385,7 @@ func (j *Journaled) recoverLocked() (*RecoveryReport, error) {
 			rep.Uncommitted = append(rep.Uncommitted, d)
 		}
 	}
+	restore()
 	if j.idx != nil {
 		j.idx.Close()
 	}

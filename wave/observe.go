@@ -48,6 +48,17 @@ type SlowQuery struct {
 	Duration time.Duration
 	// Entries counts the entries returned or visited.
 	Entries int
+	// TraceID is the trace ID the query's context carried (see
+	// WithTraceID); "" when the query was not traced.
+	TraceID string
+	// Seeks, BytesRead, BytesWritten, and DiskTime are the simulated-disk
+	// delta the stores charged while the query ran — what the query cost,
+	// not just how long it took. Exact when queries run alone, approximate
+	// under concurrency (the same caveat as Stats.Sub).
+	Seeks        int64
+	BytesRead    int64
+	BytesWritten int64
+	DiskTime     time.Duration
 	// Err is the query's error text, "" on success.
 	Err string
 }
@@ -204,8 +215,9 @@ func (ob *observability) begin() (time.Time, simdisk.Stats, bool) {
 // end closes a query observation: it records latency and per-query disk
 // deltas, feeds the slow-query log, and emits the whole-query span.
 // The disk delta is the stores' counter movement during the query —
-// exact when queries run alone, approximate under concurrency.
-func (ob *observability) end(kind, key string, keys, from, to, entries int, start time.Time, before simdisk.Stats, err error) {
+// exact when queries run alone, approximate under concurrency. tid is
+// the trace ID carried by the query's context ("" when untraced).
+func (ob *observability) end(kind, key, tid string, keys, from, to, entries int, start time.Time, before simdisk.Stats, err error) {
 	d := time.Since(start)
 	var count *metrics.Counter
 	var lat *metrics.Histogram
@@ -233,7 +245,9 @@ func (ob *observability) end(kind, key string, keys, from, to, entries int, star
 		ob.slowTotal.Inc()
 		q := SlowQuery{
 			Kind: kind, Key: key, Keys: keys, From: from, To: to,
-			Start: start, Duration: d, Entries: entries,
+			Start: start, Duration: d, Entries: entries, TraceID: tid,
+			Seeks: delta.Seeks, BytesRead: delta.BytesRead,
+			BytesWritten: delta.BytesWritten, DiskTime: delta.SimTime,
 		}
 		if err != nil {
 			q.Err = err.Error()
@@ -244,7 +258,7 @@ func (ob *observability) end(kind, key string, keys, from, to, entries int, star
 		ob.tracer.TraceEvent(TraceEvent{
 			Kind: kind, Start: start, Duration: d,
 			Key: key, Keys: keys, From: from, To: to,
-			Constituent: -1, Entries: entries, Err: err,
+			Constituent: -1, Entries: entries, TraceID: tid, Err: err,
 		})
 	}
 }
@@ -286,4 +300,34 @@ func (x *Index) SetSlowQueryThreshold(d time.Duration) {
 // the log is disabled).
 func (x *Index) SlowQueryThreshold() time.Duration {
 	return time.Duration(x.obs.slow.threshold.Load())
+}
+
+// WithTraceID returns a context whose queries carry the given trace ID:
+// spans and slow-query-log entries produced under it are stamped with
+// the ID, so a wire-level `TRACE <id>` can be followed end to end. An
+// empty id returns ctx unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return core.WithTraceID(ctx, id)
+}
+
+// TraceIDFrom returns the trace ID carried by ctx, or "" if none.
+func TraceIDFrom(ctx context.Context) string {
+	return core.TraceIDFrom(ctx)
+}
+
+// CauseStats is one row of the index's disk-work ledger (see Work).
+type CauseStats = simdisk.CauseStats
+
+// Work returns the index's disk-work ledger: the simulated seek and
+// transfer cost of every store, split by cause — query, transition,
+// checkpoint, recovery — in stable order. This is the paper's "total
+// daily work" measure made continuously observable: the transition row
+// is maintenance work, the query row is probe/scan work, and their sum
+// tracks Stats().Disk.
+func (x *Index) Work() []CauseStats {
+	ledgers := make([][]CauseStats, len(x.stores))
+	for i, s := range x.stores {
+		ledgers[i] = s.Work()
+	}
+	return simdisk.SumWork(ledgers...)
 }

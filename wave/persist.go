@@ -29,6 +29,8 @@ func (x *Index) SaveSnapshot(w io.Writer) error {
 		return errors.New("wave: snapshot of a multi-store index is not supported")
 	}
 	start := time.Now()
+	restore := x.setWorkCause(simdisk.CauseCheckpoint)
+	defer restore()
 	defer func() {
 		x.obs.saveUS.Observe(time.Since(start).Microseconds())
 		if x.obs.tracer != nil {
@@ -155,6 +157,9 @@ func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Obs
 	} else {
 		store = simdisk.NewRAM(simdisk.Config{BlockSize: cfg.BlockSize})
 	}
+	// Rebuilding the store from the snapshot is recovery work in the work
+	// ledger; the cause flips back to query once the index is live.
+	store.SetCause(simdisk.CauseRecovery)
 	src, err := core.LoadSource(bytes.NewReader(srcBlob))
 	if err != nil {
 		store.Close()
@@ -197,5 +202,6 @@ func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Obs
 	}
 	qm := ob.queryMetrics()
 	x.scheme.Wave().SetInstrumentation(&qm, tr)
+	store.SetCause(simdisk.CauseQuery)
 	return x, nil
 }

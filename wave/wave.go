@@ -347,6 +347,8 @@ func (x *Index) AddDay(day int, postings []Posting) error {
 		return fmt.Errorf("%w: got day %d, want %d", ErrBadDay, day, x.nextDay)
 	}
 	start := time.Now()
+	restore := x.setWorkCause(simdisk.CauseTransition)
+	defer restore()
 	x.src.Put(&index.Batch{Day: day, Postings: postings})
 	x.nextDay++
 	err := func() error {
@@ -392,6 +394,33 @@ func (x *Index) Degraded() bool {
 	nr := x.needsRecovery
 	x.mu.Unlock()
 	return nr || x.scheme.Wave().Degraded()
+}
+
+// setWorkCause labels the stores' disk work with c for the duration of
+// a maintenance operation; calling restore puts the previous labels
+// back. A store already carrying a non-query cause keeps it, so e.g.
+// the transitions recovery replays stay attributed to recovery. The
+// label is store-wide: query work landing while a maintenance cause is
+// set is attributed to that cause — the same approximation as per-query
+// Stats deltas.
+func (x *Index) setWorkCause(c simdisk.Cause) (restore func()) {
+	prev := make([]simdisk.Cause, len(x.stores))
+	changed := false
+	for i, s := range x.stores {
+		prev[i] = s.Cause()
+		if prev[i] == simdisk.CauseQuery {
+			s.SetCause(c)
+			changed = true
+		}
+	}
+	if !changed {
+		return func() {}
+	}
+	return func() {
+		for i, s := range x.stores {
+			s.SetCause(prev[i])
+		}
+	}
 }
 
 // combineObservers fans transition events out to both observers, either
@@ -460,7 +489,7 @@ func (x *Index) ProbeRangeCtx(ctx context.Context, key string, from, to int) ([]
 	start, before, track := x.obs.begin()
 	es, err := x.scheme.Wave().ParallelTimedIndexProbeCtx(ctx, key, from, to)
 	if track {
-		x.obs.end("probe", key, 0, from, to, len(es), start, before, err)
+		x.obs.end("probe", key, core.TraceIDFrom(ctx), 0, from, to, len(es), start, before, err)
 	}
 	return es, err
 }
@@ -518,7 +547,7 @@ func (x *Index) MultiProbeRangeCtx(ctx context.Context, keys []string, from, to 
 		for _, es := range m {
 			entries += len(es)
 		}
-		x.obs.end("mprobe", "", len(keys), from, to, entries, start, before, err)
+		x.obs.end("mprobe", "", core.TraceIDFrom(ctx), len(keys), from, to, entries, start, before, err)
 	}
 	return m, err
 }
@@ -563,7 +592,7 @@ func (x *Index) ScanRangeCtx(ctx context.Context, from, to int, fn func(key stri
 		entries++
 		return fn(key, e)
 	})
-	x.obs.end("scan", "", 0, from, to, entries, start, before, err)
+	x.obs.end("scan", "", core.TraceIDFrom(ctx), 0, from, to, entries, start, before, err)
 	return err
 }
 
