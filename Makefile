@@ -9,9 +9,10 @@ GO ?= go
 # and a bench-record smoke (a one-transition recording must emit a
 # schema-valid BENCH_record.json).
 .PHONY: check vet build test race bench-smoke metrics-smoke chaos-smoke \
-	bench-record bench-record-smoke
+	bench-record bench-record-smoke bench-gate
 
-check: vet build race bench-smoke metrics-smoke chaos-smoke bench-record-smoke
+check: vet build race bench-smoke metrics-smoke chaos-smoke bench-record-smoke \
+	bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +27,7 @@ race:
 	$(GO) test -race ./...
 
 bench-smoke:
-	$(GO) test -bench='ParallelProbe|ParallelScan|MultiProbe' -benchtime=1x -run '^$$' .
+	$(GO) test -bench='ParallelProbe|ParallelScan|MultiProbe|ParallelBuild|AsyncTransition' -benchtime=1x -run '^$$' .
 
 metrics-smoke:
 	$(GO) test -bench='MetricsOverhead' -benchtime=1x -run '^$$' .
@@ -45,3 +46,15 @@ bench-record-smoke:
 	$(GO) run ./cmd/wavebench -exp record -transitions 1 -json .bench-smoke
 	$(GO) run ./cmd/wavebench -validate .bench-smoke/BENCH_record.json
 	rm -rf .bench-smoke
+
+# bench-gate is the regression gate: re-record the full trajectory (all
+# costs are simulated disk time, so the run is fast and deterministic)
+# and fail on any >10% regression against the committed baseline.
+# Refresh the baseline after an intentional cost change with
+#   $(GO) run ./cmd/wavebench -exp record -json .bench-gate && \
+#   cp .bench-gate/BENCH_record.json BENCH_6.json
+bench-gate:
+	rm -rf .bench-gate
+	$(GO) run ./cmd/wavebench -exp record -json .bench-gate
+	$(GO) run ./cmd/wavebench -compare BENCH_6.json .bench-gate/BENCH_record.json
+	rm -rf .bench-gate

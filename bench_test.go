@@ -569,6 +569,122 @@ func BenchmarkPublicAPIIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelBuild measures the maintenance engine's build
+// fan-out: the wave start (n constituents built over n stores) with the
+// build pool held to one worker against the pooled build. sim_ms/op is
+// the simulated elapsed disk time of the start — sum of per-store
+// deltas when serial, busiest store when parallel. The per-store
+// charges themselves are identical in both modes; only the elapsed
+// span shrinks.
+func BenchmarkParallelBuild(b *testing.B) {
+	const window, n = 8, 4
+	for _, mode := range []string{"serial", "parallel"} {
+		b.Run(mode, func(b *testing.B) {
+			par := n
+			if mode == "serial" {
+				par = 1
+			}
+			var elapsed time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				idx, err := wave.New(wave.Config{
+					Window: window, Indexes: n, Scheme: wave.REINDEX,
+					Update: wave.PackedShadow, Stores: n, Parallelism: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 9, ArticlesPerDay: 60, WordsPerArticle: 12})
+				for d := 1; d < window; d++ {
+					if err := idx.AddDay(d, gen.Day(d).Postings); err != nil {
+						b.Fatal(err)
+					}
+				}
+				base := idx.Stats().PerStore
+				b.StartTimer()
+				// Day `window` completes the window and triggers the start:
+				// every constituent is built here.
+				if err := idx.AddDay(window, gen.Day(window).Postings); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				cur := idx.Stats().PerStore
+				var sum, span time.Duration
+				for j := range cur {
+					d := cur[j].SimTime - base[j].SimTime
+					sum += d
+					if d > span {
+						span = d
+					}
+				}
+				if mode == "serial" {
+					elapsed += sum
+				} else {
+					elapsed += span
+				}
+				idx.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(elapsed)/float64(time.Millisecond)/float64(b.N), "sim_ms/op")
+		})
+	}
+}
+
+// BenchmarkAsyncTransition measures what the ingest caller actually
+// waits for per day: synchronous AddDay blocks for the whole
+// transition, AddDayAsync only for the enqueue (the transition runs on
+// the maintenance goroutine behind the caller's back). Wall-clock
+// ns/op is the caller-visible blocking; sim_ms/op is the per-day
+// simulated disk work, identical in both modes — pipelining moves the
+// work off the caller's path, it does not shrink it.
+func BenchmarkAsyncTransition(b *testing.B) {
+	const window, n = 7, 3
+	for _, mode := range []string{"sync", "async"} {
+		b.Run(mode, func(b *testing.B) {
+			idx, err := wave.New(wave.Config{
+				Window: window, Indexes: n, Scheme: wave.REINDEXPlusPlus,
+				Update: wave.PackedShadow, Stores: 2, Parallelism: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { idx.Close() })
+			gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 9, ArticlesPerDay: 60, WordsPerArticle: 12})
+			for d := 1; d <= window; d++ {
+				if err := idx.AddDay(d, gen.Day(d).Postings); err != nil {
+					b.Fatal(err)
+				}
+			}
+			batches := make([]*index.Batch, b.N)
+			for i := range batches {
+				batches[i] = gen.Day(window + 1 + i)
+			}
+			simBase := idx.Stats().Store.SimTime
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				day := window + 1 + i
+				if mode == "sync" {
+					err = idx.AddDay(day, batches[i].Postings)
+				} else {
+					err = idx.AddDayAsync(day, batches[i].Postings)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if mode == "async" {
+				if err := idx.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sim := idx.Stats().Store.SimTime - simBase
+			b.ReportMetric(float64(sim)/float64(time.Millisecond)/float64(b.N), "sim_ms/op")
+		})
+	}
+}
+
 // BenchmarkAblationBlockCache measures probe cost with and without the
 // write-through LRU block cache (wave.Config.CacheBlocks) on a skewed
 // query stream — hot buckets are served from memory.

@@ -9,6 +9,8 @@
 //	wavebench -exp fig5         # one figure
 //	wavebench -exp table10      # one table
 //	wavebench -exp run -scheme WATA* -scenario TPC-D -n 5  # one point
+//	wavebench -exp qengine      # parallel query engine speedups
+//	wavebench -exp tengine      # parallel maintenance engine speedups
 //
 // Bench trajectory (regression tracking):
 //
@@ -32,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching, qengine, record")
+	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching, qengine, tengine, record")
 	schemeName := flag.String("scheme", "DEL", "scheme for -exp run")
 	scName := flag.String("scenario", "SCAM", "scenario for -exp run and record: SCAM, WSE, TPC-D")
 	n := flag.Int("n", 2, "constituent count for -exp run")
@@ -205,6 +207,8 @@ func run(exp, schemeName, scName, techName string, n int) error {
 		return batching()
 	case exp == "qengine":
 		return qengine()
+	case exp == "tengine":
+		return tengine()
 	default:
 		if fn, ok := figs[exp]; ok {
 			return printFigure(fn)
@@ -285,6 +289,30 @@ func qengine() error {
 		fmt.Printf("      engine: constituents=%d workers(max)=%d merge-depth(max)=%d early-stops=%d\n",
 			m.Counter("query_constituents_total"), workers.Max, depth.Max,
 			m.Counter("scan_early_stop_total"))
+	}
+	return nil
+}
+
+func tengine() error {
+	fmt.Println("parallel maintenance engine: 4 constituents on 4 simulated disks, packed shadow,")
+	fmt.Println("W=8, 24 transitions; blocking = sim time the ingest path waits on:")
+	fmt.Printf("%10s  %11s %11s %7s  %10s %10s %10s  %11s %11s %7s  %5s\n",
+		"scheme", "start-seq", "start-par", "spdup",
+		"pre", "critical", "post",
+		"block-seq", "block-pipe", "spdup", "det")
+	for _, kind := range core.Kinds {
+		r, err := experiments.MeasureTransitionExec(kind, core.PackedShadow, 4, 8, 4, 4, 24)
+		if err != nil {
+			return err
+		}
+		det := "ok"
+		if !r.Identical {
+			det = "DIVERGED"
+		}
+		fmt.Printf("%10s  %11v %11v %6.1fx  %10v %10v %10v  %11v %11v %6.1fx  %5s\n",
+			r.Scheme, r.SerialStart, r.ParallelStart, r.StartSpeedup(),
+			r.PreWork, r.CritWork, r.PostWork,
+			r.BlockingSerial, r.BlockingPipelined, r.Speedup(), det)
 	}
 	return nil
 }

@@ -6,7 +6,7 @@
 //
 //	waved [-addr :7070] [-window 7] [-indexes 4]
 //	      [-scheme REINDEX] [-update simple-shadow] [-store path]
-//	      [-stores 1] [-parallel 0] [-slowlog-ms 0] [-trace]
+//	      [-stores 1] [-parallel 0] [-async] [-slowlog-ms 0] [-trace]
 //	      [-admin-addr :9090] [-trace-out spans.json]
 //	      [-journal dir] [-checkpoint-every 0]
 //	      [-read-timeout 0] [-shutdown-grace 5s]
@@ -76,6 +76,7 @@ type config struct {
 	storePath     string
 	stores        int
 	parallel      int
+	async         bool
 	slowlogMS     int
 	trace         bool
 	traceOut      string
@@ -148,7 +149,7 @@ func newApp(cfg config) (*app, error) {
 		wcfg.Trace = tracers
 	}
 
-	opts := server.Options{ReadTimeout: cfg.readTimeout}
+	opts := server.Options{ReadTimeout: cfg.readTimeout, AsyncIngest: cfg.async}
 	if cfg.journalDir != "" {
 		st, err := wave.OpenJournalDir(cfg.journalDir)
 		if err != nil {
@@ -278,6 +279,7 @@ func main() {
 	storePath := flag.String("store", "", "file-backed store path (default: RAM)")
 	stores := flag.Int("stores", 1, "block store count (constituents spread round-robin)")
 	parallel := flag.Int("parallel", 0, "query worker bound (0 = one per store, or per constituent)")
+	async := flag.Bool("async", false, "pipeline ADDDAY: queue the transition and respond immediately (failures surface on FLUSH)")
 	slowlogMS := flag.Int("slowlog-ms", 0, "slow-query log threshold in ms (0 = disabled; see SLOWLOG)")
 	trace := flag.Bool("trace", false, "log every trace span (queries, transitions, snapshots) to stderr")
 	traceOut := flag.String("trace-out", "", "write retained spans as Chrome trace JSON to this file on shutdown")
@@ -297,6 +299,7 @@ func main() {
 		storePath:     *storePath,
 		stores:        *stores,
 		parallel:      *parallel,
+		async:         *async,
 		slowlogMS:     *slowlogMS,
 		trace:         *trace,
 		traceOut:      *traceOut,

@@ -92,6 +92,16 @@ type Backend interface {
 	Empty() (Constituent, error)
 }
 
+// ParallelBuilder is implemented by backends that can build several
+// constituents concurrently — the paper's §8 observation that "if n
+// matches the number of disks, indexing can be parallelized easily".
+// BuildMany must be equivalent to calling Build once per cluster: same
+// logical content, and operations reported to the observer sequentially
+// in cluster order (observers are single-goroutine).
+type ParallelBuilder interface {
+	BuildMany(clusters [][]int, parallelism int) ([]Constituent, error)
+}
+
 // Config parameterises a wave index.
 type Config struct {
 	// W is the window length in days (time intervals).
@@ -104,6 +114,12 @@ type Config struct {
 	Technique Technique
 	// StartDay is the first day of the initial window. 0 means 1.
 	StartDay int
+	// Parallelism bounds how many constituent builds a scheme may run
+	// concurrently when the backend supports it (see ParallelBuilder).
+	// Values <= 1 build strictly sequentially — the deterministic
+	// reference behaviour; higher values change only wall-clock time,
+	// never the built wave's logical content.
+	Parallelism int
 	// Observer receives maintenance operations and publish events; nil
 	// means no observation.
 	Observer Observer
@@ -227,6 +243,27 @@ func splitDays(start, count, n int) [][]int {
 	return out
 }
 
+// buildClusters builds one constituent per cluster — concurrently when
+// the backend is a ParallelBuilder and the config allows, sequentially
+// otherwise. On error every already-built constituent is dropped.
+func (b *base) buildClusters(clusters [][]int) ([]Constituent, error) {
+	if pb, ok := b.bk.(ParallelBuilder); ok && b.cfg.Parallelism > 1 {
+		return pb.BuildMany(clusters, b.cfg.Parallelism)
+	}
+	out := make([]Constituent, len(clusters))
+	for i, cluster := range clusters {
+		c, err := b.bk.Build(cluster...)
+		if err != nil {
+			for _, built := range out[:i] {
+				built.Drop()
+			}
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
 // startUniform builds the initial wave shared by the DEL/REINDEX family:
 // the first W mod n clusters get ceil(W/n) consecutive days, the rest get
 // floor(W/n) (Fig. 12's Start).
@@ -235,11 +272,11 @@ func (b *base) startUniform() error {
 		return err
 	}
 	b.cfg.Observer.BeginTransition(0)
-	for i, cluster := range splitDays(b.cfg.StartDay, b.cfg.W, b.cfg.N) {
-		c, err := b.bk.Build(cluster...)
-		if err != nil {
-			return err
-		}
+	cs, err := b.buildClusters(splitDays(b.cfg.StartDay, b.cfg.W, b.cfg.N))
+	if err != nil {
+		return err
+	}
+	for i, c := range cs {
 		b.wave.Set(i, c)
 	}
 	b.started = true
@@ -266,6 +303,11 @@ func (b *base) transitionUpdate(slot int, del, add []int, newDay int) error {
 	cur := b.wave.Get(slot)
 	switch b.cfg.Technique {
 	case InPlace:
+		// The whole locked mutation is critical-path work: even the
+		// deletes, which need no new-day data, hold the wave's write lock
+		// and so block queries — the op-stream heuristic alone would
+		// misfile them as pre-computation.
+		markPhase(b.cfg.Observer, PhaseTransition)
 		err := b.wave.Locked(func() error {
 			if len(del) > 0 {
 				if err := cur.DeleteDays(del...); err != nil {
@@ -293,6 +335,9 @@ func (b *base) transitionUpdate(slot int, del, add []int, newDay int) error {
 		b.cfg.Observer.Publish(newDay)
 		return nil
 	case PackedShadow:
+		if containsDay(add, newDay) {
+			markPhase(b.cfg.Observer, PhaseTransition)
+		}
 		next, err := cur.PackedMerge(del, add)
 		if err != nil {
 			return err
@@ -314,6 +359,11 @@ func (b *base) transitionUpdate(slot int, del, add []int, newDay int) error {
 			}
 		}
 		if len(add) > 0 {
+			if containsDay(add, newDay) {
+				// The clone and the deletes above are pre-computation (no
+				// new-day data involved); indexing the new day is not.
+				markPhase(b.cfg.Observer, PhaseTransition)
+			}
 			if err := shadow.AddDays(add...); err != nil {
 				shadow.Drop()
 				return err

@@ -26,10 +26,12 @@ func NewDataBackend(store simdisk.BlockStore, opts index.Options, src DataSource
 	return &DataBackend{store: store, opts: opts, src: src, obs: obs}
 }
 
-func (bk *DataBackend) batches(days []int) ([]*index.Batch, error) {
+// fetchBatches reads the given days' batches from src, sequentially:
+// DataSource implementations are not required to be concurrency-safe.
+func fetchBatches(src DataSource, days []int) ([]*index.Batch, error) {
 	out := make([]*index.Batch, 0, len(days))
 	for _, d := range days {
-		b, err := bk.src.Day(d)
+		b, err := src.Day(d)
 		if err != nil {
 			return nil, err
 		}
@@ -38,18 +40,33 @@ func (bk *DataBackend) batches(days []int) ([]*index.Batch, error) {
 	return out, nil
 }
 
+func (bk *DataBackend) batches(days []int) ([]*index.Batch, error) {
+	return fetchBatches(bk.src, days)
+}
+
+// buildFrom builds a packed constituent from already-fetched batches
+// without reporting to the observer — the piece of Build that is safe to
+// run off the maintenance goroutine (see MultiDiskBackend.BuildMany).
+func (bk *DataBackend) buildFrom(bs []*index.Batch) (*dataConstituent, error) {
+	idx, err := index.BuildPacked(bk.store, bk.opts, bs...)
+	if err != nil {
+		return nil, err
+	}
+	return &dataConstituent{bk: bk, idx: idx}, nil
+}
+
 // Build implements Backend.
 func (bk *DataBackend) Build(days ...int) (Constituent, error) {
 	bs, err := bk.batches(days)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := index.BuildPacked(bk.store, bk.opts, bs...)
+	c, err := bk.buildFrom(bs)
 	if err != nil {
 		return nil, err
 	}
 	bk.obs.RecordOp(OpBuild, days)
-	return &dataConstituent{bk: bk, idx: idx}, nil
+	return c, nil
 }
 
 // Empty implements Backend.

@@ -141,6 +141,9 @@ type TransitionMetrics struct {
 	// the paper's three transition phases: pre-computation, the critical
 	// path from new-day arrival to publish, and post-work.
 	PreUS, WorkUS, PostUS *metrics.Histogram
+	// BuildUS observes the wall-clock microseconds of individual
+	// constituent builds reported by parallel-building backends.
+	BuildUS *metrics.Histogram
 }
 
 // NewTransitionMetrics binds the standard transition metric names on reg
@@ -152,6 +155,7 @@ func NewTransitionMetrics(reg *metrics.Registry) TransitionMetrics {
 		PreUS:       reg.Histogram("transition_pre_us"),
 		WorkUS:      reg.Histogram("transition_work_us"),
 		PostUS:      reg.Histogram("transition_post_us"),
+		BuildUS:     reg.Histogram("transition_build_us"),
 	}
 	for k := OpBuild; k <= OpDropIndex; k++ {
 		tm.Ops[k] = reg.Counter("transition_op_" + k.String() + "_total")
@@ -240,6 +244,32 @@ func (o *MetricsObserver) RecordOp(kind OpKind, days []int) {
 	o.m.OpDays.Add(int64(len(days)))
 }
 
+// MarkPhase implements PhaseObserver: an explicit pre-computation →
+// transition-work boundary from the scheme. It moves the boundary
+// earlier than the op-stream heuristic would place it; once the phase
+// has flipped, both the marks and the heuristic are no-ops.
+func (o *MetricsObserver) MarkPhase(p Phase) {
+	if !o.active || p != PhaseTransition || o.phase != PhasePre || o.newDay == 0 {
+		return
+	}
+	o.closePhase()
+	o.phase = PhaseTransition
+}
+
+// TraceBuild implements BuildObserver: each concurrent constituent build
+// becomes a transition.build span and a BuildUS observation.
+func (o *MetricsObserver) TraceBuild(days []int, disk int, start time.Time, elapsed time.Duration) {
+	o.m.BuildUS.Observe(elapsed.Microseconds())
+	ev := TraceEvent{
+		Kind: "transition.build", Start: start, Duration: elapsed,
+		Day: o.newDay, Ops: 1, Constituent: disk,
+	}
+	if len(days) > 0 {
+		ev.From, ev.To = days[0], days[len(days)-1]
+	}
+	emit(o.tracer, ev)
+}
+
 // Publish implements Observer: the critical path ends when newDay
 // becomes queryable.
 func (o *MetricsObserver) Publish(newDay int) {
@@ -281,5 +311,25 @@ func (f FanoutObserver) RecordOp(kind OpKind, days []int) {
 func (f FanoutObserver) Publish(newDay int) {
 	for _, o := range f {
 		o.Publish(newDay)
+	}
+}
+
+// MarkPhase implements PhaseObserver, forwarding to members that
+// understand explicit phase boundaries.
+func (f FanoutObserver) MarkPhase(p Phase) {
+	for _, o := range f {
+		if po, ok := o.(PhaseObserver); ok {
+			po.MarkPhase(p)
+		}
+	}
+}
+
+// TraceBuild implements BuildObserver, forwarding to members that
+// record per-build timings.
+func (f FanoutObserver) TraceBuild(days []int, disk int, start time.Time, elapsed time.Duration) {
+	for _, o := range f {
+		if bo, ok := o.(BuildObserver); ok {
+			bo.TraceBuild(days, disk, start, elapsed)
+		}
 	}
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"sort"
+	"time"
 
 	"waveindex/internal/index"
 	"waveindex/internal/simdisk"
@@ -59,6 +61,89 @@ func (bk *MultiDiskBackend) Build(days ...int) (Constituent, error) {
 // Empty implements Backend.
 func (bk *MultiDiskBackend) Empty() (Constituent, error) {
 	return bk.single(bk.pick()).Empty()
+}
+
+// BuildMany implements ParallelBuilder: one constituent per cluster,
+// built concurrently with at most parallelism builds in flight, each on
+// its own store. Placement is deterministic — clusters go round-robin
+// over the stores in ascending (used blocks, index) order, which on
+// fresh stores is exactly the sequence the serial least-used pick
+// produces — and each build touches only its own store, so every store's
+// charge sequence is the same at any parallelism. Day batches are
+// fetched up front and operations are reported after the builds finish,
+// both sequentially in cluster order: neither DataSource nor Observer
+// implementations are required to be concurrency-safe.
+func (bk *MultiDiskBackend) BuildMany(clusters [][]int, parallelism int) ([]Constituent, error) {
+	if parallelism > len(clusters) {
+		parallelism = len(clusters)
+	}
+	if parallelism <= 1 || len(bk.stores) == 1 {
+		out := make([]Constituent, len(clusters))
+		for i, cluster := range clusters {
+			c, err := bk.Build(cluster...)
+			if err != nil {
+				for _, built := range out[:i] {
+					built.Drop()
+				}
+				return nil, err
+			}
+			out[i] = c
+		}
+		return out, nil
+	}
+	batches := make([][]*index.Batch, len(clusters))
+	for i, cluster := range clusters {
+		bs, err := fetchBatches(bk.src, cluster)
+		if err != nil {
+			return nil, err
+		}
+		batches[i] = bs
+	}
+	order := make([]int, len(bk.stores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ua := bk.stores[order[a]].Stats().UsedBlocks
+		ub := bk.stores[order[b]].Stats().UsedBlocks
+		if ua != ub {
+			return ua < ub
+		}
+		return order[a] < order[b]
+	})
+	disks := make([]int, len(clusters))
+	homes := make([]*DataBackend, len(clusters))
+	for i := range clusters {
+		disks[i] = order[i%len(order)]
+		homes[i] = bk.single(bk.stores[disks[i]])
+	}
+	outs := make([]*dataConstituent, len(clusters))
+	starts := make([]time.Time, len(clusters))
+	elapsed := make([]time.Duration, len(clusters))
+	err := NewEngine(parallelism).Run(len(clusters), func(i int) error {
+		starts[i] = time.Now()
+		c, err := homes[i].buildFrom(batches[i])
+		elapsed[i] = time.Since(starts[i])
+		outs[i] = c
+		return err
+	})
+	if err != nil {
+		for _, c := range outs {
+			if c != nil {
+				c.idx.Drop()
+			}
+		}
+		return nil, err
+	}
+	out := make([]Constituent, len(clusters))
+	for i, c := range outs {
+		bk.obs.RecordOp(OpBuild, clusters[i])
+		if bo, ok := bk.obs.(BuildObserver); ok {
+			bo.TraceBuild(clusters[i], disks[i], starts[i], elapsed[i])
+		}
+		out[i] = c
+	}
+	return out, nil
 }
 
 // Stores exposes the underlying stores (per-disk statistics).

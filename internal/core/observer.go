@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // OpKind classifies a maintenance operation on a constituent or temporary
 // index. The experiment harness prices each kind with the per-day costs
 // of Table 12 (Build, Add, Del, CP, SMCP).
@@ -75,6 +77,35 @@ type Observer interface {
 	RecordOp(kind OpKind, days []int)
 	// Publish reports that newDay's data became queryable.
 	Publish(newDay int)
+}
+
+// PhaseObserver is an optional Observer extension: schemes explicitly
+// mark the pre-computation → transition-work boundary at points the §5
+// op-stream heuristic cannot see — work that never touches the new day
+// but still sits on the critical path (e.g. in-place deletes holding the
+// wave's write lock), or work on the new day whose operation is only
+// reported after it completes (bulk builds). Observers that don't
+// implement it keep the pure heuristic attribution.
+type PhaseObserver interface {
+	MarkPhase(p Phase)
+}
+
+// markPhase forwards an explicit phase boundary to obs if it understands
+// one.
+func markPhase(obs Observer, p Phase) {
+	if po, ok := obs.(PhaseObserver); ok {
+		po.MarkPhase(p)
+	}
+}
+
+// BuildObserver is an optional Observer extension receiving per-build
+// timing from backends that build constituents concurrently. Like all
+// observer callbacks it is invoked from the single maintenance
+// goroutine, after the concurrent builds have finished.
+type BuildObserver interface {
+	// TraceBuild reports one constituent build: the days indexed, the
+	// store it was placed on (-1 if unknown), and its wall-clock span.
+	TraceBuild(days []int, disk int, start time.Time, elapsed time.Duration)
 }
 
 // NopObserver ignores all events.

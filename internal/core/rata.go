@@ -111,6 +111,7 @@ func (s *RATAStar) Transition(newDay int) error {
 			s.wave.MarkBroken(j)
 			return err
 		}
+		markPhase(s.cfg.Observer, PhaseTransition)
 		fresh, err := s.bk.Build(newDay)
 		if err != nil {
 			s.wave.MarkBroken(j)

@@ -48,6 +48,7 @@ func (s *REINDEX) Transition(newDay int) error {
 		}
 	}
 	days = append(days, newDay)
+	markPhase(s.cfg.Observer, PhaseTransition)
 	rebuilt, err := s.bk.Build(days...)
 	if err != nil {
 		return err

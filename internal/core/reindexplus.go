@@ -42,6 +42,11 @@ func (s *REINDEXPlus) Transition(newDay int) error {
 	}
 	expired := newDay - s.cfg.W
 	j := s.ownerOf(expired)
+	// Every REINDEX+ case starts by indexing the new day (a build or a
+	// Temp add) and all of it feeds today's publish, so the whole
+	// transition is critical-path work; the bulk-build cases would
+	// otherwise only be attributed once their op is reported.
+	markPhase(s.cfg.Observer, PhaseTransition)
 
 	switch {
 	case s.temp == nil:

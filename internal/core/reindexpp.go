@@ -102,6 +102,10 @@ func (s *REINDEXPlusPlus) Transition(newDay int) error {
 		// ladder for the next dying cluster.
 		t0 := s.temps[0]
 		s.temps[0] = nil
+		// Finishing rung 0 with the new day is the only critical-path
+		// work; the ladder rebuild after the swap is pre-computation for
+		// future days.
+		markPhase(s.cfg.Observer, PhaseTransition)
 		t0, err := s.updateTemp(t0, []int{newDay})
 		if err != nil {
 			return err
@@ -130,6 +134,9 @@ func (s *REINDEXPlusPlus) Transition(newDay int) error {
 		s.daysToAdd = append(s.daysToAdd, newDay)
 		t := s.temps[s.tempUsed]
 		s.temps[s.tempUsed] = nil
+		// The top rung's one-day add is the whole critical path (§4.2's
+		// pitch); topping up the lower rung happens after the publish.
+		markPhase(s.cfg.Observer, PhaseTransition)
 		t, err := s.updateTemp(t, []int{newDay})
 		if err != nil {
 			return err

@@ -41,22 +41,16 @@ func (s *WATAStar) startWATA() error {
 	s.cfg.Observer.BeginTransition(0)
 	n := s.cfg.N
 	s.zs = make([]int, n)
-	clusters := splitDays(s.cfg.StartDay, s.cfg.W-1, n-1)
-	for i, cluster := range clusters {
-		c, err := s.bk.Build(cluster...)
-		if err != nil {
-			return err
-		}
-		s.wave.Set(i, c)
-		s.zs[i] = len(cluster)
-	}
 	lastDay := s.cfg.StartDay + s.cfg.W - 1
-	c, err := s.bk.Build(lastDay)
+	clusters := append(splitDays(s.cfg.StartDay, s.cfg.W-1, n-1), []int{lastDay})
+	cs, err := s.buildClusters(clusters)
 	if err != nil {
 		return err
 	}
-	s.wave.Set(n-1, c)
-	s.zs[n-1] = 1
+	for i, c := range cs {
+		s.wave.Set(i, c)
+		s.zs[i] = len(clusters[i])
+	}
 	s.last = n - 1
 	s.started = true
 	s.lastDay = lastDay
@@ -100,6 +94,7 @@ func (s *WATAStar) Transition(newDay int) error {
 			s.wave.MarkBroken(j)
 			return err
 		}
+		markPhase(s.cfg.Observer, PhaseTransition)
 		fresh, err := s.bk.Build(newDay)
 		if err != nil {
 			s.wave.MarkBroken(j)

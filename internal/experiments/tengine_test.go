@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"waveindex/internal/core"
+)
+
+// TestTransitionExecDeterminism runs every scheme through the transition
+// engine comparison and requires the parallel run to render the same
+// window content and charge the same per-store disk costs as the serial
+// reference.
+func TestTransitionExecDeterminism(t *testing.T) {
+	for _, kind := range core.Kinds {
+		r, err := MeasureTransitionExec(kind, core.PackedShadow, 4, 8, 4, 4, 12)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !r.Identical {
+			t.Errorf("%v: parallel run diverged from serial reference", kind)
+		}
+		if r.StartSpeedup() < 1.5 {
+			t.Errorf("%v: start speedup %.2fx, want >= 1.5x", kind, r.StartSpeedup())
+		}
+		if r.CritWork <= 0 {
+			t.Errorf("%v: no transition-work time attributed", kind)
+		}
+	}
+}
+
+// TestTransitionExecSpeedup is the engine's headline acceptance: with 4
+// constituents on 4 stores at parallelism 4, REINDEX++ — the scheme the
+// paper designed for minimal transition work — must block the ingest
+// path at least 1.5x less than the serial reference engine.
+func TestTransitionExecSpeedup(t *testing.T) {
+	r, err := MeasureTransitionExec(core.KindREINDEXPlusPlus, core.PackedShadow, 4, 8, 4, 4, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Fatal("parallel run diverged from serial reference")
+	}
+	if got := r.Speedup(); got < 1.5 {
+		t.Errorf("blocking-path speedup = %.2fx, want >= 1.5x (serial %v, pipelined %v)",
+			got, r.BlockingSerial, r.BlockingPipelined)
+	}
+	if got := r.StartSpeedup(); got < 1.5 {
+		t.Errorf("start speedup = %.2fx, want >= 1.5x", got)
+	}
+	// REINDEX++'s whole point: post-publish ladder work dominates the
+	// critical path's one-day add, and the pipelined engine moves it off
+	// the blocking path.
+	if r.PostWork == 0 {
+		t.Error("expected post-publish ladder work, attributed none")
+	}
+}
+
+// TestTransitionExecArgs checks parameter validation.
+func TestTransitionExecArgs(t *testing.T) {
+	if _, err := MeasureTransitionExec(core.KindDEL, core.PackedShadow, 0, 8, 4, 4, 24); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MeasureTransitionExec(core.KindDEL, core.PackedShadow, 4, 2, 4, 4, 24); err == nil {
+		t.Error("w < n accepted")
+	}
+}

@@ -2,6 +2,7 @@ package index
 
 import (
 	"sort"
+	"sync"
 
 	"waveindex/internal/btree"
 	"waveindex/internal/simdisk"
@@ -61,9 +62,16 @@ func newDirectory(kind DirKind) directory {
 }
 
 // hashDir is a map-backed directory with a cached sorted key list.
+//
+// Mutation (set, delete) is only ever single-goroutine — in-place updates
+// hold the wave's write lock and shadow updates work on private copies —
+// but ascend runs concurrently from query goroutines and from the
+// maintenance goroutine cloning a live index, so the lazily built cache
+// needs its own lock.
 type hashDir struct {
 	m      map[string]*bucketRef
-	sorted []string // cache; nil when dirty
+	mu     sync.Mutex
+	sorted []string // cache; nil when dirty, guarded by mu
 }
 
 func (d *hashDir) get(key string) (*bucketRef, bool) {
@@ -73,7 +81,9 @@ func (d *hashDir) get(key string) (*bucketRef, bool) {
 
 func (d *hashDir) set(key string, b *bucketRef) {
 	if _, exists := d.m[key]; !exists {
+		d.mu.Lock()
 		d.sorted = nil
+		d.mu.Unlock()
 	}
 	d.m[key] = b
 }
@@ -81,11 +91,14 @@ func (d *hashDir) set(key string, b *bucketRef) {
 func (d *hashDir) delete(key string) {
 	if _, exists := d.m[key]; exists {
 		delete(d.m, key)
+		d.mu.Lock()
 		d.sorted = nil
+		d.mu.Unlock()
 	}
 }
 
 func (d *hashDir) ascend(fn func(string, *bucketRef) bool) {
+	d.mu.Lock()
 	if d.sorted == nil {
 		d.sorted = make([]string, 0, len(d.m))
 		for k := range d.m {
@@ -93,7 +106,9 @@ func (d *hashDir) ascend(fn func(string, *bucketRef) bool) {
 		}
 		sort.Strings(d.sorted)
 	}
-	for _, k := range d.sorted {
+	keys := d.sorted
+	d.mu.Unlock()
+	for _, k := range keys {
 		if !fn(k, d.m[k]) {
 			return
 		}

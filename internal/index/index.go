@@ -26,6 +26,13 @@ type Options struct {
 	// MinBucketCap is the smallest entry capacity allocated for a new
 	// bucket created by an incremental add. 0 means 4.
 	MinBucketCap int
+	// Parallelism bounds the worker pool bulk operations (BuildPacked,
+	// Clone, PackedMerge) use for CPU-side work: collating batches,
+	// encoding packed segments, and decoding scanned buckets. Block-store
+	// I/O keeps its sequential issue order regardless, so the built index
+	// is byte-identical and the simulated disk cost unchanged at any
+	// setting. Values <= 1 run sequentially on the caller's goroutine.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,7 +87,8 @@ func BuildPacked(store simdisk.BlockStore, opts Options, batches ...*Batch) (*In
 	for _, b := range batches {
 		days[b.Day] = struct{}{}
 	}
-	idx, err := buildFromGroups(store, opts.withDefaults(), groupByKey(batches), days)
+	o := opts.withDefaults()
+	idx, err := buildFromGroups(store, o, groupByKeyParallel(o.Parallelism, batches), days)
 	if err != nil {
 		return nil, fmt.Errorf("index: build: %w", err)
 	}
@@ -95,17 +103,31 @@ func (idx *Index) bucketTarget(b *bucketRef) (simdisk.Extent, int64) {
 	return idx.seg, b.off
 }
 
-// readBucket returns the live entries of b.
+// readBucket returns the live entries of b. The transfer buffer is
+// pooled; the decoded entries are freshly allocated and safe to retain.
 func (idx *Index) readBucket(b *bucketRef) ([]Entry, error) {
 	if b.used == 0 {
 		return nil, nil
 	}
-	ext, base := idx.bucketTarget(b)
-	buf := make([]byte, b.used*EntrySize)
-	if err := idx.store.ReadAt(ext, base, buf); err != nil {
+	buf, err := idx.readBucketRaw(b)
+	if err != nil {
 		return nil, err
 	}
-	return decodeEntries(buf, b.used), nil
+	es := decodeEntries(buf, b.used)
+	putBuf(buf)
+	return es, nil
+}
+
+// readBucketRaw reads b's encoded entries into a pooled buffer; the
+// caller must release it with putBuf.
+func (idx *Index) readBucketRaw(b *bucketRef) ([]byte, error) {
+	ext, base := idx.bucketTarget(b)
+	buf := getBuf(b.used * EntrySize)
+	if err := idx.store.ReadAt(ext, base, buf); err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	return buf, nil
 }
 
 // Add incrementally indexes the postings of the given day batches using
@@ -145,7 +167,10 @@ func (idx *Index) addToBucket(key string, es []Entry) error {
 		if err != nil {
 			return err
 		}
-		if err := idx.store.WriteAt(ext, 0, encodeEntries(es)); err != nil {
+		buf := encodeEntries(es)
+		err = idx.store.WriteAt(ext, 0, buf)
+		putBuf(buf)
+		if err != nil {
 			return err
 		}
 		idx.dir.set(key, &bucketRef{ext: ext, used: len(es), cap: realCap, owned: true})
@@ -158,7 +183,10 @@ func (idx *Index) addToBucket(key string, es []Entry) error {
 	}
 	if b.used+len(es) <= b.cap {
 		ext, base := idx.bucketTarget(b)
-		if err := idx.store.WriteAt(ext, base+int64(b.used*EntrySize), encodeEntries(es)); err != nil {
+		buf := encodeEntries(es)
+		err := idx.store.WriteAt(ext, base+int64(b.used*EntrySize), buf)
+		putBuf(buf)
+		if err != nil {
 			return err
 		}
 		b.used += len(es)
@@ -184,8 +212,11 @@ func (idx *Index) addToBucket(key string, es []Entry) error {
 		return err
 	}
 	merged := append(old, es...)
-	if err := idx.store.WriteAt(ext, 0, encodeEntries(merged)); err != nil {
-		return err
+	buf := encodeEntries(merged)
+	werr := idx.store.WriteAt(ext, 0, buf)
+	putBuf(buf)
+	if werr != nil {
+		return werr
 	}
 	if b.owned {
 		idx.allocBytes -= b.ext.Bytes(idx.store.BlockSize())
@@ -263,8 +294,11 @@ func (idx *Index) Delete(days ...int) error {
 			idx.dir.delete(c.key)
 		} else {
 			ext, base := idx.bucketTarget(c.b)
-			if err := idx.store.WriteAt(ext, base, encodeEntries(c.kept)); err != nil {
-				return fmt.Errorf("index: delete: %w", err)
+			buf := encodeEntries(c.kept)
+			werr := idx.store.WriteAt(ext, base, buf)
+			putBuf(buf)
+			if werr != nil {
+				return fmt.Errorf("index: delete: %w", werr)
 			}
 			c.b.used = len(c.kept)
 			idx.packed = false // the freed tail of the bucket is a hole

@@ -39,7 +39,9 @@ func (idx *Index) WriteSnapshot(w io.Writer) error {
 		if err != nil {
 			return false
 		}
-		ww.Bytes(encodeEntries(es))
+		buf := encodeEntries(es)
+		ww.Bytes(buf)
+		putBuf(buf)
 		return true
 	})
 	if err != nil {
@@ -119,7 +121,7 @@ func ReadSnapshot(store simdisk.BlockStore, r io.Reader) (*Index, error) {
 			buf := make([]byte, total*EntrySize)
 			var off int64
 			for _, b := range buckets {
-				copy(buf[off:], encodeEntries(b.entries))
+				encodeEntriesInto(buf[off:], b.entries)
 				idx.dir.set(b.key, &bucketRef{off: off, used: len(b.entries), cap: len(b.entries)})
 				off += int64(len(b.entries) * EntrySize)
 			}
@@ -133,8 +135,11 @@ func ReadSnapshot(store simdisk.BlockStore, r io.Reader) (*Index, error) {
 			if err != nil {
 				return nil, fmt.Errorf("index: restore: %w", err)
 			}
-			if err := store.WriteAt(ext, 0, encodeEntries(b.entries)); err != nil {
-				return nil, fmt.Errorf("index: restore: %w", err)
+			ebuf := encodeEntries(b.entries)
+			werr := store.WriteAt(ext, 0, ebuf)
+			putBuf(ebuf)
+			if werr != nil {
+				return nil, fmt.Errorf("index: restore: %w", werr)
 			}
 			idx.dir.set(b.key, &bucketRef{ext: ext, used: len(b.entries), cap: realCap, owned: true})
 		}

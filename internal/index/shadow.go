@@ -30,12 +30,15 @@ func (idx *Index) Clone() (*Index, error) {
 		}
 		out.seg = seg
 		out.allocBytes += seg.Bytes(idx.store.BlockSize())
-		buf := make([]byte, idx.seg.Bytes(idx.store.BlockSize()))
+		buf := getBuf(int(idx.seg.Bytes(idx.store.BlockSize())))
 		if err := idx.store.ReadAt(idx.seg, 0, buf); err != nil {
+			putBuf(buf)
 			return nil, fmt.Errorf("index: clone: %w", err)
 		}
-		if err := idx.store.WriteAt(seg, 0, buf); err != nil {
-			return nil, fmt.Errorf("index: clone: %w", err)
+		werr := idx.store.WriteAt(seg, 0, buf)
+		putBuf(buf)
+		if werr != nil {
+			return nil, fmt.Errorf("index: clone: %w", werr)
 		}
 	}
 	var err error
@@ -48,11 +51,14 @@ func (idx *Index) Clone() (*Index, error) {
 				return false
 			}
 			out.allocBytes += ext.Bytes(idx.store.BlockSize())
-			buf := make([]byte, b.used*EntrySize)
+			buf := getBuf(b.used * EntrySize)
 			if err = idx.store.ReadAt(b.ext, 0, buf); err != nil {
+				putBuf(buf)
 				return false
 			}
-			if err = idx.store.WriteAt(ext, 0, buf); err != nil {
+			err = idx.store.WriteAt(ext, 0, buf)
+			putBuf(buf)
+			if err != nil {
 				return false
 			}
 			nb.ext = ext
@@ -79,27 +85,55 @@ func (idx *Index) PackedMerge(expire []int, adds ...*Batch) (*Index, error) {
 	for _, d := range expire {
 		gone[int32(d)] = struct{}{}
 	}
-	groups := make(map[string][]Entry)
+	// Read every bucket sequentially in directory order so the store sees
+	// the exact access pattern of a serial scan (seek charges depend on
+	// issue order), then decode and filter the raw bytes in parallel —
+	// that part is pure CPU work on private buffers.
+	type rawBucket struct {
+		key  string
+		raw  []byte
+		used int
+		kept []Entry
+	}
+	var raws []rawBucket
 	var err error
 	idx.dir.ascend(func(key string, b *bucketRef) bool {
-		var es []Entry
-		es, err = idx.readBucket(b)
+		var raw []byte
+		raw, err = idx.readBucketRaw(b)
 		if err != nil {
 			return false
 		}
-		kept := make([]Entry, 0, len(es))
-		for _, e := range es {
-			if _, x := gone[e.Day]; !x {
-				kept = append(kept, e)
-			}
-		}
-		if len(kept) > 0 {
-			groups[key] = kept
-		}
+		raws = append(raws, rawBucket{key: key, raw: raw, used: b.used})
 		return true
 	})
 	if err != nil {
+		for _, r := range raws {
+			putBuf(r.raw)
+		}
 		return nil, fmt.Errorf("index: packed merge: %w", err)
+	}
+	ranges := chunkRanges(len(raws), idx.opts.Parallelism)
+	runWorkers(idx.opts.Parallelism, len(ranges), func(ci int) error {
+		r := ranges[ci]
+		for i := r[0]; i < r[1]; i++ {
+			rb := &raws[i]
+			kept := make([]Entry, 0, rb.used)
+			for j := 0; j < rb.used; j++ {
+				e := decodeEntry(rb.raw[j*EntrySize:])
+				if _, x := gone[e.Day]; !x {
+					kept = append(kept, e)
+				}
+			}
+			rb.kept = kept
+		}
+		return nil
+	})
+	groups := make(map[string][]Entry, len(raws))
+	for i := range raws {
+		putBuf(raws[i].raw)
+		if len(raws[i].kept) > 0 {
+			groups[raws[i].key] = raws[i].kept
+		}
 	}
 	for _, b := range adds {
 		for _, p := range b.Postings {
@@ -146,18 +180,33 @@ func buildFromGroups(store simdisk.BlockStore, opts Options, groups map[string][
 	}
 	idx.seg = seg
 	idx.allocBytes += seg.Bytes(store.BlockSize())
-	buf := make([]byte, total*EntrySize)
+	// Lay out the directory sequentially (offsets are a prefix sum over the
+	// sorted keys, and the directory is not safe for concurrent writes),
+	// then encode contiguous key ranges in parallel: every worker owns a
+	// disjoint slice of the one output buffer, and the single ordered
+	// WriteAt below keeps the store's charge sequence identical at any
+	// parallelism.
+	offs := make([]int64, len(keys))
 	var off int64
-	for _, k := range keys {
+	for i, k := range keys {
 		es := groups[k]
-		for i, e := range es {
-			encodeEntry(buf[off+int64(i*EntrySize):], e)
-		}
+		offs[i] = off
 		idx.dir.set(k, &bucketRef{off: off, used: len(es), cap: len(es)})
 		off += int64(len(es) * EntrySize)
 	}
-	if err := store.WriteAt(seg, 0, buf); err != nil {
-		return nil, err
+	buf := getBuf(total * EntrySize)
+	ranges := chunkRanges(len(keys), opts.Parallelism)
+	runWorkers(opts.Parallelism, len(ranges), func(ci int) error {
+		r := ranges[ci]
+		for i := r[0]; i < r[1]; i++ {
+			encodeEntriesInto(buf[offs[i]:], groups[keys[i]])
+		}
+		return nil
+	})
+	werr := store.WriteAt(seg, 0, buf)
+	putBuf(buf)
+	if werr != nil {
+		return nil, werr
 	}
 	idx.entries = total
 	return idx, nil

@@ -79,6 +79,18 @@ func (c *Client) AddDay(day int, postings []wave.Posting) error {
 	return err
 }
 
+// Flush drains the server's pipelined ingestion (Options.AsyncIngest):
+// it returns once every queued day has been applied, reporting the
+// first failed transition. On a synchronous server it is a no-op.
+func (c *Client) Flush() error {
+	fmt.Fprintln(c.w, "FLUSH")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expectOK()
+	return err
+}
+
 func (c *Client) probe(cmd string) ([]wave.Entry, error) {
 	fmt.Fprintln(c.w, cmd)
 	if err := c.w.Flush(); err != nil {

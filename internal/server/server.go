@@ -9,6 +9,9 @@
 //
 //	ADDDAY <day> <n>            declare a day batch of n postings, then
 //	  <key> <recordID> <aux>    n posting lines
+//	FLUSH                       drain pipelined ingestion (see
+//	                            Options.AsyncIngest); reports the first
+//	                            failed transition, if any
 //	PROBE <key>                 window probe
 //	PROBERANGE <key> <from> <to>
 //	MPROBE <from> <to> <key>... batched multi-key probe over [from, to]
@@ -79,6 +82,12 @@ type Options struct {
 	// a malicious header cannot demand an unbounded allocation. Zero
 	// defaults to 1<<20.
 	MaxBatchPostings int
+	// AsyncIngest pipelines ingestion: ADDDAY queues the batch and
+	// responds as soon as it is accepted, while a single maintenance
+	// goroutine applies queued days in order and queries keep being
+	// served. Transition failures then surface on FLUSH (or a later
+	// ADDDAY) instead of the ADDDAY that queued the failing day.
+	AsyncIngest bool
 }
 
 func (o Options) withDefaults() Options {
@@ -276,6 +285,8 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		case "ADDDAY":
 			err = s.addDay(conn, in, out, fields[1:])
+		case "FLUSH":
+			err = s.flushIngest(out)
 		case "PROBE":
 			err = s.probe(qctx(), out, fields[1:], false)
 		case "PROBERANGE":
@@ -365,16 +376,42 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 		})
 	}
 	s.mu.Lock()
-	if s.jr != nil {
+	switch {
+	case s.opts.AsyncIngest && s.jr != nil:
+		err = s.jr.AddDayAsync(day, postings)
+	case s.opts.AsyncIngest:
+		err = s.idx.AddDayAsync(day, postings)
+	case s.jr != nil:
 		err = s.jr.AddDay(day, postings)
-	} else {
+	default:
 		err = s.idx.AddDay(day, postings)
 	}
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "OK day %d ingested (%d postings)\n", day, n)
+	if s.opts.AsyncIngest {
+		fmt.Fprintf(out, "OK day %d queued (%d postings)\n", day, n)
+	} else {
+		fmt.Fprintf(out, "OK day %d ingested (%d postings)\n", day, n)
+	}
+	return nil
+}
+
+// flushIngest drains the async ingestion pipeline and reports the first
+// transition failure, if any. On a synchronous server it is a no-op
+// acknowledgement.
+func (s *Server) flushIngest(out *bufio.Writer) error {
+	var err error
+	if s.jr != nil {
+		err = s.jr.Flush()
+	} else {
+		err = s.idx.Flush()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "OK flushed\n")
 	return nil
 }
 

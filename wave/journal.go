@@ -152,6 +152,7 @@ type Journaled struct {
 	st  *JournalStorage
 	jr  *core.Journal
 	cfg Config
+	ing *ingester
 
 	every         int
 	sinceCkpt     int
@@ -186,6 +187,13 @@ func OpenJournaled(cfg Config, st *JournalStorage, opts JournalOptions) (*Journa
 		every = 8
 	}
 	j := &Journaled{st: st, jr: core.NewJournal(st.Log()), cfg: cfg, every: every}
+	// The async pipeline funnels through j.AddDay, so every queued day
+	// still gets the full intent → apply → commit journal protocol; the
+	// index is re-fetched per day because Recover swaps it.
+	j.ing = newIngester(
+		func(day int, postings []Posting) error { return j.AddDay(day, postings) },
+		func() int { return j.Index().pendingNextDay() },
+	)
 	if st.HasCheckpoint() {
 		if _, err := j.recoverLocked(); err != nil {
 			return nil, err
@@ -282,6 +290,23 @@ func (j *Journaled) AddDay(day int, postings []Posting) error {
 }
 
 // Checkpoint writes a full snapshot and truncates the journal.
+// AddDayAsync journals and ingests one day asynchronously, with the
+// same semantics as Index.AddDayAsync: the call returns once the day is
+// queued, a single maintenance goroutine runs the full journal protocol
+// for each queued day in order, and failures surface on Flush.
+func (j *Journaled) AddDayAsync(day int, postings []Posting) error {
+	return j.ing.enqueue(day, postings)
+}
+
+// Flush blocks until every day queued by AddDayAsync has been journaled
+// and applied, returning the first failure (sticky, like a failed
+// AddDay).
+func (j *Journaled) Flush() error { return j.ing.flush() }
+
+// IngestQueueDepth returns the number of days queued or being applied
+// by the asynchronous ingestion pipeline.
+func (j *Journaled) IngestQueueDepth() int { return j.ing.depth() }
+
 func (j *Journaled) Checkpoint() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -397,6 +422,9 @@ func (j *Journaled) recoverLocked() (*RecoveryReport, error) {
 
 // Close closes the wrapped index and the journal storage.
 func (j *Journaled) Close() error {
+	// Drain the async pipeline before taking j.mu: queued days are
+	// applied via AddDay, which needs the lock.
+	j.ing.close()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {

@@ -121,6 +121,7 @@ type observability struct {
 	diskSimUS                 *metrics.Histogram
 	ingestDays                *metrics.Counter
 	ingestUS                  *metrics.Histogram
+	ingestQueue               *metrics.Histogram
 	saveUS, loadUS            *metrics.Histogram
 	slowTotal                 *metrics.Counter
 
@@ -153,6 +154,7 @@ func newObservability(cfg Config, stores []*simdisk.Store) *observability {
 		diskSimUS:     reg.Histogram("query_disk_sim_us"),
 		ingestDays:    reg.Counter("ingest_days_total"),
 		ingestUS:      reg.Histogram("ingest_us"),
+		ingestQueue:   reg.Histogram("ingest_queue_depth"),
 		saveUS:        reg.Histogram("snapshot_save_us"),
 		loadUS:        reg.Histogram("snapshot_load_us"),
 		slowTotal:     reg.Counter("slow_query_total"),

@@ -185,6 +185,7 @@ func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Obs
 		Crash:     cfg.crash,
 	}
 	x := &Index{cfg: cfg, stores: []*simdisk.Store{store}, src: src, obs: ob, nextDay: nextDay, ready: ready}
+	x.ing = newIngester(x.AddDay, x.pendingNextDay)
 	if ready {
 		scheme, err := core.LoadScheme(ccfg, bk, bytes.NewReader(schBlob))
 		if err != nil {
@@ -192,6 +193,7 @@ func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Obs
 			return nil, fmt.Errorf("wave: load: %w", err)
 		}
 		x.scheme = scheme
+		x.winFrom, x.winTo = scheme.WindowStart(), scheme.LastDay()
 	} else {
 		scheme, err := core.NewScheme(cfg.Scheme, ccfg, bk)
 		if err != nil {

@@ -146,8 +146,14 @@ type Config struct {
 	// are spread over — the paper's §8 multi-disk setting, where queries
 	// parallelise across devices. 0 or 1 means a single store.
 	Stores int
-	// Parallelism bounds the query engine's worker pool. 0 means one
-	// worker per store when Stores > 1, otherwise one per constituent.
+	// Parallelism bounds the query engine's worker pool, and likewise the
+	// maintenance engine's: how many constituent builds Start may run
+	// concurrently across stores, and how many CPU-side workers bulk
+	// index operations use. 0 means one worker per store when Stores > 1,
+	// otherwise sequential maintenance and one query worker per
+	// constituent. Maintenance parallelism never changes the built
+	// wave's content or its simulated per-store disk cost — only
+	// wall-clock time.
 	Parallelism int
 	// CacheBlocks, when positive, interposes a write-through LRU block
 	// cache of that many blocks between the index and the store — the
@@ -229,12 +235,19 @@ type Index struct {
 	src    *core.MemorySource
 	scheme core.Scheme
 	obs    *observability
+	ing    *ingester
 
 	mu            sync.Mutex // guards the fields below and mutating methods
 	nextDay       int
 	ready         bool
 	closed        bool
 	needsRecovery bool // a transition aborted; mutations refused
+	// winFrom/winTo cache the scheme's published window. Queries read the
+	// window here rather than from the scheme, whose fields are mutated by
+	// transitions: going to the scheme would either race with the
+	// maintenance goroutine or force Window to wait on mu for a whole
+	// transition. Updated under mu each time an AddDay completes.
+	winFrom, winTo int
 }
 
 // newStores opens the configured number of block stores. Store 0 uses
@@ -282,7 +295,13 @@ func New(cfg Config) (*Index, error) {
 	// Retain a little beyond the window: REINDEX-family schemes re-read
 	// old days when rebuilding clusters.
 	src := core.NewMemorySource(cfg.Window + 2)
-	opts := index.Options{Dir: cfg.Directory, Growth: cfg.GrowthFactor}
+	// Maintenance parallelism: explicit Parallelism, else one builder per
+	// store (sequential on a single store — the deterministic default).
+	maintPar := cfg.Parallelism
+	if maintPar == 0 && cfg.Stores > 1 {
+		maintPar = cfg.Stores
+	}
+	opts := index.Options{Dir: cfg.Directory, Growth: cfg.GrowthFactor, Parallelism: maintPar}
 	ob := newObservability(cfg, stores)
 	obsCore := combineObservers(ob.coreObserver(), cfg.extraObserver)
 	var bk core.Backend
@@ -308,12 +327,13 @@ func New(cfg Config) (*Index, error) {
 		}
 	}
 	scheme, err := core.NewScheme(cfg.Scheme, core.Config{
-		W:         cfg.Window,
-		N:         cfg.Indexes,
-		Technique: cfg.Update,
-		StartDay:  cfg.FirstDay,
-		Observer:  obsCore,
-		Crash:     cfg.crash,
+		W:           cfg.Window,
+		N:           cfg.Indexes,
+		Technique:   cfg.Update,
+		StartDay:    cfg.FirstDay,
+		Parallelism: maintPar,
+		Observer:    obsCore,
+		Crash:       cfg.crash,
 	}, bk)
 	if err != nil {
 		closeStores()
@@ -327,7 +347,10 @@ func New(cfg Config) (*Index, error) {
 	}
 	qm := ob.queryMetrics()
 	scheme.Wave().SetInstrumentation(&qm, cfg.Trace)
-	return &Index{cfg: cfg, stores: stores, src: src, scheme: scheme, obs: ob, nextDay: cfg.FirstDay}, nil
+	ob.reg.Gauge("maint_parallelism").Set(int64(max(maintPar, 1)))
+	x := &Index{cfg: cfg, stores: stores, src: src, scheme: scheme, obs: ob, nextDay: cfg.FirstDay}
+	x.ing = newIngester(x.AddDay, x.pendingNextDay)
+	return x, nil
 }
 
 // AddDay ingests one day's postings. Days must arrive consecutively
@@ -371,10 +394,51 @@ func (x *Index) AddDay(day int, postings []Posting) error {
 		x.needsRecovery = true
 		return fmt.Errorf("%w: day %d: %w", ErrTransitionAborted, day, err)
 	}
+	if x.ready {
+		// The scheme is quiescent here (mu serializes transitions), so
+		// these reads are safe; queries will see the new window from the
+		// cache without ever touching scheme state.
+		x.winFrom, x.winTo = x.scheme.WindowStart(), x.scheme.LastDay()
+	}
 	x.obs.ingestDays.Inc()
 	x.obs.ingestUS.Observe(time.Since(start).Microseconds())
 	return nil
 }
+
+// pendingNextDay returns the day the next synchronous AddDay expects.
+func (x *Index) pendingNextDay() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.nextDay
+}
+
+// AddDayAsync ingests one day's postings asynchronously: the call
+// returns once the day is queued, and a single maintenance goroutine
+// applies queued days in order while queries keep being served from the
+// published wave — the pipelined form of §5's transitions. Days must
+// still arrive consecutively. The queue is bounded; a caller that
+// outruns maintenance blocks until a slot frees. Errors from the
+// transition itself surface on Flush (and on subsequent AddDayAsync
+// calls); Flush must be observed before trusting that queued days are
+// queryable. Mixing AddDay and AddDayAsync is allowed only when the
+// async queue is empty (Flush first).
+func (x *Index) AddDayAsync(day int, postings []Posting) error {
+	err := x.ing.enqueue(day, postings)
+	if err == nil {
+		x.obs.ingestQueue.Observe(int64(x.ing.depth()))
+	}
+	return err
+}
+
+// Flush blocks until every day queued by AddDayAsync has been applied
+// and returns the first transition failure, if any. A failure is sticky
+// — like a failed AddDay it leaves the index refusing mutation until
+// recovered — so Flush keeps returning it.
+func (x *Index) Flush() error { return x.ing.flush() }
+
+// IngestQueueDepth returns the number of days queued or being applied
+// by the asynchronous ingestion pipeline.
+func (x *Index) IngestQueueDepth() int { return x.ing.depth() }
 
 // NeedsRecovery reports whether a transition aborted, leaving the index
 // read-only until recovered (see Journaled.Recover) or reloaded from a
@@ -447,12 +511,11 @@ func (x *Index) Ready() bool {
 // Before the index is ready, it returns (FirstDay, last ingested day).
 func (x *Index) Window() (from, to int) {
 	x.mu.Lock()
-	ready, next := x.ready, x.nextDay
-	x.mu.Unlock()
-	if !ready {
-		return x.cfg.FirstDay, next - 1
+	defer x.mu.Unlock()
+	if !x.ready {
+		return x.cfg.FirstDay, x.nextDay - 1
 	}
-	return x.scheme.WindowStart(), x.scheme.LastDay()
+	return x.winFrom, x.winTo
 }
 
 // HardWindow reports whether the configured scheme indexes exactly the
@@ -628,9 +691,16 @@ type ConstituentStats struct {
 	Bytes int64
 }
 
-// Stats returns a snapshot of the index's resource usage.
+// Stats returns a snapshot of the index's resource usage. It waits for
+// any in-flight transition: constituent membership and temp sizes are
+// scheme state the maintenance goroutine mutates, so Stats snapshots a
+// quiescent scheme rather than racing it.
 func (x *Index) Stats() Stats {
-	from, to := x.Window()
+	x.mu.Lock()
+	from, to := x.cfg.FirstDay, x.nextDay-1
+	if x.ready {
+		from, to = x.winFrom, x.winTo
+	}
 	var cons []ConstituentStats
 	for _, c := range x.scheme.Wave().Snapshot() {
 		if c != nil {
@@ -647,6 +717,7 @@ func (x *Index) Stats() Stats {
 		ConstituentBytes: x.scheme.Wave().SizeBytes(),
 		TempBytes:        x.scheme.TempSizeBytes(),
 	}
+	x.mu.Unlock()
 	st.PerStore = make([]simdisk.Stats, len(x.stores))
 	for i, s := range x.stores {
 		st.PerStore[i] = s.Stats()
@@ -655,8 +726,13 @@ func (x *Index) Stats() Stats {
 	return st
 }
 
-// Close releases all storage held by the index.
+// Close releases all storage held by the index. Days still queued by
+// AddDayAsync are applied first (Close drains the pipeline), though any
+// error they hit is reported by a pending or later Flush, not by Close.
 func (x *Index) Close() error {
+	// Stop the ingestion goroutine before taking x.mu: it applies days
+	// via AddDay, which needs the lock.
+	x.ing.close()
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.closed {
