@@ -6,13 +6,15 @@ GO ?= go
 # instrumented scan workload must complete alongside its
 # DisableMetrics twin), the chaos smoke (every registered crash
 # point fires, recovers, and matches the reference, under -race),
-# and a bench-record smoke (a one-transition recording must emit a
-# schema-valid BENCH_record.json).
+# the shard smoke (sharded fleets render byte-identical results and
+# degrade per shard, under -race), and a bench-record smoke (a
+# one-transition recording must emit a schema-valid
+# BENCH_record.json).
 .PHONY: check vet build test race bench-smoke metrics-smoke chaos-smoke \
-	bench-record bench-record-smoke bench-gate
+	shard-smoke bench-record bench-record-smoke bench-gate
 
-check: vet build race bench-smoke metrics-smoke chaos-smoke bench-record-smoke \
-	bench-gate
+check: vet build race bench-smoke metrics-smoke chaos-smoke shard-smoke \
+	bench-record-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -27,13 +29,16 @@ race:
 	$(GO) test -race ./...
 
 bench-smoke:
-	$(GO) test -bench='ParallelProbe|ParallelScan|MultiProbe|ParallelBuild|AsyncTransition' -benchtime=1x -run '^$$' .
+	$(GO) test -bench='ParallelProbe|ParallelScan|MultiProbe|ParallelBuild|AsyncTransition|Sharded' -benchtime=1x -run '^$$' .
 
 metrics-smoke:
 	$(GO) test -bench='MetricsOverhead' -benchtime=1x -run '^$$' .
 
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaos' ./wave/
+
+shard-smoke:
+	$(GO) test -race -count=1 -run 'TestSharded|TestBrokenShard|TestShardCrash' ./wave/shard/
 
 # bench-record writes a full-length bench trajectory to bench/ for
 # regression tracking; compare two recordings with
@@ -47,14 +52,22 @@ bench-record-smoke:
 	$(GO) run ./cmd/wavebench -validate .bench-smoke/BENCH_record.json
 	rm -rf .bench-smoke
 
-# bench-gate is the regression gate: re-record the full trajectory (all
-# costs are simulated disk time, so the run is fast and deterministic)
-# and fail on any >10% regression against the committed baseline.
-# Refresh the baseline after an intentional cost change with
+# bench-gate is the regression gate: re-record the full trajectory and
+# the sharded scale-out sweep (all costs are simulated disk time, so
+# the runs are fast and deterministic) and fail on any >10% regression
+# against the committed baselines. The shard sweep records the same
+# simulated measures BenchmarkShardedProbe/BenchmarkShardedAddDay
+# report as sim_ms/op. Refresh a baseline after an intentional cost
+# change with
 #   $(GO) run ./cmd/wavebench -exp record -json .bench-gate && \
 #   cp .bench-gate/BENCH_record.json BENCH_6.json
+# or
+#   $(GO) run ./cmd/wavebench -exp shardrecord -json .bench-gate && \
+#   cp .bench-gate/BENCH_shards_record.json BENCH_7.json
 bench-gate:
 	rm -rf .bench-gate
 	$(GO) run ./cmd/wavebench -exp record -json .bench-gate
 	$(GO) run ./cmd/wavebench -compare BENCH_6.json .bench-gate/BENCH_record.json
+	$(GO) run ./cmd/wavebench -exp shardrecord -json .bench-gate
+	$(GO) run ./cmd/wavebench -compare BENCH_7.json .bench-gate/BENCH_shards_record.json
 	rm -rf .bench-gate

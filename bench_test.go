@@ -1,6 +1,7 @@
 package waveindex
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"waveindex/internal/simdisk"
 	"waveindex/internal/workload"
 	"waveindex/wave"
+	"waveindex/wave/shard"
 )
 
 // --- Tables 1-7: transition traces -----------------------------------
@@ -345,7 +347,7 @@ func BenchmarkAblationParallelProbe(b *testing.B) {
 			tm := newSimTimer(idx)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := idx.Probe(vocab.Word(i % 500)); err != nil {
+				if _, err := idx.Probe(context.Background(), vocab.Word(i % 500)); err != nil {
 					b.Fatal(err)
 				}
 				tm.lap()
@@ -370,7 +372,7 @@ func BenchmarkParallelScan(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n := 0
-				if err := idx.ScanRange(from, to, func(string, wave.Entry) bool {
+				if err := idx.ScanRange(context.Background(), from, to, func(string, wave.Entry) bool {
 					n++
 					return true
 				}); err != nil {
@@ -414,7 +416,7 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n := 0
-				if err := idx.ScanRange(from, to, func(string, wave.Entry) bool {
+				if err := idx.ScanRange(context.Background(), from, to, func(string, wave.Entry) bool {
 					n++
 					return true
 				}); err != nil {
@@ -447,12 +449,12 @@ func BenchmarkMultiProbe(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if mode == "perkey" {
 					for _, k := range keys {
-						if _, err := idx.ProbeRange(k, from, to); err != nil {
+						if _, err := idx.ProbeRange(context.Background(), k, from, to); err != nil {
 							b.Fatal(err)
 						}
 					}
 				} else {
-					if _, err := idx.MultiProbeRange(keys, from, to); err != nil {
+					if _, err := idx.MultiProbeRange(context.Background(), keys, from, to); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -685,6 +687,130 @@ func BenchmarkAsyncTransition(b *testing.B) {
 	}
 }
 
+// --- Sharded scale-out ------------------------------------------------
+
+// shardSimTimer accumulates per-iteration simulated elapsed time for a
+// hash-partitioned fleet: each shard owns its own simulated device, so
+// one scatter-gathered operation's elapsed time is the busiest shard's
+// delta (at one shard that is the whole device's delta, the serial
+// baseline).
+type shardSimTimer struct {
+	r    *shard.Router
+	base []time.Duration
+	span time.Duration
+}
+
+func shardSimTotals(r *shard.Router) []time.Duration {
+	per := r.ShardStats()
+	out := make([]time.Duration, len(per))
+	for i, st := range per {
+		for _, s := range st.PerStore {
+			out[i] += s.SimTime
+		}
+	}
+	return out
+}
+
+func newShardSimTimer(r *shard.Router) *shardSimTimer {
+	return &shardSimTimer{r: r, base: shardSimTotals(r)}
+}
+
+func (t *shardSimTimer) lap() {
+	cur := shardSimTotals(t.r)
+	var max time.Duration
+	for i := range cur {
+		if d := cur[i] - t.base[i]; d > max {
+			max = d
+		}
+	}
+	t.span += max
+	t.base = cur
+}
+
+func (t *shardSimTimer) report(b *testing.B) {
+	b.Helper()
+	b.ReportMetric(float64(t.span)/float64(time.Millisecond)/float64(b.N), "sim_ms/op")
+}
+
+// benchShardedRouter builds a hash-partitioned DEL fleet (packed
+// shadow, W=8, n=2, one simulated disk and engine parallelism 1 per
+// shard) with a filled window. The day volume is heavy enough that
+// sequential transfer, not the fixed two seeks each shard pays per
+// ingested batch, dominates the simulated ingest cost — an
+// already-batched light day is seek-bound and cannot scale out.
+func benchShardedRouter(b *testing.B, shards int) (*shard.Router, *workload.NewsGenerator) {
+	b.Helper()
+	const window = 8
+	r, err := shard.New(shard.Config{
+		Shards: shards,
+		Base: wave.Config{
+			Window: window, Indexes: 2,
+			Scheme: wave.DEL, Update: wave.PackedShadow, Parallelism: 1,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { r.Close() })
+	gen := workload.NewNewsGenerator(workload.NewsConfig{
+		Seed: 23, ArticlesPerDay: 2000, WordsPerArticle: 15, VocabSize: 1600,
+	})
+	for d := 1; d <= window; d++ {
+		if err := r.AddDay(d, gen.Day(d).Postings); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r, gen
+}
+
+// BenchmarkShardedProbe measures a stream of single-key probes against
+// fleets of growing shard count: each probe touches only its owning
+// shard, so the stream spreads across independent devices. sim_ms/op
+// should fall roughly linearly with the shard count.
+func BenchmarkShardedProbe(b *testing.B) {
+	for _, shards := range experiments.DefaultShardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r, gen := benchShardedRouter(b, shards)
+			vocab := gen.Vocab()
+			tm := newShardSimTimer(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < 32; k++ {
+					if _, err := r.Probe(context.Background(), vocab.Word(k)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				tm.lap()
+			}
+			tm.report(b)
+		})
+	}
+}
+
+// BenchmarkShardedAddDay measures one day's fan-out ingestion: the day
+// batch is hash-partitioned and every shard runs its wave transition
+// concurrently, so sim_ms/op is the busiest shard's transition.
+func BenchmarkShardedAddDay(b *testing.B) {
+	for _, shards := range experiments.DefaultShardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r, gen := benchShardedRouter(b, shards)
+			tm := newShardSimTimer(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				day := 9 + i
+				b.StopTimer()
+				batch := gen.Day(day)
+				b.StartTimer()
+				if err := r.AddDay(day, batch.Postings); err != nil {
+					b.Fatal(err)
+				}
+				tm.lap()
+			}
+			tm.report(b)
+		})
+	}
+}
+
 // BenchmarkAblationBlockCache measures probe cost with and without the
 // write-through LRU block cache (wave.Config.CacheBlocks) on a skewed
 // query stream — hot buckets are served from memory.
@@ -710,7 +836,7 @@ func BenchmarkAblationBlockCache(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				// Zipf-hot query stream: mostly the top keys.
-				if _, err := idx.Probe(vocab.Word(i % 20)); err != nil {
+				if _, err := idx.Probe(context.Background(), vocab.Word(i % 20)); err != nil {
 					b.Fatal(err)
 				}
 			}

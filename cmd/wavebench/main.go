@@ -11,16 +11,23 @@
 //	wavebench -exp run -scheme WATA* -scenario TPC-D -n 5  # one point
 //	wavebench -exp qengine      # parallel query engine speedups
 //	wavebench -exp tengine      # parallel maintenance engine speedups
+//	wavebench -exp shards       # sharded scale-out speedups
 //
 // Bench trajectory (regression tracking):
 //
 //	wavebench -exp record -json out/            # write out/BENCH_record.json
+//	wavebench -exp shardrecord -json out/       # write out/BENCH_shards_record.json
 //	wavebench -validate out/BENCH_record.json   # schema-check a recording
 //	wavebench -compare old.json new.json        # exit 1 on >10% regression
 //	wavebench -compare old.json new.json -threshold 5
+//
+// -validate and -compare detect the recording schema (the full
+// scheme × technique grid vs the shard sweep) from the file itself; the
+// two files of a -compare must share one schema.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching, qengine, tengine, record")
+	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching, qengine, tengine, shards, record, shardrecord")
 	schemeName := flag.String("scheme", "DEL", "scheme for -exp run")
 	scName := flag.String("scenario", "SCAM", "scenario for -exp run and record: SCAM, WSE, TPC-D")
 	n := flag.Int("n", 2, "constituent count for -exp run")
@@ -69,6 +76,12 @@ func main() {
 		return
 	case *exp == "record":
 		if err := recordBench(*jsonDir, *scName, *transitions); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case *exp == "shardrecord":
+		if err := recordShardBench(*jsonDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -111,6 +124,51 @@ func recordBench(dir, scName string, transitions int) error {
 	return nil
 }
 
+// recordShardBench measures the shard sweep and writes the recording to
+// dir/BENCH_shards_record.json (stdout when dir is empty).
+func recordShardBench(dir string) error {
+	f, err := experiments.RecordShardBench()
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		return experiments.WriteShardBench(os.Stdout, f)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_shards_record.json")
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteShardBench(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (W=%d, n=%d, %d keys, %d points)\n", path, f.W, f.N, f.Keys, len(f.Points))
+	return nil
+}
+
+// benchSchema peeks at a recording's schema field without validating
+// the rest, so -validate and -compare can route to the right reader.
+func benchSchema(path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return head.Schema, nil
+}
+
 func readBenchFile(path string) (*experiments.BenchFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -124,7 +182,33 @@ func readBenchFile(path string) (*experiments.BenchFile, error) {
 	return b, nil
 }
 
+func readShardBenchFile(path string) (*experiments.ShardBenchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := experiments.ReadShardBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
 func validateBench(path string) error {
+	schema, err := benchSchema(path)
+	if err != nil {
+		return err
+	}
+	if schema == experiments.ShardBenchSchema {
+		b, err := readShardBenchFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s recording (W=%d, n=%d, %d keys, %d points)\n",
+			path, b.Schema, b.W, b.N, b.Keys, len(b.Points))
+		return nil
+	}
 	b, err := readBenchFile(path)
 	if err != nil {
 		return err
@@ -135,22 +219,51 @@ func validateBench(path string) error {
 }
 
 // compareBench reports regressions of new over old; ok is false when
-// any measure regressed past the threshold.
+// any measure regressed past the threshold. The recording schema is
+// detected from the files.
 func compareBench(oldPath, newPath string, thresholdPct float64) (ok bool, err error) {
-	oldB, err := readBenchFile(oldPath)
+	oldSchema, err := benchSchema(oldPath)
 	if err != nil {
 		return false, err
 	}
-	newB, err := readBenchFile(newPath)
+	newSchema, err := benchSchema(newPath)
 	if err != nil {
 		return false, err
 	}
-	regs, err := experiments.CompareBench(oldB, newB, thresholdPct)
-	if err != nil {
-		return false, err
+	if oldSchema != newSchema {
+		return false, fmt.Errorf("incomparable recordings: schema %q vs %q", oldSchema, newSchema)
+	}
+	var regs []experiments.Regression
+	points := 0
+	if oldSchema == experiments.ShardBenchSchema {
+		oldB, err := readShardBenchFile(oldPath)
+		if err != nil {
+			return false, err
+		}
+		newB, err := readShardBenchFile(newPath)
+		if err != nil {
+			return false, err
+		}
+		if regs, err = experiments.CompareShardBench(oldB, newB, thresholdPct); err != nil {
+			return false, err
+		}
+		points = len(newB.Points)
+	} else {
+		oldB, err := readBenchFile(oldPath)
+		if err != nil {
+			return false, err
+		}
+		newB, err := readBenchFile(newPath)
+		if err != nil {
+			return false, err
+		}
+		if regs, err = experiments.CompareBench(oldB, newB, thresholdPct); err != nil {
+			return false, err
+		}
+		points = len(newB.Points)
 	}
 	if len(regs) == 0 {
-		fmt.Printf("no regressions over %.1f%% (%d points compared)\n", thresholdPct, len(newB.Points))
+		fmt.Printf("no regressions over %.1f%% (%d points compared)\n", thresholdPct, points)
 		return true, nil
 	}
 	fmt.Printf("%d regression(s) over %.1f%%:\n", len(regs), thresholdPct)
@@ -209,6 +322,8 @@ func run(exp, schemeName, scName, techName string, n int) error {
 		return qengine()
 	case exp == "tengine":
 		return tengine()
+	case exp == "shards":
+		return shards()
 	default:
 		if fn, ok := figs[exp]; ok {
 			return printFigure(fn)
@@ -313,6 +428,32 @@ func tengine() error {
 			r.Scheme, r.SerialStart, r.ParallelStart, r.StartSpeedup(),
 			r.PreWork, r.CritWork, r.PostWork,
 			r.BlockingSerial, r.BlockingPipelined, r.Speedup(), det)
+	}
+	return nil
+}
+
+func shards() error {
+	fmt.Println("sharded scale-out: hash-partitioned DEL fleets (packed shadow, W=8, n=2,")
+	fmt.Println("one simulated disk per shard); elapsed = busiest shard's sim time:")
+	fmt.Printf("%7s  %12s %7s  %12s %7s  %12s %7s  %12s %7s  %8s %5s\n",
+		"shards", "probe-strm", "spdup", "mprobe", "spdup",
+		"scan", "spdup", "addday", "spdup", "entries", "det")
+	rep, err := experiments.MeasureShardExec(8, 2, experiments.DefaultShardCounts, 32)
+	if err != nil {
+		return err
+	}
+	det := "ok"
+	if !rep.Identical {
+		det = "DIVERGED"
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%7d  %12v %6.1fx  %12v %6.1fx  %12v %6.1fx  %12v %6.1fx  %8d %5s\n",
+			r.Shards,
+			r.ProbeStream, rep.ProbeSpeedup(r),
+			r.MultiProbe, rep.MultiProbeSpeedup(r),
+			r.Scan, rep.ScanSpeedup(r),
+			r.AddDay, rep.AddDaySpeedup(r),
+			r.Entries, det)
 	}
 	return nil
 }

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	waved [-addr :7070] [-window 7] [-indexes 4]
+//	waved [-addr :7070] [-window 7] [-indexes 4] [-shards 1]
 //	      [-scheme REINDEX] [-update simple-shadow] [-store path]
 //	      [-stores 1] [-parallel 0] [-async] [-slowlog-ms 0] [-trace]
 //	      [-admin-addr :9090] [-trace-out spans.json]
 //	      [-journal dir] [-checkpoint-every 0]
 //	      [-read-timeout 0] [-shutdown-grace 5s]
+//
+// With -shards N > 1 the daemon serves a hash-partitioned fleet of N
+// wave indexes behind the same protocol (see wave/shard): queries
+// scatter-gather across the shards, ADDDAY runs every shard's
+// transition concurrently, and with -journal each shard journals and
+// recovers independently under <dir>/shard-<i>. /metrics additionally
+// exports shard_-prefixed {shard="i"}-labelled per-shard series.
 //
 // With -admin-addr an HTTP admin server runs alongside the line
 // protocol: /metrics (Prometheus text format, including the per-cause
@@ -36,6 +43,7 @@ import (
 	"waveindex/internal/server"
 	"waveindex/internal/telemetry"
 	"waveindex/wave"
+	"waveindex/wave/shard"
 )
 
 // logTracer prints every span to the process log; enabled by -trace.
@@ -71,6 +79,7 @@ type config struct {
 	adminAddr     string
 	window        int
 	indexes       int
+	shards        int
 	scheme        string
 	update        string
 	storePath     string
@@ -87,17 +96,19 @@ type config struct {
 	logf          func(format string, args ...any) // nil silences logs
 }
 
-// app is a built-but-not-yet-serving waved process: the index, the
-// protocol server with its bound listener, and (optionally) the admin
-// HTTP server and span ring.
+// app is a built-but-not-yet-serving waved process: the backend (a
+// plain index, a journaled index, or a shard router), the protocol
+// server with its bound listener, and (optionally) the admin HTTP
+// server and span ring.
 type app struct {
-	cfg   config
-	srv   *server.Server
-	ln    net.Listener
-	admin *telemetry.Server
-	sink  *telemetry.SpanSink
-	idx   *wave.Index
-	jr    *wave.Journaled
+	cfg    config
+	srv    *server.Server
+	ln     net.Listener
+	admin  *telemetry.Server
+	sink   *telemetry.SpanSink
+	b      server.Backend
+	jr     *wave.Journaled
+	router *shard.Router
 }
 
 // newApp builds the index and binds both listeners. On success the
@@ -150,7 +161,25 @@ func newApp(cfg config) (*app, error) {
 	}
 
 	opts := server.Options{ReadTimeout: cfg.readTimeout, AsyncIngest: cfg.async}
-	if cfg.journalDir != "" {
+	switch {
+	case cfg.shards > 1:
+		scfg := shard.Config{Shards: cfg.shards, Base: wcfg}
+		if cfg.journalDir != "" {
+			r, err := shard.OpenJournalDir(scfg, cfg.journalDir, wave.JournalOptions{CheckpointEvery: cfg.ckptEvery})
+			if err != nil {
+				return nil, err
+			}
+			a.router = r
+			cfg.logf("waved: opened %d journaled shards under %s", cfg.shards, cfg.journalDir)
+		} else {
+			r, err := shard.New(scfg)
+			if err != nil {
+				return nil, err
+			}
+			a.router = r
+		}
+		a.b = a.router
+	case cfg.journalDir != "":
 		st, err := wave.OpenJournalDir(cfg.journalDir)
 		if err != nil {
 			return nil, err
@@ -164,15 +193,15 @@ func newApp(cfg config) (*app, error) {
 			cfg.logf("waved: recovered journaled index from %s", cfg.journalDir)
 		}
 		a.jr = jr
-		a.srv = server.NewJournaled(jr, opts)
-	} else {
+		a.b = jr
+	default:
 		idx, err := wave.New(wcfg)
 		if err != nil {
 			return nil, err
 		}
-		a.idx = idx
-		a.srv = server.NewWithOptions(idx, opts)
+		a.b = idx
 	}
+	a.srv = server.NewBackend(a.b, opts)
 
 	a.ln, err = net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -180,12 +209,16 @@ func newApp(cfg config) (*app, error) {
 		return nil, err
 	}
 	if cfg.adminAddr != "" {
-		a.admin, err = telemetry.Serve(cfg.adminAddr, telemetry.Options{
-			Metrics: func() wave.MetricsSnapshot { return a.index().Metrics() },
-			Work:    func() []wave.CauseStats { return a.index().Work() },
+		topts := telemetry.Options{
+			Metrics: func() wave.MetricsSnapshot { return a.b.Metrics() },
+			Work:    func() []wave.CauseStats { return a.b.Work() },
 			Health:  a.health,
 			Spans:   a.sink,
-		})
+		}
+		if a.router != nil {
+			topts.ShardMetrics = a.router.ShardMetrics
+		}
+		a.admin, err = telemetry.Serve(cfg.adminAddr, topts)
 		if err != nil {
 			a.ln.Close()
 			a.closeIndex()
@@ -196,25 +229,14 @@ func newApp(cfg config) (*app, error) {
 	return a, nil
 }
 
-// index returns the index queries should use right now; under a
-// journal this is re-fetched because RECOVER swaps the index.
-func (a *app) index() *wave.Index {
-	if a.jr != nil {
-		return a.jr.Index()
-	}
-	return a.idx
-}
-
 // health mirrors the line protocol's HEALTH command for /healthz.
 func (a *app) health() telemetry.Health {
-	idx := a.index()
-	h := telemetry.Health{Ready: idx.Ready(), Degraded: idx.Degraded(), NeedsRecovery: idx.NeedsRecovery()}
-	if a.jr != nil {
-		h.Journaled = true
-		h.Degraded = a.jr.Degraded()
-		h.NeedsRecovery = a.jr.NeedsRecovery()
+	return telemetry.Health{
+		Ready:         a.b.Ready(),
+		Degraded:      a.b.Degraded(),
+		NeedsRecovery: a.b.NeedsRecovery(),
+		Journaled:     a.jr != nil || (a.router != nil && a.router.Journaled()),
 	}
-	return h
 }
 
 // addr returns the protocol listener's bound address.
@@ -262,10 +284,8 @@ func (a *app) writeTraceOut() error {
 }
 
 func (a *app) closeIndex() {
-	if a.jr != nil {
-		a.jr.Close()
-	} else if a.idx != nil {
-		a.idx.Close()
+	if a.b != nil {
+		a.b.Close()
 	}
 }
 
@@ -274,6 +294,7 @@ func main() {
 	adminAddr := flag.String("admin-addr", "", "HTTP admin address serving /metrics, /healthz, /debug/pprof/ (disabled when empty)")
 	window := flag.Int("window", 7, "window length W in days")
 	indexes := flag.Int("indexes", 4, "constituent index count n")
+	shards := flag.Int("shards", 1, "hash-partitioned shard count (1 = unsharded; see wave/shard)")
 	schemeName := flag.String("scheme", "REINDEX", "maintenance scheme")
 	update := flag.String("update", "simple-shadow", "update technique: inplace, simple-shadow, packed-shadow")
 	storePath := flag.String("store", "", "file-backed store path (default: RAM)")
@@ -294,6 +315,7 @@ func main() {
 		adminAddr:     *adminAddr,
 		window:        *window,
 		indexes:       *indexes,
+		shards:        *shards,
 		scheme:        *schemeName,
 		update:        *update,
 		storePath:     *storePath,
@@ -316,7 +338,11 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- a.serve() }()
-	log.Printf("waved: serving %s wave index (W=%d, n=%d) on %s", *schemeName, *window, *indexes, a.addr())
+	if *shards > 1 {
+		log.Printf("waved: serving %s wave index (W=%d, n=%d, shards=%d) on %s", *schemeName, *window, *indexes, *shards, a.addr())
+	} else {
+		log.Printf("waved: serving %s wave index (W=%d, n=%d) on %s", *schemeName, *window, *indexes, a.addr())
+	}
 	select {
 	case <-sig:
 		fmt.Fprintln(os.Stderr, "shutting down")

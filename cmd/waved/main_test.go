@@ -179,6 +179,106 @@ func TestTraceOutWritesChromeTrace(t *testing.T) {
 	}
 }
 
+func TestShardedServer(t *testing.T) {
+	a, c := startApp(t, config{
+		adminAddr: "127.0.0.1:0",
+		window:    3, indexes: 2, scheme: "REINDEX", shards: 3,
+	})
+	if a.router == nil || a.router.Shards() != 3 {
+		t.Fatal("sharded config did not build a 3-shard router")
+	}
+	addDays(t, c, 4, 6)
+	// The protocol is oblivious to sharding: queries scatter-gather.
+	es, err := c.Probe("ka")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) == 0 {
+		t.Fatal("sharded Probe returned no entries")
+	}
+	n, err := c.Count(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3*6 {
+		t.Fatalf("sharded Count = %d, want %d", n, 3*6)
+	}
+	from, to, ready, err := c.Window()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 2 || to != 4 || !ready {
+		t.Fatalf("sharded window = [%d, %d] ready=%v, want [2, 4] ready", from, to, ready)
+	}
+
+	// /metrics carries both the fleet rollup and per-shard labelled series.
+	_, body := get(t, "http://"+a.adminAddr()+"/metrics")
+	for _, want := range []string{
+		"# TYPE query_probe_total counter",
+		"# TYPE shard_query_probe_total counter",
+		`shard_query_probe_total{shard="0"}`,
+		`shard_query_probe_total{shard="2"}`,
+		`shard_ingest_days_total{shard="1"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	_, body = get(t, "http://"+a.adminAddr()+"/healthz")
+	var h telemetry.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz body %q: %v", body, err)
+	}
+	if !h.Ready || h.Journaled {
+		t.Errorf("/healthz = %+v, want ready non-journaled", h)
+	}
+	// The wire HEALTH must agree: the router has a Recover method, but
+	// this fleet carries no journals.
+	wh, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wh.Ready || wh.Journaled {
+		t.Errorf("HEALTH = %+v, want ready non-journaled", wh)
+	}
+	if _, err := c.Recover(); err == nil {
+		t.Error("RECOVER accepted on a non-journaled sharded fleet")
+	}
+}
+
+func TestShardedJournalRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		window: 3, indexes: 2, scheme: "REINDEX", shards: 2,
+		journalDir: dir,
+	}
+	a, c := startApp(t, cfg)
+	addDays(t, c, 5, 6)
+	ref, err := c.Probe("kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	a.shutdown(time.Second)
+
+	// A fresh process over the same journal dir recovers every shard.
+	a2, c2 := startApp(t, cfg)
+	if !a2.router.Journaled() {
+		t.Fatal("restarted router not journaled")
+	}
+	es, err := c2.Probe("kb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != len(ref) {
+		t.Fatalf("post-restart Probe = %d entries, want %d", len(es), len(ref))
+	}
+	if err := c2.AddDay(6, []wave.Posting{{Key: "kb", Entry: wave.Entry{RecordID: 600, Day: 6}}}); err != nil {
+		t.Fatalf("AddDay after restart: %v", err)
+	}
+}
+
 func TestJournaledHealthz(t *testing.T) {
 	a, c := startApp(t, config{
 		adminAddr: "127.0.0.1:0",

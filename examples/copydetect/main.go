@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -57,7 +58,7 @@ func main() {
 	// the number of *distinct* query words they share.
 	scores := map[uint64]int{}
 	for _, w := range suspectWords {
-		entries, err := idx.Probe(w)
+		entries, err := idx.Probe(context.Background(), w)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 	fmt.Printf("window: days %d..%d\n", from, to)
 
 	// All of ada's events in the window.
-	entries, err := idx.Probe("ada")
+	entries, err := idx.Probe(context.Background(), "ada")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func main() {
 	}
 
 	// Timed probe: just the last three days.
-	recent, err := idx.ProbeRange("grace", to-2, to)
+	recent, err := idx.ProbeRange(context.Background(), "grace", to-2, to)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func main() {
 
 	// Aggregate via a segment scan.
 	perUser := map[string]int{}
-	if err := idx.Scan(func(key string, _ wave.Entry) bool {
+	if err := idx.Scan(context.Background(), func(key string, _ wave.Entry) bool {
 		perUser[key]++
 		return true
 	}); err != nil {

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -93,7 +94,7 @@ func main() {
 	groups := map[workload.Q1Key]*workload.Q1Group{}
 	rows := 0
 	var scanErr error
-	if err := idx.Scan(func(_ string, e wave.Entry) bool {
+	if err := idx.Scan(context.Background(), func(_ string, e wave.Entry) bool {
 		data, err := heap.Get(recordstore.DecodeRef(e.RecordID))
 		if err != nil {
 			scanErr = err
@@ -139,7 +140,7 @@ func main() {
 	// Drill-down: quantity shipped by one supplier over the last 5 days,
 	// answered from the index alone (quantity rides in the entry's aux).
 	supp := workload.SuppKeyString(7)
-	es, err := idx.ProbeRange(supp, to-4, to)
+	es, err := idx.ProbeRange(context.Background(), supp, to-4, to)
 	if err != nil {
 		log.Fatal(err)
 	}

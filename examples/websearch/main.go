@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -82,11 +83,11 @@ type doc struct {
 
 // conjunctiveQuery returns articles containing both words, newest first.
 func conjunctiveQuery(idx *wave.Index, w1, w2 string) ([]doc, error) {
-	first, err := idx.Probe(w1)
+	first, err := idx.Probe(context.Background(), w1)
 	if err != nil {
 		return nil, err
 	}
-	second, err := idx.Probe(w2)
+	second, err := idx.Probe(context.Background(), w2)
 	if err != nil {
 		return nil, err
 	}

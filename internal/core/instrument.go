@@ -63,6 +63,10 @@ type TraceEvent struct {
 	// context (see WithTraceID); "" when the query was not traced.
 	// Transition and snapshot spans have no trace ID.
 	TraceID string
+	// Shard labels spans produced inside a shard router: 1-based shard
+	// number, 0 for an unsharded index. Filled by the router's per-shard
+	// tracer wrapper, never by the engine itself.
+	Shard int
 	// Err is the span's error, if it failed.
 	Err error
 }

@@ -1,0 +1,411 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"waveindex/internal/workload"
+	"waveindex/wave"
+	"waveindex/wave/shard"
+)
+
+// ShardExecResult measures the sharded scale-out layer at one shard
+// count on a real data-bearing fleet. Elapsed times are simulated disk
+// time: each shard owns its own simulated device, so a scatter-gathered
+// operation's elapsed time is the busiest shard's delta — at one shard
+// that is the whole device's delta, which doubles as the serial
+// baseline.
+type ShardExecResult struct {
+	Shards int
+
+	// ProbeStream is a stream of single-key probes (one per measured
+	// key): each probe touches only its owning shard, so the stream
+	// spreads across the fleet.
+	ProbeStream time.Duration
+	// MultiProbe is one batched probe of all measured keys, fanned out
+	// to the owning shards concurrently.
+	MultiProbe time.Duration
+	// Scan is one whole-window merged scan: every shard scans
+	// concurrently, the router k-way merges the streams.
+	Scan time.Duration
+	// AddDay is one day's ingestion: every shard's wave transition runs
+	// concurrently.
+	AddDay time.Duration
+
+	// Entries is the merged scan's visit count (identical at every
+	// shard count).
+	Entries int
+}
+
+// ShardExecReport is the sweep over shard counts, plus the equivalence
+// verdict: Identical is true when every fleet rendered byte-identical
+// query results (probes, scan order, aggregates) to the 1-shard
+// baseline.
+type ShardExecReport struct {
+	W, N, Keys int
+	Results    []ShardExecResult
+	Identical  bool
+}
+
+// baseline returns the 1-shard result (the serial reference).
+func (rep ShardExecReport) baseline() ShardExecResult {
+	for _, r := range rep.Results {
+		if r.Shards == 1 {
+			return r
+		}
+	}
+	return ShardExecResult{}
+}
+
+func speedup(base, cur time.Duration) float64 {
+	if cur == 0 {
+		return 0
+	}
+	return float64(base) / float64(cur)
+}
+
+// ProbeSpeedup is the probe stream's elapsed ratio vs the 1-shard fleet.
+func (rep ShardExecReport) ProbeSpeedup(r ShardExecResult) float64 {
+	return speedup(rep.baseline().ProbeStream, r.ProbeStream)
+}
+
+// MultiProbeSpeedup is the batched probe's elapsed ratio vs 1 shard.
+func (rep ShardExecReport) MultiProbeSpeedup(r ShardExecResult) float64 {
+	return speedup(rep.baseline().MultiProbe, r.MultiProbe)
+}
+
+// ScanSpeedup is the merged scan's elapsed ratio vs 1 shard.
+func (rep ShardExecReport) ScanSpeedup(r ShardExecResult) float64 {
+	return speedup(rep.baseline().Scan, r.Scan)
+}
+
+// AddDaySpeedup is the fan-out transition's elapsed ratio vs 1 shard.
+func (rep ShardExecReport) AddDaySpeedup(r ShardExecResult) float64 {
+	return speedup(rep.baseline().AddDay, r.AddDay)
+}
+
+// shardSim snapshots each shard's total simulated disk time (the sum of
+// its stores' SimTime).
+func shardSim(r *shard.Router) []time.Duration {
+	per := r.ShardStats()
+	out := make([]time.Duration, len(per))
+	for i, st := range per {
+		for _, s := range st.PerStore {
+			out[i] += s.SimTime
+		}
+	}
+	return out
+}
+
+// maxDelta returns the busiest shard's simulated-time delta since base.
+func maxDelta(r *shard.Router, base []time.Duration) time.Duration {
+	var m time.Duration
+	for i, cur := range shardSim(r) {
+		if d := cur - base[i]; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// renderFleet fingerprints a fleet's query results: the full merged
+// scan plus every measured key's probe. Two equivalent fleets produce
+// identical strings.
+func renderFleet(r *shard.Router, keys []string) (string, int, error) {
+	ctx := context.Background()
+	var b strings.Builder
+	entries := 0
+	if err := r.Scan(ctx, func(key string, e wave.Entry) bool {
+		entries++
+		fmt.Fprintf(&b, "%s %d %d %d\n", key, e.RecordID, e.Aux, e.Day)
+		return true
+	}); err != nil {
+		return "", 0, err
+	}
+	for _, k := range keys {
+		es, err := r.Probe(ctx, k)
+		if err != nil {
+			return "", 0, err
+		}
+		fmt.Fprintf(&b, "%s=%v\n", k, es)
+	}
+	return b.String(), entries, nil
+}
+
+// MeasureShardExec builds, for each shard count, a hash-partitioned
+// fleet of DEL waves over the same WSE-like news workload (each shard
+// on its own simulated device, engine parallelism 1 inside each shard
+// so pricing is deterministic), rolls every fleet through the same
+// days, and measures one day's fan-out ingestion plus a probe stream, a
+// batched multi-probe, and a whole-window merged scan. All fleets are
+// checked to render byte-identical results.
+func MeasureShardExec(w, n int, shardCounts []int, keyCount int) (*ShardExecReport, error) {
+	if w < n || n < 1 {
+		return nil, fmt.Errorf("experiments: shards needs 1 <= n <= w, got n=%d w=%d", n, w)
+	}
+	if keyCount < 1 {
+		keyCount = 32
+	}
+	// The day volume must be large enough that sequential transfer, not
+	// the fixed two seeks each shard pays per ingested batch, dominates
+	// the simulated cost — otherwise no amount of sharding can speed up
+	// an already perfectly-batched ingest.
+	gen := workload.NewNewsGenerator(workload.NewsConfig{
+		Seed:            23,
+		ArticlesPerDay:  2000,
+		WordsPerArticle: 15,
+		VocabSize:       1600,
+	})
+	lastDay := w + 2 // measured AddDay: the window has already rolled
+	keys := make([]string, keyCount)
+	for i := range keys {
+		keys[i] = gen.Vocab().Word(i)
+	}
+	rep := &ShardExecReport{W: w, N: n, Keys: keyCount, Identical: true}
+	refRender := ""
+	for _, shards := range shardCounts {
+		r, err := shard.New(shard.Config{
+			Shards: shards,
+			Base: wave.Config{
+				Window: w, Indexes: n,
+				Scheme: wave.DEL, Update: wave.PackedShadow,
+				Parallelism: 1,
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: shards=%d: %w", shards, err)
+		}
+		for d := 1; d < lastDay; d++ {
+			if err := r.AddDay(d, gen.Day(d).Postings); err != nil {
+				r.Close()
+				return nil, fmt.Errorf("experiments: shards=%d day %d: %w", shards, d, err)
+			}
+		}
+		res := ShardExecResult{Shards: shards}
+
+		base := shardSim(r)
+		if err := r.AddDay(lastDay, gen.Day(lastDay).Postings); err != nil {
+			r.Close()
+			return nil, fmt.Errorf("experiments: shards=%d day %d: %w", shards, lastDay, err)
+		}
+		res.AddDay = maxDelta(r, base)
+
+		ctx := context.Background()
+		base = shardSim(r)
+		for _, k := range keys {
+			if _, err := r.Probe(ctx, k); err != nil {
+				r.Close()
+				return nil, err
+			}
+		}
+		res.ProbeStream = maxDelta(r, base)
+
+		base = shardSim(r)
+		if _, err := r.MultiProbe(ctx, keys); err != nil {
+			r.Close()
+			return nil, err
+		}
+		res.MultiProbe = maxDelta(r, base)
+
+		base = shardSim(r)
+		render, entries, err := renderFleet(r, keys)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		res.Scan = maxDelta(r, base)
+		res.Entries = entries
+
+		if refRender == "" {
+			refRender = render
+		} else if render != refRender {
+			rep.Identical = false
+		}
+		rep.Results = append(rep.Results, res)
+		r.Close()
+	}
+	return rep, nil
+}
+
+// --- shard bench recording -------------------------------------------
+
+// ShardBenchSchema identifies the sharded bench-trajectory file format
+// (distinct from BenchSchema: a different grid and different measures).
+const ShardBenchSchema = "waveindex-shardbench/v1"
+
+// ShardBenchPoint is one shard count's recorded measures, in simulated
+// microseconds. Wall clock is recorded for trend-watching only and
+// never compared; so is the merged scan, whose concurrent per-
+// constituent producers interleave reads in scheduler order, making
+// its simulated seek count jitter by a few seeks from run to run.
+type ShardBenchPoint struct {
+	Shards        int   `json:"shards"`
+	ProbeStreamUS int64 `json:"probeStreamUs"`
+	MultiProbeUS  int64 `json:"multiProbeUs"`
+	ScanUS        int64 `json:"scanUs"`
+	AddDayUS      int64 `json:"addDayUs"`
+	Entries       int   `json:"entries"`
+	WallClockUS   int64 `json:"wallClockUs"`
+}
+
+func (p ShardBenchPoint) measures() map[string]int64 {
+	return map[string]int64{
+		"probeStreamUs": p.ProbeStreamUS,
+		"multiProbeUs":  p.MultiProbeUS,
+		"addDayUs":      p.AddDayUS,
+	}
+}
+
+// ShardBenchFile is a recorded shard sweep.
+type ShardBenchFile struct {
+	Schema string            `json:"schema"`
+	W      int               `json:"w"`
+	N      int               `json:"n"`
+	Keys   int               `json:"keys"`
+	Points []ShardBenchPoint `json:"points"`
+}
+
+// DefaultShardCounts is the recorded sweep: serial baseline, the 2x and
+// 4x acceptance points, and one deeper fleet.
+var DefaultShardCounts = []int{1, 2, 4, 8}
+
+// RecordShardBench measures the default shard sweep and returns it as a
+// comparable recording. The measures are simulated time, so recordings
+// are deterministic across machines.
+func RecordShardBench() (*ShardBenchFile, error) {
+	const w, n, keys = 8, 2, 32
+	f := &ShardBenchFile{Schema: ShardBenchSchema, W: w, N: n, Keys: keys}
+	start := time.Now()
+	rep, err := MeasureShardExec(w, n, DefaultShardCounts, keys)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Identical {
+		return nil, fmt.Errorf("experiments: sharded fleets rendered divergent results")
+	}
+	wall := time.Since(start).Microseconds() / int64(len(rep.Results))
+	for _, r := range rep.Results {
+		f.Points = append(f.Points, ShardBenchPoint{
+			Shards:        r.Shards,
+			ProbeStreamUS: r.ProbeStream.Microseconds(),
+			MultiProbeUS:  r.MultiProbe.Microseconds(),
+			ScanUS:        r.Scan.Microseconds(),
+			AddDayUS:      r.AddDay.Microseconds(),
+			Entries:       r.Entries,
+			WallClockUS:   wall,
+		})
+	}
+	return f, nil
+}
+
+// Validate checks a shard recording is structurally sound.
+func (f *ShardBenchFile) Validate() error {
+	if f.Schema != ShardBenchSchema {
+		return fmt.Errorf("experiments: schema %q, want %q", f.Schema, ShardBenchSchema)
+	}
+	if f.W <= 0 || f.N <= 0 || f.Keys <= 0 {
+		return fmt.Errorf("experiments: bad geometry W=%d n=%d keys=%d", f.W, f.N, f.Keys)
+	}
+	if len(f.Points) < 2 {
+		return fmt.Errorf("experiments: %d points, want a sweep including shards=1", len(f.Points))
+	}
+	seen := map[int]bool{}
+	hasBase := false
+	for _, p := range f.Points {
+		if p.Shards < 1 {
+			return fmt.Errorf("experiments: point with shards=%d", p.Shards)
+		}
+		if seen[p.Shards] {
+			return fmt.Errorf("experiments: duplicate point shards=%d", p.Shards)
+		}
+		seen[p.Shards] = true
+		hasBase = hasBase || p.Shards == 1
+		for name, v := range p.measures() {
+			if v < 0 {
+				return fmt.Errorf("experiments: shards=%d: negative %s = %d", p.Shards, name, v)
+			}
+		}
+		if p.ScanUS < 0 || p.WallClockUS < 0 {
+			return fmt.Errorf("experiments: shards=%d: negative uncompared measure", p.Shards)
+		}
+		if p.AddDayUS == 0 || p.Entries == 0 {
+			return fmt.Errorf("experiments: shards=%d: zero ingestion work or scan entries", p.Shards)
+		}
+	}
+	if !hasBase {
+		return fmt.Errorf("experiments: sweep has no shards=1 baseline")
+	}
+	return nil
+}
+
+// WriteShardBench serialises a shard recording as indented JSON.
+func WriteShardBench(w io.Writer, f *ShardBenchFile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadShardBench parses and validates a shard recording.
+func ReadShardBench(r io.Reader) (*ShardBenchFile, error) {
+	var f ShardBenchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("experiments: parsing shard bench file: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// CompareShardBench flags every measure of new that exceeds the
+// matching measure of old by more than thresholdPct percent, mirroring
+// CompareBench for the shard sweep. The recordings must cover the same
+// geometry.
+func CompareShardBench(old, new *ShardBenchFile, thresholdPct float64) ([]Regression, error) {
+	if err := old.Validate(); err != nil {
+		return nil, fmt.Errorf("old: %w", err)
+	}
+	if err := new.Validate(); err != nil {
+		return nil, fmt.Errorf("new: %w", err)
+	}
+	if old.W != new.W || old.N != new.N || old.Keys != new.Keys {
+		return nil, fmt.Errorf("experiments: incomparable shard recordings: W=%d/n=%d/keys=%d vs W=%d/n=%d/keys=%d",
+			old.W, old.N, old.Keys, new.W, new.N, new.Keys)
+	}
+	oldPoints := map[int]ShardBenchPoint{}
+	for _, p := range old.Points {
+		oldPoints[p.Shards] = p
+	}
+	var regs []Regression
+	for _, p := range new.Points {
+		op, ok := oldPoints[p.Shards]
+		if !ok {
+			return nil, fmt.Errorf("experiments: point shards=%d missing from old recording", p.Shards)
+		}
+		om, nm := op.measures(), p.measures()
+		names := make([]string, 0, len(nm))
+		for name := range nm {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			o, n := om[name], nm[name]
+			if o == 0 {
+				continue
+			}
+			pct := 100 * float64(n-o) / float64(o)
+			if pct > thresholdPct {
+				regs = append(regs, Regression{
+					Scheme: fmt.Sprintf("shards=%d", p.Shards), Technique: "sharded",
+					Measure: name, Old: o, New: n, Pct: pct,
+				})
+			}
+		}
+	}
+	return regs, nil
+}

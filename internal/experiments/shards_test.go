@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMeasureShardExec(t *testing.T) {
+	rep, err := MeasureShardExec(8, 2, []int{1, 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatal("sharded fleet rendered different results from the 1-shard baseline")
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	base, four := rep.Results[0], rep.Results[1]
+	if base.Shards != 1 || four.Shards != 4 {
+		t.Fatalf("shard counts = %d, %d", base.Shards, four.Shards)
+	}
+	if base.Entries == 0 || base.Entries != four.Entries {
+		t.Fatalf("scan entries diverge: %d vs %d", base.Entries, four.Entries)
+	}
+	// The issue's acceptance bar: scatter-gather probes and fan-out
+	// ingestion both gain >= 2x at 4 shards.
+	if s := rep.ProbeSpeedup(four); s < 2 {
+		t.Errorf("probe-stream speedup at 4 shards = %.2fx, want >= 2x", s)
+	}
+	if s := rep.AddDaySpeedup(four); s < 2 {
+		t.Errorf("AddDay speedup at 4 shards = %.2fx, want >= 2x", s)
+	}
+	if s := rep.ScanSpeedup(four); s <= 1 {
+		t.Errorf("merged-scan speedup at 4 shards = %.2fx, want > 1x", s)
+	}
+	if s := rep.MultiProbeSpeedup(four); s <= 1 {
+		t.Errorf("multi-probe speedup at 4 shards = %.2fx, want > 1x", s)
+	}
+	if s := rep.ProbeSpeedup(base); s != 1 {
+		t.Errorf("baseline speedup = %.2fx, want exactly 1x", s)
+	}
+}
+
+func shardBenchFixture() *ShardBenchFile {
+	return &ShardBenchFile{
+		Schema: ShardBenchSchema, W: 8, N: 2, Keys: 32,
+		Points: []ShardBenchPoint{
+			{Shards: 1, ProbeStreamUS: 1000, MultiProbeUS: 300, ScanUS: 3000, AddDayUS: 400, Entries: 240, WallClockUS: 9},
+			{Shards: 4, ProbeStreamUS: 300, MultiProbeUS: 140, ScanUS: 900, AddDayUS: 170, Entries: 240, WallClockUS: 9},
+		},
+	}
+}
+
+func TestShardBenchRoundTrip(t *testing.T) {
+	f := shardBenchFixture()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteShardBench(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadShardBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(f.Points) || back.Points[1] != f.Points[1] {
+		t.Fatalf("round trip mangled points: %+v", back.Points)
+	}
+}
+
+func TestShardBenchValidate(t *testing.T) {
+	cases := map[string]func(*ShardBenchFile){
+		"schema":       func(f *ShardBenchFile) { f.Schema = "bogus/v9" },
+		"geometry":     func(f *ShardBenchFile) { f.W = 0 },
+		"too few":      func(f *ShardBenchFile) { f.Points = f.Points[:1] },
+		"duplicate":    func(f *ShardBenchFile) { f.Points[1].Shards = 1 },
+		"no baseline":  func(f *ShardBenchFile) { f.Points[0].Shards = 2 },
+		"negative":     func(f *ShardBenchFile) { f.Points[1].ScanUS = -1 },
+		"zero ingest":  func(f *ShardBenchFile) { f.Points[0].AddDayUS = 0 },
+		"zero entries": func(f *ShardBenchFile) { f.Points[0].Entries = 0 },
+	}
+	for name, corrupt := range cases {
+		f := shardBenchFixture()
+		corrupt(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: corrupted recording validated", name)
+		}
+	}
+}
+
+func TestCompareShardBench(t *testing.T) {
+	old := shardBenchFixture()
+	fresh := shardBenchFixture()
+	regs, err := CompareShardBench(old, fresh, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical recordings flagged: %v", regs)
+	}
+
+	fresh.Points[1].AddDayUS = 250 // +47%
+	fresh.Points[1].ScanUS = 2000  // scan is recorded but never compared
+	regs, err = CompareShardBench(old, fresh, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the AddDay one", regs)
+	}
+	if regs[0].Measure != "addDayUs" || regs[0].Scheme != "shards=4" {
+		t.Fatalf("regression misattributed: %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "addDayUs") {
+		t.Fatalf("regression string missing measure: %s", regs[0])
+	}
+
+	// Faster is never a regression.
+	fresh = shardBenchFixture()
+	fresh.Points[1].ProbeStreamUS = 100
+	if regs, err = CompareShardBench(old, fresh, 10); err != nil || len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v, %v", regs, err)
+	}
+
+	// Mismatched geometry is an error, not a silent pass.
+	fresh = shardBenchFixture()
+	fresh.Keys = 64
+	if _, err := CompareShardBench(old, fresh, 10); err == nil {
+		t.Fatal("geometry mismatch compared")
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import "sort"
+
+// Merge combines several snapshots into one aggregate view, as if every
+// observation had landed in a single registry: counters and gauges with
+// the same name are summed, histograms are merged bucket-wise (counts
+// and sums add, min/max widen). It serves fleet-style deployments — a
+// shard router exposing one rollup series alongside the per-shard ones.
+//
+// Gauges are summed because the runtime's gauges are extensive
+// quantities (disk seeks, used blocks, worker counts); a mean or max
+// would misreport all of them.
+func Merge(snaps ...Snapshot) Snapshot {
+	ctrs := map[string]int64{}
+	gauges := map[string]int64{}
+	hists := map[string]HistogramSnapshot{}
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			ctrs[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauges[g.Name] += g.Value
+		}
+		for _, h := range s.Histograms {
+			hists[h.Name] = mergeHist(hists[h.Name], h.HistogramSnapshot)
+		}
+	}
+	var out Snapshot
+	for name, v := range ctrs {
+		out.Counters = append(out.Counters, Sample{Name: name, Value: v})
+	}
+	for name, v := range gauges {
+		out.Gauges = append(out.Gauges, Sample{Name: name, Value: v})
+	}
+	for name, h := range hists {
+		out.Histograms = append(out.Histograms, HistogramSample{Name: name, HistogramSnapshot: h})
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
+}
+
+// mergeHist merges two histogram snapshots. Buckets share the fixed
+// BucketBound grid, so merging is a join on Le.
+func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	out := HistogramSnapshot{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		Min:   min(a.Min, b.Min),
+		Max:   max(a.Max, b.Max),
+	}
+	counts := map[int64]int64{}
+	for _, bk := range a.Buckets {
+		counts[bk.Le] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		counts[bk.Le] += bk.Count
+	}
+	for le, n := range counts {
+		out.Buckets = append(out.Buckets, Bucket{Le: le, Count: n})
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Le < out.Buckets[j].Le })
+	return out
+}

@@ -100,10 +100,40 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server serves a wave index over a listener.
+// Backend is what the server needs from the thing it serves: the full
+// wave.Querier read surface plus ingestion, health, and observability.
+// It is satisfied by *wave.Index, *wave.Journaled, and *shard.Router,
+// so one server binary fronts a plain index, a crash-safe index, or a
+// sharded fleet without caring which.
+type Backend interface {
+	wave.Querier
+	AddDay(day int, postings []wave.Posting) error
+	AddDayAsync(day int, postings []wave.Posting) error
+	Flush() error
+	NeedsRecovery() bool
+	Degraded() bool
+	Metrics() wave.MetricsSnapshot
+	SlowQueries() []wave.SlowQuery
+	SetSlowQueryThreshold(d time.Duration)
+	Work() []wave.CauseStats
+	// Close releases the backend. The server never calls it; it is here
+	// so embedders can manage the backend's lifecycle through the same
+	// handle they serve.
+	Close() error
+}
+
+// Recoverer is the optional recovery surface of a Backend. Journaled
+// indexes and journaled shard routers implement it; RECOVER is refused
+// when the backend does not. A backend that additionally reports
+// Journaled() false (a shard.Router built without journals carries the
+// method but no journal) is likewise refused.
+type Recoverer interface {
+	Recover() (*wave.RecoveryReport, error)
+}
+
+// Server serves a wave backend over a listener.
 type Server struct {
-	idx  *wave.Index
-	jr   *wave.Journaled // non-nil when serving a journaled index
+	b    Backend
 	opts Options
 
 	mu     sync.Mutex // serialises AddDay and Recover; queries need no lock
@@ -122,12 +152,7 @@ func New(idx *wave.Index) *Server {
 
 // NewWithOptions is New with explicit connection-handling options.
 func NewWithOptions(idx *wave.Index, opts Options) *Server {
-	return &Server{
-		idx:    idx,
-		opts:   opts.withDefaults(),
-		closed: make(chan struct{}),
-		conns:  map[net.Conn]struct{}{},
-	}
+	return NewBackend(idx, opts)
 }
 
 // NewJournaled serves a journaled index: ADDDAY runs through the
@@ -135,18 +160,28 @@ func NewWithOptions(idx *wave.Index, opts Options) *Server {
 // the recovery protocol. Queries always go to the journal's current
 // index, which recovery may replace.
 func NewJournaled(j *wave.Journaled, opts Options) *Server {
-	s := NewWithOptions(j.Index(), opts)
-	s.jr = j
-	return s
+	return NewBackend(j, opts)
 }
 
-// index returns the index queries should use right now. Under a journal
-// this is re-fetched per command because RECOVER swaps the index.
-func (s *Server) index() *wave.Index {
-	if s.jr != nil {
-		return s.jr.Index()
+// NewBackend serves any Backend — plain, journaled, or sharded.
+func NewBackend(b Backend, opts Options) *Server {
+	return &Server{
+		b:      b,
+		opts:   opts.withDefaults(),
+		closed: make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
 	}
-	return s.idx
+}
+
+// journaled reports whether the backend supports RECOVER.
+func (s *Server) journaled() bool {
+	if _, ok := s.b.(Recoverer); !ok {
+		return false
+	}
+	if j, ok := s.b.(interface{ Journaled() bool }); ok {
+		return j.Journaled()
+	}
+	return true
 }
 
 // Serve accepts connections until the listener is closed.
@@ -296,7 +331,7 @@ func (s *Server) handle(conn net.Conn) {
 		case "COUNT":
 			err = s.count(qctx(), out, fields[1:])
 		case "TOPK":
-			err = s.topk(out, fields[1:])
+			err = s.topk(qctx(), out, fields[1:])
 		case "TRACE":
 			switch {
 			case len(fields) == 1 || (len(fields) == 2 && fields[1] == "-"):
@@ -311,11 +346,10 @@ func (s *Server) handle(conn net.Conn) {
 		case "WORK":
 			s.work(out)
 		case "WINDOW":
-			idx := s.index()
-			from, to := idx.Window()
-			fmt.Fprintf(out, "OK %d %d ready=%v\n", from, to, idx.Ready())
+			from, to := s.b.Window()
+			fmt.Fprintf(out, "OK %d %d ready=%v\n", from, to, s.b.Ready())
 		case "STATS":
-			st := s.index().Stats()
+			st := s.b.Stats()
 			fmt.Fprintf(out, "OK scheme=%s days=%d bytes=%d window=%d..%d\n",
 				st.Scheme, st.DaysIndexed, st.ConstituentBytes, st.WindowFrom, st.WindowTo)
 		case "METRICS":
@@ -376,15 +410,10 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 		})
 	}
 	s.mu.Lock()
-	switch {
-	case s.opts.AsyncIngest && s.jr != nil:
-		err = s.jr.AddDayAsync(day, postings)
-	case s.opts.AsyncIngest:
-		err = s.idx.AddDayAsync(day, postings)
-	case s.jr != nil:
-		err = s.jr.AddDay(day, postings)
-	default:
-		err = s.idx.AddDay(day, postings)
+	if s.opts.AsyncIngest {
+		err = s.b.AddDayAsync(day, postings)
+	} else {
+		err = s.b.AddDay(day, postings)
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -402,13 +431,7 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 // transition failure, if any. On a synchronous server it is a no-op
 // acknowledgement.
 func (s *Server) flushIngest(out *bufio.Writer) error {
-	var err error
-	if s.jr != nil {
-		err = s.jr.Flush()
-	} else {
-		err = s.idx.Flush()
-	}
-	if err != nil {
+	if err := s.b.Flush(); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "OK flushed\n")
@@ -418,11 +441,7 @@ func (s *Server) flushIngest(out *bufio.Writer) error {
 // health reports liveness in one line: overall status, readiness, and
 // the two degradation signals queries should care about.
 func (s *Server) health(out *bufio.Writer) {
-	idx := s.index()
-	needs, degraded := idx.NeedsRecovery(), idx.Degraded()
-	if s.jr != nil {
-		needs, degraded = s.jr.NeedsRecovery(), s.jr.Degraded()
-	}
+	needs, degraded := s.b.NeedsRecovery(), s.b.Degraded()
 	status := "ok"
 	if degraded {
 		status = "degraded"
@@ -431,15 +450,16 @@ func (s *Server) health(out *bufio.Writer) {
 		status = "needs-recovery"
 	}
 	fmt.Fprintf(out, "OK %s ready=%v degraded=%v needsRecovery=%v journaled=%v\n",
-		status, idx.Ready(), degraded, needs, s.jr != nil)
+		status, s.b.Ready(), degraded, needs, s.journaled())
 }
 
 func (s *Server) recover(out *bufio.Writer) error {
-	if s.jr == nil {
+	rec, ok := s.b.(Recoverer)
+	if !ok || !s.journaled() {
 		return errors.New("RECOVER requires a journaled index (start waved with -journal)")
 	}
 	s.mu.Lock()
-	rep, err := s.jr.Recover()
+	rep, err := rec.Recover()
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -450,12 +470,11 @@ func (s *Server) recover(out *bufio.Writer) error {
 }
 
 func (s *Server) probe(ctx context.Context, out *bufio.Writer, args []string, ranged bool) error {
-	idx := s.index()
 	var es []wave.Entry
 	var err error
 	switch {
 	case !ranged && len(args) == 1:
-		es, err = idx.ProbeCtx(ctx, args[0])
+		es, err = s.b.Probe(ctx, args[0])
 	case ranged && len(args) == 3:
 		var from, to int
 		if from, err = strconv.Atoi(args[1]); err != nil {
@@ -464,7 +483,7 @@ func (s *Server) probe(ctx context.Context, out *bufio.Writer, args []string, ra
 		if to, err = strconv.Atoi(args[2]); err != nil {
 			return fmt.Errorf("bad to: %w", err)
 		}
-		es, err = idx.ProbeRangeCtx(ctx, args[0], from, to)
+		es, err = s.b.ProbeRange(ctx, args[0], from, to)
 	default:
 		return errors.New("usage: PROBE <key> | PROBERANGE <key> <from> <to>")
 	}
@@ -490,7 +509,7 @@ func (s *Server) mprobe(ctx context.Context, out *bufio.Writer, args []string) e
 	if err != nil {
 		return fmt.Errorf("bad to: %w", err)
 	}
-	res, err := s.index().MultiProbeRangeCtx(ctx, args[2:], from, to)
+	res, err := s.b.MultiProbeRange(ctx, args[2:], from, to)
 	if err != nil {
 		return err
 	}
@@ -511,13 +530,12 @@ func (s *Server) mprobe(ctx context.Context, out *bufio.Writer, args []string) e
 }
 
 func (s *Server) count(ctx context.Context, out *bufio.Writer, args []string) error {
-	idx := s.index()
 	var err error
 	n := 0
 	visit := func(string, wave.Entry) bool { n++; return true }
 	switch len(args) {
 	case 0:
-		err = idx.ScanCtx(ctx, visit)
+		err = s.b.Scan(ctx, visit)
 	case 2:
 		var from, to int
 		if from, err = strconv.Atoi(args[0]); err != nil {
@@ -526,7 +544,7 @@ func (s *Server) count(ctx context.Context, out *bufio.Writer, args []string) er
 		if to, err = strconv.Atoi(args[1]); err != nil {
 			return fmt.Errorf("bad to: %w", err)
 		}
-		err = idx.ScanRangeCtx(ctx, from, to, visit)
+		err = s.b.ScanRange(ctx, from, to, visit)
 	default:
 		return errors.New("usage: COUNT [<from> <to>]")
 	}
@@ -538,7 +556,7 @@ func (s *Server) count(ctx context.Context, out *bufio.Writer, args []string) er
 }
 
 func (s *Server) metrics(out *bufio.Writer) {
-	m := s.index().Metrics()
+	m := s.b.Metrics()
 	n := 0
 	for _, c := range m.Counters {
 		fmt.Fprintf(out, "COUNTER %s %d\n", c.Name, c.Value)
@@ -559,7 +577,7 @@ func (s *Server) metrics(out *bufio.Writer) {
 
 // work streams the index's per-cause disk work ledger.
 func (s *Server) work(out *bufio.Writer) {
-	rows := s.index().Work()
+	rows := s.b.Work()
 	for _, r := range rows {
 		fmt.Fprintf(out, "WORK %s %d %d %d %d\n",
 			r.Cause, r.Seeks, r.BytesRead, r.BytesWritten, r.SimTime.Microseconds())
@@ -568,10 +586,9 @@ func (s *Server) work(out *bufio.Writer) {
 }
 
 func (s *Server) slowlog(out *bufio.Writer, args []string) error {
-	idx := s.index()
 	switch len(args) {
 	case 0:
-		log := idx.SlowQueries()
+		log := s.b.SlowQueries()
 		for _, q := range log {
 			key := q.Key
 			if key == "" {
@@ -596,7 +613,7 @@ func (s *Server) slowlog(out *bufio.Writer, args []string) error {
 		if err != nil || ms < 0 {
 			return fmt.Errorf("bad threshold %q (milliseconds)", args[0])
 		}
-		idx.SetSlowQueryThreshold(time.Duration(ms) * time.Millisecond)
+		s.b.SetSlowQueryThreshold(time.Duration(ms) * time.Millisecond)
 		fmt.Fprintf(out, "OK threshold %dms\n", ms)
 		return nil
 	default:
@@ -604,7 +621,7 @@ func (s *Server) slowlog(out *bufio.Writer, args []string) error {
 	}
 }
 
-func (s *Server) topk(out *bufio.Writer, args []string) error {
+func (s *Server) topk(ctx context.Context, out *bufio.Writer, args []string) error {
 	if len(args) != 1 {
 		return errors.New("usage: TOPK <k>")
 	}
@@ -612,9 +629,8 @@ func (s *Server) topk(out *bufio.Writer, args []string) error {
 	if err != nil || k < 1 {
 		return fmt.Errorf("bad k %q", args[0])
 	}
-	idx := s.index()
-	from, to := idx.Window()
-	top, err := idx.TopKeys(k, from, to)
+	from, to := s.b.Window()
+	top, err := s.b.TopKeys(ctx, k, from, to)
 	if err != nil {
 		return err
 	}

@@ -61,6 +61,56 @@ func WriteMetrics(w io.Writer, s metrics.Snapshot) error {
 	return nil
 }
 
+// WriteShardMetrics renders per-shard registry snapshots as labelled
+// Prometheus series: each counter and gauge family is re-exported under
+// a "shard_" prefix with one {shard="i"} sample per shard (0-based, the
+// router's shard numbering). The fleet-level rollup keeps the unprefixed
+// names, so both views coexist in one exposition without duplicate
+// family definitions. Histograms are served only at fleet level.
+func WriteShardMetrics(w io.Writer, snaps []metrics.Snapshot) error {
+	families := func(names func(metrics.Snapshot) []string, kind string, value func(metrics.Snapshot, string) int64) error {
+		seen := map[string]bool{}
+		var union []string
+		for _, s := range snaps {
+			for _, n := range names(s) {
+				if !seen[n] {
+					seen[n] = true
+					union = append(union, n)
+				}
+			}
+		}
+		sort.Strings(union)
+		for _, n := range union {
+			if _, err := fmt.Fprintf(w, "# TYPE shard_%s %s\n", n, kind); err != nil {
+				return err
+			}
+			for i, s := range snaps {
+				if _, err := fmt.Fprintf(w, "shard_%s{shard=\"%d\"} %d\n", n, i, value(s, n)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := families(func(s metrics.Snapshot) []string {
+		out := make([]string, len(s.Counters))
+		for i, c := range s.Counters {
+			out[i] = c.Name
+		}
+		return out
+	}, "counter", func(s metrics.Snapshot, n string) int64 { return s.Counter(n) })
+	if err != nil {
+		return err
+	}
+	return families(func(s metrics.Snapshot) []string {
+		out := make([]string, len(s.Gauges))
+		for i, g := range s.Gauges {
+			out[i] = g.Name
+		}
+		return out
+	}, "gauge", func(s metrics.Snapshot, n string) int64 { return s.Gauge(n) })
+}
+
 // WriteWork renders a work ledger as labelled Prometheus series: one
 // {cause="..."} sample per ledger row for seeks, bytes moved, and
 // simulated disk time. Rows are rendered in a stable order.

@@ -26,6 +26,10 @@ type Health struct {
 type Options struct {
 	// Metrics supplies the registry snapshot rendered at /metrics.
 	Metrics func() metrics.Snapshot
+	// ShardMetrics, when set, supplies per-shard snapshots additionally
+	// rendered at /metrics as shard_-prefixed {shard="i"}-labelled
+	// series (see WriteShardMetrics). Leave nil for unsharded indexes.
+	ShardMetrics func() []metrics.Snapshot
 	// Work supplies the work ledger rendered as labelled series at
 	// /metrics alongside the registry.
 	Work func() []simdisk.CauseStats
@@ -45,6 +49,11 @@ func NewHandler(opts Options) http.Handler {
 		w.Header().Set("Content-Type", MetricsContentType)
 		if opts.Metrics != nil {
 			if err := WriteMetrics(w, opts.Metrics()); err != nil {
+				return
+			}
+		}
+		if opts.ShardMetrics != nil {
+			if err := WriteShardMetrics(w, opts.ShardMetrics()); err != nil {
 				return
 			}
 		}

@@ -95,12 +95,15 @@ type chromeTrace struct {
 
 // spanTid maps a span to a thread lane: whole-query and transition
 // spans (Constituent -1) share lane 0, per-constituent spans get their
-// wave slot's lane.
+// wave slot's lane. Spans from a shard router land in a per-shard lane
+// block (shard s's lanes start at s*100), keeping the shards' timelines
+// apart in the viewer.
 func spanTid(ev core.TraceEvent) int {
+	lane := 0
 	if ev.Constituent >= 0 {
-		return ev.Constituent + 1
+		lane = ev.Constituent + 1
 	}
-	return 0
+	return ev.Shard*100 + lane
 }
 
 // spanArgs collects a span's non-zero detail fields for the trace
@@ -109,6 +112,9 @@ func spanArgs(ev core.TraceEvent) map[string]any {
 	args := map[string]any{}
 	if ev.TraceID != "" {
 		args["trace_id"] = ev.TraceID
+	}
+	if ev.Shard != 0 {
+		args["shard"] = ev.Shard - 1 // 0-based, matching metric labels
 	}
 	if ev.Key != "" {
 		args["key"] = ev.Key

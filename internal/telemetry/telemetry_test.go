@@ -63,6 +63,38 @@ func TestWriteMetricsFormat(t *testing.T) {
 	}
 }
 
+func TestWriteShardMetrics(t *testing.T) {
+	regs := []*metrics.Registry{metrics.New(), metrics.New()}
+	regs[0].Counter("query_probe_total").Add(2)
+	regs[1].Counter("query_probe_total").Add(5)
+	regs[1].Counter("query_scan_total").Add(1) // only on shard 1
+	regs[0].Gauge("disk_used_blocks").Set(7)
+	regs[0].Histogram("query_probe_us").Observe(3) // histograms stay fleet-level
+	snaps := []metrics.Snapshot{regs[0].Snapshot(), regs[1].Snapshot()}
+	var buf bytes.Buffer
+	if err := WriteShardMetrics(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE shard_query_probe_total counter\n" +
+			"shard_query_probe_total{shard=\"0\"} 2\n" +
+			"shard_query_probe_total{shard=\"1\"} 5\n",
+		// A name present on one shard renders 0 for the others.
+		"shard_query_scan_total{shard=\"0\"} 0\n",
+		"shard_query_scan_total{shard=\"1\"} 1\n",
+		"# TYPE shard_disk_used_blocks gauge\n",
+		"shard_disk_used_blocks{shard=\"0\"} 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "query_probe_us") {
+		t.Errorf("per-shard exposition rendered a histogram:\n%s", out)
+	}
+}
+
 func TestWriteMetricsInfBucket(t *testing.T) {
 	reg := metrics.New()
 	reg.Histogram("h").Observe(1 << 62) // lands in the unbounded bucket

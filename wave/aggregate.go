@@ -2,6 +2,7 @@ package wave
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 )
 
@@ -9,15 +10,15 @@ import (
 // the paper's TimedSegmentScan use cases (sum/min/max aggregates, §2).
 
 // Count returns the number of entries in the window.
-func (x *Index) Count() (int, error) {
+func (x *Index) Count(ctx context.Context) (int, error) {
 	from, to := x.Window()
-	return x.CountRange(from, to)
+	return x.CountRange(ctx, from, to)
 }
 
 // CountRange counts entries inserted between day from and to.
-func (x *Index) CountRange(from, to int) (int, error) {
+func (x *Index) CountRange(ctx context.Context, from, to int) (int, error) {
 	n := 0
-	err := x.ScanRange(from, to, func(string, Entry) bool {
+	err := x.ScanRange(ctx, from, to, func(string, Entry) bool {
 		n++
 		return true
 	})
@@ -27,8 +28,8 @@ func (x *Index) CountRange(from, to int) (int, error) {
 // SumAux sums the Aux field of key's entries in [from, to] — answering
 // aggregates from the index alone when Aux carries the measure (e.g. the
 // TPC-D example stores quantities there).
-func (x *Index) SumAux(key string, from, to int) (int64, error) {
-	es, err := x.ProbeRange(key, from, to)
+func (x *Index) SumAux(ctx context.Context, key string, from, to int) (int64, error) {
+	es, err := x.ProbeRange(ctx, key, from, to)
 	if err != nil {
 		return 0, err
 	}
@@ -73,12 +74,12 @@ func (h *kcHeap) Pop() interface{} {
 // largest first (ties broken by key order). Selection keeps only the k
 // best candidates in a bounded min-heap instead of sorting every
 // distinct key.
-func (x *Index) TopKeys(k int, from, to int) ([]KeyCount, error) {
+func (x *Index) TopKeys(ctx context.Context, k, from, to int) ([]KeyCount, error) {
 	if k < 1 {
 		return nil, nil
 	}
 	counts := map[string]int{}
-	if err := x.ScanRange(from, to, func(key string, _ Entry) bool {
+	if err := x.ScanRange(ctx, from, to, func(key string, _ Entry) bool {
 		counts[key]++
 		return true
 	}); err != nil {
@@ -101,8 +102,8 @@ func (x *Index) TopKeys(k int, from, to int) ([]KeyCount, error) {
 
 // CountKeys returns the entry count of each key in [from, to], probing
 // the batch in one MultiProbeRange pass. Keys without entries map to 0.
-func (x *Index) CountKeys(keys []string, from, to int) (map[string]int, error) {
-	res, err := x.MultiProbeRange(keys, from, to)
+func (x *Index) CountKeys(ctx context.Context, keys []string, from, to int) (map[string]int, error) {
+	res, err := x.MultiProbeRange(ctx, keys, from, to)
 	if err != nil {
 		return nil, err
 	}
@@ -115,8 +116,8 @@ func (x *Index) CountKeys(keys []string, from, to int) (map[string]int, error) {
 
 // SumAuxKeys sums the Aux field per key over [from, to] in one batched
 // probe — the multi-key form of SumAux.
-func (x *Index) SumAuxKeys(keys []string, from, to int) (map[string]int64, error) {
-	res, err := x.MultiProbeRange(keys, from, to)
+func (x *Index) SumAuxKeys(ctx context.Context, keys []string, from, to int) (map[string]int64, error) {
+	res, err := x.MultiProbeRange(ctx, keys, from, to)
 	if err != nil {
 		return nil, err
 	}
@@ -133,12 +134,12 @@ func (x *Index) SumAuxKeys(keys []string, from, to int) (map[string]int64, error
 
 // Histogram returns per-day entry counts over [from, to], indexed by
 // day - from.
-func (x *Index) Histogram(from, to int) ([]int, error) {
+func (x *Index) Histogram(ctx context.Context, from, to int) ([]int, error) {
 	if to < from {
 		return nil, nil
 	}
 	out := make([]int, to-from+1)
-	err := x.ScanRange(from, to, func(_ string, e Entry) bool {
+	err := x.ScanRange(ctx, from, to, func(_ string, e Entry) bool {
 		out[int(e.Day)-from]++
 		return true
 	})
@@ -149,9 +150,9 @@ func (x *Index) Histogram(from, to int) ([]int, error) {
 }
 
 // DistinctKeys counts the distinct search values in [from, to].
-func (x *Index) DistinctKeys(from, to int) (int, error) {
+func (x *Index) DistinctKeys(ctx context.Context, from, to int) (int, error) {
 	seen := map[string]struct{}{}
-	err := x.ScanRange(from, to, func(key string, _ Entry) bool {
+	err := x.ScanRange(ctx, from, to, func(key string, _ Entry) bool {
 		seen[key] = struct{}{}
 		return true
 	})

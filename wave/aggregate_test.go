@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -29,56 +30,56 @@ func buildAggIndex(t *testing.T) *Index {
 
 func TestCountAndHistogram(t *testing.T) {
 	x := buildAggIndex(t)
-	n, err := x.Count()
+	n, err := x.Count(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 35 {
 		t.Errorf("Count = %d, want 35", n)
 	}
-	n, err = x.CountRange(6, 7)
+	n, err = x.CountRange(context.Background(), 6, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 15 { // (6+1)+(7+1)
 		t.Errorf("CountRange(6,7) = %d, want 15", n)
 	}
-	h, err := x.Histogram(4, 8)
+	h, err := x.Histogram(context.Background(), 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fmt.Sprint(h) != "[5 6 7 8 9]" {
 		t.Errorf("Histogram = %v", h)
 	}
-	if h, _ := x.Histogram(8, 4); h != nil {
+	if h, _ := x.Histogram(context.Background(), 8, 4); h != nil {
 		t.Errorf("inverted histogram = %v, want nil", h)
 	}
 }
 
 func TestSumAux(t *testing.T) {
 	x := buildAggIndex(t)
-	sum, err := x.SumAux("hot", 4, 8)
+	sum, err := x.SumAux(context.Background(), "hot", 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sum != 300 {
 		t.Errorf("SumAux(hot) = %d, want 300", sum)
 	}
-	sum, err = x.SumAux("cold", 7, 8)
+	sum, err = x.SumAux(context.Background(), "cold", 7, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sum != 2 {
 		t.Errorf("SumAux(cold, 7..8) = %d, want 2", sum)
 	}
-	if sum, _ := x.SumAux("missing", 4, 8); sum != 0 {
+	if sum, _ := x.SumAux(context.Background(), "missing", 4, 8); sum != 0 {
 		t.Errorf("SumAux(missing) = %d", sum)
 	}
 }
 
 func TestTopKeysAndDistinct(t *testing.T) {
 	x := buildAggIndex(t)
-	top, err := x.TopKeys(2, 4, 8)
+	top, err := x.TopKeys(context.Background(), 2, 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,17 +87,17 @@ func TestTopKeysAndDistinct(t *testing.T) {
 		t.Errorf("TopKeys = %v", top)
 	}
 	// k larger than distinct keys.
-	top, err = x.TopKeys(10, 4, 8)
+	top, err = x.TopKeys(context.Background(), 10, 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(top) != 2 {
 		t.Errorf("TopKeys(10) = %v", top)
 	}
-	if top, _ := x.TopKeys(0, 4, 8); top != nil {
+	if top, _ := x.TopKeys(context.Background(), 0, 4, 8); top != nil {
 		t.Errorf("TopKeys(0) = %v", top)
 	}
-	n, err := x.DistinctKeys(4, 8)
+	n, err := x.DistinctKeys(context.Background(), 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

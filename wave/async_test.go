@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -13,7 +14,7 @@ import (
 func renderIndex(t *testing.T, x *Index) string {
 	t.Helper()
 	var rows []string
-	if err := x.Scan(func(key string, e Entry) bool {
+	if err := x.Scan(context.Background(), func(key string, e Entry) bool {
 		rows = append(rows, fmt.Sprintf("%s %d %d %d", key, e.RecordID, e.Aux, e.Day))
 		return true
 	}); err != nil {
@@ -68,7 +69,7 @@ func TestAsyncIngestEquivalence(t *testing.T) {
 								return
 							default:
 							}
-							es, err := x.Probe("hot")
+							es, err := x.Probe(context.Background(), "hot")
 							if err != nil {
 								if errors.Is(err, ErrNotReady) {
 									continue
@@ -82,7 +83,7 @@ func TestAsyncIngestEquivalence(t *testing.T) {
 									return
 								}
 							}
-							if err := x.Scan(func(string, Entry) bool { return true }); err != nil && !errors.Is(err, ErrNotReady) {
+							if err := x.Scan(context.Background(), func(string, Entry) bool { return true }); err != nil && !errors.Is(err, ErrNotReady) {
 								errc <- fmt.Errorf("querier %d: Scan: %w", q, err)
 								return
 							}

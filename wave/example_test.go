@@ -1,6 +1,7 @@
 package wave_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,7 +29,7 @@ func ExampleNew() {
 	}
 	from, to := idx.Window()
 	fmt.Printf("window: %d..%d\n", from, to)
-	entries, err := idx.Probe("sensor-a")
+	entries, err := idx.Probe(context.Background(), "sensor-a")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func ExampleIndex_ProbeRange() {
 			Entry: wave.Entry{RecordID: uint64(day), Day: int32(day)},
 		}})
 	}
-	recent, _ := idx.ProbeRange("login", 6, 7)
+	recent, _ := idx.ProbeRange(context.Background(), "login", 6, 7)
 	fmt.Println("logins in the last two days:", len(recent))
 	// Output:
 	// logins in the last two days: 2
@@ -71,7 +72,7 @@ func ExampleIndex_TopKeys() {
 		ps = append(ps, wave.Posting{Key: "cold", Entry: wave.Entry{RecordID: uint64(day), Day: int32(day)}})
 		idx.AddDay(day, ps)
 	}
-	top, _ := idx.TopKeys(2, 1, 4)
+	top, _ := idx.TopKeys(context.Background(), 2, 1, 4)
 	for _, kc := range top {
 		fmt.Printf("%s: %d\n", kc.Key, kc.Count)
 	}

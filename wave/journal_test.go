@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,7 +36,7 @@ func chaosPostings(day, n int, seed int64) []Posting {
 func render(t *testing.T, x *Index) string {
 	t.Helper()
 	var rows []string
-	err := x.Scan(func(k string, e Entry) bool {
+	err := x.Scan(context.Background(), func(k string, e Entry) bool {
 		rows = append(rows, fmt.Sprintf("%s %d %d %d", k, e.Day, e.RecordID, e.Aux))
 		return true
 	})

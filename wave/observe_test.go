@@ -54,13 +54,13 @@ func buildObserved(t *testing.T, cfg Config) (*Index, *memTracer) {
 // counters.
 func TestMetricsAfterWorkload(t *testing.T) {
 	x, tr := buildObserved(t, Config{Window: 6, Indexes: 3, Scheme: DEL})
-	if _, err := x.Probe("a"); err != nil {
+	if _, err := x.Probe(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := x.MultiProbe([]string{"a", "b"}); err != nil {
+	if _, err := x.MultiProbe(context.Background(), []string{"a", "b"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Scan(func(string, Entry) bool { return true }); err != nil {
+	if err := x.Scan(context.Background(), func(string, Entry) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 
@@ -114,7 +114,7 @@ func TestDisableMetrics(t *testing.T) {
 	}
 	defer x.Close()
 	fill(t, x, 4, func(d int) []string { return []string{"a"} })
-	if _, err := x.Probe("a"); err != nil {
+	if _, err := x.Probe(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	m := x.Metrics()
@@ -125,13 +125,13 @@ func TestDisableMetrics(t *testing.T) {
 
 func TestSlowQueryLog(t *testing.T) {
 	x, _ := buildObserved(t, Config{Window: 6, Indexes: 3, SlowQueryThreshold: time.Nanosecond, SlowLogSize: 2})
-	if _, err := x.Probe("a"); err != nil {
+	if _, err := x.Probe(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := x.MultiProbe([]string{"a", "b"}); err != nil {
+	if _, err := x.MultiProbe(context.Background(), []string{"a", "b"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.Scan(func(string, Entry) bool { return true }); err != nil {
+	if err := x.Scan(context.Background(), func(string, Entry) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 	// Ring size 2: the probe fell off; newest first.
@@ -154,7 +154,7 @@ func TestSlowQueryLog(t *testing.T) {
 	if got := x.SlowQueryThreshold(); got != time.Hour {
 		t.Fatalf("threshold = %v", got)
 	}
-	if _, err := x.Probe("a"); err != nil {
+	if _, err := x.Probe(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	if log := x.SlowQueries(); log[0].Kind != "scan" {
@@ -163,7 +163,7 @@ func TestSlowQueryLog(t *testing.T) {
 
 	// Disabled log never records.
 	x.SetSlowQueryThreshold(0)
-	if _, err := x.Probe("a"); err != nil {
+	if _, err := x.Probe(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	if len(x.SlowQueries()) != 2 {
@@ -177,20 +177,20 @@ func TestProbeCtxCanceled(t *testing.T) {
 	x, _ := buildObserved(t, Config{Window: 6, Indexes: 3})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := x.ProbeCtx(ctx, "a"); !errors.Is(err, context.Canceled) {
+	if _, err := x.Probe(ctx, "a"); !errors.Is(err, context.Canceled) {
 		t.Fatalf("ProbeCtx = %v, want context.Canceled", err)
 	}
-	if _, err := x.MultiProbeCtx(ctx, []string{"a", "b"}); !errors.Is(err, context.Canceled) {
+	if _, err := x.MultiProbe(ctx, []string{"a", "b"}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("MultiProbeCtx = %v, want context.Canceled", err)
 	}
-	if err := x.ScanCtx(ctx, func(string, Entry) bool { return true }); !errors.Is(err, context.Canceled) {
+	if err := x.Scan(ctx, func(string, Entry) bool { return true }); !errors.Is(err, context.Canceled) {
 		t.Fatalf("ScanCtx = %v, want context.Canceled", err)
 	}
 	if got := x.Metrics().Counter("query_canceled_total"); got != 3 {
 		t.Errorf("query_canceled_total = %d, want 3", got)
 	}
 	// The engine pool must be intact afterwards.
-	if _, err := x.Probe("a"); err != nil {
+	if _, err := x.Probe(context.Background(), "a"); err != nil {
 		t.Fatalf("probe after cancellations: %v", err)
 	}
 }
@@ -229,11 +229,11 @@ func TestErrBadConfigSentinel(t *testing.T) {
 func TestProbeParallelAlias(t *testing.T) {
 	x, _ := buildObserved(t, Config{Window: 6, Indexes: 3})
 	for _, key := range []string{"a", "b", "only8", "missing"} {
-		want, err := x.Probe(key)
+		want, err := x.Probe(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := x.ProbeParallel(key)
+		got, err := x.Probe(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -271,7 +271,7 @@ func TestSnapshotSpansAndLoadMetrics(t *testing.T) {
 		t.Error("snapshot_load_us not observed")
 	}
 	// The restored index keeps recording: queries and further ingestion.
-	if _, err := y.Probe("a"); err != nil {
+	if _, err := y.Probe(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	_, to := y.Window()
@@ -296,13 +296,13 @@ func TestTraceIDPropagation(t *testing.T) {
 	if got := TraceIDFrom(ctx); got != "req-42" {
 		t.Fatalf("TraceIDFrom = %q", got)
 	}
-	if _, err := x.ProbeCtx(ctx, "a"); err != nil {
+	if _, err := x.Probe(ctx, "a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := x.MultiProbeCtx(ctx, []string{"a", "b"}); err != nil {
+	if _, err := x.MultiProbe(ctx, []string{"a", "b"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := x.ScanCtx(ctx, func(string, Entry) bool { return true }); err != nil {
+	if err := x.Scan(ctx, func(string, Entry) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 	tr.mu.Lock()
@@ -324,7 +324,7 @@ func TestTraceIDPropagation(t *testing.T) {
 		}
 	}
 	// Untraced queries stay unstamped.
-	if _, err := x.Probe("a"); err != nil {
+	if _, err := x.Probe(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	if q := x.SlowQueries()[0]; q.TraceID != "" {
@@ -336,7 +336,7 @@ func TestTraceIDPropagation(t *testing.T) {
 // simulated-disk delta alongside latency.
 func TestSlowQueryDiskDelta(t *testing.T) {
 	x, _ := buildObserved(t, Config{Window: 6, Indexes: 3, SlowQueryThreshold: time.Nanosecond})
-	if _, err := x.Probe("a"); err != nil {
+	if _, err := x.Probe(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	q := x.SlowQueries()[0]
@@ -356,7 +356,7 @@ func TestSlowQueryDiskDelta(t *testing.T) {
 // snapshot save charges checkpoint work.
 func TestWorkLedger(t *testing.T) {
 	x, _ := buildObserved(t, Config{Window: 6, Indexes: 3, Scheme: DEL})
-	if _, err := x.Probe("a"); err != nil {
+	if _, err := x.Probe(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"path/filepath"
@@ -31,18 +32,18 @@ func TestMultiStoreQueriesMatchSingleStore(t *testing.T) {
 		t.Errorf("multi-store Parallelism() = %d, want 4 (one per store)", p)
 	}
 	for _, key := range []string{"a", "b", "day15", "mod0", "nope"} {
-		em, err := multi.Probe(key)
+		em, err := multi.Probe(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
-		es, err := single.Probe(key)
+		es, err := single.Probe(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(em, es) {
 			t.Errorf("key %q: multi-store %v, single-store %v", key, em, es)
 		}
-		ep, err := multi.ProbeParallel(key)
+		ep, err := multi.Probe(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,11 +51,11 @@ func TestMultiStoreQueriesMatchSingleStore(t *testing.T) {
 			t.Errorf("key %q: parallel %v, sequential %v", key, ep, es)
 		}
 	}
-	nm, err := multi.Count()
+	nm, err := multi.Count(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ns, err := single.Count()
+	ns, err := single.Count(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,12 +68,12 @@ func TestMultiProbeMatchesPerKeyProbes(t *testing.T) {
 	x := multiStoreIndex(t, 3)
 	from, to := x.Window()
 	keys := []string{"mod1", "a", "nope", "day16", "a", "b"} // dupes and misses
-	got, err := x.MultiProbeRange(keys, from, to)
+	got, err := x.MultiProbeRange(context.Background(), keys, from, to)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range keys {
-		want, err := x.ProbeRange(key, from, to)
+		want, err := x.ProbeRange(context.Background(), key, from, to)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func TestMultiProbeMatchesPerKeyProbes(t *testing.T) {
 			t.Errorf("key %q: MultiProbe %v, ProbeRange %v", key, got[key], want)
 		}
 	}
-	if _, err := x.MultiProbe(nil); err != nil {
+	if _, err := x.MultiProbe(context.Background(), nil); err != nil {
 		t.Errorf("empty batch: %v", err)
 	}
 }
@@ -96,7 +97,7 @@ func TestTopKeysHeapMatchesFullSort(t *testing.T) {
 	from, to := x.Window()
 	// Reference: full count + sort, the pre-heap implementation.
 	counts := map[string]int{}
-	if err := x.ScanRange(from, to, func(key string, _ Entry) bool {
+	if err := x.ScanRange(context.Background(), from, to, func(key string, _ Entry) bool {
 		counts[key]++
 		return true
 	}); err != nil {
@@ -108,7 +109,7 @@ func TestTopKeysHeapMatchesFullSort(t *testing.T) {
 	}
 	sort.Slice(all, func(i, j int) bool { return kcBetter(all[i], all[j]) })
 	for _, k := range []int{1, 2, 3, len(all), len(all) + 5} {
-		got, err := x.TopKeys(k, from, to)
+		got, err := x.TopKeys(context.Background(), k, from, to)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,16 +127,16 @@ func TestCountKeysAndSumAuxKeys(t *testing.T) {
 	x := multiStoreIndex(t, 2)
 	from, to := x.Window()
 	keys := []string{"a", "mod2", "nope"}
-	cs, err := x.CountKeys(keys, from, to)
+	cs, err := x.CountKeys(context.Background(), keys, from, to)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sums, err := x.SumAuxKeys(keys, from, to)
+	sums, err := x.SumAuxKeys(context.Background(), keys, from, to)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range keys {
-		es, err := x.ProbeRange(key, from, to)
+		es, err := x.ProbeRange(context.Background(), key, from, to)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func TestMultiStoreStatsAndFiles(t *testing.T) {
 			t.Errorf("store file %s missing (err %v)", p, err)
 		}
 	}
-	es, err := fx.Probe("k")
+	es, err := fx.Probe(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}

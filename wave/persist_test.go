@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"strings"
@@ -61,11 +62,11 @@ func TestSnapshotRoundTripAllSchemes(t *testing.T) {
 						t.Fatal(err)
 					}
 					for _, key := range []string{"common", "day12", "day3"} {
-						a, err := restored.Probe(key)
+						a, err := restored.Probe(context.Background(), key)
 						if err != nil {
 							t.Fatal(err)
 						}
-						b, err := twin.Probe(key)
+						b, err := twin.Probe(context.Background(), key)
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -106,7 +107,7 @@ func TestSnapshotBeforeReady(t *testing.T) {
 			t.Fatalf("AddDay(%d): %v", d, err)
 		}
 	}
-	es, err := y.Probe("k")
+	es, err := y.Probe(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}

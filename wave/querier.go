@@ -1,0 +1,168 @@
+package wave
+
+import (
+	"context"
+	"time"
+)
+
+// Querier is the read surface of a wave index: every query an *Index
+// answers, in canonical context-first form. It is implemented by *Index,
+// by *Journaled (delegating to the journal's current index, which
+// Recover may swap), and by shard.Router (scatter-gathering across
+// hash-partitioned shards). Code that only reads — servers, experiment
+// harnesses, report generators — should accept a Querier so it runs
+// unchanged against a single index, a journaled index, or a sharded
+// deployment.
+//
+// All methods are safe for concurrent use and may run while days are
+// being ingested; they answer from the published wave (the §2.1 shadow-
+// update contract). Entry order is part of the contract: Probe and
+// ProbeRange return entries in (day, record) order, Scan and ScanRange
+// visit keys in ascending order with each key's entries in (day, record)
+// order — identical for every implementation, so renders of the same
+// data are byte-for-byte equal whether it is sharded or not.
+type Querier interface {
+	// Probe returns the entries for key within the current window.
+	Probe(ctx context.Context, key string) ([]Entry, error)
+	// ProbeRange returns the entries for key inserted in [from, to].
+	ProbeRange(ctx context.Context, key string, from, to int) ([]Entry, error)
+	// MultiProbe probes a batch of keys within the current window.
+	MultiProbe(ctx context.Context, keys []string) (map[string][]Entry, error)
+	// MultiProbeRange is MultiProbe over days [from, to].
+	MultiProbeRange(ctx context.Context, keys []string, from, to int) (map[string][]Entry, error)
+	// Scan visits every entry in the current window in ascending key
+	// order; fn returning false stops the scan.
+	Scan(ctx context.Context, fn func(key string, e Entry) bool) error
+	// ScanRange visits every entry inserted in [from, to].
+	ScanRange(ctx context.Context, from, to int, fn func(key string, e Entry) bool) error
+
+	// Count returns the number of entries in the window.
+	Count(ctx context.Context) (int, error)
+	// CountRange counts entries inserted in [from, to].
+	CountRange(ctx context.Context, from, to int) (int, error)
+	// SumAux sums the Aux field of key's entries in [from, to].
+	SumAux(ctx context.Context, key string, from, to int) (int64, error)
+	// TopKeys returns the k most frequent keys in [from, to].
+	TopKeys(ctx context.Context, k, from, to int) ([]KeyCount, error)
+	// CountKeys returns each key's entry count over [from, to].
+	CountKeys(ctx context.Context, keys []string, from, to int) (map[string]int, error)
+	// SumAuxKeys sums the Aux field per key over [from, to].
+	SumAuxKeys(ctx context.Context, keys []string, from, to int) (map[string]int64, error)
+	// Histogram returns per-day entry counts over [from, to].
+	Histogram(ctx context.Context, from, to int) ([]int, error)
+	// DistinctKeys counts the distinct keys in [from, to].
+	DistinctKeys(ctx context.Context, from, to int) (int, error)
+
+	// Ready reports whether Window days have been ingested and queries
+	// are being answered.
+	Ready() bool
+	// Window returns the first and last day of the current window.
+	Window() (from, to int)
+	// Stats returns a snapshot of resource usage.
+	Stats() Stats
+}
+
+// Compile-time assertions: both index forms implement the full query
+// surface. shard.Router asserts the same in its own package.
+var (
+	_ Querier = (*Index)(nil)
+	_ Querier = (*Journaled)(nil)
+)
+
+// The *Journaled query surface delegates to the journal's current index.
+// Each call re-fetches the index because Recover swaps it; queries keep
+// working while the index is poisoned or degraded.
+
+// Probe returns the entries for key within the current window.
+func (j *Journaled) Probe(ctx context.Context, key string) ([]Entry, error) {
+	return j.Index().Probe(ctx, key)
+}
+
+// ProbeRange returns the entries for key inserted in [from, to].
+func (j *Journaled) ProbeRange(ctx context.Context, key string, from, to int) ([]Entry, error) {
+	return j.Index().ProbeRange(ctx, key, from, to)
+}
+
+// MultiProbe probes a batch of keys within the current window.
+func (j *Journaled) MultiProbe(ctx context.Context, keys []string) (map[string][]Entry, error) {
+	return j.Index().MultiProbe(ctx, keys)
+}
+
+// MultiProbeRange is MultiProbe over days [from, to].
+func (j *Journaled) MultiProbeRange(ctx context.Context, keys []string, from, to int) (map[string][]Entry, error) {
+	return j.Index().MultiProbeRange(ctx, keys, from, to)
+}
+
+// Scan visits every entry in the current window in ascending key order.
+func (j *Journaled) Scan(ctx context.Context, fn func(key string, e Entry) bool) error {
+	return j.Index().Scan(ctx, fn)
+}
+
+// ScanRange visits every entry inserted in [from, to].
+func (j *Journaled) ScanRange(ctx context.Context, from, to int, fn func(key string, e Entry) bool) error {
+	return j.Index().ScanRange(ctx, from, to, fn)
+}
+
+// Count returns the number of entries in the window.
+func (j *Journaled) Count(ctx context.Context) (int, error) { return j.Index().Count(ctx) }
+
+// CountRange counts entries inserted in [from, to].
+func (j *Journaled) CountRange(ctx context.Context, from, to int) (int, error) {
+	return j.Index().CountRange(ctx, from, to)
+}
+
+// SumAux sums the Aux field of key's entries in [from, to].
+func (j *Journaled) SumAux(ctx context.Context, key string, from, to int) (int64, error) {
+	return j.Index().SumAux(ctx, key, from, to)
+}
+
+// TopKeys returns the k most frequent keys in [from, to].
+func (j *Journaled) TopKeys(ctx context.Context, k, from, to int) ([]KeyCount, error) {
+	return j.Index().TopKeys(ctx, k, from, to)
+}
+
+// CountKeys returns each key's entry count over [from, to].
+func (j *Journaled) CountKeys(ctx context.Context, keys []string, from, to int) (map[string]int, error) {
+	return j.Index().CountKeys(ctx, keys, from, to)
+}
+
+// SumAuxKeys sums the Aux field per key over [from, to].
+func (j *Journaled) SumAuxKeys(ctx context.Context, keys []string, from, to int) (map[string]int64, error) {
+	return j.Index().SumAuxKeys(ctx, keys, from, to)
+}
+
+// Histogram returns per-day entry counts over [from, to].
+func (j *Journaled) Histogram(ctx context.Context, from, to int) ([]int, error) {
+	return j.Index().Histogram(ctx, from, to)
+}
+
+// DistinctKeys counts the distinct keys in [from, to].
+func (j *Journaled) DistinctKeys(ctx context.Context, from, to int) (int, error) {
+	return j.Index().DistinctKeys(ctx, from, to)
+}
+
+// Ready reports whether the wrapped index answers queries.
+func (j *Journaled) Ready() bool { return j.Index().Ready() }
+
+// Window returns the first and last day of the current window.
+func (j *Journaled) Window() (from, to int) { return j.Index().Window() }
+
+// HardWindow reports whether the scheme indexes exactly the window.
+func (j *Journaled) HardWindow() bool { return j.Index().HardWindow() }
+
+// Stats returns a snapshot of the wrapped index's resource usage.
+func (j *Journaled) Stats() Stats { return j.Index().Stats() }
+
+// Metrics returns the wrapped index's metrics snapshot.
+func (j *Journaled) Metrics() MetricsSnapshot { return j.Index().Metrics() }
+
+// SlowQueries returns the wrapped index's slow-query log.
+func (j *Journaled) SlowQueries() []SlowQuery { return j.Index().SlowQueries() }
+
+// SetSlowQueryThreshold sets the wrapped index's slow-query threshold.
+func (j *Journaled) SetSlowQueryThreshold(d time.Duration) {
+	j.Index().SetSlowQueryThreshold(d)
+}
+
+// Work returns the wrapped index's per-cause disk-work ledger.
+func (j *Journaled) Work() []CauseStats { return j.Index().Work() }

@@ -1,0 +1,351 @@
+package shard
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"waveindex/wave"
+)
+
+// This file is the Router's wave.Querier implementation. Single-key
+// queries route to the owning shard; batched and whole-window queries
+// scatter to all owning shards concurrently and gather exact results,
+// relying on the partitioning invariant that shard key sets are
+// disjoint.
+
+// Probe returns the entries for key within the current window, answered
+// entirely by the owning shard.
+func (r *Router) Probe(ctx context.Context, key string) ([]wave.Entry, error) {
+	from, to := r.Window()
+	return r.ProbeRange(ctx, key, from, to)
+}
+
+// ProbeRange returns the entries for key inserted in [from, to].
+func (r *Router) ProbeRange(ctx context.Context, key string, from, to int) ([]wave.Entry, error) {
+	i := r.ShardFor(key)
+	es, err := r.shards[i].ProbeRange(ctx, key, from, to)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", i, err)
+	}
+	return es, nil
+}
+
+// SumAux sums the Aux field of key's entries in [from, to], answered by
+// the owning shard.
+func (r *Router) SumAux(ctx context.Context, key string, from, to int) (int64, error) {
+	i := r.ShardFor(key)
+	sum, err := r.shards[i].SumAux(ctx, key, from, to)
+	if err != nil {
+		return 0, fmt.Errorf("shard %d: %w", i, err)
+	}
+	return sum, nil
+}
+
+// MultiProbe probes a batch of keys within the current window.
+func (r *Router) MultiProbe(ctx context.Context, keys []string) (map[string][]wave.Entry, error) {
+	from, to := r.Window()
+	return r.MultiProbeRange(ctx, keys, from, to)
+}
+
+// MultiProbeRange partitions the batch by key owner, fans the parts out
+// to their shards concurrently, and merges the disjoint result maps.
+func (r *Router) MultiProbeRange(ctx context.Context, keys []string, from, to int) (map[string][]wave.Entry, error) {
+	parts := make([][]string, len(r.shards))
+	for _, k := range keys {
+		i := r.ShardFor(k)
+		parts[i] = append(parts[i], k)
+	}
+	results := make([]map[string][]wave.Entry, len(r.shards))
+	err := r.fan(func(i int, s backend) error {
+		if len(parts[i]) == 0 {
+			return nil
+		}
+		m, err := s.MultiProbeRange(ctx, parts[i], from, to)
+		results[i] = m
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]wave.Entry{}
+	for _, m := range results {
+		for k, es := range m {
+			out[k] = es
+		}
+	}
+	return out, nil
+}
+
+// keyGroup is one key's consecutive entries from a shard's scan stream.
+type keyGroup struct {
+	key     string
+	entries []wave.Entry
+}
+
+// scanStream is one shard's producer state in the k-way scan merge.
+type scanStream struct {
+	shard int
+	ch    chan keyGroup
+	errc  chan error
+	cur   keyGroup
+}
+
+// streamHeap orders live streams by their current key (shard index
+// breaks ties, though disjoint key sets make ties impossible).
+type streamHeap []*scanStream
+
+func (h streamHeap) Len() int { return len(h) }
+func (h streamHeap) Less(i, j int) bool {
+	if h[i].cur.key != h[j].cur.key {
+		return h[i].cur.key < h[j].cur.key
+	}
+	return h[i].shard < h[j].shard
+}
+func (h streamHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(v interface{}) { *h = append(*h, v.(*scanStream)) }
+func (h *streamHeap) Pop() interface{} {
+	old := *h
+	v := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return v
+}
+
+// Scan visits every entry in the current window in ascending key order.
+func (r *Router) Scan(ctx context.Context, fn func(key string, e wave.Entry) bool) error {
+	from, to := r.Window()
+	return r.ScanRange(ctx, from, to, fn)
+}
+
+// ScanRange runs every shard's scan concurrently and k-way merges the
+// key-ascending streams. Shard key sets are disjoint, so the merged
+// visit order — keys ascending, each key's entries in (day, record)
+// order — is identical to a single index's TimedSegmentScan: the same
+// fn calls in the same order, whatever the shard count. fn returning
+// false cancels the outstanding shard scans and stops the merge.
+func (r *Router) ScanRange(ctx context.Context, from, to int, fn func(key string, e wave.Entry) bool) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	streams := make([]*scanStream, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		st := &scanStream{shard: i, ch: make(chan keyGroup, 16), errc: make(chan error, 1)}
+		streams[i] = st
+		wg.Add(1)
+		go func(s backend, st *scanStream) {
+			defer wg.Done()
+			var cur keyGroup
+			started := false
+			err := s.ScanRange(cctx, from, to, func(key string, e wave.Entry) bool {
+				if !started || key != cur.key {
+					if started {
+						select {
+						case st.ch <- cur:
+						case <-cctx.Done():
+							return false
+						}
+					}
+					cur = keyGroup{key: key}
+					started = true
+				}
+				cur.entries = append(cur.entries, e)
+				return true
+			})
+			if err == nil && started {
+				select {
+				case st.ch <- cur:
+				case <-cctx.Done():
+				}
+			}
+			st.errc <- err
+			close(st.ch)
+		}(s, st)
+	}
+	// drain unblocks the producers after cancellation and waits them
+	// out, so no goroutine outlives the call.
+	drain := func() {
+		cancel()
+		for _, st := range streams {
+			for range st.ch {
+			}
+		}
+		wg.Wait()
+	}
+	// advance pulls st's next key group; done reports stream end.
+	advance := func(st *scanStream) (done bool, err error) {
+		g, ok := <-st.ch
+		if ok {
+			st.cur = g
+			return false, nil
+		}
+		return true, <-st.errc
+	}
+	h := make(streamHeap, 0, len(streams))
+	for _, st := range streams {
+		done, err := advance(st)
+		if err != nil {
+			drain()
+			return fmt.Errorf("shard %d: %w", st.shard, err)
+		}
+		if !done {
+			h = append(h, st)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		st := h[0]
+		for _, e := range st.cur.entries {
+			if !fn(st.cur.key, e) {
+				drain()
+				return nil
+			}
+		}
+		done, err := advance(st)
+		if err != nil {
+			drain()
+			return fmt.Errorf("shard %d: %w", st.shard, err)
+		}
+		if done {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// Count returns the number of entries in the window.
+func (r *Router) Count(ctx context.Context) (int, error) {
+	from, to := r.Window()
+	return r.CountRange(ctx, from, to)
+}
+
+// CountRange counts entries inserted in [from, to], summing the shards'
+// disjoint counts.
+func (r *Router) CountRange(ctx context.Context, from, to int) (int, error) {
+	counts := make([]int, len(r.shards))
+	err := r.fan(func(i int, s backend) error {
+		n, err := s.CountRange(ctx, from, to)
+		counts[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}
+
+// TopKeys returns the k most frequent keys in [from, to]. Each shard's
+// counts are global for the keys it owns, and any key in the fleet's
+// top k is necessarily in its own shard's top k, so merging the shards'
+// top-k lists is exact.
+func (r *Router) TopKeys(ctx context.Context, k, from, to int) ([]wave.KeyCount, error) {
+	if k < 1 {
+		return nil, nil
+	}
+	per := make([][]wave.KeyCount, len(r.shards))
+	err := r.fan(func(i int, s backend) error {
+		top, err := s.TopKeys(ctx, k, from, to)
+		per[i] = top
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []wave.KeyCount
+	for _, top := range per {
+		all = append(all, top...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// CountKeys returns each key's entry count over [from, to], batching
+// per shard. Keys without entries map to 0.
+func (r *Router) CountKeys(ctx context.Context, keys []string, from, to int) (map[string]int, error) {
+	res, err := r.MultiProbeRange(ctx, keys, from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(keys))
+	for _, k := range keys {
+		out[k] = len(res[k])
+	}
+	return out, nil
+}
+
+// SumAuxKeys sums the Aux field per key over [from, to], batching per
+// shard.
+func (r *Router) SumAuxKeys(ctx context.Context, keys []string, from, to int) (map[string]int64, error) {
+	res, err := r.MultiProbeRange(ctx, keys, from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(keys))
+	for _, k := range keys {
+		var sum int64
+		for _, e := range res[k] {
+			sum += int64(e.Aux)
+		}
+		out[k] = sum
+	}
+	return out, nil
+}
+
+// Histogram returns per-day entry counts over [from, to], summing the
+// shards' disjoint histograms element-wise.
+func (r *Router) Histogram(ctx context.Context, from, to int) ([]int, error) {
+	if to < from {
+		return nil, nil
+	}
+	per := make([][]int, len(r.shards))
+	err := r.fan(func(i int, s backend) error {
+		h, err := s.Histogram(ctx, from, to)
+		per[i] = h
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, to-from+1)
+	for _, h := range per {
+		for i, n := range h {
+			out[i] += n
+		}
+	}
+	return out, nil
+}
+
+// DistinctKeys counts the distinct keys in [from, to]; shard key sets
+// are disjoint, so the fleet count is the sum.
+func (r *Router) DistinctKeys(ctx context.Context, from, to int) (int, error) {
+	counts := make([]int, len(r.shards))
+	err := r.fan(func(i int, s backend) error {
+		n, err := s.DistinctKeys(ctx, from, to)
+		counts[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,537 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"waveindex/internal/core"
+	"waveindex/internal/simdisk"
+	"waveindex/wave"
+)
+
+// workload builds day d's postings: a few hot keys appearing every day
+// plus per-day singletons, with varying aux values so aggregate renders
+// exercise real sums.
+func workload(d int) []wave.Posting {
+	keys := []string{"hotA", "hotB", "hotC",
+		fmt.Sprintf("day%da", d), fmt.Sprintf("day%db", d)}
+	if d%2 == 0 {
+		keys = append(keys, "evens", fmt.Sprintf("day%dc", d))
+	}
+	var ps []wave.Posting
+	for i, k := range keys {
+		ps = append(ps, wave.Posting{Key: k, Entry: wave.Entry{
+			RecordID: uint64(d*1000 + i),
+			Aux:      uint32(d*10 + i),
+			Day:      int32(d),
+		}})
+	}
+	return ps
+}
+
+// probeKeys is the fixed batch every render probes: hot keys, a few
+// day-local keys, and keys that never exist.
+func probeKeys(from, to int) []string {
+	keys := []string{"hotA", "hotB", "hotC", "evens", "missing", "alsomissing"}
+	for d := from; d <= to; d++ {
+		keys = append(keys, fmt.Sprintf("day%da", d), fmt.Sprintf("day%db", d))
+	}
+	return keys
+}
+
+// render exercises every query kind and serialises the results into one
+// deterministic string. Two Queriers over the same data must render
+// byte-identically — the equivalence contract of the shard router.
+func render(t *testing.T, q wave.Querier) string {
+	t.Helper()
+	ctx := context.Background()
+	var b strings.Builder
+	from, to := q.Window()
+	fmt.Fprintf(&b, "window %d..%d ready=%v\n", from, to, q.Ready())
+
+	if err := q.Scan(ctx, func(key string, e wave.Entry) bool {
+		fmt.Fprintf(&b, "scan %s %d %d %d\n", key, e.RecordID, e.Aux, e.Day)
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	mid := (from + to) / 2
+	if err := q.ScanRange(ctx, from, mid, func(key string, e wave.Entry) bool {
+		fmt.Fprintf(&b, "scanrange %s %d %d %d\n", key, e.RecordID, e.Aux, e.Day)
+		return true
+	}); err != nil {
+		t.Fatalf("ScanRange: %v", err)
+	}
+
+	keys := probeKeys(from, to)
+	for _, k := range keys {
+		es, err := q.Probe(ctx, k)
+		if err != nil {
+			t.Fatalf("Probe(%q): %v", k, err)
+		}
+		fmt.Fprintf(&b, "probe %s %d:", k, len(es))
+		for _, e := range es {
+			fmt.Fprintf(&b, " %d/%d/%d", e.RecordID, e.Aux, e.Day)
+		}
+		fmt.Fprintln(&b)
+		es, err = q.ProbeRange(ctx, k, mid, to)
+		if err != nil {
+			t.Fatalf("ProbeRange(%q): %v", k, err)
+		}
+		fmt.Fprintf(&b, "proberange %s %d:", k, len(es))
+		for _, e := range es {
+			fmt.Fprintf(&b, " %d/%d/%d", e.RecordID, e.Aux, e.Day)
+		}
+		fmt.Fprintln(&b)
+	}
+
+	m, err := q.MultiProbeRange(ctx, keys, from, to)
+	if err != nil {
+		t.Fatalf("MultiProbeRange: %v", err)
+	}
+	var mkeys []string
+	for k := range m {
+		mkeys = append(mkeys, k)
+	}
+	sort.Strings(mkeys)
+	for _, k := range mkeys {
+		fmt.Fprintf(&b, "mprobe %s %d:", k, len(m[k]))
+		for _, e := range m[k] {
+			fmt.Fprintf(&b, " %d/%d/%d", e.RecordID, e.Aux, e.Day)
+		}
+		fmt.Fprintln(&b)
+	}
+
+	n, err := q.Count(ctx)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	fmt.Fprintf(&b, "count %d\n", n)
+	n, err = q.CountRange(ctx, mid, to)
+	if err != nil {
+		t.Fatalf("CountRange: %v", err)
+	}
+	fmt.Fprintf(&b, "countrange %d\n", n)
+	sum, err := q.SumAux(ctx, "hotB", from, to)
+	if err != nil {
+		t.Fatalf("SumAux: %v", err)
+	}
+	fmt.Fprintf(&b, "sumaux %d\n", sum)
+	top, err := q.TopKeys(ctx, 5, from, to)
+	if err != nil {
+		t.Fatalf("TopKeys: %v", err)
+	}
+	for _, kc := range top {
+		fmt.Fprintf(&b, "top %s %d\n", kc.Key, kc.Count)
+	}
+	counts, err := q.CountKeys(ctx, keys, from, to)
+	if err != nil {
+		t.Fatalf("CountKeys: %v", err)
+	}
+	sums, err := q.SumAuxKeys(ctx, keys, from, to)
+	if err != nil {
+		t.Fatalf("SumAuxKeys: %v", err)
+	}
+	for _, k := range keys {
+		fmt.Fprintf(&b, "agg %s %d %d\n", k, counts[k], sums[k])
+	}
+	hist, err := q.Histogram(ctx, from, to)
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	fmt.Fprintf(&b, "hist %v\n", hist)
+	dk, err := q.DistinctKeys(ctx, from, to)
+	if err != nil {
+		t.Fatalf("DistinctKeys: %v", err)
+	}
+	fmt.Fprintf(&b, "distinct %d\n", dk)
+	return b.String()
+}
+
+var allTechniques = []wave.UpdateTechnique{wave.InPlace, wave.SimpleShadow, wave.PackedShadow}
+
+// TestShardedEquivalence is the acceptance suite: for every maintenance
+// scheme × update technique × shard count, a router must render every
+// query kind byte-identically to a single unsharded index fed the same
+// days — both mid-window and after the window has rolled several times.
+func TestShardedEquivalence(t *testing.T) {
+	const W, N, days = 6, 3, 12
+	for _, kind := range core.Kinds {
+		for _, tech := range allTechniques {
+			for _, shards := range []int{1, 3, 8} {
+				kind, tech, shards := kind, tech, shards
+				t.Run(fmt.Sprintf("%s/%s/shards=%d", kind, tech, shards), func(t *testing.T) {
+					t.Parallel()
+					cfg := wave.Config{Window: W, Indexes: N, Scheme: kind, Update: tech}
+					single, err := wave.New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer single.Close()
+					r, err := New(Config{Shards: shards, Base: cfg})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer r.Close()
+					for d := 1; d <= days; d++ {
+						ps := workload(d)
+						if err := single.AddDay(d, ps); err != nil {
+							t.Fatalf("single AddDay(%d): %v", d, err)
+						}
+						if err := r.AddDay(d, ps); err != nil {
+							t.Fatalf("sharded AddDay(%d): %v", d, err)
+						}
+						if d == W || d == days {
+							want, got := render(t, single), render(t, r)
+							if want != got {
+								t.Fatalf("day %d: sharded render diverges from single index\nsingle:\n%s\nsharded:\n%s", d, want, got)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedScanEarlyStop verifies fn returning false stops the merged
+// scan at the same prefix a single index would produce.
+func TestShardedScanEarlyStop(t *testing.T) {
+	cfg := wave.Config{Window: 4, Indexes: 2, Scheme: wave.REINDEX}
+	single, err := wave.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	r, err := New(Config{Shards: 3, Base: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for d := 1; d <= 6; d++ {
+		ps := workload(d)
+		if err := single.AddDay(d, ps); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AddDay(d, ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefix := func(q wave.Querier, stop int) string {
+		var b strings.Builder
+		seen := 0
+		if err := q.Scan(context.Background(), func(key string, e wave.Entry) bool {
+			fmt.Fprintf(&b, "%s %d\n", key, e.RecordID)
+			seen++
+			return seen < stop
+		}); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		return b.String()
+	}
+	for _, stop := range []int{1, 3, 7} {
+		if want, got := prefix(single, stop), prefix(r, stop); want != got {
+			t.Fatalf("early stop at %d diverges:\nsingle:\n%s\nsharded:\n%s", stop, want, got)
+		}
+	}
+}
+
+// TestShardedAsyncIngest drives the router's pipelined ingestion with
+// concurrent queriers under the race detector and checks the quiesced
+// result matches synchronous ingestion.
+func TestShardedAsyncIngest(t *testing.T) {
+	cfg := wave.Config{Window: 5, Indexes: 2, Scheme: wave.REINDEXPlusPlus}
+	ref, err := New(Config{Shards: 3, Base: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	r, err := New(Config{Shards: 3, Base: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent queriers while days flow through the pipeline
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if r.Ready() {
+				if _, err := r.Probe(context.Background(), "hotA"); err != nil && !errors.Is(err, wave.ErrNotReady) {
+					t.Errorf("concurrent Probe: %v", err)
+					return
+				}
+				if err := r.Scan(context.Background(), func(string, wave.Entry) bool { return true }); err != nil && !errors.Is(err, wave.ErrNotReady) {
+					t.Errorf("concurrent Scan: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for d := 1; d <= 14; d++ {
+		ps := workload(d)
+		if err := ref.AddDay(d, ps); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AddDayAsync(d, ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if want, got := render(t, ref), render(t, r); want != got {
+		t.Fatalf("async ingestion diverges from sync:\nsync:\n%s\nasync:\n%s", want, got)
+	}
+}
+
+// journaledRouter builds an N-shard journaled router over fresh
+// in-memory storages.
+func journaledRouter(t *testing.T, cfg wave.Config, shards int) (*Router, []*wave.JournalStorage) {
+	t.Helper()
+	storages := make([]*wave.JournalStorage, shards)
+	for i := range storages {
+		storages[i] = wave.NewMemJournalStorage()
+	}
+	r, err := NewJournaled(Config{Shards: shards, Base: cfg}, storages, wave.JournalOptions{CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, storages
+}
+
+// TestBrokenShardDegradation breaks one shard's journal mid-fleet and
+// checks the failure is contained: the other shards keep answering,
+// recovery repairs just the broken shard, and an idempotent retry of
+// the failed day re-converges the fleet to render-equality with an
+// unbroken reference.
+func TestBrokenShardDegradation(t *testing.T) {
+	const shards, failDay = 3, 9
+	cfg := wave.Config{Window: 6, Indexes: 3, Scheme: wave.REINDEXPlus}
+	r, storages := journaledRouter(t, cfg, shards)
+	defer r.Close()
+	ref, _ := journaledRouter(t, cfg, shards)
+	defer ref.Close()
+	for d := 1; d < failDay; d++ {
+		ps := workload(d)
+		if err := r.AddDay(d, ps); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AddDay(d, ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Break shard 1's journal fsync: its AddDay aborts while the other
+	// shards apply the day.
+	injected := errors.New("injected fsync failure")
+	storages[1].Log().FailAfter(simdisk.OpSync, 0, injected)
+	err := r.AddDay(failDay, workload(failDay))
+	if err == nil || !errors.Is(err, injected) {
+		t.Fatalf("AddDay with broken shard: err = %v, want injected failure", err)
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("failure not attributed to shard 1: %v", err)
+	}
+	if !r.NeedsRecovery() || !r.Degraded() {
+		t.Fatalf("NeedsRecovery=%v Degraded=%v after shard failure, want true/true", r.NeedsRecovery(), r.Degraded())
+	}
+	// Mutation is refused fleet-wide until recovery...
+	if err := r.AddDay(failDay+1, nil); !errors.Is(err, wave.ErrNeedsRecovery) {
+		t.Fatalf("AddDay after failure: err = %v, want ErrNeedsRecovery", err)
+	}
+	// ...but queries keep serving from every shard over the fleet window.
+	from, to := r.Window()
+	if to != failDay-1 {
+		t.Fatalf("degraded fleet window = %d..%d, want upper bound %d", from, to, failDay-1)
+	}
+	for _, key := range []string{"hotA", "hotB", "hotC"} {
+		es, err := r.Probe(context.Background(), key)
+		if err != nil {
+			t.Fatalf("degraded Probe(%q): %v", key, err)
+		}
+		if len(es) == 0 {
+			t.Fatalf("degraded Probe(%q) returned no entries", key)
+		}
+	}
+
+	// Recover (the fault is disarmed — one-shot plans fire once), then
+	// retry the failed day with the same postings: shards that already
+	// applied it skip, shard 1 catches up.
+	storages[1].Log().ClearFaults()
+	rep, err := r.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if r.NeedsRecovery() {
+		t.Fatal("NeedsRecovery still true after Recover")
+	}
+	if rep.CheckpointDay < 0 {
+		t.Fatalf("merged report missing checkpoint day: %+v", rep)
+	}
+	if err := r.AddDay(failDay, workload(failDay)); err != nil {
+		t.Fatalf("idempotent retry of day %d: %v", failDay, err)
+	}
+	ps := workload(failDay)
+	if err := ref.AddDay(failDay, ps); err != nil {
+		t.Fatal(err)
+	}
+	// The fleet is converged; keep rolling and compare renders.
+	for d := failDay + 1; d <= failDay+3; d++ {
+		ps := workload(d)
+		if err := r.AddDay(d, ps); err != nil {
+			t.Fatalf("post-recovery AddDay(%d): %v", d, err)
+		}
+		if err := ref.AddDay(d, ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want, got := render(t, ref), render(t, r); want != got {
+		t.Fatalf("post-recovery render diverges:\nreference:\n%s\nrecovered:\n%s", want, got)
+	}
+}
+
+// TestShardCrashRestartRequery simulates a process crash with a torn
+// shard: one shard's journal loses its unsynced tail (the last day's
+// commit record), the process "restarts" by reopening a router over the
+// same storages, and per-shard recovery rolls the uncommitted day
+// forward — the reopened fleet renders identically to one that never
+// crashed.
+func TestShardCrashRestartRequery(t *testing.T) {
+	const shards, days = 3, 10
+	cfg := wave.Config{Window: 6, Indexes: 3, Scheme: wave.RATAStar}
+	r, storages := journaledRouter(t, cfg, shards)
+	ref, _ := journaledRouter(t, cfg, shards)
+	defer ref.Close()
+	for d := 1; d <= days; d++ {
+		ps := workload(d)
+		if err := r.AddDay(d, ps); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AddDay(d, ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: shard 1 drops its unsynced journal tail; the other shards'
+	// logs survive intact. The old router is abandoned, as a real crash
+	// would leave it.
+	storages[1].Log().Crash()
+	reopened, err := NewJournaled(Config{Shards: shards, Base: cfg}, storages, wave.JournalOptions{CheckpointEvery: 4})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer reopened.Close()
+	if want, got := render(t, ref), render(t, reopened); want != got {
+		t.Fatalf("post-restart render diverges:\nreference:\n%s\nreopened:\n%s", want, got)
+	}
+	// And the reopened fleet ingests normally.
+	if err := reopened.AddDay(days+1, workload(days+1)); err != nil {
+		t.Fatalf("AddDay after restart: %v", err)
+	}
+	_ = r // abandoned, never closed: simulated crash
+}
+
+// TestShardObservability checks the fleet rollup surfaces: merged
+// metrics equal the per-shard sums, the work ledger aggregates, slow
+// queries collect fleet-wide, and spans carry shard labels.
+func TestShardObservability(t *testing.T) {
+	var mu sync.Mutex
+	shardsSeen := map[int]bool{}
+	tracer := traceFunc(func(ev core.TraceEvent) {
+		mu.Lock()
+		shardsSeen[ev.Shard] = true
+		mu.Unlock()
+	})
+	cfg := wave.Config{Window: 4, Indexes: 2, Scheme: wave.DEL, Trace: tracer}
+	r, err := New(Config{Shards: 3, Base: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetSlowQueryThreshold(1) // 1ns: everything is slow
+	for d := 1; d <= 5; d++ {
+		if err := r.AddDay(d, workload(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := probeKeys(2, 5)
+	for _, k := range keys {
+		if _, err := r.Probe(context.Background(), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := r.Metrics()
+	var sum int64
+	for _, snap := range r.ShardMetrics() {
+		sum += snap.Counter("query_probe_total")
+	}
+	if got := merged.Counter("query_probe_total"); got != sum || got != int64(len(keys)) {
+		t.Fatalf("merged probe counter = %d, per-shard sum = %d, want %d", got, sum, len(keys))
+	}
+	if len(r.SlowQueries()) == 0 {
+		t.Error("no slow queries collected fleet-wide")
+	}
+	rows := r.Work()
+	if len(rows) == 0 {
+		t.Error("empty fleet work ledger")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for want := 1; want <= 3; want++ {
+		if !shardsSeen[want] {
+			t.Errorf("no span carried shard label %d (saw %v)", want, shardsSeen)
+		}
+	}
+	if shardsSeen[0] {
+		t.Error("span with zero shard label from inside a router")
+	}
+}
+
+type traceFunc func(core.TraceEvent)
+
+func (f traceFunc) TraceEvent(ev core.TraceEvent) { f(ev) }
+
+// TestRouterConfigErrors covers constructor validation.
+func TestRouterConfigErrors(t *testing.T) {
+	if _, err := New(Config{Shards: 0, Base: wave.Config{Window: 4}}); !errors.Is(err, wave.ErrBadConfig) {
+		t.Errorf("Shards=0: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := New(Config{Shards: 2, Base: wave.Config{Window: 0}}); !errors.Is(err, wave.ErrBadConfig) {
+		t.Errorf("bad base config: err = %v, want ErrBadConfig", err)
+	}
+	st := []*wave.JournalStorage{wave.NewMemJournalStorage()}
+	if _, err := NewJournaled(Config{Shards: 2, Base: wave.Config{Window: 4}}, st, wave.JournalOptions{}); !errors.Is(err, wave.ErrBadConfig) {
+		t.Errorf("storage count mismatch: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestShardRoutingStability pins the default hash: routing must be
+// stable across processes, so a key's owner is a pure function of key
+// and shard count.
+func TestShardRoutingStability(t *testing.T) {
+	r, err := New(Config{Shards: 4, Base: wave.Config{Window: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, k := range []string{"hotA", "day3a", "evens", ""} {
+		want := int(fnv1a(k) % 4)
+		if got := r.ShardFor(k); got != want {
+			t.Errorf("ShardFor(%q) = %d, want %d", k, got, want)
+		}
+	}
+}

@@ -17,7 +17,12 @@
 //		idx.AddDay(day, postingsFor(day)) // index fills as days arrive
 //	}
 //	// From day 8 on, each AddDay expires the oldest day automatically.
-//	entries, _ := idx.Probe("needle")
+//	entries, _ := idx.Probe(context.Background(), "needle")
+//
+// Every query method takes a context first (cancellation stops the
+// engine between constituent reads); the full read surface is the
+// Querier interface, implemented identically by Index, Journaled, and
+// shard.Router.
 package wave
 
 import (
@@ -525,27 +530,17 @@ func (x *Index) HardWindow() bool { return x.scheme.HardWindow() }
 // Probe returns the entries for key within the current required window,
 // ordered by (day, record). The query engine issues the per-constituent
 // reads concurrently when its pool allows it; with Parallelism 1 the
-// reads run sequentially on the caller's goroutine.
-func (x *Index) Probe(key string) ([]Entry, error) {
-	return x.ProbeCtx(context.Background(), key)
-}
-
-// ProbeCtx is Probe with cancellation: once ctx is done the query stops
-// issuing constituent reads and returns ctx's error.
-func (x *Index) ProbeCtx(ctx context.Context, key string) ([]Entry, error) {
+// reads run sequentially on the caller's goroutine. Once ctx is done the
+// query stops issuing constituent reads and returns ctx's error.
+func (x *Index) Probe(ctx context.Context, key string) ([]Entry, error) {
 	from, to := x.Window()
-	return x.ProbeRangeCtx(ctx, key, from, to)
+	return x.ProbeRange(ctx, key, from, to)
 }
 
 // ProbeRange returns the entries for key inserted between day from and to
 // (inclusive). This is the paper's TimedIndexProbe: only constituents
 // whose clusters intersect the range are read.
-func (x *Index) ProbeRange(key string, from, to int) ([]Entry, error) {
-	return x.ProbeRangeCtx(context.Background(), key, from, to)
-}
-
-// ProbeRangeCtx is ProbeRange with cancellation.
-func (x *Index) ProbeRangeCtx(ctx context.Context, key string, from, to int) ([]Entry, error) {
+func (x *Index) ProbeRange(ctx context.Context, key string, from, to int) ([]Entry, error) {
 	if err := x.queryable(); err != nil {
 		return nil, err
 	}
@@ -570,36 +565,18 @@ func (x *Index) queryable() error {
 	return nil
 }
 
-// ProbeParallel is Probe: the engine now picks the parallelism for every
-// probe (the paper's §8 multi-device reads).
-//
-// Deprecated: use Probe (or ProbeCtx).
-func (x *Index) ProbeParallel(key string) ([]Entry, error) {
-	return x.Probe(key)
-}
-
 // MultiProbe probes a batch of keys within the current window in one
 // pass: each qualifying constituent answers the whole (deduplicated)
 // batch with its buckets read in disk order, and constituents run
 // concurrently on the query engine. The result maps each key with
 // entries to its (day, record)-ordered entry list.
-func (x *Index) MultiProbe(keys []string) (map[string][]Entry, error) {
-	return x.MultiProbeCtx(context.Background(), keys)
-}
-
-// MultiProbeCtx is MultiProbe with cancellation.
-func (x *Index) MultiProbeCtx(ctx context.Context, keys []string) (map[string][]Entry, error) {
+func (x *Index) MultiProbe(ctx context.Context, keys []string) (map[string][]Entry, error) {
 	from, to := x.Window()
-	return x.MultiProbeRangeCtx(ctx, keys, from, to)
+	return x.MultiProbeRange(ctx, keys, from, to)
 }
 
 // MultiProbeRange is MultiProbe over days [from, to].
-func (x *Index) MultiProbeRange(keys []string, from, to int) (map[string][]Entry, error) {
-	return x.MultiProbeRangeCtx(context.Background(), keys, from, to)
-}
-
-// MultiProbeRangeCtx is MultiProbeRange with cancellation.
-func (x *Index) MultiProbeRangeCtx(ctx context.Context, keys []string, from, to int) (map[string][]Entry, error) {
+func (x *Index) MultiProbeRange(ctx context.Context, keys []string, from, to int) (map[string][]Entry, error) {
 	if err := x.queryable(); err != nil {
 		return nil, err
 	}
@@ -622,27 +599,17 @@ func (x *Index) SetParallelism(p int) { x.scheme.Wave().SetParallelism(p) }
 // Parallelism returns the query engine's concurrency bound.
 func (x *Index) Parallelism() int { return x.scheme.Wave().Parallelism() }
 
-// Scan visits every entry in the current required window in per-
-// constituent key order; fn returning false stops the scan. This is the
-// paper's TimedSegmentScan clamped to the window.
-func (x *Index) Scan(fn func(key string, e Entry) bool) error {
-	return x.ScanCtx(context.Background(), fn)
-}
-
-// ScanCtx is Scan with cancellation: the merge stops between key groups
-// once ctx is done and the scan returns ctx's error.
-func (x *Index) ScanCtx(ctx context.Context, fn func(key string, e Entry) bool) error {
+// Scan visits every entry in the current required window in ascending
+// key order; fn returning false stops the scan. This is the paper's
+// TimedSegmentScan clamped to the window. The merge stops between key
+// groups once ctx is done and the scan returns ctx's error.
+func (x *Index) Scan(ctx context.Context, fn func(key string, e Entry) bool) error {
 	from, to := x.Window()
-	return x.ScanRangeCtx(ctx, from, to, fn)
+	return x.ScanRange(ctx, from, to, fn)
 }
 
 // ScanRange visits every entry inserted between day from and to.
-func (x *Index) ScanRange(from, to int, fn func(key string, e Entry) bool) error {
-	return x.ScanRangeCtx(context.Background(), from, to, fn)
-}
-
-// ScanRangeCtx is ScanRange with cancellation.
-func (x *Index) ScanRangeCtx(ctx context.Context, from, to int, fn func(key string, e Entry) bool) error {
+func (x *Index) ScanRange(ctx context.Context, from, to int, fn func(key string, e Entry) bool) error {
 	if err := x.queryable(); err != nil {
 		return err
 	}

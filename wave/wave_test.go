@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -41,7 +42,7 @@ func TestLifecycleAllSchemes(t *testing.T) {
 			if x.Ready() {
 				t.Error("ready before any data")
 			}
-			if _, err := x.Probe("a"); !errors.Is(err, ErrNotReady) {
+			if _, err := x.Probe(context.Background(), "a"); !errors.Is(err, ErrNotReady) {
 				t.Errorf("pre-ready Probe err = %v", err)
 			}
 			keysFor := func(d int) []string { return []string{"a", fmt.Sprintf("only%d", d)} }
@@ -55,7 +56,7 @@ func TestLifecycleAllSchemes(t *testing.T) {
 			if !x.Ready() {
 				t.Fatal("not ready after Window days")
 			}
-			es, err := x.Probe("a")
+			es, err := x.Probe(context.Background(), "a")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -68,7 +69,7 @@ func TestLifecycleAllSchemes(t *testing.T) {
 			if from != 13 || to != 17 {
 				t.Fatalf("window = [%d, %d], want [13, 17]", from, to)
 			}
-			es, err = x.Probe("a")
+			es, err = x.Probe(context.Background(), "a")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -81,10 +82,10 @@ func TestLifecycleAllSchemes(t *testing.T) {
 				}
 			}
 			// Expired unique keys are gone from window queries.
-			if es, _ := x.Probe("only3"); len(es) != 0 {
+			if es, _ := x.Probe(context.Background(), "only3"); len(es) != 0 {
 				t.Errorf("expired key returned %d entries", len(es))
 			}
-			if es, _ := x.Probe("only15"); len(es) != 1 {
+			if es, _ := x.Probe(context.Background(), "only15"); len(es) != 1 {
 				t.Errorf("window key only15 = %d entries, want 1", len(es))
 			}
 		})
@@ -99,7 +100,7 @@ func TestProbeRangeAndScan(t *testing.T) {
 	defer x.Close()
 	keysFor := func(d int) []string { return []string{"k", "k"} }
 	fill(t, x, 10, keysFor)
-	es, err := x.ProbeRange("k", 7, 8)
+	es, err := x.ProbeRange(context.Background(), "k", 7, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,14 +108,14 @@ func TestProbeRangeAndScan(t *testing.T) {
 		t.Fatalf("ProbeRange = %d entries, want 4", len(es))
 	}
 	n := 0
-	if err := x.Scan(func(string, Entry) bool { n++; return true }); err != nil {
+	if err := x.Scan(context.Background(), func(string, Entry) bool { n++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 12 {
 		t.Errorf("Scan visited %d entries, want 12 (6 days x 2)", n)
 	}
 	n = 0
-	if err := x.ScanRange(9, 10, func(string, Entry) bool { n++; return true }); err != nil {
+	if err := x.ScanRange(context.Background(), 9, 10, func(string, Entry) bool { n++; return true }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 4 {
@@ -122,7 +123,7 @@ func TestProbeRangeAndScan(t *testing.T) {
 	}
 	// Early stop.
 	n = 0
-	if err := x.Scan(func(string, Entry) bool { n++; return false }); err != nil {
+	if err := x.Scan(context.Background(), func(string, Entry) bool { n++; return false }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
@@ -137,11 +138,11 @@ func TestParallelProbe(t *testing.T) {
 	}
 	defer x.Close()
 	fill(t, x, 20, func(d int) []string { return []string{"p", "q"} })
-	serial, err := x.Probe("p")
+	serial, err := x.Probe(context.Background(), "p")
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := x.ProbeParallel("p")
+	parallel, err := x.Probe(context.Background(), "p")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestFileBackedStore(t *testing.T) {
 	}
 	defer x.Close()
 	fill(t, x, 8, func(d int) []string { return []string{"f"} })
-	es, err := x.Probe("f")
+	es, err := x.Probe(context.Background(), "f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestStatsAndClose(t *testing.T) {
 	if err := x.Close(); !errors.Is(err, ErrClosed) {
 		t.Errorf("double Close err = %v", err)
 	}
-	if _, err := x.Probe("s"); !errors.Is(err, ErrClosed) {
+	if _, err := x.Probe(context.Background(), "s"); !errors.Is(err, ErrClosed) {
 		t.Errorf("Probe after Close err = %v", err)
 	}
 	if err := x.AddDay(10, nil); !errors.Is(err, ErrClosed) {
@@ -263,7 +264,7 @@ func TestSoftWindowDocumentedBehaviour(t *testing.T) {
 	defer x.Close()
 	fill(t, x, 20, func(d int) []string { return []string{"w"} })
 	// Probe clamps to the window even though extra days are stored.
-	es, err := x.Probe("w")
+	es, err := x.Probe(context.Background(), "w")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestCachedStoreConfig(t *testing.T) {
 	// Repeated probes are served from cache; results stay correct.
 	var first []Entry
 	for i := 0; i < 5; i++ {
-		es, err := x.Probe("c")
+		es, err := x.Probe(context.Background(), "c")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -300,7 +301,7 @@ func TestCachedStoreConfig(t *testing.T) {
 	}
 	seeksAfter := x.Stats().Store.Seeks
 	for i := 0; i < 20; i++ {
-		if _, err := x.Probe("c"); err != nil {
+		if _, err := x.Probe(context.Background(), "c"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -333,11 +334,11 @@ func TestConcurrentPublicAPI(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := x.Probe("q"); err != nil {
+				if _, err := x.Probe(context.Background(), "q"); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := x.Count(); err != nil {
+				if _, err := x.Count(context.Background()); err != nil {
 					errs <- err
 					return
 				}
