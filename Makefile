@@ -7,14 +7,16 @@ GO ?= go
 # DisableMetrics twin), the chaos smoke (every registered crash
 # point fires, recovers, and matches the reference, under -race),
 # the shard smoke (sharded fleets render byte-identical results and
-# degrade per shard, under -race), and a bench-record smoke (a
-# one-transition recording must emit a schema-valid
-# BENCH_record.json).
+# degrade per shard, under -race), the netchaos smoke (a 3-shard
+# journaled fleet under wire faults, torn acks, and a shard read
+# blackout never returns a wrong answer, under -race), and a
+# bench-record smoke (a one-transition recording must emit a
+# schema-valid BENCH_record.json).
 .PHONY: check vet build test race bench-smoke metrics-smoke chaos-smoke \
-	shard-smoke bench-record bench-record-smoke bench-gate
+	shard-smoke netchaos-smoke bench-record bench-record-smoke bench-gate
 
 check: vet build race bench-smoke metrics-smoke chaos-smoke shard-smoke \
-	bench-record-smoke bench-gate
+	netchaos-smoke bench-record-smoke bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +41,10 @@ chaos-smoke:
 
 shard-smoke:
 	$(GO) test -race -count=1 -run 'TestSharded|TestBrokenShard|TestShardCrash' ./wave/shard/
+
+netchaos-smoke:
+	$(GO) test -race -count=1 -run 'TestNetChaosSoak|TestBreaker|TestClient' ./internal/server/ ./wave/shard/
+	$(GO) test -race -count=1 ./internal/netfault/
 
 # bench-record writes a full-length bench trajectory to bench/ for
 # regression tracking; compare two recordings with

@@ -10,6 +10,8 @@
 //	      [-admin-addr :9090] [-trace-out spans.json]
 //	      [-journal dir] [-checkpoint-every 0]
 //	      [-read-timeout 0] [-shutdown-grace 5s]
+//	      [-max-inflight 0] [-admission-wait 0]
+//	      [-breaker-threshold 0] [-breaker-cooldown 0]
 //
 // With -shards N > 1 the daemon serves a hash-partitioned fleet of N
 // wave indexes behind the same protocol (see wave/shard): queries
@@ -17,6 +19,14 @@
 // transition concurrently, and with -journal each shard journals and
 // recovers independently under <dir>/shard-<i>. /metrics additionally
 // exports shard_-prefixed {shard="i"}-labelled per-shard series.
+//
+// With -max-inflight the server sheds excess concurrent queries with a
+// retryable "ERR BUSY retry-after=<ms>" instead of queueing without
+// bound, and with -breaker-threshold each shard gets a query circuit
+// breaker: a shard failing that many queries in a row is skipped —
+// clients that opted in via PARTIAL on get the healthy remainder with a
+// DEGRADED annotation, everyone else gets a retryable UNAVAILABLE — and
+// is probed again after -breaker-cooldown (or closed by RECOVER).
 //
 // With -admin-addr an HTTP admin server runs alongside the line
 // protocol: /metrics (Prometheus text format, including the per-cause
@@ -93,6 +103,10 @@ type config struct {
 	ckptEvery     int
 	readTimeout   time.Duration
 	shutdownGrace time.Duration
+	maxInFlight   int
+	admissionWait time.Duration
+	brkThreshold  int
+	brkCooldown   time.Duration
 	logf          func(format string, args ...any) // nil silences logs
 }
 
@@ -160,10 +174,19 @@ func newApp(cfg config) (*app, error) {
 		wcfg.Trace = tracers
 	}
 
-	opts := server.Options{ReadTimeout: cfg.readTimeout, AsyncIngest: cfg.async}
+	opts := server.Options{
+		ReadTimeout:   cfg.readTimeout,
+		AsyncIngest:   cfg.async,
+		MaxInFlight:   cfg.maxInFlight,
+		AdmissionWait: cfg.admissionWait,
+	}
 	switch {
 	case cfg.shards > 1:
-		scfg := shard.Config{Shards: cfg.shards, Base: wcfg}
+		scfg := shard.Config{
+			Shards:  cfg.shards,
+			Base:    wcfg,
+			Breaker: shard.BreakerConfig{Threshold: cfg.brkThreshold, Cooldown: cfg.brkCooldown},
+		}
 		if cfg.journalDir != "" {
 			r, err := shard.OpenJournalDir(scfg, cfg.journalDir, wave.JournalOptions{CheckpointEvery: cfg.ckptEvery})
 			if err != nil {
@@ -210,13 +233,17 @@ func newApp(cfg config) (*app, error) {
 	}
 	if cfg.adminAddr != "" {
 		topts := telemetry.Options{
-			Metrics: func() wave.MetricsSnapshot { return a.b.Metrics() },
+			// The server's merged snapshot: backend metrics plus the
+			// wire-level registry (connections, shed queries, dedupe
+			// hits), matching what METRICS streams.
+			Metrics: a.srv.MetricsSnapshot,
 			Work:    func() []wave.CauseStats { return a.b.Work() },
 			Health:  a.health,
 			Spans:   a.sink,
 		}
 		if a.router != nil {
 			topts.ShardMetrics = a.router.ShardMetrics
+			topts.Breakers = a.breakerStatus
 		}
 		a.admin, err = telemetry.Serve(cfg.adminAddr, topts)
 		if err != nil {
@@ -231,12 +258,26 @@ func newApp(cfg config) (*app, error) {
 
 // health mirrors the line protocol's HEALTH command for /healthz.
 func (a *app) health() telemetry.Health {
-	return telemetry.Health{
+	h := telemetry.Health{
 		Ready:         a.b.Ready(),
 		Degraded:      a.b.Degraded(),
 		NeedsRecovery: a.b.NeedsRecovery(),
 		Journaled:     a.jr != nil || (a.router != nil && a.router.Journaled()),
 	}
+	if a.router != nil {
+		h.OpenBreakers = len(a.router.OpenBreakers())
+	}
+	return h
+}
+
+// breakerStatus adapts the router's breaker states for /metrics.
+func (a *app) breakerStatus() []telemetry.BreakerStatus {
+	states := a.router.BreakerStates()
+	out := make([]telemetry.BreakerStatus, len(states))
+	for i, bi := range states {
+		out[i] = telemetry.BreakerStatus{Shard: bi.Shard, State: bi.State.String(), Failures: bi.Failures}
+	}
+	return out
 }
 
 // addr returns the protocol listener's bound address.
@@ -308,6 +349,10 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the journal every N days (0 = default cadence)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-line read deadline (0 = none); guards stalled clients")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "grace period draining in-flight queries on SIGINT")
+	maxInFlight := flag.Int("max-inflight", 0, "admission control: max concurrently-executing queries, excess shed with BUSY (0 = unlimited)")
+	admissionWait := flag.Duration("admission-wait", 0, "how long a query may queue for an admission slot before BUSY (0 = 10ms default)")
+	brkThreshold := flag.Int("breaker-threshold", 0, "consecutive failures opening a shard's circuit breaker (0 = breakers disabled; needs -shards > 1)")
+	brkCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 1s default)")
 	flag.Parse()
 
 	a, err := newApp(config{
@@ -329,6 +374,10 @@ func main() {
 		ckptEvery:     *ckptEvery,
 		readTimeout:   *readTimeout,
 		shutdownGrace: *shutdownGrace,
+		maxInFlight:   *maxInFlight,
+		admissionWait: *admissionWait,
+		brkThreshold:  *brkThreshold,
+		brkCooldown:   *brkCooldown,
 		logf:          log.Printf,
 	})
 	if err != nil {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"waveindex/internal/server"
+	"waveindex/internal/simdisk"
 	"waveindex/internal/telemetry"
 	"waveindex/wave"
 )
@@ -293,5 +296,91 @@ func TestJournaledHealthz(t *testing.T) {
 	}
 	if !h.Journaled || !h.Ready {
 		t.Errorf("/healthz = %+v, want journaled ready", h)
+	}
+}
+
+// TestResilienceFlagPlumbing drives the resilience flags end to end:
+// a sharded journaled fleet with breakers and admission control, whose
+// breaker state shows up in /metrics, /healthz, HEALTH, and closes via
+// RECOVER.
+func TestResilienceFlagPlumbing(t *testing.T) {
+	a, c := startApp(t, config{
+		adminAddr: "127.0.0.1:0",
+		window:    3, indexes: 2, scheme: "REINDEX",
+		shards:       3,
+		journalDir:   t.TempDir(),
+		maxInFlight:  4,
+		brkThreshold: 2,
+		brkCooldown:  time.Hour, // close via RECOVER, not a half-open probe
+	})
+	addDays(t, c, 4, 6)
+	if _, err := c.Probe("ka"); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + a.adminAddr()
+	_, body := get(t, base+"/metrics")
+	for _, want := range []string{
+		`shard_breaker_state{shard="0"} 0`,
+		`shard_breaker_state{shard="2"} 0`,
+		"server_conns_total", // merged wire-level registry
+		"server_queries_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Black out the shard owning "ka" and trip its breaker.
+	target := a.router.ShardFor("ka")
+	stores := a.router.JournaledShard(target).Index().Stores()
+	for _, st := range stores {
+		st.FailProb(simdisk.OpRead, 1, 1, errors.New("injected read fault"))
+	}
+	for i := 0; i < 20; i++ {
+		c.Probe("ka")
+		if h, err := c.Health(); err == nil && h.OpenBreakers == 1 {
+			break
+		}
+		if i == 19 {
+			t.Fatal("breaker never opened")
+		}
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.OpenBreakers != 1 {
+		t.Fatalf("HEALTH with open breaker = %+v", h)
+	}
+	_, body = get(t, base+"/metrics")
+	if !strings.Contains(body, fmt.Sprintf("shard_breaker_state{shard=%q} 2", fmt.Sprint(target))) {
+		t.Errorf("/metrics missing open breaker for shard %d:\n%s", target, body)
+	}
+	_, body = get(t, base+"/healthz")
+	var th telemetry.Health
+	if err := json.Unmarshal([]byte(body), &th); err != nil {
+		t.Fatal(err)
+	}
+	if th.OpenBreakers != 1 {
+		t.Errorf("/healthz openBreakers = %d, want 1", th.OpenBreakers)
+	}
+
+	// Clear the fault; RECOVER closes the breaker and service resumes.
+	for _, st := range stores {
+		st.ClearFaults()
+	}
+	if _, err := c.Recover(); err != nil {
+		t.Fatalf("RECOVER: %v", err)
+	}
+	h, err = c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.OpenBreakers != 0 {
+		t.Fatalf("breaker still open after RECOVER: %+v", h)
+	}
+	if _, err := c.Probe("ka"); err != nil {
+		t.Fatalf("probe after RECOVER: %v", err)
 	}
 }

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"testing"
+)
+
+// Merge backs both the sharded router's fleet-wide METRICS and the
+// server's backend+wire-registry snapshot; these tests pin down its
+// edge cases so those composites stay trustworthy.
+
+func TestMergeEmptySnapshots(t *testing.T) {
+	// No inputs at all.
+	if s := Merge(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("Merge() = %+v, want empty", s)
+	}
+	// An empty registry's snapshot is the identity element.
+	r := New()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-2)
+	r.Histogram("h").Observe(10)
+	got := Merge(New().Snapshot(), r.Snapshot(), New().Snapshot())
+	if got.Counter("c") != 3 || got.Gauge("g") != -2 {
+		t.Fatalf("merge with empties changed values: %+v", got)
+	}
+	if hs := got.Histogram("h"); hs.Count != 1 || hs.Sum != 10 {
+		t.Fatalf("merge with empties changed histogram: %+v", hs)
+	}
+	// Merging only empties stays empty, not nil-map panics.
+	if s := Merge(New().Snapshot(), New().Snapshot()); len(s.Counters) != 0 {
+		t.Fatalf("empty+empty = %+v", s)
+	}
+}
+
+// TestMergeMismatchedHistogramBounds merges histogram snapshots whose
+// bucket lists cover different Le grids (as happens when one side has
+// only small observations and the other only large ones): the merge
+// must union the bounds, keep per-bound counts exact, and stay sorted.
+func TestMergeMismatchedHistogramBounds(t *testing.T) {
+	ra, rb := New(), New()
+	ra.Histogram("lat").Observe(1) // lands in the smallest buckets
+	ra.Histogram("lat").Observe(2)
+	rb.Histogram("lat").Observe(1 << 20) // far coarser bucket
+	got := Merge(ra.Snapshot(), rb.Snapshot())
+	hs := got.Histogram("lat")
+	if hs.Count != 3 || hs.Sum != 3+1<<20 {
+		t.Fatalf("count/sum = %d/%d, want 3/%d", hs.Count, hs.Sum, 3+1<<20)
+	}
+	if hs.Min != 1 || hs.Max != 1<<20 {
+		t.Fatalf("min/max = %d/%d", hs.Min, hs.Max)
+	}
+	var total int64
+	for i, b := range hs.Buckets {
+		total += b.Count
+		if i > 0 && hs.Buckets[i-1].Le >= b.Le {
+			t.Fatalf("buckets not strictly sorted: %+v", hs.Buckets)
+		}
+	}
+	if total != 3 {
+		t.Fatalf("bucket counts sum to %d, want 3", total)
+	}
+	// The union contains both sides' bounds.
+	les := map[int64]bool{}
+	for _, b := range hs.Buckets {
+		les[b.Le] = true
+	}
+	for _, side := range []Snapshot{ra.Snapshot(), rb.Snapshot()} {
+		sh := side.Histogram("lat")
+		for _, b := range sh.Buckets {
+			if !les[b.Le] {
+				t.Fatalf("merged histogram lost bound %d: %+v", b.Le, hs.Buckets)
+			}
+		}
+	}
+}
+
+// TestMergeCrossKindCollision: the same name used as a counter in one
+// snapshot and a gauge (or histogram) in another must not bleed across
+// kinds — counters, gauges, and histograms are independent namespaces,
+// unlike within one registry where reusing a name across kinds panics.
+func TestMergeCrossKindCollision(t *testing.T) {
+	ra, rb, rc := New(), New(), New()
+	ra.Counter("x").Add(5)
+	rb.Gauge("x").Set(7)
+	rc.Histogram("x").Observe(11)
+	got := Merge(ra.Snapshot(), rb.Snapshot(), rc.Snapshot())
+	if got.Counter("x") != 5 {
+		t.Errorf("counter x = %d, want 5", got.Counter("x"))
+	}
+	if got.Gauge("x") != 7 {
+		t.Errorf("gauge x = %d, want 7", got.Gauge("x"))
+	}
+	if hs := got.Histogram("x"); hs.Count != 1 || hs.Sum != 11 {
+		t.Errorf("histogram x = %+v, want one observation of 11", hs)
+	}
+}
+
+// TestMergeSumsSameKind pins the basic accumulation semantics: same
+// name, same kind → values add (counters, gauges) or pool (histograms).
+func TestMergeSumsSameKind(t *testing.T) {
+	ra, rb := New(), New()
+	ra.Counter("reqs").Add(2)
+	rb.Counter("reqs").Add(3)
+	ra.Gauge("depth").Set(4)
+	rb.Gauge("depth").Set(-1)
+	ra.Histogram("lat").Observe(8)
+	rb.Histogram("lat").Observe(8)
+	got := Merge(ra.Snapshot(), rb.Snapshot())
+	if got.Counter("reqs") != 5 {
+		t.Errorf("counter = %d, want 5", got.Counter("reqs"))
+	}
+	if got.Gauge("depth") != 3 {
+		t.Errorf("gauge = %d, want 3", got.Gauge("depth"))
+	}
+	if hs := got.Histogram("lat"); hs.Count != 2 || hs.Sum != 16 {
+		t.Errorf("histogram = %+v, want count 2 sum 16", hs)
+	}
+}

@@ -1,0 +1,416 @@
+// Package netfault injects scriptable faults into net.Conn and
+// net.Listener, the wire-level twin of simdisk's disk fault engine: the
+// same FailAfter / FailSchedule / FailProb plan styles, applied to
+// reads, writes, and accepts instead of blocks and syncs. It exists so
+// the service tier can be proven resilient the same way the storage
+// tier is — by driving every failure mode deterministically in tests
+// rather than waiting for a flaky network to produce them.
+//
+// A Set holds the armed plans plus a tunable per-op latency; wrapping a
+// listener applies the Set to every accepted connection, so one script
+// governs a whole server. Plans fire one of four actions:
+//
+//   - ActError:     the op returns the plan's error; the conn survives.
+//   - ActReset:     the underlying conn is closed and the op reports a
+//     reset — the classic RST mid-conversation.
+//   - ActBlackhole: the op blocks until the conn is closed — a silent
+//     drop, the failure deadlines exist for.
+//   - ActPartial:   a write delivers only a prefix of its buffer before
+//     failing — a torn frame on the wire (reads treat it as ActError).
+//
+// All plan types are safe for concurrent use, and probabilistic plans
+// draw from a seeded source so chaos runs replay byte-for-byte.
+package netfault
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op identifies a connection operation for fault injection.
+type Op int
+
+// Connection operations that can be targeted by fault plans.
+const (
+	OpRead Op = iota
+	OpWrite
+	// OpAccept targets connection establishment: a fired plan resets the
+	// just-accepted conn before the server sees a single byte. Accept
+	// itself never returns an error for a fired plan — the server's
+	// accept loop survives; only the client suffers.
+	OpAccept
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAccept:
+		return "accept"
+	}
+	return "unknown"
+}
+
+// Action is what a fired plan does to the operation.
+type Action int
+
+// Actions a fired fault plan can take.
+const (
+	ActError Action = iota
+	ActReset
+	ActBlackhole
+	ActPartial
+)
+
+// ErrInjected is the default error carried by plans armed with a nil
+// error.
+var ErrInjected = errors.New("netfault: injected fault")
+
+// ErrReset is returned by ops whose plan fired ActReset; the underlying
+// connection is closed first, so the peer sees a real reset/EOF.
+var ErrReset = errors.New("netfault: connection reset")
+
+// Fault is one armed fault plan; the arming call returns the handle so
+// tests can arm several independent plans and interrogate each.
+type Fault struct {
+	op    Op
+	act   Action
+	err   error
+	seen  atomic.Int64
+	fired atomic.Int64
+
+	// mode discriminators; exactly one is active per plan.
+	after    int64
+	schedule []int64
+	prob     float64
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+}
+
+// Fired reports whether the plan injected at least once.
+func (f *Fault) Fired() bool { return f.fired.Load() > 0 }
+
+// Fires returns how many times the plan injected.
+func (f *Fault) Fires() int64 { return f.fired.Load() }
+
+// Seen returns how many matching operations the plan observed.
+func (f *Fault) Seen() int64 { return f.seen.Load() }
+
+// check decides whether this operation trips the plan.
+func (f *Fault) check(op Op) bool {
+	if op != f.op {
+		return false
+	}
+	i := f.seen.Add(1) - 1 // 0-based index of this matching op
+	switch {
+	case f.prob > 0:
+		f.rngMu.Lock()
+		hit := f.rng.Float64() < f.prob
+		f.rngMu.Unlock()
+		if hit {
+			f.fired.Add(1)
+			return true
+		}
+	case f.schedule != nil:
+		for _, n := range f.schedule {
+			if n == i {
+				f.fired.Add(1)
+				return true
+			}
+		}
+	default:
+		if i == f.after {
+			f.fired.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Set is a shared fault script: armed plans plus a per-op latency. One
+// Set typically wraps a listener, so every connection of a server runs
+// under the same script. The zero value is ready to use and injects
+// nothing.
+type Set struct {
+	mu      sync.Mutex
+	plans   []*Fault
+	latency time.Duration
+}
+
+// NewSet returns an empty fault script.
+func NewSet() *Set { return &Set{} }
+
+// SetLatency adds d of one-way delay to every read and write that
+// passes through connections wrapped with this Set (0 disables).
+func (s *Set) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	s.latency = d
+	s.mu.Unlock()
+}
+
+func (s *Set) getLatency() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latency
+}
+
+func (s *Set) add(f *Fault) *Fault {
+	if f.err == nil {
+		f.err = ErrInjected
+	}
+	s.mu.Lock()
+	s.plans = append(s.plans, f)
+	s.mu.Unlock()
+	return f
+}
+
+// FailAfter arms a one-shot plan: the (n+1)th subsequent operation of
+// the given kind takes the action. Plans accumulate; independent read
+// and write plans can be armed concurrently. A nil err injects
+// ErrInjected.
+func (s *Set) FailAfter(op Op, n int, act Action, err error) *Fault {
+	return s.add(&Fault{op: op, act: act, err: err, after: int64(n)})
+}
+
+// FailSchedule arms a plan firing at each of the given 0-based
+// occurrence indices of op — "reset the 2nd and 5th read".
+func (s *Set) FailSchedule(op Op, act Action, err error, occurrences ...int64) *Fault {
+	sched := append([]int64(nil), occurrences...)
+	if sched == nil {
+		sched = []int64{}
+	}
+	return s.add(&Fault{op: op, act: act, err: err, schedule: sched})
+}
+
+// FailProb arms a probabilistic plan: each operation of the given kind
+// takes the action with probability p, drawn from a seeded source so
+// chaos runs are reproducible.
+func (s *Set) FailProb(op Op, p float64, seed int64, act Action, err error) *Fault {
+	return s.add(&Fault{op: op, act: act, err: err, prob: p, rng: rand.New(rand.NewSource(seed))})
+}
+
+// Clear disarms every plan (latency is kept; see SetLatency).
+func (s *Set) Clear() {
+	s.mu.Lock()
+	s.plans = nil
+	s.mu.Unlock()
+}
+
+// AnyFired reports whether any armed plan has injected.
+func (s *Set) AnyFired() bool {
+	s.mu.Lock()
+	plans := s.plans
+	s.mu.Unlock()
+	for _, f := range plans {
+		if f.Fired() {
+			return true
+		}
+	}
+	return false
+}
+
+// check runs the operation past every armed plan; the first plan that
+// fires wins. A nil Set never fires.
+func (s *Set) check(op Op) *Fault {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	plans := s.plans
+	s.mu.Unlock()
+	for _, f := range plans {
+		if f.check(op) {
+			return f
+		}
+	}
+	return nil
+}
+
+// Conn is a net.Conn with the Set's script applied to every Read and
+// Write. Close is idempotent and unblocks any blackholed operation;
+// blackholes and injected latency honour the connection's deadlines, so
+// a server's read-timeout guard still fires against a silent drop.
+type Conn struct {
+	net.Conn
+	set *Set
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	dlMu            sync.Mutex
+	readDL, writeDL time.Time
+}
+
+// WrapConn applies the script to an established connection.
+func WrapConn(c net.Conn, s *Set) *Conn {
+	return &Conn{Conn: c, set: s, closed: make(chan struct{})}
+}
+
+// SetDeadline records the deadline (for blackhole/latency waits) and
+// passes it through.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.dlMu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline records the read deadline and passes it through.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDL = t
+	c.dlMu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetWriteDeadline records the write deadline and passes it through.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.writeDL = t
+	c.dlMu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *Conn) deadline(op Op) time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	if op == OpWrite {
+		return c.writeDL
+	}
+	return c.readDL
+}
+
+// wait blocks for at most d (forever when d < 0), returning an error if
+// the conn closes or the op's deadline passes first.
+func (c *Conn) wait(op Op, d time.Duration) error {
+	var deadlineC <-chan time.Time
+	if dl := c.deadline(op); !dl.IsZero() {
+		t := time.NewTimer(time.Until(dl))
+		defer t.Stop()
+		deadlineC = t.C
+	}
+	var waitC <-chan time.Time
+	if d >= 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		waitC = t.C
+	}
+	select {
+	case <-waitC:
+		return nil
+	case <-deadlineC:
+		return os.ErrDeadlineExceeded
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+// delay applies the Set's configured latency.
+func (c *Conn) delay(op Op) error {
+	d := c.set.getLatency()
+	if d <= 0 {
+		return nil
+	}
+	return c.wait(op, d)
+}
+
+// blackhole blocks until the connection closes or the deadline passes.
+func (c *Conn) blackhole(op Op) error {
+	return c.wait(op, -1)
+}
+
+// apply executes a fired plan's action for op; partial is the
+// write-prefix hook (nil for reads).
+func (c *Conn) apply(op Op, f *Fault, partial func() (int, error)) (int, error) {
+	switch f.act {
+	case ActReset:
+		c.Close()
+		return 0, ErrReset
+	case ActBlackhole:
+		return 0, c.blackhole(op)
+	case ActPartial:
+		if partial != nil {
+			n, _ := partial()
+			c.Close()
+			return n, f.err
+		}
+		return 0, f.err
+	default:
+		return 0, f.err
+	}
+}
+
+// Read applies latency and the read plans, then reads.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.delay(OpRead); err != nil {
+		return 0, err
+	}
+	if f := c.set.check(OpRead); f != nil {
+		return c.apply(OpRead, f, nil)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write applies latency and the write plans, then writes. A fired
+// ActPartial plan delivers the first half of p, closes the conn, and
+// returns the plan's error — a torn frame.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.delay(OpWrite); err != nil {
+		return 0, err
+	}
+	if f := c.set.check(OpWrite); f != nil {
+		return c.apply(OpWrite, f, func() (int, error) {
+			return c.Conn.Write(p[:len(p)/2])
+		})
+	}
+	return c.Conn.Write(p)
+}
+
+// Close closes the underlying connection and releases blackholed and
+// latency-delayed operations.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// Listener wraps every accepted connection with the Set's script. A
+// fired OpAccept plan resets the fresh connection instead of failing
+// Accept, so the server's accept loop never dies from injected faults.
+type Listener struct {
+	net.Listener
+	set *Set
+}
+
+// WrapListener applies the script to every connection l accepts.
+func WrapListener(l net.Listener, s *Set) *Listener {
+	return &Listener{Listener: l, set: s}
+}
+
+// Accept accepts and wraps the next connection, applying accept plans.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if f := l.set.check(OpAccept); f != nil {
+			c.Close() // the client sees a reset; the server keeps accepting
+			continue
+		}
+		return WrapConn(c, l.set), nil
+	}
+}

@@ -1,0 +1,252 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pair returns the two ends of a loopback TCP connection, the client
+// side wrapped with the Set.
+func pair(t *testing.T, s *Set) (wrapped *Conn, peer net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer = <-accepted
+	t.Cleanup(func() { raw.Close(); peer.Close() })
+	return WrapConn(raw, s), peer
+}
+
+func TestFailAfterReadFiresOnce(t *testing.T) {
+	s := NewSet()
+	injected := errors.New("boom")
+	f := s.FailAfter(OpRead, 1, ActError, injected)
+	c, peer := pair(t, s)
+	go peer.Write([]byte("abcdef"))
+	buf := make([]byte, 2)
+	if _, err := c.Read(buf); err != nil { // 1st read passes
+		t.Fatalf("read 0: %v", err)
+	}
+	if _, err := c.Read(buf); !errors.Is(err, injected) { // 2nd fires
+		t.Fatalf("read 1: err = %v, want injected", err)
+	}
+	if _, err := c.Read(buf); err != nil { // plan is one-shot
+		t.Fatalf("read 2: %v", err)
+	}
+	if f.Fires() != 1 || f.Seen() != 3 {
+		t.Fatalf("fires=%d seen=%d, want 1/3", f.Fires(), f.Seen())
+	}
+}
+
+func TestNilErrDefaultsToErrInjected(t *testing.T) {
+	s := NewSet()
+	s.FailAfter(OpWrite, 0, ActError, nil)
+	c, _ := pair(t, s)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestResetClosesConn(t *testing.T) {
+	s := NewSet()
+	s.FailAfter(OpWrite, 0, ActReset, nil)
+	c, peer := pair(t, s)
+	if _, err := c.Write([]byte("hello")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write: err = %v, want ErrReset", err)
+	}
+	// The peer sees the connection die.
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := peer.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after reset")
+	}
+	// Later ops on the wrapped side fail too: the conn is really closed.
+	if _, err := c.Write([]byte("again")); err == nil {
+		t.Fatal("write succeeded on reset conn")
+	}
+}
+
+func TestPartialWriteTearsFrame(t *testing.T) {
+	s := NewSet()
+	s.FailAfter(OpWrite, 0, ActPartial, nil)
+	c, peer := pair(t, s)
+	payload := []byte("0123456789")
+	n, err := c.Write(payload)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("partial write delivered %d bytes, want %d", n, len(payload)/2)
+	}
+	// The peer receives exactly the prefix, then EOF.
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, err := io.ReadAll(peer)
+	if err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("peer got %q, want torn prefix %q", got, "01234")
+	}
+}
+
+func TestBlackholeHonoursDeadline(t *testing.T) {
+	s := NewSet()
+	s.FailAfter(OpRead, 0, ActBlackhole, nil)
+	c, _ := pair(t, s)
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read: err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("blackholed read blocked %v past its deadline", elapsed)
+	}
+}
+
+func TestBlackholeUnblocksOnClose(t *testing.T) {
+	s := NewSet()
+	s.FailAfter(OpRead, 0, ActBlackhole, nil)
+	c, _ := pair(t, s)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("blackholed read: err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackholed read did not unblock on Close")
+	}
+}
+
+func TestLatencyDelaysOps(t *testing.T) {
+	s := NewSet()
+	s.SetLatency(30 * time.Millisecond)
+	c, peer := pair(t, s)
+	go peer.Write([]byte("x"))
+	start := time.Now()
+	if _, err := c.Read(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("read completed in %v, latency plan demanded >= 30ms", elapsed)
+	}
+	s.SetLatency(0)
+}
+
+func TestFailScheduleWrites(t *testing.T) {
+	s := NewSet()
+	injected := errors.New("scheduled")
+	f := s.FailSchedule(OpWrite, ActError, injected, 1, 3)
+	c, peer := pair(t, s)
+	go io.Copy(io.Discard, peer)
+	for i := 0; i < 5; i++ {
+		_, err := c.Write([]byte("x"))
+		want := i == 1 || i == 3
+		if got := errors.Is(err, injected); got != want {
+			t.Fatalf("write %d: injected=%v, want %v (err=%v)", i, got, want, err)
+		}
+	}
+	if f.Fires() != 2 {
+		t.Fatalf("fires = %d, want 2", f.Fires())
+	}
+}
+
+func TestFailProbDeterministic(t *testing.T) {
+	run := func() int64 {
+		s := NewSet()
+		f := s.FailProb(OpWrite, 0.5, 42, ActError, nil)
+		c, peer := pair(t, s)
+		go io.Copy(io.Discard, peer)
+		for i := 0; i < 64; i++ {
+			c.Write([]byte("x"))
+		}
+		return f.Fires()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("seeded runs diverge: %d vs %d fires", a, b)
+	}
+	if a == 0 || a == 64 {
+		t.Fatalf("p=0.5 plan fired %d/64 times", a)
+	}
+}
+
+func TestAcceptFaultResetsClientNotListener(t *testing.T) {
+	s := NewSet()
+	s.FailAfter(OpAccept, 0, ActReset, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := WrapListener(l, s)
+	defer wl.Close()
+	conns := make(chan net.Conn, 2)
+	go func() {
+		for {
+			c, err := wl.Accept()
+			if err != nil {
+				return
+			}
+			conns <- c
+		}
+	}()
+	// First dial is reset by the accept plan; it may connect at TCP level
+	// but dies before any byte is served.
+	c1, err := net.Dial("tcp", l.Addr().String())
+	if err == nil {
+		c1.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c1.Read(make([]byte, 1)); err == nil {
+			t.Fatal("read succeeded on a reset accept")
+		}
+		c1.Close()
+	}
+	// Second dial survives: the accept loop is still alive.
+	c2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("second dial: %v", err)
+	}
+	defer c2.Close()
+	select {
+	case sc := <-conns:
+		sc.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("listener stopped accepting after an accept fault")
+	}
+}
+
+func TestClearDisarms(t *testing.T) {
+	s := NewSet()
+	s.FailAfter(OpWrite, 0, ActError, nil)
+	s.Clear()
+	c, peer := pair(t, s)
+	go io.Copy(io.Discard, peer)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+	if s.AnyFired() {
+		t.Fatal("AnyFired after Clear")
+	}
+}

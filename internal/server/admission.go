@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the server's overload story. A wave backend answers
+// queries at a bounded rate; an unbounded accept loop in front of it
+// just converts overload into unbounded latency. The limiter caps
+// concurrently-executing queries, makes an arriving query wait briefly
+// for a slot (absorbing bursts), and sheds it with an explicit BUSY
+// error — carrying a retry-after hint — once the wait expires. BUSY is
+// a contract with the client: it is always safe to retry after backoff,
+// because a shed query never touched the backend.
+//
+// The dedupe cache is the other half of safe retries: a client that
+// resent a mutating command after a torn connection cannot know whether
+// the first attempt applied. ADDDAY therefore carries an optional
+// request ID; the server remembers the replies of recently-applied IDs
+// and answers a replay from the cache instead of re-executing it.
+
+// BusyError is the typed form of the "ERR BUSY retry-after=<ms>" wire
+// error: the server shed the query under admission control. Retrying
+// after the hinted delay is always safe — the query never ran.
+type BusyError struct {
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("BUSY retry-after=%d", e.RetryAfter.Milliseconds())
+}
+
+// limiter is a bounded-wait admission gate: up to cap(slots) queries
+// execute at once, an arriving query waits at most wait for a slot, and
+// a nil limiter admits everything.
+type limiter struct {
+	slots chan struct{}
+	wait  time.Duration
+}
+
+func newLimiter(n int, wait time.Duration) *limiter {
+	if n <= 0 {
+		return nil
+	}
+	if wait <= 0 {
+		wait = 10 * time.Millisecond
+	}
+	return &limiter{slots: make(chan struct{}, n), wait: wait}
+}
+
+// acquire takes an execution slot, waiting up to the admission wait;
+// false means the query must be shed.
+func (l *limiter) acquire() bool {
+	if l == nil {
+		return true
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(l.wait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+func (l *limiter) release() {
+	if l != nil {
+		<-l.slots
+	}
+}
+
+// dedupeCache maps recently-applied mutating request IDs to the reply
+// they produced, bounded FIFO. It is server-wide, not per-connection:
+// a client retries on a fresh connection after redialling.
+type dedupeCache struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[string]string
+	fifo []string
+}
+
+func newDedupeCache(n int) *dedupeCache {
+	return &dedupeCache{cap: n, m: make(map[string]string, n)}
+}
+
+// get returns the cached reply for id, if the ID was applied recently.
+func (d *dedupeCache) get(id string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	reply, ok := d.m[id]
+	return reply, ok
+}
+
+// put records id's reply, evicting the oldest entry at capacity.
+func (d *dedupeCache) put(id, reply string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.m[id]; dup {
+		return
+	}
+	if len(d.fifo) >= d.cap {
+		delete(d.m, d.fifo[0])
+		d.fifo = d.fifo[1:]
+	}
+	d.m[id] = reply
+	d.fifo = append(d.fifo, id)
+}

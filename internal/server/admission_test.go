@@ -1,0 +1,80 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterBoundsInFlight(t *testing.T) {
+	l := newLimiter(1, time.Millisecond)
+	if !l.acquire() {
+		t.Fatal("first acquire should succeed")
+	}
+	start := time.Now()
+	if l.acquire() {
+		t.Fatal("second acquire should be shed at capacity")
+	}
+	if waited := time.Since(start); waited < time.Millisecond {
+		t.Errorf("shed after %v, want at least the 1ms admission wait", waited)
+	}
+	l.release()
+	if !l.acquire() {
+		t.Fatal("acquire after release should succeed")
+	}
+}
+
+func TestLimiterWaitAbsorbsBursts(t *testing.T) {
+	l := newLimiter(1, 200*time.Millisecond)
+	if !l.acquire() {
+		t.Fatal("first acquire should succeed")
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		l.release()
+	}()
+	// The slot frees during the admission wait, so the burst is
+	// absorbed instead of shed.
+	if !l.acquire() {
+		t.Fatal("acquire should succeed once the slot frees within the wait")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	if l := newLimiter(0, time.Second); l != nil {
+		t.Fatal("MaxInFlight<=0 should disable the limiter")
+	}
+	var l *limiter
+	if !l.acquire() {
+		t.Fatal("nil limiter must admit everything")
+	}
+	l.release() // must not panic
+}
+
+func TestDedupeCacheFIFOEviction(t *testing.T) {
+	d := newDedupeCache(2)
+	d.put("a", "OK a")
+	d.put("b", "OK b")
+	if r, ok := d.get("a"); !ok || r != "OK a" {
+		t.Fatalf("get(a) = %q,%v", r, ok)
+	}
+	d.put("c", "OK c") // evicts a, the oldest
+	if _, ok := d.get("a"); ok {
+		t.Error("a should have been evicted")
+	}
+	for _, id := range []string{"b", "c"} {
+		if _, ok := d.get(id); !ok {
+			t.Errorf("%s should survive eviction", id)
+		}
+	}
+	d.put("b", "OK different") // duplicate put is a no-op
+	if r, _ := d.get("b"); r != "OK b" {
+		t.Errorf("duplicate put overwrote reply: %q", r)
+	}
+}
+
+func TestBusyErrorWireFormat(t *testing.T) {
+	e := &BusyError{RetryAfter: 50 * time.Millisecond}
+	if got := e.Error(); got != "BUSY retry-after=50" {
+		t.Errorf("BusyError.Error() = %q", got)
+	}
+}

@@ -4,52 +4,330 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
+	"time"
 
 	"waveindex/wave"
 )
 
+// TransportError wraps a connection-level failure: a dial, write, read,
+// or deadline error, or a desynchronised reply stream. The client
+// closes the connection when it returns one; with retries configured it
+// redials, replays connection state (trace ID, partial mode), and
+// resends the request. Queries are read-only and ADDDAY carries a
+// request ID the server deduplicates, so the resend is safe.
+type TransportError struct{ Err error }
+
+func (e *TransportError) Error() string { return "server: transport: " + e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsRetryable reports whether err is safe to retry after backoff: the
+// server shed the request (BUSY), part of the keyspace is temporarily
+// unavailable (UNAVAILABLE), or the transport failed — retried requests
+// never double-apply (ADDDAY is deduplicated server-side; everything
+// else is read-only or idempotent).
+func IsRetryable(err error) bool {
+	var busy *BusyError
+	var tr *TransportError
+	return errors.As(err, &busy) || errors.As(err, &tr) || errors.Is(err, wave.ErrUnavailable)
+}
+
+// ClientOptions tunes the client's resilience. The zero value keeps the
+// historical behaviour: no per-op timeout and no retries.
+type ClientOptions struct {
+	// OpTimeout bounds one attempt's full round trip (write, server
+	// execution, reply read). Zero means no deadline.
+	OpTimeout time.Duration
+	// MaxRetries is how many times a failed retryable request is
+	// re-attempted (so MaxRetries+1 attempts in total). Zero disables
+	// retries.
+	MaxRetries int
+	// Backoff is the first retry's base delay; each further retry
+	// doubles it, capped at MaxBackoff, and the actual sleep is
+	// jittered to half-to-full of the base. A BUSY error's retry-after
+	// hint acts as a floor. Zero defaults to 5ms.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff. Zero defaults to 500ms.
+	MaxBackoff time.Duration
+	// Seed seeds the jitter and the request-ID prefix, so failure tests
+	// replay deterministically. Zero picks a time-based seed.
+	Seed int64
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Backoff <= 0 {
+		o.Backoff = 5 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 500 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
 // Client is a typed client for the waved line protocol. It is not safe
 // for concurrent use; open one client per goroutine.
 type Client struct {
+	addr string // "" when wrapping an established conn: no redial
+	opts ClientOptions
+
 	conn net.Conn
 	r    *bufio.Scanner
 	w    *bufio.Writer
+
+	// Connection state replayed after a reconnect.
+	traceID string
+	partial bool
+
+	rng    *rand.Rand
+	ridPfx string // request-ID prefix; unique per client
+	ridSeq uint64
+
+	degraded []wave.DegradedSlice // DEGRADED annotation of the last reply
 }
 
-// Dial connects to a waved server.
+// Dial connects to a waved server with no retries or timeouts — the
+// historical behaviour. Use DialOptions for a resilient client.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return NewClient(conn), nil
+	return DialOptions(addr, ClientOptions{})
 }
 
-// NewClient wraps an established connection.
+// DialOptions connects to a waved server with the given resilience
+// options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	c := newClient(addr, opts)
+	if err := c.ensureConn(); err != nil {
+		return nil, errors.Unwrap(err)
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection. Without an address the
+// client cannot redial, so transport failures are not retried; BUSY and
+// UNAVAILABLE retries still work.
 func NewClient(conn net.Conn) *Client {
+	c := newClient("", ClientOptions{})
+	c.attach(conn)
+	return c
+}
+
+// NewClientOptions wraps an established connection with resilience
+// options (no redial; see NewClient).
+func NewClientOptions(conn net.Conn, opts ClientOptions) *Client {
+	c := newClient("", opts)
+	c.attach(conn)
+	return c
+}
+
+func newClient(addr string, opts ClientOptions) *Client {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	return &Client{
+		addr:   addr,
+		opts:   opts,
+		rng:    rng,
+		ridPfx: fmt.Sprintf("%08x", rng.Uint32()),
+	}
+}
+
+func (c *Client) attach(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &Client{conn: conn, r: sc, w: bufio.NewWriter(conn)}
+	c.conn, c.r, c.w = conn, sc, bufio.NewWriter(conn)
+}
+
+// ensureConn dials (or redials) and replays connection state. The
+// returned error is a TransportError so do() treats a failed redial
+// like any other transport fault.
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	if c.addr == "" {
+		return &TransportError{Err: errors.New("connection closed (no address to redial)")}
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return &TransportError{Err: err}
+	}
+	c.attach(conn)
+	// Replay connection-scoped state the server keeps per conn. These
+	// raw exchanges bypass do(): a failure just drops the fresh conn.
+	if c.traceID != "" {
+		if err := c.raw(fmt.Sprintf("TRACE %s", c.traceID)); err != nil {
+			c.dropConn()
+			return &TransportError{Err: fmt.Errorf("replay trace: %w", err)}
+		}
+	}
+	if c.partial {
+		if err := c.raw("PARTIAL on"); err != nil {
+			c.dropConn()
+			return &TransportError{Err: fmt.Errorf("replay partial: %w", err)}
+		}
+	}
+	return nil
+}
+
+// raw sends one command on the current conn and expects an OK, without
+// retries or state tracking.
+func (c *Client) raw(cmd string) error {
+	fmt.Fprintln(c.w, cmd)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	_, err := c.expectOK()
+	return err
+}
+
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// nextRID returns a fresh request ID for a mutating command. The ID is
+// fixed per logical request: every retry of the same AddDay carries the
+// same ID, which is what lets the server deduplicate the replay.
+func (c *Client) nextRID() string {
+	c.ridSeq++
+	return fmt.Sprintf("%s-%d", c.ridPfx, c.ridSeq)
+}
+
+// backoffDelay computes the jittered exponential backoff for a retry.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.opts.Backoff << attempt
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	half := int64(d / 2)
+	return time.Duration(half + c.rng.Int63n(half+1))
+}
+
+// do runs one request with the configured resilience: per-attempt
+// deadline, retry with backoff on retryable errors, redial + state
+// replay after transport faults. req writes the request and parses the
+// reply using c.w/c.r; it must return a *TransportError for anything
+// that desynchronises the stream.
+func (c *Client) do(req func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.ensureConn()
+		if err == nil {
+			c.degraded = nil
+			if c.opts.OpTimeout > 0 {
+				c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+			}
+			err = req()
+		}
+		if err == nil {
+			return nil
+		}
+		var tr *TransportError
+		if errors.As(err, &tr) {
+			// The stream is in an unknown state; only a fresh
+			// connection is safe.
+			c.dropConn()
+		}
+		if attempt >= c.opts.MaxRetries || !IsRetryable(err) {
+			return err
+		}
+		delay := c.backoffDelay(attempt)
+		var busy *BusyError
+		if errors.As(err, &busy) && busy.RetryAfter > delay {
+			delay = busy.RetryAfter
+		}
+		time.Sleep(delay)
+	}
 }
 
 // Close closes the connection.
 func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
 	fmt.Fprintln(c.w, "QUIT")
 	c.w.Flush()
-	return c.conn.Close()
+	err := c.conn.Close()
+	c.conn = nil
+	return err
 }
 
-func (c *Client) readLine() (string, error) {
-	if !c.r.Scan() {
-		if err := c.r.Err(); err != nil {
-			return "", err
-		}
-		return "", errors.New("server: connection closed")
+// Degraded returns the degraded-keyspace annotation of the most recent
+// reply — the slices the answer excludes. Empty unless the client is in
+// partial mode (see Partial) and a shard breaker was open.
+func (c *Client) Degraded() []wave.DegradedSlice {
+	return append([]wave.DegradedSlice(nil), c.degraded...)
+}
+
+// Partial opts this client's queries in or out of partial results: when
+// on, queries skip keyspace slices behind an open shard breaker instead
+// of failing, and the skipped slices are available from Degraded after
+// each query. The mode survives reconnects.
+func (c *Client) Partial(on bool) error {
+	arg := "off"
+	if on {
+		arg = "on"
 	}
-	return c.r.Text(), nil
+	err := c.do(func() error {
+		fmt.Fprintf(c.w, "PARTIAL %s\n", arg)
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		_, err := c.expectOK()
+		return err
+	})
+	if err == nil {
+		c.partial = on
+	}
+	return err
+}
+
+// parseWireErr types a server "ERR ..." reply body: BUSY becomes a
+// *BusyError, UNAVAILABLE wraps wave.ErrUnavailable — both retryable —
+// and anything else is a plain error.
+func parseWireErr(msg string) error {
+	if rest, ok := strings.CutPrefix(msg, "BUSY retry-after="); ok {
+		ms, err := strconv.Atoi(strings.Fields(rest)[0])
+		if err == nil {
+			return &BusyError{RetryAfter: time.Duration(ms) * time.Millisecond}
+		}
+	}
+	if rest, ok := strings.CutPrefix(msg, "UNAVAILABLE "); ok {
+		return fmt.Errorf("server: %s: %w", rest, wave.ErrUnavailable)
+	}
+	return errors.New(msg)
+}
+
+// readLine reads one reply line, siphoning off DEGRADED annotation
+// lines into c.degraded. Read failures are transport errors.
+func (c *Client) readLine() (string, error) {
+	for {
+		if !c.r.Scan() {
+			err := c.r.Err()
+			if err == nil {
+				err = errors.New("connection closed")
+			}
+			return "", &TransportError{Err: err}
+		}
+		line := c.r.Text()
+		if f := strings.Fields(line); len(f) == 4 && f[0] == "DEGRADED" {
+			shard, err1 := strconv.Atoi(f[1])
+			shards, err2 := strconv.Atoi(f[2])
+			if err1 == nil && err2 == nil {
+				c.degraded = append(c.degraded, wave.DegradedSlice{
+					Shard: shard, Shards: shards, Cause: f[3],
+				})
+				continue
+			}
+		}
+		return line, nil
+	}
 }
 
 func (c *Client) expectOK() (string, error) {
@@ -58,72 +336,87 @@ func (c *Client) expectOK() (string, error) {
 		return "", err
 	}
 	if strings.HasPrefix(line, "ERR ") {
-		return "", errors.New(strings.TrimPrefix(line, "ERR "))
+		return "", parseWireErr(strings.TrimPrefix(line, "ERR "))
 	}
 	if !strings.HasPrefix(line, "OK") {
-		return "", fmt.Errorf("server: unexpected reply %q", line)
+		return "", &TransportError{Err: fmt.Errorf("unexpected reply %q", line)}
 	}
 	return strings.TrimSpace(strings.TrimPrefix(line, "OK")), nil
 }
 
-// AddDay ingests one day batch.
+// AddDay ingests one day batch. The request carries a unique ID, so
+// with retries configured a batch resent after a torn connection is
+// applied at most once (the server answers replays from its dedupe
+// cache).
 func (c *Client) AddDay(day int, postings []wave.Posting) error {
-	fmt.Fprintf(c.w, "ADDDAY %d %d\n", day, len(postings))
-	for _, p := range postings {
-		fmt.Fprintf(c.w, "%s %d %d\n", p.Key, p.Entry.RecordID, p.Entry.Aux)
-	}
-	if err := c.w.Flush(); err != nil {
+	rid := c.nextRID()
+	return c.do(func() error {
+		fmt.Fprintf(c.w, "ADDDAY %d %d id=%s\n", day, len(postings), rid)
+		for _, p := range postings {
+			fmt.Fprintf(c.w, "%s %d %d\n", p.Key, p.Entry.RecordID, p.Entry.Aux)
+		}
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		_, err := c.expectOK()
 		return err
-	}
-	_, err := c.expectOK()
-	return err
+	})
 }
 
 // Flush drains the server's pipelined ingestion (Options.AsyncIngest):
 // it returns once every queued day has been applied, reporting the
 // first failed transition. On a synchronous server it is a no-op.
 func (c *Client) Flush() error {
-	fmt.Fprintln(c.w, "FLUSH")
-	if err := c.w.Flush(); err != nil {
+	return c.do(func() error {
+		fmt.Fprintln(c.w, "FLUSH")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		_, err := c.expectOK()
 		return err
-	}
-	_, err := c.expectOK()
-	return err
+	})
 }
 
 func (c *Client) probe(cmd string) ([]wave.Entry, error) {
-	fmt.Fprintln(c.w, cmd)
-	if err := c.w.Flush(); err != nil {
+	var out []wave.Entry
+	err := c.do(func() error {
+		out = nil
+		fmt.Fprintln(c.w, cmd)
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			switch {
+			case strings.HasPrefix(line, "ENTRY "):
+				f := strings.Fields(line)
+				if len(f) != 4 {
+					return &TransportError{Err: fmt.Errorf("bad entry line %q", line)}
+				}
+				day, _ := strconv.Atoi(f[1])
+				rid, _ := strconv.ParseUint(f[2], 10, 64)
+				aux, _ := strconv.ParseUint(f[3], 10, 32)
+				out = append(out, wave.Entry{Day: int32(day), RecordID: rid, Aux: uint32(aux)})
+			case strings.HasPrefix(line, "END "):
+				want, _ := strconv.Atoi(strings.TrimPrefix(line, "END "))
+				if want != len(out) {
+					return &TransportError{Err: fmt.Errorf("stream ended with %d entries, header said %d", len(out), want)}
+				}
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
+			}
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	var out []wave.Entry
-	for {
-		line, err := c.readLine()
-		if err != nil {
-			return nil, err
-		}
-		switch {
-		case strings.HasPrefix(line, "ENTRY "):
-			f := strings.Fields(line)
-			if len(f) != 4 {
-				return nil, fmt.Errorf("server: bad entry line %q", line)
-			}
-			day, _ := strconv.Atoi(f[1])
-			rid, _ := strconv.ParseUint(f[2], 10, 64)
-			aux, _ := strconv.ParseUint(f[3], 10, 32)
-			out = append(out, wave.Entry{Day: int32(day), RecordID: rid, Aux: uint32(aux)})
-		case strings.HasPrefix(line, "END "):
-			want, _ := strconv.Atoi(strings.TrimPrefix(line, "END "))
-			if want != len(out) {
-				return nil, fmt.Errorf("server: stream ended with %d entries, header said %d", len(out), want)
-			}
-			return out, nil
-		case strings.HasPrefix(line, "ERR "):
-			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
-		default:
-			return nil, fmt.Errorf("server: unexpected line %q", line)
-		}
-	}
+	return out, nil
 }
 
 // Probe returns the window entries for key.
@@ -139,50 +432,57 @@ func (c *Client) ProbeRange(key string, from, to int) ([]wave.Entry, error) {
 // MultiProbe returns the entries of each key with matches in [from, to],
 // probed server-side as one batch.
 func (c *Client) MultiProbe(keys []string, from, to int) (map[string][]wave.Entry, error) {
-	fmt.Fprintf(c.w, "MPROBE %d %d %s\n", from, to, strings.Join(keys, " "))
-	if err := c.w.Flush(); err != nil {
+	var out map[string][]wave.Entry
+	err := c.do(func() error {
+		out = map[string][]wave.Entry{}
+		fmt.Fprintf(c.w, "MPROBE %d %d %s\n", from, to, strings.Join(keys, " "))
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		var cur string
+		seen := 0
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			switch {
+			case strings.HasPrefix(line, "KEY "):
+				f := strings.Fields(line)
+				if len(f) != 3 {
+					return &TransportError{Err: fmt.Errorf("bad key line %q", line)}
+				}
+				cur = f[1]
+				seen++
+			case strings.HasPrefix(line, "ENTRY "):
+				if cur == "" {
+					return &TransportError{Err: fmt.Errorf("entry line before any key: %q", line)}
+				}
+				f := strings.Fields(line)
+				if len(f) != 4 {
+					return &TransportError{Err: fmt.Errorf("bad entry line %q", line)}
+				}
+				day, _ := strconv.Atoi(f[1])
+				rid, _ := strconv.ParseUint(f[2], 10, 64)
+				aux, _ := strconv.ParseUint(f[3], 10, 32)
+				out[cur] = append(out[cur], wave.Entry{Day: int32(day), RecordID: rid, Aux: uint32(aux)})
+			case strings.HasPrefix(line, "END "):
+				want, _ := strconv.Atoi(strings.TrimPrefix(line, "END "))
+				if want != seen {
+					return &TransportError{Err: fmt.Errorf("stream ended with %d keys, header said %d", seen, want)}
+				}
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
+			}
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	out := map[string][]wave.Entry{}
-	var cur string
-	seen := 0
-	for {
-		line, err := c.readLine()
-		if err != nil {
-			return nil, err
-		}
-		switch {
-		case strings.HasPrefix(line, "KEY "):
-			f := strings.Fields(line)
-			if len(f) != 3 {
-				return nil, fmt.Errorf("server: bad key line %q", line)
-			}
-			cur = f[1]
-			seen++
-		case strings.HasPrefix(line, "ENTRY "):
-			if cur == "" {
-				return nil, fmt.Errorf("server: entry line before any key: %q", line)
-			}
-			f := strings.Fields(line)
-			if len(f) != 4 {
-				return nil, fmt.Errorf("server: bad entry line %q", line)
-			}
-			day, _ := strconv.Atoi(f[1])
-			rid, _ := strconv.ParseUint(f[2], 10, 64)
-			aux, _ := strconv.ParseUint(f[3], 10, 32)
-			out[cur] = append(out[cur], wave.Entry{Day: int32(day), RecordID: rid, Aux: uint32(aux)})
-		case strings.HasPrefix(line, "END "):
-			want, _ := strconv.Atoi(strings.TrimPrefix(line, "END "))
-			if want != seen {
-				return nil, fmt.Errorf("server: stream ended with %d keys, header said %d", seen, want)
-			}
-			return out, nil
-		case strings.HasPrefix(line, "ERR "):
-			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
-		default:
-			return nil, fmt.Errorf("server: unexpected line %q", line)
-		}
-	}
+	return out, nil
 }
 
 // Count counts window entries; from/to of (0, 0) count the whole window.
@@ -191,15 +491,20 @@ func (c *Client) Count(from, to int) (int, error) {
 	if from != 0 || to != 0 {
 		cmd = fmt.Sprintf("COUNT %d %d", from, to)
 	}
-	fmt.Fprintln(c.w, cmd)
-	if err := c.w.Flush(); err != nil {
-		return 0, err
-	}
-	body, err := c.expectOK()
-	if err != nil {
-		return 0, err
-	}
-	return strconv.Atoi(body)
+	n := 0
+	err := c.do(func() error {
+		fmt.Fprintln(c.w, cmd)
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		body, err := c.expectOK()
+		if err != nil {
+			return err
+		}
+		n, err = strconv.Atoi(body)
+		return err
+	})
+	return n, err
 }
 
 // KeyCount is one TOPK result row.
@@ -210,49 +515,63 @@ type KeyCount struct {
 
 // TopK returns the k most frequent keys in the window.
 func (c *Client) TopK(k int) ([]KeyCount, error) {
-	fmt.Fprintf(c.w, "TOPK %d\n", k)
-	if err := c.w.Flush(); err != nil {
+	var out []KeyCount
+	err := c.do(func() error {
+		out = nil
+		fmt.Fprintf(c.w, "TOPK %d\n", k)
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			switch {
+			case strings.HasPrefix(line, "KEY "):
+				f := strings.Fields(line)
+				if len(f) != 3 {
+					return &TransportError{Err: fmt.Errorf("bad key line %q", line)}
+				}
+				n, _ := strconv.Atoi(f[2])
+				out = append(out, KeyCount{Key: f[1], Count: n})
+			case strings.HasPrefix(line, "END "):
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
+			}
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	var out []KeyCount
-	for {
-		line, err := c.readLine()
-		if err != nil {
-			return nil, err
-		}
-		switch {
-		case strings.HasPrefix(line, "KEY "):
-			f := strings.Fields(line)
-			if len(f) != 3 {
-				return nil, fmt.Errorf("server: bad key line %q", line)
-			}
-			n, _ := strconv.Atoi(f[2])
-			out = append(out, KeyCount{Key: f[1], Count: n})
-		case strings.HasPrefix(line, "END "):
-			return out, nil
-		case strings.HasPrefix(line, "ERR "):
-			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
-		default:
-			return nil, fmt.Errorf("server: unexpected line %q", line)
-		}
-	}
+	return out, nil
 }
 
 // Window returns the current window bounds and readiness.
 func (c *Client) Window() (from, to int, ready bool, err error) {
-	fmt.Fprintln(c.w, "WINDOW")
-	if err = c.w.Flush(); err != nil {
-		return 0, 0, false, err
-	}
-	body, err := c.expectOK()
+	err = c.do(func() error {
+		fmt.Fprintln(c.w, "WINDOW")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		body, err := c.expectOK()
+		if err != nil {
+			return err
+		}
+		var readyStr string
+		if _, err := fmt.Sscanf(body, "%d %d ready=%s", &from, &to, &readyStr); err != nil {
+			return fmt.Errorf("server: bad WINDOW reply %q", body)
+		}
+		ready = readyStr == "true"
+		return nil
+	})
 	if err != nil {
 		return 0, 0, false, err
 	}
-	var readyStr string
-	if _, err := fmt.Sscanf(body, "%d %d ready=%s", &from, &to, &readyStr); err != nil {
-		return 0, 0, false, fmt.Errorf("server: bad WINDOW reply %q", body)
-	}
-	return from, to, readyStr == "true", nil
+	return from, to, ready, nil
 }
 
 // Health is a parsed HEALTH reply.
@@ -262,28 +581,57 @@ type Health struct {
 	Degraded      bool
 	NeedsRecovery bool
 	Journaled     bool
+	// OpenBreakers is how many shard circuit breakers are currently not
+	// closed (0 on unsharded or breaker-less deployments).
+	OpenBreakers int
+	// ReplayedShards is how many shards the most recent RECOVER on this
+	// server actually replayed batches into (0 before any RECOVER).
+	ReplayedShards int
 }
 
 // Health fetches the server's health state.
 func (c *Client) Health() (Health, error) {
-	fmt.Fprintln(c.w, "HEALTH")
-	if err := c.w.Flush(); err != nil {
-		return Health{}, err
-	}
-	body, err := c.expectOK()
+	var h Health
+	err := c.do(func() error {
+		h = Health{}
+		fmt.Fprintln(c.w, "HEALTH")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		body, err := c.expectOK()
+		if err != nil {
+			return err
+		}
+		f := strings.Fields(body)
+		if len(f) < 5 {
+			return fmt.Errorf("server: bad HEALTH reply %q", body)
+		}
+		h.Status = f[0]
+		for _, kv := range f[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("server: bad HEALTH field %q in %q", kv, body)
+			}
+			switch k {
+			case "ready":
+				h.Ready = v == "true"
+			case "degraded":
+				h.Degraded = v == "true"
+			case "needsRecovery":
+				h.NeedsRecovery = v == "true"
+			case "journaled":
+				h.Journaled = v == "true"
+			case "openBreakers":
+				h.OpenBreakers, _ = strconv.Atoi(v)
+			case "replayedShards":
+				h.ReplayedShards, _ = strconv.Atoi(v)
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return Health{}, err
 	}
-	var h Health
-	var ready, degraded, needs, journaled string
-	if _, err := fmt.Sscanf(body, "%s ready=%s degraded=%s needsRecovery=%s journaled=%s",
-		&h.Status, &ready, &degraded, &needs, &journaled); err != nil {
-		return Health{}, fmt.Errorf("server: bad HEALTH reply %q", body)
-	}
-	h.Ready = ready == "true"
-	h.Degraded = degraded == "true"
-	h.NeedsRecovery = needs == "true"
-	h.Journaled = journaled == "true"
 	return h, nil
 }
 
@@ -293,35 +641,61 @@ type RecoverResult struct {
 	Replayed      int
 	Uncommitted   int
 	Torn          bool
+	// ShardsReplayed lists the shards that actually replayed journal
+	// batches (a single journaled index reports shard 0). Empty when
+	// recovery had nothing to replay.
+	ShardsReplayed []int
 }
 
 // Recover asks a journaled server to run its recovery protocol.
 func (c *Client) Recover() (RecoverResult, error) {
-	fmt.Fprintln(c.w, "RECOVER")
-	if err := c.w.Flush(); err != nil {
-		return RecoverResult{}, err
-	}
-	body, err := c.expectOK()
+	var r RecoverResult
+	err := c.do(func() error {
+		r = RecoverResult{}
+		fmt.Fprintln(c.w, "RECOVER")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		body, err := c.expectOK()
+		if err != nil {
+			return err
+		}
+		var torn, shards string
+		if _, err := fmt.Sscanf(body, "recovered checkpointDay=%d replayed=%d uncommitted=%d torn=%s shardsReplayed=%s",
+			&r.CheckpointDay, &r.Replayed, &r.Uncommitted, &torn, &shards); err != nil {
+			return fmt.Errorf("server: bad RECOVER reply %q", body)
+		}
+		r.Torn = torn == "true"
+		if shards != "-" {
+			for _, s := range strings.Split(shards, ",") {
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					return fmt.Errorf("server: bad shardsReplayed %q in %q", shards, body)
+				}
+				r.ShardsReplayed = append(r.ShardsReplayed, n)
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return RecoverResult{}, err
 	}
-	var r RecoverResult
-	var torn string
-	if _, err := fmt.Sscanf(body, "recovered checkpointDay=%d replayed=%d uncommitted=%d torn=%s",
-		&r.CheckpointDay, &r.Replayed, &r.Uncommitted, &torn); err != nil {
-		return RecoverResult{}, fmt.Errorf("server: bad RECOVER reply %q", body)
-	}
-	r.Torn = torn == "true"
 	return r, nil
 }
 
 // Stats returns the server's raw STATS reply.
 func (c *Client) Stats() (string, error) {
-	fmt.Fprintln(c.w, "STATS")
-	if err := c.w.Flush(); err != nil {
-		return "", err
-	}
-	return c.expectOK()
+	var body string
+	err := c.do(func() error {
+		fmt.Fprintln(c.w, "STATS")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		var err error
+		body, err = c.expectOK()
+		return err
+	})
+	return body, err
 }
 
 // HistogramRow is one METRICS histogram line: observation count, sum,
@@ -353,49 +727,56 @@ func (m Metrics) Histogram(name string) HistogramRow {
 
 // Metrics fetches the server's metrics snapshot.
 func (c *Client) Metrics() (Metrics, error) {
-	m := Metrics{Counters: map[string]int64{}, Gauges: map[string]int64{}}
-	fmt.Fprintln(c.w, "METRICS")
-	if err := c.w.Flush(); err != nil {
-		return m, err
-	}
-	seen := 0
-	for {
-		line, err := c.readLine()
-		if err != nil {
-			return m, err
+	var m Metrics
+	err := c.do(func() error {
+		m = Metrics{Counters: map[string]int64{}, Gauges: map[string]int64{}}
+		fmt.Fprintln(c.w, "METRICS")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
 		}
-		f := strings.Fields(line)
-		switch {
-		case len(f) == 3 && f[0] == "COUNTER":
-			v, _ := strconv.ParseInt(f[2], 10, 64)
-			m.Counters[f[1]] = v
-			seen++
-		case len(f) == 3 && f[0] == "GAUGE":
-			v, _ := strconv.ParseInt(f[2], 10, 64)
-			m.Gauges[f[1]] = v
-			seen++
-		case len(f) == 10 && f[0] == "HIST":
-			var vs [8]int64
-			for i := range vs {
-				vs[i], _ = strconv.ParseInt(f[i+2], 10, 64)
+		seen := 0
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
 			}
-			m.Histograms = append(m.Histograms, HistogramRow{
-				Name: f[1], Count: vs[0], Sum: vs[1], Min: vs[2], Max: vs[3],
-				P50: vs[4], P90: vs[5], P95: vs[6], P99: vs[7],
-			})
-			seen++
-		case len(f) == 2 && f[0] == "END":
-			want, _ := strconv.Atoi(f[1])
-			if want != seen {
-				return m, fmt.Errorf("server: metrics ended with %d rows, header said %d", seen, want)
+			f := strings.Fields(line)
+			switch {
+			case len(f) == 3 && f[0] == "COUNTER":
+				v, _ := strconv.ParseInt(f[2], 10, 64)
+				m.Counters[f[1]] = v
+				seen++
+			case len(f) == 3 && f[0] == "GAUGE":
+				v, _ := strconv.ParseInt(f[2], 10, 64)
+				m.Gauges[f[1]] = v
+				seen++
+			case len(f) == 10 && f[0] == "HIST":
+				var vs [8]int64
+				for i := range vs {
+					vs[i], _ = strconv.ParseInt(f[i+2], 10, 64)
+				}
+				m.Histograms = append(m.Histograms, HistogramRow{
+					Name: f[1], Count: vs[0], Sum: vs[1], Min: vs[2], Max: vs[3],
+					P50: vs[4], P90: vs[5], P95: vs[6], P99: vs[7],
+				})
+				seen++
+			case len(f) == 2 && f[0] == "END":
+				want, _ := strconv.Atoi(f[1])
+				if want != seen {
+					return &TransportError{Err: fmt.Errorf("metrics ended with %d rows, header said %d", seen, want)}
+				}
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
 			}
-			return m, nil
-		case strings.HasPrefix(line, "ERR "):
-			return m, errors.New(strings.TrimPrefix(line, "ERR "))
-		default:
-			return m, fmt.Errorf("server: unexpected line %q", line)
 		}
+	})
+	if err != nil {
+		return Metrics{Counters: map[string]int64{}, Gauges: map[string]int64{}}, err
 	}
+	return m, nil
 }
 
 // SlowLogEntry is one parsed SLOWLOG row. Seeks, BytesRead,
@@ -419,82 +800,104 @@ type SlowLogEntry struct {
 
 // SlowLog fetches the server's slow-query log, most recent first.
 func (c *Client) SlowLog() ([]SlowLogEntry, error) {
-	fmt.Fprintln(c.w, "SLOWLOG")
-	if err := c.w.Flush(); err != nil {
+	var out []SlowLogEntry
+	err := c.do(func() error {
+		out = nil
+		fmt.Fprintln(c.w, "SLOWLOG")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			f := strings.Fields(line)
+			switch {
+			case len(f) >= 13 && f[0] == "SLOW":
+				e := SlowLogEntry{Kind: f[1]}
+				e.From, _ = strconv.Atoi(f[2])
+				e.To, _ = strconv.Atoi(f[3])
+				e.Keys, _ = strconv.Atoi(f[4])
+				e.Entries, _ = strconv.Atoi(f[5])
+				e.DurationUS, _ = strconv.ParseInt(f[6], 10, 64)
+				e.Seeks, _ = strconv.ParseInt(f[7], 10, 64)
+				e.BytesRead, _ = strconv.ParseInt(f[8], 10, 64)
+				e.BytesWritten, _ = strconv.ParseInt(f[9], 10, 64)
+				e.DiskUS, _ = strconv.ParseInt(f[10], 10, 64)
+				if f[11] != "-" {
+					e.TraceID = f[11]
+				}
+				if f[12] != "-" {
+					e.Key = f[12]
+				}
+				if len(f) > 13 {
+					e.Err = strings.Join(f[13:], " ")
+				}
+				out = append(out, e)
+			case len(f) == 2 && f[0] == "END":
+				want, _ := strconv.Atoi(f[1])
+				if want != len(out) {
+					return &TransportError{Err: fmt.Errorf("slowlog ended with %d rows, header said %d", len(out), want)}
+				}
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
+			}
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	var out []SlowLogEntry
-	for {
-		line, err := c.readLine()
-		if err != nil {
-			return nil, err
-		}
-		f := strings.Fields(line)
-		switch {
-		case len(f) >= 13 && f[0] == "SLOW":
-			e := SlowLogEntry{Kind: f[1]}
-			e.From, _ = strconv.Atoi(f[2])
-			e.To, _ = strconv.Atoi(f[3])
-			e.Keys, _ = strconv.Atoi(f[4])
-			e.Entries, _ = strconv.Atoi(f[5])
-			e.DurationUS, _ = strconv.ParseInt(f[6], 10, 64)
-			e.Seeks, _ = strconv.ParseInt(f[7], 10, 64)
-			e.BytesRead, _ = strconv.ParseInt(f[8], 10, 64)
-			e.BytesWritten, _ = strconv.ParseInt(f[9], 10, 64)
-			e.DiskUS, _ = strconv.ParseInt(f[10], 10, 64)
-			if f[11] != "-" {
-				e.TraceID = f[11]
-			}
-			if f[12] != "-" {
-				e.Key = f[12]
-			}
-			if len(f) > 13 {
-				e.Err = strings.Join(f[13:], " ")
-			}
-			out = append(out, e)
-		case len(f) == 2 && f[0] == "END":
-			want, _ := strconv.Atoi(f[1])
-			if want != len(out) {
-				return nil, fmt.Errorf("server: slowlog ended with %d rows, header said %d", len(out), want)
-			}
-			return out, nil
-		case strings.HasPrefix(line, "ERR "):
-			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
-		default:
-			return nil, fmt.Errorf("server: unexpected line %q", line)
-		}
-	}
+	return out, nil
 }
 
 // SetSlowLogThreshold sets the server's slow-query threshold in
 // milliseconds; 0 disables the log.
 func (c *Client) SetSlowLogThreshold(ms int) error {
-	fmt.Fprintf(c.w, "SLOWLOG %d\n", ms)
-	if err := c.w.Flush(); err != nil {
+	return c.do(func() error {
+		fmt.Fprintf(c.w, "SLOWLOG %d\n", ms)
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		_, err := c.expectOK()
 		return err
-	}
-	_, err := c.expectOK()
-	return err
+	})
 }
 
 // Trace sets the connection's trace id: subsequent queries on this
-// connection carry it through spans and the slow-query log.
+// connection carry it through spans and the slow-query log. The id
+// survives reconnects (it is replayed after a redial).
 func (c *Client) Trace(id string) error {
-	fmt.Fprintf(c.w, "TRACE %s\n", id)
-	if err := c.w.Flush(); err != nil {
+	err := c.do(func() error {
+		fmt.Fprintf(c.w, "TRACE %s\n", id)
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		_, err := c.expectOK()
 		return err
+	})
+	if err == nil {
+		c.traceID = id
 	}
-	_, err := c.expectOK()
 	return err
 }
 
 // ClearTrace clears the connection's trace id.
 func (c *Client) ClearTrace() error {
-	fmt.Fprintln(c.w, "TRACE -")
-	if err := c.w.Flush(); err != nil {
+	err := c.do(func() error {
+		fmt.Fprintln(c.w, "TRACE -")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		_, err := c.expectOK()
 		return err
+	})
+	if err == nil {
+		c.traceID = ""
 	}
-	_, err := c.expectOK()
 	return err
 }
 
@@ -512,35 +915,42 @@ type WorkRow struct {
 // Work fetches the server's work ledger: per-cause simulated-disk
 // totals split across query, transition, checkpoint, and recovery.
 func (c *Client) Work() ([]WorkRow, error) {
-	fmt.Fprintln(c.w, "WORK")
-	if err := c.w.Flush(); err != nil {
+	var out []WorkRow
+	err := c.do(func() error {
+		out = nil
+		fmt.Fprintln(c.w, "WORK")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			f := strings.Fields(line)
+			switch {
+			case len(f) == 6 && f[0] == "WORK":
+				r := WorkRow{Cause: f[1]}
+				r.Seeks, _ = strconv.ParseInt(f[2], 10, 64)
+				r.BytesRead, _ = strconv.ParseInt(f[3], 10, 64)
+				r.BytesWritten, _ = strconv.ParseInt(f[4], 10, 64)
+				r.SimUS, _ = strconv.ParseInt(f[5], 10, 64)
+				out = append(out, r)
+			case len(f) == 2 && f[0] == "END":
+				want, _ := strconv.Atoi(f[1])
+				if want != len(out) {
+					return &TransportError{Err: fmt.Errorf("work ended with %d rows, header said %d", len(out), want)}
+				}
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
+			}
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	var out []WorkRow
-	for {
-		line, err := c.readLine()
-		if err != nil {
-			return nil, err
-		}
-		f := strings.Fields(line)
-		switch {
-		case len(f) == 6 && f[0] == "WORK":
-			r := WorkRow{Cause: f[1]}
-			r.Seeks, _ = strconv.ParseInt(f[2], 10, 64)
-			r.BytesRead, _ = strconv.ParseInt(f[3], 10, 64)
-			r.BytesWritten, _ = strconv.ParseInt(f[4], 10, 64)
-			r.SimUS, _ = strconv.ParseInt(f[5], 10, 64)
-			out = append(out, r)
-		case len(f) == 2 && f[0] == "END":
-			want, _ := strconv.Atoi(f[1])
-			if want != len(out) {
-				return nil, fmt.Errorf("server: work ended with %d rows, header said %d", len(out), want)
-			}
-			return out, nil
-		case strings.HasPrefix(line, "ERR "):
-			return nil, errors.New(strings.TrimPrefix(line, "ERR "))
-		default:
-			return nil, fmt.Errorf("server: unexpected line %q", line)
-		}
-	}
+	return out, nil
 }

@@ -7,8 +7,10 @@
 //
 // Protocol (one request per line, space-separated):
 //
-//	ADDDAY <day> <n>            declare a day batch of n postings, then
-//	  <key> <recordID> <aux>    n posting lines
+//	ADDDAY <day> <n> [id=<rid>] declare a day batch of n postings, then
+//	  <key> <recordID> <aux>    n posting lines; id= marks the batch for
+//	                            idempotent retry — a replayed id answers
+//	                            from the dedupe cache without re-applying
 //	FLUSH                       drain pipelined ingestion (see
 //	                            Options.AsyncIngest); reports the first
 //	                            failed transition, if any
@@ -25,6 +27,11 @@
 //	WORK                        per-cause disk work ledger
 //	TRACE <id>                  stamp this connection's queries with id
 //	TRACE [-]                   clear the connection's trace ID
+//	PARTIAL on|off              opt this connection's queries into
+//	                            partial results: slices of the keyspace
+//	                            behind an open shard breaker are skipped
+//	                            and announced as DEGRADED lines instead
+//	                            of failing the query
 //	HEALTH                      readiness, degradation, recovery state
 //	RECOVER                     run the journal recovery protocol
 //	QUIT                        close the connection
@@ -44,6 +51,15 @@
 // "WORK <cause> <seeks> <bytesRead> <bytesWritten> <simus>" lines
 // terminated by "END <n>".
 //
+// Under PARTIAL on, query replies are preceded by zero or more
+// "DEGRADED <shard> <shards> <cause>" lines naming the keyspace slices
+// the answer excludes. Under admission control (Options.MaxInFlight), a
+// shed query answers "ERR BUSY retry-after=<ms>" without touching the
+// backend — always safe to retry after the hinted backoff. Queries
+// refused because a shard breaker is open (and the connection did not
+// opt into partial results) answer "ERR UNAVAILABLE <message>", the
+// other retryable error class.
+//
 // A trace ID set by TRACE rides the connection: every subsequent probe,
 // multi-probe, and scan carries it in its query context, so the ID shows
 // up in the engine's spans (exported Chrome traces included) and in
@@ -62,6 +78,7 @@ import (
 	"sync"
 	"time"
 
+	"waveindex/internal/metrics"
 	"waveindex/wave"
 )
 
@@ -88,6 +105,17 @@ type Options struct {
 	// served. Transition failures then surface on FLUSH (or a later
 	// ADDDAY) instead of the ADDDAY that queued the failing day.
 	AsyncIngest bool
+	// MaxInFlight caps concurrently-executing queries (admission
+	// control). An arriving query waits up to AdmissionWait for a slot
+	// and is then shed with "ERR BUSY retry-after=<ms>". Zero means
+	// unlimited — the historical behaviour.
+	MaxInFlight int
+	// AdmissionWait is how long a query may queue for an admission slot
+	// before being shed. Zero defaults to 10ms when MaxInFlight is set.
+	AdmissionWait time.Duration
+	// RetryAfter is the backoff hint carried by BUSY errors. Zero
+	// defaults to 50ms.
+	RetryAfter time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +124,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatchPostings <= 0 {
 		o.MaxBatchPostings = 1 << 20
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 50 * time.Millisecond
 	}
 	return o
 }
@@ -136,9 +167,14 @@ type Server struct {
 	b    Backend
 	opts Options
 
-	mu     sync.Mutex // serialises AddDay and Recover; queries need no lock
-	closed chan struct{}
-	wg     sync.WaitGroup
+	lim    *limiter          // admission control; nil = unlimited
+	dedupe *dedupeCache      // applied ADDDAY request IDs → cached replies
+	reg    *metrics.Registry // wire-level counters, merged into METRICS
+
+	mu           sync.Mutex // serialises AddDay and Recover; queries need no lock
+	lastReplayed int        // shard count of the most recent RECOVER (under mu)
+	closed       chan struct{}
+	wg           sync.WaitGroup
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -165,12 +201,23 @@ func NewJournaled(j *wave.Journaled, opts Options) *Server {
 
 // NewBackend serves any Backend — plain, journaled, or sharded.
 func NewBackend(b Backend, opts Options) *Server {
+	opts = opts.withDefaults()
 	return &Server{
 		b:      b,
-		opts:   opts.withDefaults(),
+		opts:   opts,
+		lim:    newLimiter(opts.MaxInFlight, opts.AdmissionWait),
+		dedupe: newDedupeCache(1024),
+		reg:    metrics.New(),
 		closed: make(chan struct{}),
 		conns:  map[net.Conn]struct{}{},
 	}
+}
+
+// MetricsSnapshot is the backend's metrics merged with the server's own
+// wire-level registry (connections, admitted/shed queries, dedupe
+// hits) — what METRICS streams and what admin /metrics should export.
+func (s *Server) MetricsSnapshot() wave.MetricsSnapshot {
+	return metrics.Merge(s.b.Metrics(), s.reg.Snapshot())
 }
 
 // journaled reports whether the backend supports RECOVER.
@@ -279,17 +326,43 @@ func (s *Server) handle(conn net.Conn) {
 	s.track(conn)
 	defer s.untrack(conn)
 	defer conn.Close()
+	s.reg.Counter("server_conns_total").Inc()
+	s.reg.Gauge("server_conns_open").Add(1)
+	defer s.reg.Gauge("server_conns_open").Add(-1)
+	// Per-connection rate accounting: how many commands this connection
+	// issued, observed into a fleet histogram at hangup.
+	connCmds := int64(0)
+	defer func() { s.reg.Histogram("server_conn_cmds").Observe(connCmds) }()
 	in := bufio.NewScanner(conn)
 	// Scanner takes the larger of the initial capacity and the max, so
 	// the initial buffer must not exceed the configured line cap.
 	in.Buffer(make([]byte, 0, min(1<<16, s.opts.MaxLineBytes)), s.opts.MaxLineBytes)
 	out := bufio.NewWriter(conn)
 	defer out.Flush()
-	// traceID is connection state: TRACE <id> stamps every later query's
-	// context, TRACE (or TRACE -) clears it.
+	// traceID and partial are connection state: TRACE <id> stamps every
+	// later query's context, PARTIAL on opts queries into partial
+	// results (degraded slices stream as DEGRADED lines).
 	traceID := ""
+	partial := false
 	qctx := func() context.Context {
-		return wave.WithTraceID(context.Background(), traceID)
+		ctx := wave.WithTraceID(context.Background(), traceID)
+		if partial {
+			ctx, _ = wave.WithPartialResults(ctx)
+		}
+		return ctx
+	}
+	// query wraps the read commands with admission control: a shed query
+	// never reaches the backend and reports BUSY with the retry hint.
+	query := func(f func() error) error {
+		if !s.lim.acquire() {
+			s.reg.Counter("server_busy_total").Inc()
+			return &BusyError{RetryAfter: s.opts.RetryAfter}
+		}
+		defer s.lim.release()
+		s.reg.Counter("server_queries_total").Inc()
+		s.reg.Gauge("server_inflight_queries").Add(1)
+		defer s.reg.Gauge("server_inflight_queries").Add(-1)
+		return f()
 	}
 	for {
 		select {
@@ -312,6 +385,8 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		fields := strings.Fields(line)
 		cmd := strings.ToUpper(fields[0])
+		connCmds++
+		s.reg.Counter("server_cmds_total").Inc()
 		var err error
 		switch cmd {
 		case "QUIT":
@@ -323,15 +398,26 @@ func (s *Server) handle(conn net.Conn) {
 		case "FLUSH":
 			err = s.flushIngest(out)
 		case "PROBE":
-			err = s.probe(qctx(), out, fields[1:], false)
+			err = query(func() error { return s.probe(qctx(), out, fields[1:], false) })
 		case "PROBERANGE":
-			err = s.probe(qctx(), out, fields[1:], true)
+			err = query(func() error { return s.probe(qctx(), out, fields[1:], true) })
 		case "MPROBE":
-			err = s.mprobe(qctx(), out, fields[1:])
+			err = query(func() error { return s.mprobe(qctx(), out, fields[1:]) })
 		case "COUNT":
-			err = s.count(qctx(), out, fields[1:])
+			err = query(func() error { return s.count(qctx(), out, fields[1:]) })
 		case "TOPK":
-			err = s.topk(qctx(), out, fields[1:])
+			err = query(func() error { return s.topk(qctx(), out, fields[1:]) })
+		case "PARTIAL":
+			switch {
+			case len(fields) == 2 && strings.EqualFold(fields[1], "on"):
+				partial = true
+				fmt.Fprintln(out, "OK partial on")
+			case len(fields) == 2 && strings.EqualFold(fields[1], "off"):
+				partial = false
+				fmt.Fprintln(out, "OK partial off")
+			default:
+				err = errors.New("usage: PARTIAL on|off")
+			}
 		case "TRACE":
 			switch {
 			case len(fields) == 1 || (len(fields) == 2 && fields[1] == "-"):
@@ -364,7 +450,15 @@ func (s *Server) handle(conn net.Conn) {
 			err = fmt.Errorf("unknown command %q", cmd)
 		}
 		if err != nil {
-			fmt.Fprintf(out, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			msg := strings.ReplaceAll(err.Error(), "\n", " ")
+			// wave.ErrUnavailable gets a stable wire prefix so clients can
+			// type it (retryable) without matching on message text.
+			if errors.Is(err, wave.ErrUnavailable) {
+				s.reg.Counter("server_unavailable_total").Inc()
+				fmt.Fprintf(out, "ERR UNAVAILABLE %s\n", msg)
+			} else {
+				fmt.Fprintf(out, "ERR %s\n", msg)
+			}
 		}
 		if err := s.flush(conn, out); err != nil {
 			return
@@ -372,9 +466,35 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// emitDegraded streams the query's degraded-keyspace annotation, one
+// "DEGRADED <shard> <shards> <cause>" line per skipped slice, ahead of
+// the command's normal reply. Only connections that issued PARTIAL on
+// carry a report, so legacy clients never see these lines.
+func emitDegraded(ctx context.Context, out *bufio.Writer) {
+	rep := wave.PartialFromContext(ctx)
+	if rep == nil {
+		return
+	}
+	for _, sl := range rep.Degraded() {
+		cause := strings.ReplaceAll(sl.Cause, " ", "-")
+		if cause == "" {
+			cause = "-"
+		}
+		fmt.Fprintf(out, "DEGRADED %d %d %s\n", sl.Shard, sl.Shards, cause)
+	}
+}
+
 func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, args []string) error {
+	// An optional trailing id=<rid> marks the batch for idempotent
+	// retry: if a batch with the same ID already applied, the posting
+	// lines are still consumed (framing) but the cached reply is
+	// returned instead of re-executing.
+	rid := ""
+	if len(args) == 3 && strings.HasPrefix(args[2], "id=") && len(args[2]) > 3 {
+		rid, args = args[2][3:], args[:2]
+	}
 	if len(args) != 2 {
-		return errors.New("usage: ADDDAY <day> <n>")
+		return errors.New("usage: ADDDAY <day> <n> [id=<rid>]")
 	}
 	day, err := strconv.Atoi(args[0])
 	if err != nil {
@@ -396,7 +516,7 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 		if len(f) != 3 {
 			return fmt.Errorf("posting line %d: want '<key> <recordID> <aux>'", i+1)
 		}
-		rid, err := strconv.ParseUint(f[1], 10, 64)
+		recID, err := strconv.ParseUint(f[1], 10, 64)
 		if err != nil {
 			return fmt.Errorf("posting line %d: bad recordID: %w", i+1, err)
 		}
@@ -406,8 +526,15 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 		}
 		postings = append(postings, wave.Posting{
 			Key:   f[0],
-			Entry: wave.Entry{RecordID: rid, Aux: uint32(aux), Day: int32(day)},
+			Entry: wave.Entry{RecordID: recID, Aux: uint32(aux), Day: int32(day)},
 		})
+	}
+	if rid != "" {
+		if reply, ok := s.dedupe.get(rid); ok {
+			s.reg.Counter("server_addday_dedup_total").Inc()
+			fmt.Fprint(out, reply)
+			return nil
+		}
 	}
 	s.mu.Lock()
 	if s.opts.AsyncIngest {
@@ -419,11 +546,18 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 	if err != nil {
 		return err
 	}
+	var reply string
 	if s.opts.AsyncIngest {
-		fmt.Fprintf(out, "OK day %d queued (%d postings)\n", day, n)
+		reply = fmt.Sprintf("OK day %d queued (%d postings)\n", day, n)
 	} else {
-		fmt.Fprintf(out, "OK day %d ingested (%d postings)\n", day, n)
+		reply = fmt.Sprintf("OK day %d ingested (%d postings)\n", day, n)
 	}
+	// Only applied batches are remembered: a failed attempt must stay
+	// retryable under the same ID.
+	if rid != "" {
+		s.dedupe.put(rid, reply)
+	}
+	fmt.Fprint(out, reply)
 	return nil
 }
 
@@ -438,19 +572,28 @@ func (s *Server) flushIngest(out *bufio.Writer) error {
 	return nil
 }
 
-// health reports liveness in one line: overall status, readiness, and
-// the two degradation signals queries should care about.
+// health reports liveness in one line: overall status, readiness, the
+// two degradation signals queries should care about, how many shard
+// circuit breakers are open, and how many shards the most recent
+// RECOVER actually replayed.
 func (s *Server) health(out *bufio.Writer) {
 	needs, degraded := s.b.NeedsRecovery(), s.b.Degraded()
+	open := 0
+	if ob, ok := s.b.(interface{ OpenBreakers() []int }); ok {
+		open = len(ob.OpenBreakers())
+	}
 	status := "ok"
-	if degraded {
+	if degraded || open > 0 {
 		status = "degraded"
 	}
 	if needs {
 		status = "needs-recovery"
 	}
-	fmt.Fprintf(out, "OK %s ready=%v degraded=%v needsRecovery=%v journaled=%v\n",
-		status, s.b.Ready(), degraded, needs, s.journaled())
+	s.mu.Lock()
+	replayed := s.lastReplayed
+	s.mu.Unlock()
+	fmt.Fprintf(out, "OK %s ready=%v degraded=%v needsRecovery=%v journaled=%v openBreakers=%d replayedShards=%d\n",
+		status, s.b.Ready(), degraded, needs, s.journaled(), open, replayed)
 }
 
 func (s *Server) recover(out *bufio.Writer) error {
@@ -460,12 +603,23 @@ func (s *Server) recover(out *bufio.Writer) error {
 	}
 	s.mu.Lock()
 	rep, err := rec.Recover()
+	if err == nil {
+		s.lastReplayed = len(rep.ShardsReplayed)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "OK recovered checkpointDay=%d replayed=%d uncommitted=%d torn=%v\n",
-		rep.CheckpointDay, len(rep.ReplayedDays), len(rep.Uncommitted), rep.TornTail)
+	shards := "-"
+	if len(rep.ShardsReplayed) > 0 {
+		parts := make([]string, len(rep.ShardsReplayed))
+		for i, sh := range rep.ShardsReplayed {
+			parts[i] = strconv.Itoa(sh)
+		}
+		shards = strings.Join(parts, ",")
+	}
+	fmt.Fprintf(out, "OK recovered checkpointDay=%d replayed=%d uncommitted=%d torn=%v shardsReplayed=%s\n",
+		rep.CheckpointDay, len(rep.ReplayedDays), len(rep.Uncommitted), rep.TornTail, shards)
 	return nil
 }
 
@@ -490,6 +644,7 @@ func (s *Server) probe(ctx context.Context, out *bufio.Writer, args []string, ra
 	if err != nil {
 		return err
 	}
+	emitDegraded(ctx, out)
 	for _, e := range es {
 		fmt.Fprintf(out, "ENTRY %d %d %d\n", e.Day, e.RecordID, e.Aux)
 	}
@@ -513,6 +668,7 @@ func (s *Server) mprobe(ctx context.Context, out *bufio.Writer, args []string) e
 	if err != nil {
 		return err
 	}
+	emitDegraded(ctx, out)
 	keys := make([]string, 0, len(res))
 	for k := range res {
 		keys = append(keys, k)
@@ -551,12 +707,13 @@ func (s *Server) count(ctx context.Context, out *bufio.Writer, args []string) er
 	if err != nil {
 		return err
 	}
+	emitDegraded(ctx, out)
 	fmt.Fprintf(out, "OK %d\n", n)
 	return nil
 }
 
 func (s *Server) metrics(out *bufio.Writer) {
-	m := s.b.Metrics()
+	m := s.MetricsSnapshot()
 	n := 0
 	for _, c := range m.Counters {
 		fmt.Fprintf(out, "COUNTER %s %d\n", c.Name, c.Value)
@@ -634,6 +791,7 @@ func (s *Server) topk(ctx context.Context, out *bufio.Writer, args []string) err
 	if err != nil {
 		return err
 	}
+	emitDegraded(ctx, out)
 	for _, e := range top {
 		fmt.Fprintf(out, "KEY %s %d\n", e.Key, e.Count)
 	}

@@ -138,3 +138,56 @@ func WriteWork(w io.Writer, rows []simdisk.CauseStats) error {
 	}
 	return nil
 }
+
+// BreakerStatus is one shard's circuit-breaker state as the admin
+// server renders it. It mirrors wave/shard's BreakerInfo without
+// importing it, keeping telemetry decoupled from the router.
+type BreakerStatus struct {
+	Shard    int
+	State    string // "closed", "open", or "half-open"
+	Failures int
+}
+
+// breakerStateValue maps breaker states onto a stable numeric gauge
+// scale: 0 closed, 1 half-open, 2 open — higher is worse, so alerting
+// thresholds compose (`> 0` = anything wrong, `> 1` = serving partial).
+func breakerStateValue(state string) int64 {
+	switch state {
+	case "closed":
+		return 0
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	default:
+		return -1
+	}
+}
+
+// WriteBreakers renders per-shard circuit-breaker states as labelled
+// Prometheus series: a numeric state gauge (see breakerStateValue) and
+// the consecutive-failure count feeding each breaker's threshold.
+func WriteBreakers(w io.Writer, rows []BreakerStatus) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	rows = append([]BreakerStatus(nil), rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Shard < rows[j].Shard })
+	if _, err := fmt.Fprintf(w, "# TYPE shard_breaker_state gauge\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "shard_breaker_state{shard=%q} %d\n", fmt.Sprint(r.Shard), breakerStateValue(r.State)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE shard_breaker_failures gauge\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "shard_breaker_failures{shard=%q} %d\n", fmt.Sprint(r.Shard), int64(r.Failures)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

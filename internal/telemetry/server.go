@@ -18,6 +18,9 @@ type Health struct {
 	Degraded      bool `json:"degraded"`
 	NeedsRecovery bool `json:"needsRecovery"`
 	Journaled     bool `json:"journaled"`
+	// OpenBreakers is how many shard circuit breakers are currently not
+	// closed; always 0 on unsharded or breaker-less deployments.
+	OpenBreakers int `json:"openBreakers"`
 }
 
 // Options wires an admin handler to a running index. Every hook is
@@ -33,6 +36,10 @@ type Options struct {
 	// Work supplies the work ledger rendered as labelled series at
 	// /metrics alongside the registry.
 	Work func() []simdisk.CauseStats
+	// Breakers, when set, supplies per-shard circuit-breaker states
+	// rendered at /metrics (see WriteBreakers). Leave nil for routers
+	// without breakers.
+	Breakers func() []BreakerStatus
 	// Health supplies the state served at /healthz.
 	Health func() Health
 	// Spans, when set, is served as Chrome trace JSON at /debug/spans.
@@ -54,6 +61,11 @@ func NewHandler(opts Options) http.Handler {
 		}
 		if opts.ShardMetrics != nil {
 			if err := WriteShardMetrics(w, opts.ShardMetrics()); err != nil {
+				return
+			}
+		}
+		if opts.Breakers != nil {
+			if err := WriteBreakers(w, opts.Breakers()); err != nil {
 				return
 			}
 		}

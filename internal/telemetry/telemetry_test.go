@@ -290,3 +290,70 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("/debug/pprof/ index broken: status %d", resp.StatusCode)
 	}
 }
+
+func TestWriteBreakers(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteBreakers(&buf, []BreakerStatus{
+		{Shard: 2, State: "open", Failures: 5},
+		{Shard: 0, State: "closed", Failures: 0},
+		{Shard: 1, State: "half-open", Failures: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE shard_breaker_state gauge",
+		`shard_breaker_state{shard="0"} 0`,
+		`shard_breaker_state{shard="1"} 1`,
+		`shard_breaker_state{shard="2"} 2`,
+		`shard_breaker_failures{shard="1"} 3`,
+		`shard_breaker_failures{shard="2"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteBreakers output missing %q:\n%s", want, out)
+		}
+	}
+	// Shards render sorted regardless of input order.
+	if strings.Index(out, `state{shard="0"}`) > strings.Index(out, `state{shard="2"}`) {
+		t.Errorf("shards not sorted:\n%s", out)
+	}
+	// Empty rows render nothing at all (no type headers for absent data).
+	buf.Reset()
+	if err := WriteBreakers(&buf, nil); err != nil || buf.Len() != 0 {
+		t.Errorf("empty WriteBreakers wrote %q (err %v)", buf.String(), err)
+	}
+}
+
+func TestBreakerEndpointAndHealthz(t *testing.T) {
+	breakers := []BreakerStatus{{Shard: 0, State: "closed"}, {Shard: 1, State: "open", Failures: 7}}
+	srv, err := Serve("127.0.0.1:0", Options{
+		Breakers: func() []BreakerStatus { return breakers },
+		Health:   func() Health { return Health{Ready: true, OpenBreakers: 1} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	body := get("/metrics")
+	if !strings.Contains(body, `shard_breaker_state{shard="1"} 2`) {
+		t.Fatalf("/metrics missing breaker series:\n%s", body)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(get("/healthz")), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.OpenBreakers != 1 {
+		t.Fatalf("healthz openBreakers = %d, want 1", h.OpenBreakers)
+	}
+}

@@ -131,6 +131,11 @@ type RecoveryReport struct {
 	// Uncommitted lists replayed days with no commit record: the crash
 	// interrupted their transition and replay rolled them forward.
 	Uncommitted []int
+	// ShardsReplayed lists the shards whose journals replayed at least
+	// one batch. A single Journaled index reports []int{0} when it
+	// replayed anything; shard.Router merges the per-shard reports into
+	// the true shard indices.
+	ShardsReplayed []int
 }
 
 // Journaled wraps an Index with a transition journal and checkpointing
@@ -411,6 +416,9 @@ func (j *Journaled) recoverLocked() (*RecoveryReport, error) {
 		}
 	}
 	restore()
+	if len(rep.ReplayedDays) > 0 {
+		rep.ShardsReplayed = []int{0}
+	}
 	if j.idx != nil {
 		j.idx.Close()
 	}

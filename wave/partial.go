@@ -1,0 +1,120 @@
+package wave
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrUnavailable reports that part of the keyspace cannot be queried
+// right now — a sharded deployment has an open circuit breaker, or a
+// backend is mid-recovery — and the caller did not opt into partial
+// results. It is a retryable condition, not a data error: the same
+// query succeeds once the failing shard recovers. Callers that would
+// rather have the answerable remainder immediately should re-issue the
+// query under WithPartialResults.
+var ErrUnavailable = errors.New("wave: keyspace partially unavailable")
+
+// DegradedSlice identifies one unavailable fragment of the keyspace.
+// Shards are hash-partitioned, so a slice is "hash(key) % Shards ==
+// Shard" rather than a contiguous key range; Shards carries the modulus
+// so the slice is interpretable without the router at hand.
+type DegradedSlice struct {
+	// Shard is the unavailable partition's index in [0, Shards).
+	Shard int
+	// Shards is the deployment's partition count (the hash modulus).
+	Shards int
+	// Cause is a short human-readable reason ("breaker open",
+	// "needs recovery").
+	Cause string
+}
+
+func (s DegradedSlice) String() string {
+	return fmt.Sprintf("shard %d/%d: %s", s.Shard, s.Shards, s.Cause)
+}
+
+// PartialReport collects the degraded slices a query ran without. It is
+// handed out by WithPartialResults and filled in by implementations
+// that skip unavailable backends; safe for concurrent use, because
+// scatter-gather queries report slices from fan-out goroutines.
+type PartialReport struct {
+	mu     sync.Mutex
+	slices []DegradedSlice
+}
+
+// Add records one degraded slice.
+func (r *PartialReport) Add(s DegradedSlice) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.slices = append(r.slices, s)
+	r.mu.Unlock()
+}
+
+// Partial reports whether any slice of the keyspace was skipped.
+func (r *PartialReport) Partial() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slices) > 0
+}
+
+// Degraded returns the recorded slices, deduplicated by shard and
+// sorted by shard index, so repeated fan-outs in one request don't
+// multiply the annotation.
+func (r *PartialReport) Degraded() []DegradedSlice {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[int]bool, len(r.slices))
+	out := make([]DegradedSlice, 0, len(r.slices))
+	for _, s := range r.slices {
+		if seen[s.Shard] {
+			continue
+		}
+		seen[s.Shard] = true
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Shard < out[j-1].Shard; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Reset clears the report so one report can span several phases of a
+// request without earlier slices bleeding into later annotations.
+func (r *PartialReport) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.slices = nil
+	r.mu.Unlock()
+}
+
+type partialKey struct{}
+
+// WithPartialResults opts the request into partial results: a Querier
+// that finds part of the keyspace unavailable answers from the healthy
+// remainder and records what it skipped in the returned report, instead
+// of failing the whole query with ErrUnavailable. The report is valid
+// for every query issued under the returned context.
+func WithPartialResults(ctx context.Context) (context.Context, *PartialReport) {
+	r := &PartialReport{}
+	return context.WithValue(ctx, partialKey{}, r), r
+}
+
+// PartialFromContext returns the request's partial-results report, or
+// nil when the caller did not opt in via WithPartialResults.
+func PartialFromContext(ctx context.Context) *PartialReport {
+	r, _ := ctx.Value(partialKey{}).(*PartialReport)
+	return r
+}

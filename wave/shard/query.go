@@ -3,6 +3,7 @@ package shard
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,12 @@ import (
 // scatter to all owning shards concurrently and gather exact results,
 // relying on the partitioning invariant that shard key sets are
 // disjoint.
+//
+// Every shard touch goes through shardCall/fanQuery (breaker.go), so a
+// shard behind an open circuit breaker is skipped rather than queried:
+// partial-results callers get the healthy remainder with the skipped
+// slice recorded in their wave.PartialReport, everyone else gets
+// wave.ErrUnavailable.
 
 // Probe returns the entries for key within the current window, answered
 // entirely by the owning shard.
@@ -23,10 +30,21 @@ func (r *Router) Probe(ctx context.Context, key string) ([]wave.Entry, error) {
 	return r.ProbeRange(ctx, key, from, to)
 }
 
-// ProbeRange returns the entries for key inserted in [from, to].
+// ProbeRange returns the entries for key inserted in [from, to]. With
+// the owning shard's breaker open, a partial-results caller gets an
+// empty (annotated) result — the one shard that could answer is the one
+// being skipped.
 func (r *Router) ProbeRange(ctx context.Context, key string, from, to int) ([]wave.Entry, error) {
 	i := r.ShardFor(key)
-	es, err := r.shards[i].ProbeRange(ctx, key, from, to)
+	var es []wave.Entry
+	err := r.shardCall(ctx, i, func(s backend) error {
+		var err error
+		es, err = s.ProbeRange(ctx, key, from, to)
+		return err
+	})
+	if errors.Is(err, errSkipped) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: %w", i, err)
 	}
@@ -37,7 +55,15 @@ func (r *Router) ProbeRange(ctx context.Context, key string, from, to int) ([]wa
 // the owning shard.
 func (r *Router) SumAux(ctx context.Context, key string, from, to int) (int64, error) {
 	i := r.ShardFor(key)
-	sum, err := r.shards[i].SumAux(ctx, key, from, to)
+	var sum int64
+	err := r.shardCall(ctx, i, func(s backend) error {
+		var err error
+		sum, err = s.SumAux(ctx, key, from, to)
+		return err
+	})
+	if errors.Is(err, errSkipped) {
+		return 0, nil
+	}
 	if err != nil {
 		return 0, fmt.Errorf("shard %d: %w", i, err)
 	}
@@ -59,7 +85,7 @@ func (r *Router) MultiProbeRange(ctx context.Context, keys []string, from, to in
 		parts[i] = append(parts[i], k)
 	}
 	results := make([]map[string][]wave.Entry, len(r.shards))
-	err := r.fan(func(i int, s backend) error {
+	err := r.fanQuery(ctx, func(i int, s backend) error {
 		if len(parts[i]) == 0 {
 			return nil
 		}
@@ -134,25 +160,30 @@ func (r *Router) ScanRange(ctx context.Context, from, to int, fn func(key string
 		st := &scanStream{shard: i, ch: make(chan keyGroup, 16), errc: make(chan error, 1)}
 		streams[i] = st
 		wg.Add(1)
-		go func(s backend, st *scanStream) {
+		go func(i int, s backend, st *scanStream) {
 			defer wg.Done()
 			var cur keyGroup
 			started := false
-			err := s.ScanRange(cctx, from, to, func(key string, e wave.Entry) bool {
-				if !started || key != cur.key {
-					if started {
-						select {
-						case st.ch <- cur:
-						case <-cctx.Done():
-							return false
+			err := r.shardCall(cctx, i, func(s backend) error {
+				return s.ScanRange(cctx, from, to, func(key string, e wave.Entry) bool {
+					if !started || key != cur.key {
+						if started {
+							select {
+							case st.ch <- cur:
+							case <-cctx.Done():
+								return false
+							}
 						}
+						cur = keyGroup{key: key}
+						started = true
 					}
-					cur = keyGroup{key: key}
-					started = true
-				}
-				cur.entries = append(cur.entries, e)
-				return true
+					cur.entries = append(cur.entries, e)
+					return true
+				})
 			})
+			if errors.Is(err, errSkipped) {
+				err = nil // breaker skipped the shard; it streams nothing
+			}
 			if err == nil && started {
 				select {
 				case st.ch <- cur:
@@ -161,7 +192,7 @@ func (r *Router) ScanRange(ctx context.Context, from, to int, fn func(key string
 			}
 			st.errc <- err
 			close(st.ch)
-		}(s, st)
+		}(i, s, st)
 	}
 	// drain unblocks the producers after cancellation and waits them
 	// out, so no goroutine outlives the call.
@@ -227,7 +258,7 @@ func (r *Router) Count(ctx context.Context) (int, error) {
 // disjoint counts.
 func (r *Router) CountRange(ctx context.Context, from, to int) (int, error) {
 	counts := make([]int, len(r.shards))
-	err := r.fan(func(i int, s backend) error {
+	err := r.fanQuery(ctx, func(i int, s backend) error {
 		n, err := s.CountRange(ctx, from, to)
 		counts[i] = n
 		return err
@@ -251,7 +282,7 @@ func (r *Router) TopKeys(ctx context.Context, k, from, to int) ([]wave.KeyCount,
 		return nil, nil
 	}
 	per := make([][]wave.KeyCount, len(r.shards))
-	err := r.fan(func(i int, s backend) error {
+	err := r.fanQuery(ctx, func(i int, s backend) error {
 		top, err := s.TopKeys(ctx, k, from, to)
 		per[i] = top
 		return err
@@ -314,7 +345,7 @@ func (r *Router) Histogram(ctx context.Context, from, to int) ([]int, error) {
 		return nil, nil
 	}
 	per := make([][]int, len(r.shards))
-	err := r.fan(func(i int, s backend) error {
+	err := r.fanQuery(ctx, func(i int, s backend) error {
 		h, err := s.Histogram(ctx, from, to)
 		per[i] = h
 		return err
@@ -335,7 +366,7 @@ func (r *Router) Histogram(ctx context.Context, from, to int) ([]int, error) {
 // are disjoint, so the fleet count is the sum.
 func (r *Router) DistinctKeys(ctx context.Context, from, to int) (int, error) {
 	counts := make([]int, len(r.shards))
-	err := r.fan(func(i int, s backend) error {
+	err := r.fanQuery(ctx, func(i int, s backend) error {
 		n, err := s.DistinctKeys(ctx, from, to)
 		counts[i] = n
 		return err

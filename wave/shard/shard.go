@@ -70,6 +70,10 @@ type Config struct {
 	// hash must be deterministic and stable for the lifetime of any
 	// durable state.
 	Hash func(key string) uint64
+	// Breaker configures per-shard query circuit breakers (see
+	// BreakerConfig). The zero value disables them: every shard failure
+	// fails the whole query, as before.
+	Breaker BreakerConfig
 }
 
 // backend is the per-shard surface the router drives — satisfied by
@@ -105,6 +109,7 @@ type Router struct {
 	hash   func(string) uint64
 	shards []backend
 	jr     []*wave.Journaled // non-nil (per entry) when journaled
+	brk    []*breaker        // non-nil when Config.Breaker is enabled
 
 	mu     sync.Mutex // serialises AddDay/Recover/Close among themselves
 	closed bool
@@ -171,6 +176,7 @@ func New(cfg Config) (*Router, error) {
 		}
 		r.shards = append(r.shards, x)
 	}
+	r.initBreakers()
 	return r, nil
 }
 
@@ -196,7 +202,19 @@ func NewJournaled(cfg Config, storages []*wave.JournalStorage, opts wave.Journal
 		r.jr[i] = j
 		r.shards = append(r.shards, j)
 	}
+	r.initBreakers()
 	return r, nil
+}
+
+// initBreakers arms one breaker per shard when the config enables them.
+func (r *Router) initBreakers() {
+	if !r.cfg.Breaker.enabled() {
+		return
+	}
+	r.brk = make([]*breaker, len(r.shards))
+	for i := range r.brk {
+		r.brk[i] = newBreaker(r.cfg.Breaker)
+	}
 }
 
 // OpenJournalDir is NewJournaled with directory-backed storages rooted
@@ -236,6 +254,18 @@ func (r *Router) ShardFor(key string) int {
 
 // Journaled reports whether the router's shards are journaled.
 func (r *Router) Journaled() bool { return r.jr != nil }
+
+// JournaledShard returns shard i's journaled index, or nil when the
+// router is not journaled. It exists for fault-injection harnesses,
+// which reach through it (JournaledShard(i).Index().Stores()) to arm a
+// single shard's simdisk fault plans; production callers should stay on
+// the Router surface.
+func (r *Router) JournaledShard(i int) *wave.Journaled {
+	if r.jr == nil {
+		return nil
+	}
+	return r.jr[i]
+}
 
 // partition splits a batch by owning shard, preserving input order
 // within each part.
@@ -445,15 +475,27 @@ func (r *Router) Recover() (*wave.RecoveryReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Recovery rebuilt the targeted shards from checkpoint + journal;
+	// their breakers have nothing left to guard against, so close them
+	// outright rather than waiting out a cooldown + probe.
+	if r.brk != nil {
+		for i := range r.shards {
+			if !any || targets[i] {
+				r.brk[i].reset()
+			}
+		}
+	}
 	return mergeReports(reports), nil
 }
 
 // mergeReports folds per-shard recovery reports into one fleet view.
+// reports is indexed by shard, so ShardsReplayed carries the true shard
+// indices (overriding each per-shard report's local []int{0}).
 func mergeReports(reports []*wave.RecoveryReport) *wave.RecoveryReport {
 	out := &wave.RecoveryReport{CheckpointDay: -1}
 	replayed := map[int]bool{}
 	uncommitted := map[int]bool{}
-	for _, rep := range reports {
+	for i, rep := range reports {
 		if rep == nil {
 			continue
 		}
@@ -461,6 +503,9 @@ func mergeReports(reports []*wave.RecoveryReport) *wave.RecoveryReport {
 			out.CheckpointDay = rep.CheckpointDay
 		}
 		out.TornTail = out.TornTail || rep.TornTail
+		if len(rep.ReplayedDays) > 0 {
+			out.ShardsReplayed = append(out.ShardsReplayed, i)
+		}
 		for _, d := range rep.ReplayedDays {
 			replayed[d] = true
 		}

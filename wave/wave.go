@@ -693,6 +693,14 @@ func (x *Index) Stats() Stats {
 	return st
 }
 
+// Stores exposes the index's underlying block stores, in store order.
+// It exists for fault-injection harnesses: arming a store's simdisk
+// fault plans is how chaos tests make this index's queries or syncs
+// fail on demand (the same idiom wave already leans on via
+// Stats.PerStore and the CauseStats alias). The slice is owned by the
+// index — callers must not close or reorder the stores.
+func (x *Index) Stores() []*simdisk.Store { return x.stores }
+
 // Close releases all storage held by the index. Days still queued by
 // AddDayAsync are applied first (Close drains the pipeline), though any
 // error they hit is reported by a pending or later Flush, not by Close.
