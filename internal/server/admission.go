@@ -81,36 +81,86 @@ func (l *limiter) release() {
 // dedupeCache maps recently-applied mutating request IDs to the reply
 // they produced, bounded FIFO. It is server-wide, not per-connection:
 // a client retries on a fresh connection after redialling.
+//
+// Application is a claimed operation, not a get/put pair: begin installs
+// an in-progress placeholder before the batch is applied, so a replay
+// arriving while the original attempt is still executing (op timeout
+// shorter than ingest time) blocks until that attempt resolves and then
+// reads its cached reply — it can never slip between a get and a put
+// and apply the batch a second time.
 type dedupeCache struct {
 	mu   sync.Mutex
 	cap  int
-	m    map[string]string
-	fifo []string
+	m    map[string]*dedupeEntry
+	fifo []string // applied IDs, oldest first
+}
+
+// dedupeEntry is one request ID's attempt state. done is closed when
+// the attempt resolves: applied=true carries the reply; applied=false
+// means the owner abandoned (the apply failed) and the ID is claimable
+// again.
+type dedupeEntry struct {
+	done    chan struct{}
+	reply   string
+	applied bool
 }
 
 func newDedupeCache(n int) *dedupeCache {
-	return &dedupeCache{cap: n, m: make(map[string]string, n)}
+	return &dedupeCache{cap: n, m: make(map[string]*dedupeEntry, n)}
 }
 
-// get returns the cached reply for id, if the ID was applied recently.
-func (d *dedupeCache) get(id string) (string, bool) {
+// begin claims id for application. cached=true means a previous attempt
+// already applied and reply is its answer. cached=false means the
+// caller now owns the attempt and must resolve it with commit (applied)
+// or abandon (failed; the ID stays retryable). If another attempt is in
+// flight, begin blocks until it resolves, then either returns its reply
+// or claims the ID itself.
+func (d *dedupeCache) begin(id string) (reply string, cached bool) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	reply, ok := d.m[id]
-	return reply, ok
+	for {
+		e, ok := d.m[id]
+		if !ok {
+			d.m[id] = &dedupeEntry{done: make(chan struct{})}
+			d.mu.Unlock()
+			return "", false
+		}
+		if e.applied {
+			d.mu.Unlock()
+			return e.reply, true
+		}
+		d.mu.Unlock()
+		<-e.done
+		d.mu.Lock()
+	}
 }
 
-// put records id's reply, evicting the oldest entry at capacity.
-func (d *dedupeCache) put(id, reply string) {
+// commit records the owned attempt's reply, evicting the oldest applied
+// entry at capacity, and releases any replays waiting in begin.
+func (d *dedupeCache) commit(id, reply string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, dup := d.m[id]; dup {
+	e := d.m[id]
+	if e == nil || e.applied {
 		return
 	}
+	e.reply, e.applied = reply, true
+	close(e.done)
 	if len(d.fifo) >= d.cap {
 		delete(d.m, d.fifo[0])
 		d.fifo = d.fifo[1:]
 	}
-	d.m[id] = reply
 	d.fifo = append(d.fifo, id)
+}
+
+// abandon releases an owned attempt that failed to apply: the ID is
+// forgotten, so a retry under the same ID re-executes.
+func (d *dedupeCache) abandon(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.m[id]
+	if e == nil || e.applied {
+		return
+	}
+	delete(d.m, id)
+	close(e.done)
 }

@@ -50,25 +50,88 @@ func TestLimiterDisabled(t *testing.T) {
 	l.release() // must not panic
 }
 
+// apply claims id, commits reply, and returns whether the ID was
+// already applied — the happy-path shape addDay uses.
+func apply(d *dedupeCache, id, reply string) (string, bool) {
+	if r, cached := d.begin(id); cached {
+		return r, true
+	}
+	d.commit(id, reply)
+	return reply, false
+}
+
 func TestDedupeCacheFIFOEviction(t *testing.T) {
 	d := newDedupeCache(2)
-	d.put("a", "OK a")
-	d.put("b", "OK b")
-	if r, ok := d.get("a"); !ok || r != "OK a" {
-		t.Fatalf("get(a) = %q,%v", r, ok)
+	apply(d, "a", "OK a")
+	apply(d, "b", "OK b")
+	if r, cached := apply(d, "a", "OK re-applied"); !cached || r != "OK a" {
+		t.Fatalf("replay of a = %q,%v, want cached OK a", r, cached)
 	}
-	d.put("c", "OK c") // evicts a, the oldest
-	if _, ok := d.get("a"); ok {
+	apply(d, "c", "OK c") // evicts a, the oldest
+	if _, cached := d.begin("a"); cached {
 		t.Error("a should have been evicted")
+	} else {
+		d.abandon("a") // undo the probe claim
 	}
 	for _, id := range []string{"b", "c"} {
-		if _, ok := d.get(id); !ok {
+		if _, cached := d.begin(id); !cached {
 			t.Errorf("%s should survive eviction", id)
 		}
 	}
-	d.put("b", "OK different") // duplicate put is a no-op
-	if r, _ := d.get("b"); r != "OK b" {
-		t.Errorf("duplicate put overwrote reply: %q", r)
+}
+
+// TestDedupeCacheConcurrentReplayWaits is the regression test for the
+// begin/commit redesign: a replay that arrives while the original
+// attempt is still applying must block until it resolves and read the
+// cached reply — never apply a second time.
+func TestDedupeCacheConcurrentReplayWaits(t *testing.T) {
+	d := newDedupeCache(8)
+	if _, cached := d.begin("rid"); cached {
+		t.Fatal("first begin should own the attempt")
+	}
+	const replays = 4
+	replies := make(chan string, replays)
+	for i := 0; i < replays; i++ {
+		go func() {
+			r, cached := d.begin("rid")
+			if !cached {
+				// A replay claimed ownership: it would re-apply the
+				// batch. Resolve so the others don't hang, then fail.
+				d.commit("rid", "OK doubly-applied")
+			}
+			replies <- r
+		}()
+	}
+	select {
+	case r := <-replies:
+		t.Fatalf("replay returned %q while the original attempt was still in flight", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	d.commit("rid", "OK once")
+	for i := 0; i < replays; i++ {
+		if r := <-replies; r != "OK once" {
+			t.Fatalf("replay %d reply = %q, want the committed OK once", i, r)
+		}
+	}
+}
+
+// TestDedupeCacheAbandonedAttemptRetryable: a failed apply releases the
+// ID, and a blocked replay claims it instead of caching the failure.
+func TestDedupeCacheAbandonedAttemptRetryable(t *testing.T) {
+	d := newDedupeCache(8)
+	d.begin("rid")
+	claimed := make(chan bool, 1)
+	go func() {
+		_, cached := d.begin("rid")
+		claimed <- !cached
+	}()
+	d.abandon("rid")
+	if !<-claimed {
+		t.Fatal("replay after abandon should own a fresh attempt, not see a cached reply")
+	}
+	d.commit("rid", "OK retried")
+	if r, cached := d.begin("rid"); !cached || r != "OK retried" {
+		t.Fatalf("after retried commit: %q,%v, want cached OK retried", r, cached)
 	}
 }
 

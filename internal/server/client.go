@@ -151,11 +151,23 @@ func (c *Client) ensureConn() error {
 	if c.addr == "" {
 		return &TransportError{Err: errors.New("connection closed (no address to redial)")}
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	// OpTimeout bounds the dial and the state replay below, not just
+	// do()'s request round trip — otherwise a blackholed server could
+	// hang the client indefinitely during reconnect.
+	var conn net.Conn
+	var err error
+	if c.opts.OpTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, c.opts.OpTimeout)
+	} else {
+		conn, err = net.Dial("tcp", c.addr)
+	}
 	if err != nil {
 		return &TransportError{Err: err}
 	}
 	c.attach(conn)
+	if c.opts.OpTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+	}
 	// Replay connection-scoped state the server keeps per conn. These
 	// raw exchanges bypass do(): a failure just drops the fresh conn.
 	if c.traceID != "" {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -312,6 +313,136 @@ func TestClientAddDayIdempotentRetry(t *testing.T) {
 	}
 	if got := m.Counters["server_addday_dedup_total"]; got != 1 {
 		t.Errorf("server_addday_dedup_total = %d, want 1", got)
+	}
+}
+
+// slowBackend holds every AddDay open until the gate releases, so a
+// test can park one batch mid-apply while a replay of the same request
+// ID races it.
+type slowBackend struct {
+	*wave.Index
+	gate    chan struct{}
+	applies atomic.Int32
+}
+
+func (b *slowBackend) AddDay(day int, ps []wave.Posting) error {
+	b.applies.Add(1)
+	err := b.Index.AddDay(day, ps)
+	<-b.gate
+	return err
+}
+
+// TestAddDayReplayRacingInFlightApply is the regression test for the
+// dedupe begin/commit redesign: a retry of an ADDDAY that is still
+// being applied (op timeout shorter than ingest time) must wait for the
+// original attempt and answer from its cached reply — never re-apply
+// the batch.
+func TestAddDayReplayRacingInFlightApply(t *testing.T) {
+	idx, err := wave.New(wave.Config{Window: 4, Indexes: 2, Scheme: wave.REINDEXPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := &slowBackend{Index: idx, gate: make(chan struct{})}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewBackend(bk, Options{})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		l.Close()
+		<-done
+		idx.Close()
+	})
+
+	send := func() chan string {
+		t.Helper()
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		fmt.Fprintf(conn, "ADDDAY 1 2 id=same\nk1 1 0\nk2 2 0\n")
+		reply := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(conn)
+			if sc.Scan() {
+				reply <- sc.Text()
+			} else {
+				reply <- fmt.Sprintf("read failed: %v", sc.Err())
+			}
+		}()
+		return reply
+	}
+
+	first := send()
+	// Wait until the original attempt is parked mid-apply.
+	for i := 0; bk.applies.Load() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("original ADDDAY never reached the backend")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second := send()
+	select {
+	case r := <-second:
+		t.Fatalf("replay answered %q while the original was still applying", r)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(bk.gate)
+	for _, ch := range []chan string{first, second} {
+		if r := <-ch; !strings.HasPrefix(r, "OK") {
+			t.Fatalf("reply = %q, want OK", r)
+		}
+	}
+	if n := bk.applies.Load(); n != 1 {
+		t.Fatalf("batch applied %d times, want exactly once", n)
+	}
+}
+
+// TestClientReconnectReplayHonorsOpTimeout: a redial that reaches a
+// stalled server must time out during the connection-state replay
+// instead of hanging forever — the replay runs in ensureConn, before
+// do() arms its per-attempt deadline.
+func TestClientReconnectReplayHonorsOpTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	addr := scriptServer(t,
+		func(conn net.Conn, sc *bufio.Scanner) {
+			sc.Scan() // TRACE t1
+			fmt.Fprintln(conn, "OK")
+			sc.Scan() // COUNT — hang up without replying
+		},
+		func(conn net.Conn, sc *bufio.Scanner) {
+			sc.Scan() // replayed TRACE — never answer
+			<-stall
+		},
+	)
+	t.Cleanup(func() { close(stall) })
+	opts := fastRetry(1)
+	opts.OpTimeout = 50 * time.Millisecond
+	c, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Trace("t1"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Count(0, 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var tr *TransportError
+		if !errors.As(err, &tr) {
+			t.Fatalf("Count = %v, want *TransportError from the timed-out replay", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("client hung reconnecting to a stalled server; replay not bounded by OpTimeout")
 	}
 }
 

@@ -529,8 +529,12 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 			Entry: wave.Entry{RecordID: recID, Aux: uint32(aux), Day: int32(day)},
 		})
 	}
+	// Claim the request ID before applying. A replayed ID blocks in
+	// begin until the original attempt resolves — even one still
+	// executing under s.mu — so a retry racing an in-flight apply reads
+	// the cached reply instead of ingesting the batch a second time.
 	if rid != "" {
-		if reply, ok := s.dedupe.get(rid); ok {
+		if reply, cached := s.dedupe.begin(rid); cached {
 			s.reg.Counter("server_addday_dedup_total").Inc()
 			fmt.Fprint(out, reply)
 			return nil
@@ -544,6 +548,11 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 	}
 	s.mu.Unlock()
 	if err != nil {
+		// Only applied batches are remembered: a failed attempt must
+		// stay retryable under the same ID.
+		if rid != "" {
+			s.dedupe.abandon(rid)
+		}
 		return err
 	}
 	var reply string
@@ -552,10 +561,8 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 	} else {
 		reply = fmt.Sprintf("OK day %d ingested (%d postings)\n", day, n)
 	}
-	// Only applied batches are remembered: a failed attempt must stay
-	// retryable under the same ID.
 	if rid != "" {
-		s.dedupe.put(rid, reply)
+		s.dedupe.commit(rid, reply)
 	}
 	fmt.Fprint(out, reply)
 	return nil

@@ -23,9 +23,11 @@ import (
 // An open breaker half-opens after Cooldown: exactly one query is let
 // through as a probe. If the probe succeeds the breaker closes and full
 // results resume; if it fails the breaker re-opens for another
-// cooldown. A successful Recover resets the recovered shards' breakers
-// outright — recovery rebuilt the shard, so there is nothing left to
-// probe for.
+// cooldown; if it ends with a non-countable error (the caller hung up,
+// the index not ready) the outcome is inconclusive and the breaker
+// stays half-open for the next query to probe. A successful Recover
+// resets the recovered shards' breakers outright — recovery rebuilt the
+// shard, so there is nothing left to probe for.
 //
 // Failures are counted per completed shard call. Context cancellation
 // and deadline expiry are the caller's doing and never count; neither
@@ -141,12 +143,18 @@ func (b *breaker) result(err error, probe bool) {
 	defer b.mu.Unlock()
 	if probe {
 		b.probing = false
-		if failed {
-			b.state = BreakerOpen
-			b.openedAt = b.now()
-		} else {
+		switch {
+		case err == nil:
 			b.state = BreakerClosed
 			b.failures = 0
+		case failed:
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		default:
+			// Non-countable error (caller cancelled, index not ready):
+			// the shard never demonstrated health, so the probe is
+			// inconclusive. Stay half-open with the probe slot freed —
+			// the next query probes again.
 		}
 		return
 	}

@@ -78,6 +78,37 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestBreakerInconclusiveProbeStaysHalfOpen: a half-open probe ending
+// with a caller-side error proves nothing about shard health, so the
+// breaker must not close — it stays half-open and the next query gets
+// the probe slot.
+func TestBreakerInconclusiveProbeStaysHalfOpen(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	b.now = clk.now
+	b.allow()
+	b.result(errors.New("boom"), false)
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatal("setup: breaker not open")
+	}
+	clk.advance(2 * time.Minute)
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatal("post-cooldown query should be admitted as the probe")
+	}
+	b.result(context.Canceled, true)
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("state after inconclusive probe = %v, want half-open", st)
+	}
+	// The freed probe slot goes to the next query, which resolves it.
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatal("next query after an inconclusive probe should probe again")
+	}
+	b.result(nil, true)
+	if st, n := b.snapshot(); st != BreakerClosed || n != 0 {
+		t.Fatalf("state after successful re-probe = %v/%d, want closed/0", st, n)
+	}
+}
+
 func TestBreakerIgnoresCallerErrors(t *testing.T) {
 	b := newBreaker(BreakerConfig{Threshold: 1})
 	for _, err := range []error{context.Canceled, context.DeadlineExceeded, wave.ErrNotReady} {
@@ -257,6 +288,65 @@ func TestBreakerOpensAndAnnotatesPartialResults(t *testing.T) {
 	}
 	if got := rep.Degraded(); len(got) != 1 || got[0].Shard != broken {
 		t.Fatalf("partial Probe annotation = %v", got)
+	}
+}
+
+// TestBreakerMultiProbeIgnoresUnownedShards: an MPROBE whose keys all
+// live on healthy shards must neither be gated by an unrelated shard's
+// open breaker nor feed a no-op success into that shard's failure
+// count.
+func TestBreakerMultiProbeIgnoresUnownedShards(t *testing.T) {
+	r := breakerRouter(t, time.Hour)
+	ctx := context.Background()
+	from, to := r.Window()
+	const broken = 1
+	healthyKeys := []string{keyOwnedBy(t, r, 0), keyOwnedBy(t, r, 2)}
+	want, err := r.MultiProbeRange(ctx, healthyKeys, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	breakShardReads(t, r, broken)
+	// Drive the broken shard to one failure short of opening: a no-op
+	// call leaking through the breaker would reset this count.
+	key := keyOwnedBy(t, r, broken)
+	for n := 0; n < r.cfg.Breaker.Threshold-1; n++ {
+		if _, err := r.ProbeRange(ctx, key, from, to); err == nil {
+			t.Fatalf("probe %d succeeded on a read-faulted shard", n)
+		}
+	}
+	got, err := r.MultiProbeRange(ctx, healthyKeys, from, to)
+	if err != nil {
+		t.Fatalf("MPROBE on healthy keys: %v", err)
+	}
+	for _, k := range healthyKeys {
+		if len(got[k]) != len(want[k]) {
+			t.Fatalf("key %q: %d entries, want %d", k, len(got[k]), len(want[k]))
+		}
+	}
+	if _, n := r.brk[broken].snapshot(); n != r.cfg.Breaker.Threshold-1 {
+		t.Fatalf("shard %d failures = %d after no-key MPROBE, want %d untouched",
+			broken, n, r.cfg.Breaker.Threshold-1)
+	}
+
+	// Open the breaker; a healthy-keys MPROBE must still answer in
+	// strict (non-partial) mode, and record nothing degraded in partial
+	// mode.
+	if _, err := r.ProbeRange(ctx, key, from, to); err == nil {
+		t.Fatal("final probe succeeded on a read-faulted shard")
+	}
+	if open := r.OpenBreakers(); len(open) != 1 || open[0] != broken {
+		t.Fatalf("OpenBreakers = %v, want [%d]", open, broken)
+	}
+	if _, err := r.MultiProbeRange(ctx, healthyKeys, from, to); err != nil {
+		t.Fatalf("strict MPROBE on healthy keys with shard %d's breaker open: %v", broken, err)
+	}
+	pctx, rep := wave.WithPartialResults(ctx)
+	if _, err := r.MultiProbeRange(pctx, healthyKeys, from, to); err != nil {
+		t.Fatalf("partial MPROBE on healthy keys: %v", err)
+	}
+	if deg := rep.Degraded(); len(deg) != 0 {
+		t.Fatalf("healthy-keys MPROBE recorded spurious degraded slices %v", deg)
 	}
 }
 

@@ -85,12 +85,22 @@ func (r *Router) MultiProbeRange(ctx context.Context, keys []string, from, to in
 		parts[i] = append(parts[i], k)
 	}
 	results := make([]map[string][]wave.Entry, len(r.shards))
-	err := r.fanQuery(ctx, func(i int, s backend) error {
+	err := r.fan(func(i int, s backend) error {
+		// A shard owning none of the keys is skipped before the breaker
+		// protocol: it must neither fail the batch when its breaker is
+		// open (the query never needed it) nor feed a no-op success
+		// into its failure count.
 		if len(parts[i]) == 0 {
 			return nil
 		}
-		m, err := s.MultiProbeRange(ctx, parts[i], from, to)
-		results[i] = m
+		err := r.shardCall(ctx, i, func(s backend) error {
+			m, err := s.MultiProbeRange(ctx, parts[i], from, to)
+			results[i] = m
+			return err
+		})
+		if errors.Is(err, errSkipped) {
+			return nil
+		}
 		return err
 	})
 	if err != nil {
