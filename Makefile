@@ -11,12 +11,15 @@ GO ?= go
 # journaled fleet under wire faults, torn acks, and a shard read
 # blackout never returns a wrong answer, under -race), and a
 # bench-record smoke (a one-transition recording must emit a
-# schema-valid BENCH_record.json).
+# schema-valid BENCH_record.json), and the obs smoke (the timeline,
+# SLO, and wavetop surfaces against both in-process fleets and a real
+# booted waved).
 .PHONY: check vet build test race bench-smoke metrics-smoke chaos-smoke \
-	shard-smoke netchaos-smoke bench-record bench-record-smoke bench-gate
+	shard-smoke netchaos-smoke bench-record bench-record-smoke bench-gate \
+	obs-smoke
 
 check: vet build race bench-smoke metrics-smoke chaos-smoke shard-smoke \
-	netchaos-smoke bench-record-smoke bench-gate
+	netchaos-smoke bench-record-smoke bench-gate obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +48,23 @@ shard-smoke:
 netchaos-smoke:
 	$(GO) test -race -count=1 -run 'TestNetChaosSoak|TestBreaker|TestClient' ./internal/server/ ./wave/shard/
 	$(GO) test -race -count=1 ./internal/netfault/
+
+# obs-smoke gates the observability plane: the race-enabled timeline /
+# SLO / chaos-exactly-once tests, the wavetop console tests, and a real
+# boot — start waved with events and SLO wired, render one wavetop
+# frame against it, and check the admin /events page answers.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObs|TestChaosTimeline' ./cmd/waved/
+	$(GO) test -race -count=1 ./cmd/wavetop/ ./internal/obs/
+	rm -rf .obs-smoke && mkdir -p .obs-smoke
+	$(GO) build -o .obs-smoke/waved ./cmd/waved
+	$(GO) build -o .obs-smoke/wavetop ./cmd/wavetop
+	./.obs-smoke/waved -addr 127.0.0.1:7461 -admin-addr 127.0.0.1:7462 \
+		-window 3 -indexes 2 -shards 2 & \
+	pid=$$!; trap 'kill $$pid' EXIT; sleep 1; \
+	./.obs-smoke/wavetop -addr 127.0.0.1:7461 -once | grep -q 'SHARDS' && \
+	./.obs-smoke/wavetop -addr 127.0.0.1:7461 -once | grep -q 'EVENTS'
+	rm -rf .obs-smoke
 
 # bench-record writes a full-length bench trajectory to bench/ for
 # regression tracking; compare two recordings with

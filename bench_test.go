@@ -9,6 +9,7 @@ import (
 	"waveindex/internal/core"
 	"waveindex/internal/experiments"
 	"waveindex/internal/index"
+	"waveindex/internal/obs"
 	"waveindex/internal/simdisk"
 	"waveindex/internal/workload"
 	"waveindex/wave"
@@ -347,7 +348,7 @@ func BenchmarkAblationParallelProbe(b *testing.B) {
 			tm := newSimTimer(idx)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := idx.Probe(context.Background(), vocab.Word(i % 500)); err != nil {
+				if _, err := idx.Probe(context.Background(), vocab.Word(i%500)); err != nil {
 					b.Fatal(err)
 				}
 				tm.lap()
@@ -425,6 +426,56 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 				if n == 0 {
 					b.Fatal("scan visited no entries")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkEventBusOverhead measures the observability plane's query-
+// path tax: the BenchmarkMetricsOverhead workload with the event
+// timeline, span→event adapter, and SLO engine wired the way waved
+// wires them, against the bare index. Every scan records into the SLO
+// engine's three decayed windows and flows through the SpanEvents
+// adapter (which drops non-slow query spans after one atomic load).
+// The ns/op gap is the per-query overhead and should stay under ~2%.
+func BenchmarkEventBusOverhead(b *testing.B) {
+	for _, mode := range []string{"baseline", "events"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := wave.Config{Window: 12, Indexes: 6, Scheme: wave.DEL, Update: wave.PackedShadow, Stores: 6}
+			var engine *obs.Engine
+			if mode == "events" {
+				bus := obs.NewBus(4096)
+				engine = obs.NewEngine(obs.Objectives{LatencyUS: 50_000}, bus)
+				// A high slow threshold, as in production: the adapter
+				// inspects every whole-query span but publishes none.
+				cfg.Trace = obs.NewSpanEvents(bus, time.Second, nil)
+			}
+			idx, err := wave.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { idx.Close() })
+			gen := workload.NewNewsGenerator(workload.NewsConfig{Seed: 9, ArticlesPerDay: 80, WordsPerArticle: 12})
+			for d := 1; d <= 12; d++ {
+				if err := idx.AddDay(d, gen.Day(d).Postings); err != nil {
+					b.Fatal(err)
+				}
+			}
+			from, to := idx.Window()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				n := 0
+				if err := idx.ScanRange(context.Background(), from, to, func(string, wave.Entry) bool {
+					n++
+					return true
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("scan visited no entries")
+				}
+				engine.Record("scan", time.Since(start), nil) // nil-safe no-op in baseline
 			}
 		})
 	}
@@ -836,7 +887,7 @@ func BenchmarkAblationBlockCache(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				// Zipf-hot query stream: mostly the top keys.
-				if _, err := idx.Probe(context.Background(), vocab.Word(i % 20)); err != nil {
+				if _, err := idx.Probe(context.Background(), vocab.Word(i%20)); err != nil {
 					b.Fatal(err)
 				}
 			}

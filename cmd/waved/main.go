@@ -12,6 +12,7 @@
 //	      [-read-timeout 0] [-shutdown-grace 5s]
 //	      [-max-inflight 0] [-admission-wait 0]
 //	      [-breaker-threshold 0] [-breaker-cooldown 0]
+//	      [-events 0] [-slo-latency-ms 0] [-slo-availability 0]
 //
 // With -shards N > 1 the daemon serves a hash-partitioned fleet of N
 // wave indexes behind the same protocol (see wave/shard): queries
@@ -28,11 +29,23 @@
 // DEGRADED annotation, everyone else gets a retryable UNAVAILABLE — and
 // is probed again after -breaker-cooldown (or closed by RECOVER).
 //
+// Every waved runs an always-on observability plane: a bounded event
+// timeline (wave transitions with their phase boundaries, journal
+// checkpoints and recoveries, breaker flips, admission sheds, degraded
+// replies, slow queries) served by the EVENTS wire command, and a
+// rolling-window SLO engine (per-command rate/error/latency over 1m,
+// 5m, and 1h with error-budget burn rates) served by SLO. -events sets
+// the timeline's ring capacity; -slo-latency-ms and -slo-availability
+// set the objectives. Watch it all live with the wavetop command.
+//
 // With -admin-addr an HTTP admin server runs alongside the line
 // protocol: /metrics (Prometheus text format, including the per-cause
-// work ledger), /healthz, /debug/pprof/*, and /debug/spans (recent
-// spans as Chrome trace JSON). With -trace-out the retained spans are
-// also written to the named file as Chrome trace JSON on shutdown.
+// work ledger and slo_* series), /healthz, /slo (the SLO report as
+// JSON), /events (the timeline as JSON, with since= cursors and wait=
+// long-polling), /debug/pprof/*, and /debug/spans (recent spans as
+// Chrome trace JSON with timeline events interleaved as instant
+// markers). With -trace-out the retained spans are also written to the
+// named file as Chrome trace JSON on shutdown.
 //
 // Try it:
 //
@@ -50,6 +63,7 @@ import (
 	"time"
 
 	"waveindex/internal/core"
+	"waveindex/internal/obs"
 	"waveindex/internal/server"
 	"waveindex/internal/telemetry"
 	"waveindex/wave"
@@ -107,6 +121,9 @@ type config struct {
 	admissionWait time.Duration
 	brkThreshold  int
 	brkCooldown   time.Duration
+	eventsCap     int                              // event-timeline ring capacity (0 = obs default, 4096)
+	sloLatencyMS  int                              // SLO latency objective in ms (0 = availability only)
+	sloAvail      float64                          // SLO availability objective (0 = 0.999 default)
 	logf          func(format string, args ...any) // nil silences logs
 }
 
@@ -115,14 +132,17 @@ type config struct {
 // server with its bound listener, and (optionally) the admin HTTP
 // server and span ring.
 type app struct {
-	cfg    config
-	srv    *server.Server
-	ln     net.Listener
-	admin  *telemetry.Server
-	sink   *telemetry.SpanSink
-	b      server.Backend
-	jr     *wave.Journaled
-	router *shard.Router
+	cfg        config
+	srv        *server.Server
+	ln         net.Listener
+	admin      *telemetry.Server
+	sink       *telemetry.SpanSink
+	b          server.Backend
+	jr         *wave.Journaled
+	router     *shard.Router
+	bus        *obs.Bus        // fleet-wide event timeline
+	slo        *obs.Engine     // rolling-window SLO engine
+	spanEvents *obs.SpanEvents // span → timeline-event adapter
 }
 
 // newApp builds the index and binds both listeners. On success the
@@ -158,7 +178,27 @@ func newApp(cfg config) (*app, error) {
 		SlowQueryThreshold: time.Duration(cfg.slowlogMS) * time.Millisecond,
 	}
 	a := &app{cfg: cfg}
+	// Observability plane: every waved runs the event timeline and SLO
+	// engine — they are a bounded ring and a few decayed counters, cheap
+	// enough to keep always-on. The spanEvents adapter turns transition,
+	// checkpoint, recovery, and slow-query spans into timeline events;
+	// its Work closure reads a.b lazily, after the backend is built.
+	a.bus = obs.NewBus(cfg.eventsCap)
+	a.slo = obs.NewEngine(obs.Objectives{
+		Availability: cfg.sloAvail,
+		LatencyUS:    int64(cfg.sloLatencyMS) * 1000,
+	}, a.bus)
+	a.spanEvents = obs.NewSpanEvents(a.bus, wcfg.SlowQueryThreshold,
+		func() []wave.CauseStats {
+			// Nil until the backend is built: opening recovery replays
+			// days (emitting transition spans) before a.b is assigned.
+			if a.b == nil {
+				return nil
+			}
+			return a.b.Work()
+		})
 	var tracers multiTracer
+	tracers = append(tracers, a.spanEvents)
 	if cfg.trace {
 		tracers = append(tracers, logTracer{log.New(os.Stderr, "trace: ", log.Lmicroseconds)})
 	}
@@ -179,6 +219,8 @@ func newApp(cfg config) (*app, error) {
 		AsyncIngest:   cfg.async,
 		MaxInFlight:   cfg.maxInFlight,
 		AdmissionWait: cfg.admissionWait,
+		Events:        a.bus,
+		SLO:           a.slo,
 	}
 	switch {
 	case cfg.shards > 1:
@@ -186,6 +228,12 @@ func newApp(cfg config) (*app, error) {
 			Shards:  cfg.shards,
 			Base:    wcfg,
 			Breaker: shard.BreakerConfig{Threshold: cfg.brkThreshold, Cooldown: cfg.brkCooldown},
+			OnBreakerChange: func(sh int, from, to shard.BreakerState) {
+				a.bus.Publish(obs.Event{
+					Type: obs.EventBreaker, Shard: sh,
+					Phase: to.String(), Cause: from.String(),
+				})
+			},
 		}
 		if cfg.journalDir != "" {
 			r, err := shard.OpenJournalDir(scfg, cfg.journalDir, wave.JournalOptions{CheckpointEvery: cfg.ckptEvery})
@@ -240,6 +288,8 @@ func newApp(cfg config) (*app, error) {
 			Work:    func() []wave.CauseStats { return a.b.Work() },
 			Health:  a.health,
 			Spans:   a.sink,
+			Events:  a.bus,
+			SLO:     a.slo.Report,
 		}
 		if a.router != nil {
 			topts.ShardMetrics = a.router.ShardMetrics
@@ -299,6 +349,9 @@ func (a *app) serve() error { return a.srv.Serve(a.ln) }
 func (a *app) shutdown(grace time.Duration) {
 	a.ln.Close()
 	a.srv.Shutdown(grace)
+	if a.bus != nil {
+		a.bus.Close()
+	}
 	if a.admin != nil {
 		a.admin.Close()
 	}
@@ -353,6 +406,9 @@ func main() {
 	admissionWait := flag.Duration("admission-wait", 0, "how long a query may queue for an admission slot before BUSY (0 = 10ms default)")
 	brkThreshold := flag.Int("breaker-threshold", 0, "consecutive failures opening a shard's circuit breaker (0 = breakers disabled; needs -shards > 1)")
 	brkCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 1s default)")
+	eventsCap := flag.Int("events", 0, "event-timeline ring capacity (0 = 4096 default; see EVENTS and /events)")
+	sloLatencyMS := flag.Int("slo-latency-ms", 0, "SLO latency objective in ms at the p99 (0 = availability objective only)")
+	sloAvail := flag.Float64("slo-availability", 0, "SLO availability objective, fraction of good requests (0 = 0.999 default)")
 	flag.Parse()
 
 	a, err := newApp(config{
@@ -378,6 +434,9 @@ func main() {
 		admissionWait: *admissionWait,
 		brkThreshold:  *brkThreshold,
 		brkCooldown:   *brkCooldown,
+		eventsCap:     *eventsCap,
+		sloLatencyMS:  *sloLatencyMS,
+		sloAvail:      *sloAvail,
 		logf:          log.Printf,
 	})
 	if err != nil {

@@ -37,7 +37,9 @@ type TraceEvent struct {
 	// Kind names the span: "probe", "probe.constituent", "mprobe",
 	// "mprobe.constituent", "scan", "scan.constituent",
 	// "transition.pre", "transition.work", "transition.post",
-	// "snapshot.save", "snapshot.load".
+	// "snapshot.save", "snapshot.load", and — from the journaled
+	// wrapper — "journal.checkpoint" and "journal.recovery" (Day is
+	// the last day covered; Ops the replayed-day count on recovery).
 	Kind string
 	// Start is when the span began; Duration its wall-clock length.
 	Start    time.Time

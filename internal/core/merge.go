@@ -158,9 +158,9 @@ func (h streamHeap) Less(i, j int) bool {
 	}
 	return h[i].slot < h[j].slot
 }
-func (h streamHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *streamHeap) Push(x any)        { *h = append(*h, x.(*scanStream)) }
-func (h *streamHeap) Pop() (x any)      { old := *h; n := len(old); x, *h = old[n-1], old[:n-1]; return }
+func (h streamHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x any)   { *h = append(*h, x.(*scanStream)) }
+func (h *streamHeap) Pop() (x any) { old := *h; n := len(old); x, *h = old[n-1], old[:n-1]; return }
 
 // consumeScanStreams merges the streams' key groups on the caller's
 // goroutine, invoking fn for every entry. It returns once fn asks to

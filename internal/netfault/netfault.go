@@ -69,6 +69,20 @@ const (
 	ActPartial
 )
 
+func (a Action) String() string {
+	switch a {
+	case ActError:
+		return "error"
+	case ActReset:
+		return "reset"
+	case ActBlackhole:
+		return "blackhole"
+	case ActPartial:
+		return "partial"
+	}
+	return "unknown"
+}
+
 // ErrInjected is the default error carried by plans armed with a nil
 // error.
 var ErrInjected = errors.New("netfault: injected fault")
@@ -142,6 +156,18 @@ type Set struct {
 	mu      sync.Mutex
 	plans   []*Fault
 	latency time.Duration
+	onFault func(op Op, act Action)
+}
+
+// OnFault registers a hook called each time an armed plan fires, with
+// the operation hit and the action taken. The hook runs on the
+// connection's goroutine outside the Set's lock, before the action is
+// applied; it must not block. Used to publish netfault injections onto
+// an observability timeline. A nil fn disables the hook.
+func (s *Set) OnFault(fn func(op Op, act Action)) {
+	s.mu.Lock()
+	s.onFault = fn
+	s.mu.Unlock()
 }
 
 // NewSet returns an empty fault script.
@@ -226,10 +252,13 @@ func (s *Set) check(op Op) *Fault {
 		return nil
 	}
 	s.mu.Lock()
-	plans := s.plans
+	plans, fn := s.plans, s.onFault
 	s.mu.Unlock()
 	for _, f := range plans {
 		if f.check(op) {
+			if fn != nil {
+				fn(op, f.act)
+			}
 			return f
 		}
 	}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Bus is a bounded, ordered event timeline. Publishers append under a
+// short critical section (assign a sequence number, write one ring
+// slot, swap a broadcast channel); readers replay by cursor with
+// Since and block for new events with Wait. When the ring wraps, the
+// oldest events are evicted and replays report exactly how many were
+// lost — the bus is loss-bounded, never silently gapped.
+//
+// A nil *Bus is valid everywhere and does nothing, so producers are
+// wired unconditionally.
+type Bus struct {
+	mu     sync.Mutex
+	ring   []Event
+	next   uint64        // next sequence number to assign (first is 1)
+	wake   chan struct{} // closed and replaced on every publish
+	now    func() time.Time
+	closed bool
+}
+
+// NewBus returns a bus holding the most recent capacity events.
+// Capacity <= 0 defaults to 4096.
+func NewBus(capacity int) *Bus {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Bus{
+		ring: make([]Event, 0, capacity),
+		next: 1,
+		wake: make(chan struct{}),
+		now:  time.Now,
+	}
+}
+
+// Publish stamps ev with the next sequence number and the current time
+// (unless the producer already set one) and appends it to the ring,
+// evicting the oldest event if full. It returns the assigned sequence
+// number; 0 on a nil bus.
+func (b *Bus) Publish(ev Event) uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0
+	}
+	ev.Seq = b.next
+	b.next++
+	if ev.Time.IsZero() {
+		ev.Time = b.now()
+	}
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, ev)
+	} else {
+		// Shift-free eviction: the ring is stored in seq order with the
+		// oldest at index (next-1-len) mod len ... keeping a plain
+		// sorted slice would memmove on every publish, so use the seq
+		// numbers themselves as the ring index.
+		b.ring[(ev.Seq-1)%uint64(cap(b.ring))] = ev
+	}
+	wake := b.wake
+	b.wake = make(chan struct{})
+	b.mu.Unlock()
+	close(wake)
+	return ev.Seq
+}
+
+// LastSeq returns the sequence number of the newest published event
+// (0 when none).
+func (b *Bus) LastSeq() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next - 1
+}
+
+// Since returns, in sequence order, every retained event with
+// Seq > after, plus the number of matching events that were already
+// evicted from the ring. dropped > 0 tells a replaying consumer its
+// cursor fell behind the ring; the events it does get are still
+// contiguous and ordered.
+func (b *Bus) Since(after uint64) (events []Event, dropped uint64) {
+	if b == nil {
+		return nil, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	last := b.next - 1
+	if last <= after {
+		return nil, 0
+	}
+	oldest := uint64(1)
+	if n := uint64(len(b.ring)); last > n {
+		oldest = last - n + 1
+	}
+	from := after + 1
+	if from < oldest {
+		dropped = oldest - from
+		from = oldest
+	}
+	events = make([]Event, 0, last-from+1)
+	for seq := from; seq <= last; seq++ {
+		events = append(events, b.at(seq))
+	}
+	return events, dropped
+}
+
+// at returns the retained event with the given sequence number.
+// Caller holds b.mu and guarantees seq is retained.
+func (b *Bus) at(seq uint64) Event {
+	if len(b.ring) < cap(b.ring) {
+		return b.ring[seq-1]
+	}
+	return b.ring[(seq-1)%uint64(len(b.ring))]
+}
+
+// Wait blocks until at least one event with Seq > after exists, then
+// returns as Since(after) would. It returns ctx.Err if the context
+// ends first. On a nil or closed bus it returns immediately.
+func (b *Bus) Wait(ctx context.Context, after uint64) (events []Event, dropped uint64, err error) {
+	if b == nil {
+		return nil, 0, nil
+	}
+	for {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return nil, 0, nil
+		}
+		if b.next-1 > after {
+			b.mu.Unlock()
+			ev, d := b.Since(after)
+			return ev, d, nil
+		}
+		wake := b.wake
+		b.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+// Close wakes all waiters and makes further publishes no-ops. It is
+// idempotent and safe on a nil bus.
+func (b *Bus) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	wake := b.wake
+	b.mu.Unlock()
+	close(wake)
+}
+
+// Subscription is a stateful cursor over the bus for pull consumers.
+type Subscription struct {
+	bus    *Bus
+	cursor uint64
+}
+
+// Subscribe returns a subscription positioned after the newest event:
+// Next delivers only events published from now on.
+func (b *Bus) Subscribe() *Subscription {
+	return &Subscription{bus: b, cursor: b.LastSeq()}
+}
+
+// SubscribeAt returns a subscription whose first Next delivers events
+// with Seq > after.
+func (b *Bus) SubscribeAt(after uint64) *Subscription {
+	return &Subscription{bus: b, cursor: after}
+}
+
+// Next blocks for the next batch of events and advances the cursor
+// past them. dropped counts events evicted before this consumer got to
+// them.
+func (s *Subscription) Next(ctx context.Context) (events []Event, dropped uint64, err error) {
+	events, dropped, err = s.bus.Wait(ctx, s.cursor)
+	if n := len(events); n > 0 {
+		s.cursor = events[n-1].Seq
+	}
+	return events, dropped, err
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/simdisk"
+)
+
+// SpanEvents is a core.Tracer that distils the span stream into
+// timeline events: transition phase boundaries (with the per-cause
+// simdisk work delta attached to each completed transition), journal
+// checkpoints and recoveries, and whole-query spans over the slow
+// threshold. It is meant to ride in a tracer fan-out next to the span
+// sink, so the same stream feeds both the flame view and the
+// timeline.
+type SpanEvents struct {
+	bus *Bus
+	// slowNS is the whole-query slow threshold in nanoseconds;
+	// 0 disables slow-query events.
+	slowNS atomic.Int64
+	// work supplies the fleet work ledger for transition attribution;
+	// nil disables work deltas.
+	work func() []simdisk.CauseStats
+
+	mu       sync.Mutex
+	lastWork map[simdisk.Cause]simdisk.CauseStats
+}
+
+// NewSpanEvents returns an adapter publishing to bus. slow is the
+// whole-query duration at or over which a query.slow event is
+// published (0 disables). work, when non-nil, is sampled at each
+// completed transition to attach per-cause disk-work deltas (pass the
+// backend's Work method).
+func NewSpanEvents(bus *Bus, slow time.Duration, work func() []simdisk.CauseStats) *SpanEvents {
+	s := &SpanEvents{bus: bus, work: work, lastWork: map[simdisk.Cause]simdisk.CauseStats{}}
+	s.slowNS.Store(int64(slow))
+	return s
+}
+
+// SetSlowThreshold changes the slow-query threshold at runtime
+// (0 disables).
+func (s *SpanEvents) SetSlowThreshold(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.slowNS.Store(int64(d))
+}
+
+// eventShard converts a span's 1-based shard tag (0 = unsharded) to
+// the event convention (0-based shard; unsharded reports shard 0).
+func eventShard(spanShard int) int {
+	if spanShard <= 0 {
+		return 0
+	}
+	return spanShard - 1
+}
+
+// TraceEvent implements core.Tracer.
+func (s *SpanEvents) TraceEvent(ev core.TraceEvent) {
+	if s == nil || s.bus == nil {
+		return
+	}
+	switch {
+	case strings.HasPrefix(ev.Kind, "transition."):
+		phase, ok := strings.CutPrefix(ev.Kind, "transition.")
+		if !ok || (phase != "pre" && phase != "work" && phase != "post") {
+			return // transition.build and friends are span-only detail
+		}
+		out := Event{
+			Type:       EventTransition,
+			Time:       ev.Start.Add(ev.Duration),
+			Shard:      eventShard(ev.Shard),
+			Phase:      phase,
+			Day:        ev.Day,
+			Ops:        ev.Ops,
+			DurationUS: ev.Duration.Microseconds(),
+		}
+		if phase == "work" {
+			out.Fields = s.workDelta()
+		}
+		s.bus.Publish(out)
+	case ev.Kind == "journal.checkpoint":
+		s.bus.Publish(Event{
+			Type:       EventCheckpoint,
+			Time:       ev.Start.Add(ev.Duration),
+			Shard:      eventShard(ev.Shard),
+			Day:        ev.Day,
+			DurationUS: ev.Duration.Microseconds(),
+		})
+	case ev.Kind == "journal.recovery":
+		s.bus.Publish(Event{
+			Type:       EventRecovery,
+			Time:       ev.Start.Add(ev.Duration),
+			Shard:      eventShard(ev.Shard),
+			Day:        ev.Day,
+			Ops:        ev.Ops,
+			DurationUS: ev.Duration.Microseconds(),
+		})
+	case ev.Constituent < 0 && !strings.Contains(ev.Kind, "."):
+		// Whole-query span ("probe", "mprobe", "scan").
+		slow := time.Duration(s.slowNS.Load())
+		if slow <= 0 || ev.Duration < slow {
+			return
+		}
+		out := Event{
+			Type:       EventSlowQuery,
+			Time:       ev.Start.Add(ev.Duration),
+			Shard:      eventShard(ev.Shard),
+			Cmd:        ev.Kind,
+			TraceID:    ev.TraceID,
+			DurationUS: ev.Duration.Microseconds(),
+		}
+		if ev.Err != nil {
+			out.Cause = ev.Err.Error()
+		}
+		s.bus.Publish(out)
+	}
+}
+
+// workDelta samples the work ledger and returns the per-cause delta
+// since the previous sample, as "cause: seeks/bytesRead/bytesWritten"
+// strings. Concurrent shard transitions share one fleet ledger, so
+// under overlap a delta may attribute a neighbour's work — the same
+// caveat the paper's aggregate "total work" measure carries.
+func (s *SpanEvents) workDelta() map[string]string {
+	if s.work == nil {
+		return nil
+	}
+	cur := s.work()
+	if len(cur) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]string{}
+	for _, row := range cur {
+		prev := s.lastWork[row.Cause]
+		s.lastWork[row.Cause] = row
+		d := simdisk.CauseStats{
+			Seeks:        row.Seeks - prev.Seeks,
+			BytesRead:    row.BytesRead - prev.BytesRead,
+			BytesWritten: row.BytesWritten - prev.BytesWritten,
+		}
+		if d.Seeks == 0 && d.BytesRead == 0 && d.BytesWritten == 0 {
+			continue
+		}
+		out[row.Cause.String()] = strconv.FormatInt(d.Seeks, 10) + "/" +
+			strconv.FormatInt(d.BytesRead, 10) + "/" +
+			strconv.FormatInt(d.BytesWritten, 10)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

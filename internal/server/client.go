@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"waveindex/internal/obs"
 	"waveindex/wave"
 )
 
@@ -794,9 +796,11 @@ func (c *Client) Metrics() (Metrics, error) {
 // SlowLogEntry is one parsed SLOWLOG row. Seeks, BytesRead,
 // BytesWritten and DiskUS are the simulated-disk work the query itself
 // performed (DiskUS in simulated microseconds); TraceID is the wire
-// trace id active when the query ran, if any.
+// trace id active when the query ran, if any. Shard is the 0-based
+// shard that served the query (0 on an unsharded server).
 type SlowLogEntry struct {
 	Kind         string
+	Shard        int
 	From, To     int
 	Keys         int
 	Entries      int
@@ -826,25 +830,26 @@ func (c *Client) SlowLog() ([]SlowLogEntry, error) {
 			}
 			f := strings.Fields(line)
 			switch {
-			case len(f) >= 13 && f[0] == "SLOW":
+			case len(f) >= 14 && f[0] == "SLOW":
 				e := SlowLogEntry{Kind: f[1]}
-				e.From, _ = strconv.Atoi(f[2])
-				e.To, _ = strconv.Atoi(f[3])
-				e.Keys, _ = strconv.Atoi(f[4])
-				e.Entries, _ = strconv.Atoi(f[5])
-				e.DurationUS, _ = strconv.ParseInt(f[6], 10, 64)
-				e.Seeks, _ = strconv.ParseInt(f[7], 10, 64)
-				e.BytesRead, _ = strconv.ParseInt(f[8], 10, 64)
-				e.BytesWritten, _ = strconv.ParseInt(f[9], 10, 64)
-				e.DiskUS, _ = strconv.ParseInt(f[10], 10, 64)
-				if f[11] != "-" {
-					e.TraceID = f[11]
-				}
+				e.Shard, _ = strconv.Atoi(f[2])
+				e.From, _ = strconv.Atoi(f[3])
+				e.To, _ = strconv.Atoi(f[4])
+				e.Keys, _ = strconv.Atoi(f[5])
+				e.Entries, _ = strconv.Atoi(f[6])
+				e.DurationUS, _ = strconv.ParseInt(f[7], 10, 64)
+				e.Seeks, _ = strconv.ParseInt(f[8], 10, 64)
+				e.BytesRead, _ = strconv.ParseInt(f[9], 10, 64)
+				e.BytesWritten, _ = strconv.ParseInt(f[10], 10, 64)
+				e.DiskUS, _ = strconv.ParseInt(f[11], 10, 64)
 				if f[12] != "-" {
-					e.Key = f[12]
+					e.TraceID = f[12]
 				}
-				if len(f) > 13 {
-					e.Err = strings.Join(f[13:], " ")
+				if f[13] != "-" {
+					e.Key = f[13]
+				}
+				if len(f) > 14 {
+					e.Err = strings.Join(f[14:], " ")
 				}
 				out = append(out, e)
 			case len(f) == 2 && f[0] == "END":
@@ -922,6 +927,224 @@ type WorkRow struct {
 	BytesRead    int64
 	BytesWritten int64
 	SimUS        int64
+}
+
+// EventsPage is one EVENTS reply: a slice of the server's event
+// timeline plus the resume cursor. Pass Last back as the next call's
+// since to continue where this page ended; Dropped > 0 means the
+// cursor had fallen behind the server's ring and that many events
+// were lost before the first one returned.
+type EventsPage struct {
+	Events  []obs.Event
+	Last    uint64
+	Dropped uint64
+}
+
+// Events fetches the server's event timeline after the since cursor
+// (0 for everything retained). max > 0 caps the page size; Last still
+// resumes correctly after a truncated page.
+func (c *Client) Events(since uint64, max int) (EventsPage, error) {
+	var page EventsPage
+	err := c.do(func() error {
+		page = EventsPage{}
+		cmd := fmt.Sprintf("EVENTS since=%d", since)
+		if max > 0 {
+			cmd += fmt.Sprintf(" max=%d", max)
+		}
+		fmt.Fprintln(c.w, cmd)
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			f := strings.Fields(line)
+			switch {
+			case len(f) >= 5 && f[0] == "EVENT":
+				ev, err := obs.ParseWireEvent(f[1:])
+				if err != nil {
+					return &TransportError{Err: fmt.Errorf("bad event line %q: %w", line, err)}
+				}
+				page.Events = append(page.Events, ev)
+			case len(f) == 4 && f[0] == "END":
+				want, _ := strconv.Atoi(f[1])
+				if want != len(page.Events) {
+					return &TransportError{Err: fmt.Errorf("events ended with %d rows, header said %d", len(page.Events), want)}
+				}
+				page.Last, _ = strconv.ParseUint(strings.TrimPrefix(f[2], "last="), 10, 64)
+				page.Dropped, _ = strconv.ParseUint(strings.TrimPrefix(f[3], "dropped="), 10, 64)
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
+			}
+		}
+	})
+	if err != nil {
+		return EventsPage{}, err
+	}
+	return page, nil
+}
+
+// SLO fetches the server's SLO report: objectives plus per-command
+// windowed RED stats and burn rates.
+func (c *Client) SLO() (obs.Report, error) {
+	var rep obs.Report
+	err := c.do(func() error {
+		rep = obs.Report{}
+		fmt.Fprintln(c.w, "SLO")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		rows := 0
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			f := strings.Fields(line)
+			switch {
+			case len(f) == 5 && f[0] == "OBJ":
+				for _, kv := range f[1:] {
+					k, v, _ := strings.Cut(kv, "=")
+					switch k {
+					case "availability":
+						rep.Objectives.Availability, _ = strconv.ParseFloat(v, 64)
+					case "quantile":
+						rep.Objectives.LatencyQuantile, _ = strconv.ParseFloat(v, 64)
+					case "latencyus":
+						rep.Objectives.LatencyUS, _ = strconv.ParseInt(v, 10, 64)
+					case "burnalert":
+						rep.Objectives.BurnAlert, _ = strconv.ParseFloat(v, 64)
+					}
+				}
+			case len(f) == 9 && f[0] == "SLO":
+				w := obs.WindowStats{Window: f[2]}
+				w.RateMilli, _ = strconv.ParseInt(f[3], 10, 64)
+				w.ErrMilli, _ = strconv.ParseInt(f[4], 10, 64)
+				w.SlowMilli, _ = strconv.ParseInt(f[5], 10, 64)
+				w.QuantileUS, _ = strconv.ParseInt(f[6], 10, 64)
+				w.BurnMilli, _ = strconv.ParseInt(f[7], 10, 64)
+				w.Alerting = f[8] == "1"
+				if n := len(rep.Commands); n == 0 || rep.Commands[n-1].Cmd != f[1] {
+					rep.Commands = append(rep.Commands, obs.CommandSLO{Cmd: f[1]})
+				}
+				cs := &rep.Commands[len(rep.Commands)-1]
+				cs.Windows = append(cs.Windows, w)
+				rows++
+			case len(f) == 2 && f[0] == "END":
+				want, _ := strconv.Atoi(f[1])
+				if want != rows {
+					return &TransportError{Err: fmt.Errorf("slo ended with %d rows, header said %d", rows, want)}
+				}
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
+			}
+		}
+	})
+	if err != nil {
+		return obs.Report{}, err
+	}
+	return rep, nil
+}
+
+// ShardMetrics is one shard's slice of a METRICS SHARDS reply. The
+// breaker fields are empty/zero on servers without shard breakers.
+type ShardMetrics struct {
+	Shard           int
+	Metrics         Metrics
+	BreakerState    string
+	BreakerFailures int
+}
+
+// ShardMetrics fetches per-shard metrics snapshots plus breaker
+// positions (METRICS SHARDS). An unsharded server reports one slice as
+// shard 0.
+func (c *Client) ShardMetrics() ([]ShardMetrics, error) {
+	var out []ShardMetrics
+	err := c.do(func() error {
+		out = nil
+		byShard := map[int]*ShardMetrics{}
+		get := func(i int) *ShardMetrics {
+			if sm, ok := byShard[i]; ok {
+				return sm
+			}
+			sm := &ShardMetrics{Shard: i, Metrics: Metrics{Counters: map[string]int64{}, Gauges: map[string]int64{}}}
+			byShard[i] = sm
+			return sm
+		}
+		fmt.Fprintln(c.w, "METRICS SHARDS")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		seen := 0
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			f := strings.Fields(line)
+			switch {
+			case len(f) >= 4 && f[0] == "SHARD":
+				shard, err := strconv.Atoi(f[1])
+				if err != nil {
+					return &TransportError{Err: fmt.Errorf("bad shard line %q", line)}
+				}
+				sm := get(shard)
+				switch {
+				case len(f) == 5 && f[2] == "COUNTER":
+					v, _ := strconv.ParseInt(f[4], 10, 64)
+					sm.Metrics.Counters[f[3]] = v
+				case len(f) == 5 && f[2] == "GAUGE":
+					v, _ := strconv.ParseInt(f[4], 10, 64)
+					sm.Metrics.Gauges[f[3]] = v
+				case len(f) == 12 && f[2] == "HIST":
+					var vs [8]int64
+					for i := range vs {
+						vs[i], _ = strconv.ParseInt(f[i+4], 10, 64)
+					}
+					sm.Metrics.Histograms = append(sm.Metrics.Histograms, HistogramRow{
+						Name: f[3], Count: vs[0], Sum: vs[1], Min: vs[2], Max: vs[3],
+						P50: vs[4], P90: vs[5], P95: vs[6], P99: vs[7],
+					})
+				case len(f) == 5 && f[2] == "BREAKER":
+					sm.BreakerState = f[3]
+					sm.BreakerFailures, _ = strconv.Atoi(f[4])
+				default:
+					return &TransportError{Err: fmt.Errorf("bad shard line %q", line)}
+				}
+				seen++
+			case len(f) == 2 && f[0] == "END":
+				want, _ := strconv.Atoi(f[1])
+				if want != seen {
+					return &TransportError{Err: fmt.Errorf("shard metrics ended with %d rows, header said %d", seen, want)}
+				}
+				shards := make([]int, 0, len(byShard))
+				for i := range byShard {
+					shards = append(shards, i)
+				}
+				sort.Ints(shards)
+				for _, i := range shards {
+					out = append(out, *byShard[i])
+				}
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Work fetches the server's work ledger: per-cause simulated-disk

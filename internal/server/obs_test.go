@@ -1,0 +1,255 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"waveindex/internal/obs"
+	"waveindex/wave"
+	"waveindex/wave/shard"
+)
+
+// startObsServer boots a server over the given backend with an event
+// bus and SLO engine wired, returning a dialled client plus the bus.
+func startObsServer(t *testing.T, b Backend, opts Options) (*Client, *obs.Bus) {
+	t.Helper()
+	bus := obs.NewBus(128)
+	opts.Events = bus
+	opts.SLO = obs.NewEngine(obs.Objectives{}, bus)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewBackend(b, opts)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		l.Close()
+		<-done
+		b.Close()
+	})
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, bus
+}
+
+func obsIndex(t *testing.T) *wave.Index {
+	t.Helper()
+	idx, err := wave.New(wave.Config{Window: 4, Indexes: 2, Scheme: wave.REINDEX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestEventsCommandPagingAndCursor(t *testing.T) {
+	c, bus := startObsServer(t, obsIndex(t), Options{})
+	for i := 0; i < 5; i++ {
+		bus.Publish(obs.Event{Type: obs.EventShed, Shard: -1, Cmd: "probe"})
+	}
+	page, err := c.Events(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 5 || page.Last != 5 || page.Dropped != 0 {
+		t.Fatalf("Events(0,0) = %d events last=%d dropped=%d, want 5/5/0",
+			len(page.Events), page.Last, page.Dropped)
+	}
+	for i, ev := range page.Events {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Type != obs.EventShed || ev.Shard != -1 || ev.Cmd != "probe" {
+			t.Fatalf("event round-trip mangled: %+v", ev)
+		}
+	}
+	// Cursor resume: everything after seq 3.
+	page, err = c.Events(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 2 || page.Events[0].Seq != 4 {
+		t.Fatalf("Events(3,0) = %d events starting %d, want 2 starting 4",
+			len(page.Events), page.Events[0].Seq)
+	}
+	// max= truncation keeps Last resumable.
+	page, err = c.Events(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 2 || page.Last != 2 {
+		t.Fatalf("Events(0,2) = %d events last=%d, want 2/2", len(page.Events), page.Last)
+	}
+	if page, err = c.Events(page.Last, 0); err != nil || len(page.Events) != 3 {
+		t.Fatalf("resume after truncation = %d events (%v), want 3", len(page.Events), err)
+	}
+}
+
+func TestEventsCommandWithoutBusErrs(t *testing.T) {
+	idx := obsIndex(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx)
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close(); l.Close(); idx.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Events(0, 0); err == nil {
+		t.Fatal("EVENTS without a bus should error")
+	}
+}
+
+func TestSLOCommandReportsTraffic(t *testing.T) {
+	c, _ := startObsServer(t, obsIndex(t), Options{})
+	for day := 1; day <= 4; day++ {
+		if err := c.AddDay(day, postingsFor(day, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Probe("k1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := c.SLO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Objectives.Availability != 0.999 || rep.Objectives.BurnAlert != 2 {
+		t.Fatalf("objectives = %+v, want defaults", rep.Objectives)
+	}
+	byCmd := map[string]obs.CommandSLO{}
+	for _, cs := range rep.Commands {
+		byCmd[cs.Cmd] = cs
+	}
+	for _, cmd := range []string{"addday", "probe"} {
+		cs, ok := byCmd[cmd]
+		if !ok {
+			t.Fatalf("SLO report missing %q (have %v)", cmd, rep.Commands)
+		}
+		if len(cs.Windows) != 3 {
+			t.Fatalf("%s has %d windows, want 3", cmd, len(cs.Windows))
+		}
+		if cs.Windows[0].Window != "1m" || cs.Windows[0].RateMilli <= 0 {
+			t.Fatalf("%s 1m window = %+v, want positive rate", cmd, cs.Windows[0])
+		}
+	}
+}
+
+// shardedBackend builds a loaded 3-shard router with breakers armed.
+func shardedBackend(t *testing.T) *shard.Router {
+	t.Helper()
+	r, err := shard.New(shard.Config{
+		Shards:  3,
+		Base:    wave.Config{Window: 4, Indexes: 2, Scheme: wave.REINDEX},
+		Breaker: shard.BreakerConfig{Threshold: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestShardMetricsCommand(t *testing.T) {
+	r := shardedBackend(t)
+	c, _ := startObsServer(t, r, Options{})
+	for day := 1; day <= 5; day++ {
+		if err := c.AddDay(day, postingsFor(day, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Probe("k1"); err != nil {
+		t.Fatal(err)
+	}
+	sms, err := c.ShardMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sms) != 3 {
+		t.Fatalf("ShardMetrics returned %d shards, want 3", len(sms))
+	}
+	for i, sm := range sms {
+		if sm.Shard != i {
+			t.Fatalf("shard %d reported as %d", i, sm.Shard)
+		}
+		if sm.Metrics.Counters["ingest_days_total"] != 5 {
+			t.Errorf("shard %d ingest_days_total = %d, want 5",
+				i, sm.Metrics.Counters["ingest_days_total"])
+		}
+		if sm.BreakerState != "closed" || sm.BreakerFailures != 0 {
+			t.Errorf("shard %d breaker = %s/%d, want closed/0",
+				i, sm.BreakerState, sm.BreakerFailures)
+		}
+	}
+}
+
+func TestShardMetricsUnshardedFallback(t *testing.T) {
+	c, _ := startObsServer(t, obsIndex(t), Options{})
+	if err := c.AddDay(1, postingsFor(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	sms, err := c.ShardMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sms) != 1 || sms[0].Shard != 0 {
+		t.Fatalf("unsharded ShardMetrics = %+v, want one shard-0 slice", sms)
+	}
+	if sms[0].BreakerState != "" {
+		t.Errorf("unsharded breaker state = %q, want empty", sms[0].BreakerState)
+	}
+}
+
+// TestSlowLogCarriesShard checks the SLOWLOG wire rows carry the
+// 0-based shard from the router's merged log, and that entries from
+// different shards interleave by recency.
+func TestSlowLogCarriesShard(t *testing.T) {
+	r := shardedBackend(t)
+	c, _ := startObsServer(t, r, Options{})
+	for day := 1; day <= 5; day++ {
+		if err := c.AddDay(day, postingsFor(day, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetSlowQueryThreshold(time.Nanosecond) // everything is slow
+	keyShard := map[string]int{}
+	for _, k := range []string{"k0", "k1", "k2"} {
+		keyShard[k] = r.ShardFor(k)
+		if _, err := c.Probe(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log, err := c.SlowLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) < 3 {
+		t.Fatalf("slowlog has %d rows, want >= 3", len(log))
+	}
+	seen := map[string]int{}
+	for _, e := range log {
+		if e.Key != "" {
+			seen[e.Key] = e.Shard
+		}
+	}
+	for k, want := range keyShard {
+		got, ok := seen[k]
+		if !ok {
+			t.Errorf("slowlog missing entry for %s", k)
+			continue
+		}
+		if got != want {
+			t.Errorf("slowlog entry for %s tagged shard %d, want %d", k, got, want)
+		}
+	}
+}

@@ -21,7 +21,10 @@
 //	TOPK <k>                    k most frequent keys in the window
 //	WINDOW                      current window bounds
 //	STATS                       scheme, days indexed, storage bytes
-//	METRICS                     metrics snapshot
+//	METRICS                     metrics snapshot (fleet rollup)
+//	METRICS SHARDS              per-shard snapshots + breaker positions
+//	EVENTS [since=<seq>] [max=<n>]  replay the event timeline after seq
+//	SLO                         per-command SLO windows and burn rates
 //	SLOWLOG                     slow-query log, most recent first
 //	SLOWLOG <ms>                set the slow-query threshold (0 disables)
 //	WORK                        per-cause disk work ledger
@@ -44,12 +47,19 @@
 // terminated by "END <nkeys>". METRICS streams "COUNTER <name> <v>",
 // "GAUGE <name> <v>", and
 // "HIST <name> <count> <sum> <min> <max> <p50> <p90> <p95> <p99>" lines
-// (histograms in microseconds), terminated by "END <n>". SLOWLOG streams
-// "SLOW <kind> <from> <to> <keys> <entries> <us> <seeks> <bytesRead>
-// <bytesWritten> <diskus> <trace|-> <key|-> [err]" lines terminated by
-// "END <n>". WORK streams
+// (histograms in microseconds), terminated by "END <n>". METRICS SHARDS
+// streams the same record shapes prefixed "SHARD <i>", plus one
+// "SHARD <i> BREAKER <state> <failures>" line per shard when breakers
+// run. SLOWLOG streams
+// "SLOW <kind> <shard> <from> <to> <keys> <entries> <us> <seeks>
+// <bytesRead> <bytesWritten> <diskus> <trace|-> <key|-> [err]" lines
+// terminated by "END <n>". WORK streams
 // "WORK <cause> <seeks> <bytesRead> <bytesWritten> <simus>" lines
-// terminated by "END <n>".
+// terminated by "END <n>". EVENTS streams
+// "EVENT <seq> <unix_us> <type> <shard> [k=v ...]" lines terminated by
+// "END <n> last=<seq> dropped=<d>"; SLO streams one "OBJ ..." line and
+// "SLO <cmd> <window> <rateMilli> <errMilli> <slowMilli> <quantileUs>
+// <burnMilli> <alerting>" lines terminated by "END <n>".
 //
 // Under PARTIAL on, query replies are preceded by zero or more
 // "DEGRADED <shard> <shards> <cause>" lines naming the keyspace slices
@@ -79,7 +89,9 @@ import (
 	"time"
 
 	"waveindex/internal/metrics"
+	"waveindex/internal/obs"
 	"waveindex/wave"
+	"waveindex/wave/shard"
 )
 
 // Options tunes connection handling. The zero value keeps the historical
@@ -116,6 +128,14 @@ type Options struct {
 	// RetryAfter is the backoff hint carried by BUSY errors. Zero
 	// defaults to 50ms.
 	RetryAfter time.Duration
+	// Events, when set, is the fleet event bus: the server publishes
+	// admission sheds, unavailable replies, and degraded slices onto
+	// it, and serves the timeline over the EVENTS command. Nil
+	// disables both (EVENTS answers ERR).
+	Events *obs.Bus
+	// SLO, when set, receives one Record per query and ingest command
+	// and is served over the SLO command. Nil disables both.
+	SLO *obs.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -353,16 +373,27 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	// query wraps the read commands with admission control: a shed query
 	// never reaches the backend and reports BUSY with the retry hint.
-	query := func(f func() error) error {
+	// Every outcome — shed included, since a shed spends error budget —
+	// is recorded into the SLO engine under the command's wire name.
+	query := func(name string, f func() error) error {
+		start := time.Now()
 		if !s.lim.acquire() {
 			s.reg.Counter("server_busy_total").Inc()
-			return &BusyError{RetryAfter: s.opts.RetryAfter}
+			err := &BusyError{RetryAfter: s.opts.RetryAfter}
+			s.opts.SLO.Record(name, time.Since(start), err)
+			s.opts.Events.Publish(obs.Event{
+				Type: obs.EventShed, Shard: -1, Cmd: name, TraceID: traceID,
+				Value: int64(s.opts.MaxInFlight),
+			})
+			return err
 		}
 		defer s.lim.release()
 		s.reg.Counter("server_queries_total").Inc()
 		s.reg.Gauge("server_inflight_queries").Add(1)
 		defer s.reg.Gauge("server_inflight_queries").Add(-1)
-		return f()
+		err := f()
+		s.opts.SLO.Record(name, time.Since(start), err)
+		return err
 	}
 	for {
 		select {
@@ -398,15 +429,15 @@ func (s *Server) handle(conn net.Conn) {
 		case "FLUSH":
 			err = s.flushIngest(out)
 		case "PROBE":
-			err = query(func() error { return s.probe(qctx(), out, fields[1:], false) })
+			err = query("probe", func() error { return s.probe(qctx(), out, fields[1:], false) })
 		case "PROBERANGE":
-			err = query(func() error { return s.probe(qctx(), out, fields[1:], true) })
+			err = query("proberange", func() error { return s.probe(qctx(), out, fields[1:], true) })
 		case "MPROBE":
-			err = query(func() error { return s.mprobe(qctx(), out, fields[1:]) })
+			err = query("mprobe", func() error { return s.mprobe(qctx(), out, fields[1:]) })
 		case "COUNT":
-			err = query(func() error { return s.count(qctx(), out, fields[1:]) })
+			err = query("count", func() error { return s.count(qctx(), out, fields[1:]) })
 		case "TOPK":
-			err = query(func() error { return s.topk(qctx(), out, fields[1:]) })
+			err = query("topk", func() error { return s.topk(qctx(), out, fields[1:]) })
 		case "PARTIAL":
 			switch {
 			case len(fields) == 2 && strings.EqualFold(fields[1], "on"):
@@ -439,7 +470,15 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(out, "OK scheme=%s days=%d bytes=%d window=%d..%d\n",
 				st.Scheme, st.DaysIndexed, st.ConstituentBytes, st.WindowFrom, st.WindowTo)
 		case "METRICS":
-			s.metrics(out)
+			if len(fields) == 2 && strings.EqualFold(fields[1], "SHARDS") {
+				s.shardMetrics(out)
+			} else {
+				s.metrics(out)
+			}
+		case "EVENTS":
+			err = s.events(out, fields[1:])
+		case "SLO":
+			err = s.slo(out)
 		case "SLOWLOG":
 			err = s.slowlog(out, fields[1:])
 		case "HEALTH":
@@ -455,6 +494,10 @@ func (s *Server) handle(conn net.Conn) {
 			// type it (retryable) without matching on message text.
 			if errors.Is(err, wave.ErrUnavailable) {
 				s.reg.Counter("server_unavailable_total").Inc()
+				s.opts.Events.Publish(obs.Event{
+					Type: obs.EventUnavailable, Shard: -1,
+					Cmd: strings.ToLower(cmd), TraceID: traceID, Cause: msg,
+				})
 				fmt.Fprintf(out, "ERR UNAVAILABLE %s\n", msg)
 			} else {
 				fmt.Fprintf(out, "ERR %s\n", msg)
@@ -468,14 +511,19 @@ func (s *Server) handle(conn net.Conn) {
 
 // emitDegraded streams the query's degraded-keyspace annotation, one
 // "DEGRADED <shard> <shards> <cause>" line per skipped slice, ahead of
-// the command's normal reply. Only connections that issued PARTIAL on
-// carry a report, so legacy clients never see these lines.
-func emitDegraded(ctx context.Context, out *bufio.Writer) {
+// the command's normal reply, and mirrors each slice onto the event
+// bus. Only connections that issued PARTIAL on carry a report, so
+// legacy clients never see these lines.
+func (s *Server) emitDegraded(ctx context.Context, out *bufio.Writer, cmd string) {
 	rep := wave.PartialFromContext(ctx)
 	if rep == nil {
 		return
 	}
 	for _, sl := range rep.Degraded() {
+		s.opts.Events.Publish(obs.Event{
+			Type: obs.EventDegraded, Shard: sl.Shard, Cmd: cmd,
+			Cause: sl.Cause, TraceID: wave.TraceIDFrom(ctx),
+		})
 		cause := strings.ReplaceAll(sl.Cause, " ", "-")
 		if cause == "" {
 			cause = "-"
@@ -540,6 +588,7 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 			return nil
 		}
 	}
+	start := time.Now()
 	s.mu.Lock()
 	if s.opts.AsyncIngest {
 		err = s.b.AddDayAsync(day, postings)
@@ -547,6 +596,7 @@ func (s *Server) addDay(conn net.Conn, in *bufio.Scanner, out *bufio.Writer, arg
 		err = s.b.AddDay(day, postings)
 	}
 	s.mu.Unlock()
+	s.opts.SLO.Record("addday", time.Since(start), err)
 	if err != nil {
 		// Only applied batches are remembered: a failed attempt must
 		// stay retryable under the same ID.
@@ -651,7 +701,11 @@ func (s *Server) probe(ctx context.Context, out *bufio.Writer, args []string, ra
 	if err != nil {
 		return err
 	}
-	emitDegraded(ctx, out)
+	name := "probe"
+	if ranged {
+		name = "proberange"
+	}
+	s.emitDegraded(ctx, out, name)
 	for _, e := range es {
 		fmt.Fprintf(out, "ENTRY %d %d %d\n", e.Day, e.RecordID, e.Aux)
 	}
@@ -675,7 +729,7 @@ func (s *Server) mprobe(ctx context.Context, out *bufio.Writer, args []string) e
 	if err != nil {
 		return err
 	}
-	emitDegraded(ctx, out)
+	s.emitDegraded(ctx, out, "mprobe")
 	keys := make([]string, 0, len(res))
 	for k := range res {
 		keys = append(keys, k)
@@ -714,7 +768,7 @@ func (s *Server) count(ctx context.Context, out *bufio.Writer, args []string) er
 	if err != nil {
 		return err
 	}
-	emitDegraded(ctx, out)
+	s.emitDegraded(ctx, out, "count")
 	fmt.Fprintf(out, "OK %d\n", n)
 	return nil
 }
@@ -737,6 +791,109 @@ func (s *Server) metrics(out *bufio.Writer) {
 		n++
 	}
 	fmt.Fprintf(out, "END %d\n", n)
+}
+
+// shardMetrics streams per-shard metrics snapshots plus breaker
+// positions: "SHARD <i> COUNTER|GAUGE|HIST ..." lines in the METRICS
+// formats, and one "SHARD <i> BREAKER <state> <failures>" line per
+// shard when the backend runs breakers. An unsharded backend streams
+// its single snapshot as shard 0, so consumers need no special case.
+func (s *Server) shardMetrics(out *bufio.Writer) {
+	var snaps []wave.MetricsSnapshot
+	if sm, ok := s.b.(interface{ ShardMetrics() []wave.MetricsSnapshot }); ok {
+		snaps = sm.ShardMetrics()
+	} else {
+		snaps = []wave.MetricsSnapshot{s.b.Metrics()}
+	}
+	n := 0
+	for i, m := range snaps {
+		for _, c := range m.Counters {
+			fmt.Fprintf(out, "SHARD %d COUNTER %s %d\n", i, c.Name, c.Value)
+			n++
+		}
+		for _, g := range m.Gauges {
+			fmt.Fprintf(out, "SHARD %d GAUGE %s %d\n", i, g.Name, g.Value)
+			n++
+		}
+		for _, h := range m.Histograms {
+			fmt.Fprintf(out, "SHARD %d HIST %s %d %d %d %d %d %d %d %d\n",
+				i, h.Name, h.Count, h.Sum, h.Min, h.Max,
+				h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.95), h.Quantile(0.99))
+			n++
+		}
+	}
+	if bs, ok := s.b.(interface{ BreakerStates() []shard.BreakerInfo }); ok {
+		for _, bi := range bs.BreakerStates() {
+			fmt.Fprintf(out, "SHARD %d BREAKER %s %d\n", bi.Shard, bi.State, bi.Failures)
+			n++
+		}
+	}
+	fmt.Fprintf(out, "END %d\n", n)
+}
+
+// events streams the retained event timeline after an optional cursor:
+// "EVENT <seq> <unix_us> <type> <shard> [k=v ...]" lines terminated by
+// "END <n> last=<seq> dropped=<d>". Pass last back as since= to
+// resume; dropped > 0 means the cursor fell behind the ring.
+func (s *Server) events(out *bufio.Writer, args []string) error {
+	if s.opts.Events == nil {
+		return errors.New("EVENTS requires the event bus (start waved with -events)")
+	}
+	var since uint64
+	max := 0
+	for _, a := range args {
+		var err error
+		switch {
+		case strings.HasPrefix(a, "since="):
+			since, err = strconv.ParseUint(a[len("since="):], 10, 64)
+		case strings.HasPrefix(a, "max="):
+			max, err = strconv.Atoi(a[len("max="):])
+		default:
+			return errors.New("usage: EVENTS [since=<seq>] [max=<n>]")
+		}
+		if err != nil {
+			return fmt.Errorf("bad argument %q", a)
+		}
+	}
+	evs, dropped := s.opts.Events.Since(since)
+	if max > 0 && len(evs) > max {
+		evs = evs[:max]
+	}
+	last := since + dropped
+	for _, ev := range evs {
+		fmt.Fprintln(out, ev.WireLine())
+		last = ev.Seq
+	}
+	fmt.Fprintf(out, "END %d last=%d dropped=%d\n", len(evs), last, dropped)
+	return nil
+}
+
+// slo streams the SLO report: one "OBJ ..." line with the objectives,
+// then one "SLO <cmd> <window> <rateMilli> <errMilli> <slowMilli>
+// <quantileUs> <burnMilli> <alerting>" line per command×window,
+// terminated by "END <n>".
+func (s *Server) slo(out *bufio.Writer) error {
+	if s.opts.SLO == nil {
+		return errors.New("SLO requires the SLO engine (start waved with -slo)")
+	}
+	rep := s.opts.SLO.Report()
+	o := rep.Objectives
+	fmt.Fprintf(out, "OBJ availability=%g quantile=%g latencyus=%d burnalert=%g\n",
+		o.Availability, o.LatencyQuantile, o.LatencyUS, o.BurnAlert)
+	n := 0
+	for _, c := range rep.Commands {
+		for _, w := range c.Windows {
+			alert := 0
+			if w.Alerting {
+				alert = 1
+			}
+			fmt.Fprintf(out, "SLO %s %s %d %d %d %d %d %d\n",
+				c.Cmd, w.Window, w.RateMilli, w.ErrMilli, w.SlowMilli, w.QuantileUS, w.BurnMilli, alert)
+			n++
+		}
+	}
+	fmt.Fprintf(out, "END %d\n", n)
+	return nil
 }
 
 // work streams the index's per-cause disk work ledger.
@@ -762,7 +919,7 @@ func (s *Server) slowlog(out *bufio.Writer, args []string) error {
 			if trace == "" {
 				trace = "-"
 			}
-			fmt.Fprintf(out, "SLOW %s %d %d %d %d %d %d %d %d %d %s %s", q.Kind, q.From, q.To,
+			fmt.Fprintf(out, "SLOW %s %d %d %d %d %d %d %d %d %d %d %s %s", q.Kind, q.Shard, q.From, q.To,
 				q.Keys, q.Entries, q.Duration.Microseconds(),
 				q.Seeks, q.BytesRead, q.BytesWritten, q.DiskTime.Microseconds(), trace, key)
 			if q.Err != "" {
@@ -798,7 +955,7 @@ func (s *Server) topk(ctx context.Context, out *bufio.Writer, args []string) err
 	if err != nil {
 		return err
 	}
-	emitDegraded(ctx, out)
+	s.emitDegraded(ctx, out, "topk")
 	for _, e := range top {
 		fmt.Fprintf(out, "KEY %s %d\n", e.Key, e.Count)
 	}

@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"waveindex/internal/obs"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`quo"te`, `quo\"te`},
+		{`back\slash`, `back\\slash`},
+		{"new\nline", `new\nline`},
+		{`both\"`, `both\\\"`},
+	} {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestHelpTypeHeaders checks every family in a full exposition is led
+// by matched # HELP and # TYPE lines — the satellite contract that the
+// output parses under a strict Prometheus scraper.
+func TestHelpTypeHeaders(t *testing.T) {
+	bus := obs.NewBus(16)
+	eng := obs.NewEngine(obs.Objectives{}, bus)
+	eng.Record("probe", time.Millisecond, nil)
+	var buf bytes.Buffer
+	if err := WriteSLO(&buf, eng.Report()); err != nil {
+		t.Fatal(err)
+	}
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 3 && f[0] == "#" && f[1] == "HELP" {
+			helped[f[2]] = true
+		}
+		if len(f) >= 4 && f[0] == "#" && f[1] == "TYPE" {
+			typed[f[2]] = true
+		}
+		if len(f) >= 2 && !strings.HasPrefix(line, "#") && line != "" {
+			name := f[0]
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			if !helped[name] || !typed[name] {
+				t.Errorf("sample %q not preceded by # HELP/# TYPE", line)
+			}
+		}
+	}
+	for _, fam := range []string{"slo_request_rate", "slo_error_ratio", "slo_slow_ratio",
+		"slo_latency_quantile_us", "slo_burn_ratio"} {
+		if !helped[fam] || !typed[fam] {
+			t.Errorf("family %s missing HELP/TYPE header", fam)
+		}
+	}
+}
+
+func TestWriteSLOSeries(t *testing.T) {
+	bus := obs.NewBus(16)
+	eng := obs.NewEngine(obs.Objectives{LatencyUS: 1000}, bus)
+	for i := 0; i < 20; i++ {
+		eng.Record("probe", 100*time.Microsecond, nil)
+	}
+	eng.Record("probe", time.Second, errors.New("boom")) // slow AND failed
+	var buf bytes.Buffer
+	if err := WriteSLO(&buf, eng.Report()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`slo_request_rate{cmd="probe",window="1m"}`,
+		`slo_request_rate{cmd="probe",window="5m"}`,
+		`slo_request_rate{cmd="probe",window="1h"}`,
+		`slo_error_ratio{cmd="probe",window="1m"}`,
+		`slo_burn_ratio{cmd="probe",window="1m"}`,
+		`slo_latency_quantile_us{cmd="probe",window="1m"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteSLO missing %q:\n%s", want, out)
+		}
+	}
+	// The error sample must make the 1m error ratio visibly non-zero.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `slo_error_ratio{cmd="probe",window="1m"}`) {
+			f := strings.Fields(line)
+			if f[len(f)-1] == "0" {
+				t.Errorf("error ratio rendered 0 after a failure: %q", line)
+			}
+		}
+	}
+}
+
+func TestEventsEndpointCursorAndLongPoll(t *testing.T) {
+	bus := obs.NewBus(32)
+	srv, err := Serve("127.0.0.1:0", Options{Events: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	getPage := func(path string) EventsPage {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var page EventsPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+		return page
+	}
+
+	for i := 0; i < 3; i++ {
+		bus.Publish(obs.Event{Type: obs.EventShed, Shard: -1, Cmd: "probe"})
+	}
+	page := getPage("/events?since=0")
+	if len(page.Events) != 3 || page.Last != 3 || page.Dropped != 0 {
+		t.Fatalf("since=0 page = %d events last=%d dropped=%d", len(page.Events), page.Last, page.Dropped)
+	}
+	if page.Events[0].Type != obs.EventShed || page.Events[0].Cmd != "probe" {
+		t.Fatalf("event JSON round-trip mangled: %+v", page.Events[0])
+	}
+	// Cursor resume returns only the tail.
+	page = getPage("/events?since=2")
+	if len(page.Events) != 1 || page.Events[0].Seq != 3 {
+		t.Fatalf("since=2 page = %+v, want one event seq 3", page)
+	}
+	// At-head cursor with no wait returns an empty page immediately.
+	page = getPage("/events?since=3")
+	if len(page.Events) != 0 || page.Last != 3 {
+		t.Fatalf("at-head page = %+v, want empty with last=3", page)
+	}
+
+	// Long-poll: a wait= request blocks until the next publish.
+	type result struct {
+		page EventsPage
+		took time.Duration
+	}
+	ch := make(chan result, 1)
+	go func() {
+		start := time.Now()
+		p := getPage("/events?since=3&wait=5s")
+		ch <- result{p, time.Since(start)}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	bus.Publish(obs.Event{Type: obs.EventBreaker, Shard: 1, Phase: "open", Cause: "closed"})
+	res := <-ch
+	if len(res.page.Events) != 1 || res.page.Events[0].Seq != 4 {
+		t.Fatalf("long-poll page = %+v, want the published event", res.page)
+	}
+	if res.page.Events[0].Type != obs.EventBreaker || res.page.Events[0].Phase != "open" {
+		t.Fatalf("long-poll event mangled: %+v", res.page.Events[0])
+	}
+	if res.took < 20*time.Millisecond {
+		t.Fatalf("long-poll returned in %v, should have blocked until publish", res.took)
+	}
+
+	// An expired wait returns an empty page, not an error.
+	page = getPage("/events?since=4&wait=30ms")
+	if len(page.Events) != 0 || page.Last != 4 {
+		t.Fatalf("expired wait page = %+v, want empty with last=4", page)
+	}
+
+	// Bad cursors and durations are 400s.
+	for _, path := range []string{"/events?since=x", "/events?since=0&wait=nope", "/events?since=0&wait=-1s"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestSLOEndpointJSON(t *testing.T) {
+	bus := obs.NewBus(16)
+	eng := obs.NewEngine(obs.Objectives{Availability: 0.99}, bus)
+	eng.Record("scan", 2*time.Millisecond, nil)
+	srv, err := Serve("127.0.0.1:0", Options{SLO: eng.Report})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("/slo status %d type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var rep obs.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Objectives.Availability != 0.99 {
+		t.Fatalf("availability = %v, want 0.99", rep.Objectives.Availability)
+	}
+	if len(rep.Commands) != 1 || rep.Commands[0].Cmd != "scan" || len(rep.Commands[0].Windows) != 3 {
+		t.Fatalf("commands = %+v, want scan with 3 windows", rep.Commands)
+	}
+	// /metrics renders the same engine as slo_* series.
+	resp2, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !strings.Contains(string(body), `slo_request_rate{cmd="scan",window="1m"}`) {
+		t.Fatalf("/metrics missing slo series:\n%s", body)
+	}
+}
+
+// TestChromeTraceInstants checks bus events interleave into the span
+// trace as instant markers with their own rows.
+func TestChromeTraceInstants(t *testing.T) {
+	sink := NewSpanSink(8)
+	bus := obs.NewBus(16)
+	bus.Publish(obs.Event{Type: obs.EventBreaker, Shard: 2, Phase: "open", Cause: "closed", TraceID: "t9"})
+	events, _ := bus.Since(0)
+	var buf bytes.Buffer
+	if err := sink.WriteChromeWith(&buf, "waved", events); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var instant map[string]any
+	for _, ev := range trace.TraceEvents {
+		if ev["ph"] == "i" {
+			instant = ev
+		}
+	}
+	if instant == nil {
+		t.Fatalf("no instant event in trace: %v", trace.TraceEvents)
+	}
+	if instant["name"] != string(obs.EventBreaker) {
+		t.Fatalf("instant name = %v, want %s", instant["name"], obs.EventBreaker)
+	}
+	args := instant["args"].(map[string]any)
+	if args["trace_id"] != "t9" || args["phase"] != "open" {
+		t.Fatalf("instant args = %v", args)
+	}
+}

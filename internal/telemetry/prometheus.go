@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"waveindex/internal/metrics"
+	"waveindex/internal/obs"
 	"waveindex/internal/simdisk"
 )
 
@@ -21,24 +23,45 @@ import (
 // exposition format version this package renders.
 const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// escapeLabel escapes a label value per the Prometheus text exposition
+// rules: backslash, double quote, and newline must be backslash-escaped
+// inside the quoted value. (fmt's %q escapes Go-style — close enough to
+// look right, wrong enough to break scrapes on multi-byte or control
+// characters — so the exposition writers below must not use it.)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// help writes a metric family's # HELP and # TYPE header.
+func help(w io.Writer, name, kind, text string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, text, name, kind)
+	return err
+}
+
 // WriteMetrics renders a registry snapshot in Prometheus text exposition
 // format: counters and gauges as single samples, histograms as
-// cumulative le-bucketed series with _sum and _count. Observations in
-// the registry's unbounded last bucket (metrics.InfBound) appear only
-// under le="+Inf".
+// cumulative le-bucketed series with _sum and _count, each family led by
+// # HELP/# TYPE headers. Observations in the registry's unbounded last
+// bucket (metrics.InfBound) appear only under le="+Inf".
 func WriteMetrics(w io.Writer, s metrics.Snapshot) error {
 	for _, c := range s.Counters {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value); err != nil {
+		if err := help(w, c.Name, "counter", "wave-index registry counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value); err != nil {
+		if err := help(w, g.Name, "gauge", "wave-index registry gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.Name, g.Value); err != nil {
 			return err
 		}
 	}
 	for _, h := range s.Histograms {
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+		if err := help(w, h.Name, "histogram", "wave-index registry histogram (log2 buckets)"); err != nil {
 			return err
 		}
 		var cum int64
@@ -81,7 +104,7 @@ func WriteShardMetrics(w io.Writer, snaps []metrics.Snapshot) error {
 		}
 		sort.Strings(union)
 		for _, n := range union {
-			if _, err := fmt.Fprintf(w, "# TYPE shard_%s %s\n", n, kind); err != nil {
+			if err := help(w, "shard_"+n, kind, "per-shard breakdown of "+n); err != nil {
 				return err
 			}
 			for i, s := range snaps {
@@ -118,20 +141,20 @@ func WriteWork(w io.Writer, rows []simdisk.CauseStats) error {
 	rows = append([]simdisk.CauseStats(nil), rows...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Cause < rows[j].Cause })
 	families := []struct {
-		name  string
-		value func(simdisk.CauseStats) int64
+		name, help string
+		value      func(simdisk.CauseStats) int64
 	}{
-		{"work_seeks_total", func(r simdisk.CauseStats) int64 { return r.Seeks }},
-		{"work_bytes_read_total", func(r simdisk.CauseStats) int64 { return r.BytesRead }},
-		{"work_bytes_written_total", func(r simdisk.CauseStats) int64 { return r.BytesWritten }},
-		{"work_sim_us_total", func(r simdisk.CauseStats) int64 { return r.SimTime.Microseconds() }},
+		{"work_seeks_total", "simulated disk seeks by cause", func(r simdisk.CauseStats) int64 { return r.Seeks }},
+		{"work_bytes_read_total", "simulated bytes read by cause", func(r simdisk.CauseStats) int64 { return r.BytesRead }},
+		{"work_bytes_written_total", "simulated bytes written by cause", func(r simdisk.CauseStats) int64 { return r.BytesWritten }},
+		{"work_sim_us_total", "simulated disk time by cause, microseconds", func(r simdisk.CauseStats) int64 { return r.SimTime.Microseconds() }},
 	}
 	for _, f := range families {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", f.name); err != nil {
+		if err := help(w, f.name, "counter", f.help); err != nil {
 			return err
 		}
 		for _, r := range rows {
-			if _, err := fmt.Fprintf(w, "%s{cause=%q} %d\n", f.name, r.Cause.String(), f.value(r)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{cause=\"%s\"} %d\n", f.name, escapeLabel(r.Cause.String()), f.value(r)); err != nil {
 				return err
 			}
 		}
@@ -173,20 +196,52 @@ func WriteBreakers(w io.Writer, rows []BreakerStatus) error {
 	}
 	rows = append([]BreakerStatus(nil), rows...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Shard < rows[j].Shard })
-	if _, err := fmt.Fprintf(w, "# TYPE shard_breaker_state gauge\n"); err != nil {
+	if err := help(w, "shard_breaker_state", "gauge", "circuit breaker position: 0 closed, 1 half-open, 2 open"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "shard_breaker_state{shard=%q} %d\n", fmt.Sprint(r.Shard), breakerStateValue(r.State)); err != nil {
+		if _, err := fmt.Fprintf(w, "shard_breaker_state{shard=\"%d\"} %d\n", r.Shard, breakerStateValue(r.State)); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "# TYPE shard_breaker_failures gauge\n"); err != nil {
+	if err := help(w, "shard_breaker_failures", "gauge", "consecutive failures counted toward the breaker threshold"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "shard_breaker_failures{shard=%q} %d\n", fmt.Sprint(r.Shard), int64(r.Failures)); err != nil {
+		if _, err := fmt.Fprintf(w, "shard_breaker_failures{shard=\"%d\"} %d\n", r.Shard, int64(r.Failures)); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// WriteSLO renders an SLO report as Prometheus series: windowed request
+// rate, bad-request ratios, the objective quantile's latency, and the
+// error-budget burn rate, labelled by command and window. Burn is the
+// headline series — slo_burn_ratio > the configured alert threshold is
+// exactly the condition that raises slo.burn events on the bus.
+func WriteSLO(w io.Writer, rep obs.Report) error {
+	families := []struct {
+		name, help string
+		value      func(obs.WindowStats) float64
+	}{
+		{"slo_request_rate", "windowed request rate, requests/sec", func(ws obs.WindowStats) float64 { return float64(ws.RateMilli) / 1000 }},
+		{"slo_error_ratio", "windowed fraction of failed requests", func(ws obs.WindowStats) float64 { return float64(ws.ErrMilli) / 1000 }},
+		{"slo_slow_ratio", "windowed fraction of requests over the latency objective", func(ws obs.WindowStats) float64 { return float64(ws.SlowMilli) / 1000 }},
+		{"slo_latency_quantile_us", "objective quantile latency, microseconds", func(ws obs.WindowStats) float64 { return float64(ws.QuantileUS) }},
+		{"slo_burn_ratio", "error-budget burn rate (1 = spending budget exactly at refill rate)", func(ws obs.WindowStats) float64 { return float64(ws.BurnMilli) / 1000 }},
+	}
+	for _, f := range families {
+		if err := help(w, f.name, "gauge", f.help); err != nil {
+			return err
+		}
+		for _, c := range rep.Commands {
+			for _, ws := range c.Windows {
+				if _, err := fmt.Fprintf(w, "%s{cmd=\"%s\",window=\"%s\"} %g\n",
+					f.name, escapeLabel(c.Cmd), escapeLabel(ws.Window), f.value(ws)); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

@@ -1,13 +1,16 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"waveindex/internal/metrics"
+	"waveindex/internal/obs"
 	"waveindex/internal/simdisk"
 )
 
@@ -44,7 +47,27 @@ type Options struct {
 	Health func() Health
 	// Spans, when set, is served as Chrome trace JSON at /debug/spans.
 	Spans *SpanSink
+	// Events, when set, is the timeline bus served at /events and
+	// interleaved into /debug/spans as instant markers.
+	Events *obs.Bus
+	// SLO, when set, supplies the report served at /slo and rendered as
+	// slo_* series at /metrics.
+	SLO func() obs.Report
 }
+
+// EventsPage is the JSON shape served by /events: the retained events
+// after the requested cursor, the newest sequence number (pass it back
+// as since= to resume), and how many requested events were already
+// evicted from the ring.
+type EventsPage struct {
+	Events  []obs.Event `json:"events"`
+	Last    uint64      `json:"last"`
+	Dropped uint64      `json:"dropped"`
+}
+
+// maxEventWait caps /events long-polls so proxies and clients with no
+// timeout of their own still cycle.
+const maxEventWait = 25 * time.Second
 
 // NewHandler returns the admin HTTP handler: /metrics (Prometheus text
 // format), /healthz (JSON; 503 while recovery is needed), /debug/pprof/*
@@ -69,6 +92,11 @@ func NewHandler(opts Options) http.Handler {
 				return
 			}
 		}
+		if opts.SLO != nil {
+			if err := WriteSLO(w, opts.SLO()); err != nil {
+				return
+			}
+		}
 		if opts.Work != nil {
 			_ = WriteWork(w, opts.Work())
 		}
@@ -84,10 +112,55 @@ func NewHandler(opts Options) http.Handler {
 		}
 		_ = json.NewEncoder(w).Encode(h)
 	})
+	if opts.SLO != nil {
+		mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(opts.SLO())
+		})
+	}
+	if opts.Events != nil {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+			q := r.URL.Query()
+			since, err := strconv.ParseUint(q.Get("since"), 10, 64)
+			if err != nil && q.Get("since") != "" {
+				http.Error(w, "bad since cursor", http.StatusBadRequest)
+				return
+			}
+			var page EventsPage
+			if waitStr := q.Get("wait"); waitStr != "" {
+				// Long-poll: block until an event lands past the cursor
+				// or the wait expires; an expired wait returns an empty
+				// page with the cursor to resume from.
+				wait, err := time.ParseDuration(waitStr)
+				if err != nil || wait <= 0 {
+					http.Error(w, "bad wait duration", http.StatusBadRequest)
+					return
+				}
+				ctx, cancel := context.WithTimeout(r.Context(), min(wait, maxEventWait))
+				page.Events, page.Dropped, _ = opts.Events.Wait(ctx, since)
+				cancel()
+			} else {
+				page.Events, page.Dropped = opts.Events.Since(since)
+			}
+			page.Last = since + page.Dropped
+			if n := len(page.Events); n > 0 {
+				page.Last = page.Events[n-1].Seq
+			}
+			if page.Events == nil {
+				page.Events = []obs.Event{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(page)
+		})
+	}
 	if opts.Spans != nil {
 		mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			_ = opts.Spans.WriteChrome(w, "waved")
+			var instants []obs.Event
+			if opts.Events != nil {
+				instants, _ = opts.Events.Since(0)
+			}
+			_ = opts.Spans.WriteChromeWith(w, "waved", instants)
 		})
 	}
 	// net/http/pprof only self-registers on the default mux; wire its

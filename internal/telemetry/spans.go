@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"waveindex/internal/core"
+	"waveindex/internal/obs"
 )
 
 // DefaultSpanCapacity is a SpanSink's ring size when NewSpanSink is
@@ -67,12 +68,15 @@ func (s *SpanSink) Dropped() int64 {
 	return s.dropped
 }
 
-// ChromeProcess is one process lane of a Chrome trace: a name and its
-// spans. WriteChromeTrace renders each process's events under its own
-// pid, so e.g. wavetrace -all can show the six schemes side by side.
+// ChromeProcess is one process lane of a Chrome trace: a name, its
+// spans, and optionally timeline events rendered as instant markers
+// interleaved into the same lanes. WriteChromeTrace renders each
+// process's events under its own pid, so e.g. wavetrace -all can show
+// the six schemes side by side.
 type ChromeProcess struct {
-	Name   string
-	Events []core.TraceEvent
+	Name     string
+	Events   []core.TraceEvent
+	Instants []obs.Event
 }
 
 // chromeEvent is one trace_event JSON record. Only the fields the
@@ -81,7 +85,8 @@ type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
 	Ph   string         `json:"ph"`
-	Ts   int64          `json:"ts"` // microseconds
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Ts   int64          `json:"ts"`          // microseconds
 	Dur  int64          `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
@@ -173,13 +178,75 @@ func WriteChromeTrace(w io.Writer, procs ...ChromeProcess) error {
 				Pid: pid, Tid: spanTid(ev), Args: spanArgs(ev),
 			})
 		}
+		for _, ev := range p.Instants {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				// Thread-scoped instant ("ph":"i", "s":"t") in the
+				// owning shard's lane 0, where whole-query and
+				// transition spans already live — breaker flips and
+				// sheds line up against the work they interrupted.
+				Name: ev.Type, Cat: "event", Ph: "i", S: "t",
+				Ts:  ev.Time.UnixMicro(),
+				Pid: pid, Tid: instantTid(ev), Args: instantArgs(ev),
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(trace)
+}
+
+// instantTid maps a timeline event into the span lane blocks: shard
+// s's events land at lane s*100 (the event's Shard is 0-based; spans
+// use 1-based with 0 meaning unsharded, so shift by one). Fleet-wide
+// events (shard -1) get lane 0.
+func instantTid(ev obs.Event) int {
+	if ev.Shard < 0 {
+		return 0
+	}
+	return (ev.Shard + 1) * 100
+}
+
+// instantArgs collects a timeline event's non-zero fields for the
+// viewer's argument pane.
+func instantArgs(ev obs.Event) map[string]any {
+	args := map[string]any{"seq": ev.Seq}
+	if ev.Cmd != "" {
+		args["cmd"] = ev.Cmd
+	}
+	if ev.Phase != "" {
+		args["phase"] = ev.Phase
+	}
+	if ev.Cause != "" {
+		args["cause"] = ev.Cause
+	}
+	if ev.TraceID != "" {
+		args["trace_id"] = ev.TraceID
+	}
+	if ev.Day != 0 {
+		args["day"] = ev.Day
+	}
+	if ev.Ops != 0 {
+		args["ops"] = ev.Ops
+	}
+	if ev.DurationUS != 0 {
+		args["dur_us"] = ev.DurationUS
+	}
+	if ev.Value != 0 {
+		args["value"] = ev.Value
+	}
+	for k, v := range ev.Fields {
+		args["work_"+k] = v
+	}
+	return args
 }
 
 // WriteChrome writes the sink's retained spans as one Chrome trace
 // process named after name.
 func (s *SpanSink) WriteChrome(w io.Writer, name string) error {
 	return WriteChromeTrace(w, ChromeProcess{Name: name, Events: s.Events()})
+}
+
+// WriteChromeWith writes the sink's retained spans plus the given
+// timeline events (as instant markers) as one Chrome trace process.
+func (s *SpanSink) WriteChromeWith(w io.Writer, name string, instants []obs.Event) error {
+	return WriteChromeTrace(w, ChromeProcess{Name: name, Events: s.Events(), Instants: instants})
 }

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"waveindex/internal/core"
 	"waveindex/internal/index"
@@ -159,6 +161,12 @@ type Journaled struct {
 	cfg Config
 	ing *ingester
 
+	// idxLive mirrors idx for lock-free reads: Index() must not take
+	// j.mu, because observability hooks (work-ledger sampling from a
+	// transition span, metrics scrapes) read the index while AddDay or
+	// Recover holds the mutex — taking it again would self-deadlock.
+	idxLive atomic.Pointer[Index]
+
 	every         int
 	sinceCkpt     int
 	needsRecovery bool
@@ -211,6 +219,7 @@ func OpenJournaled(cfg Config, st *JournalStorage, opts JournalOptions) (*Journa
 		return nil, err
 	}
 	j.idx = idx
+	j.idxLive.Store(idx)
 	// Initial checkpoint: recovery always has a base image to replay
 	// onto, even if the process dies during the very first day.
 	if err := j.checkpointLocked(); err != nil {
@@ -221,11 +230,11 @@ func OpenJournaled(cfg Config, st *JournalStorage, opts JournalOptions) (*Journa
 }
 
 // Index returns the wrapped queryable index. Recover swaps it, so
-// callers should re-fetch rather than cache it across recoveries.
+// callers should re-fetch rather than cache it across recoveries. The
+// read is lock-free (see idxLive), so queries and metrics scrapes
+// never wait behind an in-flight transition or recovery.
 func (j *Journaled) Index() *Index {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.idx
+	return j.idxLive.Load()
 }
 
 // NeedsRecovery reports whether an AddDay failed, leaving the index
@@ -325,6 +334,7 @@ func (j *Journaled) Checkpoint() error {
 }
 
 func (j *Journaled) checkpointLocked() error {
+	start := time.Now()
 	// Pending commit/step records must be durable before the truncate.
 	if err := j.jr.Sync(); err != nil {
 		j.needsRecovery = true
@@ -344,6 +354,18 @@ func (j *Journaled) checkpointLocked() error {
 		return fmt.Errorf("wave: checkpoint: journal reset: %w", err)
 	}
 	j.sinceCkpt = 0
+	if j.cfg.Trace != nil {
+		j.idx.mu.Lock()
+		day := j.idx.nextDay - 1
+		j.idx.mu.Unlock()
+		j.cfg.Trace.TraceEvent(core.TraceEvent{
+			Kind:        "journal.checkpoint",
+			Start:       start,
+			Duration:    time.Since(start),
+			Day:         day,
+			Constituent: -1,
+		})
+	}
 	return nil
 }
 
@@ -364,6 +386,7 @@ func (j *Journaled) Recover() (*RecoveryReport, error) {
 }
 
 func (j *Journaled) recoverLocked() (*RecoveryReport, error) {
+	start := time.Now()
 	blob, err := j.st.loadCheckpoint()
 	if err != nil {
 		return nil, fmt.Errorf("wave: recover: %w", err)
@@ -423,8 +446,23 @@ func (j *Journaled) recoverLocked() (*RecoveryReport, error) {
 		j.idx.Close()
 	}
 	j.idx = idx
+	j.idxLive.Store(idx)
 	j.needsRecovery = false
 	j.sinceCkpt = len(rep.ReplayedDays)
+	if j.cfg.Trace != nil {
+		day := rep.CheckpointDay
+		if n := len(rep.ReplayedDays); n > 0 {
+			day = rep.ReplayedDays[n-1]
+		}
+		j.cfg.Trace.TraceEvent(core.TraceEvent{
+			Kind:        "journal.recovery",
+			Start:       start,
+			Duration:    time.Since(start),
+			Day:         day,
+			Ops:         len(rep.ReplayedDays),
+			Constituent: -1,
+		})
+	}
 	return rep, nil
 }
 

@@ -61,6 +61,10 @@ type SlowQuery struct {
 	DiskTime     time.Duration
 	// Err is the query's error text, "" on success.
 	Err string
+	// Shard is the 0-based shard that served the query; 0 on an
+	// unsharded index. Filled by the shard router's merged slowlog
+	// (Router.SlowQueries), never by the index itself.
+	Shard int
 }
 
 // slowLog is a fixed-size ring of the most recent slow queries.

@@ -1,8 +1,8 @@
 package wave
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"reflect"

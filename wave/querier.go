@@ -164,5 +164,13 @@ func (j *Journaled) SetSlowQueryThreshold(d time.Duration) {
 	j.Index().SetSlowQueryThreshold(d)
 }
 
-// Work returns the wrapped index's per-cause disk-work ledger.
-func (j *Journaled) Work() []CauseStats { return j.Index().Work() }
+// Work returns the wrapped index's per-cause disk-work ledger. Nil
+// while the opening recovery is still replaying (the swapped-in index
+// is published only once replay completes).
+func (j *Journaled) Work() []CauseStats {
+	idx := j.Index()
+	if idx == nil {
+		return nil
+	}
+	return idx.Work()
+}

@@ -88,8 +88,9 @@ type BreakerInfo struct {
 
 // breaker is one shard's circuit breaker.
 type breaker struct {
-	cfg BreakerConfig
-	now func() time.Time // test hook; time.Now in production
+	cfg    BreakerConfig
+	now    func() time.Time            // test hook; time.Now in production
+	notify func(from, to BreakerState) // optional state-change hook
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -102,12 +103,29 @@ func newBreaker(cfg BreakerConfig) *breaker {
 	return &breaker{cfg: cfg, now: time.Now}
 }
 
+// announce fires the state-change hook for a from→to move. Called
+// after b.mu is released, so the hook may take its own locks (publish
+// to an event bus, log) without ordering against the breaker.
+func (b *breaker) announce(from, to BreakerState) {
+	if b.notify != nil && from != to {
+		b.notify(from, to)
+	}
+}
+
 // allow decides whether a query may hit the shard. probe marks the
 // caller as the half-open probe: it must report its outcome via result,
 // which either closes or re-opens the breaker.
 func (b *breaker) allow() (ok, probe bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	ok, probe = b.allowLocked()
+	to := b.state
+	b.mu.Unlock()
+	b.announce(from, to)
+	return ok, probe
+}
+
+func (b *breaker) allowLocked() (ok, probe bool) {
 	switch b.state {
 	case BreakerClosed:
 		return true, false
@@ -138,9 +156,16 @@ func countable(err error) bool {
 
 // result records a completed shard call's outcome.
 func (b *breaker) result(err error, probe bool) {
-	failed := countable(err)
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	b.resultLocked(err, probe)
+	to := b.state
+	b.mu.Unlock()
+	b.announce(from, to)
+}
+
+func (b *breaker) resultLocked(err error, probe bool) {
+	failed := countable(err)
 	if probe {
 		b.probing = false
 		switch {
@@ -177,10 +202,12 @@ func (b *breaker) result(err error, probe bool) {
 // reset force-closes the breaker (after a successful Recover).
 func (b *breaker) reset() {
 	b.mu.Lock()
+	from := b.state
 	b.state = BreakerClosed
 	b.failures = 0
 	b.probing = false
 	b.mu.Unlock()
+	b.announce(from, BreakerClosed)
 }
 
 // snapshot returns the breaker's current position.

@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"waveindex/wave"
+)
+
+// slowRouter builds a 3-shard router with a 1ns slow-query threshold
+// so every query lands in the log.
+func slowRouter(t *testing.T) *Router {
+	t.Helper()
+	r, err := New(Config{
+		Shards: 3,
+		Base:   wave.Config{Window: 4, Indexes: 2, Scheme: wave.REINDEX},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	for d := 1; d <= 4; d++ {
+		if err := r.AddDay(d, workload(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetSlowQueryThreshold(time.Nanosecond)
+	return r
+}
+
+// TestSlowQueriesMergeTagsShards checks the fleet slowlog tags every
+// entry with the shard that served it and interleaves the per-shard
+// rings newest-first, like a single fleet-wide ring would.
+func TestSlowQueriesMergeTagsShards(t *testing.T) {
+	r := slowRouter(t)
+	ctx := context.Background()
+
+	// Probe one key per shard, round-robin, so the per-shard logs
+	// interleave in time.
+	keys := make(map[string]int) // key -> owning shard
+	for round := 0; round < 3; round++ {
+		for want := 0; want < r.Shards(); want++ {
+			k := keyOwnedByRouter(t, r, want, round)
+			keys[k] = want
+			if _, err := r.Probe(ctx, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	log := r.SlowQueries()
+	if len(log) != 9 {
+		t.Fatalf("merged log has %d entries, want 9", len(log))
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].Start.After(log[i-1].Start) {
+			t.Fatalf("merged log out of order at %d: %v then %v",
+				i, log[i-1].Start, log[i].Start)
+		}
+	}
+	for _, e := range log {
+		want, ok := keys[e.Key]
+		if !ok {
+			t.Fatalf("merged log has unexpected key %q", e.Key)
+		}
+		if e.Shard != want {
+			t.Errorf("entry for %q tagged shard %d, want %d", e.Key, e.Shard, want)
+		}
+	}
+	// Distinct shards must appear — the merge is fleet-wide, not one ring.
+	shards := map[int]bool{}
+	for _, e := range log {
+		shards[e.Shard] = true
+	}
+	if len(shards) != 3 {
+		t.Fatalf("merged log covers shards %v, want all 3", shards)
+	}
+}
+
+// keyOwnedByRouter finds a key hashed to the wanted shard, salted by
+// round so successive rounds use distinct keys.
+func keyOwnedByRouter(t *testing.T, r *Router, want, round int) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		k := fmt.Sprintf("owned-%d-%d", round, i)
+		if r.ShardFor(k) == want {
+			return k
+		}
+	}
+	t.Fatalf("no key found for shard %d", want)
+	return ""
+}
+
+// TestOnBreakerChangeNotifies checks the router reports every breaker
+// transition — closed→open on trip, open→half-open on cooldown expiry,
+// half-open→closed on a successful probe — in order, with the shard.
+func TestOnBreakerChangeNotifies(t *testing.T) {
+	type change struct {
+		shard    int
+		from, to BreakerState
+	}
+	var mu sync.Mutex
+	var got []change
+
+	r, err := New(Config{
+		Shards:  3,
+		Base:    wave.Config{Window: 4, Indexes: 2, Scheme: wave.REINDEX},
+		Breaker: BreakerConfig{Threshold: 3, Cooldown: 30 * time.Millisecond},
+		OnBreakerChange: func(shard int, from, to BreakerState) {
+			mu.Lock()
+			got = append(got, change{shard, from, to})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	for d := 1; d <= 6; d++ {
+		if err := r.AddDay(d, workload(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const victim = 1
+	stores := breakShardReads(t, r, victim)
+	tripShard(t, r, victim)
+
+	// Heal the shard, wait out the cooldown, and probe: the breaker
+	// goes half-open on the first post-cooldown call and closes when
+	// that call succeeds.
+	for _, st := range stores {
+		st.ClearFaults()
+	}
+	time.Sleep(40 * time.Millisecond)
+	if _, err := r.Probe(context.Background(), keyOwnedBy(t, r, victim)); err != nil {
+		t.Fatalf("post-cooldown probe: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []change{
+		{victim, BreakerClosed, BreakerOpen},
+		{victim, BreakerOpen, BreakerHalfOpen},
+		{victim, BreakerHalfOpen, BreakerClosed},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d changes %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("change %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -74,6 +74,12 @@ type Config struct {
 	// BreakerConfig). The zero value disables them: every shard failure
 	// fails the whole query, as before.
 	Breaker BreakerConfig
+	// OnBreakerChange, when set, is called after a shard's breaker
+	// changes state (0-based shard, old and new position). Calls are
+	// made outside breaker locks and may arrive concurrently from
+	// different shards; implementations must be safe for concurrent
+	// use and must not call back into the router.
+	OnBreakerChange func(shard int, from, to BreakerState)
 }
 
 // backend is the per-shard surface the router drives — satisfied by
@@ -214,6 +220,10 @@ func (r *Router) initBreakers() {
 	r.brk = make([]*breaker, len(r.shards))
 	for i := range r.brk {
 		r.brk[i] = newBreaker(r.cfg.Breaker)
+		if change := r.cfg.OnBreakerChange; change != nil {
+			shard := i
+			r.brk[i].notify = func(from, to BreakerState) { change(shard, from, to) }
+		}
 	}
 }
 
@@ -583,17 +593,36 @@ func (r *Router) ShardMetrics() []wave.MetricsSnapshot {
 	return out
 }
 
-// SlowQueries returns the shards' slow-query logs merged, most recent
-// first.
+// SlowQueries returns the shards' slow-query logs merged into one
+// fleet log, most recent first, with each entry's Shard set to the
+// 0-based shard it came from. The per-shard logs arrive newest-first,
+// so the merge interleaves them by start time the way a single
+// fleet-wide ring would have recorded them — the sharded tier presents
+// the same slowlog surface as one index.
 func (r *Router) SlowQueries() []wave.SlowQuery {
-	var out []wave.SlowQuery
-	for _, s := range r.shards {
-		out = append(out, s.SlowQueries()...)
-	}
-	for i := 1; i < len(out); i++ { // insertion sort by Start, newest first
-		for j := i; j > 0 && out[j].Start.After(out[j-1].Start); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	logs := make([][]wave.SlowQuery, len(r.shards))
+	total := 0
+	for i, s := range r.shards {
+		logs[i] = s.SlowQueries()
+		for j := range logs[i] {
+			logs[i][j].Shard = i
 		}
+		total += len(logs[i])
+	}
+	// K-way merge of newest-first runs: repeatedly take the newest head.
+	out := make([]wave.SlowQuery, 0, total)
+	for len(out) < total {
+		best := -1
+		for i, l := range logs {
+			if len(l) == 0 {
+				continue
+			}
+			if best < 0 || l[0].Start.After(logs[best][0].Start) {
+				best = i
+			}
+		}
+		out = append(out, logs[best][0])
+		logs[best] = logs[best][1:]
 	}
 	return out
 }
