@@ -11,15 +11,18 @@ GO ?= go
 # journaled fleet under wire faults, torn acks, and a shard read
 # blackout never returns a wrong answer, under -race), and a
 # bench-record smoke (a one-transition recording must emit a
-# schema-valid BENCH_record.json), and the obs smoke (the timeline,
+# schema-valid BENCH_record.json), the obs smoke (the timeline,
 # SLO, and wavetop surfaces against both in-process fleets and a real
-# booted waved).
+# booted waved), and the cache smoke (the caching tier renders
+# byte-identical cold and warm answers across every scheme, technique,
+# and shard count, and a mid-transition crash never leaves a stale
+# entry servable, under -race).
 .PHONY: check vet build test race bench-smoke metrics-smoke chaos-smoke \
-	shard-smoke netchaos-smoke bench-record bench-record-smoke bench-gate \
-	obs-smoke
+	shard-smoke netchaos-smoke cache-smoke bench-record bench-record-smoke \
+	bench-gate obs-smoke
 
 check: vet build race bench-smoke metrics-smoke chaos-smoke shard-smoke \
-	netchaos-smoke bench-record-smoke bench-gate obs-smoke
+	netchaos-smoke cache-smoke bench-record-smoke bench-gate obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +51,15 @@ shard-smoke:
 netchaos-smoke:
 	$(GO) test -race -count=1 -run 'TestNetChaosSoak|TestBreaker|TestClient' ./internal/server/ ./wave/shard/
 	$(GO) test -race -count=1 ./internal/netfault/
+
+# cache-smoke gates the caching tier: cached answers must be
+# byte-identical to uncached ones across every scheme × technique and
+# shard count, transitions must invalidate exactly the rebuilt
+# constituents, and a crash between transition and recovery must
+# restart the caches cold — all under -race.
+cache-smoke:
+	$(GO) test -race -count=1 -run 'TestCacheEquivalenceAllSchemes|TestCacheRetentionBySchemes|TestCacheCrashRecoveryNoStaleResults' ./wave/
+	$(GO) test -race -count=1 -run 'TestShardedCacheEquivalence' ./wave/shard/
 
 # obs-smoke gates the observability plane: the race-enabled timeline /
 # SLO / chaos-exactly-once tests, the wavetop console tests, and a real
@@ -90,10 +102,18 @@ bench-record-smoke:
 # or
 #   $(GO) run ./cmd/wavebench -exp shardrecord -json .bench-gate && \
 #   cp .bench-gate/BENCH_shards_record.json BENCH_7.json
+# or
+#   $(GO) run ./cmd/wavebench -exp cacherecord -json .bench-gate && \
+#   cp .bench-gate/BENCH_cache_record.json BENCH_8.json
+# BENCH_6 and BENCH_7 were recorded with the caches off and stay
+# comparable: a cache-off index prices queries exactly as before this
+# tier existed, and exports no cache_* gauges.
 bench-gate:
 	rm -rf .bench-gate
 	$(GO) run ./cmd/wavebench -exp record -json .bench-gate
 	$(GO) run ./cmd/wavebench -compare BENCH_6.json .bench-gate/BENCH_record.json
 	$(GO) run ./cmd/wavebench -exp shardrecord -json .bench-gate
 	$(GO) run ./cmd/wavebench -compare BENCH_7.json .bench-gate/BENCH_shards_record.json
+	$(GO) run ./cmd/wavebench -exp cacherecord -json .bench-gate
+	$(GO) run ./cmd/wavebench -compare BENCH_8.json .bench-gate/BENCH_cache_record.json
 	rm -rf .bench-gate

@@ -12,18 +12,21 @@
 //	wavebench -exp qengine      # parallel query engine speedups
 //	wavebench -exp tengine      # parallel maintenance engine speedups
 //	wavebench -exp shards       # sharded scale-out speedups
+//	wavebench -exp cache        # caching tier: cold vs warm repeated probes
 //
 // Bench trajectory (regression tracking):
 //
 //	wavebench -exp record -json out/            # write out/BENCH_record.json
 //	wavebench -exp shardrecord -json out/       # write out/BENCH_shards_record.json
+//	wavebench -exp cacherecord -json out/       # write out/BENCH_cache_record.json
 //	wavebench -validate out/BENCH_record.json   # schema-check a recording
 //	wavebench -compare old.json new.json        # exit 1 on >10% regression
 //	wavebench -compare old.json new.json -threshold 5
 //
 // -validate and -compare detect the recording schema (the full
-// scheme × technique grid vs the shard sweep) from the file itself; the
-// two files of a -compare must share one schema.
+// scheme × technique grid, the shard sweep, or the cache cold/warm
+// sweep) from the file itself; the two files of a -compare must share
+// one schema.
 package main
 
 import (
@@ -41,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching, qengine, tengine, shards, record, shardrecord")
+	exp := flag.String("exp", "all", "experiment: all, fig2..fig11, figmd, table8..table11, run, advise, gsweep, batching, qengine, tengine, shards, cache, record, shardrecord, cacherecord")
 	schemeName := flag.String("scheme", "DEL", "scheme for -exp run")
 	scName := flag.String("scenario", "SCAM", "scenario for -exp run and record: SCAM, WSE, TPC-D")
 	n := flag.Int("n", 2, "constituent count for -exp run")
@@ -82,6 +85,12 @@ func main() {
 		return
 	case *exp == "shardrecord":
 		if err := recordShardBench(*jsonDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	case *exp == "cacherecord":
+		if err := recordCacheBench(*jsonDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -153,6 +162,35 @@ func recordShardBench(dir string) error {
 	return nil
 }
 
+// recordCacheBench measures the cold/warm cache sweep and writes the
+// recording to dir/BENCH_cache_record.json (stdout when dir is empty).
+func recordCacheBench(dir string) error {
+	f, err := experiments.RecordCacheBench()
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		return experiments.WriteCacheBench(os.Stdout, f)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_cache_record.json")
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteCacheBench(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (W=%d, n=%d, %d keys, %d points)\n", path, f.W, f.N, f.Keys, len(f.Points))
+	return nil
+}
+
 // benchSchema peeks at a recording's schema field without validating
 // the rest, so -validate and -compare can route to the right reader.
 func benchSchema(path string) (string, error) {
@@ -195,10 +233,32 @@ func readShardBenchFile(path string) (*experiments.ShardBenchFile, error) {
 	return b, nil
 }
 
+func readCacheBenchFile(path string) (*experiments.CacheBenchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := experiments.ReadCacheBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
 func validateBench(path string) error {
 	schema, err := benchSchema(path)
 	if err != nil {
 		return err
+	}
+	if schema == experiments.CacheBenchSchema {
+		b, err := readCacheBenchFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s recording (W=%d, n=%d, %d keys, %d points)\n",
+			path, b.Schema, b.W, b.N, b.Keys, len(b.Points))
+		return nil
 	}
 	if schema == experiments.ShardBenchSchema {
 		b, err := readShardBenchFile(path)
@@ -235,7 +295,20 @@ func compareBench(oldPath, newPath string, thresholdPct float64) (ok bool, err e
 	}
 	var regs []experiments.Regression
 	points := 0
-	if oldSchema == experiments.ShardBenchSchema {
+	if oldSchema == experiments.CacheBenchSchema {
+		oldB, err := readCacheBenchFile(oldPath)
+		if err != nil {
+			return false, err
+		}
+		newB, err := readCacheBenchFile(newPath)
+		if err != nil {
+			return false, err
+		}
+		if regs, err = experiments.CompareCacheBench(oldB, newB, thresholdPct); err != nil {
+			return false, err
+		}
+		points = len(newB.Points)
+	} else if oldSchema == experiments.ShardBenchSchema {
 		oldB, err := readShardBenchFile(oldPath)
 		if err != nil {
 			return false, err
@@ -324,6 +397,8 @@ func run(exp, schemeName, scName, techName string, n int) error {
 		return tengine()
 	case exp == "shards":
 		return shards()
+	case exp == "cache":
+		return cacheExp()
 	default:
 		if fn, ok := figs[exp]; ok {
 			return printFigure(fn)
@@ -454,6 +529,28 @@ func shards() error {
 			r.Scan, rep.ScanSpeedup(r),
 			r.AddDay, rep.AddDaySpeedup(r),
 			r.Entries, det)
+	}
+	return nil
+}
+
+func cacheExp() error {
+	fmt.Println("caching tier: block buffer pool + constituent result cache (packed shadow,")
+	fmt.Println("W=8, n=2); cold = first pass sim cost, warm = identical repeated pass:")
+	fmt.Printf("%10s  %12s %12s %8s  %9s %9s  %8s %8s  %5s\n",
+		"scheme", "cold", "warm", "improve",
+		"res-hits", "blk-hits", "retain%", "entries", "det")
+	rep, err := experiments.MeasureCacheExec(8, 2, core.Kinds, 32)
+	if err != nil {
+		return err
+	}
+	det := "ok"
+	if !rep.Identical {
+		det = "DIVERGED"
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%10s  %12v %12v %7.1fx  %9d %9d  %7.0f%% %8d  %5s\n",
+			r.Scheme, r.Cold, r.Warm, r.Improvement(),
+			r.ResultHits, r.BlockHits, r.RetainedPct, r.Entries, det)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 //	      [-max-inflight 0] [-admission-wait 0]
 //	      [-breaker-threshold 0] [-breaker-cooldown 0]
 //	      [-events 0] [-slo-latency-ms 0] [-slo-availability 0]
+//	      [-cache-blocks 0] [-cache-results 0]
 //
 // With -shards N > 1 the daemon serves a hash-partitioned fleet of N
 // wave indexes behind the same protocol (see wave/shard): queries
@@ -37,6 +38,13 @@
 // 5m, and 1h with error-budget burn rates) served by SLO. -events sets
 // the timeline's ring capacity; -slo-latency-ms and -slo-availability
 // set the objectives. Watch it all live with the wavetop command.
+//
+// With -cache-blocks N each store gets an N-block LRU buffer pool, and
+// with -cache-results N a per-constituent result cache of N rows
+// memoizes probe buckets and aggregates against constituent
+// generations — wave transitions invalidate only the rebuilt
+// constituents' entries. The CACHE wire command and /cache serve the
+// combined snapshot; cache_* gauges ride METRICS and /metrics.
 //
 // With -admin-addr an HTTP admin server runs alongside the line
 // protocol: /metrics (Prometheus text format, including the per-cause
@@ -121,6 +129,8 @@ type config struct {
 	admissionWait time.Duration
 	brkThreshold  int
 	brkCooldown   time.Duration
+	cacheBlocks   int                              // per-store block buffer pool size in blocks (0 = off)
+	cacheResults  int                              // per-constituent result cache size in rows (0 = off)
 	eventsCap     int                              // event-timeline ring capacity (0 = obs default, 4096)
 	sloLatencyMS  int                              // SLO latency objective in ms (0 = availability only)
 	sloAvail      float64                          // SLO availability objective (0 = 0.999 default)
@@ -175,6 +185,8 @@ func newApp(cfg config) (*app, error) {
 		StorePath:          cfg.storePath,
 		Stores:             cfg.stores,
 		Parallelism:        cfg.parallel,
+		CacheBlocks:        cfg.cacheBlocks,
+		CacheResults:       cfg.cacheResults,
 		SlowQueryThreshold: time.Duration(cfg.slowlogMS) * time.Millisecond,
 	}
 	a := &app{cfg: cfg}
@@ -272,6 +284,14 @@ func newApp(cfg config) (*app, error) {
 		}
 		a.b = idx
 	}
+	if cfg.cacheResults > 0 {
+		// Each completed transition publishes a cache.invalidate event
+		// when constituent generations purged cached results.
+		a.spanEvents.SetCacheSampler(func() (int64, int64) {
+			ci := a.cacheInfo()
+			return ci.Results.Invalidated, ci.Results.Entries
+		})
+	}
 	a.srv = server.NewBackend(a.b, opts)
 
 	a.ln, err = net.Listen("tcp", cfg.addr)
@@ -290,6 +310,7 @@ func newApp(cfg config) (*app, error) {
 			Spans:   a.sink,
 			Events:  a.bus,
 			SLO:     a.slo.Report,
+			Cache:   a.cacheInfo,
 		}
 		if a.router != nil {
 			topts.ShardMetrics = a.router.ShardMetrics
@@ -318,6 +339,15 @@ func (a *app) health() telemetry.Health {
 		h.OpenBreakers = len(a.router.OpenBreakers())
 	}
 	return h
+}
+
+// cacheInfo fetches the backend's caching-tier snapshot (zero when the
+// backend does not expose one, or before it is built).
+func (a *app) cacheInfo() wave.CacheInfo {
+	if cb, ok := a.b.(interface{ CacheInfo() wave.CacheInfo }); ok {
+		return cb.CacheInfo()
+	}
+	return wave.CacheInfo{}
 }
 
 // breakerStatus adapts the router's breaker states for /metrics.
@@ -406,6 +436,8 @@ func main() {
 	admissionWait := flag.Duration("admission-wait", 0, "how long a query may queue for an admission slot before BUSY (0 = 10ms default)")
 	brkThreshold := flag.Int("breaker-threshold", 0, "consecutive failures opening a shard's circuit breaker (0 = breakers disabled; needs -shards > 1)")
 	brkCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 1s default)")
+	cacheBlocks := flag.Int("cache-blocks", 0, "per-store block buffer pool size in blocks (0 = disabled)")
+	cacheResults := flag.Int("cache-results", 0, "per-constituent result cache size in result rows (0 = disabled; see CACHE and /cache)")
 	eventsCap := flag.Int("events", 0, "event-timeline ring capacity (0 = 4096 default; see EVENTS and /events)")
 	sloLatencyMS := flag.Int("slo-latency-ms", 0, "SLO latency objective in ms at the p99 (0 = availability objective only)")
 	sloAvail := flag.Float64("slo-availability", 0, "SLO availability objective, fraction of good requests (0 = 0.999 default)")
@@ -434,6 +466,8 @@ func main() {
 		admissionWait: *admissionWait,
 		brkThreshold:  *brkThreshold,
 		brkCooldown:   *brkCooldown,
+		cacheBlocks:   *cacheBlocks,
+		cacheResults:  *cacheResults,
 		eventsCap:     *eventsCap,
 		sloLatencyMS:  *sloLatencyMS,
 		sloAvail:      *sloAvail,

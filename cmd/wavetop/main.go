@@ -17,9 +17,16 @@
 // Per-shard QPS is the delta of the shard's query counters between two
 // consecutive polls divided by the poll gap, so the first frame shows
 // 0.0 (there is no previous frame yet); latency columns are the
-// cumulative p99 of the shard's probe and scan histograms. The event
+// cumulative p99 of the shard's probe and scan histograms; HIT% is the
+// shard's result-cache hit ratio ("-" when caching is off). The event
 // pane keeps its own EVENTS cursor, so events stream across frames
 // without re-reading the whole ring.
+//
+// If waved restarts between polls its counters reset and the event bus
+// renumbers from 1. wavetop detects both — a query counter moving
+// backwards, or the EVENTS cursor landing past the server's newest
+// sequence — clamps the affected QPS deltas at 0 instead of rendering
+// negative rates, resyncs the cursor, and marks the frame RESTARTED.
 package main
 
 import (
@@ -52,6 +59,11 @@ type frame struct {
 	events  []obs.Event // tail of the timeline, oldest first
 	dropped uint64      // events lost to the ring since the last poll
 
+	// restarted marks a frame where waved restarted since the previous
+	// poll: a query counter moved backwards or the EVENTS cursor was
+	// ahead of the server's newest sequence.
+	restarted bool
+
 	err error
 }
 
@@ -73,6 +85,18 @@ type poller struct {
 func queryTotal(sm server.ShardMetrics) int64 {
 	c := sm.Metrics.Counters
 	return c["query_probe_total"] + c["query_mprobe_total"] + c["query_scan_total"]
+}
+
+// hitRatio returns the shard's result-cache hit percentage, or -1 when
+// caching is off or has seen no lookups yet (the cache_* gauges are
+// only exported while the cache is enabled).
+func hitRatio(sm server.ShardMetrics) float64 {
+	g := sm.Metrics.Gauges
+	h, m := g["cache_result_hits"], g["cache_result_misses"]
+	if h+m <= 0 {
+		return -1
+	}
+	return 100 * float64(h) / float64(h+m)
 }
 
 // poll gathers one frame. The first error aborts the poll and is
@@ -97,6 +121,12 @@ func (p *poller) poll() frame {
 		f.err = err
 		return f
 	}
+	if page.Last < p.cursor {
+		// The bus renumbered from 1 — waved restarted. Adopting the
+		// server's cursor resyncs the stream; the old one would never
+		// match a future sequence and the pane would wedge empty.
+		f.restarted = true
+	}
 	p.cursor = page.Last
 	p.dropped += page.Dropped
 	p.tail = append(p.tail, page.Events...)
@@ -111,7 +141,15 @@ func (p *poller) poll() frame {
 		dt := now.Sub(p.prevAt).Seconds()
 		for i, sm := range f.shards {
 			if prev, ok := p.prev[sm.Shard]; ok && dt > 0 {
-				f.qps[i] = float64(queryTotal(sm)-prev) / dt
+				d := queryTotal(sm) - prev
+				if d < 0 {
+					// Counters reset under us — waved restarted between
+					// polls. A negative rate is meaningless; show 0 and
+					// flag the frame.
+					d = 0
+					f.restarted = true
+				}
+				f.qps[i] = float64(d) / dt
 			}
 		}
 	}
@@ -137,8 +175,12 @@ func render(f frame) string {
 	if f.ready {
 		ready = "ready"
 	}
-	fmt.Fprintf(&b, "status %s  %s  window [%d,%d]  breakers open %d  events dropped %d\n",
-		f.health.Status, ready, f.from, f.to, f.health.OpenBreakers, f.dropped)
+	restarted := ""
+	if f.restarted {
+		restarted = "  RESTARTED"
+	}
+	fmt.Fprintf(&b, "status %s  %s  window [%d,%d]  breakers open %d  events dropped %d%s\n",
+		f.health.Status, ready, f.from, f.to, f.health.OpenBreakers, f.dropped, restarted)
 
 	o := f.slo.Objectives
 	fmt.Fprintf(&b, "\nSLO  availability %.4g%%", o.Availability*100)
@@ -164,8 +206,8 @@ func render(f frame) string {
 		fmt.Fprintf(&b, "  (no traffic yet)\n")
 	}
 
-	fmt.Fprintf(&b, "\nSHARDS\n  %-5s %9s %12s %12s %10s %s\n",
-		"ID", "QPS", "PROBE p99µs", "SCAN p99µs", "BREAKER", "FAILS")
+	fmt.Fprintf(&b, "\nSHARDS\n  %-5s %9s %12s %12s %6s %10s %s\n",
+		"ID", "QPS", "PROBE p99µs", "SCAN p99µs", "HIT%", "BREAKER", "FAILS")
 	for i, sm := range f.shards {
 		qps := 0.0
 		if i < len(f.qps) {
@@ -175,11 +217,15 @@ func render(f frame) string {
 		if brk == "" {
 			brk = "-"
 		}
-		fmt.Fprintf(&b, "  %-5d %9.1f %12d %12d %10s %d\n",
+		hit := "-"
+		if r := hitRatio(sm); r >= 0 {
+			hit = fmt.Sprintf("%.1f", r)
+		}
+		fmt.Fprintf(&b, "  %-5d %9.1f %12d %12d %6s %10s %d\n",
 			sm.Shard, qps,
 			sm.Metrics.Histogram("query_probe_us").P99,
 			sm.Metrics.Histogram("query_scan_us").P99,
-			brk, sm.BreakerFailures)
+			hit, brk, sm.BreakerFailures)
 	}
 
 	fmt.Fprintf(&b, "\nEVENTS (last %d)\n", len(f.events))

@@ -308,7 +308,10 @@ func (b *base) transitionUpdate(slot int, del, add []int, newDay int) error {
 		// and so block queries — the op-stream heuristic alone would
 		// misfile them as pre-computation.
 		markPhase(b.cfg.Observer, PhaseTransition)
-		err := b.wave.Locked(func() error {
+		// MutateLocked advances the slot's constituent generation inside
+		// the query-exclusion section, so no cached result can outlive
+		// the contents it was computed from.
+		err := b.wave.MutateLocked(slot, func() error {
 			if len(del) > 0 {
 				if err := cur.DeleteDays(del...); err != nil {
 					return err

@@ -54,6 +54,16 @@ type Wave struct {
 	readers int           // queries holding a snapshot
 	retired []Constituent // superseded while readers > 0; dropped later
 
+	// gens stamps each slot with a monotonic constituent generation:
+	// genSeq advances and the slot's generation moves on every event that
+	// changes what the slot answers — publish, retire-swap, in-place
+	// mutation, broken marking. Between moves a constituent is immutable,
+	// so (generation, query) identifies a result forever; the result
+	// cache keys on it and never needs locking against maintenance.
+	gens   []uint64
+	genSeq uint64
+	rc     *ResultCache
+
 	// qm and tracer are the engine's observability hooks, settable via
 	// SetInstrumentation. qm is held by value: the zero value's nil
 	// handles are no-ops, so uninstrumented queries record nothing.
@@ -64,7 +74,47 @@ type Wave struct {
 // NewWave returns a wave with n empty slots and a query engine sized to
 // n — one potential reader per constituent.
 func NewWave(n int) *Wave {
-	return &Wave{cons: make([]Constituent, n), broken: make([]bool, n), eng: NewEngine(n)}
+	return &Wave{
+		cons:   make([]Constituent, n),
+		broken: make([]bool, n),
+		gens:   make([]uint64, n),
+		eng:    NewEngine(n),
+	}
+}
+
+// SetResultCache installs (or removes, with nil) the per-constituent
+// result cache consulted by probe and aggregate queries.
+func (w *Wave) SetResultCache(rc *ResultCache) {
+	w.mu.Lock()
+	w.rc = rc
+	w.mu.Unlock()
+}
+
+// ResultCacheStats reports the result cache's counters (zero when no
+// cache is installed).
+func (w *Wave) ResultCacheStats() ResultCacheStats {
+	w.mu.RLock()
+	rc := w.rc
+	w.mu.RUnlock()
+	return rc.Stats()
+}
+
+// Generations returns the current per-slot constituent generations.
+func (w *Wave) Generations() []uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]uint64(nil), w.gens...)
+}
+
+// bumpGenLocked advances slot i's generation and purges results cached
+// under the superseded one. Caller holds w.mu (rc's lock is a leaf).
+func (w *Wave) bumpGenLocked(i int) {
+	old := w.gens[i]
+	w.genSeq++
+	w.gens[i] = w.genSeq
+	if old != 0 {
+		w.rc.InvalidateGens(old)
+	}
 }
 
 // SetParallelism resizes the query engine's pool. In-flight queries keep
@@ -102,6 +152,7 @@ func (w *Wave) Set(i int, c Constituent) {
 	w.mu.Lock()
 	w.cons[i] = c
 	w.broken[i] = false
+	w.bumpGenLocked(i)
 	w.mu.Unlock()
 }
 
@@ -112,6 +163,7 @@ func (w *Wave) Set(i int, c Constituent) {
 func (w *Wave) MarkBroken(i int) {
 	w.mu.Lock()
 	w.broken[i] = true
+	w.bumpGenLocked(i)
 	w.mu.Unlock()
 }
 
@@ -149,21 +201,25 @@ func (w *Wave) Snapshot() []Constituent {
 }
 
 // beginQuery registers a query: it pins the current constituents so
-// retirement defers their release, and returns them with the engine to
-// run on. Every beginQuery must be paired with endQuery.
-func (w *Wave) beginQuery() ([]Constituent, *Engine) {
+// retirement defers their release, and returns them — with their
+// generations, the engine to run on, and the result cache — for the
+// query to use. Every beginQuery must be paired with endQuery.
+func (w *Wave) beginQuery() ([]Constituent, []uint64, *Engine, *ResultCache) {
 	w.qmu.RLock()
 	w.mu.Lock()
 	cons := make([]Constituent, len(w.cons))
+	gens := make([]uint64, len(w.cons))
 	for i, c := range w.cons {
 		if !w.broken[i] {
 			cons[i] = c
+			gens[i] = w.gens[i]
 		}
 	}
 	eng := w.eng
+	rc := w.rc
 	w.readers++
 	w.mu.Unlock()
-	return cons, eng
+	return cons, gens, eng, rc
 }
 
 func (w *Wave) endQuery() {
@@ -211,6 +267,7 @@ func (w *Wave) SetRetire(i int, c Constituent) error {
 	old := w.cons[i]
 	w.cons[i] = c
 	w.broken[i] = false
+	w.bumpGenLocked(i)
 	w.mu.Unlock()
 	if old == nil || old == c {
 		return nil
@@ -234,6 +291,22 @@ func (w *Wave) Locked(fn func() error) error {
 	defer w.qmu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return fn()
+}
+
+// MutateLocked is Locked for mutations of slot's live constituent: the
+// slot's generation is advanced inside the critical section, before fn
+// runs, so no query — they are all excluded until the locks release —
+// can ever pair the old generation with the mutated contents. The bump
+// happens whether fn succeeds or not: a failed mutation may have torn
+// the index, and results cached under the old generation describe a
+// constituent that no longer exists.
+func (w *Wave) MutateLocked(slot int, fn func() error) error {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.bumpGenLocked(slot)
 	return fn()
 }
 
@@ -328,6 +401,25 @@ func searchTargets(cons []Constituent, t1, t2 int) ([]Searcher, []int, error) {
 	return out, slots, nil
 }
 
+// clampRange narrows [t1, t2] to the constituent's day bounds. Entries
+// only exist inside the bounds, so the clamped probe returns identical
+// results — but the clamped range is stable while the rest of the wave
+// rolls, so a "whole window" query re-hits the cache on constituents the
+// transition did not touch.
+func clampRange(c Constituent, t1, t2 int) (int, int) {
+	if b, ok := c.(DayBounder); ok {
+		if lo, hi, nonEmpty := b.DayBounds(); nonEmpty {
+			if t1 < lo {
+				t1 = lo
+			}
+			if t2 > hi {
+				t2 = hi
+			}
+		}
+	}
+	return t1, t2
+}
+
 // workersFor reports how many pool workers a query over n targets can
 // actually use.
 func workersFor(eng *Engine, n int) int64 {
@@ -349,7 +441,7 @@ func (w *Wave) TimedIndexProbe(key string, t1, t2 int) ([]index.Entry, error) {
 // TimedIndexProbeCtx is TimedIndexProbe with cancellation: the probe
 // stops between constituents once ctx is done and returns ctx's error.
 func (w *Wave) TimedIndexProbeCtx(ctx context.Context, key string, t1, t2 int) ([]index.Entry, error) {
-	cons, _ := w.beginQuery()
+	cons, gens, _, rc := w.beginQuery()
 	defer w.endQuery()
 	qm, tr := w.instrumentation()
 	tid := TraceIDFrom(ctx)
@@ -364,12 +456,7 @@ func (w *Wave) TimedIndexProbeCtx(ctx context.Context, key string, t1, t2 int) (
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		es, err := s.Probe(key, t1, t2)
-		emit(tr, TraceEvent{
-			Kind: "probe.constituent", Start: start, Duration: time.Since(start),
-			Key: key, From: t1, To: t2, Constituent: slots[i], Entries: len(es), TraceID: tid, Err: err,
-		})
+		es, err := probeOne(s, cons[slots[i]], gens[slots[i]], rc, key, t1, t2, slots[i], tr, tid)
 		if err != nil {
 			return nil, err
 		}
@@ -378,6 +465,37 @@ func (w *Wave) TimedIndexProbeCtx(ctx context.Context, key string, t1, t2 int) (
 		}
 	}
 	return mergeEntryLists(lists), nil
+}
+
+// probeOne probes one constituent, going through the result cache when
+// one is installed. Cached probes use the generation-stable clamped
+// range; uncached probes keep the caller's range verbatim so a cache-off
+// wave's behaviour (including its simulated disk cost) is unchanged.
+func probeOne(s Searcher, c Constituent, gen uint64, rc *ResultCache, key string, t1, t2, slot int, tr Tracer, tid string) ([]index.Entry, error) {
+	if rc == nil {
+		start := time.Now()
+		es, err := s.Probe(key, t1, t2)
+		emit(tr, TraceEvent{
+			Kind: "probe.constituent", Start: start, Duration: time.Since(start),
+			Key: key, From: t1, To: t2, Constituent: slot, Entries: len(es), TraceID: tid, Err: err,
+		})
+		return es, err
+	}
+	ct1, ct2 := clampRange(c, t1, t2)
+	if es, ok := rc.GetProbe(gen, key, ct1, ct2); ok {
+		return es, nil
+	}
+	start := time.Now()
+	es, err := s.Probe(key, ct1, ct2)
+	emit(tr, TraceEvent{
+		Kind: "probe.constituent", Start: start, Duration: time.Since(start),
+		Key: key, From: ct1, To: ct2, Constituent: slot, Entries: len(es), TraceID: tid, Err: err,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rc.PutProbe(gen, key, ct1, ct2, es)
+	return es, nil
 }
 
 // IndexProbe retrieves all entries for key across the whole wave,
@@ -398,7 +516,7 @@ func (w *Wave) ParallelTimedIndexProbe(key string, t1, t2 int) ([]index.Entry, e
 // cancellation: once ctx is done no further constituent probe starts,
 // workers blocked on the pool stop waiting, and ctx's error is returned.
 func (w *Wave) ParallelTimedIndexProbeCtx(ctx context.Context, key string, t1, t2 int) ([]index.Entry, error) {
-	cons, eng := w.beginQuery()
+	cons, gens, eng, rc := w.beginQuery()
 	defer w.endQuery()
 	qm, tr := w.instrumentation()
 	tid := TraceIDFrom(ctx)
@@ -410,12 +528,7 @@ func (w *Wave) ParallelTimedIndexProbeCtx(ctx context.Context, key string, t1, t
 	qm.Workers.Observe(workersFor(eng, len(targets)))
 	lists := make([][]index.Entry, len(targets))
 	err = eng.RunCtx(ctx, len(targets), func(i int) error {
-		start := time.Now()
-		es, err := targets[i].Probe(key, t1, t2)
-		emit(tr, TraceEvent{
-			Kind: "probe.constituent", Start: start, Duration: time.Since(start),
-			Key: key, From: t1, To: t2, Constituent: slots[i], Entries: len(es), TraceID: tid, Err: err,
-		})
+		es, err := probeOne(targets[i], cons[slots[i]], gens[slots[i]], rc, key, t1, t2, slots[i], tr, tid)
 		lists[i] = es
 		return err
 	})
@@ -449,7 +562,7 @@ func (w *Wave) MultiProbeCtx(ctx context.Context, keys []string, t1, t2 int) (ma
 	}
 	uniq = uniq[:n]
 
-	cons, eng := w.beginQuery()
+	cons, gens, eng, rc := w.beginQuery()
 	defer w.endQuery()
 	qm, tr := w.instrumentation()
 	tid := TraceIDFrom(ctx)
@@ -465,27 +578,62 @@ func (w *Wave) MultiProbeCtx(ctx context.Context, keys []string, t1, t2 int) (ma
 	qm.Workers.Observe(workersFor(eng, len(targets)))
 	per := make([][][]index.Entry, len(targets))
 	err = eng.RunCtx(ctx, len(targets), func(i int) error {
+		ct1, ct2 := t1, t2
+		gen := gens[slots[i]]
+		r := make([][]index.Entry, len(uniq))
+		// With a result cache, serve per-key hits from it and batch-probe
+		// only the missing keys (a subsequence of uniq, so still sorted
+		// and distinct as MultiSearcher requires).
+		missing := uniq
+		missIdx := make([]int, 0, len(uniq))
+		if rc != nil {
+			ct1, ct2 = clampRange(cons[slots[i]], t1, t2)
+			missing = make([]string, 0, len(uniq))
+			for j, k := range uniq {
+				if es, ok := rc.GetProbe(gen, k, ct1, ct2); ok {
+					r[j] = es
+					continue
+				}
+				missing = append(missing, k)
+				missIdx = append(missIdx, j)
+			}
+		} else {
+			for j := range uniq {
+				missIdx = append(missIdx, j)
+			}
+		}
 		start := time.Now()
 		err := func() error {
-			if ms, ok := targets[i].(MultiSearcher); ok {
-				r, err := ms.MultiProbe(uniq, t1, t2)
-				per[i] = r
-				return err
+			if len(missing) == 0 {
+				return nil
 			}
-			r := make([][]index.Entry, len(uniq))
-			for j, k := range uniq {
-				es, err := targets[i].Probe(k, t1, t2)
+			if ms, ok := targets[i].(MultiSearcher); ok {
+				res, err := ms.MultiProbe(missing, ct1, ct2)
 				if err != nil {
 					return err
 				}
-				r[j] = es
+				for jj, es := range res {
+					r[missIdx[jj]] = es
+					rc.PutProbe(gen, missing[jj], ct1, ct2, es)
+				}
+				return nil
 			}
-			per[i] = r
+			for jj, k := range missing {
+				es, err := targets[i].Probe(k, ct1, ct2)
+				if err != nil {
+					return err
+				}
+				r[missIdx[jj]] = es
+				rc.PutProbe(gen, k, ct1, ct2, es)
+			}
 			return nil
 		}()
+		if err == nil {
+			per[i] = r
+		}
 		emit(tr, TraceEvent{
 			Kind: "mprobe.constituent", Start: start, Duration: time.Since(start),
-			Keys: len(uniq), From: t1, To: t2, Constituent: slots[i], TraceID: tid, Err: err,
+			Keys: len(missing), From: ct1, To: ct2, Constituent: slots[i], TraceID: tid, Err: err,
 		})
 		return err
 	})
@@ -521,7 +669,7 @@ func (w *Wave) TimedSegmentScan(t1, t2 int, fn func(key string, e index.Entry) b
 // ctx's error is returned. All producer goroutines are joined before
 // returning, so no pool worker leaks.
 func (w *Wave) TimedSegmentScanCtx(ctx context.Context, t1, t2 int, fn func(key string, e index.Entry) bool) error {
-	cons, eng := w.beginQuery()
+	cons, _, eng, _ := w.beginQuery()
 	defer w.endQuery()
 	qm, tr := w.instrumentation()
 	tid := TraceIDFrom(ctx)
@@ -613,6 +761,158 @@ const (
 	minDay = -1 << 30
 	maxDay = 1 << 30
 )
+
+// aggPlan is the shared preamble of the memoized aggregates: the pinned
+// snapshot's qualifying targets plus everything the per-constituent
+// workers need. It is only built when a result cache is installed;
+// callers without one fall back to the scan-derived (byte-identical)
+// aggregate path.
+type aggPlan struct {
+	targets []Searcher
+	cons    []Constituent // aligned with targets
+	gens    []uint64      // aligned with targets
+	eng     *Engine
+	rc      *ResultCache
+}
+
+// aggBegin pins a query snapshot and builds the aggregate plan. The
+// returned end func must be called exactly once (it releases the
+// snapshot); ok is false when no result cache is installed.
+func (w *Wave) aggBegin(t1, t2 int) (plan aggPlan, end func(), ok bool, err error) {
+	cons, gens, eng, rc := w.beginQuery()
+	end = w.endQuery
+	if rc == nil {
+		return aggPlan{}, end, false, nil
+	}
+	targets, slots, err := searchTargets(cons, t1, t2)
+	if err != nil {
+		return aggPlan{}, end, true, err
+	}
+	qm, _ := w.instrumentation()
+	qm.Constituents.Add(int64(len(targets)))
+	qm.Workers.Observe(workersFor(eng, len(targets)))
+	plan = aggPlan{targets: targets, eng: eng, rc: rc}
+	plan.cons = make([]Constituent, len(targets))
+	plan.gens = make([]uint64, len(targets))
+	for i, slot := range slots {
+		plan.cons[i] = cons[slot]
+		plan.gens[i] = gens[slot]
+	}
+	return plan, end, true, nil
+}
+
+// AggCountCtx counts the entries in [t1, t2], summing per-constituent
+// counts memoized in the result cache. ok is false when no cache is
+// installed (callers should then derive the count from a scan).
+func (w *Wave) AggCountCtx(ctx context.Context, t1, t2 int) (n int, ok bool, err error) {
+	plan, end, ok, err := w.aggBegin(t1, t2)
+	defer end()
+	if !ok || err != nil {
+		return 0, ok, err
+	}
+	counts := make([]int, len(plan.targets))
+	err = plan.eng.RunCtx(ctx, len(plan.targets), func(i int) error {
+		ct1, ct2 := clampRange(plan.cons[i], t1, t2)
+		if v, hit := plan.rc.GetCount(plan.gens[i], ct1, ct2); hit {
+			counts[i] = v
+			return nil
+		}
+		v := 0
+		if err := plan.targets[i].Scan(ct1, ct2, func(string, index.Entry) bool { v++; return true }); err != nil {
+			return err
+		}
+		plan.rc.PutCount(plan.gens[i], ct1, ct2, v)
+		counts[i] = v
+		return nil
+	})
+	if err != nil {
+		return 0, true, err
+	}
+	for _, v := range counts {
+		n += v
+	}
+	return n, true, nil
+}
+
+// AggDayCountsCtx returns per-day entry counts over [t1, t2], summing
+// per-constituent day histograms memoized in the result cache. The
+// returned map is freshly allocated. ok is false when no cache is
+// installed.
+func (w *Wave) AggDayCountsCtx(ctx context.Context, t1, t2 int) (out map[int]int, ok bool, err error) {
+	plan, end, ok, err := w.aggBegin(t1, t2)
+	defer end()
+	if !ok || err != nil {
+		return nil, ok, err
+	}
+	per := make([]map[int]int, len(plan.targets))
+	err = plan.eng.RunCtx(ctx, len(plan.targets), func(i int) error {
+		ct1, ct2 := clampRange(plan.cons[i], t1, t2)
+		if m, hit := plan.rc.GetDayCounts(plan.gens[i], ct1, ct2); hit {
+			per[i] = m
+			return nil
+		}
+		m := make(map[int]int)
+		if err := plan.targets[i].Scan(ct1, ct2, func(_ string, e index.Entry) bool {
+			m[int(e.Day)]++
+			return true
+		}); err != nil {
+			return err
+		}
+		plan.rc.PutDayCounts(plan.gens[i], ct1, ct2, m)
+		per[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	out = make(map[int]int)
+	for _, m := range per {
+		for d, v := range m {
+			out[d] += v
+		}
+	}
+	return out, true, nil
+}
+
+// AggKeyCountsCtx returns per-key entry counts over [t1, t2], summing
+// per-constituent key frequency maps memoized in the result cache. The
+// returned map is freshly allocated. ok is false when no cache is
+// installed.
+func (w *Wave) AggKeyCountsCtx(ctx context.Context, t1, t2 int) (out map[string]int, ok bool, err error) {
+	plan, end, ok, err := w.aggBegin(t1, t2)
+	defer end()
+	if !ok || err != nil {
+		return nil, ok, err
+	}
+	per := make([]map[string]int, len(plan.targets))
+	err = plan.eng.RunCtx(ctx, len(plan.targets), func(i int) error {
+		ct1, ct2 := clampRange(plan.cons[i], t1, t2)
+		if m, hit := plan.rc.GetKeyCounts(plan.gens[i], ct1, ct2); hit {
+			per[i] = m
+			return nil
+		}
+		m := make(map[string]int)
+		if err := plan.targets[i].Scan(ct1, ct2, func(k string, _ index.Entry) bool {
+			m[k]++
+			return true
+		}); err != nil {
+			return err
+		}
+		plan.rc.PutKeyCounts(plan.gens[i], ct1, ct2, m)
+		per[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	out = make(map[string]int)
+	for _, m := range per {
+		for k, v := range m {
+			out[k] += v
+		}
+	}
+	return out, true, nil
+}
 
 // sortEntries orders probe results by (day, record) so results are
 // deterministic regardless of how days are clustered across constituents.

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"waveindex/internal/core"
+	"waveindex/internal/workload"
+	"waveindex/wave"
+)
+
+// CacheExecResult measures the transition-aware caching tier for one
+// maintenance scheme: the simulated disk cost of a repeated-probe
+// workload cold (first run after a transition) versus warm (the same
+// queries again, served by the block buffer pool and the constituent
+// result cache), plus how much of the cache one wave transition
+// retains.
+type CacheExecResult struct {
+	Scheme string
+
+	// Cold and Warm are the workload's simulated disk-time deltas for
+	// the first and second identical pass. Uncached indexes pay Cold on
+	// every pass; a warm cached index pays only for whatever the
+	// transition invalidated.
+	Cold, Warm time.Duration
+
+	// Block- and result-cache counters accumulated over both passes.
+	BlockHits, BlockMisses   int64
+	ResultHits, ResultMisses int64
+
+	// RetainedPct is the percentage of cached result entries that
+	// survived one further wave transition — the transition-aware
+	// dividend. Schemes that rebuild one constituent per day (DEL,
+	// REINDEX with n > 1) retain most; a whole-window rebuild retains
+	// nothing.
+	RetainedPct float64
+	// Entries is the resident result-cache entry count after the warm
+	// pass, before the retention transition.
+	Entries int64
+}
+
+// CacheExecReport is the sweep over maintenance schemes.
+type CacheExecReport struct {
+	W, N, Keys int
+	Results    []CacheExecResult
+	// Identical is true when every scheme's cached index rendered
+	// byte-identical probe results on the cold and the warm pass.
+	Identical bool
+}
+
+// Improvement is the repeated-probe speedup: cold cost over warm cost.
+// A warm pass that touched no disk at all reports the cold cost against
+// one microsecond, keeping the ratio finite.
+func (r CacheExecResult) Improvement() float64 {
+	warm := r.Warm
+	if warm < time.Microsecond {
+		warm = time.Microsecond
+	}
+	return float64(r.Cold) / float64(warm)
+}
+
+// cacheWorkloadPass runs the fixed read workload once: every key
+// probed, plus the window aggregates the result cache memoizes. The
+// returned fingerprint must not change between passes.
+func cacheWorkloadPass(x *wave.Index, keys []string) (string, error) {
+	ctx := context.Background()
+	var b strings.Builder
+	for _, k := range keys {
+		es, err := x.Probe(ctx, k)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%s=%v\n", k, es)
+	}
+	from, to := x.Window()
+	n, err := x.CountRange(ctx, from, to)
+	if err != nil {
+		return "", err
+	}
+	h, err := x.Histogram(ctx, from, to)
+	if err != nil {
+		return "", err
+	}
+	top, err := x.TopKeys(ctx, 10, from, to)
+	if err != nil {
+		return "", err
+	}
+	dk, err := x.DistinctKeys(ctx, from, to)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "count=%d hist=%v top=%v distinct=%d\n", n, h, top, dk)
+	return b.String(), nil
+}
+
+// simSum totals an index's simulated disk time across its stores. Block
+// cache hits never reach a store, so the sum prices only real misses.
+func simSum(x *wave.Index) time.Duration {
+	var out time.Duration
+	for _, s := range x.Stats().PerStore {
+		out += s.SimTime
+	}
+	return out
+}
+
+// MeasureCacheExec builds, for each maintenance scheme, a fully cached
+// wave over the same news workload, rolls it past the window, and runs
+// an identical read workload twice: the first (cold) pass prices what
+// an uncached index pays every time, the second (warm) pass prices the
+// caching tier. One further transition then measures cache retention.
+func MeasureCacheExec(w, n int, kinds []core.Kind, keyCount int) (*CacheExecReport, error) {
+	if w < n || n < 1 {
+		return nil, fmt.Errorf("experiments: cache needs 1 <= n <= w, got n=%d w=%d", n, w)
+	}
+	if keyCount < 1 {
+		keyCount = 32
+	}
+	gen := workload.NewNewsGenerator(workload.NewsConfig{
+		Seed:            29,
+		ArticlesPerDay:  800,
+		WordsPerArticle: 12,
+		VocabSize:       900,
+	})
+	keys := make([]string, keyCount)
+	for i := range keys {
+		keys[i] = gen.Vocab().Word(i)
+	}
+	lastDay := w + 2
+	rep := &CacheExecReport{W: w, N: n, Keys: keyCount, Identical: true}
+	for _, kind := range kinds {
+		x, err := wave.New(wave.Config{
+			Window: w, Indexes: n,
+			Scheme: kind, Update: wave.PackedShadow,
+			Parallelism: 1,
+			CacheBlocks: 256, CacheResults: 1 << 18,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cache %s: %w", kind, err)
+		}
+		for d := 1; d <= lastDay; d++ {
+			if err := x.AddDay(d, gen.Day(d).Postings); err != nil {
+				x.Close()
+				return nil, fmt.Errorf("experiments: cache %s day %d: %w", kind, d, err)
+			}
+		}
+		res := CacheExecResult{Scheme: kind.String()}
+
+		base := simSum(x)
+		cold, err := cacheWorkloadPass(x, keys)
+		if err != nil {
+			x.Close()
+			return nil, err
+		}
+		res.Cold = simSum(x) - base
+
+		base = simSum(x)
+		warm, err := cacheWorkloadPass(x, keys)
+		if err != nil {
+			x.Close()
+			return nil, err
+		}
+		res.Warm = simSum(x) - base
+		if warm != cold {
+			rep.Identical = false
+		}
+
+		ci := x.CacheInfo()
+		res.BlockHits, res.BlockMisses = ci.Blocks.Hits, ci.Blocks.Misses
+		res.ResultHits, res.ResultMisses = ci.Results.Hits, ci.Results.Misses
+		res.Entries = ci.Results.Entries
+		if err := x.AddDay(lastDay+1, gen.Day(lastDay+1).Postings); err != nil {
+			x.Close()
+			return nil, fmt.Errorf("experiments: cache %s retention day: %w", kind, err)
+		}
+		if res.Entries > 0 {
+			res.RetainedPct = 100 * float64(x.CacheInfo().Results.Entries) / float64(res.Entries)
+		}
+		rep.Results = append(rep.Results, res)
+		x.Close()
+	}
+	return rep, nil
+}
+
+// --- cache bench recording -------------------------------------------
+
+// CacheBenchSchema identifies the cache bench-trajectory file format.
+const CacheBenchSchema = "waveindex-cachebench/v1"
+
+// CacheBenchPoint is one scheme's recorded measures, in simulated
+// microseconds. RetainedPct and the hit counters ride along for
+// trend-watching and are never compared (retention is a design
+// property asserted by tests, not a performance trajectory).
+type CacheBenchPoint struct {
+	Scheme      string  `json:"scheme"`
+	ColdUS      int64   `json:"coldUs"`
+	WarmUS      int64   `json:"warmUs"`
+	ResultHits  int64   `json:"resultHits"`
+	BlockHits   int64   `json:"blockHits"`
+	RetainedPct float64 `json:"retainedPct"`
+}
+
+func (p CacheBenchPoint) measures() map[string]int64 {
+	return map[string]int64{
+		"coldUs": p.ColdUS,
+		"warmUs": p.WarmUS,
+	}
+}
+
+// CacheBenchFile is a recorded cache sweep.
+type CacheBenchFile struct {
+	Schema string            `json:"schema"`
+	W      int               `json:"w"`
+	N      int               `json:"n"`
+	Keys   int               `json:"keys"`
+	Points []CacheBenchPoint `json:"points"`
+}
+
+// RecordCacheBench measures the scheme sweep with both cache levels on
+// and returns it as a comparable recording. The measures are simulated
+// time, so recordings are deterministic across machines.
+func RecordCacheBench() (*CacheBenchFile, error) {
+	const w, n, keys = 8, 2, 32
+	rep, err := MeasureCacheExec(w, n, core.Kinds, keys)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Identical {
+		return nil, fmt.Errorf("experiments: cached passes rendered divergent results")
+	}
+	f := &CacheBenchFile{Schema: CacheBenchSchema, W: w, N: n, Keys: keys}
+	for _, r := range rep.Results {
+		f.Points = append(f.Points, CacheBenchPoint{
+			Scheme:      r.Scheme,
+			ColdUS:      r.Cold.Microseconds(),
+			WarmUS:      r.Warm.Microseconds(),
+			ResultHits:  r.ResultHits,
+			BlockHits:   r.BlockHits,
+			RetainedPct: r.RetainedPct,
+		})
+	}
+	return f, nil
+}
+
+// Validate checks a cache recording is structurally sound, including
+// the tier's reason to exist: every scheme's warm pass must cost at
+// most half its cold pass.
+func (f *CacheBenchFile) Validate() error {
+	if f.Schema != CacheBenchSchema {
+		return fmt.Errorf("experiments: schema %q, want %q", f.Schema, CacheBenchSchema)
+	}
+	if f.W <= 0 || f.N <= 0 || f.Keys <= 0 {
+		return fmt.Errorf("experiments: bad geometry W=%d n=%d keys=%d", f.W, f.N, f.Keys)
+	}
+	if len(f.Points) == 0 {
+		return fmt.Errorf("experiments: no points")
+	}
+	seen := map[string]bool{}
+	for _, p := range f.Points {
+		if p.Scheme == "" {
+			return fmt.Errorf("experiments: point with empty scheme")
+		}
+		if seen[p.Scheme] {
+			return fmt.Errorf("experiments: duplicate point %s", p.Scheme)
+		}
+		seen[p.Scheme] = true
+		if p.ColdUS <= 0 {
+			return fmt.Errorf("experiments: %s: cold pass cost %dus; the workload touched no disk", p.Scheme, p.ColdUS)
+		}
+		if p.WarmUS < 0 || p.RetainedPct < 0 || p.RetainedPct > 100 {
+			return fmt.Errorf("experiments: %s: negative warm cost or retention out of range", p.Scheme)
+		}
+		if p.WarmUS*2 > p.ColdUS {
+			return fmt.Errorf("experiments: %s: warm pass %dus is not at least 2x cheaper than cold %dus",
+				p.Scheme, p.WarmUS, p.ColdUS)
+		}
+		if p.ResultHits == 0 {
+			return fmt.Errorf("experiments: %s: warm pass recorded no result-cache hits", p.Scheme)
+		}
+	}
+	return nil
+}
+
+// WriteCacheBench serialises a cache recording as indented JSON.
+func WriteCacheBench(w io.Writer, f *CacheBenchFile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadCacheBench parses and validates a cache recording.
+func ReadCacheBench(r io.Reader) (*CacheBenchFile, error) {
+	var f CacheBenchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("experiments: parsing cache bench file: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// CompareCacheBench flags every compared measure of new that exceeds
+// the matching measure of old by more than thresholdPct percent,
+// mirroring CompareBench for the cache sweep.
+func CompareCacheBench(old, new *CacheBenchFile, thresholdPct float64) ([]Regression, error) {
+	if err := old.Validate(); err != nil {
+		return nil, fmt.Errorf("old: %w", err)
+	}
+	if err := new.Validate(); err != nil {
+		return nil, fmt.Errorf("new: %w", err)
+	}
+	if old.W != new.W || old.N != new.N || old.Keys != new.Keys {
+		return nil, fmt.Errorf("experiments: incomparable cache recordings: W=%d/n=%d/keys=%d vs W=%d/n=%d/keys=%d",
+			old.W, old.N, old.Keys, new.W, new.N, new.Keys)
+	}
+	oldPoints := map[string]CacheBenchPoint{}
+	for _, p := range old.Points {
+		oldPoints[p.Scheme] = p
+	}
+	var regs []Regression
+	for _, p := range new.Points {
+		op, ok := oldPoints[p.Scheme]
+		if !ok {
+			return nil, fmt.Errorf("experiments: point %s missing from old recording", p.Scheme)
+		}
+		om, nm := op.measures(), p.measures()
+		names := make([]string, 0, len(nm))
+		for name := range nm {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			o, n := om[name], nm[name]
+			if o == 0 {
+				continue
+			}
+			pct := 100 * float64(n-o) / float64(o)
+			if pct > thresholdPct {
+				regs = append(regs, Regression{
+					Scheme: p.Scheme, Technique: "cached",
+					Measure: name, Old: o, New: n, Pct: pct,
+				})
+			}
+		}
+	}
+	return regs, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"waveindex/internal/core"
+)
+
+func TestMeasureCacheExec(t *testing.T) {
+	rep, err := MeasureCacheExec(8, 2, []core.Kind{core.KindDEL, core.KindWATAStar}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatal("cached warm pass rendered different results from the cold pass")
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Cold == 0 {
+			t.Errorf("%s: cold pass cost nothing; the workload never touched disk", r.Scheme)
+		}
+		// The issue's acceptance bar: repeated probes gain >= 2x in
+		// simulated cost with the caching tier on.
+		if imp := r.Improvement(); imp < 2 {
+			t.Errorf("%s: repeated-probe improvement = %.2fx, want >= 2x", r.Scheme, imp)
+		}
+		if r.ResultHits == 0 || r.BlockHits == 0 {
+			t.Errorf("%s: warm pass hit nothing (result=%d block=%d)", r.Scheme, r.ResultHits, r.BlockHits)
+		}
+		if r.Entries == 0 {
+			t.Errorf("%s: nothing resident after the warm pass", r.Scheme)
+		}
+	}
+	// DEL's daily transition touches two of the constituents' slots at
+	// most; with n=2 it must retain some of the cache, never all of it.
+	del := rep.Results[0]
+	if del.RetainedPct <= 0 || del.RetainedPct >= 100 {
+		t.Errorf("DEL retention = %.0f%%, want partial retention in (0,100)", del.RetainedPct)
+	}
+}
+
+func cacheBenchFixture() *CacheBenchFile {
+	return &CacheBenchFile{
+		Schema: CacheBenchSchema, W: 8, N: 2, Keys: 32,
+		Points: []CacheBenchPoint{
+			{Scheme: "DEL", ColdUS: 6000000, WarmUS: 0, ResultHits: 74, BlockHits: 6000, RetainedPct: 50},
+			{Scheme: "WATA*", ColdUS: 7000000, WarmUS: 1000, ResultHits: 74, BlockHits: 6000, RetainedPct: 50},
+		},
+	}
+}
+
+func TestCacheBenchRoundTrip(t *testing.T) {
+	f := cacheBenchFixture()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCacheBench(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCacheBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(f.Points) || back.Points[1] != f.Points[1] {
+		t.Fatalf("round trip mangled points: %+v", back.Points)
+	}
+}
+
+func TestCacheBenchValidate(t *testing.T) {
+	cases := map[string]func(*CacheBenchFile){
+		"schema":      func(f *CacheBenchFile) { f.Schema = "bogus/v9" },
+		"geometry":    func(f *CacheBenchFile) { f.N = 0 },
+		"empty":       func(f *CacheBenchFile) { f.Points = nil },
+		"dup scheme":  func(f *CacheBenchFile) { f.Points[1].Scheme = "DEL" },
+		"no name":     func(f *CacheBenchFile) { f.Points[0].Scheme = "" },
+		"zero cold":   func(f *CacheBenchFile) { f.Points[0].ColdUS = 0 },
+		"no speedup":  func(f *CacheBenchFile) { f.Points[0].WarmUS = f.Points[0].ColdUS },
+		"no hits":     func(f *CacheBenchFile) { f.Points[0].ResultHits = 0 },
+		"retention":   func(f *CacheBenchFile) { f.Points[0].RetainedPct = 101 },
+		"negative":    func(f *CacheBenchFile) { f.Points[0].WarmUS = -1 },
+	}
+	for name, mutate := range cases {
+		f := cacheBenchFixture()
+		mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken recording", name)
+		}
+	}
+}
+
+func TestCompareCacheBench(t *testing.T) {
+	old, cur := cacheBenchFixture(), cacheBenchFixture()
+	regs, err := CompareCacheBench(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical recordings flagged: %v", regs)
+	}
+	// A cold-pass blowup on one scheme is a regression; warm staying at
+	// zero never divides by zero.
+	cur.Points[0].ColdUS *= 2
+	regs, err = CompareCacheBench(old, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Scheme != "DEL" || regs[0].Measure != "coldUs" {
+		t.Fatalf("regressions = %v, want one DEL coldUs", regs)
+	}
+	if !strings.Contains(regs[0].String(), "coldUs") {
+		t.Fatalf("regression string %q missing measure", regs[0])
+	}
+	// Mismatched geometry is incomparable.
+	cur = cacheBenchFixture()
+	cur.Keys = 64
+	if _, err := CompareCacheBench(old, cur, 10); err == nil {
+		t.Fatal("mismatched geometry compared without error")
+	}
+	// A scheme missing from the old recording is an error, not silence.
+	cur = cacheBenchFixture()
+	cur.Points[1].Scheme = "RATA*"
+	if _, err := CompareCacheBench(old, cur, 10); err == nil {
+		t.Fatal("unknown point compared without error")
+	}
+}

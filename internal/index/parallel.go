@@ -108,10 +108,18 @@ func groupByKeyParallel(parallelism int, batches []*Batch) map[string][]Entry {
 
 // bufPool recycles the byte buffers of bucket reads, shadow copies, and
 // packed builds. Buffers are handed out at least n bytes long and
-// returned whole; the pool keeps whatever capacity they grew to.
+// returned whole; the pool keeps capacities up to maxPooledBuf.
 var bufPool = sync.Pool{
 	New: func() any { return new([]byte) },
 }
+
+// maxPooledBuf caps the capacity putBuf recycles. Without it a single
+// outsized allocation — a hot key's merged bucket, a whole packed
+// constituent image — pins its high-water capacity in the pool
+// indefinitely: later small getBuf calls keep handing the giant buffer
+// back out, and the pool's steady-state footprint becomes the largest
+// transient ever seen instead of the working set.
+const maxPooledBuf = 1 << 20
 
 // getBuf returns a length-n buffer from the pool.
 func getBuf(n int) []byte {
@@ -123,7 +131,11 @@ func getBuf(n int) []byte {
 }
 
 // putBuf returns a buffer obtained from getBuf to the pool. The caller
-// must not retain any reference into it.
+// must not retain any reference into it. Buffers over maxPooledBuf are
+// dropped for the GC instead of pooled.
 func putBuf(b []byte) {
+	if cap(b) > maxPooledBuf {
+		return
+	}
 	bufPool.Put(&b)
 }

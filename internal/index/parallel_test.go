@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"waveindex/internal/simdisk"
@@ -149,4 +150,59 @@ func TestChunkRanges(t *testing.T) {
 			t.Errorf("chunkRanges(%d,%d) covers %d items", tc.n, tc.chunks, next)
 		}
 	}
+}
+
+// TestBufPoolStabilises checks putBuf's capacity cap: pool-sized
+// buffers round-trip, but an outsized buffer returned to the pool must
+// not come back from a later small getBuf. Without the cap one giant
+// transient (a hot key's merged bucket) pins its capacity in the pool
+// and every subsequent small request drags the whole allocation along.
+func TestBufPoolStabilises(t *testing.T) {
+	// Pool-sized buffers are recycled: capacity survives a round trip.
+	b := getBuf(512)
+	b = append(b[:0], make([]byte, 4096)...) // grow within the cap
+	putBuf(b)
+
+	// An outsized buffer must be dropped on put...
+	huge := getBuf(maxPooledBuf + 1)
+	if cap(huge) <= maxPooledBuf {
+		t.Fatalf("getBuf(%d) cap = %d", maxPooledBuf+1, cap(huge))
+	}
+	putBuf(huge)
+
+	// ...so no later get, small or large, may observe a pooled buffer
+	// over the cap. Drain more gets than we ever put to force pool
+	// misses too.
+	for i := 0; i < 64; i++ {
+		g := getBuf(64)
+		if cap(g) > maxPooledBuf {
+			t.Fatalf("get %d returned over-cap buffer: cap %d > %d", i, cap(g), maxPooledBuf)
+		}
+		putBuf(g)
+	}
+}
+
+// TestBufPoolReuseUnderChurn drives concurrent get/put churn with
+// mixed sizes under the race detector and checks every handed-out
+// buffer has the requested length.
+func TestBufPoolReuseUnderChurn(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sizes := []int{16, 900, 64 << 10, maxPooledBuf + 7}
+			for i := 0; i < 200; i++ {
+				n := sizes[(w+i)%len(sizes)]
+				b := getBuf(n)
+				if len(b) != n {
+					t.Errorf("getBuf(%d) len = %d", n, len(b))
+					return
+				}
+				b[0], b[n-1] = byte(w), byte(i)
+				putBuf(b)
+			}
+		}(w)
+	}
+	wg.Wait()
 }

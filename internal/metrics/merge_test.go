@@ -115,3 +115,47 @@ func TestMergeSumsSameKind(t *testing.T) {
 		t.Errorf("histogram = %+v, want count 2 sum 16", hs)
 	}
 }
+
+// TestMergeCacheGauges checks the shard rollup over the caching tier's
+// gauges: per-shard cache_* series are extensive quantities and must
+// sum, and a shard running with caching off (no cache_* gauges in its
+// snapshot at all, the bench-comparability contract) contributes
+// nothing without zeroing the fleet view.
+func TestMergeCacheGauges(t *testing.T) {
+	ra, rb, rc := New(), New(), New()
+	for name, vals := range map[string][2]int64{
+		"cache_block_hits":         {100, 40},
+		"cache_block_misses":       {20, 10},
+		"cache_block_evictions":    {5, 0},
+		"cache_result_hits":        {60, 9},
+		"cache_result_misses":      {12, 3},
+		"cache_result_invalidated": {7, 1},
+		"cache_result_entries":     {33, 11},
+		"cache_result_cost_used":   {400, 100},
+	} {
+		ra.Gauge(name).Set(vals[0])
+		rb.Gauge(name).Set(vals[1])
+	}
+	// rc is a cache-off shard: it exports query counters but no cache
+	// gauges whatsoever.
+	rc.Counter("query_probe_total").Add(5)
+
+	got := Merge(ra.Snapshot(), rb.Snapshot(), rc.Snapshot())
+	for name, want := range map[string]int64{
+		"cache_block_hits":         140,
+		"cache_block_misses":       30,
+		"cache_block_evictions":    5,
+		"cache_result_hits":        69,
+		"cache_result_misses":      15,
+		"cache_result_invalidated": 8,
+		"cache_result_entries":     44,
+		"cache_result_cost_used":   500,
+	} {
+		if v := got.Gauge(name); v != want {
+			t.Errorf("merged %s = %d, want %d", name, v, want)
+		}
+	}
+	if got.Counter("query_probe_total") != 5 {
+		t.Errorf("cache-off shard's counters lost in merge")
+	}
+}

@@ -210,3 +210,57 @@ func TestBucketBounds(t *testing.T) {
 		t.Fatal("bucket bounds moved")
 	}
 }
+
+// TestQuantileSingleSample checks every interior quantile of a
+// one-observation histogram reports that observation exactly: with one
+// sample the rank is always 1, the only bucket's bound clamps to Max,
+// and nothing resolves to an empty-grid artefact like 0.
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(777)
+	s := h.snapshot()
+	for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != 777 {
+			t.Errorf("single-sample Quantile(%v) = %d, want 777", q, got)
+		}
+	}
+}
+
+// TestQuantileTwoSpikes checks quantile resolution on a bimodal
+// distribution: 99 fast observations and one outlier. p95 and p99 must
+// stay in the fast mode's bucket (their rank lands before the spike),
+// while p100 reports the outlier exactly; flipped, a 99%-outlier
+// distribution must pull p95/p99 up to the slow mode without
+// overshooting the observed max.
+func TestQuantileTwoSpikes(t *testing.T) {
+	const fast, slow = 10, 1 << 20
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(fast)
+	}
+	h.Observe(slow)
+	s := h.snapshot()
+	for _, q := range []float64{0.95, 0.99} {
+		if got := s.Quantile(q); got < fast || got >= slow {
+			t.Errorf("fast-heavy Quantile(%v) = %d, want in fast bucket [%d,%d)", q, got, fast, slow)
+		}
+	}
+	if got := s.Quantile(1); got != slow {
+		t.Errorf("fast-heavy Quantile(1) = %d, want %d", got, slow)
+	}
+
+	var h2 Histogram
+	h2.Observe(fast)
+	for i := 0; i < 99; i++ {
+		h2.Observe(slow)
+	}
+	s2 := h2.snapshot()
+	for _, q := range []float64{0.95, 0.99} {
+		if got := s2.Quantile(q); got < slow || got > s2.Max {
+			t.Errorf("slow-heavy Quantile(%v) = %d, want in [%d,%d]", q, got, slow, s2.Max)
+		}
+	}
+	if got := s2.Quantile(0); got != fast {
+		t.Errorf("slow-heavy Quantile(0) = %d, want min %d", got, fast)
+	}
+}

@@ -56,6 +56,12 @@ const (
 	EventSlowQuery = "query.slow"
 	// EventNetFault marks an injected wire fault (netfault package).
 	EventNetFault = "netfault.injected"
+	// EventCacheInvalidate marks result-cache invalidation by a wave
+	// transition: Day is the transition's day, Ops how many cached
+	// entries the moved constituent generations purged, Value the
+	// entries still resident — DEL and WATA* rolls keep most of the
+	// cache, REINDEX empties it.
+	EventCacheInvalidate = "cache.invalidate"
 	// EventSLOBurn and EventSLOOK mark an SLO burn-rate threshold
 	// crossing and its clearing: Cmd is the command, Cause the window,
 	// Value the burn rate in milli-units.

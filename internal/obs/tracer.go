@@ -29,6 +29,11 @@ type SpanEvents struct {
 
 	mu       sync.Mutex
 	lastWork map[simdisk.Cause]simdisk.CauseStats
+	// cache samples the result cache's cumulative invalidation counter
+	// and resident entry count (nil disables cache events); lastInval
+	// is the previous sample, so each transition reports its own purge.
+	cache     func() (invalidated, resident int64)
+	lastInval int64
 }
 
 // NewSpanEvents returns an adapter publishing to bus. slow is the
@@ -40,6 +45,19 @@ func NewSpanEvents(bus *Bus, slow time.Duration, work func() []simdisk.CauseStat
 	s := &SpanEvents{bus: bus, work: work, lastWork: map[simdisk.Cause]simdisk.CauseStats{}}
 	s.slowNS.Store(int64(slow))
 	return s
+}
+
+// SetCacheSampler installs a sampler for the backend's result cache
+// (cumulative invalidated counter plus resident entries). Each
+// completed transition work phase that moved the counter publishes a
+// cache.invalidate event carrying the purge size. Nil disables. Call
+// before the span stream starts; the sampler is read without
+// additional synchronisation once transitions flow.
+func (s *SpanEvents) SetCacheSampler(fn func() (invalidated, resident int64)) {
+	if s == nil {
+		return
+	}
+	s.cache = fn
 }
 
 // SetSlowThreshold changes the slow-query threshold at runtime
@@ -84,6 +102,9 @@ func (s *SpanEvents) TraceEvent(ev core.TraceEvent) {
 			out.Fields = s.workDelta()
 		}
 		s.bus.Publish(out)
+		if phase == "work" {
+			s.publishCacheDelta(ev)
+		}
 	case ev.Kind == "journal.checkpoint":
 		s.bus.Publish(Event{
 			Type:       EventCheckpoint,
@@ -120,6 +141,33 @@ func (s *SpanEvents) TraceEvent(ev core.TraceEvent) {
 		}
 		s.bus.Publish(out)
 	}
+}
+
+// publishCacheDelta samples the result cache after a transition's work
+// phase and publishes a cache.invalidate event when the transition
+// purged entries. Concurrent shard transitions share one fleet sampler,
+// so under overlap a delta may attribute a neighbour's purge — the same
+// caveat as workDelta.
+func (s *SpanEvents) publishCacheDelta(ev core.TraceEvent) {
+	if s.cache == nil {
+		return
+	}
+	inval, resident := s.cache()
+	s.mu.Lock()
+	delta := inval - s.lastInval
+	s.lastInval = inval
+	s.mu.Unlock()
+	if delta <= 0 {
+		return
+	}
+	s.bus.Publish(Event{
+		Type:  EventCacheInvalidate,
+		Time:  ev.Start.Add(ev.Duration),
+		Shard: eventShard(ev.Shard),
+		Day:   ev.Day,
+		Ops:   int(delta),
+		Value: resident,
+	})
 }
 
 // workDelta samples the work ledger and returns the per-cause delta

@@ -793,6 +793,67 @@ func (c *Client) Metrics() (Metrics, error) {
 	return m, nil
 }
 
+// Cache fetches the server's caching-tier snapshot: block buffer pool
+// and result cache counters plus the current constituent generations.
+func (c *Client) Cache() (wave.CacheInfo, error) {
+	var ci wave.CacheInfo
+	err := c.do(func() error {
+		ci = wave.CacheInfo{}
+		fmt.Fprintln(c.w, "CACHE")
+		if err := c.w.Flush(); err != nil {
+			return &TransportError{Err: err}
+		}
+		seen := 0
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			f := strings.Fields(line)
+			i64 := func(s string) int64 { v, _ := strconv.ParseInt(s, 10, 64); return v }
+			switch {
+			case len(f) == 8 && f[0] == "BLOCKS":
+				ci.BlocksEnabled = f[1] == "1"
+				ci.Blocks.Hits = i64(f[2])
+				ci.Blocks.Misses = i64(f[3])
+				ci.Blocks.Evictions = i64(f[4])
+				ci.Blocks.Resident = int(i64(f[5]))
+				ci.Blocks.SavedSeeks = i64(f[6])
+				ci.Blocks.SavedSimTime = time.Duration(i64(f[7])) * time.Microsecond
+				seen++
+			case len(f) == 9 && f[0] == "RESULTS":
+				ci.ResultsEnabled = f[1] == "1"
+				ci.Results.Hits = i64(f[2])
+				ci.Results.Misses = i64(f[3])
+				ci.Results.Evictions = i64(f[4])
+				ci.Results.Invalidated = i64(f[5])
+				ci.Results.Entries = i64(f[6])
+				ci.Results.CostUsed = i64(f[7])
+				ci.Results.CostCap = i64(f[8])
+				seen++
+			case len(f) == 3 && f[0] == "GEN":
+				g, _ := strconv.ParseUint(f[2], 10, 64)
+				ci.Generations = append(ci.Generations, g)
+				seen++
+			case len(f) == 2 && f[0] == "END":
+				want, _ := strconv.Atoi(f[1])
+				if want != seen {
+					return &TransportError{Err: fmt.Errorf("cache ended with %d rows, header said %d", seen, want)}
+				}
+				return nil
+			case strings.HasPrefix(line, "ERR "):
+				return parseWireErr(strings.TrimPrefix(line, "ERR "))
+			default:
+				return &TransportError{Err: fmt.Errorf("unexpected line %q", line)}
+			}
+		}
+	})
+	if err != nil {
+		return wave.CacheInfo{}, err
+	}
+	return ci, nil
+}
+
 // SlowLogEntry is one parsed SLOWLOG row. Seeks, BytesRead,
 // BytesWritten and DiskUS are the simulated-disk work the query itself
 // performed (DiskUS in simulated microseconds); TraceID is the wire

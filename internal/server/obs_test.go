@@ -90,6 +90,77 @@ func TestEventsCommandPagingAndCursor(t *testing.T) {
 	}
 }
 
+// TestEventsCommandRingWrap overflows the bus ring (capacity 128 in
+// startObsServer) and checks the dropped count survives the wire
+// round-trip: a since=0 reader learns exactly how many events it lost,
+// and a mid-wrap cursor is only charged for its own gap.
+func TestEventsCommandRingWrap(t *testing.T) {
+	c, bus := startObsServer(t, obsIndex(t), Options{})
+	const published = 150 // capacity 128 → first retained seq is 23
+	for i := 0; i < published; i++ {
+		bus.Publish(obs.Event{Type: obs.EventShed, Shard: -1, Cmd: "probe"})
+	}
+	page, err := c.Events(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Dropped != 22 || len(page.Events) != 128 || page.Last != published {
+		t.Fatalf("wrapped Events(0,0) = %d events last=%d dropped=%d, want 128/%d/22",
+			len(page.Events), page.Last, page.Dropped, published)
+	}
+	if page.Events[0].Seq != 23 || page.Events[len(page.Events)-1].Seq != published {
+		t.Fatalf("retained window [%d,%d], want [23,%d]",
+			page.Events[0].Seq, page.Events[len(page.Events)-1].Seq, published)
+	}
+	// A cursor inside the dropped region is charged only for its gap.
+	page, err = c.Events(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Dropped != 12 || page.Events[0].Seq != 23 {
+		t.Fatalf("Events(10,0) dropped=%d first=%d, want 12/23",
+			page.Dropped, page.Events[0].Seq)
+	}
+	// A cursor already past the drop horizon loses nothing.
+	page, err = c.Events(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Dropped != 0 || len(page.Events) != 50 {
+		t.Fatalf("Events(100,0) = %d events dropped=%d, want 50/0",
+			len(page.Events), page.Dropped)
+	}
+}
+
+// TestEventsCommandClampsStaleCursor sends a cursor from "before a
+// restart" — ahead of everything the bus has ever numbered. The server
+// must clamp the echoed Last back to the bus head instead of parroting
+// the stale cursor, otherwise a polling client wedges forever waiting
+// for sequences that restart renumbering will never reach.
+func TestEventsCommandClampsStaleCursor(t *testing.T) {
+	c, bus := startObsServer(t, obsIndex(t), Options{})
+	for i := 0; i < 5; i++ {
+		bus.Publish(obs.Event{Type: obs.EventShed, Shard: -1, Cmd: "probe"})
+	}
+	page, err := c.Events(1<<40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 0 || page.Last != 5 {
+		t.Fatalf("stale cursor page = %d events last=%d, want 0 events last=5",
+			len(page.Events), page.Last)
+	}
+	// The clamped cursor resumes the live stream.
+	bus.Publish(obs.Event{Type: obs.EventShed, Shard: -1, Cmd: "count"})
+	page, err = c.Events(page.Last, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 1 || page.Events[0].Cmd != "count" {
+		t.Fatalf("resume after clamp = %+v, want the new event", page)
+	}
+}
+
 func TestEventsCommandWithoutBusErrs(t *testing.T) {
 	idx := obsIndex(t)
 	l, err := net.Listen("tcp", "127.0.0.1:0")

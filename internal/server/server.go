@@ -23,6 +23,8 @@
 //	STATS                       scheme, days indexed, storage bytes
 //	METRICS                     metrics snapshot (fleet rollup)
 //	METRICS SHARDS              per-shard snapshots + breaker positions
+//	CACHE                       caching-tier snapshot: block buffer pool,
+//	                            result cache, constituent generations
 //	EVENTS [since=<seq>] [max=<n>]  replay the event timeline after seq
 //	SLO                         per-command SLO windows and burn rates
 //	SLOWLOG                     slow-query log, most recent first
@@ -57,7 +59,11 @@
 // "WORK <cause> <seeks> <bytesRead> <bytesWritten> <simus>" lines
 // terminated by "END <n>". EVENTS streams
 // "EVENT <seq> <unix_us> <type> <shard> [k=v ...]" lines terminated by
-// "END <n> last=<seq> dropped=<d>"; SLO streams one "OBJ ..." line and
+// "END <n> last=<seq> dropped=<d>"; CACHE streams
+// "BLOCKS <on> <hits> <misses> <evictions> <resident> <savedSeeks> <savedSimUs>",
+// "RESULTS <on> <hits> <misses> <evictions> <invalidated> <entries> <costUsed> <costCap>",
+// and one "GEN <i> <generation>" line per wave slot, terminated by
+// "END <n>"; SLO streams one "OBJ ..." line and
 // "SLO <cmd> <window> <rateMilli> <errMilli> <slowMilli> <quantileUs>
 // <burnMilli> <alerting>" lines terminated by "END <n>".
 //
@@ -475,6 +481,8 @@ func (s *Server) handle(conn net.Conn) {
 			} else {
 				s.metrics(out)
 			}
+		case "CACHE":
+			err = s.cache(out)
 		case "EVENTS":
 			err = s.events(out, fields[1:])
 		case "SLO":
@@ -860,12 +868,60 @@ func (s *Server) events(out *bufio.Writer, args []string) error {
 		evs = evs[:max]
 	}
 	last := since + dropped
+	// A cursor ahead of the bus means the caller outlived a server
+	// restart (the bus renumbers from 1). Echoing the stale cursor back
+	// would wedge the caller forever; hand it the bus's true position so
+	// its next request resyncs.
+	if lastSeq := s.opts.Events.LastSeq(); last > lastSeq {
+		last = lastSeq
+	}
 	for _, ev := range evs {
 		fmt.Fprintln(out, ev.WireLine())
 		last = ev.Seq
 	}
 	fmt.Fprintf(out, "END %d last=%d dropped=%d\n", len(evs), last, dropped)
 	return nil
+}
+
+// cache streams the caching-tier snapshot when the backend carries one:
+// one BLOCKS line (the block buffer pool summed across stores and
+// shards), one RESULTS line (the per-constituent result cache), and one
+// GEN line per wave slot with its current constituent generation.
+func (s *Server) cache(out *bufio.Writer) error {
+	ci, ok := s.backendCacheInfo()
+	if !ok {
+		return errors.New("backend does not expose cache information")
+	}
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	n := 2
+	fmt.Fprintf(out, "BLOCKS %d %d %d %d %d %d %d\n",
+		b2i(ci.BlocksEnabled), ci.Blocks.Hits, ci.Blocks.Misses, ci.Blocks.Evictions,
+		ci.Blocks.Resident, ci.Blocks.SavedSeeks, ci.Blocks.SavedSimTime.Microseconds())
+	fmt.Fprintf(out, "RESULTS %d %d %d %d %d %d %d %d\n",
+		b2i(ci.ResultsEnabled), ci.Results.Hits, ci.Results.Misses, ci.Results.Evictions,
+		ci.Results.Invalidated, ci.Results.Entries, ci.Results.CostUsed, ci.Results.CostCap)
+	for i, g := range ci.Generations {
+		fmt.Fprintf(out, "GEN %d %d\n", i, g)
+		n++
+	}
+	fmt.Fprintf(out, "END %d\n", n)
+	return nil
+}
+
+// backendCacheInfo fetches the backend's caching-tier snapshot through
+// the optional-capability interface (all three backend shapes carry it;
+// embedders' custom backends may not).
+func (s *Server) backendCacheInfo() (wave.CacheInfo, bool) {
+	ciB, ok := s.b.(interface{ CacheInfo() wave.CacheInfo })
+	if !ok {
+		return wave.CacheInfo{}, false
+	}
+	return ciB.CacheInfo(), true
 }
 
 // slo streams the SLO report: one "OBJ ..." line with the objectives,

@@ -3,6 +3,7 @@ package simdisk
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Cache wraps a BlockStore with a write-through LRU block cache. Reads
@@ -13,12 +14,21 @@ import (
 type Cache struct {
 	inner BlockStore
 
-	mu     sync.Mutex
-	cap    int
-	pages  map[int64]*list.Element // absolute block number -> lru element
-	lru    *list.List              // front = most recent; value = *cachePage
-	hits   int64
-	misses int64
+	// Cost parameters mirrored from the inner store (or the package
+	// defaults): a hit's saved simulated time is priced with the same
+	// model the store would have charged — one seek plus the transfer.
+	seekTime time.Duration
+	rate     int64
+
+	mu         sync.Mutex
+	cap        int
+	pages      map[int64]*list.Element // absolute block number -> lru element
+	lru        *list.List              // front = most recent; value = *cachePage
+	hits       int64
+	misses     int64
+	evictions  int64
+	savedSeeks int64
+	savedNanos int64
 }
 
 type cachePage struct {
@@ -32,27 +42,51 @@ func NewCache(inner BlockStore, capBlocks int) *Cache {
 	if capBlocks < 1 {
 		capBlocks = 1
 	}
-	return &Cache{
-		inner: inner,
-		cap:   capBlocks,
-		pages: make(map[int64]*list.Element),
-		lru:   list.New(),
+	c := &Cache{
+		inner:    inner,
+		seekTime: DefaultSeekTime,
+		rate:     DefaultTransferBytes,
+		cap:      capBlocks,
+		pages:    make(map[int64]*list.Element),
+		lru:      list.New(),
 	}
+	if cp, ok := inner.(interface{ CostParams() (time.Duration, int64) }); ok {
+		c.seekTime, c.rate = cp.CostParams()
+	}
+	return c
 }
 
-// CacheStats reports cache effectiveness.
+// CacheStats reports cache effectiveness. SavedSeeks/SavedSimTime price
+// the all-resident reads with the store's own cost model (one seek plus
+// the transfer each would have cost cold) — an upper bound, since some
+// cold reads would have been sequential with their predecessor.
 type CacheStats struct {
-	Hits     int64
-	Misses   int64
-	Resident int
+	Hits         int64
+	Misses       int64
+	Evictions    int64
+	Resident     int
+	SavedSeeks   int64
+	SavedSimTime time.Duration
 }
 
-// CacheStats returns hit/miss counters and resident block count.
+// CacheStats returns hit/miss/eviction counters, resident block count,
+// and the simulated cost the hits avoided.
 func (c *Cache) CacheStats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Resident: len(c.pages)}
+	return CacheStats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		Resident:     len(c.pages),
+		SavedSeeks:   c.savedSeeks,
+		SavedSimTime: time.Duration(c.savedNanos),
+	}
 }
+
+// CostParams returns the cache's cost-model parameters (those of the
+// inner store), so stacked caches price savings identically.
+func (c *Cache) CostParams() (time.Duration, int64) { return c.seekTime, c.rate }
 
 // BlockSize implements BlockStore.
 func (c *Cache) BlockSize() int { return c.inner.BlockSize() }
@@ -110,6 +144,7 @@ func (c *Cache) install(block int64, data []byte) {
 		}
 		c.lru.Remove(tail)
 		delete(c.pages, tail.Value.(*cachePage).block)
+		c.evictions++
 	}
 	page := &cachePage{block: block, data: append([]byte(nil), data...)}
 	c.pages[block] = c.lru.PushFront(page)
@@ -152,6 +187,12 @@ func (c *Cache) ReadAt(ext Extent, off int64, p []byte) error {
 			copy(p[from-abs:to-abs], data[from-bStart:to-bStart])
 		}
 		c.hits++
+		c.savedSeeks++
+		saved := int64(c.seekTime)
+		if c.rate > 0 {
+			saved += int64(len(p)) * int64(time.Second) / c.rate
+		}
+		c.savedNanos += saved
 		c.mu.Unlock()
 		return nil
 	}

@@ -362,6 +362,13 @@ func NewRAM(cfg Config) *Store {
 // BlockSize implements BlockStore.
 func (s *Store) BlockSize() int { return s.cfg.BlockSize }
 
+// CostParams returns the store's cost-model parameters: the per-seek
+// simulated time and the transfer rate in bytes per second. Wrappers
+// (e.g. the block cache) use them to price avoided work consistently.
+func (s *Store) CostParams() (time.Duration, int64) {
+	return s.cfg.SeekTime, s.cfg.TransferRate
+}
+
 // Alloc implements BlockStore.
 func (s *Store) Alloc(blocks int64) (Extent, error) {
 	s.mu.Lock()

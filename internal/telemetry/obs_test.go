@@ -191,6 +191,63 @@ func TestEventsEndpointCursorAndLongPoll(t *testing.T) {
 	}
 }
 
+// TestEventsEndpointRingWrapAndStaleCursor checks the /events JSON
+// carries the ring-wrap dropped count and clamps a cursor from before
+// a daemon restart back to the bus head.
+func TestEventsEndpointRingWrapAndStaleCursor(t *testing.T) {
+	bus := obs.NewBus(32)
+	srv, err := Serve("127.0.0.1:0", Options{Events: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	getPage := func(path string) EventsPage {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var page EventsPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+		return page
+	}
+
+	const published = 50 // capacity 32 → first retained seq is 19
+	for i := 0; i < published; i++ {
+		bus.Publish(obs.Event{Type: obs.EventShed, Shard: -1, Cmd: "probe"})
+	}
+	page := getPage("/events?since=0")
+	if page.Dropped != 18 || len(page.Events) != 32 || page.Last != published {
+		t.Fatalf("wrapped page = %d events last=%d dropped=%d, want 32/%d/18",
+			len(page.Events), page.Last, page.Dropped, published)
+	}
+	if page.Events[0].Seq != 19 {
+		t.Fatalf("first retained seq = %d, want 19", page.Events[0].Seq)
+	}
+	// Mid-wrap cursor pays only its own gap.
+	page = getPage("/events?since=10")
+	if page.Dropped != 8 || page.Events[0].Seq != 19 {
+		t.Fatalf("since=10 page dropped=%d first=%d, want 8/19",
+			page.Dropped, page.Events[0].Seq)
+	}
+	// A cursor from before a restart clamps to the bus head instead of
+	// echoing back a sequence the renumbered bus will never reach.
+	page = getPage("/events?since=1099511627776")
+	if len(page.Events) != 0 || page.Last != published {
+		t.Fatalf("stale cursor page = %d events last=%d, want 0/%d",
+			len(page.Events), page.Last, published)
+	}
+	bus.Publish(obs.Event{Type: obs.EventShed, Shard: -1, Cmd: "count"})
+	page = getPage("/events?since=50")
+	if len(page.Events) != 1 || page.Events[0].Cmd != "count" {
+		t.Fatalf("resume after clamp = %+v, want the new event", page)
+	}
+}
+
 func TestSLOEndpointJSON(t *testing.T) {
 	bus := obs.NewBus(16)
 	eng := obs.NewEngine(obs.Objectives{Availability: 0.99}, bus)

@@ -12,6 +12,7 @@ import (
 	"waveindex/internal/metrics"
 	"waveindex/internal/obs"
 	"waveindex/internal/simdisk"
+	"waveindex/wave"
 )
 
 // Health is the admin server's view of index liveness, mirroring the
@@ -53,6 +54,10 @@ type Options struct {
 	// SLO, when set, supplies the report served at /slo and rendered as
 	// slo_* series at /metrics.
 	SLO func() obs.Report
+	// Cache, when set, supplies the caching-tier snapshot served as
+	// JSON at /cache (the cache_* gauges already ride /metrics through
+	// the Metrics hook).
+	Cache func() wave.CacheInfo
 }
 
 // EventsPage is the JSON shape served by /events: the retained events
@@ -118,6 +123,12 @@ func NewHandler(opts Options) http.Handler {
 			_ = json.NewEncoder(w).Encode(opts.SLO())
 		})
 	}
+	if opts.Cache != nil {
+		mux.HandleFunc("/cache", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(opts.Cache())
+		})
+	}
 	if opts.Events != nil {
 		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 			q := r.URL.Query()
@@ -143,6 +154,11 @@ func NewHandler(opts Options) http.Handler {
 				page.Events, page.Dropped = opts.Events.Since(since)
 			}
 			page.Last = since + page.Dropped
+			// Clamp a cursor from before a restart (the bus renumbers
+			// from 1): echoing it back would wedge the poller forever.
+			if last := opts.Events.LastSeq(); page.Last > last {
+				page.Last = last
+			}
 			if n := len(page.Events); n > 0 {
 				page.Last = page.Events[n-1].Seq
 			}

@@ -4,10 +4,17 @@ import (
 	"container/heap"
 	"context"
 	"sort"
+
+	"waveindex/internal/core"
 )
 
 // This file provides windowed aggregation helpers built on segment scans —
 // the paper's TimedSegmentScan use cases (sum/min/max aggregates, §2).
+// With a result cache installed (Config.CacheResults) the counting
+// aggregates answer from per-constituent memoized partials instead of
+// re-scanning; the scan-derived path remains the reference behaviour
+// and the two are result-identical (the memoized partials are produced
+// by the same per-constituent scans the merge would have visited).
 
 // Count returns the number of entries in the window.
 func (x *Index) Count(ctx context.Context) (int, error) {
@@ -17,12 +24,85 @@ func (x *Index) Count(ctx context.Context) (int, error) {
 
 // CountRange counts entries inserted between day from and to.
 func (x *Index) CountRange(ctx context.Context, from, to int) (int, error) {
+	if n, hit, err := x.cachedCount(ctx, from, to); hit {
+		return n, err
+	}
 	n := 0
 	err := x.ScanRange(ctx, from, to, func(string, Entry) bool {
 		n++
 		return true
 	})
 	return n, err
+}
+
+// cachedCount answers CountRange from memoized per-constituent counts.
+// hit is false when no result cache is installed (fall back to the
+// scan); when true the caller must not scan, even on error.
+func (x *Index) cachedCount(ctx context.Context, from, to int) (n int, hit bool, err error) {
+	if !x.rcOn {
+		return 0, false, nil
+	}
+	if err := x.queryable(); err != nil {
+		return 0, true, err
+	}
+	start, before, track := x.obs.begin()
+	n, ok, err := x.scheme.Wave().AggCountCtx(ctx, from, to)
+	if !ok {
+		return 0, false, nil
+	}
+	if track {
+		x.obs.end("scan", "", core.TraceIDFrom(ctx), 0, from, to, n, start, before, err)
+	}
+	return n, true, err
+}
+
+// cachedDayCounts answers Histogram from memoized per-constituent day
+// histograms; same contract as cachedCount.
+func (x *Index) cachedDayCounts(ctx context.Context, from, to int) (m map[int]int, hit bool, err error) {
+	if !x.rcOn {
+		return nil, false, nil
+	}
+	if err := x.queryable(); err != nil {
+		return nil, true, err
+	}
+	start, before, track := x.obs.begin()
+	m, ok, err := x.scheme.Wave().AggDayCountsCtx(ctx, from, to)
+	if !ok {
+		return nil, false, nil
+	}
+	if track {
+		entries := 0
+		for _, v := range m {
+			entries += v
+		}
+		x.obs.end("scan", "", core.TraceIDFrom(ctx), 0, from, to, entries, start, before, err)
+	}
+	return m, true, err
+}
+
+// cachedKeyCounts answers key-frequency aggregates (TopKeys,
+// DistinctKeys) from memoized per-constituent key counts; same contract
+// as cachedCount.
+func (x *Index) cachedKeyCounts(ctx context.Context, from, to int) (m map[string]int, hit bool, err error) {
+	if !x.rcOn {
+		return nil, false, nil
+	}
+	if err := x.queryable(); err != nil {
+		return nil, true, err
+	}
+	start, before, track := x.obs.begin()
+	m, ok, err := x.scheme.Wave().AggKeyCountsCtx(ctx, from, to)
+	if !ok {
+		return nil, false, nil
+	}
+	if track {
+		entries := 0
+		for _, v := range m {
+			entries += v
+		}
+		x.obs.end("scan", "", core.TraceIDFrom(ctx), 0, from, to, entries, start, before, err)
+	}
+	return m, true, err
 }
 
 // SumAux sums the Aux field of key's entries in [from, to] — answering
@@ -78,12 +158,19 @@ func (x *Index) TopKeys(ctx context.Context, k, from, to int) ([]KeyCount, error
 	if k < 1 {
 		return nil, nil
 	}
-	counts := map[string]int{}
-	if err := x.ScanRange(ctx, from, to, func(key string, _ Entry) bool {
-		counts[key]++
-		return true
-	}); err != nil {
-		return nil, err
+	counts, hit, err := x.cachedKeyCounts(ctx, from, to)
+	if hit {
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		counts = map[string]int{}
+		if err := x.ScanRange(ctx, from, to, func(key string, _ Entry) bool {
+			counts[key]++
+			return true
+		}); err != nil {
+			return nil, err
+		}
 	}
 	h := make(kcHeap, 0, k+1)
 	for key, n := range counts {
@@ -138,6 +225,16 @@ func (x *Index) Histogram(ctx context.Context, from, to int) ([]int, error) {
 	if to < from {
 		return nil, nil
 	}
+	if m, hit, err := x.cachedDayCounts(ctx, from, to); hit {
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, to-from+1)
+		for d, v := range m {
+			out[d-from] = v
+		}
+		return out, nil
+	}
 	out := make([]int, to-from+1)
 	err := x.ScanRange(ctx, from, to, func(_ string, e Entry) bool {
 		out[int(e.Day)-from]++
@@ -151,6 +248,12 @@ func (x *Index) Histogram(ctx context.Context, from, to int) ([]int, error) {
 
 // DistinctKeys counts the distinct search values in [from, to].
 func (x *Index) DistinctKeys(ctx context.Context, from, to int) (int, error) {
+	if m, hit, err := x.cachedKeyCounts(ctx, from, to); hit {
+		if err != nil {
+			return 0, err
+		}
+		return len(m), nil
+	}
 	seen := map[string]struct{}{}
 	err := x.ScanRange(ctx, from, to, func(key string, _ Entry) bool {
 		seen[key] = struct{}{}

@@ -68,6 +68,7 @@ func TestLoadBitFlippedSnapshots(t *testing.T) {
 func FuzzLoad(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("WAVX1"))
+	f.Add([]byte("WAVX2"))
 	// A valid snapshot as a mutation seed.
 	x, err := New(Config{Window: 3, Indexes: 2})
 	if err != nil {

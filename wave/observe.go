@@ -131,7 +131,14 @@ type observability struct {
 
 	slow slowLog
 	mobs *core.MetricsObserver
+
+	// caches snapshots the caching tier for gauge export; nil until the
+	// index wires it (after construction, hence not a constructor arg).
+	caches func() CacheInfo
 }
+
+// setCaches installs the caching-tier snapshot hook.
+func (ob *observability) setCaches(fn func() CacheInfo) { ob.caches = fn }
 
 // newObservability wires instrumentation for one index. With
 // DisableMetrics the registry is nil and every handle is a no-op; the
@@ -285,6 +292,28 @@ func (x *Index) Metrics() MetricsSnapshot {
 		ob.reg.Gauge("disk_sim_ms").Set(d.SimTime.Milliseconds())
 		ob.reg.Gauge("disk_used_blocks").Set(d.UsedBlocks)
 		ob.reg.Gauge("disk_peak_blocks").Set(d.PeakBlocks)
+		if ob.caches != nil {
+			// Cache gauges only exist when the level is enabled, so a
+			// cache-off snapshot is indistinguishable from pre-cache
+			// builds (the bench baselines compare against it).
+			ci := ob.caches()
+			if ci.BlocksEnabled {
+				ob.reg.Gauge("cache_block_hits").Set(ci.Blocks.Hits)
+				ob.reg.Gauge("cache_block_misses").Set(ci.Blocks.Misses)
+				ob.reg.Gauge("cache_block_evictions").Set(ci.Blocks.Evictions)
+				ob.reg.Gauge("cache_block_resident").Set(int64(ci.Blocks.Resident))
+				ob.reg.Gauge("cache_block_saved_seeks").Set(ci.Blocks.SavedSeeks)
+				ob.reg.Gauge("cache_block_saved_sim_us").Set(ci.Blocks.SavedSimTime.Microseconds())
+			}
+			if ci.ResultsEnabled {
+				ob.reg.Gauge("cache_result_hits").Set(ci.Results.Hits)
+				ob.reg.Gauge("cache_result_misses").Set(ci.Results.Misses)
+				ob.reg.Gauge("cache_result_evictions").Set(ci.Results.Evictions)
+				ob.reg.Gauge("cache_result_invalidated").Set(ci.Results.Invalidated)
+				ob.reg.Gauge("cache_result_entries").Set(ci.Results.Entries)
+				ob.reg.Gauge("cache_result_cost_used").Set(ci.Results.CostUsed)
+			}
+		}
 	}
 	return ob.reg.Snapshot()
 }

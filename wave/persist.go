@@ -13,7 +13,12 @@ import (
 	"waveindex/internal/wire"
 )
 
-const snapshotMagic = "WAVX1"
+const (
+	// snapshotMagic is the current snapshot format: V2 added the
+	// CacheResults field. V1 snapshots (no result cache) still load.
+	snapshotMagic   = "WAVX2"
+	snapshotMagicV1 = "WAVX1"
+)
 
 // SaveSnapshot serialises the whole index — configuration, retained raw
 // day batches, and the maintenance scheme's complete state including
@@ -50,6 +55,7 @@ func (x *Index) SaveSnapshot(w io.Writer) error {
 	ww.I64(int64(x.cfg.GrowthFactor * 1000))
 	ww.Int(x.cfg.BlockSize)
 	ww.Int(x.cfg.CacheBlocks)
+	ww.Int(x.cfg.CacheResults)
 	ww.String(x.cfg.StorePath)
 	ww.Int(x.cfg.FirstDay)
 	ww.Int(x.nextDay)
@@ -105,8 +111,15 @@ func load(r io.Reader, tr Tracer) (*Index, error) {
 // crash points and the extra observer are not serialised, so recovery
 // passes them back in when rebuilding an index from a checkpoint.
 func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Observer) (*Index, error) {
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("wave: load: %w: %v", wire.ErrCorrupt, err)
+	}
+	v1 := string(magic) == snapshotMagicV1
+	if !v1 && string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("wave: load: %w: magic %q, want %q", wire.ErrCorrupt, magic, snapshotMagic)
+	}
 	rr := wire.NewReader(r)
-	rr.Expect(snapshotMagic)
 	cfg := Config{
 		Window:       rr.Int(),
 		Indexes:      rr.Int(),
@@ -116,9 +129,12 @@ func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Obs
 		GrowthFactor: float64(rr.I64()) / 1000,
 		BlockSize:    rr.Int(),
 		CacheBlocks:  rr.Int(),
-		StorePath:    rr.String(),
-		FirstDay:     rr.Int(),
 	}
+	if !v1 {
+		cfg.CacheResults = rr.Int()
+	}
+	cfg.StorePath = rr.String()
+	cfg.FirstDay = rr.Int()
 	nextDay := rr.Int()
 	ready := rr.Bool()
 	srcBlob := rr.Bytes()
@@ -141,7 +157,7 @@ func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Obs
 	if err != nil {
 		return nil, fmt.Errorf("wave: load: %w", err)
 	}
-	if cfg.BlockSize < 0 || cfg.CacheBlocks < 0 {
+	if cfg.BlockSize < 0 || cfg.CacheBlocks < 0 || cfg.CacheResults < 0 {
 		return nil, fmt.Errorf("wave: load: %w: negative block geometry", ErrBadConfig)
 	}
 	if nextDay < cfg.FirstDay {
@@ -168,8 +184,11 @@ func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Obs
 	ob := newObservability(cfg, []*simdisk.Store{store})
 	obsCore := combineObservers(ob.coreObserver(), cfg.extraObserver)
 	var bs simdisk.BlockStore = store
+	var bcaches []*simdisk.Cache
 	if cfg.CacheBlocks > 0 {
-		bs = simdisk.NewCache(store, cfg.CacheBlocks)
+		bc := simdisk.NewCache(store, cfg.CacheBlocks)
+		bcaches = append(bcaches, bc)
+		bs = bc
 	}
 	bk := core.NewDataBackend(bs, index.Options{
 		Dir:    cfg.Directory,
@@ -184,7 +203,7 @@ func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Obs
 		Observer:  obsCore,
 		Crash:     cfg.crash,
 	}
-	x := &Index{cfg: cfg, stores: []*simdisk.Store{store}, src: src, obs: ob, nextDay: nextDay, ready: ready}
+	x := &Index{cfg: cfg, stores: []*simdisk.Store{store}, bcaches: bcaches, rcOn: cfg.CacheResults > 0, src: src, obs: ob, nextDay: nextDay, ready: ready}
 	x.ing = newIngester(x.AddDay, x.pendingNextDay)
 	if ready {
 		scheme, err := core.LoadScheme(ccfg, bk, bytes.NewReader(schBlob))
@@ -202,8 +221,14 @@ func loadWithExtras(r io.Reader, tr Tracer, crash *core.CrashSet, extra core.Obs
 		}
 		x.scheme = scheme
 	}
+	if cfg.CacheResults > 0 {
+		// A fresh cache: generations restart on load, and nothing cached
+		// before the crash/checkpoint can ever be served again.
+		x.scheme.Wave().SetResultCache(core.NewResultCache(cfg.CacheResults))
+	}
 	qm := ob.queryMetrics()
 	x.scheme.Wave().SetInstrumentation(&qm, tr)
+	ob.setCaches(x.cacheInfo)
 	store.SetCause(simdisk.CauseQuery)
 	return x, nil
 }

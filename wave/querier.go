@@ -164,6 +164,19 @@ func (j *Journaled) SetSlowQueryThreshold(d time.Duration) {
 	j.Index().SetSlowQueryThreshold(d)
 }
 
+// CacheInfo returns the wrapped index's caching-tier snapshot. Zero
+// while the opening recovery is still replaying. Recover rebuilds the
+// index from its checkpoint and journal, so both cache levels restart
+// cold — a recovered index can never serve an entry cached before the
+// crash.
+func (j *Journaled) CacheInfo() CacheInfo {
+	idx := j.Index()
+	if idx == nil {
+		return CacheInfo{}
+	}
+	return idx.CacheInfo()
+}
+
 // Work returns the wrapped index's per-cause disk-work ledger. Nil
 // while the opening recovery is still replaying (the swapped-in index
 // is published only once replay completes).

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"waveindex/internal/core"
+	"waveindex/wave"
+)
+
+// TestShardedCacheEquivalence extends the acceptance suite to the
+// caching tier: for every maintenance scheme × shard count, a router
+// whose shards run both cache levels must render every query kind
+// byte-identically to an uncached single index — cold after each
+// compare point and warm immediately after, when the answers come out
+// of the per-shard result caches.
+func TestShardedCacheEquivalence(t *testing.T) {
+	const W, N, days = 6, 3, 12
+	for _, kind := range core.Kinds {
+		for _, shards := range []int{1, 3, 8} {
+			kind, shards := kind, shards
+			t.Run(fmt.Sprintf("%s/shards=%d", kind, shards), func(t *testing.T) {
+				t.Parallel()
+				plain := wave.Config{Window: W, Indexes: N, Scheme: kind, Update: wave.SimpleShadow}
+				single, err := wave.New(plain)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer single.Close()
+				cachedCfg := plain
+				cachedCfg.CacheBlocks = 64
+				cachedCfg.CacheResults = 1 << 16
+				r, err := New(Config{Shards: shards, Base: cachedCfg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Close()
+				for d := 1; d <= days; d++ {
+					ps := workload(d)
+					if err := single.AddDay(d, ps); err != nil {
+						t.Fatalf("single AddDay(%d): %v", d, err)
+					}
+					if err := r.AddDay(d, ps); err != nil {
+						t.Fatalf("sharded AddDay(%d): %v", d, err)
+					}
+					if d == W || d == days {
+						want := render(t, single)
+						if got := render(t, r); want != got {
+							t.Fatalf("day %d: cold cached render diverges\nsingle:\n%s\nsharded:\n%s", d, want, got)
+						}
+						if got := render(t, r); want != got {
+							t.Fatalf("day %d: warm cached render diverges", d)
+						}
+					}
+				}
+				ci := r.CacheInfo()
+				if !ci.BlocksEnabled || !ci.ResultsEnabled {
+					t.Fatalf("router cache tiers not enabled: %+v", ci)
+				}
+				if ci.Results.Hits == 0 || ci.Blocks.Hits == 0 {
+					t.Fatalf("warm renders never hit: results=%d blocks=%d", ci.Results.Hits, ci.Blocks.Hits)
+				}
+				per := r.ShardCacheInfo()
+				if len(per) != shards {
+					t.Fatalf("ShardCacheInfo has %d rows, want %d", len(per), shards)
+				}
+				var hits, entries int64
+				var gens int
+				for _, sci := range per {
+					hits += sci.Results.Hits
+					entries += sci.Results.Entries
+					gens += len(sci.Generations)
+				}
+				if hits != ci.Results.Hits || entries != ci.Results.Entries {
+					t.Fatalf("router rollup (hits=%d entries=%d) != per-shard sums (hits=%d entries=%d)",
+						ci.Results.Hits, ci.Results.Entries, hits, entries)
+				}
+				if len(ci.Generations) != gens {
+					t.Fatalf("router concatenated %d generations, shards carry %d", len(ci.Generations), gens)
+				}
+			})
+		}
+	}
+}

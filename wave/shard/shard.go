@@ -97,6 +97,7 @@ type backend interface {
 	SlowQueries() []wave.SlowQuery
 	SetSlowQueryThreshold(time.Duration)
 	Work() []wave.CauseStats
+	CacheInfo() wave.CacheInfo
 	Close() error
 }
 
@@ -650,6 +651,45 @@ func (r *Router) ShardWork() [][]wave.CauseStats {
 	out := make([][]wave.CauseStats, len(r.shards))
 	for i, s := range r.shards {
 		out[i] = s.Work()
+	}
+	return out
+}
+
+// CacheInfo returns the fleet's caching-tier snapshot: both levels'
+// counters summed across shards, with Generations concatenated in shard
+// order. Recover rebuilds the targeted shards from checkpoint + journal,
+// so their caches restart cold while the surviving shards keep theirs —
+// cache retention, like degradation, is per-shard. Per-shard snapshots
+// are available from ShardCacheInfo.
+func (r *Router) CacheInfo() wave.CacheInfo {
+	var out wave.CacheInfo
+	for _, ci := range r.ShardCacheInfo() {
+		out.BlocksEnabled = out.BlocksEnabled || ci.BlocksEnabled
+		out.Blocks.Hits += ci.Blocks.Hits
+		out.Blocks.Misses += ci.Blocks.Misses
+		out.Blocks.Evictions += ci.Blocks.Evictions
+		out.Blocks.Resident += ci.Blocks.Resident
+		out.Blocks.SavedSeeks += ci.Blocks.SavedSeeks
+		out.Blocks.SavedSimTime += ci.Blocks.SavedSimTime
+		out.ResultsEnabled = out.ResultsEnabled || ci.ResultsEnabled
+		out.Results.Hits += ci.Results.Hits
+		out.Results.Misses += ci.Results.Misses
+		out.Results.Evictions += ci.Results.Evictions
+		out.Results.Invalidated += ci.Results.Invalidated
+		out.Results.Entries += ci.Results.Entries
+		out.Results.CostUsed += ci.Results.CostUsed
+		out.Results.CostCap += ci.Results.CostCap
+		out.Generations = append(out.Generations, ci.Generations...)
+	}
+	return out
+}
+
+// ShardCacheInfo returns each shard's caching-tier snapshot, in shard
+// order.
+func (r *Router) ShardCacheInfo() []wave.CacheInfo {
+	out := make([]wave.CacheInfo, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.CacheInfo()
 	}
 	return out
 }

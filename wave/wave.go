@@ -164,6 +164,13 @@ type Config struct {
 	// cache of that many blocks between the index and the store — the
 	// memory caching the paper credits for batched updates' efficiency.
 	CacheBlocks int
+	// CacheResults, when positive, installs a per-constituent result
+	// cache of that many result rows: probe buckets and aggregate
+	// results are memoized against the constituent generation they were
+	// computed from, so wave transitions invalidate only the rebuilt
+	// constituents' entries (see README's Caching chapter). 0 disables
+	// result caching — the reference behaviour benches compare against.
+	CacheResults int
 	// FirstDay is the day number of the first batch. 0 means 1.
 	FirstDay int
 	// Trace, when non-nil, receives structured span events for queries
@@ -235,12 +242,14 @@ func (c Config) normalized() (Config, error) {
 // while AddDay runs (the §2.1 shadow-update story), and the mutating
 // methods (AddDay, SaveSnapshot, Close) serialise among themselves.
 type Index struct {
-	cfg    Config
-	stores []*simdisk.Store
-	src    *core.MemorySource
-	scheme core.Scheme
-	obs    *observability
-	ing    *ingester
+	cfg     Config
+	stores  []*simdisk.Store
+	bcaches []*simdisk.Cache // block caches wrapping stores (empty when off)
+	rcOn    bool             // a result cache is installed on the wave
+	src     *core.MemorySource
+	scheme  core.Scheme
+	obs     *observability
+	ing     *ingester
 
 	mu            sync.Mutex // guards the fields below and mutating methods
 	nextDay       int
@@ -310,17 +319,22 @@ func New(cfg Config) (*Index, error) {
 	ob := newObservability(cfg, stores)
 	obsCore := combineObservers(ob.coreObserver(), cfg.extraObserver)
 	var bk core.Backend
+	var bcaches []*simdisk.Cache
 	if len(stores) == 1 {
 		var bs simdisk.BlockStore = stores[0]
 		if cfg.CacheBlocks > 0 {
-			bs = simdisk.NewCache(stores[0], cfg.CacheBlocks)
+			bc := simdisk.NewCache(stores[0], cfg.CacheBlocks)
+			bcaches = append(bcaches, bc)
+			bs = bc
 		}
 		bk = core.NewDataBackend(bs, opts, src, obsCore)
 	} else {
 		pool := make([]simdisk.BlockStore, len(stores))
 		for i, st := range stores {
 			if cfg.CacheBlocks > 0 {
-				pool[i] = simdisk.NewCache(st, cfg.CacheBlocks)
+				bc := simdisk.NewCache(st, cfg.CacheBlocks)
+				bcaches = append(bcaches, bc)
+				pool[i] = bc
 			} else {
 				pool[i] = st
 			}
@@ -350,10 +364,14 @@ func New(cfg Config) (*Index, error) {
 		// One query worker per device: more adds no disk parallelism.
 		scheme.Wave().SetParallelism(len(stores))
 	}
+	if cfg.CacheResults > 0 {
+		scheme.Wave().SetResultCache(core.NewResultCache(cfg.CacheResults))
+	}
 	qm := ob.queryMetrics()
 	scheme.Wave().SetInstrumentation(&qm, cfg.Trace)
 	ob.reg.Gauge("maint_parallelism").Set(int64(max(maintPar, 1)))
-	x := &Index{cfg: cfg, stores: stores, src: src, scheme: scheme, obs: ob, nextDay: cfg.FirstDay}
+	x := &Index{cfg: cfg, stores: stores, bcaches: bcaches, rcOn: cfg.CacheResults > 0, src: src, scheme: scheme, obs: ob, nextDay: cfg.FirstDay}
+	ob.setCaches(x.cacheInfo)
 	x.ing = newIngester(x.AddDay, x.pendingNextDay)
 	return x, nil
 }
